@@ -1,0 +1,63 @@
+//! Criterion: contended handover throughput — the Rate column of Table 2.
+//!
+//! One background thread hammers the lock while the measured thread runs
+//! timed acquire/release pairs, so every sample includes real ownership
+//! transfers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hemlock_core::hemlock::{Hemlock, HemlockAh, HemlockNaive, HemlockV1, HemlockV2};
+use hemlock_core::raw::RawLock;
+use hemlock_locks::{ClhLock, McsLock, TicketLock};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench_contended<L: RawLock + 'static>(c: &mut Criterion) {
+    let lock: Arc<L> = Arc::new(L::default());
+    let stop = Arc::new(AtomicBool::new(false));
+    let contender = {
+        let lock = Arc::clone(&lock);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                lock.lock();
+                // Safety: acquired above on this thread.
+                unsafe { lock.unlock() };
+            }
+        })
+    };
+    c.benchmark_group("contended_pair").bench_function(L::NAME, |b| {
+        b.iter(|| {
+            lock.lock();
+            // Safety: acquired above on this thread.
+            unsafe { lock.unlock() };
+        })
+    });
+    stop.store(true, Ordering::Release);
+    contender.join().unwrap();
+}
+
+fn contended(c: &mut Criterion) {
+    bench_contended::<TicketLock>(c);
+    bench_contended::<McsLock>(c);
+    bench_contended::<ClhLock>(c);
+    bench_contended::<Hemlock>(c);
+    bench_contended::<HemlockNaive>(c);
+    bench_contended::<HemlockAh>(c);
+    bench_contended::<HemlockV1>(c);
+    bench_contended::<HemlockV2>(c);
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = contended
+}
+criterion_main!(benches);

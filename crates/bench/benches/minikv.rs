@@ -1,0 +1,53 @@
+//! Criterion: the Figure 8 substrate — minikv point reads and writes under
+//! different central locks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hemlock_core::hemlock::Hemlock;
+use hemlock_core::raw::RawLock;
+use hemlock_locks::TicketLock;
+use hemlock_minikv::{fill_seq, key_for, Db};
+use std::time::Duration;
+
+const ENTRIES: u64 = 50_000;
+
+fn bench_get<L: RawLock>(c: &mut Criterion, name: &str) {
+    let db: Db<L> = Db::new(Default::default());
+    fill_seq(&db, ENTRIES, 100);
+    let mut i = 0u64;
+    c.benchmark_group("minikv_get").bench_function(name, |b| {
+        b.iter(|| {
+            i = (i.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407)) % ENTRIES;
+            db.get(&key_for(i))
+        })
+    });
+}
+
+fn bench_put(c: &mut Criterion) {
+    let db: Db<Hemlock> = Db::new(Default::default());
+    let mut i = 0u64;
+    c.benchmark_group("minikv_put").bench_function("Hemlock", |b| {
+        b.iter(|| {
+            i += 1;
+            db.put(&key_for(i % ENTRIES), b"value-bytes-for-criterion-run");
+        })
+    });
+}
+
+fn gets(c: &mut Criterion) {
+    bench_get::<Hemlock>(c, "Hemlock");
+    bench_get::<TicketLock>(c, "Ticket");
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = gets, bench_put
+}
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion: MT19937 stepping rate — calibrates the moderate-contention
+//! workload (Figure 3's non-critical section steps this generator up to
+//! 399 times per iteration).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hemlock_harness::Mt19937;
+use std::time::Duration;
+
+fn next_u32(c: &mut Criterion) {
+    let mut rng = Mt19937::new(42);
+    c.benchmark_group("mt19937")
+        .bench_function("next_u32", |b| b.iter(|| rng.next_u32()));
+}
+
+fn ncs_batch(c: &mut Criterion) {
+    let mut rng = Mt19937::new(42);
+    c.benchmark_group("mt19937").bench_function("ncs_batch_400", |b| {
+        b.iter(|| {
+            let steps = rng.below(400);
+            for _ in 0..steps {
+                rng.next_u32();
+            }
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = next_u32, ncs_batch
+}
+criterion_main!(benches);

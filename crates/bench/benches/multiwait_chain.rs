@@ -1,0 +1,51 @@
+//! Criterion: the Figure 9 leader's inner step — acquiring 10 locks in
+//! ascending order and releasing them in descending order — across lock
+//! algorithms, without obstruction (the pure multi-lock path cost).
+//! "Holding multiple locks does not itself impose a performance penalty"
+//! (§2.2): this bench quantifies exactly that claim.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hemlock_core::hemlock::{Hemlock, HemlockNaive};
+use hemlock_core::raw::RawLock;
+use hemlock_locks::{ClhLock, McsLock, TicketLock};
+use std::time::Duration;
+
+const LOCKS: usize = 10;
+
+fn bench_chain<L: RawLock>(c: &mut Criterion) {
+    let locks: Vec<L> = (0..LOCKS).map(|_| L::default()).collect();
+    c.benchmark_group("leader_step_10locks")
+        .bench_function(L::NAME, |b| {
+            b.iter(|| {
+                for l in &locks {
+                    l.lock();
+                }
+                for l in locks.iter().rev() {
+                    // Safety: acquired above on this thread.
+                    unsafe { l.unlock() };
+                }
+            })
+        });
+}
+
+fn chains(c: &mut Criterion) {
+    bench_chain::<TicketLock>(c);
+    bench_chain::<McsLock>(c);
+    bench_chain::<ClhLock>(c);
+    bench_chain::<Hemlock>(c);
+    bench_chain::<HemlockNaive>(c);
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = chains
+}
+criterion_main!(benches);

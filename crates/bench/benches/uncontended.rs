@@ -1,0 +1,80 @@
+//! Criterion: single-thread acquire/release latency (the T = 1 point of
+//! Figure 2) for every baseline and every Hemlock family member.
+//!
+//! Paper expectation: "Ticket Locks are the fastest, followed by Hemlock,
+//! CLH and MCS" — Hemlock's paths are "tighter" than MCS/CLH because no
+//! queue element is allocated, initialized, or indirected through.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hemlock_core::hemlock::{
+    Hemlock, HemlockAh, HemlockChain, HemlockNaive, HemlockOverlap, HemlockParking, HemlockV1,
+    HemlockV2,
+};
+use hemlock_core::raw::RawLock;
+use hemlock_locks::{AndersonLock, ClhLock, McsLock, TasLock, TicketLock, TtasLock};
+use std::time::Duration;
+
+fn bench_pair<L: RawLock>(c: &mut Criterion, group: &str) {
+    let lock = L::default();
+    c.benchmark_group(group).bench_function(L::NAME, |b| {
+        b.iter(|| {
+            lock.lock();
+            // Safety: acquired on this thread in the line above.
+            unsafe { lock.unlock() };
+        })
+    });
+}
+
+fn baselines(c: &mut Criterion) {
+    bench_pair::<TicketLock>(c, "uncontended_pair");
+    bench_pair::<McsLock>(c, "uncontended_pair");
+    bench_pair::<ClhLock>(c, "uncontended_pair");
+    bench_pair::<TasLock>(c, "uncontended_pair");
+    bench_pair::<TtasLock>(c, "uncontended_pair");
+    bench_pair::<AndersonLock>(c, "uncontended_pair");
+}
+
+fn hemlock_family(c: &mut Criterion) {
+    bench_pair::<HemlockNaive>(c, "uncontended_pair");
+    bench_pair::<Hemlock>(c, "uncontended_pair");
+    bench_pair::<HemlockOverlap>(c, "uncontended_pair");
+    bench_pair::<HemlockAh>(c, "uncontended_pair");
+    bench_pair::<HemlockV1>(c, "uncontended_pair");
+    bench_pair::<HemlockV2>(c, "uncontended_pair");
+    bench_pair::<HemlockParking>(c, "uncontended_pair");
+    bench_pair::<HemlockChain>(c, "uncontended_pair");
+}
+
+fn trylock(c: &mut Criterion) {
+    use hemlock_core::raw::RawTryLock;
+    let lock = Hemlock::default();
+    c.benchmark_group("trylock").bench_function("Hemlock", |b| {
+        b.iter(|| {
+            assert!(lock.try_lock());
+            // Safety: try_lock succeeded on this thread.
+            unsafe { lock.unlock() };
+        })
+    });
+    let lock = McsLock::default();
+    c.benchmark_group("trylock").bench_function("MCS", |b| {
+        b.iter(|| {
+            assert!(lock.try_lock());
+            // Safety: try_lock succeeded on this thread.
+            unsafe { lock.unlock() };
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = baselines, hemlock_family, trylock
+}
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! Appendix A/B ablation: the whole Hemlock variant family side by side.
+//!
+//! DESIGN.md calls out the family's design choices; this binary measures
+//! each variant under three regimes:
+//!
+//! - single-thread latency (ns per acquire/release pair),
+//! - MutexBench maximum contention (central-lock throughput),
+//! - the Figure 9 multi-waiting leader (the regime where CTR backfires).
+
+use hemlock_coherence::{flavor_offcore, Protocol};
+use hemlock_core::hemlock::{
+    Hemlock, HemlockAh, HemlockChain, HemlockNaive, HemlockOverlap, HemlockParking, HemlockV1,
+    HemlockV2,
+};
+use hemlock_core::raw::RawLock;
+use hemlock_harness::{
+    fmt_f64, median_of, multiwait_bench, mutex_bench, uncontended_latency_ns, Args, Contention,
+    MultiwaitConfig, MutexBenchConfig, Table,
+};
+use hemlock_simlock::algos::HemlockFlavor;
+use std::time::Duration;
+
+struct Row {
+    name: &'static str,
+    latency_ns: f64,
+    contended_mops: f64,
+    multiwait_mops: f64,
+}
+
+fn measure<L: RawLock>(threads: usize, duration: Duration, runs: usize) -> Row {
+    let latency_ns = uncontended_latency_ns::<L>(200_000);
+    let contended_mops = median_of(runs, || {
+        mutex_bench::<L>(MutexBenchConfig {
+            threads,
+            duration,
+            contention: Contention::Maximum,
+        })
+        .mops()
+    });
+    let multiwait_mops = median_of(runs, || {
+        multiwait_bench::<L>(MultiwaitConfig {
+            threads,
+            locks: 10,
+            duration,
+        })
+        .mops()
+    });
+    Row {
+        name: L::NAME,
+        latency_ns,
+        contended_mops,
+        multiwait_mops,
+    }
+}
+
+fn main() {
+    let args = Args::from_env();
+    let quick = args.has("quick");
+    let hw = std::thread::available_parallelism().map_or(2, |n| n.get());
+    let threads = args.get("threads", if quick { 2 } else { 2 * hw });
+    let duration = args.duration("secs", if quick { 0.1 } else { 0.5 });
+    let runs = args.get("runs", if quick { 1 } else { 3 });
+
+    println!("# Hemlock family ablation ({threads} threads, {runs} run(s) x {duration:?})");
+    let rows = vec![
+        measure::<HemlockNaive>(threads, duration, runs),
+        measure::<Hemlock>(threads, duration, runs),
+        measure::<HemlockOverlap>(threads, duration, runs),
+        measure::<HemlockAh>(threads, duration, runs),
+        measure::<HemlockV1>(threads, duration, runs),
+        measure::<HemlockV2>(threads, duration, runs),
+        measure::<HemlockParking>(threads, duration, runs),
+        measure::<HemlockChain>(threads, duration, runs),
+    ];
+    // Simulated coherence cost per contended pair, per flavor (the Parking
+    // and Chain variants wait through OS primitives and are not modeled).
+    let sim_threads = args.get("sim-threads", 12usize);
+    let sim = |flavor| {
+        fmt_f64(
+            flavor_offcore(flavor, sim_threads, 80, Protocol::Mesif, 3).offcore_per_pair(),
+            2,
+        )
+    };
+    let sim_col: Vec<String> = vec![
+        sim(HemlockFlavor::Naive),
+        sim(HemlockFlavor::Ctr),
+        sim(HemlockFlavor::Overlap),
+        sim(HemlockFlavor::Ah),
+        sim(HemlockFlavor::V1),
+        sim(HemlockFlavor::V2),
+        "n/a".to_string(),
+        "n/a".to_string(),
+    ];
+
+    let mut t = Table::new(vec![
+        "Variant",
+        "Uncontended ns/pair",
+        "MaxContention M/s",
+        "Multiwait leader M/s",
+        "OffCore/pair (sim)",
+    ]);
+    for (r, sim) in rows.into_iter().zip(sim_col) {
+        t.row(vec![
+            r.name.to_string(),
+            fmt_f64(r.latency_ns, 1),
+            fmt_f64(r.contended_mops, 3),
+            fmt_f64(r.multiwait_mops, 3),
+            sim,
+        ]);
+    }
+    print!("{}", if args.has("csv") { t.to_csv() } else { t.render() });
+    println!();
+    println!("# Paper expectations: AH best contended throughput when lifecycle permits;");
+    println!("# CTR variants lose to Hemlock- under multi-waiting (§5.6).");
+}

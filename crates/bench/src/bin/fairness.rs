@@ -1,0 +1,56 @@
+//! Fairness extension (not a numbered paper figure): quantifies §4's
+//! FIFO-vs-unfair contrast. Ticket/MCS/CLH/Hemlock admit threads in arrival
+//! order, so per-thread throughput stays uniform (Jain index → 1) and the
+//! acquisition-latency tail stays bounded; TAS/TTAS "may allow unfairness
+//! and even indefinite starvation".
+
+use hemlock_core::hemlock::{Hemlock, HemlockNaive};
+use hemlock_core::raw::RawLock;
+use hemlock_harness::{fairness_bench, fmt_f64, Args, Table};
+use hemlock_locks::{ClhLock, McsLock, TasLock, TicketLock, TtasLock};
+use std::time::Duration;
+
+fn row<L: RawLock>(threads: usize, duration: Duration, t: &mut Table) {
+    let r = fairness_bench::<L>(threads, duration);
+    t.row(vec![
+        L::NAME.to_string(),
+        if L::FIFO { "yes" } else { "no" }.to_string(),
+        fmt_f64(r.jain_index(), 4),
+        if r.max_min_ratio().is_finite() {
+            fmt_f64(r.max_min_ratio(), 2)
+        } else {
+            "inf (starvation)".to_string()
+        },
+        r.latency.quantile(0.50).to_string(),
+        r.latency.quantile(0.99).to_string(),
+        fmt_f64(r.throughput.mops(), 3),
+    ]);
+}
+
+fn main() {
+    let args = Args::from_env();
+    let quick = args.has("quick");
+    let hw = std::thread::available_parallelism().map_or(2, |n| n.get());
+    let threads = args.get("threads", 2 * hw);
+    let duration = args.duration("secs", if quick { 0.15 } else { 1.0 });
+
+    println!("# Fairness under sustained contention ({threads} threads, {duration:?})");
+    println!("# Jain index: 1.0 = perfectly fair; 1/{threads} = one thread monopolizes.");
+    let mut t = Table::new(vec![
+        "Lock",
+        "FIFO",
+        "Jain",
+        "max/min ops",
+        "p50 ns",
+        "p99 ns",
+        "M ops/s",
+    ]);
+    row::<TicketLock>(threads, duration, &mut t);
+    row::<McsLock>(threads, duration, &mut t);
+    row::<ClhLock>(threads, duration, &mut t);
+    row::<Hemlock>(threads, duration, &mut t);
+    row::<HemlockNaive>(threads, duration, &mut t);
+    row::<TasLock>(threads, duration, &mut t);
+    row::<TtasLock>(threads, duration, &mut t);
+    print!("{}", if args.has("csv") { t.to_csv() } else { t.render() });
+}

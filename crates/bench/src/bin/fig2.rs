@@ -1,0 +1,42 @@
+//! Figure 2: MutexBench at **maximum contention** — empty critical and
+//! non-critical sections, thread sweep, aggregate M steps/sec, median of
+//! multiple runs. The paper's observations to reproduce in shape:
+//! Ticket leads at 1 thread but fades under contention; Hemlock performs
+//! slightly better than or equal to CLH/MCS; CTR beats Hemlock−.
+
+use hemlock_bench::{mutexbench_series, print_series, Sweep};
+use hemlock_core::hemlock::{Hemlock, HemlockNaive};
+use hemlock_harness::{Args, Contention};
+use hemlock_locks::{ClhLock, McsLock, TicketLock};
+
+fn main() {
+    let args = Args::from_env();
+    let sweep = Sweep::from_args(&args);
+    println!(
+        "# Figure 2 reproduction: MutexBench, maximum contention ({} run(s) x {:?} per point)",
+        sweep.runs, sweep.duration
+    );
+    let series = vec![
+        ("MCS", mutexbench_series::<McsLock>(&sweep, Contention::Maximum)),
+        ("CLH", mutexbench_series::<ClhLock>(&sweep, Contention::Maximum)),
+        (
+            "Ticket",
+            mutexbench_series::<TicketLock>(&sweep, Contention::Maximum),
+        ),
+        (
+            "Hemlock",
+            mutexbench_series::<Hemlock>(&sweep, Contention::Maximum),
+        ),
+        (
+            "Hemlock-",
+            mutexbench_series::<HemlockNaive>(&sweep, Contention::Maximum),
+        ),
+    ];
+    print_series(
+        "MutexBench : Maximum Contention",
+        &sweep.threads,
+        &series,
+        sweep.csv,
+        "M steps/sec (aggregate)",
+    );
+}

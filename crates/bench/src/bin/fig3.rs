@@ -1,0 +1,42 @@
+//! Figure 3: MutexBench at **moderate contention** — the non-critical
+//! section steps a thread-local MT19937 a uniformly random number of times
+//! in [0, 400); the critical section advances a shared MT19937 5 steps.
+//! Shape to reproduce: Ticket does well at low thread counts; Hemlock
+//! outperforms both MCS and CLH.
+
+use hemlock_bench::{mutexbench_series, print_series, Sweep};
+use hemlock_core::hemlock::{Hemlock, HemlockNaive};
+use hemlock_harness::{Args, Contention};
+use hemlock_locks::{ClhLock, McsLock, TicketLock};
+
+fn main() {
+    let args = Args::from_env();
+    let sweep = Sweep::from_args(&args);
+    println!(
+        "# Figure 3 reproduction: MutexBench, moderate contention ({} run(s) x {:?} per point)",
+        sweep.runs, sweep.duration
+    );
+    let series = vec![
+        ("MCS", mutexbench_series::<McsLock>(&sweep, Contention::Moderate)),
+        ("CLH", mutexbench_series::<ClhLock>(&sweep, Contention::Moderate)),
+        (
+            "Ticket",
+            mutexbench_series::<TicketLock>(&sweep, Contention::Moderate),
+        ),
+        (
+            "Hemlock",
+            mutexbench_series::<Hemlock>(&sweep, Contention::Moderate),
+        ),
+        (
+            "Hemlock-",
+            mutexbench_series::<HemlockNaive>(&sweep, Contention::Moderate),
+        ),
+    ];
+    print_series(
+        "MutexBench : Moderate Contention",
+        &sweep.threads,
+        &series,
+        sweep.csv,
+        "M steps/sec (aggregate)",
+    );
+}

@@ -1,0 +1,61 @@
+//! Figure 8: LevelDB `readrandom`.
+//!
+//! The paper populated a LevelDB 1.20 database with `fillseq`, then ran
+//! fixed-duration `readrandom` across a thread sweep, swapping the central
+//! `DBImpl::Mutex` between lock algorithms. Here the database is
+//! `hemlock-minikv` (see DESIGN.md §3) with its central mutex generic over
+//! the same five locks. Shape to reproduce: Ticket slightly ahead at low
+//! thread counts, then fading; MCS/CLH/Hemlock clustered.
+
+use hemlock_bench::{print_series, substitution_note, Sweep};
+use hemlock_core::hemlock::{Hemlock, HemlockNaive};
+use hemlock_core::raw::RawLock;
+use hemlock_harness::{median_of, Args};
+use hemlock_locks::{ClhLock, McsLock, TicketLock};
+use hemlock_minikv::{fill_seq, read_random, Db};
+
+const VALUE_LEN: usize = 100; // db_bench default value size
+
+fn series<L: RawLock>(sweep: &Sweep, entries: u64) -> Vec<f64> {
+    // Populate once per lock type (fillseq), reuse across the sweep
+    // (--use_existing_db=1 in the paper's invocation).
+    let db: Db<L> = Db::new(Default::default());
+    fill_seq(&db, entries, VALUE_LEN);
+    sweep
+        .threads
+        .iter()
+        .map(|&threads| {
+            median_of(sweep.runs, || {
+                read_random(&db, threads, entries, sweep.duration).ops_per_sec() / 1e6
+            })
+        })
+        .collect()
+}
+
+fn main() {
+    let args = Args::from_env();
+    let sweep = Sweep::from_args(&args);
+    let entries: u64 = args.get("entries", if args.has("quick") { 20_000 } else { 200_000 });
+    substitution_note(
+        "LevelDB 1.20 → hemlock-minikv (memtable + immutable runs behind one central mutex)",
+    );
+    println!(
+        "# Figure 8 reproduction: readrandom over {entries} fillseq entries, \
+         {} run(s) x {:?} per point",
+        sweep.runs, sweep.duration
+    );
+    let series = vec![
+        ("MCS", series::<McsLock>(&sweep, entries)),
+        ("CLH", series::<ClhLock>(&sweep, entries)),
+        ("Ticket", series::<TicketLock>(&sweep, entries)),
+        ("Hemlock", series::<Hemlock>(&sweep, entries)),
+        ("Hemlock-", series::<HemlockNaive>(&sweep, entries)),
+    ];
+    print_series(
+        "LevelDB-style readrandom",
+        &sweep.threads,
+        &series,
+        sweep.csv,
+        "M ops/sec (aggregate)",
+    );
+}

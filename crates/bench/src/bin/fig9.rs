@@ -1,0 +1,61 @@
+//! Figure 9: the multi-waiting benchmark.
+//!
+//! 10 shared locks; a leader acquires all ascending and releases
+//! descending; other threads hammer random single locks; only the leader's
+//! completed steps count. Shape to reproduce: everyone degrades with more
+//! threads; Hemlock− under-performs MCS/CLH once multi-waiting kicks in;
+//! **Hemlock with CTR does worse than Hemlock−** — the one regime where the
+//! optimization backfires (the Grant line ping-pongs in M state between
+//! multiple RMW-polling waiters).
+
+use hemlock_bench::{print_series, Sweep};
+use hemlock_core::hemlock::{Hemlock, HemlockNaive};
+use hemlock_core::raw::RawLock;
+use hemlock_harness::{median_of, multiwait_bench, Args, MultiwaitConfig};
+use hemlock_locks::{ClhLock, McsLock, TicketLock};
+
+fn series<L: RawLock>(sweep: &Sweep, locks: usize) -> Vec<f64> {
+    sweep
+        .threads
+        .iter()
+        .map(|&threads| {
+            median_of(sweep.runs, || {
+                multiwait_bench::<L>(MultiwaitConfig {
+                    threads,
+                    locks,
+                    duration: sweep.duration,
+                })
+                .mops()
+            })
+        })
+        .collect()
+}
+
+fn main() {
+    let args = Args::from_env();
+    let sweep = Sweep::from_args(&args);
+    let locks = args.get("locks", 10usize);
+    println!(
+        "# Figure 9 reproduction: multi-waiting, {locks} locks, leader steps only \
+         ({} run(s) x {:?} per point)",
+        sweep.runs, sweep.duration
+    );
+    println!(
+        "# Worst-case waiters on one word: CLH/MCS 1, Ticket T-1, Hemlock min(T-1, {})",
+        locks - 1
+    );
+    let series = vec![
+        ("MCS", series::<McsLock>(&sweep, locks)),
+        ("CLH", series::<ClhLock>(&sweep, locks)),
+        ("Ticket", series::<TicketLock>(&sweep, locks)),
+        ("Hemlock", series::<Hemlock>(&sweep, locks)),
+        ("Hemlock-", series::<HemlockNaive>(&sweep, locks)),
+    ];
+    print_series(
+        "Multi-waiting (leader throughput)",
+        &sweep.threads,
+        &series,
+        sweep.csv,
+        "M leader steps/sec",
+    );
+}

@@ -1,0 +1,74 @@
+//! Table 1: space usage of MCS, CLH, Ticket Locks, and Hemlock.
+//!
+//! Columns, as in the paper: lock-body words, space per held lock, space
+//! per waited-on lock, per-thread state, and whether construction /
+//! destruction is non-trivial. `E` is a padded queue element. Values here
+//! are *measured from the actual Rust types* via `size_of`, not asserted.
+
+use hemlock_core::hemlock::Hemlock;
+use hemlock_core::pad::CACHE_LINE;
+use hemlock_core::registry::GrantCell;
+use hemlock_harness::{Args, Table};
+use hemlock_locks::{ClhLock, McsLock, TicketLock};
+
+fn words(bytes: usize) -> String {
+    format!("{}", bytes / core::mem::size_of::<usize>())
+}
+
+fn main() {
+    let args = Args::from_env();
+    println!("# Table 1 reproduction: space usage (measured via size_of)");
+    println!(
+        "# E = padded queue element = {} bytes ({} words); Grant cell = {} bytes",
+        McsLock::ELEMENT_BYTES,
+        McsLock::ELEMENT_BYTES / core::mem::size_of::<usize>(),
+        core::mem::size_of::<GrantCell>(),
+    );
+    let mut t = Table::new(vec!["Lock", "Body(words)", "Held", "Wait", "Thread", "Init"]);
+    t.row(vec![
+        "MCS".to_string(),
+        words(core::mem::size_of::<McsLock>()),
+        "E".to_string(),
+        "E".to_string(),
+        "0".to_string(),
+        "no".to_string(),
+    ]);
+    t.row(vec![
+        "CLH".to_string(),
+        format!("{}+E", words(core::mem::size_of::<ClhLock>())),
+        "0".to_string(),
+        "E".to_string(),
+        "0".to_string(),
+        "yes (dummy element)".to_string(),
+    ]);
+    t.row(vec![
+        "Ticket".to_string(),
+        words(core::mem::size_of::<TicketLock>()),
+        "0".to_string(),
+        "0".to_string(),
+        "0".to_string(),
+        "no".to_string(),
+    ]);
+    t.row(vec![
+        "Hemlock".to_string(),
+        words(core::mem::size_of::<Hemlock>()),
+        "0".to_string(),
+        "0".to_string(),
+        "1 (Grant word, padded)".to_string(),
+        "no".to_string(),
+    ]);
+    print!("{}", if args.has("csv") { t.to_csv() } else { t.render() });
+
+    println!();
+    println!("# Worked example from §2.3: lock L owned by T1 with T2, T3 waiting:");
+    let mcs = core::mem::size_of::<McsLock>() + 3 * McsLock::ELEMENT_BYTES;
+    let hemlock = core::mem::size_of::<Hemlock>() + 3 * core::mem::size_of::<GrantCell>();
+    println!("#   MCS:     {} (2-word body) + 3*E = {mcs} bytes", core::mem::size_of::<McsLock>());
+    println!(
+        "#   Hemlock: {} (1-word body) + 3 thread Grant words = {hemlock} bytes \
+         (Grant is per-THREAD, amortized over all locks; the marginal cost of this lock is {} bytes)",
+        core::mem::size_of::<Hemlock>(),
+        core::mem::size_of::<Hemlock>()
+    );
+    println!("# Cache line: {CACHE_LINE} bytes");
+}

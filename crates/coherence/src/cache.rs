@@ -1,0 +1,435 @@
+//! Invalidation-based cache-coherence model (MESI / MESIF / MOESI).
+//!
+//! One private cache per core, infinite capacity (the benchmark working
+//! sets are tiny — the paper notes §5.5 that offcore accesses there "largely
+//! reflect cache coherent communications arising from acquiring and
+//! releasing the lock", i.e. coherence misses, not capacity misses).
+//!
+//! Counted events per core:
+//!
+//! - `offcore_reads` — demand data reads that missed (the
+//!   `offcore_requests.all_data_rd` component of the paper's Table 2
+//!   metric);
+//! - `offcore_rfo` — reads-for-ownership: write/RMW misses *and* S→M
+//!   upgrades (`offcore_requests.demand_rfo`);
+//! - `writebacks` — dirty lines pushed to memory on a read snoop
+//!   (MESI/MESIF only; MOESI keeps them in O state);
+//! - `dirty_transfers` — cache-to-cache supplies of modified data (the
+//!   "load hits on a line in M-state in another core's cache" events the
+//!   paper's §5.5 footnote mentions).
+//!
+//! RMW operations (CAS/SWAP/FAA) always demand exclusive ownership — on x86
+//! even a failing `LOCK CMPXCHG` performs an RFO. This single fact is what
+//! makes the CTR optimization visible in the model: a polling CAS *keeps*
+//! the line in M state in the waiter's cache, so the eventual successful
+//! poll needs no upgrade transaction, while a polling load leaves the line
+//! in S state and pays an upgrade RFO to clear the Grant field.
+
+use hemlock_simlock::AccessKind;
+use std::collections::HashMap;
+
+/// Coherence protocol flavor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Protocol {
+    /// Modified / Exclusive / Shared / Invalid (classic Intel pre-MESIF).
+    Mesi,
+    /// MESI + Forward state (modern Intel, as on the paper's Xeon X5-2).
+    Mesif,
+    /// MESI + Owned state (SPARC M7, AMD EPYC — the paper's other testbeds).
+    Moesi,
+}
+
+/// Per-core state of one cache line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LineState {
+    /// Modified: sole valid copy, dirty.
+    M,
+    /// Owned (MOESI): dirty but shared; this cache services requests.
+    O,
+    /// Exclusive: sole copy, clean.
+    E,
+    /// Shared.
+    S,
+    /// Forward (MESIF): shared, designated responder.
+    F,
+    /// Invalid / not present.
+    I,
+}
+
+/// Event counters for one core.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CoreStats {
+    /// Loads executed.
+    pub loads: u64,
+    /// Stores executed.
+    pub stores: u64,
+    /// RMWs executed.
+    pub rmws: u64,
+    /// Demand data-read misses.
+    pub offcore_reads: u64,
+    /// Reads-for-ownership (write misses + upgrades).
+    pub offcore_rfo: u64,
+    /// Dirty writebacks to memory.
+    pub writebacks: u64,
+    /// Modified lines supplied cache-to-cache.
+    pub dirty_transfers: u64,
+}
+
+impl CoreStats {
+    /// The paper's Table 2 "OffCore" metric: data reads + RFOs.
+    pub fn offcore_total(&self) -> u64 {
+        self.offcore_reads + self.offcore_rfo
+    }
+
+    /// Merges another core's counters into this one.
+    pub fn merge(&mut self, other: &CoreStats) {
+        self.loads += other.loads;
+        self.stores += other.stores;
+        self.rmws += other.rmws;
+        self.offcore_reads += other.offcore_reads;
+        self.offcore_rfo += other.offcore_rfo;
+        self.writebacks += other.writebacks;
+        self.dirty_transfers += other.dirty_transfers;
+    }
+}
+
+/// The multi-core cache model.
+#[derive(Clone, Debug)]
+pub struct CacheModel {
+    protocol: Protocol,
+    cores: usize,
+    lines: HashMap<usize, Vec<LineState>>,
+    stats: Vec<CoreStats>,
+}
+
+impl CacheModel {
+    /// New model with `cores` private caches.
+    pub fn new(protocol: Protocol, cores: usize) -> Self {
+        Self {
+            protocol,
+            cores,
+            lines: HashMap::new(),
+            stats: vec![CoreStats::default(); cores],
+        }
+    }
+
+    /// Per-core statistics.
+    pub fn stats(&self) -> &[CoreStats] {
+        &self.stats
+    }
+
+    /// Sum of all cores' statistics.
+    pub fn total(&self) -> CoreStats {
+        let mut t = CoreStats::default();
+        for s in &self.stats {
+            t.merge(s);
+        }
+        t
+    }
+
+    /// State of `line` in `core`'s cache.
+    pub fn state(&self, core: usize, line: usize) -> LineState {
+        self.lines
+            .get(&line)
+            .map(|v| v[core])
+            .unwrap_or(LineState::I)
+    }
+
+    fn entry(&mut self, line: usize) -> &mut Vec<LineState> {
+        let cores = self.cores;
+        self.lines
+            .entry(line)
+            .or_insert_with(|| vec![LineState::I; cores])
+    }
+
+    /// Simulates one access by `core` to `line`.
+    pub fn access(&mut self, core: usize, line: usize, kind: AccessKind) {
+        match kind {
+            AccessKind::Load => self.stats[core].loads += 1,
+            AccessKind::Store => self.stats[core].stores += 1,
+            AccessKind::Rmw => self.stats[core].rmws += 1,
+        }
+        match kind {
+            AccessKind::Load => self.read(core, line),
+            AccessKind::Store | AccessKind::Rmw => self.write(core, line),
+        }
+    }
+
+    fn read(&mut self, core: usize, line: usize) {
+        let protocol = self.protocol;
+        let states = self.entry(line);
+        match states[core] {
+            LineState::M | LineState::O | LineState::E | LineState::S | LineState::F => {
+                // Hit.
+            }
+            LineState::I => {
+                let mut others_have_copy = false;
+                let mut dirty_supplier = false;
+                for (c, st) in states.iter_mut().enumerate() {
+                    if c == core {
+                        continue;
+                    }
+                    match *st {
+                        LineState::M => {
+                            dirty_supplier = true;
+                            others_have_copy = true;
+                            *st = match protocol {
+                                // MESI/MESIF: dirty data written back, line
+                                // demoted to Shared.
+                                Protocol::Mesi | Protocol::Mesif => LineState::S,
+                                // MOESI: supplier keeps it dirty in O.
+                                Protocol::Moesi => LineState::O,
+                            };
+                        }
+                        LineState::O => {
+                            dirty_supplier = true;
+                            others_have_copy = true;
+                        }
+                        LineState::E => {
+                            others_have_copy = true;
+                            *st = LineState::S;
+                        }
+                        LineState::F => {
+                            others_have_copy = true;
+                            // The requester becomes the new forwarder.
+                            *st = LineState::S;
+                        }
+                        LineState::S => {
+                            others_have_copy = true;
+                        }
+                        LineState::I => {}
+                    }
+                }
+                states[core] = if !others_have_copy {
+                    LineState::E
+                } else if protocol == Protocol::Mesif {
+                    LineState::F
+                } else {
+                    LineState::S
+                };
+                self.stats[core].offcore_reads += 1;
+                if dirty_supplier {
+                    self.stats[core].dirty_transfers += 1;
+                    if protocol != Protocol::Moesi {
+                        self.stats[core].writebacks += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn write(&mut self, core: usize, line: usize) {
+        let states = self.entry(line);
+        match states[core] {
+            LineState::M => {
+                // Hit in M: free. This is the CTR steady state.
+            }
+            LineState::E => {
+                // Silent upgrade.
+                states[core] = LineState::M;
+            }
+            LineState::S | LineState::F | LineState::O => {
+                // Upgrade: invalidate every other copy.
+                for (c, st) in states.iter_mut().enumerate() {
+                    if c != core {
+                        *st = LineState::I;
+                    }
+                }
+                states[core] = LineState::M;
+                self.stats[core].offcore_rfo += 1;
+            }
+            LineState::I => {
+                let mut dirty_supplier = false;
+                for (c, st) in states.iter_mut().enumerate() {
+                    if c == core {
+                        continue;
+                    }
+                    if matches!(*st, LineState::M | LineState::O) {
+                        dirty_supplier = true;
+                    }
+                    *st = LineState::I;
+                }
+                states[core] = LineState::M;
+                self.stats[core].offcore_rfo += 1;
+                if dirty_supplier {
+                    self.stats[core].dirty_transfers += 1;
+                }
+            }
+        }
+    }
+
+    /// Protocol invariant: at most one M/E owner; M/E excludes any other
+    /// valid copy; at most one O; at most one F.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (line, states) in &self.lines {
+            let m = states.iter().filter(|s| matches!(s, LineState::M)).count();
+            let e = states.iter().filter(|s| matches!(s, LineState::E)).count();
+            let o = states.iter().filter(|s| matches!(s, LineState::O)).count();
+            let f = states.iter().filter(|s| matches!(s, LineState::F)).count();
+            let valid = states.iter().filter(|s| !matches!(s, LineState::I)).count();
+            if m + e > 1 || ((m + e == 1) && valid > 1) {
+                return Err(format!("line {line}: M/E not exclusive: {states:?}"));
+            }
+            if o > 1 {
+                return Err(format!("line {line}: multiple O holders: {states:?}"));
+            }
+            if f > 1 {
+                return Err(format!("line {line}: multiple F holders: {states:?}"));
+            }
+            if self.protocol != Protocol::Moesi && o > 0 {
+                return Err(format!("line {line}: O state outside MOESI"));
+            }
+            if self.protocol != Protocol::Mesif && f > 0 {
+                return Err(format!("line {line}: F state outside MESIF"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hemlock_simlock::AccessKind::{Load, Rmw, Store};
+
+    #[test]
+    fn cold_read_is_exclusive() {
+        let mut c = CacheModel::new(Protocol::Mesi, 2);
+        c.access(0, 7, Load);
+        assert_eq!(c.state(0, 7), LineState::E);
+        assert_eq!(c.stats()[0].offcore_reads, 1);
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn second_reader_shares() {
+        let mut c = CacheModel::new(Protocol::Mesi, 2);
+        c.access(0, 7, Load);
+        c.access(1, 7, Load);
+        assert_eq!(c.state(0, 7), LineState::S);
+        assert_eq!(c.state(1, 7), LineState::S);
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn mesif_grants_forward_state() {
+        let mut c = CacheModel::new(Protocol::Mesif, 3);
+        c.access(0, 7, Load);
+        c.access(1, 7, Load);
+        assert_eq!(c.state(1, 7), LineState::F);
+        c.access(2, 7, Load);
+        assert_eq!(c.state(2, 7), LineState::F);
+        assert_eq!(c.state(1, 7), LineState::S);
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn store_hit_in_m_is_free() {
+        let mut c = CacheModel::new(Protocol::Mesi, 2);
+        c.access(0, 7, Store);
+        let rfo_after_first = c.stats()[0].offcore_rfo;
+        c.access(0, 7, Store);
+        c.access(0, 7, Rmw);
+        assert_eq!(c.stats()[0].offcore_rfo, rfo_after_first);
+    }
+
+    #[test]
+    fn upgrade_from_shared_is_rfo() {
+        let mut c = CacheModel::new(Protocol::Mesi, 2);
+        c.access(0, 7, Load);
+        c.access(1, 7, Load); // both S
+        c.access(0, 7, Store);
+        assert_eq!(c.stats()[0].offcore_rfo, 1);
+        assert_eq!(c.state(1, 7), LineState::I, "other copy invalidated");
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn silent_e_to_m_upgrade() {
+        let mut c = CacheModel::new(Protocol::Mesi, 2);
+        c.access(0, 7, Load); // E
+        c.access(0, 7, Store); // silent
+        assert_eq!(c.state(0, 7), LineState::M);
+        assert_eq!(c.stats()[0].offcore_rfo, 0);
+    }
+
+    #[test]
+    fn read_of_modified_line_writes_back_on_mesi_not_moesi() {
+        let mut mesi = CacheModel::new(Protocol::Mesi, 2);
+        mesi.access(0, 7, Store);
+        mesi.access(1, 7, Load);
+        assert_eq!(mesi.stats()[1].writebacks, 1);
+        assert_eq!(mesi.state(0, 7), LineState::S);
+
+        let mut moesi = CacheModel::new(Protocol::Moesi, 2);
+        moesi.access(0, 7, Store);
+        moesi.access(1, 7, Load);
+        assert_eq!(moesi.stats()[1].writebacks, 0, "MOESI keeps dirty data in O");
+        assert_eq!(moesi.state(0, 7), LineState::O);
+        moesi.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn failed_cas_still_takes_ownership() {
+        // The modeling decision CTR rests on: an RMW takes the line to M
+        // whether or not the CAS succeeds logically.
+        let mut c = CacheModel::new(Protocol::Mesif, 2);
+        c.access(0, 7, Rmw);
+        assert_eq!(c.state(0, 7), LineState::M);
+        c.access(1, 7, Rmw);
+        assert_eq!(c.state(1, 7), LineState::M);
+        assert_eq!(c.state(0, 7), LineState::I);
+        assert_eq!(c.stats()[1].offcore_rfo, 1);
+        assert_eq!(c.stats()[1].dirty_transfers, 1);
+    }
+
+    #[test]
+    fn ctr_pattern_beats_load_pattern_on_a_mailbox() {
+        // Microcosm of §2.1: producer stores, consumer observes and clears.
+        // Load-polling pays read-miss + upgrade; RMW-polling pays one RFO.
+        let hop = |poll_rmw: bool| -> u64 {
+            let mut c = CacheModel::new(Protocol::Mesif, 2);
+            // Warm up: consumer polls empty mailbox once (steady state).
+            c.access(1, 7, if poll_rmw { Rmw } else { Load });
+            let warm = c.total().offcore_total();
+            // Producer publishes.
+            c.access(0, 7, Store);
+            // Consumer observes...
+            c.access(1, 7, if poll_rmw { Rmw } else { Load });
+            // ...and clears (RMW polling already owns the line).
+            if !poll_rmw {
+                c.access(1, 7, Store);
+            }
+            c.total().offcore_total() - warm
+        };
+        let naive = hop(false);
+        let ctr = hop(true);
+        assert!(ctr < naive, "CTR hop ({ctr}) must beat load hop ({naive})");
+    }
+
+    #[test]
+    fn multiwaiting_rmw_polling_ping_pongs() {
+        // §5.6: under multi-waiting, CTR polling makes the line bounce
+        // between caches in M state — every poll is an RFO.
+        let mut c = CacheModel::new(Protocol::Mesif, 3);
+        c.access(1, 7, Rmw);
+        c.access(2, 7, Rmw);
+        let before = c.total().offcore_total();
+        for _ in 0..10 {
+            c.access(1, 7, Rmw);
+            c.access(2, 7, Rmw);
+        }
+        assert_eq!(c.total().offcore_total() - before, 20, "every poll an RFO");
+
+        // Load polling settles into S for everyone: no further traffic.
+        let mut c = CacheModel::new(Protocol::Mesif, 3);
+        c.access(1, 7, Load);
+        c.access(2, 7, Load);
+        let before = c.total().offcore_total();
+        for _ in 0..10 {
+            c.access(1, 7, Load);
+            c.access(2, 7, Load);
+        }
+        assert_eq!(c.total().offcore_total(), before, "shared polls are free");
+    }
+}

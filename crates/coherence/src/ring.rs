@@ -1,0 +1,159 @@
+//! The §5.5 token-ring microbenchmark, in the cache model.
+//!
+//! "A set of concurrent threads are configured in a ring, and circulate a
+//! single token. A thread waits for its mailbox to become non-zero, clears
+//! the mailbox, and deposits the token in its successor's mailbox. Using
+//! CAS, SWAP or Fetch-and-Add to busy-wait improves the circulation rate as
+//! compared to the naive form which uses loads."
+//!
+//! Each mailbox sits on its own line. The experiment measures offcore
+//! events per hop for each waiting primitive.
+
+use crate::cache::{CacheModel, Protocol};
+use hemlock_simlock::AccessKind;
+
+/// How a ring thread busy-waits on its mailbox.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WaitMode {
+    /// Plain loads; clear with a store after observing the token.
+    Load,
+    /// CAS(token → 0): observe and clear in one owned-line RMW.
+    Cas,
+    /// SWAP(0): unconditional exchange; re-deposit if it grabbed nothing.
+    Swap,
+    /// FAA(0) read-for-ownership; clear with a store (line already owned).
+    Faa,
+}
+
+impl WaitMode {
+    /// All modes, reporting order.
+    pub const ALL: [WaitMode; 4] = [WaitMode::Load, WaitMode::Cas, WaitMode::Swap, WaitMode::Faa];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            WaitMode::Load => "Load",
+            WaitMode::Cas => "CAS",
+            WaitMode::Swap => "SWAP",
+            WaitMode::Faa => "FAA",
+        }
+    }
+}
+
+/// Result of a ring run.
+#[derive(Clone, Debug)]
+pub struct RingStats {
+    /// Waiting primitive used.
+    pub mode: WaitMode,
+    /// Completed hops (mailbox hand-offs).
+    pub hops: u64,
+    /// Total offcore events.
+    pub offcore: u64,
+}
+
+impl RingStats {
+    /// Offcore events per hop.
+    pub fn offcore_per_hop(&self) -> f64 {
+        self.offcore as f64 / self.hops as f64
+    }
+}
+
+/// Simulates `laps` circulations of the token around `threads` mailboxes,
+/// with `idle_polls` failed polls by each waiting thread between hops
+/// (modeling the window in which waiters poll while the token is
+/// elsewhere).
+pub fn ring(threads: usize, laps: u64, idle_polls: u32, mode: WaitMode, protocol: Protocol) -> RingStats {
+    assert!(threads >= 2);
+    let mut cache = CacheModel::new(protocol, threads);
+    let mailbox = |t: usize| t; // line per mailbox
+    let mut hops = 0u64;
+
+    // Everyone starts by polling their empty mailbox once (cold state).
+    for t in 0..threads {
+        poll(&mut cache, t, mailbox(t), mode);
+    }
+    let baseline = cache.total().offcore_total();
+
+    for _ in 0..laps {
+        for holder in 0..threads {
+            let next = (holder + 1) % threads;
+            // The waiting thread polls fruitlessly while the token is away.
+            for _ in 0..idle_polls {
+                poll(&mut cache, next, mailbox(next), mode);
+            }
+            // Holder deposits the token in the successor's mailbox.
+            cache.access(holder, mailbox(next), AccessKind::Store);
+            // Successor observes it...
+            poll(&mut cache, next, mailbox(next), mode);
+            // ...and clears it. With RMW polling the line is already in M
+            // (CAS clears as part of the successful poll; FAA/SWAP leave the
+            // line owned so the store is free).
+            if mode == WaitMode::Load {
+                cache.access(next, mailbox(next), AccessKind::Store);
+            }
+            hops += 1;
+        }
+    }
+    RingStats {
+        mode,
+        hops,
+        offcore: cache.total().offcore_total() - baseline,
+    }
+}
+
+fn poll(cache: &mut CacheModel, core: usize, line: usize, mode: WaitMode) {
+    let kind = match mode {
+        WaitMode::Load => AccessKind::Load,
+        WaitMode::Cas | WaitMode::Swap | WaitMode::Faa => AccessKind::Rmw,
+    };
+    cache.access(core, line, kind);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmw_waiting_beats_load_waiting() {
+        // §5.5's claim, per-hop: each RMW mode needs fewer offcore events
+        // than load polling.
+        let load = ring(8, 50, 3, WaitMode::Load, Protocol::Mesif);
+        for mode in [WaitMode::Cas, WaitMode::Swap, WaitMode::Faa] {
+            let rmw = ring(8, 50, 3, mode, Protocol::Mesif);
+            assert!(
+                rmw.offcore_per_hop() < load.offcore_per_hop(),
+                "{:?} ({}) must beat Load ({})",
+                mode,
+                rmw.offcore_per_hop(),
+                load.offcore_per_hop()
+            );
+        }
+    }
+
+    #[test]
+    fn idle_polls_are_free_in_both_modes() {
+        // Extra fruitless polls must not add offcore traffic in steady
+        // state: loads sit in S, RMWs keep the line in M (single waiter).
+        let few = ring(4, 50, 1, WaitMode::Cas, Protocol::Mesif);
+        let many = ring(4, 50, 50, WaitMode::Cas, Protocol::Mesif);
+        assert_eq!(few.offcore, many.offcore);
+        let few = ring(4, 50, 1, WaitMode::Load, Protocol::Mesif);
+        let many = ring(4, 50, 50, WaitMode::Load, Protocol::Mesif);
+        assert_eq!(few.offcore, many.offcore);
+    }
+
+    #[test]
+    fn hop_counts_scale_with_threads_and_laps() {
+        let s = ring(5, 10, 2, WaitMode::Faa, Protocol::Mesif);
+        assert_eq!(s.hops, 50);
+    }
+
+    #[test]
+    fn works_on_all_protocols() {
+        for p in [Protocol::Mesi, Protocol::Mesif, Protocol::Moesi] {
+            let load = ring(4, 20, 2, WaitMode::Load, p);
+            let cas = ring(4, 20, 2, WaitMode::Cas, p);
+            assert!(cas.offcore_per_hop() <= load.offcore_per_hop(), "{p:?}");
+        }
+    }
+}

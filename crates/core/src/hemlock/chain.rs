@@ -1,0 +1,307 @@
+//! Appendix C: the waiting-element chain variant.
+//!
+//! "To allow purely local spinning and enable the use of park-unpark waiting
+//! constructs, we can replace the per-thread Grant field with a per-thread
+//! pointer to a chain of waiting elements, each of which represents a
+//! waiting thread. The elements on T's chain are T's immediate successors
+//! for various locks. Waiting elements contain a next field, a flag and a
+//! reference to the lock being waited on and can be allocated on-stack.
+//! Instead of busy waiting on the predecessor's Grant field, waiting threads
+//! use CAS to push their element onto the predecessor's chain, and then
+//! busy-wait on the flag in their element. The contended unlock(L) operator
+//! detaches the thread's own chain, using SWAP of null, traverses the
+//! detached chain, and sets the flag in the element that references L. (At
+//! most one element will reference L). Any residual non-matching elements
+//! are returned to the chain. The detach-and-scan phase repeats until a
+//! matching successor is found and ownership is transferred."
+//!
+//! Because every waiter spins (or parks) on a flag in its *own* stack
+//! element, this variant restores strictly local spinning even under
+//! multi-waiting, and the element's `Thread` handle makes park/unpark
+//! trivial — the two things the plain Grant protocol gives up.
+
+use crate::hemlock::lock_id;
+use crate::raw::{RawLock, RawTryLock};
+use crate::registry::{slot_tls, Slot};
+use crate::spin::SpinWait;
+use core::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::thread::Thread;
+
+/// Spins on the element flag before parking.
+const SPINS_BEFORE_PARK: u32 = 256;
+
+/// Per-thread chain head: T's immediate successors across all locks.
+#[repr(align(128))]
+pub struct ChainCell {
+    head: AtomicUsize,
+}
+
+impl Slot for ChainCell {
+    fn new() -> Self {
+        Self {
+            head: AtomicUsize::new(0),
+        }
+    }
+    fn quiescent(&self) -> bool {
+        // The chain drains before the last unlock returns; a non-empty chain
+        // means some lock this thread holds is still contended.
+        self.head.load(Ordering::Acquire) == 0
+    }
+}
+
+impl ChainCell {
+    #[inline]
+    fn addr(&self) -> usize {
+        self as *const Self as usize
+    }
+    /// # Safety: `addr` must come from a live `ChainCell`.
+    #[inline]
+    unsafe fn from_addr<'a>(addr: usize) -> &'a ChainCell {
+        &*(addr as *const ChainCell)
+    }
+}
+
+/// A waiting element, allocated on the waiter's stack. Live until `granted`
+/// is set; the unlocker must read everything it needs (the `Thread` handle)
+/// *before* setting the flag.
+struct WaitElement {
+    /// Next element in the predecessor's chain (managed by whoever owns the
+    /// list: the pusher until the CAS publishes, the detacher afterwards).
+    next: AtomicUsize,
+    /// Address of the lock this element waits for.
+    lock: usize,
+    /// Set by the releasing owner to transfer ownership.
+    granted: AtomicBool,
+    /// Handle used to unpark the waiter.
+    thread: Thread,
+}
+
+slot_tls!(ChainCell);
+
+/// Hemlock with per-waiter chain elements (Appendix C): purely local
+/// spinning and park/unpark support.
+pub struct HemlockChain {
+    tail: AtomicUsize,
+}
+
+impl HemlockChain {
+    /// Creates an unlocked lock.
+    pub const fn new() -> Self {
+        Self {
+            tail: AtomicUsize::new(0),
+        }
+    }
+
+    /// Raw view of the `Tail` word.
+    #[doc(hidden)]
+    pub fn tail_word(&self) -> usize {
+        self.tail.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for HemlockChain {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Pushes `elem` onto `cell`'s chain (lock-free stack push).
+fn push_element(cell: &ChainCell, elem: &WaitElement) {
+    let addr = elem as *const WaitElement as usize;
+    let mut head = cell.head.load(Ordering::Relaxed);
+    loop {
+        elem.next.store(head, Ordering::Relaxed);
+        match cell
+            .head
+            .compare_exchange_weak(head, addr, Ordering::AcqRel, Ordering::Relaxed)
+        {
+            Ok(_) => return,
+            Err(h) => head = h,
+        }
+    }
+}
+
+/// Re-attaches a detached sublist (`first..=last`) to `cell`'s chain.
+///
+/// Safety: the caller exclusively owns the detached sublist.
+unsafe fn push_list(cell: &ChainCell, first: usize, last: &WaitElement) {
+    let mut head = cell.head.load(Ordering::Relaxed);
+    loop {
+        last.next.store(head, Ordering::Relaxed);
+        match cell
+            .head
+            .compare_exchange_weak(head, first, Ordering::AcqRel, Ordering::Relaxed)
+        {
+            Ok(_) => return,
+            Err(h) => head = h,
+        }
+    }
+}
+
+unsafe impl RawLock for HemlockChain {
+    const NAME: &'static str = "Hemlock+Chain";
+    const LOCK_WORDS: usize = 1;
+    const FIFO: bool = true;
+
+    fn lock(&self) {
+        with_self(|me| {
+            let pred = self.tail.swap(me.addr(), Ordering::AcqRel);
+            if pred == 0 {
+                return;
+            }
+            // Safety: predecessor cells outlive their queue engagement.
+            let pred = unsafe { ChainCell::from_addr(pred) };
+            let elem = WaitElement {
+                next: AtomicUsize::new(0),
+                lock: lock_id(self),
+                granted: AtomicBool::new(false),
+                thread: std::thread::current(),
+            };
+            push_element(pred, &elem);
+            // Purely local waiting: spin briefly on our own element's flag,
+            // then park. Unpark tokens are sticky, so the set-flag/unpark
+            // sequence in unlock cannot be lost.
+            let mut polls = 0u32;
+            while !elem.granted.load(Ordering::Acquire) {
+                if polls < SPINS_BEFORE_PARK {
+                    core::hint::spin_loop();
+                    polls += 1;
+                } else {
+                    std::thread::park();
+                }
+            }
+        });
+    }
+
+    unsafe fn unlock(&self) {
+        with_self(|me| {
+            if self
+                .tail
+                .compare_exchange(me.addr(), 0, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                return;
+            }
+            // A successor exists (it swapped Tail) but may not have pushed
+            // its element yet: detach-and-scan until it shows up. Residual
+            // elements (waiters for other locks we hold) are accumulated
+            // locally and re-attached before the handover.
+            let l = lock_id(self);
+            let mut kept_first: usize = 0;
+            let mut kept_last: usize = 0;
+            let mut spin = SpinWait::new();
+            let matched: &WaitElement = loop {
+                let mut cursor = me.head.swap(0, Ordering::AcqRel);
+                let mut found = None;
+                while cursor != 0 {
+                    // Safety: we exclusively own the detached list; elements
+                    // stay live until their granted flag is set.
+                    let e = &*(cursor as *const WaitElement);
+                    let next = e.next.load(Ordering::Relaxed);
+                    if e.lock == l && found.is_none() {
+                        found = Some(e);
+                    } else {
+                        // Prepend to the kept list.
+                        e.next.store(kept_first, Ordering::Relaxed);
+                        kept_first = cursor;
+                        if kept_last == 0 {
+                            kept_last = cursor;
+                        }
+                    }
+                    cursor = next;
+                }
+                if let Some(e) = found {
+                    break e;
+                }
+                spin.wait();
+            };
+            if kept_first != 0 {
+                // Safety: kept list is exclusively ours until re-attached.
+                push_list(me, kept_first, &*(kept_last as *const WaitElement));
+            }
+            // Transfer ownership. Clone the handle first: the element may
+            // vanish (waiter returns, stack frame dies) the instant the flag
+            // is visible.
+            let successor = matched.thread.clone();
+            matched.granted.store(true, Ordering::Release);
+            successor.unpark();
+        });
+    }
+}
+
+unsafe impl RawTryLock for HemlockChain {
+    fn try_lock(&self) -> bool {
+        with_self(|me| {
+            self.tail
+                .compare_exchange(0, me.addr(), Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    crate::hemlock::lock_family_tests!(super::HemlockChain);
+
+    #[test]
+    fn parked_waiter_wakes() {
+        use std::sync::Arc;
+        let l = Arc::new(HemlockChain::new());
+        l.lock();
+        let before = l.tail_word();
+        let w = {
+            let l = Arc::clone(&l);
+            std::thread::spawn(move || {
+                l.lock();
+                unsafe { l.unlock() };
+            })
+        };
+        while l.tail_word() == before {
+            std::thread::yield_now();
+        }
+        // Sleep well past SPINS_BEFORE_PARK so the waiter truly parks.
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        unsafe { l.unlock() };
+        w.join().unwrap();
+        assert_eq!(l.tail_word(), 0);
+    }
+
+    #[test]
+    fn residual_elements_survive_multilock_release() {
+        use std::sync::atomic::{AtomicUsize as AU, Ordering};
+        use std::sync::Arc;
+        // Main holds L1 and L2; one waiter per lock pushes onto main's
+        // chain. Releasing L2 must scan past (and keep) the L1 element.
+        let l1 = Arc::new(HemlockChain::new());
+        let l2 = Arc::new(HemlockChain::new());
+        let got = Arc::new(AU::new(0));
+        l1.lock();
+        l2.lock();
+        let spawn = |l: &Arc<HemlockChain>, bit: usize| {
+            let (l, got) = (Arc::clone(l), Arc::clone(&got));
+            let before = l.tail_word();
+            let h = std::thread::spawn(move || {
+                l.lock();
+                got.fetch_or(bit, Ordering::AcqRel);
+                unsafe { l.unlock() };
+            });
+            (h, before)
+        };
+        let (w1, b1) = spawn(&l1, 1);
+        while l1.tail_word() == b1 {
+            std::thread::yield_now();
+        }
+        let (w2, b2) = spawn(&l2, 2);
+        while l2.tail_word() == b2 {
+            std::thread::yield_now();
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        unsafe { l2.unlock() };
+        w2.join().unwrap();
+        assert_eq!(got.load(Ordering::Acquire), 2, "only the L2 waiter woke");
+        unsafe { l1.unlock() };
+        w1.join().unwrap();
+        assert_eq!(got.load(Ordering::Acquire), 3);
+    }
+}

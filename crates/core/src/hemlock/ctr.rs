@@ -1,0 +1,264 @@
+//! Listing 2: Hemlock with the Coherence Traffic Reduction (CTR)
+//! optimization — the paper's default configuration.
+//!
+//! ```text
+//! Lock(L):   pred = SWAP(&L.Tail, Self)
+//!            if pred != null:
+//!                while CAS(&pred.Grant, L, null) != L: Pause
+//! Unlock(L): if CAS(&L.Tail, Self, null) != Self:
+//!                Self.Grant = L
+//!                while FetchAdd(&Self.Grant, 0) != null: Pause
+//! ```
+//!
+//! Polling with `CAS` (a read-*modify*-write) instead of plain loads means
+//! that, the moment the hand-over value is observed, the spun-on line is
+//! already in M-state in the waiter's cache — the S→M upgrade transaction
+//! that a load-then-store handshake would incur on MESI/MESIF machines is
+//! eliminated from the handover critical path (§2.1). The unlock-side wait
+//! uses `FetchAdd(Grant, 0)` for the same reason: this thread will write
+//! `Grant` again in subsequent unlocks.
+
+use crate::hemlock::lock_id;
+use crate::raw::{RawLock, RawTryLock};
+use crate::registry::{slot_tls, GrantCell};
+use crate::spin::SpinWait;
+use core::sync::atomic::{AtomicUsize, Ordering};
+
+slot_tls!(GrantCell);
+
+/// Hemlock with the CTR optimization (Listing 2). This is the variant the
+/// paper reports as "Hemlock" in all figures and tables.
+pub struct Hemlock {
+    tail: AtomicUsize,
+}
+
+impl Hemlock {
+    /// Creates an unlocked lock (one word — Table 1).
+    pub const fn new() -> Self {
+        Self {
+            tail: AtomicUsize::new(0),
+        }
+    }
+
+    /// Raw view of the `Tail` word (tests, instrumentation).
+    #[doc(hidden)]
+    pub fn tail_word(&self) -> usize {
+        self.tail.load(Ordering::Relaxed)
+    }
+
+    /// Acquires with an explicit Grant cell.
+    ///
+    /// # Safety
+    ///
+    /// `me` must hold null, must not be concurrently used by another
+    /// in-flight acquisition of any lock in this family, and must stay live
+    /// and in place until the matching [`Self::unlock_with`] returns.
+    pub unsafe fn lock_with(&self, me: &GrantCell) {
+        debug_assert_eq!(me.load(Ordering::Relaxed), 0);
+        let pred = self.tail.swap(me.addr(), Ordering::AcqRel);
+        if pred != 0 {
+            let pred = GrantCell::from_addr(pred);
+            let l = lock_id(self);
+            let mut spin = SpinWait::new();
+            // CTR busy-wait: the successful CAS both observes the handover
+            // and acks it (restores null) in one owned-line operation.
+            while pred
+                .compare_exchange_weak(l, 0, Ordering::AcqRel, Ordering::Relaxed)
+                .is_err()
+            {
+                spin.wait();
+            }
+        }
+        debug_assert_ne!(self.tail.load(Ordering::Relaxed), 0);
+    }
+
+    /// Trylock via CAS on `Tail` instead of the unconditional SWAP.
+    ///
+    /// # Safety
+    ///
+    /// As for [`Self::lock_with`].
+    pub unsafe fn try_lock_with(&self, me: &GrantCell) -> bool {
+        debug_assert_eq!(me.load(Ordering::Relaxed), 0);
+        self.tail
+            .compare_exchange(0, me.addr(), Ordering::AcqRel, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    /// Releases with an explicit Grant cell.
+    ///
+    /// # Safety
+    ///
+    /// The caller must hold the lock, acquired with the same `me` cell.
+    pub unsafe fn unlock_with(&self, me: &GrantCell) {
+        debug_assert_eq!(me.load(Ordering::Relaxed), 0);
+        if self
+            .tail
+            .compare_exchange(me.addr(), 0, Ordering::AcqRel, Ordering::Relaxed)
+            .is_err()
+        {
+            me.store(lock_id(self), Ordering::Release);
+            let mut spin = SpinWait::new();
+            // CTR on the unlock side too (Listing 2 line 15): poll with
+            // FetchAdd(0) so the line stays in M-state for our next unlock.
+            while me.read_for_ownership(Ordering::AcqRel) != 0 {
+                spin.wait();
+            }
+        }
+    }
+
+    /// Runs `f` under the lock using an **on-stack Grant field** (§2.3).
+    ///
+    /// For lock sites where the acquire and release are lexically scoped, the
+    /// paper notes an implementation "can opt to use an on-stack Grant field
+    /// instead of the thread-local Grant field accessed via Self. This
+    /// optimization [...] also acts to reduce multi-waiting on the
+    /// thread-local Grant field." The closure shape guarantees the stack cell
+    /// outlives its queue engagement, including on panic.
+    pub fn with_stack_grant<R>(&self, f: impl FnOnce() -> R) -> R {
+        let me = GrantCell::new();
+        // Safety: `me` is fresh (null), used by exactly this acquisition, and
+        // the unlock guard below runs before `me` leaves scope.
+        unsafe { self.lock_with(&me) };
+
+        struct UnlockOnDrop<'a> {
+            lock: &'a Hemlock,
+            me: &'a GrantCell,
+        }
+        impl Drop for UnlockOnDrop<'_> {
+            fn drop(&mut self) {
+                // Safety: the enclosing scope holds the lock via `me`.
+                // `unlock_with` waits for the successor's ack, so no thread
+                // touches `me` after this returns.
+                unsafe { self.lock.unlock_with(self.me) };
+            }
+        }
+        let _guard = UnlockOnDrop { lock: self, me: &me };
+        f()
+    }
+}
+
+impl Default for Hemlock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+unsafe impl RawLock for Hemlock {
+    const NAME: &'static str = "Hemlock";
+    const LOCK_WORDS: usize = 1;
+    const FIFO: bool = true;
+
+    fn lock(&self) {
+        with_self(|me| unsafe { self.lock_with(me) })
+    }
+
+    unsafe fn unlock(&self) {
+        with_self(|me| self.unlock_with(me))
+    }
+}
+
+unsafe impl RawTryLock for Hemlock {
+    fn try_lock(&self) -> bool {
+        with_self(|me| unsafe { self.try_lock_with(me) })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    crate::hemlock::lock_family_tests!(super::Hemlock);
+
+    #[test]
+    fn lock_body_is_one_word() {
+        assert_eq!(
+            core::mem::size_of::<Hemlock>(),
+            core::mem::size_of::<usize>()
+        );
+    }
+
+    #[test]
+    fn stack_grant_uncontended() {
+        let l = Hemlock::new();
+        let r = l.with_stack_grant(|| 42);
+        assert_eq!(r, 42);
+        assert_eq!(l.tail_word(), 0);
+    }
+
+    #[test]
+    fn stack_grant_contended_with_tls_waiters() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        // Mixed usage: the paper explicitly allows heterogeneous
+        // per-site choice of stack vs thread-local Grant.
+        let l = Arc::new(Hemlock::new());
+        let counter = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|s| {
+            for who in 0..4 {
+                let l = Arc::clone(&l);
+                let counter = Arc::clone(&counter);
+                s.spawn(move || {
+                    for _ in 0..2_000 {
+                        if who % 2 == 0 {
+                            l.with_stack_grant(|| {
+                                counter.fetch_add(1, Ordering::Relaxed);
+                            });
+                        } else {
+                            l.lock();
+                            counter.fetch_add(1, Ordering::Relaxed);
+                            unsafe { l.unlock() };
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 8_000);
+    }
+
+    #[test]
+    fn stack_grant_unlocks_on_panic() {
+        let l = Hemlock::new();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            l.with_stack_grant(|| panic!("boom"))
+        }));
+        assert!(r.is_err());
+        // The drop guard released the lock during unwinding.
+        assert_eq!(l.tail_word(), 0);
+        l.lock();
+        unsafe { l.unlock() };
+    }
+
+    #[test]
+    fn fifo_admission_order() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+
+        let l = Arc::new(Hemlock::new());
+        let order = Arc::new(AtomicUsize::new(0));
+        let finish: Arc<Vec<AtomicUsize>> =
+            Arc::new((0..4).map(|_| AtomicUsize::new(usize::MAX)).collect());
+
+        l.lock();
+        let mut handles = Vec::new();
+        for i in 0..4 {
+            let prev_tail = l.tail_word();
+            let l2 = Arc::clone(&l);
+            let order2 = Arc::clone(&order);
+            let finish2 = Arc::clone(&finish);
+            handles.push(std::thread::spawn(move || {
+                l2.lock();
+                finish2[i].store(order2.fetch_add(1, Ordering::AcqRel), Ordering::Release);
+                unsafe { l2.unlock() };
+            }));
+            while l.tail_word() == prev_tail {
+                std::hint::spin_loop();
+            }
+        }
+        unsafe { l.unlock() };
+        for h in handles {
+            h.join().unwrap();
+        }
+        for i in 0..4 {
+            assert_eq!(finish[i].load(Ordering::Acquire), i);
+        }
+    }
+}

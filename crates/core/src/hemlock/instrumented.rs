@@ -1,0 +1,278 @@
+//! Instrumented Hemlock (CTR) used for the §5.4 application characterization.
+//!
+//! The paper: "Using an instrumented version of Hemlock we characterized the
+//! application behavior of LevelDB [...] we found 24 instances of calls to
+//! lock where a thread already held at least one other lock [...] The maximum
+//! number of locks held simultaneously by any thread was 2. The maximum
+//! number of threads waiting simultaneously on any Grant field was 1, thus
+//! the application enjoyed purely local spinning."
+//!
+//! This variant reproduces exactly those censuses: lock-while-holding events,
+//! the peak number of locks held by one thread, and the peak number of
+//! threads simultaneously busy-waiting on one Grant word (the multi-waiting
+//! degree of §2.2). Counters share the Grant cache line and add RMWs on the
+//! contended path, so use this variant to *characterize*, not to benchmark.
+
+use crate::hemlock::lock_id;
+use crate::raw::{RawLock, RawTryLock};
+use crate::registry::{slot_tls, Slot};
+use crate::spin::SpinWait;
+use core::cell::Cell;
+use core::fmt;
+use core::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Grant word plus a census of threads currently spinning on it.
+#[repr(align(128))]
+pub struct InstrCell {
+    grant: AtomicUsize,
+    waiters: AtomicUsize,
+}
+
+impl Slot for InstrCell {
+    fn new() -> Self {
+        Self {
+            grant: AtomicUsize::new(0),
+            waiters: AtomicUsize::new(0),
+        }
+    }
+    fn quiescent(&self) -> bool {
+        self.grant.load(Ordering::Acquire) == 0
+    }
+}
+
+impl InstrCell {
+    #[inline]
+    fn addr(&self) -> usize {
+        self as *const Self as usize
+    }
+    /// # Safety: `addr` must come from a live `InstrCell`.
+    #[inline]
+    unsafe fn from_addr<'a>(addr: usize) -> &'a InstrCell {
+        &*(addr as *const InstrCell)
+    }
+}
+
+slot_tls!(InstrCell);
+
+std::thread_local! {
+    static HELD: Cell<usize> = const { Cell::new(0) };
+}
+
+static ACQUIRES: AtomicU64 = AtomicU64::new(0);
+static CONTENDED_ACQUIRES: AtomicU64 = AtomicU64::new(0);
+static CONTENDED_HANDOVERS: AtomicU64 = AtomicU64::new(0);
+static LOCK_WHILE_HOLDING: AtomicU64 = AtomicU64::new(0);
+static MAX_LOCKS_HELD: AtomicUsize = AtomicUsize::new(0);
+static MAX_GRANT_WAITERS: AtomicUsize = AtomicUsize::new(0);
+
+/// Snapshot of the family-wide instrumentation counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InstrumentationReport {
+    /// Total successful acquisitions (lock + try_lock).
+    pub acquires: u64,
+    /// Acquisitions that found a predecessor and had to wait.
+    pub contended_acquires: u64,
+    /// Releases that handed ownership to a waiting successor.
+    pub contended_handovers: u64,
+    /// `lock()` calls made while the calling thread already held ≥1 lock of
+    /// this family (the paper's "24 instances" census).
+    pub lock_while_holding: u64,
+    /// Peak number of locks held simultaneously by any one thread.
+    pub max_locks_held: usize,
+    /// Peak number of threads simultaneously busy-waiting on one Grant word
+    /// (1 ⇒ purely local spinning; the §2.2 multi-waiting degree).
+    pub max_grant_waiters: usize,
+}
+
+impl fmt::Display for InstrumentationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "acquires:               {}", self.acquires)?;
+        writeln!(f, "contended acquires:     {}", self.contended_acquires)?;
+        writeln!(f, "contended handovers:    {}", self.contended_handovers)?;
+        writeln!(f, "lock-while-holding:     {}", self.lock_while_holding)?;
+        writeln!(f, "max locks held:         {}", self.max_locks_held)?;
+        write!(f, "max waiters on a Grant: {}", self.max_grant_waiters)
+    }
+}
+
+/// CTR Hemlock with the §5.4 censuses. Counters are global to the family
+/// (like the paper's process-wide interposition library).
+pub struct HemlockInstrumented {
+    tail: AtomicUsize,
+}
+
+impl HemlockInstrumented {
+    /// Creates an unlocked lock.
+    pub const fn new() -> Self {
+        Self {
+            tail: AtomicUsize::new(0),
+        }
+    }
+
+    /// Raw view of the `Tail` word (tests, instrumentation).
+    #[doc(hidden)]
+    pub fn tail_word(&self) -> usize {
+        self.tail.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the family-wide counters.
+    pub fn report() -> InstrumentationReport {
+        InstrumentationReport {
+            acquires: ACQUIRES.load(Ordering::Relaxed),
+            contended_acquires: CONTENDED_ACQUIRES.load(Ordering::Relaxed),
+            contended_handovers: CONTENDED_HANDOVERS.load(Ordering::Relaxed),
+            lock_while_holding: LOCK_WHILE_HOLDING.load(Ordering::Relaxed),
+            max_locks_held: MAX_LOCKS_HELD.load(Ordering::Relaxed),
+            max_grant_waiters: MAX_GRANT_WAITERS.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zeroes the family-wide counters (callers must ensure no lock of this
+    /// family is concurrently in use for a meaningful baseline).
+    pub fn reset_stats() {
+        ACQUIRES.store(0, Ordering::Relaxed);
+        CONTENDED_ACQUIRES.store(0, Ordering::Relaxed);
+        CONTENDED_HANDOVERS.store(0, Ordering::Relaxed);
+        LOCK_WHILE_HOLDING.store(0, Ordering::Relaxed);
+        MAX_LOCKS_HELD.store(0, Ordering::Relaxed);
+        MAX_GRANT_WAITERS.store(0, Ordering::Relaxed);
+    }
+
+    fn note_acquired(contended: bool) {
+        ACQUIRES.fetch_add(1, Ordering::Relaxed);
+        if contended {
+            CONTENDED_ACQUIRES.fetch_add(1, Ordering::Relaxed);
+        }
+        let held = HELD.with(|h| {
+            let v = h.get() + 1;
+            h.set(v);
+            v
+        });
+        MAX_LOCKS_HELD.fetch_max(held, Ordering::Relaxed);
+    }
+
+    fn note_released() {
+        HELD.with(|h| h.set(h.get().saturating_sub(1)));
+    }
+}
+
+impl Default for HemlockInstrumented {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+unsafe impl RawLock for HemlockInstrumented {
+    const NAME: &'static str = "Hemlock(instr)";
+    const LOCK_WORDS: usize = 1;
+    const FIFO: bool = true;
+
+    fn lock(&self) {
+        if HELD.with(|h| h.get()) >= 1 {
+            LOCK_WHILE_HOLDING.fetch_add(1, Ordering::Relaxed);
+        }
+        let contended = with_self(|me| {
+            debug_assert_eq!(me.grant.load(Ordering::Relaxed), 0);
+            let pred = self.tail.swap(me.addr(), Ordering::AcqRel);
+            if pred == 0 {
+                return false;
+            }
+            // Safety: predecessor cells outlive their queue engagement.
+            let pred = unsafe { InstrCell::from_addr(pred) };
+            let l = lock_id(self);
+            // Multi-waiting census on the predecessor's Grant word. The
+            // count must end at *observation* of the hand-over, not after
+            // acquisition bookkeeping: a preempted decrement would otherwise
+            // overlap the owner's re-enqueue and read as spurious
+            // multi-waiting. Lemma 9 (one waiter per (cell, lock)) makes
+            // the decrement-then-clear sequence exact: once this waiter
+            // observes `l`, nothing else can clear it. (This census uses a
+            // load-then-CAS poll rather than CTR's pure-CAS poll — this
+            // variant exists to characterize, not to benchmark.)
+            let concurrent = pred.waiters.fetch_add(1, Ordering::AcqRel) + 1;
+            MAX_GRANT_WAITERS.fetch_max(concurrent, Ordering::Relaxed);
+            let mut spin = SpinWait::new();
+            loop {
+                if pred.grant.load(Ordering::Acquire) == l {
+                    pred.waiters.fetch_sub(1, Ordering::AcqRel);
+                    let cleared = pred
+                        .grant
+                        .compare_exchange(l, 0, Ordering::AcqRel, Ordering::Relaxed);
+                    debug_assert!(cleared.is_ok(), "only the (cell, lock) waiter clears");
+                    break;
+                }
+                spin.wait();
+            }
+            true
+        });
+        Self::note_acquired(contended);
+    }
+
+    unsafe fn unlock(&self) {
+        with_self(|me| {
+            debug_assert_eq!(me.grant.load(Ordering::Relaxed), 0);
+            if self
+                .tail
+                .compare_exchange(me.addr(), 0, Ordering::AcqRel, Ordering::Relaxed)
+                .is_err()
+            {
+                CONTENDED_HANDOVERS.fetch_add(1, Ordering::Relaxed);
+                me.grant.store(lock_id(self), Ordering::Release);
+                let mut spin = SpinWait::new();
+                while me.grant.fetch_add(0, Ordering::AcqRel) != 0 {
+                    spin.wait();
+                }
+            }
+        });
+        Self::note_released();
+    }
+}
+
+unsafe impl RawTryLock for HemlockInstrumented {
+    fn try_lock(&self) -> bool {
+        let ok = with_self(|me| {
+            self.tail
+                .compare_exchange(0, me.addr(), Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+        });
+        if ok {
+            Self::note_acquired(false);
+        }
+        ok
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    crate::hemlock::lock_family_tests!(super::HemlockInstrumented);
+
+    // Note: counter-value assertions live in the workspace integration test
+    // (tests/instrumentation.rs) where they run in a dedicated process; the
+    // family tests above run concurrently in this harness and would race the
+    // global counters.
+
+    #[test]
+    fn held_census_is_per_thread() {
+        let a = HemlockInstrumented::new();
+        let b = HemlockInstrumented::new();
+        a.lock();
+        b.lock();
+        assert!(HELD.with(|h| h.get()) >= 2);
+        unsafe { b.unlock() };
+        unsafe { a.unlock() };
+        assert_eq!(HELD.with(|h| h.get()), 0);
+    }
+
+    #[test]
+    fn report_is_monotonic_under_use() {
+        let before = HemlockInstrumented::report();
+        let l = HemlockInstrumented::new();
+        for _ in 0..10 {
+            l.lock();
+            unsafe { l.unlock() };
+        }
+        let after = HemlockInstrumented::report();
+        assert!(after.acquires >= before.acquires + 10);
+    }
+}

@@ -1,0 +1,202 @@
+//! Listing 1: the simplified reference Hemlock algorithm ("Hemlock−").
+//!
+//! ```text
+//! Lock(L):   pred = SWAP(&L.Tail, Self)
+//!            if pred != null:
+//!                while pred.Grant != L: Pause      # plain-load busy-wait
+//!                pred.Grant = null                 # ack; frees the mailbox
+//! Unlock(L): if CAS(&L.Tail, Self, null) != Self:  # waiters exist
+//!                Self.Grant = L                    # convey ownership
+//!                while Self.Grant != null: Pause   # wait for the ack
+//! ```
+//!
+//! This variant busy-waits with plain loads and is the `Hemlock−` series in
+//! Figures 2–9; [`crate::hemlock::Hemlock`] adds the CTR optimization.
+
+use crate::hemlock::lock_id;
+use crate::raw::{RawLock, RawTryLock};
+use crate::registry::{slot_tls, GrantCell};
+use crate::spin::SpinWait;
+use core::sync::atomic::{AtomicUsize, Ordering};
+
+slot_tls!(GrantCell);
+
+/// Hemlock without the CTR optimization (Listing 1).
+pub struct HemlockNaive {
+    /// Most recently arrived waiter (or owner, if alone); null when free.
+    tail: AtomicUsize,
+}
+
+impl HemlockNaive {
+    /// Creates an unlocked lock. The lock body is a single word — the
+    /// paper's Table 1 `Lock = 1` entry.
+    pub const fn new() -> Self {
+        Self {
+            tail: AtomicUsize::new(0),
+        }
+    }
+
+    /// Raw view of the `Tail` word (tests, instrumentation). Non-null means
+    /// held or being handed over.
+    #[doc(hidden)]
+    pub fn tail_word(&self) -> usize {
+        self.tail.load(Ordering::Relaxed)
+    }
+
+    /// Acquires with an explicit Grant cell.
+    ///
+    /// # Safety
+    ///
+    /// `me` must hold null, must not be concurrently used by another
+    /// in-flight acquisition of *any* lock in this family, and must stay
+    /// live and in place until the matching [`Self::unlock_with`] returns.
+    pub unsafe fn lock_with(&self, me: &GrantCell) {
+        debug_assert_eq!(me.load(Ordering::Relaxed), 0);
+        // Entry doorstep (Listing 1 line 8): enqueue self on the implicit queue.
+        // AcqRel: Acquire pairs with a releasing uncontended unlock; Release
+        // publishes our cell to whoever enqueues behind us.
+        let pred = self.tail.swap(me.addr(), Ordering::AcqRel);
+        if pred != 0 {
+            // Contention: wait for the lock's address to appear in the
+            // predecessor's Grant, then restore it to null (the only store
+            // one thread ever performs into another thread's Grant).
+            let pred = GrantCell::from_addr(pred);
+            let l = lock_id(self);
+            let mut spin = SpinWait::new();
+            while pred.load(Ordering::Acquire) != l {
+                spin.wait();
+            }
+            pred.store(0, Ordering::Release);
+        }
+        debug_assert_ne!(self.tail.load(Ordering::Relaxed), 0);
+    }
+
+    /// Trylock via CAS instead of SWAP (§2: "MCS and Hemlock allow trivial
+    /// implementations of the TryLock operation").
+    ///
+    /// # Safety
+    ///
+    /// As for [`Self::lock_with`].
+    pub unsafe fn try_lock_with(&self, me: &GrantCell) -> bool {
+        debug_assert_eq!(me.load(Ordering::Relaxed), 0);
+        self.tail
+            .compare_exchange(0, me.addr(), Ordering::AcqRel, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    /// Releases with an explicit Grant cell.
+    ///
+    /// # Safety
+    ///
+    /// The caller must hold the lock, acquired with the same `me` cell.
+    pub unsafe fn unlock_with(&self, me: &GrantCell) {
+        debug_assert_eq!(me.load(Ordering::Relaxed), 0);
+        // Try to swing Tail from Self back to null (no waiters).
+        let v = self
+            .tail
+            .compare_exchange(me.addr(), 0, Ordering::AcqRel, Ordering::Relaxed);
+        if let Err(observed) = v {
+            debug_assert_ne!(observed, 0, "queue cannot empty behind the owner");
+            // Waiters exist: convey ownership by publishing the lock address
+            // in our own Grant, then wait for the successor's ack so the
+            // mailbox can be reused. The ack wait happens outside the
+            // effective critical section — ownership is already gone.
+            me.store(lock_id(self), Ordering::Release);
+            let mut spin = SpinWait::new();
+            while me.load(Ordering::Acquire) != 0 {
+                spin.wait();
+            }
+        }
+    }
+}
+
+impl Default for HemlockNaive {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+unsafe impl RawLock for HemlockNaive {
+    const NAME: &'static str = "Hemlock-";
+    const LOCK_WORDS: usize = 1;
+    const FIFO: bool = true;
+
+    fn lock(&self) {
+        with_self(|me| unsafe { self.lock_with(me) })
+    }
+
+    unsafe fn unlock(&self) {
+        with_self(|me| self.unlock_with(me))
+    }
+}
+
+unsafe impl RawTryLock for HemlockNaive {
+    fn try_lock(&self) -> bool {
+        with_self(|me| unsafe { self.try_lock_with(me) })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    crate::hemlock::lock_family_tests!(super::HemlockNaive);
+
+    #[test]
+    fn lock_body_is_one_word() {
+        assert_eq!(
+            core::mem::size_of::<HemlockNaive>(),
+            core::mem::size_of::<usize>()
+        );
+    }
+
+    #[test]
+    fn tail_reflects_hold_state() {
+        let l = HemlockNaive::new();
+        assert_eq!(l.tail_word(), 0);
+        l.lock();
+        assert_ne!(l.tail_word(), 0);
+        unsafe { l.unlock() };
+        assert_eq!(l.tail_word(), 0);
+    }
+
+    #[test]
+    fn fifo_admission_order() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+
+        let l = Arc::new(HemlockNaive::new());
+        let order = Arc::new(AtomicUsize::new(0));
+        let finish: Arc<Vec<AtomicUsize>> =
+            Arc::new((0..4).map(|_| AtomicUsize::new(usize::MAX)).collect());
+
+        l.lock();
+        let mut handles = Vec::new();
+        for i in 0..4 {
+            let prev_tail = l.tail_word();
+            let l2 = Arc::clone(&l);
+            let order2 = Arc::clone(&order);
+            let finish2 = Arc::clone(&finish);
+            handles.push(std::thread::spawn(move || {
+                l2.lock();
+                finish2[i].store(order2.fetch_add(1, Ordering::AcqRel), Ordering::Release);
+                unsafe { l2.unlock() };
+            }));
+            // The entry doorstep is the SWAP on Tail: once Tail changes, the
+            // waiter is enqueued, so arrivals are strictly sequential.
+            while l.tail_word() == prev_tail {
+                std::hint::spin_loop();
+            }
+        }
+        unsafe { l.unlock() };
+        for h in handles {
+            h.join().unwrap();
+        }
+        for i in 0..4 {
+            assert_eq!(
+                finish[i].load(Ordering::Acquire),
+                i,
+                "FIFO: thread {i} must enter {i}-th"
+            );
+        }
+    }
+}

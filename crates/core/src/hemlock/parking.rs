@@ -1,0 +1,205 @@
+//! §6 (future work): Grant as a condvar-protected bounded buffer.
+//!
+//! "An interesting variation [...] is to replace the simplistic spinning on
+//! the Grant field with a per-thread condition variable and mutex pair that
+//! protect the Grant field [...] Essentially, we treat Grant as a bounded
+//! buffer of capacity 1 protected in the usual fashion by a condition
+//! variable and mutex. This construction yields 2 interesting properties:
+//! (a) the new lock enjoys a fast-path, for uncontended locking, that
+//! doesn't require any underlying mutex or condition variable operations,
+//! (b) even if the underlying system mutex isn't FIFO, our new lock provides
+//! strict FIFO admission."
+//!
+//! Space: one word per lock (`Tail`) plus a mutex + condvar + Grant word per
+//! *thread* — "for systems where locks outnumber threads, such an approach
+//! would result in space savings."
+
+use crate::hemlock::lock_id;
+use crate::raw::{RawLock, RawTryLock};
+use crate::registry::{slot_tls, Slot};
+use core::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// Number of optimistic polls before blocking on the condvar
+/// (spin-then-park, per the paper's Appendix C discussion of waiting
+/// policies).
+const OPTIMISTIC_SPINS: u32 = 256;
+
+/// Per-thread Grant slot with its protecting mutex/condvar pair.
+#[repr(align(128))]
+pub struct ParkCell {
+    grant: AtomicUsize,
+    mu: Mutex<()>,
+    cv: Condvar,
+}
+
+impl Slot for ParkCell {
+    fn new() -> Self {
+        Self {
+            grant: AtomicUsize::new(0),
+            mu: Mutex::new(()),
+            cv: Condvar::new(),
+        }
+    }
+    fn quiescent(&self) -> bool {
+        self.grant.load(Ordering::Acquire) == 0
+    }
+}
+
+impl ParkCell {
+    #[inline]
+    fn addr(&self) -> usize {
+        self as *const Self as usize
+    }
+    /// # Safety: `addr` must come from a live `ParkCell`.
+    #[inline]
+    unsafe fn from_addr<'a>(addr: usize) -> &'a ParkCell {
+        &*(addr as *const ParkCell)
+    }
+
+    /// Blocks until `grant == expected`, spinning optimistically first.
+    fn await_value(&self, expected: usize) {
+        let mut polls = 0u32;
+        while polls < OPTIMISTIC_SPINS {
+            if self.grant.load(Ordering::Acquire) == expected {
+                return;
+            }
+            core::hint::spin_loop();
+            polls += 1;
+        }
+        let mut g = self.mu.lock().expect("park cell mutex poisoned");
+        while self.grant.load(Ordering::Acquire) != expected {
+            g = self.cv.wait(g).expect("park cell condvar poisoned");
+        }
+    }
+
+    /// Publishes `value` into the bounded buffer and wakes all sleepers
+    /// (each rechecks its own predicate; waiters for other locks go back to
+    /// sleep).
+    fn publish(&self, value: usize) {
+        let _g = self.mu.lock().expect("park cell mutex poisoned");
+        self.grant.store(value, Ordering::Release);
+        self.cv.notify_all();
+    }
+}
+
+slot_tls!(ParkCell);
+
+/// Hemlock with condvar-based long-term waiting (§6 future work).
+///
+/// Strictly FIFO (admission order is fixed by the `Tail` SWAP, not by the
+/// underlying mutex), with a mutex/condvar-free fast path for uncontended
+/// acquire and release.
+pub struct HemlockParking {
+    tail: AtomicUsize,
+}
+
+impl HemlockParking {
+    /// Creates an unlocked lock.
+    pub const fn new() -> Self {
+        Self {
+            tail: AtomicUsize::new(0),
+        }
+    }
+
+    /// Raw view of the `Tail` word.
+    #[doc(hidden)]
+    pub fn tail_word(&self) -> usize {
+        self.tail.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for HemlockParking {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+unsafe impl RawLock for HemlockParking {
+    const NAME: &'static str = "Hemlock+CV";
+    const LOCK_WORDS: usize = 1;
+    const FIFO: bool = true;
+
+    fn lock(&self) {
+        with_self(|me| {
+            debug_assert_eq!(me.grant.load(Ordering::Relaxed), 0);
+            let pred = self.tail.swap(me.addr(), Ordering::AcqRel);
+            if pred != 0 {
+                // Safety: predecessor cells outlive their queue engagement.
+                let pred = unsafe { ParkCell::from_addr(pred) };
+                let l = lock_id(self);
+                pred.await_value(l);
+                // Ack: empty the bounded buffer and wake the producer
+                // (the predecessor may be sleeping in its unlock).
+                pred.publish(0);
+            }
+        });
+    }
+
+    unsafe fn unlock(&self) {
+        with_self(|me| {
+            debug_assert_eq!(me.grant.load(Ordering::Relaxed), 0);
+            if self
+                .tail
+                .compare_exchange(me.addr(), 0, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                return; // fast path: no mutex/condvar touched
+            }
+            // Waiters exist: fill the bounded buffer with the lock address,
+            // then wait for the successor to drain it.
+            me.publish(lock_id(self));
+            me.await_value(0);
+        });
+    }
+}
+
+unsafe impl RawTryLock for HemlockParking {
+    fn try_lock(&self) -> bool {
+        with_self(|me| {
+            self.tail
+                .compare_exchange(0, me.addr(), Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    crate::hemlock::lock_family_tests!(super::HemlockParking);
+
+    #[test]
+    fn long_hold_parks_waiters() {
+        use std::sync::atomic::{AtomicUsize as AU, Ordering};
+        use std::sync::Arc;
+        // Hold long enough that waiters exhaust their optimistic spins and
+        // actually sleep on the condvar, then verify wakeup and FIFO.
+        let l = Arc::new(HemlockParking::new());
+        let order = Arc::new(AU::new(0));
+        let slots: Arc<Vec<AU>> = Arc::new((0..3).map(|_| AU::new(usize::MAX)).collect());
+        l.lock();
+        let mut handles = Vec::new();
+        for i in 0..3 {
+            let before = l.tail_word();
+            let (lw, order, slots) = (Arc::clone(&l), Arc::clone(&order), Arc::clone(&slots));
+            handles.push(std::thread::spawn(move || {
+                lw.lock();
+                slots[i].store(order.fetch_add(1, Ordering::AcqRel), Ordering::Release);
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                unsafe { lw.unlock() };
+            }));
+            while l.tail_word() == before {
+                std::thread::yield_now();
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50)); // let them park
+        unsafe { l.unlock() };
+        for h in handles {
+            h.join().unwrap();
+        }
+        for i in 0..3 {
+            assert_eq!(slots[i].load(Ordering::Acquire), i, "strict FIFO admission");
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Listing 6 (Appendix B): Optimized Hand-Over, Variant 2.
+//!
+//! A "polite CAS" unlock: first *load* `Tail` — successors exist iff the
+//! value differs from `Self` — and only fall through to the CAS when the
+//! probe says the queue looks empty. Under contention this avoids the futile
+//! CAS (and its write invalidation) on the `Tail` hotspot that the reference
+//! algorithm performs in the critical path before handing over:
+//!
+//! ```text
+//! Lock(L):   pred = SWAP(&L.Tail, Self)             # constant-time doorway
+//!            if pred != null:
+//!                while CAS(&pred.Grant, L, null) != L: Pause
+//! Unlock(L): if L.Tail != Self: goto PassLock       # polite probe
+//!            v = CAS(&L.Tail, Self, null)
+//!            if v != Self:
+//!   PassLock:    Self.Grant = L
+//!                while FetchAdd(&Self.Grant, 0) != null: Pause
+//! ```
+//!
+//! Like V1 this is immune to the AH use-after-free hazard: no store to
+//! `Grant` happens before the existence of a successor is certain, so
+//! `unlock` never touches the lock body after ownership may have moved.
+
+use crate::hemlock::lock_id;
+use crate::raw::{RawLock, RawTryLock};
+use crate::registry::{slot_tls, GrantCell};
+use crate::spin::SpinWait;
+use core::sync::atomic::{AtomicUsize, Ordering};
+
+slot_tls!(GrantCell);
+
+/// Hemlock with Optimized Hand-Over, Variant 2 (Listing 6).
+pub struct HemlockV2 {
+    tail: AtomicUsize,
+}
+
+impl HemlockV2 {
+    /// Creates an unlocked lock.
+    pub const fn new() -> Self {
+        Self {
+            tail: AtomicUsize::new(0),
+        }
+    }
+
+    /// Raw view of the `Tail` word.
+    #[doc(hidden)]
+    pub fn tail_word(&self) -> usize {
+        self.tail.load(Ordering::Relaxed)
+    }
+
+    /// Acquires with an explicit Grant cell.
+    ///
+    /// # Safety
+    ///
+    /// As for [`crate::hemlock::Hemlock::lock_with`].
+    pub unsafe fn lock_with(&self, me: &GrantCell) {
+        debug_assert_eq!(me.load(Ordering::Relaxed), 0);
+        let pred = self.tail.swap(me.addr(), Ordering::AcqRel);
+        if pred != 0 {
+            let pred = GrantCell::from_addr(pred);
+            let l = lock_id(self);
+            let mut spin = SpinWait::new();
+            while pred
+                .compare_exchange_weak(l, 0, Ordering::AcqRel, Ordering::Relaxed)
+                .is_err()
+            {
+                spin.wait();
+            }
+        }
+    }
+
+    /// Trylock via CAS on `Tail`.
+    ///
+    /// # Safety
+    ///
+    /// As for [`Self::lock_with`].
+    pub unsafe fn try_lock_with(&self, me: &GrantCell) -> bool {
+        debug_assert_eq!(me.load(Ordering::Relaxed), 0);
+        self.tail
+            .compare_exchange(0, me.addr(), Ordering::AcqRel, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    /// Releases with an explicit Grant cell.
+    ///
+    /// # Safety
+    ///
+    /// The caller must hold the lock, acquired with the same `me` cell.
+    pub unsafe fn unlock_with(&self, me: &GrantCell) {
+        debug_assert_eq!(me.load(Ordering::Relaxed), 0);
+        let l = lock_id(self);
+        // Polite probe. While we hold the lock, Tail can only move *away*
+        // from us (arrivals swap themselves in; only we could reinstall our
+        // address, and we are not in `lock`). So `Tail != Self` is a stable
+        // "successors exist" verdict, even from a plain load.
+        if self.tail.load(Ordering::Relaxed) != me.addr() {
+            Self::pass_ownership(me, l);
+            return;
+        }
+        match self
+            .tail
+            .compare_exchange(me.addr(), 0, Ordering::AcqRel, Ordering::Relaxed)
+        {
+            Ok(_) => {}
+            Err(observed) => {
+                debug_assert_ne!(observed, 0);
+                Self::pass_ownership(me, l);
+            }
+        }
+    }
+
+    /// `PassLock`: publish `L` and wait for the successor's ack. Unlike V1
+    /// there are no tags, so null is the only possible post-ack value and we
+    /// wait for exactly that.
+    unsafe fn pass_ownership(me: &GrantCell, l: usize) {
+        me.store(l, Ordering::Release);
+        let mut spin = SpinWait::new();
+        while me.read_for_ownership(Ordering::AcqRel) != 0 {
+            spin.wait();
+        }
+    }
+}
+
+impl Default for HemlockV2 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+unsafe impl RawLock for HemlockV2 {
+    const NAME: &'static str = "Hemlock+HOV2";
+    const LOCK_WORDS: usize = 1;
+    const FIFO: bool = true;
+
+    fn lock(&self) {
+        with_self(|me| unsafe { self.lock_with(me) })
+    }
+
+    unsafe fn unlock(&self) {
+        with_self(|me| self.unlock_with(me))
+    }
+}
+
+unsafe impl RawTryLock for HemlockV2 {
+    fn try_lock(&self) -> bool {
+        with_self(|me| unsafe { self.try_lock_with(me) })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    crate::hemlock::lock_family_tests!(super::HemlockV2);
+
+    #[test]
+    fn polite_probe_takes_handover_path() {
+        use std::sync::Arc;
+        let l = Arc::new(HemlockV2::new());
+        l.lock();
+        let before = l.tail_word();
+        let w = {
+            let l = Arc::clone(&l);
+            std::thread::spawn(move || {
+                l.lock();
+                unsafe { l.unlock() };
+            })
+        };
+        // Wait until the waiter has enqueued, so the probe sees Tail != Self.
+        while l.tail_word() == before {
+            std::hint::spin_loop();
+        }
+        unsafe { l.unlock() };
+        w.join().unwrap();
+        assert_eq!(l.tail_word(), 0);
+    }
+
+    #[test]
+    fn probe_negative_falls_through_to_cas() {
+        let l = HemlockV2::new();
+        // No waiters: probe sees Tail == Self, CAS releases.
+        l.lock();
+        unsafe { l.unlock() };
+        assert_eq!(l.tail_word(), 0);
+    }
+}

@@ -1,0 +1,104 @@
+//! # hemlock-core
+//!
+//! A from-scratch reproduction of **Hemlock: Compact and Scalable Mutual
+//! Exclusion** (Dave Dice & Alex Kogan, SPAA 2021; extended version
+//! arXiv:2102.03863).
+//!
+//! Hemlock is a mutual-exclusion lock that is:
+//!
+//! - **compact** — one word per lock plus one word per thread, regardless of
+//!   how many locks are held or waited upon;
+//! - **context-free** — nothing is passed from `lock` to the matching
+//!   `unlock`, so it drops into `pthread_mutex`-shaped APIs;
+//! - **FIFO** — admission follows arrival (the SWAP on the lock's `Tail`);
+//! - **fere-locally spinning** — at most *k* threads ever spin on one word,
+//!   where *k* is the number of locks concurrently associated with that
+//!   word's owning thread (and *k = 1*, i.e. purely local spinning, whenever
+//!   threads hold one contended lock at a time — the common case).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use hemlock_core::{Mutex, hemlock::Hemlock};
+//!
+//! let account: Mutex<i64, Hemlock> = Mutex::new(100);
+//! std::thread::scope(|s| {
+//!     for _ in 0..4 {
+//!         s.spawn(|| *account.lock() += 25);
+//!     }
+//! });
+//! assert_eq!(*account.lock(), 200);
+//! ```
+//!
+//! ## Layout of this crate
+//!
+//! - [`hemlock`] — the algorithm family: the Listing 1 reference algorithm,
+//!   the CTR-optimized default, and the Overlap / Aggressive-Hand-over /
+//!   Optimized-Hand-over (V1, V2) / parking / chain variants from the
+//!   paper's appendices, plus an instrumented build for the §5.4 censuses.
+//! - [`raw`] — the context-free [`raw::RawLock`] / [`raw::RawTryLock`]
+//!   traits every lock in this workspace (including the MCS/CLH/Ticket
+//!   baselines in `hemlock-locks`) implements.
+//! - [`mutex`] — a guard-based `Mutex<T, L>` over any raw lock.
+//! - [`registry`] — the per-thread Grant-slot arena (leak-and-recycle, with
+//!   the paper's drain-before-reclaim rule).
+//! - [`spin`] — busy-wait policy (pure spin vs spin-then-yield).
+//! - [`pad`] — cache-line padding used for all contended words.
+
+#![warn(missing_docs)]
+
+pub mod hemlock;
+pub mod mutex;
+pub mod pad;
+pub mod raw;
+pub mod registry;
+pub mod spin;
+
+pub use mutex::{Mutex, MutexGuard};
+pub use raw::{RawLock, RawTryLock};
+
+#[cfg(test)]
+mod proptests {
+    use crate::hemlock::{Hemlock, HemlockAh, HemlockNaive, HemlockOverlap, HemlockV1, HemlockV2};
+    use crate::mutex::Mutex;
+    use proptest::prelude::*;
+
+    /// Oracle test: an arbitrary per-thread schedule of add/sub operations
+    /// applied under a Hemlock-guarded accumulator must equal the sequential
+    /// sum, for every variant.
+    fn run_schedule<L: crate::raw::RawLock + 'static>(ops: &[Vec<i64>]) -> i64 {
+        let m: Mutex<i64, L> = Mutex::new(0);
+        std::thread::scope(|s| {
+            for thread_ops in ops {
+                let m = &m;
+                s.spawn(move || {
+                    for &d in thread_ops {
+                        *m.lock() += d;
+                    }
+                });
+            }
+        });
+        m.into_inner()
+    }
+
+    macro_rules! schedule_oracle {
+        ($name:ident, $lock:ty) => {
+            proptest! {
+                #![proptest_config(ProptestConfig::with_cases(16))]
+                #[test]
+                fn $name(ops in proptest::collection::vec(
+                    proptest::collection::vec(-100i64..100, 0..64), 1..4)) {
+                    let expected: i64 = ops.iter().flatten().sum();
+                    prop_assert_eq!(run_schedule::<$lock>(&ops), expected);
+                }
+            }
+        };
+    }
+
+    schedule_oracle!(naive_matches_sequential_sum, HemlockNaive);
+    schedule_oracle!(ctr_matches_sequential_sum, Hemlock);
+    schedule_oracle!(overlap_matches_sequential_sum, HemlockOverlap);
+    schedule_oracle!(ah_matches_sequential_sum, HemlockAh);
+    schedule_oracle!(v1_matches_sequential_sum, HemlockV1);
+    schedule_oracle!(v2_matches_sequential_sum, HemlockV2);
+}

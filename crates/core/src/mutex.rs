@@ -1,0 +1,219 @@
+//! Guard-based safe wrapper over any [`RawLock`].
+//!
+//! This plays the role of `std::mutex`/`pthread_mutex_t` in the paper's
+//! evaluation: application code locks a `Mutex<T, L>` and gets a scoped
+//! guard; the raw lock algorithm `L` is swappable, exactly like switching
+//! `LD_PRELOAD` interposition libraries in the paper's framework (§5).
+
+use crate::raw::{RawLock, RawTryLock};
+use core::cell::UnsafeCell;
+use core::fmt;
+use core::marker::PhantomData;
+use core::ops::{Deref, DerefMut};
+
+/// A mutual-exclusion primitive protecting a `T`, generic over the raw lock
+/// algorithm.
+///
+/// ```
+/// use hemlock_core::{Mutex, hemlock::Hemlock};
+///
+/// let m: Mutex<u64, Hemlock> = Mutex::new(0);
+/// *m.lock() += 1;
+/// assert_eq!(*m.lock(), 1);
+/// ```
+pub struct Mutex<T: ?Sized, L: RawLock> {
+    raw: L,
+    data: UnsafeCell<T>,
+}
+
+// Safety: the raw lock serializes access to `data`.
+unsafe impl<T: ?Sized + Send, L: RawLock> Send for Mutex<T, L> {}
+unsafe impl<T: ?Sized + Send, L: RawLock> Sync for Mutex<T, L> {}
+
+impl<T, L: RawLock> Mutex<T, L> {
+    /// Creates a new unlocked mutex.
+    pub fn new(value: T) -> Self {
+        Self {
+            raw: L::default(),
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    /// Consumes the mutex, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+impl<T: ?Sized, L: RawLock> Mutex<T, L> {
+    /// Acquires the lock, busy-waiting until available.
+    pub fn lock(&self) -> MutexGuard<'_, T, L> {
+        self.raw.lock();
+        MutexGuard {
+            mutex: self,
+            _not_send: PhantomData,
+        }
+    }
+
+    /// Mutable access without locking (the `&mut` proves exclusivity).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut()
+    }
+
+    /// The underlying raw lock (for instrumentation and space accounting).
+    pub fn raw(&self) -> &L {
+        &self.raw
+    }
+}
+
+impl<T: ?Sized, L: RawTryLock> Mutex<T, L> {
+    /// Attempts the lock without waiting.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T, L>> {
+        if self.raw.try_lock() {
+            Some(MutexGuard {
+                mutex: self,
+                _not_send: PhantomData,
+            })
+        } else {
+            None
+        }
+    }
+}
+
+impl<T: Default, L: RawLock> Default for Mutex<T, L> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T, L: RawLock> From<T> for Mutex<T, L> {
+    fn from(value: T) -> Self {
+        Self::new(value)
+    }
+}
+
+impl<T: ?Sized + fmt::Debug, L: RawTryLock> fmt::Debug for Mutex<T, L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.try_lock() {
+            Some(g) => f.debug_struct("Mutex").field("data", &&*g).finish(),
+            None => f.write_str("Mutex { <locked> }"),
+        }
+    }
+}
+
+/// RAII guard: the lock is released when this falls out of scope.
+///
+/// Deliberately `!Send`: queue locks (and Hemlock's Grant protocol) require
+/// the unlock to run on the acquiring thread.
+pub struct MutexGuard<'a, T: ?Sized, L: RawLock> {
+    mutex: &'a Mutex<T, L>,
+    _not_send: PhantomData<*mut ()>,
+}
+
+impl<T: ?Sized, L: RawLock> Deref for MutexGuard<'_, T, L> {
+    type Target = T;
+    #[inline]
+    fn deref(&self) -> &T {
+        // Safety: we hold the lock.
+        unsafe { &*self.mutex.data.get() }
+    }
+}
+
+impl<T: ?Sized, L: RawLock> DerefMut for MutexGuard<'_, T, L> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut T {
+        // Safety: we hold the lock exclusively.
+        unsafe { &mut *self.mutex.data.get() }
+    }
+}
+
+impl<T: ?Sized, L: RawLock> Drop for MutexGuard<'_, T, L> {
+    #[inline]
+    fn drop(&mut self) {
+        // Safety: this guard proves the current thread holds the lock, and
+        // the guard is !Send so we are on the acquiring thread.
+        unsafe { self.mutex.raw.unlock() }
+    }
+}
+
+impl<T: ?Sized + fmt::Debug, L: RawLock> fmt::Debug for MutexGuard<'_, T, L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
+impl<T: ?Sized + fmt::Display, L: RawLock> fmt::Display for MutexGuard<'_, T, L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hemlock::Hemlock;
+
+    #[test]
+    fn new_lock_deref() {
+        let m: Mutex<String, Hemlock> = Mutex::new("hi".to_string());
+        assert_eq!(&*m.lock(), "hi");
+        m.lock().push_str(" there");
+        assert_eq!(&*m.lock(), "hi there");
+    }
+
+    #[test]
+    fn from_and_default() {
+        let m: Mutex<i32, Hemlock> = 7.into();
+        assert_eq!(*m.lock(), 7);
+        let d: Mutex<i32, Hemlock> = Mutex::default();
+        assert_eq!(*d.lock(), 0);
+    }
+
+    #[test]
+    fn get_mut_bypasses_locking() {
+        let mut m: Mutex<i32, Hemlock> = Mutex::new(1);
+        *m.get_mut() += 41;
+        assert_eq!(m.into_inner(), 42);
+    }
+
+    #[test]
+    fn try_lock_contention() {
+        let m: Mutex<i32, Hemlock> = Mutex::new(0);
+        let g = m.lock();
+        assert!(m.try_lock().is_none());
+        drop(g);
+        assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn debug_formats_show_lock_state() {
+        let m: Mutex<i32, Hemlock> = Mutex::new(3);
+        assert!(format!("{m:?}").contains('3'));
+        let g = m.lock();
+        assert_eq!(format!("{m:?}"), "Mutex { <locked> }");
+        assert_eq!(format!("{g:?}"), "3");
+        assert_eq!(format!("{g}"), "3");
+    }
+
+    #[test]
+    fn guard_drop_releases_on_panic() {
+        let m: Mutex<i32, Hemlock> = Mutex::new(0);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut g = m.lock();
+            *g = 1;
+            panic!("inside critical section");
+        }));
+        assert!(r.is_err());
+        // The guard released during unwinding; the lock is usable.
+        assert_eq!(*m.lock(), 1);
+    }
+
+    #[test]
+    fn raw_accessor_reaches_the_algorithm() {
+        let m: Mutex<(), Hemlock> = Mutex::new(());
+        assert_eq!(m.raw().tail_word(), 0);
+        let g = m.lock();
+        assert_ne!(m.raw().tail_word(), 0);
+        drop(g);
+    }
+}

@@ -1,0 +1,56 @@
+//! Raw lock traits.
+//!
+//! These mirror the classic POSIX `pthread_mutex` shape the paper targets:
+//! `lock` and `unlock` take only the lock itself — no token flows from the
+//! lock operation to the unlock operation, i.e. the interface is
+//! *context-free* (§1). Locks that carry per-acquisition state (MCS, CLH)
+//! must stash it inside the lock body or per-thread storage to satisfy this
+//! trait, exactly as the paper describes for its pthread interposition
+//! library.
+
+/// A raw mutual-exclusion lock with a context-free interface.
+///
+/// # Safety
+///
+/// Implementations must guarantee mutual exclusion: between a `lock()` return
+/// and the matching `unlock()`, no other thread's `lock()` may return.
+/// `lock()` must also provide acquire semantics and `unlock()` release
+/// semantics so that critical-section writes are visible to the next holder.
+pub unsafe trait RawLock: Default + Send + Sync {
+    /// Short display name used by benchmarks and tables (e.g. `"Hemlock"`).
+    const NAME: &'static str;
+
+    /// Size of the lock body in machine words, for the Table 1 accounting.
+    const LOCK_WORDS: usize;
+
+    /// True when the lock provides FIFO/FCFS admission.
+    const FIFO: bool;
+
+    /// Acquires the lock, blocking (busy-waiting) until it is available.
+    fn lock(&self);
+
+    /// Releases the lock.
+    ///
+    /// # Safety
+    ///
+    /// The calling thread must currently hold the lock, and must be the same
+    /// thread that acquired it (queue locks store per-thread state; Hemlock
+    /// hands ownership over through the caller's own `Grant` field).
+    unsafe fn unlock(&self);
+}
+
+/// Locks that additionally support a non-blocking acquisition attempt.
+///
+/// The paper notes (§2) that MCS and Hemlock admit trivial `trylock`
+/// implementations — a `CAS` on the tail instead of the unconditional
+/// `SWAP` — whereas Ticket Locks and CLH do not.
+///
+/// # Safety
+///
+/// As for [`RawLock`]; additionally `try_lock() == true` must confer
+/// ownership exactly as `lock()` does.
+pub unsafe trait RawTryLock: RawLock {
+    /// Attempts to acquire the lock without waiting. Returns `true` on
+    /// success, in which case the caller owns the lock.
+    fn try_lock(&self) -> bool;
+}

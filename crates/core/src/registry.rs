@@ -1,0 +1,324 @@
+//! Per-thread slot registry.
+//!
+//! Hemlock provisions each thread with "a singular `Grant` field where any
+//! immediate successor can busy-wait" (§1). Because *other* threads store
+//! into this field, it needs a stable address for as long as any lock
+//! operation might touch it. We give every thread a leaked, cache-padded,
+//! `'static` slot; when the thread exits we follow the paper's rule
+//! (Appendix A): "it is necessary to wait while the thread's `Grant` field
+//! transitions back to null before reclaiming the memory underlying
+//! `Grant`" — then the slot is recycled through a global free list for future
+//! threads instead of being freed.
+//!
+//! Each Hemlock variant family owns a *separate* registry (separate arena and
+//! thread-local token) so that protocol-specific encodings — e.g. the `L|1`
+//! successor tag of the optimized hand-over variant — can never leak into
+//! another variant's protocol.
+
+use crate::spin::SpinWait;
+use core::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A value stored in a registry slot.
+///
+/// `quiescent` reports whether the slot may be handed to a different thread;
+/// for a plain Grant word that means "contains null".
+pub trait Slot: Send + Sync + 'static {
+    /// Creates an empty slot.
+    fn new() -> Self;
+    /// True when no other thread will touch this slot anymore.
+    fn quiescent(&self) -> bool;
+}
+
+/// The per-thread `Grant` word, alone on its cache line (§2.3: "to avoid
+/// false sharing we opted to sequester the Grant field as the sole occupant
+/// of a cache line").
+///
+/// Values are lock addresses: `0` means *null/empty*; a lock's address means
+/// ownership of that lock is being conveyed; the optimized hand-over variant
+/// additionally uses `addr | 1` as a "successor exists" tag (lock bodies are
+/// word-aligned, so bit 0 is free).
+#[repr(align(128))]
+pub struct GrantCell {
+    value: AtomicUsize,
+}
+
+impl GrantCell {
+    /// New empty cell. `const` so it can live in statics and on the stack
+    /// (the §2.3 on-stack Grant optimization).
+    pub const fn new() -> Self {
+        Self {
+            value: AtomicUsize::new(0),
+        }
+    }
+
+    /// This cell's address, as stored in a lock's `Tail` word.
+    #[inline]
+    pub fn addr(&self) -> usize {
+        self as *const Self as usize
+    }
+
+    /// Reconstructs a cell reference from an address obtained via
+    /// [`GrantCell::addr`] on a still-live cell.
+    ///
+    /// # Safety
+    ///
+    /// `addr` must come from `GrantCell::addr` of a cell that is still live
+    /// (registry slots are never freed, and on-stack cells outlive their
+    /// lock engagement by construction).
+    #[inline]
+    pub unsafe fn from_addr<'a>(addr: usize) -> &'a GrantCell {
+        &*(addr as *const GrantCell)
+    }
+
+    /// Atomic load of the Grant word.
+    #[inline]
+    pub fn load(&self, order: Ordering) -> usize {
+        self.value.load(order)
+    }
+
+    /// Atomic store to the Grant word.
+    #[inline]
+    pub fn store(&self, val: usize, order: Ordering) {
+        self.value.store(val, order)
+    }
+
+    /// Atomic swap on the Grant word.
+    #[inline]
+    pub fn swap(&self, val: usize, order: Ordering) -> usize {
+        self.value.swap(val, order)
+    }
+
+    /// Atomic compare-and-swap on the Grant word.
+    #[inline]
+    pub fn compare_exchange(
+        &self,
+        current: usize,
+        new: usize,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<usize, usize> {
+        self.value.compare_exchange(current, new, success, failure)
+    }
+
+    /// Weak compare-and-swap (may fail spuriously), for use in polling
+    /// loops such as the CTR busy-wait.
+    #[inline]
+    pub fn compare_exchange_weak(
+        &self,
+        current: usize,
+        new: usize,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<usize, usize> {
+        self.value
+            .compare_exchange_weak(current, new, success, failure)
+    }
+
+    /// `FetchAdd(&Grant, 0)`: the read-with-intent-to-write primitive used by
+    /// the CTR optimization (§2.1) — on x86 this is `LOCK:XADD`, which keeps
+    /// the line in M-state in the polling core's cache.
+    #[inline]
+    pub fn read_for_ownership(&self, order: Ordering) -> usize {
+        self.value.fetch_add(0, order)
+    }
+}
+
+impl Default for GrantCell {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Slot for GrantCell {
+    fn new() -> Self {
+        GrantCell::new()
+    }
+    fn quiescent(&self) -> bool {
+        self.load(Ordering::Acquire) == 0
+    }
+}
+
+/// Leak-and-recycle arena of `'static` slots.
+///
+/// Slots are `Box::leak`ed on first demand and pushed onto a free list when
+/// their owning thread exits, so a slot address stays valid for the lifetime
+/// of the process (other threads may hold stale pointers briefly; they only
+/// ever observe a quiescent value there).
+pub struct Arena<C: Slot> {
+    free: Mutex<Vec<&'static C>>,
+    leaked: AtomicUsize,
+}
+
+impl<C: Slot> Arena<C> {
+    /// Creates an empty arena (usable in statics).
+    pub const fn new() -> Self {
+        Self {
+            free: Mutex::new(Vec::new()),
+            leaked: AtomicUsize::new(0),
+        }
+    }
+
+    /// Acquires a slot for the calling thread.
+    pub fn acquire(&'static self) -> Token<C> {
+        let recycled = self.free.lock().expect("arena free list poisoned").pop();
+        let cell = recycled.unwrap_or_else(|| {
+            self.leaked.fetch_add(1, Ordering::Relaxed);
+            Box::leak(Box::new(C::new()))
+        });
+        debug_assert!(cell.quiescent(), "recycled slot must be quiescent");
+        Token { cell, arena: self }
+    }
+
+    /// Number of slots ever leaked (i.e. peak simultaneous threads in this
+    /// family). One word per thread — the paper's Table 1 `Thread` column.
+    pub fn leaked_slots(&self) -> usize {
+        self.leaked.load(Ordering::Relaxed)
+    }
+
+    /// Number of slots currently available for recycling.
+    pub fn free_slots(&self) -> usize {
+        self.free.lock().expect("arena free list poisoned").len()
+    }
+
+    fn release(&self, cell: &'static C) {
+        self.free.lock().expect("arena free list poisoned").push(cell);
+    }
+}
+
+impl<C: Slot> Default for Arena<C> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A thread's handle on its slot. Dropping it (at thread exit) waits for the
+/// slot to become quiescent, then recycles it.
+pub struct Token<C: Slot> {
+    cell: &'static C,
+    arena: &'static Arena<C>,
+}
+
+impl<C: Slot> Token<C> {
+    /// The slot itself.
+    #[inline]
+    pub fn cell(&self) -> &'static C {
+        self.cell
+    }
+}
+
+impl<C: Slot> Drop for Token<C> {
+    fn drop(&mut self) {
+        // Appendix A: wait for Grant to drain back to null before the slot
+        // can be reused by another thread.
+        let mut spin = SpinWait::new();
+        while !self.cell.quiescent() {
+            spin.wait();
+        }
+        self.arena.release(self.cell);
+    }
+}
+
+/// Declares, inside a lock-variant module, that family's private arena and
+/// thread-local token, plus a `with_self` accessor.
+macro_rules! slot_tls {
+    ($cell:ty) => {
+        static ARENA: $crate::registry::Arena<$cell> = $crate::registry::Arena::new();
+
+        ::std::thread_local! {
+            static TOKEN: $crate::registry::Token<$cell> = ARENA.acquire();
+        }
+
+        /// Runs `f` with the calling thread's slot for this lock family.
+        ///
+        /// Panics if called from a thread-local destructor after the token
+        /// was dropped; locks must not be used from TLS destructors.
+        #[inline]
+        fn with_self<R>(f: impl FnOnce(&'static $cell) -> R) -> R {
+            TOKEN.with(|t| f(t.cell()))
+        }
+
+        /// This family's arena (used by space accounting and tests).
+        #[allow(dead_code)]
+        pub(crate) fn family_arena() -> &'static $crate::registry::Arena<$cell> {
+            &ARENA
+        }
+    };
+}
+pub(crate) use slot_tls;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    static TEST_ARENA: Arena<GrantCell> = Arena::new();
+
+    #[test]
+    fn acquire_leaks_then_recycles() {
+        let a1;
+        {
+            let t = TEST_ARENA.acquire();
+            a1 = t.cell().addr();
+            assert!(TEST_ARENA.leaked_slots() >= 1);
+        }
+        // Slot went back to the free list and is handed out again.
+        let t2 = TEST_ARENA.acquire();
+        assert_eq!(t2.cell().addr(), a1);
+    }
+
+    #[test]
+    fn token_drop_waits_for_quiescence() {
+        static ARENA2: Arena<GrantCell> = Arena::new();
+        let t = ARENA2.acquire();
+        let cell = t.cell();
+        cell.store(0xdead0, Ordering::Release);
+        let clearer = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            cell.store(0, Ordering::Release);
+        });
+        drop(t); // must block until the helper clears the cell
+        assert_eq!(ARENA2.free_slots(), 1);
+        clearer.join().unwrap();
+    }
+
+    #[test]
+    fn cells_are_line_padded() {
+        assert_eq!(core::mem::align_of::<GrantCell>(), crate::pad::CACHE_LINE);
+    }
+
+    #[test]
+    fn from_addr_roundtrip() {
+        let c = GrantCell::new();
+        c.store(7, Ordering::Relaxed);
+        let c2 = unsafe { GrantCell::from_addr(c.addr()) };
+        assert_eq!(c2.load(Ordering::Relaxed), 7);
+    }
+
+    #[test]
+    fn read_for_ownership_returns_value_without_changing_it() {
+        let c = GrantCell::new();
+        c.store(42, Ordering::Relaxed);
+        assert_eq!(c.read_for_ownership(Ordering::AcqRel), 42);
+        assert_eq!(c.load(Ordering::Relaxed), 42);
+    }
+
+    #[test]
+    fn many_threads_share_arena() {
+        static ARENA3: Arena<GrantCell> = Arena::new();
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            handles.push(std::thread::spawn(|| {
+                let t = ARENA3.acquire();
+                let _ = t.cell().addr();
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // All 8 slots drained back to the free list.
+        assert_eq!(ARENA3.free_slots(), ARENA3.leaked_slots());
+        // Recycling means the arena never leaked more than the peak
+        // simultaneous thread count.
+        assert!(ARENA3.leaked_slots() <= 8);
+    }
+}

@@ -1,0 +1,129 @@
+//! Busy-wait policy.
+//!
+//! All busy-wait loops in the paper's experiments issue the Intel `PAUSE`
+//! instruction between polls; `core::hint::spin_loop()` is the portable
+//! equivalent. Because user-mode spin locks behave badly when the machine is
+//! oversubscribed (the owner can be descheduled while waiters burn its CPU),
+//! the workspace-wide default policy spins briefly and then yields. The paper
+//! notes the same practical concern in Appendix C ("user-mode locks are not
+//! typically implemented as pure spin locks"). Benchmarks that want the
+//! paper's exact setting select [`WaitPolicy::Spin`].
+
+use core::sync::atomic::{AtomicU32, AtomicU8, Ordering};
+
+/// How a thread waits inside a busy-wait loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitPolicy {
+    /// Pure spinning with a CPU relax hint, as in the paper's testbed runs.
+    Spin,
+    /// Spin `spins` times with the relax hint, then yield the CPU on every
+    /// further iteration. Safe default on small or shared machines.
+    SpinThenYield {
+        /// Number of relax-hint polls before the first yield.
+        spins: u32,
+    },
+}
+
+const POLICY_SPIN: u8 = 0;
+const POLICY_SPIN_THEN_YIELD: u8 = 1;
+
+static POLICY: AtomicU8 = AtomicU8::new(POLICY_SPIN_THEN_YIELD);
+static POLICY_SPINS: AtomicU32 = AtomicU32::new(DEFAULT_SPINS);
+
+/// Default bounded-spin count before yielding.
+pub const DEFAULT_SPINS: u32 = 128;
+
+/// Installs the process-wide wait policy used by every lock in this workspace.
+///
+/// Takes effect for `SpinWait` values created afterwards (in-flight waiters
+/// pick it up on their next iteration as well).
+pub fn set_wait_policy(policy: WaitPolicy) {
+    match policy {
+        WaitPolicy::Spin => POLICY.store(POLICY_SPIN, Ordering::Relaxed),
+        WaitPolicy::SpinThenYield { spins } => {
+            POLICY_SPINS.store(spins, Ordering::Relaxed);
+            POLICY.store(POLICY_SPIN_THEN_YIELD, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Returns the current process-wide wait policy.
+pub fn wait_policy() -> WaitPolicy {
+    match POLICY.load(Ordering::Relaxed) {
+        POLICY_SPIN => WaitPolicy::Spin,
+        _ => WaitPolicy::SpinThenYield {
+            spins: POLICY_SPINS.load(Ordering::Relaxed),
+        },
+    }
+}
+
+/// One busy-wait loop's worth of waiting state.
+///
+/// ```
+/// # use hemlock_core::spin::SpinWait;
+/// # let ready = std::sync::atomic::AtomicBool::new(true);
+/// let mut spin = SpinWait::new();
+/// while !ready.load(std::sync::atomic::Ordering::Acquire) {
+///     spin.wait();
+/// }
+/// ```
+#[derive(Debug, Default)]
+pub struct SpinWait {
+    count: u32,
+}
+
+impl SpinWait {
+    /// Creates a fresh waiter.
+    #[inline]
+    pub const fn new() -> Self {
+        Self { count: 0 }
+    }
+
+    /// Performs one unit of waiting according to the installed policy.
+    #[inline]
+    pub fn wait(&mut self) {
+        match POLICY.load(Ordering::Relaxed) {
+            POLICY_SPIN => core::hint::spin_loop(),
+            _ => {
+                if self.count < POLICY_SPINS.load(Ordering::Relaxed) {
+                    self.count += 1;
+                    core::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+
+    /// Resets the bounded-spin budget (e.g. when starting to wait on a new
+    /// condition within the same operation).
+    #[inline]
+    pub fn reset(&mut self) {
+        self.count = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_roundtrip() {
+        let prev = wait_policy();
+        set_wait_policy(WaitPolicy::Spin);
+        assert_eq!(wait_policy(), WaitPolicy::Spin);
+        set_wait_policy(WaitPolicy::SpinThenYield { spins: 7 });
+        assert_eq!(wait_policy(), WaitPolicy::SpinThenYield { spins: 7 });
+        set_wait_policy(prev);
+    }
+
+    #[test]
+    fn spinwait_terminates() {
+        let mut s = SpinWait::new();
+        for _ in 0..1000 {
+            s.wait();
+        }
+        s.reset();
+        s.wait();
+    }
+}

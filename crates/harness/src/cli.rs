@@ -1,0 +1,96 @@
+//! Minimal `--key value` / `--flag` argument parsing for the reproduction
+//! binaries (kept dependency-free on purpose).
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Parsed command-line arguments.
+#[derive(Clone, Debug, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses `std::env::args()` (skipping the binary name).
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit token stream.
+    pub fn parse(tokens: impl IntoIterator<Item = String>) -> Self {
+        let mut args = Args::default();
+        let mut iter = tokens.into_iter().peekable();
+        while let Some(tok) = iter.next() {
+            if let Some(name) = tok.strip_prefix("--") {
+                match iter.peek() {
+                    Some(next) if !next.starts_with("--") => {
+                        let value = iter.next().expect("peeked");
+                        args.values.insert(name.to_string(), value);
+                    }
+                    _ => args.flags.push(name.to_string()),
+                }
+            }
+        }
+        args
+    }
+
+    /// Value of `--name <v>`, parsed, or `default`.
+    pub fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        self.values
+            .get(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// String value of `--name <v>`, or `default`.
+    pub fn get_str(&self, name: &str, default: &str) -> String {
+        self.values
+            .get(name)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
+
+    /// `--secs <f>` style duration (seconds, fractional allowed).
+    pub fn duration(&self, name: &str, default_secs: f64) -> Duration {
+        Duration::from_secs_f64(self.get(name, default_secs))
+    }
+
+    /// True when the bare flag `--name` was given.
+    pub fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn parses_key_values_and_flags() {
+        let a = args("--threads 8 --csv --secs 2.5");
+        assert_eq!(a.get("threads", 1usize), 8);
+        assert!(a.has("csv"));
+        assert_eq!(a.duration("secs", 10.0), Duration::from_secs_f64(2.5));
+        assert!(!a.has("missing"));
+        assert_eq!(a.get("missing", 7u32), 7);
+    }
+
+    #[test]
+    fn consecutive_flags() {
+        let a = args("--quick --verbose --runs 3");
+        assert!(a.has("quick") && a.has("verbose"));
+        assert_eq!(a.get("runs", 0usize), 3);
+    }
+
+    #[test]
+    fn get_str_default() {
+        let a = args("--name hemlock");
+        assert_eq!(a.get_str("name", "x"), "hemlock");
+        assert_eq!(a.get_str("other", "x"), "x");
+    }
+}

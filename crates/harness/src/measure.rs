@@ -1,0 +1,76 @@
+//! Measurement scaffolding: timed intervals, medians, throughput units.
+
+use std::time::Duration;
+
+/// A throughput observation.
+#[derive(Clone, Copy, Debug)]
+pub struct Throughput {
+    /// Completed operations across all threads.
+    pub ops: u64,
+    /// Wall-clock measurement interval.
+    pub elapsed: Duration,
+}
+
+impl Throughput {
+    /// Millions of operations per second — the paper's Y-axis unit
+    /// ("Aggregate throughput rate : M steps/sec").
+    pub fn mops(&self) -> f64 {
+        self.ops as f64 / self.elapsed.as_secs_f64() / 1e6
+    }
+
+    /// Operations per second.
+    pub fn ops_per_sec(&self) -> f64 {
+        self.ops as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+/// Median of the samples produced by running `f` `runs` times — the paper
+/// reports "the median of 7 independent runs" (Figure 2) and "the median of
+/// 5 runs" (Figure 8).
+pub fn median_of(runs: usize, mut f: impl FnMut() -> f64) -> f64 {
+    assert!(runs >= 1);
+    let mut samples: Vec<f64> = (0..runs).map(|_| f()).collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+    samples[samples.len() / 2]
+}
+
+/// The thread counts a sweep visits, capped at `max` (log-ish spacing like
+/// the paper's X axes).
+pub fn thread_sweep(max: usize) -> Vec<usize> {
+    let candidates = [1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128];
+    let mut out: Vec<usize> = candidates.into_iter().take_while(|&t| t <= max).collect();
+    if out.last() != Some(&max) && max >= 1 {
+        out.push(max);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mops_math() {
+        let t = Throughput {
+            ops: 5_000_000,
+            elapsed: Duration::from_secs(1),
+        };
+        assert!((t.mops() - 5.0).abs() < 1e-9);
+        assert!((t.ops_per_sec() - 5e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn median_is_robust_to_outliers() {
+        let mut vals = [1.0, 100.0, 2.0, 3.0, 2.5].into_iter();
+        let m = median_of(5, || vals.next().unwrap());
+        assert_eq!(m, 2.5);
+    }
+
+    #[test]
+    fn sweep_respects_cap() {
+        assert_eq!(thread_sweep(4), vec![1, 2, 3, 4]);
+        assert_eq!(thread_sweep(5), vec![1, 2, 3, 4, 5]);
+        assert!(thread_sweep(64).contains(&64));
+        assert_eq!(thread_sweep(1), vec![1]);
+    }
+}

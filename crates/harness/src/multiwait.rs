@@ -1,0 +1,110 @@
+//! The multi-waiting benchmark (§5.6, Figure 9).
+//!
+//! "We modify MutexBench to have an array of 10 shared locks. There is a
+//! single dedicated 'leader' thread which loops as follows: acquire all 10
+//! locks in ascending order and then release the locks in reverse order. At
+//! the end of the measurement interval the leader reports the number of
+//! steps it completed [...] All the other threads loop, picking a single
+//! random lock from the set of 10, and then acquire and release that lock.
+//! We ignore the number of iterations completed by the non-leader threads.
+//! Neither the leader nor the non-leaders execute any delays."
+//!
+//! This is the adversarial regime for Hemlock: up to `min(T−1, N−1)`
+//! threads can end up busy-waiting on the leader's single Grant word, and
+//! CTR's RMW polling makes that word ping-pong between caches.
+
+use crate::measure::Throughput;
+use core::sync::atomic::{AtomicBool, Ordering};
+use hemlock_core::raw::RawLock;
+use std::time::{Duration, Instant};
+
+/// Configuration for the Figure 9 benchmark.
+#[derive(Clone, Copy, Debug)]
+pub struct MultiwaitConfig {
+    /// Total threads (1 leader + T−1 non-leaders).
+    pub threads: usize,
+    /// Number of shared locks (the paper uses 10).
+    pub locks: usize,
+    /// Measurement interval.
+    pub duration: Duration,
+}
+
+/// Runs the benchmark; `ops` counts the **leader's** completed steps only
+/// (one step = acquire all locks ascending + release all descending).
+pub fn multiwait_bench<L: RawLock>(cfg: MultiwaitConfig) -> Throughput {
+    assert!(cfg.threads >= 1 && cfg.locks >= 1);
+    let locks: Vec<L> = (0..cfg.locks).map(|_| L::default()).collect();
+    let stop = AtomicBool::new(false);
+    let mut leader_steps = 0u64;
+
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        // Non-leaders.
+        for t in 1..cfg.threads {
+            let locks = &locks;
+            let stop = &stop;
+            s.spawn(move || {
+                let mut state = 0x1234_5678_9ABC_DEF0u64 ^ (t as u64).wrapping_mul(0x9E37);
+                while !stop.load(Ordering::Relaxed) {
+                    state = state.wrapping_add(0x9E3779B97F4A7C15);
+                    let mut z = state;
+                    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                    let pick = (z % locks.len() as u64) as usize;
+                    locks[pick].lock();
+                    // Safety: just acquired on this thread.
+                    unsafe { locks[pick].unlock() };
+                }
+            });
+        }
+        // Leader (run on this thread so we can return its count directly).
+        while !stop.load(Ordering::Relaxed) {
+            for l in locks.iter() {
+                l.lock();
+            }
+            for l in locks.iter().rev() {
+                // Safety: acquired above on this thread.
+                unsafe { l.unlock() };
+            }
+            leader_steps += 1;
+            if start.elapsed() >= cfg.duration {
+                stop.store(true, Ordering::Release);
+            }
+        }
+    });
+    let elapsed = start.elapsed();
+
+    Throughput {
+        ops: leader_steps,
+        elapsed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hemlock_core::hemlock::{Hemlock, HemlockNaive};
+    use hemlock_locks::{ClhLock, McsLock, TicketLock};
+
+    fn quick(threads: usize) -> MultiwaitConfig {
+        MultiwaitConfig {
+            threads,
+            locks: 10,
+            duration: Duration::from_millis(80),
+        }
+    }
+
+    #[test]
+    fn leader_alone_progresses() {
+        let t = multiwait_bench::<Hemlock>(quick(1));
+        assert!(t.ops > 100, "leader-only steps: {}", t.ops);
+    }
+
+    #[test]
+    fn leader_with_obstruction_progresses_all_locks() {
+        assert!(multiwait_bench::<Hemlock>(quick(3)).ops > 3);
+        assert!(multiwait_bench::<HemlockNaive>(quick(3)).ops > 3);
+        assert!(multiwait_bench::<McsLock>(quick(3)).ops > 3);
+        assert!(multiwait_bench::<ClhLock>(quick(3)).ops > 3);
+        assert!(multiwait_bench::<TicketLock>(quick(3)).ops > 3);
+    }
+}

@@ -1,0 +1,142 @@
+//! The §5.5 token-ring microbenchmark, on real hardware.
+//!
+//! "A set of concurrent threads are configured in a ring, and circulate a
+//! single token. A thread waits for its mailbox to become non-zero, clears
+//! the mailbox, and deposits the token in its successor's mailbox. Using
+//! CAS, SWAP or Fetch-and-Add to busy-wait improves the circulation rate as
+//! compared to the naive form which uses loads."
+//!
+//! The companion simulation lives in `hemlock-coherence::ring`, which
+//! counts the offcore events this version can only measure indirectly
+//! through throughput.
+
+use crate::measure::Throughput;
+use core::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use hemlock_core::pad::CachePadded;
+use hemlock_core::spin::SpinWait;
+use std::time::{Duration, Instant};
+
+/// Busy-wait primitive used on the mailbox.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RingWait {
+    /// Plain loads; separate store to clear (the naive form).
+    Load,
+    /// `CAS(token → 0)`: observe and clear in one RMW (the CTR pattern).
+    Cas,
+    /// `SWAP(0)`: unconditional exchange until it yields the token.
+    Swap,
+    /// `FAA(0)` read-for-ownership; then a plain store to clear.
+    Faa,
+}
+
+impl RingWait {
+    /// All modes in reporting order.
+    pub const ALL: [RingWait; 4] = [RingWait::Load, RingWait::Cas, RingWait::Swap, RingWait::Faa];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RingWait::Load => "Load",
+            RingWait::Cas => "CAS",
+            RingWait::Swap => "SWAP",
+            RingWait::Faa => "FAA",
+        }
+    }
+}
+
+const TOKEN: u64 = 1;
+
+/// Waits until the mailbox holds the token and clears it, using `mode`.
+/// Returns false if `stop` was raised while waiting.
+fn take_token(mailbox: &AtomicU64, mode: RingWait, stop: &AtomicBool) -> bool {
+    let mut spin = SpinWait::new();
+    loop {
+        let taken = match mode {
+            RingWait::Load => {
+                if mailbox.load(Ordering::Acquire) == TOKEN {
+                    mailbox.store(0, Ordering::Relaxed);
+                    true
+                } else {
+                    false
+                }
+            }
+            RingWait::Cas => mailbox
+                .compare_exchange_weak(TOKEN, 0, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok(),
+            RingWait::Swap => mailbox.swap(0, Ordering::AcqRel) == TOKEN,
+            RingWait::Faa => {
+                if mailbox.fetch_add(0, Ordering::AcqRel) == TOKEN {
+                    mailbox.store(0, Ordering::Relaxed);
+                    true
+                } else {
+                    false
+                }
+            }
+        };
+        if taken {
+            return true;
+        }
+        if stop.load(Ordering::Relaxed) {
+            return false;
+        }
+        spin.wait();
+    }
+}
+
+/// Circulates the token for `duration`; `ops` counts completed laps.
+pub fn ring_bench(threads: usize, duration: Duration, mode: RingWait) -> Throughput {
+    assert!(threads >= 2);
+    let mailboxes: Vec<CachePadded<AtomicU64>> =
+        (0..threads).map(|_| CachePadded::new(AtomicU64::new(0))).collect();
+    let stop = AtomicBool::new(false);
+    let laps = AtomicU64::new(0);
+
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let mailboxes = &mailboxes;
+            let stop = &stop;
+            let laps = &laps;
+            s.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    if !take_token(&mailboxes[t], mode, stop) {
+                        return;
+                    }
+                    if t == 0 {
+                        laps.fetch_add(1, Ordering::Relaxed);
+                    }
+                    mailboxes[(t + 1) % mailboxes.len()].store(TOKEN, Ordering::Release);
+                }
+            });
+        }
+        // Inject the token to start circulation.
+        mailboxes[0].store(TOKEN, Ordering::Release);
+        std::thread::sleep(duration);
+        stop.store(true, Ordering::Release);
+    });
+    let elapsed = start.elapsed();
+
+    Throughput {
+        ops: laps.load(Ordering::Relaxed),
+        elapsed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_circulates_in_all_modes() {
+        for mode in RingWait::ALL {
+            let t = ring_bench(2, Duration::from_millis(60), mode);
+            assert!(t.ops > 10, "{:?}: only {} laps", mode, t.ops);
+        }
+    }
+
+    #[test]
+    fn larger_ring_still_circulates() {
+        let t = ring_bench(4, Duration::from_millis(60), RingWait::Cas);
+        assert!(t.ops > 5);
+    }
+}

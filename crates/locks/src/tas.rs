@@ -1,0 +1,147 @@
+//! Test-and-set and test-and-test-and-set locks (related work, §4).
+//!
+//! "Simple test-and-set or polite test-and-test-and-set locks are compact
+//! and exhibit excellent latency for uncontended operations, but fail to
+//! scale and may allow unfairness and even indefinite starvation."
+//! Included as the compact-but-unfair end of the design space; Anderson's
+//! observation that TTAS beats crude TAS under multiple waiters is also the
+//! counterpoint the paper draws on when motivating why CTR's
+//! busy-wait-with-RMW is *not* an anti-pattern for Hemlock's 1-to-1 Grant
+//! protocol (§2.1).
+
+use core::sync::atomic::{AtomicBool, Ordering};
+use hemlock_core::raw::{RawLock, RawTryLock};
+use hemlock_core::spin::SpinWait;
+
+/// Crude test-and-set spin lock: one byte, unfair, global RMW spinning.
+pub struct TasLock {
+    locked: AtomicBool,
+}
+
+impl TasLock {
+    /// Creates an unlocked lock.
+    pub const fn new() -> Self {
+        Self {
+            locked: AtomicBool::new(false),
+        }
+    }
+}
+
+impl Default for TasLock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+unsafe impl RawLock for TasLock {
+    const NAME: &'static str = "TAS";
+    const LOCK_WORDS: usize = 1;
+    const FIFO: bool = false;
+
+    fn lock(&self) {
+        let mut spin = SpinWait::new();
+        while self.locked.swap(true, Ordering::Acquire) {
+            spin.wait();
+        }
+    }
+
+    unsafe fn unlock(&self) {
+        self.locked.store(false, Ordering::Release);
+    }
+}
+
+unsafe impl RawTryLock for TasLock {
+    fn try_lock(&self) -> bool {
+        !self.locked.swap(true, Ordering::Acquire)
+    }
+}
+
+/// Polite test-and-test-and-set: read-spin until the lock looks free, then
+/// attempt the atomic swap — waiters hold the line in S-state instead of
+/// ping-ponging it in M-state.
+pub struct TtasLock {
+    locked: AtomicBool,
+}
+
+impl TtasLock {
+    /// Creates an unlocked lock.
+    pub const fn new() -> Self {
+        Self {
+            locked: AtomicBool::new(false),
+        }
+    }
+}
+
+impl Default for TtasLock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+unsafe impl RawLock for TtasLock {
+    const NAME: &'static str = "TTAS";
+    const LOCK_WORDS: usize = 1;
+    const FIFO: bool = false;
+
+    fn lock(&self) {
+        let mut spin = SpinWait::new();
+        loop {
+            if !self.locked.load(Ordering::Relaxed) && !self.locked.swap(true, Ordering::Acquire)
+            {
+                return;
+            }
+            spin.wait();
+        }
+    }
+
+    unsafe fn unlock(&self) {
+        self.locked.store(false, Ordering::Release);
+    }
+}
+
+unsafe impl RawTryLock for TtasLock {
+    fn try_lock(&self) -> bool {
+        !self.locked.load(Ordering::Relaxed) && !self.locked.swap(true, Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tas_tests {
+    #[allow(unused_imports)]
+    use super::*;
+    crate::baseline_tests!(super::TasLock);
+
+    #[test]
+    fn try_lock_semantics() {
+        use hemlock_core::raw::{RawLock, RawTryLock};
+        let l = super::TasLock::new();
+        assert!(l.try_lock());
+        assert!(!l.try_lock());
+        unsafe { l.unlock() };
+        assert!(l.try_lock());
+        unsafe { l.unlock() };
+    }
+
+    #[test]
+    fn single_byte_body() {
+        assert_eq!(core::mem::size_of::<super::TasLock>(), 1);
+    }
+}
+
+#[cfg(test)]
+mod ttas_tests {
+    #[allow(unused_imports)]
+    use super::*;
+    crate::baseline_tests!(super::TtasLock);
+
+    #[test]
+    fn try_lock_semantics() {
+        use hemlock_core::raw::{RawLock, RawTryLock};
+        let l = super::TtasLock::new();
+        assert!(l.try_lock());
+        assert!(!l.try_lock());
+        unsafe { l.unlock() };
+        assert!(l.try_lock());
+        unsafe { l.unlock() };
+    }
+}

@@ -1,0 +1,127 @@
+//! Classic Ticket Lock.
+//!
+//! Two words, no per-thread data: arrivals take a ticket with `fetch_add`
+//! and spin until the `serving` counter reaches it. "They perform well in
+//! the absence of contention, exhibiting low latency because of short code
+//! paths. Under contention, however, performance suffers because all threads
+//! contending for a given lock will busy-wait on a central location,
+//! increasing coherence costs" (§1) — the global-spinning behaviour our
+//! Figure 2/3 reproductions and the coherence simulator both expose.
+
+use core::sync::atomic::{AtomicU64, Ordering};
+use hemlock_core::raw::RawLock;
+use hemlock_core::spin::SpinWait;
+
+/// Classic two-word ticket lock: FIFO, global spinning, no trylock (taking
+/// a ticket is already a commitment; see §2).
+pub struct TicketLock {
+    /// Next ticket to hand out.
+    next: AtomicU64,
+    /// Ticket currently being served; all waiters spin here (globally).
+    serving: AtomicU64,
+}
+
+impl TicketLock {
+    /// Creates an unlocked lock.
+    pub const fn new() -> Self {
+        Self {
+            next: AtomicU64::new(0),
+            serving: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of arrivals so far (tests and instrumentation).
+    #[doc(hidden)]
+    pub fn arrivals(&self) -> u64 {
+        self.next.load(Ordering::Relaxed)
+    }
+
+    /// True when some thread holds the lock.
+    pub fn is_locked(&self) -> bool {
+        self.next.load(Ordering::Relaxed) != self.serving.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for TicketLock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+unsafe impl RawLock for TicketLock {
+    const NAME: &'static str = "Ticket";
+    const LOCK_WORDS: usize = 2;
+    const FIFO: bool = true;
+
+    fn lock(&self) {
+        // Uncontended acquisition is a single fetch-and-add (§2).
+        let ticket = self.next.fetch_add(1, Ordering::Relaxed);
+        let mut spin = SpinWait::new();
+        while self.serving.load(Ordering::Acquire) != ticket {
+            spin.wait();
+        }
+    }
+
+    unsafe fn unlock(&self) {
+        // Only the owner writes `serving`: plain add-and-store, wait-free.
+        let next = self.serving.load(Ordering::Relaxed) + 1;
+        self.serving.store(next, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    crate::baseline_tests!(super::TicketLock);
+
+    #[test]
+    fn lock_body_is_two_words() {
+        assert_eq!(core::mem::size_of::<TicketLock>(), 16);
+    }
+
+    #[test]
+    fn is_locked_tracks_state() {
+        let l = TicketLock::new();
+        assert!(!l.is_locked());
+        l.lock();
+        assert!(l.is_locked());
+        unsafe { l.unlock() };
+        assert!(!l.is_locked());
+    }
+
+    #[test]
+    fn fifo_admission_order() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+
+        let l = Arc::new(TicketLock::new());
+        let order = Arc::new(AtomicUsize::new(0));
+        let finish: Arc<Vec<AtomicUsize>> =
+            Arc::new((0..4).map(|_| AtomicUsize::new(usize::MAX)).collect());
+
+        l.lock();
+        let mut handles = Vec::new();
+        for i in 0..4 {
+            let prev = l.arrivals();
+            let l2 = Arc::clone(&l);
+            let order2 = Arc::clone(&order);
+            let finish2 = Arc::clone(&finish);
+            handles.push(std::thread::spawn(move || {
+                l2.lock();
+                finish2[i].store(order2.fetch_add(1, Ordering::AcqRel), Ordering::Release);
+                unsafe { l2.unlock() };
+            }));
+            // The doorstep here is the fetch_add on `next`.
+            while l.arrivals() == prev {
+                std::hint::spin_loop();
+            }
+        }
+        unsafe { l.unlock() };
+        for h in handles {
+            h.join().unwrap();
+        }
+        for i in 0..4 {
+            assert_eq!(finish[i].load(Ordering::Acquire), i);
+        }
+    }
+}

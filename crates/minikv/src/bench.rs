@@ -1,0 +1,153 @@
+//! `db_bench`-style drivers: `fillseq` to populate, `readrandom` with a
+//! fixed duration — the exact workloads behind Figure 8.
+//!
+//! The paper: "We first populated a database [db_bench --benchmarks=fillseq]
+//! and then collected data [--benchmarks=readrandom --use_existing_db=1
+//! --duration=50]. Each thread loops, generating random keys and then tries
+//! to read the associated value from the database. [...] We made a slight
+//! modification to the db_bench benchmarking harness to allow runs with a
+//! fixed duration that reported aggregate throughput."
+
+use crate::db::Db;
+use core::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use hemlock_core::pad::CachePadded;
+use hemlock_core::raw::RawLock;
+use std::time::{Duration, Instant};
+
+/// db_bench-compatible 16-byte zero-padded decimal key ("%016d").
+pub fn key_for(index: u64) -> [u8; 16] {
+    let mut buf = [b'0'; 16];
+    let mut i = 15;
+    let mut v = index;
+    loop {
+        buf[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 || i == 0 {
+            break;
+        }
+        i -= 1;
+    }
+    buf
+}
+
+/// Deterministic value bytes for a key (verifiable on read).
+pub fn value_for(index: u64, len: usize) -> Vec<u8> {
+    (0..len).map(|i| ((index as usize + i) % 251) as u8).collect()
+}
+
+/// `fillseq`: sequential keys `0..entries`.
+pub fn fill_seq<L: RawLock>(db: &Db<L>, entries: u64, value_len: usize) {
+    for i in 0..entries {
+        db.put(&key_for(i), &value_for(i, value_len));
+    }
+}
+
+/// Result of a timed read benchmark.
+#[derive(Clone, Debug)]
+pub struct ReadBenchResult {
+    /// Total completed reads across all threads.
+    pub ops: u64,
+    /// Reads that found their key (sanity: should equal `ops` after
+    /// `fill_seq` with matching keyspace).
+    pub hits: u64,
+    /// Wall-clock measurement time.
+    pub elapsed: Duration,
+}
+
+impl ReadBenchResult {
+    /// Aggregate throughput in operations per second.
+    pub fn ops_per_sec(&self) -> f64 {
+        self.ops as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+/// `readrandom`: `threads` threads each loop generating a random key in
+/// `0..keyspace` and reading it, for `duration`.
+pub fn read_random<L: RawLock>(
+    db: &Db<L>,
+    threads: usize,
+    keyspace: u64,
+    duration: Duration,
+) -> ReadBenchResult {
+    let stop = AtomicBool::new(false);
+    let counters: Vec<CachePadded<AtomicU64>> =
+        (0..threads).map(|_| CachePadded::new(AtomicU64::new(0))).collect();
+    let hit_counters: Vec<CachePadded<AtomicU64>> =
+        (0..threads).map(|_| CachePadded::new(AtomicU64::new(0))).collect();
+
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let stop = &stop;
+            let ops = &counters[t];
+            let hits = &hit_counters[t];
+            s.spawn(move || {
+                // Thread-local PRNG (splitmix64), seeded per thread.
+                let mut state = 0x9E3779B97F4A7C15u64.wrapping_mul(t as u64 + 1);
+                let mut local_ops = 0u64;
+                let mut local_hits = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    state = state.wrapping_add(0x9E3779B97F4A7C15);
+                    let mut z = state;
+                    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                    let k = (z ^ (z >> 31)) % keyspace;
+                    if db.get(&key_for(k)).is_some() {
+                        local_hits += 1;
+                    }
+                    local_ops += 1;
+                }
+                ops.store(local_ops, Ordering::Release);
+                hits.store(local_hits, Ordering::Release);
+            });
+        }
+        std::thread::sleep(duration);
+        stop.store(true, Ordering::Release);
+    });
+    let elapsed = start.elapsed();
+
+    ReadBenchResult {
+        ops: counters.iter().map(|c| c.load(Ordering::Acquire)).sum(),
+        hits: hit_counters.iter().map(|c| c.load(Ordering::Acquire)).sum(),
+        elapsed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hemlock_core::hemlock::Hemlock;
+
+    #[test]
+    fn key_formatting_matches_db_bench() {
+        assert_eq!(&key_for(0), b"0000000000000000");
+        assert_eq!(&key_for(42), b"0000000000000042");
+        assert_eq!(&key_for(1234567890123456), b"1234567890123456");
+    }
+
+    #[test]
+    fn keys_are_ordered_like_their_indices() {
+        for (a, b) in [(0u64, 1), (9, 10), (99, 100), (123, 124)] {
+            assert!(key_for(a) < key_for(b));
+        }
+    }
+
+    #[test]
+    fn value_roundtrip_after_fillseq() {
+        let db: Db<Hemlock> = Db::new(Default::default());
+        fill_seq(&db, 1_000, 100);
+        for i in (0..1_000).step_by(111) {
+            assert_eq!(db.get(&key_for(i)), Some(value_for(i, 100)));
+        }
+    }
+
+    #[test]
+    fn readrandom_hits_everything_in_keyspace() {
+        let db: Db<Hemlock> = Db::new(Default::default());
+        fill_seq(&db, 500, 64);
+        let r = read_random(&db, 2, 500, Duration::from_millis(100));
+        assert!(r.ops > 0);
+        assert_eq!(r.ops, r.hits, "all keys exist, every read must hit");
+        assert!(r.ops_per_sec() > 0.0);
+    }
+}

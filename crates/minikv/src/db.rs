@@ -1,0 +1,338 @@
+//! The database: memtable + immutable runs behind one central mutex.
+//!
+//! Mirrors the locking discipline Figure 8 measures: "LevelDB uses
+//! coarse-grained locking, protecting the database with a single central
+//! mutex: DBImpl::Mutex. Profiling indicates contention on that lock via
+//! leveldb::DBImpl::Get()." Reads take the central lock briefly — to search
+//! the active memtable and snapshot `Arc` handles to the immutable runs —
+//! then search the runs *outside* the lock, as LevelDB's `Get` does.
+//!
+//! The mutex is generic over [`RawLock`], so swapping MCS / CLH / Ticket /
+//! Hemlock under the same database is a type parameter, standing in for the
+//! paper's `LD_PRELOAD` interposition.
+
+use crate::memtable::{Memtable, Slot};
+use crate::run::Run;
+use core::cell::UnsafeCell;
+use core::sync::atomic::{AtomicU64, Ordering};
+use hemlock_core::raw::RawLock;
+use std::sync::Arc;
+
+/// Tuning knobs.
+#[derive(Clone, Debug)]
+pub struct Options {
+    /// Freeze the memtable into a run once it holds roughly this many bytes.
+    pub memtable_bytes: usize,
+    /// Merge the two oldest runs once more than this many accumulate.
+    pub max_runs: usize,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            memtable_bytes: 1 << 20,
+            max_runs: 8,
+        }
+    }
+}
+
+/// Operation counters (updated with relaxed atomics, readable anytime).
+#[derive(Debug, Default)]
+pub struct DbStats {
+    /// Completed point lookups.
+    pub gets: AtomicU64,
+    /// Completed writes (including deletes).
+    pub puts: AtomicU64,
+    /// Memtable freezes.
+    pub freezes: AtomicU64,
+    /// Run merges.
+    pub compactions: AtomicU64,
+}
+
+/// State protected by the central mutex.
+struct Inner {
+    mem: Memtable,
+    /// Immutable runs, newest first.
+    runs: Vec<Arc<Run>>,
+}
+
+/// A LevelDB-shaped KV store generic over the central lock algorithm.
+///
+/// ```
+/// use hemlock_minikv::Db;
+/// use hemlock_core::hemlock::Hemlock;
+///
+/// let db: Db<Hemlock> = Db::new(Default::default());
+/// db.put(b"answer", b"42");
+/// assert_eq!(db.get(b"answer"), Some(b"42".to_vec()));
+/// db.delete(b"answer");
+/// assert_eq!(db.get(b"answer"), None);
+/// ```
+pub struct Db<L: RawLock> {
+    mu: L,
+    inner: UnsafeCell<Inner>,
+    stats: DbStats,
+    opts: Options,
+}
+
+// Safety: `inner` is only touched while holding `mu`.
+unsafe impl<L: RawLock> Send for Db<L> {}
+unsafe impl<L: RawLock> Sync for Db<L> {}
+
+/// RAII critical section over `Db::inner`.
+struct DbGuard<'a, L: RawLock> {
+    db: &'a Db<L>,
+}
+
+impl<'a, L: RawLock> DbGuard<'a, L> {
+    fn lock(db: &'a Db<L>) -> Self {
+        db.mu.lock();
+        Self { db }
+    }
+
+    #[allow(clippy::mut_from_ref)]
+    fn inner(&mut self) -> &mut Inner {
+        // Safety: we hold the central mutex.
+        unsafe { &mut *self.db.inner.get() }
+    }
+}
+
+impl<L: RawLock> Drop for DbGuard<'_, L> {
+    fn drop(&mut self) {
+        // Safety: this guard acquired the lock on this thread.
+        unsafe { self.db.mu.unlock() };
+    }
+}
+
+impl<L: RawLock> Db<L> {
+    /// Creates an empty database.
+    pub fn new(opts: Options) -> Self {
+        Self {
+            mu: L::default(),
+            inner: UnsafeCell::new(Inner {
+                mem: Memtable::new(),
+                runs: Vec::new(),
+            }),
+            stats: DbStats::default(),
+            opts,
+        }
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> &DbStats {
+        &self.stats
+    }
+
+    /// Name of the central lock algorithm (for benchmark reporting).
+    pub fn lock_name(&self) -> &'static str {
+        L::NAME
+    }
+
+    fn write_slot(&self, key: &[u8], value: Slot) {
+        let mut g = DbGuard::lock(self);
+        let inner = g.inner();
+        inner.mem.insert(key, value);
+        if inner.mem.approximate_bytes() >= self.opts.memtable_bytes {
+            let full = std::mem::take(&mut inner.mem);
+            inner
+                .runs
+                .insert(0, Arc::new(Run::from_sorted(full.into_sorted())));
+            self.stats.freezes.fetch_add(1, Ordering::Relaxed);
+            if inner.runs.len() > self.opts.max_runs {
+                // Fold the two oldest runs together (simplified foreground
+                // compaction; LevelDB does this on a background thread).
+                let older = inner.runs.pop().expect("len > max_runs >= 1");
+                let newer = inner.runs.pop().expect("len > max_runs >= 1");
+                inner.runs.push(Arc::new(Run::merge(&newer, &older)));
+                self.stats.compactions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        drop(g);
+        self.stats.puts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Inserts or overwrites a key.
+    pub fn put(&self, key: &[u8], value: &[u8]) {
+        self.write_slot(key, Some(value.into()));
+    }
+
+    /// Deletes a key (tombstone write).
+    pub fn delete(&self, key: &[u8]) {
+        self.write_slot(key, None);
+    }
+
+    /// Point lookup.
+    pub fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
+        // Critical section: search the active memtable and snapshot run
+        // handles. Everything below the lock drop runs concurrently.
+        let mut g = DbGuard::lock(self);
+        let inner = g.inner();
+        if let Some(slot) = inner.mem.get(key) {
+            let hit = slot.as_ref().map(|v| v.to_vec());
+            drop(g);
+            self.stats.gets.fetch_add(1, Ordering::Relaxed);
+            return hit;
+        }
+        let snapshot: Vec<Arc<Run>> = inner.runs.clone();
+        drop(g);
+
+        let mut result = None;
+        for run in &snapshot {
+            if let Some(slot) = run.get(key) {
+                result = slot.as_ref().map(|v| v.to_vec());
+                break;
+            }
+        }
+        self.stats.gets.fetch_add(1, Ordering::Relaxed);
+        result
+    }
+
+    /// Number of immutable runs (tests/diagnostics).
+    pub fn run_count(&self) -> usize {
+        let mut g = DbGuard::lock(self);
+        g.inner().runs.len()
+    }
+
+    /// Total entries across memtable and runs, counting shadowed duplicates
+    /// (diagnostics).
+    pub fn entry_count(&self) -> usize {
+        let mut g = DbGuard::lock(self);
+        let inner = g.inner();
+        inner.mem.len() + inner.runs.iter().map(|r| r.len()).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hemlock_core::hemlock::Hemlock;
+    use hemlock_locks::{ClhLock, McsLock, TicketLock};
+
+    fn tiny_opts() -> Options {
+        Options {
+            memtable_bytes: 512,
+            max_runs: 3,
+        }
+    }
+
+    #[test]
+    fn put_get_delete_roundtrip() {
+        let db: Db<Hemlock> = Db::new(Options::default());
+        db.put(b"a", b"1");
+        assert_eq!(db.get(b"a"), Some(b"1".to_vec()));
+        db.delete(b"a");
+        assert_eq!(db.get(b"a"), None);
+        assert_eq!(db.get(b"missing"), None);
+    }
+
+    #[test]
+    fn freeze_preserves_visibility() {
+        let db: Db<Hemlock> = Db::new(tiny_opts());
+        for i in 0..200u32 {
+            db.put(format!("key{i:05}").as_bytes(), &i.to_be_bytes());
+        }
+        assert!(db.run_count() > 0, "memtable must have frozen");
+        for i in 0..200u32 {
+            assert_eq!(
+                db.get(format!("key{i:05}").as_bytes()),
+                Some(i.to_be_bytes().to_vec()),
+                "key{i:05}"
+            );
+        }
+    }
+
+    #[test]
+    fn compaction_bounds_run_count() {
+        let db: Db<Hemlock> = Db::new(tiny_opts());
+        for i in 0..2000u32 {
+            db.put(format!("key{i:05}").as_bytes(), &i.to_be_bytes());
+        }
+        assert!(db.run_count() <= tiny_opts().max_runs + 1);
+        assert!(db.stats().compactions.load(Ordering::Relaxed) > 0);
+        // Spot-check visibility after compactions.
+        for i in (0..2000u32).step_by(97) {
+            assert!(db.get(format!("key{i:05}").as_bytes()).is_some());
+        }
+    }
+
+    #[test]
+    fn overwrites_resolve_to_newest_across_runs() {
+        let db: Db<Hemlock> = Db::new(tiny_opts());
+        for round in 0..5u32 {
+            for i in 0..100u32 {
+                db.put(
+                    format!("key{i:03}").as_bytes(),
+                    format!("v{round}").as_bytes(),
+                );
+            }
+        }
+        for i in 0..100u32 {
+            assert_eq!(db.get(format!("key{i:03}").as_bytes()), Some(b"v4".to_vec()));
+        }
+    }
+
+    #[test]
+    fn delete_shadows_older_runs() {
+        let db: Db<Hemlock> = Db::new(tiny_opts());
+        for i in 0..300u32 {
+            db.put(format!("key{i:05}").as_bytes(), b"live");
+        }
+        for i in (0..300u32).step_by(2) {
+            db.delete(format!("key{i:05}").as_bytes());
+        }
+        for i in 0..300u32 {
+            let got = db.get(format!("key{i:05}").as_bytes());
+            if i % 2 == 0 {
+                assert_eq!(got, None, "key{i:05} deleted");
+            } else {
+                assert_eq!(got, Some(b"live".to_vec()));
+            }
+        }
+    }
+
+    fn concurrent_readers_with_writer<L: RawLock + 'static>() {
+        let db: Arc<Db<L>> = Arc::new(Db::new(tiny_opts()));
+        for i in 0..500u32 {
+            db.put(format!("key{i:05}").as_bytes(), &i.to_be_bytes());
+        }
+        std::thread::scope(|s| {
+            for t in 0..3 {
+                let db = Arc::clone(&db);
+                s.spawn(move || {
+                    for i in 0..2_000u32 {
+                        let k = (i * 7 + t * 13) % 500;
+                        let got = db.get(format!("key{k:05}").as_bytes());
+                        assert!(got.is_some(), "key{k:05} must exist");
+                    }
+                });
+            }
+            let db = Arc::clone(&db);
+            s.spawn(move || {
+                for i in 500..1_000u32 {
+                    db.put(format!("key{i:05}").as_bytes(), &i.to_be_bytes());
+                }
+            });
+        });
+        assert_eq!(db.stats().gets.load(Ordering::Relaxed), 6_000);
+    }
+
+    #[test]
+    fn concurrent_access_under_hemlock() {
+        concurrent_readers_with_writer::<Hemlock>();
+    }
+
+    #[test]
+    fn concurrent_access_under_mcs() {
+        concurrent_readers_with_writer::<McsLock>();
+    }
+
+    #[test]
+    fn concurrent_access_under_clh() {
+        concurrent_readers_with_writer::<ClhLock>();
+    }
+
+    #[test]
+    fn concurrent_access_under_ticket() {
+        concurrent_readers_with_writer::<TicketLock>();
+    }
+}

@@ -1,0 +1,108 @@
+//! The mutable in-memory table.
+//!
+//! Plays the role of LevelDB's active memtable: an ordered map from keys to
+//! values (or tombstones), with an approximate byte budget that triggers a
+//! freeze into an immutable [`crate::run::Run`]. Accessed only under the
+//! database's central mutex — the coarse-grained locking discipline whose
+//! contention Figure 8 measures.
+
+use std::collections::BTreeMap;
+
+/// A value or a deletion marker.
+pub type Slot = Option<Box<[u8]>>;
+
+/// Mutable sorted table.
+#[derive(Debug, Default)]
+pub struct Memtable {
+    map: BTreeMap<Box<[u8]>, Slot>,
+    approx_bytes: usize,
+}
+
+impl Memtable {
+    /// Creates an empty memtable.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts or overwrites `key`. `None` is a tombstone.
+    pub fn insert(&mut self, key: &[u8], value: Slot) {
+        let vlen = value.as_ref().map_or(0, |v| v.len());
+        match self.map.insert(key.into(), value) {
+            Some(old) => {
+                let old_len = old.as_ref().map_or(0, |v| v.len());
+                self.approx_bytes = self.approx_bytes - old_len + vlen;
+            }
+            None => {
+                self.approx_bytes += key.len() + vlen + 16;
+            }
+        }
+    }
+
+    /// Point lookup. Outer `None` = key unknown here; `Some(None)` = known
+    /// deleted (tombstone).
+    pub fn get(&self, key: &[u8]) -> Option<&Slot> {
+        self.map.get(key)
+    }
+
+    /// Number of entries (including tombstones).
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Approximate heap footprint driving freeze decisions.
+    pub fn approximate_bytes(&self) -> usize {
+        self.approx_bytes
+    }
+
+    /// Drains the table into sorted `(key, slot)` pairs.
+    pub fn into_sorted(self) -> Vec<(Box<[u8]>, Slot)> {
+        self.map.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut m = Memtable::new();
+        m.insert(b"k1", Some(b"v1".to_vec().into()));
+        assert_eq!(m.get(b"k1"), Some(&Some(b"v1".to_vec().into())));
+        assert_eq!(m.get(b"nope"), None);
+    }
+
+    #[test]
+    fn tombstone_is_distinguishable_from_absence() {
+        let mut m = Memtable::new();
+        m.insert(b"k", None);
+        assert_eq!(m.get(b"k"), Some(&None));
+        assert_eq!(m.get(b"other"), None);
+    }
+
+    #[test]
+    fn overwrite_updates_size_accounting() {
+        let mut m = Memtable::new();
+        m.insert(b"k", Some(vec![0u8; 100].into()));
+        let s1 = m.approximate_bytes();
+        m.insert(b"k", Some(vec![0u8; 10].into()));
+        assert!(m.approximate_bytes() < s1);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn into_sorted_is_ordered() {
+        let mut m = Memtable::new();
+        for k in [b"c".as_slice(), b"a", b"b"] {
+            m.insert(k, Some(k.to_vec().into()));
+        }
+        let sorted = m.into_sorted();
+        let keys: Vec<&[u8]> = sorted.iter().map(|(k, _)| k.as_ref()).collect();
+        assert_eq!(keys, vec![b"a".as_slice(), b"b", b"c"]);
+    }
+}

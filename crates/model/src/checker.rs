@@ -1,0 +1,252 @@
+//! Property oracles for the paper's §3 theorems.
+//!
+//! - **Mutual exclusion** (Theorem 2) is checked *statelessly*: a thread is
+//!   in the critical section for lock `l` iff it holds `l` and is not in
+//!   `l`'s exit code (§3 splits entry code / CS / exit code / remainder —
+//!   Hemlock's ack wait belongs to the exit code, after ownership moved).
+//! - **FIFO** (Theorem 8) is path-dependent: we track the doorstep order
+//!   per lock and require critical-section entries to pop that queue in
+//!   order. The tracker state is hashed alongside the world so DFS pruning
+//!   stays sound.
+//! - **Fere-local spinning** (Theorem 10) is a census over pending
+//!   operations: threads spinning on thread `u`'s Grant word must number at
+//!   most the locks currently *associated* with `u` (doorstep executed,
+//!   exit code not complete).
+
+use hemlock_simlock::{Event, LockAlgorithm, World};
+use std::collections::VecDeque;
+use std::hash::{Hash, Hasher};
+
+/// A property violation found during exploration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// Two threads in the critical section of one lock (Theorem 2 broken).
+    MutualExclusion {
+        /// The lock.
+        lock: usize,
+        /// Threads simultaneously inside.
+        tids: Vec<usize>,
+    },
+    /// A thread entered the CS out of doorstep order (Theorem 8 broken).
+    Fifo {
+        /// The lock.
+        lock: usize,
+        /// Thread that should have entered next.
+        expected: usize,
+        /// Thread that actually entered.
+        actual: usize,
+    },
+    /// More spinners on one word than its owner's associated locks
+    /// (Theorem 10 broken).
+    FereLocal {
+        /// The spun-on word.
+        loc: usize,
+        /// Number of threads spinning there.
+        spinners: usize,
+        /// The theorem's bound at this instant.
+        bound: usize,
+    },
+    /// A reachable state where no thread can make progress.
+    Deadlock,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::MutualExclusion { lock, tids } => {
+                write!(f, "mutual exclusion broken on lock {lock}: threads {tids:?} in CS")
+            }
+            Violation::Fifo {
+                lock,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "FIFO broken on lock {lock}: expected thread {expected}, got {actual}"
+            ),
+            Violation::FereLocal {
+                loc,
+                spinners,
+                bound,
+            } => write!(
+                f,
+                "fere-local spinning broken: {spinners} spinners on word {loc}, bound {bound}"
+            ),
+            Violation::Deadlock => write!(f, "deadlock: no thread can progress"),
+        }
+    }
+}
+
+/// Path-dependent FIFO tracker: doorstep order per lock.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FifoTracker {
+    queues: Vec<VecDeque<usize>>,
+}
+
+impl FifoTracker {
+    /// Tracker for `locks` locks.
+    pub fn new(locks: usize) -> Self {
+        Self {
+            queues: vec![VecDeque::new(); locks],
+        }
+    }
+
+    /// Feeds one event; returns a violation if FIFO order broke.
+    pub fn on_event(&mut self, event: &Event) -> Option<Violation> {
+        match *event {
+            Event::Doorstep { tid, lock } => {
+                self.queues[lock].push_back(tid);
+                None
+            }
+            Event::Acquired { tid, lock } => match self.queues[lock].pop_front() {
+                Some(expected) if expected == tid => None,
+                Some(expected) => Some(Violation::Fifo {
+                    lock,
+                    expected,
+                    actual: tid,
+                }),
+                None => Some(Violation::Fifo {
+                    lock,
+                    expected: usize::MAX,
+                    actual: tid,
+                }),
+            },
+            _ => None,
+        }
+    }
+
+    /// Hashes the tracker state (joined with the world hash for DFS
+    /// visited-set soundness).
+    pub fn hash_into(&self, h: &mut impl Hasher) {
+        for q in &self.queues {
+            q.hash(h);
+        }
+    }
+}
+
+/// Stateless mutual-exclusion check over the current world state.
+pub fn check_mutual_exclusion<A: LockAlgorithm>(world: &World<A>, locks: usize) -> Option<Violation> {
+    for lock in 0..locks {
+        let mut inside = Vec::new();
+        for (tid, t) in world.threads.iter().enumerate() {
+            if t.holding().contains(&lock) && t.releasing() != Some(lock) {
+                inside.push(tid);
+            }
+        }
+        if inside.len() > 1 {
+            return Some(Violation::MutualExclusion {
+                lock,
+                tids: inside,
+            });
+        }
+    }
+    None
+}
+
+/// Fere-local spinning census (Theorem 10 / the §2.2 multi-waiting degree):
+/// for every thread `u` with a Grant word, the number of **other** threads
+/// spinning on that word must not exceed the number of locks associated
+/// with `u`.
+///
+/// Two refinements over a naive "who is polling" count, both implied by the
+/// paper's definitions:
+///
+/// 1. A thread counts as spinning only while its busy-wait condition is
+///    unsatisfied (§3's waiters are "waiting for L *to appear*"): once the
+///    awaited value is published, the waiter's next poll exits the loop —
+///    the Theorem 10 proof relies on exactly that hand-off ("when Ti starts
+///    spinning on Selfi→Grant, another thread Tj stops spinning").
+/// 2. Only *remote* spinners count — §2.2's bound is on "the worst-case
+///    number of threads that could be busy-waiting on a given thread T's
+///    Grant field", i.e. inter-thread interference. The owner's own
+///    exit-code wait is not multi-waiting, and under the Overlap variant it
+///    can legitimately outlive the lock association (the ack wait defers to
+///    the next operation's prologue).
+pub fn check_fere_local<A: LockAlgorithm>(world: &mut World<A>) -> Option<Violation> {
+    let n = world.thread_count();
+    for u in 0..n {
+        let Some(grant) = world.algo.grant_word(u) else {
+            continue;
+        };
+        let mut spinners = 0;
+        for tid in 0..n {
+            if tid == u || world.threads[tid].finished() {
+                continue;
+            }
+            if let Some((_, meta)) = world.peek(tid) {
+                if let hemlock_simlock::Meta::SpinWait { loc, until } = meta {
+                    if loc == grant && !until.satisfied(world.mem[loc]) {
+                        spinners += 1;
+                    }
+                }
+            }
+        }
+        let bound = world.threads[u].associated().len();
+        if spinners > bound {
+            return Some(Violation::FereLocal {
+                loc: grant,
+                spinners,
+                bound,
+            });
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hemlock_simlock::algos::{HemlockFlavor, HemlockSim};
+    use hemlock_simlock::Program;
+
+    #[test]
+    fn fifo_tracker_accepts_in_order() {
+        let mut t = FifoTracker::new(1);
+        assert!(t.on_event(&Event::Doorstep { tid: 0, lock: 0 }).is_none());
+        assert!(t.on_event(&Event::Doorstep { tid: 1, lock: 0 }).is_none());
+        assert!(t.on_event(&Event::Acquired { tid: 0, lock: 0 }).is_none());
+        assert!(t.on_event(&Event::Acquired { tid: 1, lock: 0 }).is_none());
+    }
+
+    #[test]
+    fn fifo_tracker_rejects_out_of_order() {
+        let mut t = FifoTracker::new(1);
+        t.on_event(&Event::Doorstep { tid: 0, lock: 0 });
+        t.on_event(&Event::Doorstep { tid: 1, lock: 0 });
+        let v = t.on_event(&Event::Acquired { tid: 1, lock: 0 });
+        assert_eq!(
+            v,
+            Some(Violation::Fifo {
+                lock: 0,
+                expected: 0,
+                actual: 1
+            })
+        );
+    }
+
+    #[test]
+    fn mutex_check_clean_on_fresh_world() {
+        let algo = HemlockSim::new(2, 1, HemlockFlavor::Ctr);
+        let w = World::new(
+            algo,
+            vec![
+                Program::lock_unlock(0, 0, 0, 1),
+                Program::lock_unlock(0, 0, 0, 1),
+            ],
+        );
+        assert!(check_mutual_exclusion(&w, 1).is_none());
+    }
+
+    #[test]
+    fn fere_local_census_clean_on_fresh_world() {
+        let algo = HemlockSim::new(2, 1, HemlockFlavor::Ctr);
+        let mut w = World::new(
+            algo,
+            vec![
+                Program::lock_unlock(0, 0, 0, 1),
+                Program::lock_unlock(0, 0, 0, 1),
+            ],
+        );
+        assert!(check_fere_local(&mut w).is_none());
+    }
+}

@@ -1,0 +1,314 @@
+//! Bounded-exhaustive schedule exploration (DFS with state hashing).
+//!
+//! Every reachable interleaving of atomic operations is enumerated for small
+//! configurations; at each state the §3 property oracles run. Because the
+//! paper's algorithms busy-wait, the raw transition system is infinite in
+//! time but finite in *state*: a failed poll leaves the state unchanged, so
+//! the visited set collapses spin cycles.
+
+use crate::checker::{check_fere_local, check_mutual_exclusion, FifoTracker, Violation};
+use hemlock_simlock::{LockAlgorithm, World};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashSet;
+use std::hash::Hasher;
+
+/// Exploration limits and toggles.
+#[derive(Clone, Copy, Debug)]
+pub struct ExploreConfig {
+    /// Stop after visiting this many distinct states.
+    pub max_states: usize,
+    /// Also run the fere-local census at every state (costlier).
+    pub check_fere_local: bool,
+    /// Number of locks (for the mutex/FIFO oracles).
+    pub locks: usize,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        Self {
+            max_states: 500_000,
+            check_fere_local: true,
+            locks: 1,
+        }
+    }
+}
+
+/// Result of an exploration run.
+#[derive(Clone, Debug)]
+pub struct ExploreReport {
+    /// Distinct states visited.
+    pub states: usize,
+    /// Property violations found (empty = all checked states clean).
+    pub violations: Vec<Violation>,
+    /// True when the whole reachable space fit under `max_states`
+    /// (i.e. the result is exhaustive, not a sample).
+    pub exhaustive: bool,
+    /// Number of fully-terminated states reached.
+    pub terminal_states: usize,
+}
+
+impl ExploreReport {
+    /// True when no violations were found.
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+fn node_key<A: LockAlgorithm>(world: &World<A>, fifo: &FifoTracker) -> u64 {
+    let mut h = DefaultHasher::new();
+    h.write_u64(world.state_hash());
+    fifo.hash_into(&mut h);
+    h.finish()
+}
+
+/// Exhaustively explores all interleavings of `world` (up to the state cap),
+/// checking mutual exclusion, FIFO, deadlock-freedom and (optionally) the
+/// fere-local spinning bound at every reachable state.
+pub fn explore<A>(world: World<A>, cfg: ExploreConfig) -> ExploreReport
+where
+    A: LockAlgorithm + Clone,
+{
+    let mut visited: HashSet<u64> = HashSet::new();
+    let mut stack: Vec<(World<A>, FifoTracker)> = Vec::new();
+    let mut report = ExploreReport {
+        states: 0,
+        violations: Vec::new(),
+        exhaustive: true,
+        terminal_states: 0,
+    };
+
+    let fifo0 = FifoTracker::new(cfg.locks);
+    visited.insert(node_key(&world, &fifo0));
+    stack.push((world, fifo0));
+
+    while let Some((mut world, fifo)) = stack.pop() {
+        report.states += 1;
+        if report.states >= cfg.max_states {
+            report.exhaustive = false;
+            break;
+        }
+
+        if let Some(v) = check_mutual_exclusion(&world, cfg.locks) {
+            report.violations.push(v);
+            continue;
+        }
+        if cfg.check_fere_local {
+            if let Some(v) = check_fere_local(&mut world) {
+                report.violations.push(v);
+                continue;
+            }
+        }
+
+        if world.all_finished() {
+            report.terminal_states += 1;
+            continue;
+        }
+
+        let n = world.thread_count();
+        let here = node_key(&world, &fifo);
+        let mut any_progress = false;
+        for tid in 0..n {
+            if world.threads[tid].finished() {
+                continue;
+            }
+            let mut next = world.clone();
+            let mut next_fifo = fifo.clone();
+            let out = next.step(tid);
+            for e in &out.events {
+                if let Some(v) = next_fifo.on_event(e) {
+                    report.violations.push(v);
+                }
+            }
+            let key = node_key(&next, &next_fifo);
+            if key != here {
+                any_progress = true;
+            }
+            if visited.insert(key) {
+                stack.push((next, next_fifo));
+            }
+        }
+        if !any_progress {
+            // Every enabled thread's step leaves the state unchanged:
+            // nobody can ever make progress from here.
+            report.violations.push(Violation::Deadlock);
+        }
+    }
+    report
+}
+
+/// Checks termination (lockout-freedom under a fair schedule, the bounded
+/// form of Theorem 6): the world must finish under round-robin and under
+/// `seeds` random fair schedules within `max_steps`.
+pub fn check_progress<A>(make_world: impl Fn() -> World<A>, seeds: u64, max_steps: u64) -> bool
+where
+    A: LockAlgorithm,
+{
+    if make_world().run_round_robin(max_steps).is_none() {
+        return false;
+    }
+    for seed in 0..seeds {
+        if make_world().run_random(seed, max_steps).is_none() {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hemlock_simlock::algos::{ClhSim, HemlockFlavor, HemlockSim, McsSim, TicketSim};
+    use hemlock_simlock::Program;
+
+    fn two_thread_world<A: LockAlgorithm>(algo: A, rounds: u32) -> World<A> {
+        World::new(
+            algo,
+            vec![
+                Program::lock_unlock(0, 0, 0, rounds),
+                Program::lock_unlock(0, 0, 0, rounds),
+            ],
+        )
+    }
+
+    #[test]
+    fn hemlock_ctr_two_threads_exhaustive() {
+        let report = explore(
+            two_thread_world(HemlockSim::new(2, 1, HemlockFlavor::Ctr), 2),
+            ExploreConfig::default(),
+        );
+        assert!(report.clean(), "violations: {:?}", report.violations);
+        assert!(report.exhaustive);
+        assert!(report.states > 50, "trivially small space: {}", report.states);
+        assert!(report.terminal_states >= 1);
+    }
+
+    #[test]
+    fn hemlock_naive_two_threads_exhaustive() {
+        let report = explore(
+            two_thread_world(HemlockSim::new(2, 1, HemlockFlavor::Naive), 2),
+            ExploreConfig::default(),
+        );
+        assert!(report.clean(), "violations: {:?}", report.violations);
+        assert!(report.exhaustive);
+    }
+
+    #[test]
+    fn baselines_two_threads_exhaustive() {
+        for report in [
+            explore(two_thread_world(TicketSim::new(2, 1), 2), ExploreConfig::default()),
+            explore(two_thread_world(McsSim::new(2, 1), 2), ExploreConfig::default()),
+            explore(two_thread_world(ClhSim::new(2, 1), 2), ExploreConfig::default()),
+        ] {
+            assert!(report.clean(), "violations: {:?}", report.violations);
+            assert!(report.exhaustive);
+        }
+    }
+
+    #[test]
+    fn progress_under_fair_schedules() {
+        assert!(check_progress(
+            || two_thread_world(HemlockSim::new(2, 1, HemlockFlavor::Ctr), 5),
+            10,
+            1_000_000,
+        ));
+    }
+
+    #[test]
+    fn broken_algorithm_is_caught() {
+        // Sanity for the checker itself: a "lock" that admits everyone
+        // after a single probing load must trip the mutual-exclusion oracle.
+        #[derive(Clone, Debug)]
+        struct BrokenSim {
+            threads: usize,
+        }
+        #[derive(Clone, Debug, PartialEq, Eq, Hash)]
+        struct BrokenThread {
+            pc: u8,
+            lock: usize,
+        }
+        impl LockAlgorithm for BrokenSim {
+            type Thread = BrokenThread;
+            fn name(&self) -> &'static str {
+                "Broken"
+            }
+            fn words(&self) -> usize {
+                2 + 1 + self.threads // null, fake tail, data, privates
+            }
+            fn initial_memory(&self) -> Vec<hemlock_simlock::Val> {
+                vec![0; self.words()]
+            }
+            fn new_thread(&self, _tid: usize) -> BrokenThread {
+                BrokenThread { pc: 0, lock: 0 }
+            }
+            fn begin_acquire(&self, t: &mut BrokenThread, lock: usize) {
+                t.lock = lock;
+                t.pc = 1;
+            }
+            fn begin_release(&self, t: &mut BrokenThread, lock: usize) {
+                t.lock = lock;
+                t.pc = 3;
+            }
+            fn step(
+                &self,
+                t: &mut BrokenThread,
+                _last: hemlock_simlock::Val,
+            ) -> hemlock_simlock::AlgoStep {
+                use hemlock_simlock::{AlgoStep, Meta, Op};
+                match t.pc {
+                    1 => {
+                        t.pc = 2;
+                        // Probe the "lock word" but ignore the answer.
+                        AlgoStep::Issue(Op::Load(1), Meta::Doorstep { lock: t.lock })
+                    }
+                    2 | 4 => {
+                        t.pc = 0;
+                        AlgoStep::Done
+                    }
+                    3 => {
+                        t.pc = 4;
+                        AlgoStep::Issue(Op::Store(1, 0), Meta::None)
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            fn data_word(&self, _lock: usize) -> usize {
+                2
+            }
+            fn private_word(&self, tid: usize) -> usize {
+                3 + tid
+            }
+        }
+
+        let algo = BrokenSim { threads: 2 };
+        let world = World::new(
+            algo,
+            vec![
+                Program::new(
+                    vec![
+                        hemlock_simlock::Action::Acquire(0),
+                        hemlock_simlock::Action::CsWork { lock: 0, steps: 2 },
+                        hemlock_simlock::Action::Release(0),
+                    ],
+                    1,
+                ),
+                Program::new(
+                    vec![
+                        hemlock_simlock::Action::Acquire(0),
+                        hemlock_simlock::Action::CsWork { lock: 0, steps: 2 },
+                        hemlock_simlock::Action::Release(0),
+                    ],
+                    1,
+                ),
+            ],
+        );
+        let report = explore(world, ExploreConfig { check_fere_local: false, ..Default::default() });
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| matches!(v, Violation::MutualExclusion { .. })),
+            "broken lock must be caught; got {:?}",
+            report.violations
+        );
+    }
+}

@@ -1,0 +1,132 @@
+//! # hemlock-model
+//!
+//! Machine-checks the Hemlock paper's §3 correctness arguments on the
+//! simulated machines from `hemlock-simlock`:
+//!
+//! | Paper result | Check here |
+//! |---|---|
+//! | Theorem 2 (mutual exclusion) | stateless oracle over every explored state |
+//! | Theorem 6 (lockout-freedom) | termination under round-robin + random fair schedules |
+//! | Theorem 8 (FIFO) | doorstep-order tracker over every explored path |
+//! | Theorem 10 (fere-local spinning) | spin census ≤ associated-lock bound at every state |
+//! | §2.2 Figure 1 | junction reconstruction + address-based hand-over draining |
+//!
+//! Exploration is bounded-exhaustive DFS with state hashing: busy-wait
+//! loops collapse (a failed poll re-enters the same state), so small
+//! configurations (2–3 threads, 1–2 locks, a few rounds) are covered
+//! completely.
+//!
+//! ```
+//! use hemlock_model::{explore, ExploreConfig};
+//! use hemlock_simlock::algos::{HemlockSim, HemlockFlavor};
+//! use hemlock_simlock::{Program, World};
+//!
+//! let world = World::new(
+//!     HemlockSim::new(2, 1, HemlockFlavor::Ctr),
+//!     vec![Program::lock_unlock(0, 0, 0, 1), Program::lock_unlock(0, 0, 0, 1)],
+//! );
+//! let report = explore(world, ExploreConfig::default());
+//! assert!(report.clean() && report.exhaustive);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod checker;
+pub mod explore;
+pub mod scenario;
+
+pub use checker::{check_fere_local, check_mutual_exclusion, FifoTracker, Violation};
+pub use explore::{check_progress, explore, ExploreConfig, ExploreReport};
+pub use scenario::{build_junction, drain_junction, spin_census, Junction};
+
+/// Runs `world` to completion under a seeded random fair schedule, checking
+/// mutual exclusion, FIFO, and the fere-local bound after every step.
+/// Panics on budget exhaustion; returns violations found (empty = clean).
+pub fn check_random_run<A>(
+    mut world: hemlock_simlock::World<A>,
+    locks: usize,
+    seed: u64,
+    max_steps: u64,
+) -> Vec<Violation>
+where
+    A: hemlock_simlock::LockAlgorithm,
+{
+    let mut rng = hemlock_simlock::SplitMix64::new(seed);
+    let mut fifo = FifoTracker::new(locks);
+    let mut violations = Vec::new();
+    let mut steps = 0u64;
+    while !world.all_finished() {
+        let live: Vec<usize> = (0..world.thread_count())
+            .filter(|&t| !world.threads[t].finished())
+            .collect();
+        let tid = live[(rng.next() % live.len() as u64) as usize];
+        let out = world.step(tid);
+        for e in &out.events {
+            if let Some(v) = fifo.on_event(e) {
+                violations.push(v);
+            }
+        }
+        if let Some(v) = check_mutual_exclusion(&world, locks) {
+            violations.push(v);
+        }
+        if let Some(v) = check_fere_local(&mut world) {
+            violations.push(v);
+        }
+        if !violations.is_empty() {
+            return violations;
+        }
+        steps += 1;
+        assert!(steps < max_steps, "random run exceeded {max_steps} steps");
+    }
+    violations
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use hemlock_simlock::algos::{HemlockFlavor, HemlockSim};
+    use hemlock_simlock::{Program, World};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        /// Arbitrary seeds, thread counts, and rounds: every flavor stays
+        /// clean under randomized fair schedules (a complement to the
+        /// bounded-exhaustive DFS, reaching deeper executions).
+        #[test]
+        fn random_schedules_stay_clean(
+            seed: u64,
+            threads in 2usize..5,
+            rounds in 1u32..4,
+            flavor_ix in 0usize..6,
+        ) {
+            let flavor = HemlockFlavor::ALL[flavor_ix];
+            let programs = vec![Program::lock_unlock(0, 1, 1, rounds); threads];
+            let world = World::new(HemlockSim::new(threads, 1, flavor), programs);
+            let violations = check_random_run(world, 1, seed, 10_000_000);
+            prop_assert!(violations.is_empty(), "{flavor:?}: {violations:?}");
+        }
+
+        /// Two locks with nested acquisition: multi-lock safety under
+        /// random schedules for every flavor.
+        #[test]
+        fn nested_two_locks_stay_clean(seed: u64, flavor_ix in 0usize..6) {
+            let flavor = HemlockFlavor::ALL[flavor_ix];
+            let nested = Program::new(
+                vec![
+                    hemlock_simlock::Action::Acquire(0),
+                    hemlock_simlock::Action::Acquire(1),
+                    hemlock_simlock::Action::Release(1),
+                    hemlock_simlock::Action::Release(0),
+                ],
+                2,
+            );
+            let world = World::new(
+                HemlockSim::new(2, 2, flavor),
+                vec![nested.clone(), nested],
+            );
+            let violations = check_random_run(world, 2, seed, 10_000_000);
+            prop_assert!(violations.is_empty(), "{flavor:?}: {violations:?}");
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! CLH (standard interface) as a simulated state machine.
+//!
+//! One-word elements (`locked`), one per (thread, lock) plus one dummy per
+//! lock. Elements migrate: after acquiring, the thread recycles its
+//! *predecessor's* element into its private pool. The re-initialization
+//! store (`locked = 1`) at the top of acquire lands on a line another
+//! thread most recently owned — the §5.5 source of CLH's elevated offcore
+//! rate, reproduced by the coherence simulator.
+
+use crate::algo::{AlgoStep, LockAlgorithm, MemPlan};
+use crate::algos::CommonWords;
+use crate::op::{Loc, Meta, Op, Val};
+
+/// CLH machine configuration.
+#[derive(Clone, Debug)]
+pub struct ClhSim {
+    locks: usize,
+    lock_base: Loc,  // tail, head per lock
+    node_base: Loc,  // 1 word per (thread, lock)
+    dummy_base: Loc, // 1 dummy word per lock
+    common: CommonWords,
+    words: usize,
+}
+
+impl ClhSim {
+    /// Configures for `threads` threads contending over `locks` locks.
+    pub fn new(threads: usize, locks: usize) -> Self {
+        let mut plan = MemPlan::new();
+        let lock_base = plan.alloc(2 * locks);
+        let node_base = plan.alloc(threads * locks);
+        let dummy_base = plan.alloc(locks);
+        let common = CommonWords::plan(&mut plan, threads, locks);
+        Self {
+            locks,
+            lock_base,
+            node_base,
+            dummy_base,
+            common,
+            words: plan.words(),
+        }
+    }
+
+    fn tail(&self, lock: usize) -> Loc {
+        self.lock_base + 2 * lock
+    }
+
+    fn head(&self, lock: usize) -> Loc {
+        self.lock_base + 2 * lock + 1
+    }
+
+    /// Thread `tid`'s initial pool element for slot `slot`.
+    fn pool_node(&self, tid: usize, slot: usize) -> Loc {
+        self.node_base + tid * self.locks + slot
+    }
+
+    /// The per-lock dummy element installed at initialization.
+    fn dummy(&self, lock: usize) -> Loc {
+        self.dummy_base + lock
+    }
+}
+
+/// Per-thread CLH state, including the private element pool (bookkeeping
+/// only — pool membership is thread-private and costs no coherence
+/// traffic; the element *words* live in simulated memory).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct ClhThread {
+    pc: Pc,
+    lock: usize,
+    node: Loc,
+    pool: Vec<Loc>,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum Pc {
+    Idle,
+    /// Re-initialize our element: locked = 1.
+    AcqInit,
+    /// SWAP our element onto the tail (doorstep).
+    AcqSwap,
+    /// `last` = predecessor element: start polling it.
+    AcqStartSpin,
+    /// `last` = predecessor's `locked` value.
+    AcqSpin,
+    /// Record ownership in head; predecessor element already pooled.
+    AcqFini,
+    /// Load head to find our element.
+    RelLoadHead,
+    /// `last` = our element: store locked = 0 (wait-free).
+    RelStore,
+    RelFini,
+}
+
+impl LockAlgorithm for ClhSim {
+    type Thread = ClhThread;
+
+    fn name(&self) -> &'static str {
+        "CLH"
+    }
+
+    fn words(&self) -> usize {
+        self.words
+    }
+
+    fn initial_memory(&self) -> Vec<Val> {
+        let mut mem = vec![0; self.words];
+        for l in 0..self.locks {
+            // Each lock is born with its dummy (unlocked) in tail.
+            mem[self.tail(l)] = self.dummy(l) as Val;
+        }
+        mem
+    }
+
+    fn new_thread(&self, tid: usize) -> ClhThread {
+        ClhThread {
+            pc: Pc::Idle,
+            lock: 0,
+            node: 0,
+            pool: (0..self.locks).map(|s| self.pool_node(tid, s)).collect(),
+        }
+    }
+
+    fn begin_acquire(&self, t: &mut ClhThread, lock: usize) {
+        debug_assert_eq!(t.pc, Pc::Idle);
+        t.lock = lock;
+        t.node = t.pool.pop().expect("CLH pool exhausted");
+        t.pc = Pc::AcqInit;
+    }
+
+    fn begin_release(&self, t: &mut ClhThread, lock: usize) {
+        debug_assert_eq!(t.pc, Pc::Idle);
+        t.lock = lock;
+        t.pc = Pc::RelLoadHead;
+    }
+
+    fn step(&self, t: &mut ClhThread, last: Val) -> AlgoStep {
+        match t.pc {
+            Pc::Idle => unreachable!("step on idle CLH machine"),
+            Pc::AcqInit => {
+                t.pc = Pc::AcqSwap;
+                AlgoStep::Issue(Op::Store(t.node, 1), Meta::None)
+            }
+            Pc::AcqSwap => {
+                t.pc = Pc::AcqStartSpin;
+                AlgoStep::Issue(
+                    Op::Swap {
+                        loc: self.tail(t.lock),
+                        val: t.node as Val,
+                    },
+                    Meta::Doorstep { lock: t.lock },
+                )
+            }
+            Pc::AcqStartSpin => {
+                let pred = last as Loc;
+                debug_assert_ne!(pred, 0, "CLH tail always holds an element");
+                // Inherit the predecessor's element for future acquisitions
+                // the moment we stop spinning on it; remember it via pool
+                // push at spin exit. Stash it in the pool now tagged by the
+                // spin target (we only exit once it reads 0).
+                t.pool.push(pred);
+                t.pc = Pc::AcqSpin;
+                AlgoStep::Issue(
+                    Op::Load(pred),
+                    Meta::SpinWait {
+                        loc: pred,
+                        until: crate::op::Until::Eq(0),
+                    },
+                )
+            }
+            Pc::AcqSpin => {
+                let pred = *t.pool.last().expect("predecessor stashed");
+                if last == 0 {
+                    t.pc = Pc::AcqFini;
+                    AlgoStep::Issue(Op::Store(self.head(t.lock), t.node as Val), Meta::None)
+                } else {
+                    AlgoStep::Issue(
+                    Op::Load(pred),
+                    Meta::SpinWait {
+                        loc: pred,
+                        until: crate::op::Until::Eq(0),
+                    },
+                )
+                }
+            }
+            Pc::AcqFini => {
+                t.pc = Pc::Idle;
+                AlgoStep::Done
+            }
+            Pc::RelLoadHead => {
+                t.pc = Pc::RelStore;
+                AlgoStep::Issue(Op::Load(self.head(t.lock)), Meta::None)
+            }
+            Pc::RelStore => {
+                let node = last as Loc;
+                debug_assert_ne!(node, 0, "release without held lock");
+                t.pc = Pc::RelFini;
+                AlgoStep::Issue(Op::Store(node, 0), Meta::None)
+            }
+            Pc::RelFini => {
+                t.pc = Pc::Idle;
+                AlgoStep::Done
+            }
+        }
+    }
+
+    fn data_word(&self, lock: usize) -> Loc {
+        self.common.data(lock)
+    }
+
+    fn private_word(&self, tid: usize) -> Loc {
+        self.common.private(tid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dummy_preinstalled_in_tail() {
+        let a = ClhSim::new(2, 2);
+        let mem = a.initial_memory();
+        for l in 0..2 {
+            assert_eq!(mem[a.tail(l)], a.dummy(l) as Val);
+            assert_eq!(mem[a.dummy(l)], 0, "dummy is unlocked");
+        }
+    }
+
+    #[test]
+    fn uncontended_acquire_inherits_dummy() {
+        let a = ClhSim::new(1, 1);
+        let mut t = a.new_thread(0);
+        let pool_before = t.pool.clone();
+        a.begin_acquire(&mut t, 0);
+        let _ = a.step(&mut t, 0); // init store
+        let _ = a.step(&mut t, 0); // swap
+        // swap returns dummy → spin on it
+        let s = a.step(&mut t, a.dummy(0) as Val);
+        assert!(matches!(s, AlgoStep::Issue(Op::Load(_), Meta::SpinWait { .. })));
+        // dummy is unlocked (0): finish
+        let _ = a.step(&mut t, 0); // head store
+        assert_eq!(a.step(&mut t, 0), AlgoStep::Done);
+        // The dummy migrated into our pool.
+        assert!(t.pool.contains(&a.dummy(0)));
+        assert!(!t.pool.contains(pool_before.last().unwrap()));
+    }
+
+    #[test]
+    fn release_is_two_steps_wait_free() {
+        let a = ClhSim::new(1, 1);
+        let mut t = a.new_thread(0);
+        // fake an acquired state
+        a.begin_acquire(&mut t, 0);
+        let _ = a.step(&mut t, 0);
+        let _ = a.step(&mut t, 0);
+        let _ = a.step(&mut t, a.dummy(0) as Val);
+        let _ = a.step(&mut t, 0);
+        assert_eq!(a.step(&mut t, 0), AlgoStep::Done);
+        a.begin_release(&mut t, 0);
+        assert!(matches!(a.step(&mut t, 0), AlgoStep::Issue(Op::Load(_), _)));
+        let node = a.pool_node(0, 0) as Val;
+        assert!(matches!(a.step(&mut t, node), AlgoStep::Issue(Op::Store(_, 0), _)));
+        assert_eq!(a.step(&mut t, 0), AlgoStep::Done);
+    }
+}

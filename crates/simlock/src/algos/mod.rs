@@ -1,0 +1,39 @@
+//! Lock algorithms compiled to the simulated machine.
+
+mod clh;
+mod hemlock;
+mod mcs;
+mod ticket;
+
+pub use clh::ClhSim;
+pub use hemlock::{HemlockFlavor, HemlockSim};
+pub use mcs::McsSim;
+pub use ticket::TicketSim;
+
+use crate::algo::MemPlan;
+use crate::op::Loc;
+
+/// Memory shared by every algorithm: a data word per lock (critical-section
+/// work) and a private word per thread (local work).
+#[derive(Clone, Debug)]
+pub(crate) struct CommonWords {
+    data_base: Loc,
+    private_base: Loc,
+}
+
+impl CommonWords {
+    pub(crate) fn plan(plan: &mut MemPlan, threads: usize, locks: usize) -> Self {
+        Self {
+            data_base: plan.alloc(locks),
+            private_base: plan.alloc(threads),
+        }
+    }
+
+    pub(crate) fn data(&self, lock: usize) -> Loc {
+        self.data_base + lock
+    }
+
+    pub(crate) fn private(&self, tid: usize) -> Loc {
+        self.private_base + tid
+    }
+}

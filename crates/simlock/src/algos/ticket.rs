@@ -1,0 +1,226 @@
+//! Ticket lock as a simulated state machine.
+//!
+//! Two counters per lock. Both live on the *same* cache line, as in the
+//! real two-word layout — and every waiter polls `serving` globally, which
+//! is precisely why the coherence simulator reproduces Table 2's outsized
+//! offcore count for Ticket.
+
+use crate::algo::{AlgoStep, LockAlgorithm, MemPlan};
+use crate::algos::CommonWords;
+use crate::op::{Loc, Meta, Op, Val};
+
+/// Ticket lock machine configuration.
+#[derive(Clone, Debug)]
+pub struct TicketSim {
+    locks: usize,
+    lock_base: Loc,
+    common: CommonWords,
+    words: usize,
+}
+
+impl TicketSim {
+    /// Configures for `threads` threads contending over `locks` locks.
+    pub fn new(threads: usize, locks: usize) -> Self {
+        let mut plan = MemPlan::new();
+        let lock_base = plan.alloc(2 * locks); // next, serving per lock
+        let common = CommonWords::plan(&mut plan, threads, locks);
+        Self {
+            locks,
+            lock_base,
+            common,
+            words: plan.words(),
+        }
+    }
+
+    fn next_word(&self, lock: usize) -> Loc {
+        self.lock_base + 2 * lock
+    }
+
+    fn serving_word(&self, lock: usize) -> Loc {
+        self.lock_base + 2 * lock + 1
+    }
+}
+
+/// Per-thread ticket-lock state: program counter plus the held ticket.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct TicketThread {
+    pc: Pc,
+    lock: usize,
+    ticket: Val,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum Pc {
+    Idle,
+    /// Issue the FAA on `next` (the doorstep).
+    AcqFaa,
+    /// `last` holds the FAA result: capture the ticket, start polling.
+    AcqTicket,
+    /// `last` holds the latest `serving` value: enter or keep polling.
+    AcqSpin,
+    /// Issue the owner's load of `serving`.
+    RelLoad,
+    /// `last` holds `serving`: issue the increment store.
+    RelStore,
+    /// Store issued: release complete.
+    RelFini,
+}
+
+impl LockAlgorithm for TicketSim {
+    type Thread = TicketThread;
+
+    fn name(&self) -> &'static str {
+        "Ticket"
+    }
+
+    fn words(&self) -> usize {
+        self.words
+    }
+
+    fn initial_memory(&self) -> Vec<Val> {
+        vec![0; self.words]
+    }
+
+    fn line_of(&self, loc: Loc) -> usize {
+        // next/serving of one lock share a line (two adjacent words with no
+        // padding in the real 2-word layout).
+        if loc >= self.lock_base && loc < self.lock_base + 2 * self.locks {
+            self.lock_base + (loc - self.lock_base) / 2 * 2
+        } else {
+            loc
+        }
+    }
+
+    fn new_thread(&self, _tid: usize) -> TicketThread {
+        TicketThread {
+            pc: Pc::Idle,
+            lock: 0,
+            ticket: 0,
+        }
+    }
+
+    fn begin_acquire(&self, t: &mut TicketThread, lock: usize) {
+        debug_assert_eq!(t.pc, Pc::Idle);
+        t.lock = lock;
+        t.pc = Pc::AcqFaa;
+    }
+
+    fn begin_release(&self, t: &mut TicketThread, lock: usize) {
+        debug_assert_eq!(t.pc, Pc::Idle);
+        t.lock = lock;
+        t.pc = Pc::RelLoad;
+    }
+
+    fn step(&self, t: &mut TicketThread, last: Val) -> AlgoStep {
+        match t.pc {
+            Pc::Idle => unreachable!("step on idle ticket machine"),
+            Pc::AcqFaa => {
+                t.pc = Pc::AcqTicket;
+                // Doorstep: taking the ticket fixes the admission order.
+                AlgoStep::Issue(
+                    Op::Faa {
+                        loc: self.next_word(t.lock),
+                        add: 1,
+                    },
+                    Meta::Doorstep { lock: t.lock },
+                )
+            }
+            Pc::AcqTicket => {
+                t.ticket = last;
+                t.pc = Pc::AcqSpin;
+                AlgoStep::Issue(
+                    Op::Load(self.serving_word(t.lock)),
+                    Meta::SpinWait {
+                        loc: self.serving_word(t.lock),
+                        until: crate::op::Until::Eq(t.ticket),
+                    },
+                )
+            }
+            Pc::AcqSpin => {
+                if last == t.ticket {
+                    t.pc = Pc::Idle;
+                    AlgoStep::Done
+                } else {
+                    AlgoStep::Issue(
+                        Op::Load(self.serving_word(t.lock)),
+                        Meta::SpinWait {
+                            loc: self.serving_word(t.lock),
+                            until: crate::op::Until::Eq(t.ticket),
+                        },
+                    )
+                }
+            }
+            Pc::RelLoad => {
+                t.pc = Pc::RelStore;
+                AlgoStep::Issue(Op::Load(self.serving_word(t.lock)), Meta::None)
+            }
+            Pc::RelStore => {
+                t.pc = Pc::RelFini;
+                AlgoStep::Issue(Op::Store(self.serving_word(t.lock), last + 1), Meta::None)
+            }
+            Pc::RelFini => {
+                t.pc = Pc::Idle;
+                AlgoStep::Done
+            }
+        }
+    }
+
+    fn data_word(&self, lock: usize) -> Loc {
+        self.common.data(lock)
+    }
+
+    fn private_word(&self, tid: usize) -> Loc {
+        self.common.private(tid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serving_and_next_share_a_line() {
+        let a = TicketSim::new(2, 3);
+        for l in 0..3 {
+            assert_eq!(a.line_of(a.next_word(l)), a.line_of(a.serving_word(l)));
+        }
+        assert_ne!(a.line_of(a.next_word(0)), a.line_of(a.next_word(1)));
+    }
+
+    #[test]
+    fn uncontended_acquire_release_op_sequence() {
+        let a = TicketSim::new(1, 1);
+        let mut t = a.new_thread(0);
+        a.begin_acquire(&mut t, 0);
+        // FAA on next
+        let s1 = a.step(&mut t, 0);
+        assert!(matches!(s1, AlgoStep::Issue(Op::Faa { add: 1, .. }, Meta::Doorstep { lock: 0 })));
+        // FAA returned 0 (first ticket); poll serving
+        let s2 = a.step(&mut t, 0);
+        assert!(matches!(s2, AlgoStep::Issue(Op::Load(_), Meta::SpinWait { .. })));
+        // serving == 0 == ticket: acquired
+        assert_eq!(a.step(&mut t, 0), AlgoStep::Done);
+        // release: load serving then store serving+1
+        a.begin_release(&mut t, 0);
+        assert!(matches!(a.step(&mut t, 0), AlgoStep::Issue(Op::Load(_), _)));
+        let s = a.step(&mut t, 0);
+        assert!(matches!(s, AlgoStep::Issue(Op::Store(_, 1), _)));
+        assert_eq!(a.step(&mut t, 0), AlgoStep::Done);
+    }
+
+    #[test]
+    fn contended_spin_repeats_until_served() {
+        let a = TicketSim::new(2, 1);
+        let mut t = a.new_thread(1);
+        a.begin_acquire(&mut t, 0);
+        let _ = a.step(&mut t, 0); // FAA
+        let _ = a.step(&mut t, 1); // ticket = 1; poll
+        // serving stays 0: keep spinning
+        for _ in 0..5 {
+            let s = a.step(&mut t, 0);
+            assert!(matches!(s, AlgoStep::Issue(Op::Load(_), Meta::SpinWait { .. })));
+        }
+        // serving reaches 1: done
+        assert_eq!(a.step(&mut t, 1), AlgoStep::Done);
+    }
+}

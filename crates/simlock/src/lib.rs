@@ -1,0 +1,113 @@
+//! # hemlock-simlock
+//!
+//! The lock algorithms of the Hemlock paper (Dice & Kogan, SPAA 2021)
+//! re-encoded as **deterministic state machines over a simulated shared
+//! memory** — the substrate for two of this workspace's reproductions:
+//!
+//! - `hemlock-model` explores schedules over these machines to check the
+//!   paper's §3 theorems (mutual exclusion, FIFO, fere-local spinning,
+//!   progress);
+//! - `hemlock-coherence` replays their memory accesses through a
+//!   MESI/MESIF/MOESI cache model to regenerate Table 2's offcore-access
+//!   analysis.
+//!
+//! Every thread step performs at most one atomic operation
+//! (load/store/CAS/SWAP/FAA — the paper's §3 memory model), so any
+//! interleaving the hardware could produce at the algorithm level is
+//! schedulable here, and each operation is visible to observers with
+//! checker metadata (doorstep markers, spin-wait targets).
+//!
+//! ```
+//! use hemlock_simlock::algos::{HemlockSim, HemlockFlavor};
+//! use hemlock_simlock::program::Program;
+//! use hemlock_simlock::world::World;
+//!
+//! let algo = HemlockSim::new(2, 1, HemlockFlavor::Ctr);
+//! let programs = vec![
+//!     Program::lock_unlock(0, 0, 0, 10),
+//!     Program::lock_unlock(0, 0, 0, 10),
+//! ];
+//! let mut world = World::new(algo, programs);
+//! let events = world.run_round_robin(100_000).expect("terminates");
+//! assert!(world.all_finished());
+//! # let _ = events;
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod algo;
+pub mod algos;
+pub mod op;
+pub mod program;
+pub mod world;
+
+pub use algo::{AlgoStep, LockAlgorithm};
+pub use op::{AccessKind, Loc, Meta, Op, Until, Val};
+pub use program::{Action, Program};
+pub use world::{Event, Exec, SimThread, SplitMix64, StepOutcome, World};
+
+#[cfg(test)]
+mod proptests {
+    use crate::algos::{ClhSim, HemlockFlavor, HemlockSim, McsSim, TicketSim};
+    use crate::{Event, LockAlgorithm, Program, World};
+    use proptest::prelude::*;
+
+    fn event_counts<A: LockAlgorithm>(mut world: World<A>, seed: u64) -> (usize, usize, usize) {
+        let events = world
+            .run_random(seed, 20_000_000)
+            .expect("must terminate under a fair schedule");
+        let count = |f: fn(&Event) -> bool| events.iter().filter(|e| f(e)).count();
+        (
+            count(|e| matches!(e, Event::Doorstep { .. })),
+            count(|e| matches!(e, Event::Acquired { .. })),
+            count(|e| matches!(e, Event::Released { .. })),
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        /// Conservation law: every program run produces exactly
+        /// threads × rounds doorsteps = acquisitions = releases, for every
+        /// algorithm, any seed, any work sizes.
+        #[test]
+        fn event_conservation(
+            seed: u64,
+            threads in 1usize..4,
+            rounds in 1u32..4,
+            cs in 0u32..3,
+            ncs in 0u32..3,
+            algo_ix in 0usize..9,
+        ) {
+            let programs = vec![Program::lock_unlock(0, cs, ncs, rounds); threads];
+            let expected = threads * rounds as usize;
+            let (d, a, r) = match algo_ix {
+                0 => event_counts(World::new(TicketSim::new(threads, 1), programs), seed),
+                1 => event_counts(World::new(McsSim::new(threads, 1), programs), seed),
+                2 => event_counts(World::new(ClhSim::new(threads, 1), programs), seed),
+                i => {
+                    let flavor = HemlockFlavor::ALL[i - 3];
+                    event_counts(
+                        World::new(HemlockSim::new(threads, 1, flavor), programs),
+                        seed,
+                    )
+                }
+            };
+            prop_assert_eq!(d, expected, "doorsteps");
+            prop_assert_eq!(a, expected, "acquisitions");
+            prop_assert_eq!(r, expected, "releases");
+        }
+
+        /// Memory stays quiescent after full termination: every lock's tail
+        /// word is null again (the queue fully drained).
+        #[test]
+        fn hemlock_tail_drains(seed: u64, threads in 1usize..4, flavor_ix in 0usize..6) {
+            let flavor = HemlockFlavor::ALL[flavor_ix];
+            let algo = HemlockSim::new(threads, 1, flavor);
+            let tail = algo.tail(0);
+            let programs = vec![Program::lock_unlock(0, 0, 0, 2); threads];
+            let mut world = World::new(algo, programs);
+            world.run_random(seed, 20_000_000).expect("terminates");
+            prop_assert_eq!(world.mem[tail], 0, "{:?}: tail must drain", flavor);
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Thread workload scripts.
+//!
+//! A [`Program`] is the per-thread loop of the paper's benchmarks: acquire
+//! one or more locks, do critical-section work, release, do non-critical
+//! work, repeat. Scripts also express the contrived configurations of the
+//! paper — the Figure 1 object graph, the Figure 9 multi-waiting leader —
+//! as explicit acquire/release sequences.
+
+use std::sync::Arc;
+
+/// One step of a thread's script.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Action {
+    /// Acquire lock `l` (blocking).
+    Acquire(usize),
+    /// Release lock `l` (must be held).
+    Release(usize),
+    /// `steps` accesses to the shared word protected by lock `l`
+    /// (alternating load/store — the "advance a shared PRNG" critical
+    /// section of MutexBench's moderate mode).
+    CsWork {
+        /// Lock whose data word is accessed.
+        lock: usize,
+        /// Number of accesses.
+        steps: u32,
+    },
+    /// `steps` stores to the thread's private word (the thread-local PRNG
+    /// stepping of the non-critical section).
+    LocalWork {
+        /// Number of accesses.
+        steps: u32,
+    },
+}
+
+/// A thread's full script: `actions`, repeated `rounds` times.
+#[derive(Clone, Debug)]
+pub struct Program {
+    actions: Arc<Vec<Action>>,
+    rounds: u32,
+}
+
+impl Program {
+    /// Creates a program that runs `actions` once per round.
+    pub fn new(actions: Vec<Action>, rounds: u32) -> Self {
+        assert!(!actions.is_empty(), "empty program");
+        Self {
+            actions: Arc::new(actions),
+            rounds,
+        }
+    }
+
+    /// The action list.
+    pub fn actions(&self) -> &[Action] {
+        &self.actions
+    }
+
+    /// Number of rounds.
+    pub fn rounds(&self) -> u32 {
+        self.rounds
+    }
+
+    /// The canonical MutexBench loop on a single lock: acquire, `cs` units
+    /// of critical work, release, `ncs` units of local work.
+    pub fn lock_unlock(lock: usize, cs: u32, ncs: u32, rounds: u32) -> Self {
+        let mut actions = vec![Action::Acquire(lock)];
+        if cs > 0 {
+            actions.push(Action::CsWork { lock, steps: cs });
+        }
+        actions.push(Action::Release(lock));
+        if ncs > 0 {
+            actions.push(Action::LocalWork { steps: ncs });
+        }
+        Self::new(actions, rounds)
+    }
+
+    /// The Figure 9 leader: acquire locks `0..n` in ascending order, then
+    /// release them in descending order.
+    pub fn multiwait_leader(n: usize, rounds: u32) -> Self {
+        let mut actions = Vec::with_capacity(2 * n);
+        for l in 0..n {
+            actions.push(Action::Acquire(l));
+        }
+        for l in (0..n).rev() {
+            actions.push(Action::Release(l));
+        }
+        Self::new(actions, rounds)
+    }
+
+    /// Hand-over-hand ("coupled") locking across a chain of locks — the
+    /// §2.2 usage pattern that holds two locks at once yet never causes
+    /// multi-waiting.
+    pub fn hand_over_hand(locks: usize, rounds: u32) -> Self {
+        assert!(locks >= 2);
+        let mut actions = vec![Action::Acquire(0)];
+        for l in 1..locks {
+            actions.push(Action::Acquire(l));
+            actions.push(Action::Release(l - 1));
+        }
+        actions.push(Action::Release(locks - 1));
+        Self::new(actions, rounds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_unlock_shape() {
+        let p = Program::lock_unlock(2, 5, 400, 7);
+        assert_eq!(p.rounds(), 7);
+        assert_eq!(
+            p.actions(),
+            &[
+                Action::Acquire(2),
+                Action::CsWork { lock: 2, steps: 5 },
+                Action::Release(2),
+                Action::LocalWork { steps: 400 },
+            ]
+        );
+    }
+
+    #[test]
+    fn lock_unlock_empty_sections() {
+        let p = Program::lock_unlock(0, 0, 0, 1);
+        assert_eq!(p.actions(), &[Action::Acquire(0), Action::Release(0)]);
+    }
+
+    #[test]
+    fn multiwait_leader_order() {
+        let p = Program::multiwait_leader(3, 1);
+        assert_eq!(
+            p.actions(),
+            &[
+                Action::Acquire(0),
+                Action::Acquire(1),
+                Action::Acquire(2),
+                Action::Release(2),
+                Action::Release(1),
+                Action::Release(0),
+            ]
+        );
+    }
+
+    #[test]
+    fn hand_over_hand_shape() {
+        let p = Program::hand_over_hand(3, 1);
+        assert_eq!(
+            p.actions(),
+            &[
+                Action::Acquire(0),
+                Action::Acquire(1),
+                Action::Release(0),
+                Action::Acquire(2),
+                Action::Release(1),
+                Action::Release(2),
+            ]
+        );
+    }
+}

@@ -1,0 +1,587 @@
+//! The simulated multi-threaded world: programs × algorithm machines ×
+//! shared memory, advanced one atomic operation at a time under an external
+//! scheduler (round-robin, seeded-random, or the model checker's DFS).
+
+use crate::algo::{AlgoStep, LockAlgorithm};
+use crate::op::{Meta, Op, Val};
+use crate::program::{Action, Program};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// What a scheduled step did.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StepOutcome {
+    /// The executed operation, if the thread performed a memory access.
+    pub exec: Option<Exec>,
+    /// Zero-cost state transitions that happened in the same step.
+    pub events: Vec<Event>,
+}
+
+/// A memory access performed by a step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Exec {
+    /// Which thread.
+    pub tid: usize,
+    /// The operation.
+    pub op: Op,
+    /// Checker metadata carried by the operation.
+    pub meta: Meta,
+    /// The value the operation returned (old value for RMWs).
+    pub result: Val,
+}
+
+/// Zero-cost bookkeeping transitions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// `tid` executed the entry doorstep for `lock`.
+    Doorstep {
+        /// Thread id.
+        tid: usize,
+        /// Lock index.
+        lock: usize,
+    },
+    /// `tid` completed an acquire and entered the critical section.
+    Acquired {
+        /// Thread id.
+        tid: usize,
+        /// Lock index.
+        lock: usize,
+    },
+    /// `tid` left the critical section and entered the exit code (§3's
+    /// section decomposition: the CS ends *here*; Hemlock's ack wait runs
+    /// after ownership has already transferred, "crucially, not within the
+    /// effective critical section"). Mutual-exclusion checking uses this
+    /// event, not [`Event::Released`].
+    ReleaseStarted {
+        /// Thread id.
+        tid: usize,
+        /// Lock index.
+        lock: usize,
+    },
+    /// `tid` completed a release (the exit code finished).
+    Released {
+        /// Thread id.
+        tid: usize,
+        /// Lock index.
+        lock: usize,
+    },
+    /// `tid` ran its program to completion.
+    Finished {
+        /// Thread id.
+        tid: usize,
+    },
+}
+
+/// Execution phase of one simulated thread.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+enum Phase {
+    /// About to look at `actions[pc]`.
+    Idle,
+    /// Inside the algorithm's acquire for this lock.
+    Acquiring(usize),
+    /// Inside the algorithm's release.
+    Releasing(usize),
+    /// Doing critical-section work on this lock's data word.
+    CsWork { lock: usize, left: u32 },
+    /// Doing private work.
+    LocalWork { left: u32 },
+    /// Program complete.
+    Finished,
+}
+
+/// One simulated thread: program position + algorithm registers.
+#[derive(Clone, Debug)]
+pub struct SimThread<T> {
+    program: Program,
+    round: u32,
+    pc: usize,
+    phase: Phase,
+    last: Val,
+    /// Operation issued but not yet executed.
+    pending: Option<(Op, Meta)>,
+    /// Locks currently held (sorted).
+    holding: Vec<usize>,
+    /// Locks associated with this thread per the §3 definition: doorstep
+    /// executed, exit code not yet complete (sorted).
+    associated: Vec<usize>,
+    algo: T,
+    /// Completed lock-unlock pairs (for throughput accounting).
+    pub completed_releases: u64,
+}
+
+impl<T: Hash> SimThread<T> {
+    fn state_hash(&self, h: &mut impl Hasher) {
+        self.round.hash(h);
+        self.pc.hash(h);
+        self.phase.hash(h);
+        self.last.hash(h);
+        self.pending.hash(h);
+        self.holding.hash(h);
+        self.associated.hash(h);
+        self.algo.hash(h);
+    }
+}
+
+impl<T> SimThread<T> {
+    /// The pending (not yet executed) operation, if any.
+    pub fn pending(&self) -> Option<(Op, Meta)> {
+        self.pending
+    }
+
+    /// True when the program finished.
+    pub fn finished(&self) -> bool {
+        self.phase == Phase::Finished
+    }
+
+    /// Locks this thread currently holds.
+    pub fn holding(&self) -> &[usize] {
+        &self.holding
+    }
+
+    /// Locks associated with this thread (§3: doorstep executed, exit code
+    /// not complete).
+    pub fn associated(&self) -> &[usize] {
+        &self.associated
+    }
+
+    /// If the thread is inside the exit code of a lock, that lock. Used to
+    /// delimit the critical section for mutual-exclusion checking (§3: the
+    /// CS ends where the exit code begins).
+    pub fn releasing(&self) -> Option<usize> {
+        match self.phase {
+            Phase::Releasing(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// Completed lock-unlock pairs.
+    pub fn releases(&self) -> u64 {
+        self.completed_releases
+    }
+}
+
+/// The whole simulated machine state.
+#[derive(Clone, Debug)]
+pub struct World<A: LockAlgorithm> {
+    /// Algorithm configuration (immutable during a run).
+    pub algo: A,
+    /// Shared memory words.
+    pub mem: Vec<Val>,
+    /// Thread states.
+    pub threads: Vec<SimThread<A::Thread>>,
+}
+
+impl<A: LockAlgorithm> World<A> {
+    /// Builds a world running `programs[i]` on thread `i`.
+    pub fn new(algo: A, programs: Vec<Program>) -> Self {
+        let mem = algo.initial_memory();
+        let threads = programs
+            .into_iter()
+            .enumerate()
+            .map(|(tid, program)| SimThread {
+                program,
+                round: 0,
+                pc: 0,
+                phase: Phase::Idle,
+                last: 0,
+                pending: None,
+                holding: Vec::new(),
+                associated: Vec::new(),
+                algo: algo.new_thread(tid),
+                completed_releases: 0,
+            })
+            .collect();
+        Self { algo, mem, threads }
+    }
+
+    /// Number of threads.
+    pub fn thread_count(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// True when every thread finished its program.
+    pub fn all_finished(&self) -> bool {
+        self.threads.iter().all(|t| t.finished())
+    }
+
+    /// Executes `op` against simulated memory, returning the value read.
+    fn exec_op(mem: &mut [Val], op: Op) -> Val {
+        match op {
+            Op::Load(l) => mem[l],
+            Op::Store(l, v) => {
+                mem[l] = v;
+                0
+            }
+            Op::Cas { loc, expect, new } => {
+                let old = mem[loc];
+                if old == expect {
+                    mem[loc] = new;
+                }
+                old
+            }
+            Op::Swap { loc, val } => {
+                let old = mem[loc];
+                mem[loc] = val;
+                old
+            }
+            Op::Faa { loc, add } => {
+                let old = mem[loc];
+                mem[loc] = old.wrapping_add(add);
+                old
+            }
+        }
+    }
+
+    fn sorted_insert(v: &mut Vec<usize>, x: usize) {
+        if let Err(i) = v.binary_search(&x) {
+            v.insert(i, x);
+        }
+    }
+
+    fn sorted_remove(v: &mut Vec<usize>, x: usize) {
+        if let Ok(i) = v.binary_search(&x) {
+            v.remove(i);
+        }
+    }
+
+    /// Ensures thread `tid` has a pending operation (or is finished),
+    /// emitting any zero-cost events encountered on the way.
+    fn refill(&mut self, tid: usize, events: &mut Vec<Event>) {
+        loop {
+            let t = &mut self.threads[tid];
+            if t.pending.is_some() || t.phase == Phase::Finished {
+                return;
+            }
+            match t.phase.clone() {
+                Phase::Idle => {
+                    if t.pc >= t.program.actions().len() {
+                        t.pc = 0;
+                        t.round += 1;
+                    }
+                    if t.round >= t.program.rounds() {
+                        t.phase = Phase::Finished;
+                        events.push(Event::Finished { tid });
+                        return;
+                    }
+                    match t.program.actions()[t.pc] {
+                        Action::Acquire(l) => {
+                            t.phase = Phase::Acquiring(l);
+                            self.algo.begin_acquire(&mut t.algo, l);
+                            t.last = 0;
+                        }
+                        Action::Release(l) => {
+                            debug_assert!(
+                                t.holding.binary_search(&l).is_ok(),
+                                "release of unheld lock {l} by thread {tid}"
+                            );
+                            t.phase = Phase::Releasing(l);
+                            self.algo.begin_release(&mut t.algo, l);
+                            t.last = 0;
+                            events.push(Event::ReleaseStarted { tid, lock: l });
+                        }
+                        Action::CsWork { lock, steps } => {
+                            t.phase = Phase::CsWork { lock, left: steps };
+                        }
+                        Action::LocalWork { steps } => {
+                            t.phase = Phase::LocalWork { left: steps };
+                        }
+                    }
+                }
+                Phase::Acquiring(l) | Phase::Releasing(l) => {
+                    let last = t.last;
+                    match self.algo.step(&mut t.algo, last) {
+                        AlgoStep::Issue(op, meta) => {
+                            t.pending = Some((op, meta));
+                            return;
+                        }
+                        AlgoStep::Done => {
+                            if matches!(t.phase, Phase::Acquiring(_)) {
+                                Self::sorted_insert(&mut t.holding, l);
+                                events.push(Event::Acquired { tid, lock: l });
+                            } else {
+                                Self::sorted_remove(&mut t.holding, l);
+                                Self::sorted_remove(&mut t.associated, l);
+                                t.completed_releases += 1;
+                                events.push(Event::Released { tid, lock: l });
+                            }
+                            t.phase = Phase::Idle;
+                            t.pc += 1;
+                        }
+                    }
+                }
+                Phase::CsWork { lock, left } => {
+                    if left == 0 {
+                        t.phase = Phase::Idle;
+                        t.pc += 1;
+                    } else {
+                        let loc = self.algo.data_word(lock);
+                        // Alternate load/store on the shared data word.
+                        let op = if left % 2 == 0 {
+                            Op::Load(loc)
+                        } else {
+                            Op::Store(loc, left as Val)
+                        };
+                        t.phase = Phase::CsWork {
+                            lock,
+                            left: left - 1,
+                        };
+                        t.pending = Some((op, Meta::None));
+                        return;
+                    }
+                }
+                Phase::LocalWork { left } => {
+                    if left == 0 {
+                        t.phase = Phase::Idle;
+                        t.pc += 1;
+                    } else {
+                        let loc = self.algo.private_word(tid);
+                        t.phase = Phase::LocalWork { left: left - 1 };
+                        t.pending = Some((Op::Store(loc, left as Val), Meta::None));
+                        return;
+                    }
+                }
+                Phase::Finished => return,
+            }
+        }
+    }
+
+    /// The operation thread `tid` will execute next (None if finished).
+    /// Forces the zero-cost transitions needed to determine it.
+    pub fn peek(&mut self, tid: usize) -> Option<(Op, Meta)> {
+        let mut events = Vec::new();
+        self.refill(tid, &mut events);
+        debug_assert!(
+            events.is_empty() || self.threads[tid].finished(),
+            "peek must not cross completion events; schedule the thread"
+        );
+        self.threads[tid].pending
+    }
+
+    /// Advances thread `tid` by one atomic operation.
+    pub fn step(&mut self, tid: usize) -> StepOutcome {
+        let mut events = Vec::new();
+        self.refill(tid, &mut events);
+        let exec = if let Some((op, meta)) = self.threads[tid].pending.take() {
+            let result = Self::exec_op(&mut self.mem, op);
+            if let Meta::Doorstep { lock } = meta {
+                Self::sorted_insert(&mut self.threads[tid].associated, lock);
+                events.push(Event::Doorstep { tid, lock });
+            }
+            self.threads[tid].last = result;
+            // Pull the machine forward so completion (Acquired/Released) is
+            // observed in the same step as the op that caused it.
+            self.refill(tid, &mut events);
+            Some(Exec {
+                tid,
+                op,
+                meta,
+                result,
+            })
+        } else {
+            None
+        };
+        StepOutcome { exec, events }
+    }
+
+    /// Hash of the entire machine state (for the model checker's visited
+    /// set). Programs are fixed per run, so only positions are hashed.
+    pub fn state_hash(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        self.mem.hash(&mut h);
+        for t in &self.threads {
+            t.state_hash(&mut h);
+        }
+        h.finish()
+    }
+
+    /// Runs threads round-robin until all finish or `max_steps` elapse.
+    /// Returns all events, or `None` if the budget ran out (a liveness
+    /// failure under this fair schedule).
+    pub fn run_round_robin(&mut self, max_steps: u64) -> Option<Vec<Event>> {
+        let mut events = Vec::new();
+        let n = self.thread_count();
+        let mut steps = 0;
+        while !self.all_finished() {
+            for tid in 0..n {
+                if !self.threads[tid].finished() {
+                    let out = self.step(tid);
+                    events.extend(out.events);
+                }
+            }
+            steps += 1;
+            if steps > max_steps {
+                return None;
+            }
+        }
+        Some(events)
+    }
+
+    /// Runs threads under a seeded uniformly-random (hence probabilistically
+    /// fair) schedule. Returns events or `None` on budget exhaustion.
+    pub fn run_random(&mut self, seed: u64, max_steps: u64) -> Option<Vec<Event>> {
+        let mut events = Vec::new();
+        let mut rng = SplitMix64::new(seed);
+        let mut steps = 0u64;
+        while !self.all_finished() {
+            let live: Vec<usize> = (0..self.thread_count())
+                .filter(|&t| !self.threads[t].finished())
+                .collect();
+            let tid = live[(rng.next() % live.len() as u64) as usize];
+            let out = self.step(tid);
+            events.extend(out.events);
+            steps += 1;
+            if steps > max_steps {
+                return None;
+            }
+        }
+        Some(events)
+    }
+}
+
+/// Tiny deterministic PRNG for the random scheduler (no external deps).
+#[derive(Clone, Debug)]
+pub struct SplitMix64(u64);
+
+impl SplitMix64 {
+    /// Seeds the generator.
+    pub fn new(seed: u64) -> Self {
+        Self(seed.wrapping_add(0x9E3779B97F4A7C15))
+    }
+
+    /// Next 64-bit value.
+    pub fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algos::{HemlockFlavor, HemlockSim, TicketSim};
+
+    #[test]
+    fn single_thread_completes() {
+        let algo = TicketSim::new(1, 1);
+        let mut w = World::new(algo, vec![Program::lock_unlock(0, 2, 2, 3)]);
+        let events = w.run_round_robin(10_000).expect("must terminate");
+        let acquired = events
+            .iter()
+            .filter(|e| matches!(e, Event::Acquired { .. }))
+            .count();
+        let released = events
+            .iter()
+            .filter(|e| matches!(e, Event::Released { .. }))
+            .count();
+        assert_eq!(acquired, 3);
+        assert_eq!(released, 3);
+        assert_eq!(w.threads[0].completed_releases, 3);
+    }
+
+    #[test]
+    fn two_threads_hemlock_round_robin() {
+        let algo = HemlockSim::new(2, 1, HemlockFlavor::Ctr);
+        let programs = vec![
+            Program::lock_unlock(0, 0, 0, 50),
+            Program::lock_unlock(0, 0, 0, 50),
+        ];
+        let mut w = World::new(algo, programs);
+        let events = w.run_round_robin(1_000_000).expect("must terminate");
+        let acq = events
+            .iter()
+            .filter(|e| matches!(e, Event::Acquired { .. }))
+            .count();
+        assert_eq!(acq, 100);
+    }
+
+    #[test]
+    fn random_schedules_terminate_for_all_algorithms() {
+        use crate::algos::{ClhSim, McsSim};
+        for seed in 0..10 {
+            let programs = || {
+                vec![
+                    Program::lock_unlock(0, 1, 1, 20),
+                    Program::lock_unlock(0, 1, 1, 20),
+                    Program::lock_unlock(0, 1, 1, 20),
+                ]
+            };
+            assert!(World::new(TicketSim::new(3, 1), programs())
+                .run_random(seed, 2_000_000)
+                .is_some());
+            assert!(World::new(McsSim::new(3, 1), programs())
+                .run_random(seed, 2_000_000)
+                .is_some());
+            assert!(World::new(ClhSim::new(3, 1), programs())
+                .run_random(seed, 2_000_000)
+                .is_some());
+            assert!(World::new(HemlockSim::new(3, 1, HemlockFlavor::Ctr), programs())
+                .run_random(seed, 2_000_000)
+                .is_some());
+            assert!(
+                World::new(HemlockSim::new(3, 1, HemlockFlavor::Naive), programs())
+                    .run_random(seed, 2_000_000)
+                    .is_some()
+            );
+        }
+    }
+
+    #[test]
+    fn mutual_exclusion_holds_under_random_schedules() {
+        for seed in 0..20 {
+            let algo = HemlockSim::new(3, 2, HemlockFlavor::Ctr);
+            let programs = vec![
+                Program::lock_unlock(0, 2, 0, 10),
+                Program::lock_unlock(0, 2, 0, 10),
+                Program::lock_unlock(1, 2, 0, 10),
+            ];
+            let mut w = World::new(algo, programs);
+            let mut rng = SplitMix64::new(seed);
+            let mut in_cs: Vec<Vec<usize>> = vec![Vec::new(); 2];
+            let mut steps = 0u64;
+            while !w.all_finished() {
+                let live: Vec<usize> = (0..3).filter(|&t| !w.threads[t].finished()).collect();
+                let tid = live[(rng.next() % live.len() as u64) as usize];
+                let out = w.step(tid);
+                for e in out.events {
+                    match e {
+                        Event::Acquired { tid, lock } => {
+                            in_cs[lock].push(tid);
+                            assert!(in_cs[lock].len() <= 1, "mutual exclusion violated");
+                        }
+                        // The CS ends when the exit code begins (§3):
+                        // Hemlock's successor may legitimately run its CS
+                        // while the predecessor still waits for the ack.
+                        Event::ReleaseStarted { tid, lock } => {
+                            in_cs[lock].retain(|&t| t != tid);
+                        }
+                        _ => {}
+                    }
+                }
+                steps += 1;
+                assert!(steps < 5_000_000, "budget exhausted");
+            }
+        }
+    }
+
+    #[test]
+    fn state_hash_distinguishes_progress() {
+        let algo = HemlockSim::new(1, 1, HemlockFlavor::Ctr);
+        let mut w = World::new(algo, vec![Program::lock_unlock(0, 0, 0, 2)]);
+        let h0 = w.state_hash();
+        let _ = w.step(0);
+        let h1 = w.state_hash();
+        assert_ne!(h0, h1);
+    }
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next(), b.next());
+        }
+    }
+}

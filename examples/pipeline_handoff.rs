@@ -1,0 +1,70 @@
+//! Hand-over-hand ("coupled") locking — the §2.2 pattern that holds two
+//! locks at once yet never causes Hemlock multi-waiting.
+//!
+//! A pipeline of stages, each protected by its own lock; workers traverse
+//! stages in order, acquiring stage i+1 before releasing stage i (so items
+//! are never unprotected mid-flight). The instrumented lock family
+//! measures the §5.4 censuses live: lock-while-holding fires constantly
+//! (that is the pattern), max locks held is 2, and — the paper's point —
+//! the Grant multi-waiting degree stays at 1: purely local spinning.
+//!
+//! Run with: `cargo run --release --example pipeline_handoff`
+
+use hemlock_core::hemlock::HemlockInstrumented;
+use hemlock_core::raw::RawLock;
+use std::cell::UnsafeCell;
+
+const STAGES: usize = 8;
+const WORKERS: usize = 4;
+const PASSES: usize = 2_000;
+
+struct Pipeline {
+    locks: Vec<HemlockInstrumented>,
+    stages: Vec<UnsafeCell<u64>>,
+}
+// Safety: stages[i] is only touched while holding locks[i].
+unsafe impl Sync for Pipeline {}
+
+fn main() {
+    let pipeline = Pipeline {
+        locks: (0..STAGES).map(|_| HemlockInstrumented::new()).collect(),
+        stages: (0..STAGES).map(|_| UnsafeCell::new(0)).collect(),
+    };
+    HemlockInstrumented::reset_stats();
+
+    std::thread::scope(|s| {
+        for _ in 0..WORKERS {
+            let pipeline = &pipeline;
+            s.spawn(move || {
+                for _ in 0..PASSES {
+                    // Coupled traversal: lock stage 0, then for each next
+                    // stage lock it BEFORE releasing the previous one.
+                    pipeline.locks[0].lock();
+                    for i in 1..STAGES {
+                        pipeline.locks[i].lock();
+                        // Safety: we hold locks[i-1].
+                        unsafe { *pipeline.stages[i - 1].get() += 1 };
+                        // Safety: we hold locks[i-1] and are its owner.
+                        unsafe { pipeline.locks[i - 1].unlock() };
+                    }
+                    // Safety: we hold the last lock.
+                    unsafe { *pipeline.stages[STAGES - 1].get() += 1 };
+                    unsafe { pipeline.locks[STAGES - 1].unlock() };
+                }
+            });
+        }
+    });
+
+    let total: u64 = pipeline.stages.iter().map(|s| unsafe { *s.get() }).sum();
+    let report = HemlockInstrumented::report();
+    println!("processed {total} stage-visits (expected {})", (STAGES * WORKERS * PASSES));
+    println!("{report}");
+    assert_eq!(total, (STAGES * WORKERS * PASSES) as u64);
+    assert_eq!(report.max_locks_held, 2, "coupled locking holds exactly 2");
+    assert!(
+        report.max_grant_waiters <= 1,
+        "§2.2: hand-over-hand must not multi-wait (got {})",
+        report.max_grant_waiters
+    );
+    println!("pipeline_handoff OK — coupled locking stayed purely local-spinning");
+}

@@ -1,0 +1,21 @@
+//! # hemlock-suite
+//!
+//! Workspace umbrella for the Hemlock (SPAA 2021) reproduction: re-exports
+//! every crate so that examples and integration tests have a single import
+//! surface. The interesting code lives in the member crates:
+//!
+//! - [`hemlock_core`] — the Hemlock lock family (the paper's contribution).
+//! - [`hemlock_locks`] — MCS / CLH / Ticket / TAS / TTAS / Anderson baselines.
+//! - [`hemlock_simlock`] — lock algorithms as deterministic state machines.
+//! - [`hemlock_model`] — schedule exploration checking the §3 theorems.
+//! - [`hemlock_coherence`] — MESI/MESIF/MOESI simulator (Table 2, §5.5).
+//! - [`hemlock_minikv`] — LevelDB-shaped KV store (Figure 8).
+//! - [`hemlock_harness`] — MutexBench and friends (Figures 2–9).
+
+pub use hemlock_coherence as coherence;
+pub use hemlock_core as core;
+pub use hemlock_harness as harness;
+pub use hemlock_locks as locks;
+pub use hemlock_minikv as minikv;
+pub use hemlock_model as model;
+pub use hemlock_simlock as simlock;

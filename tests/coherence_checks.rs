@@ -1,0 +1,91 @@
+//! Integration checks for the coherence reproduction of Table 2 and the
+//! §5.5/§5.6 traffic claims, via the public crate APIs.
+
+use hemlock_coherence::{
+    multiwait_offcore, ring, table2, table2_row, Protocol, Table2Algo, WaitMode,
+};
+use hemlock_simlock::algos::HemlockFlavor;
+
+#[test]
+fn table2_api_produces_all_five_rows() {
+    let rows = table2(6, 40, Protocol::Mesif, 3);
+    assert_eq!(rows.len(), 5);
+    let names: Vec<&str> = rows.iter().map(|(n, _)| n.as_str()).collect();
+    assert_eq!(names, vec!["MCS", "CLH", "Ticket", "Hemlock", "Hemlock-"]);
+    assert!(rows.iter().all(|(_, v)| *v > 0.0));
+}
+
+#[test]
+fn ctr_reduces_offcore_on_all_protocols() {
+    for protocol in [Protocol::Mesi, Protocol::Mesif, Protocol::Moesi] {
+        let ctr = table2_row(Table2Algo::Hemlock, 8, 60, protocol, 11).offcore_per_pair();
+        let naive = table2_row(Table2Algo::HemlockNaive, 8, 60, protocol, 11).offcore_per_pair();
+        assert!(
+            ctr < naive,
+            "{protocol:?}: CTR {ctr} must beat naive {naive}"
+        );
+    }
+}
+
+#[test]
+fn paper_ordering_shape_holds() {
+    // Hemlock < Hemlock- < MCS/CLH << Ticket (Table 2's ordering).
+    let median = |algo| {
+        let mut v: Vec<f64> = (0..5)
+            .map(|s| table2_row(algo, 12, 50, Protocol::Mesif, s).offcore_per_pair())
+            .collect();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v[2]
+    };
+    let hemlock = median(Table2Algo::Hemlock);
+    let naive = median(Table2Algo::HemlockNaive);
+    let mcs = median(Table2Algo::Mcs);
+    let clh = median(Table2Algo::Clh);
+    let ticket = median(Table2Algo::Ticket);
+    assert!(hemlock < naive, "{hemlock} < {naive}");
+    assert!(naive < mcs, "{naive} < {mcs}");
+    assert!(hemlock < clh, "{hemlock} < {clh}");
+    assert!(ticket > mcs && ticket > clh && ticket > 2.0 * hemlock);
+}
+
+#[test]
+fn multiwait_inverts_the_ctr_advantage() {
+    // §5.6: CTR harmful under multi-waiting; and the effect grows with the
+    // number of locks the leader holds.
+    let ctr_small = multiwait_offcore(3, 30, HemlockFlavor::Ctr, Protocol::Mesif, 5);
+    let naive_small = multiwait_offcore(3, 30, HemlockFlavor::Naive, Protocol::Mesif, 5);
+    let ctr_big = multiwait_offcore(8, 30, HemlockFlavor::Ctr, Protocol::Mesif, 5);
+    let naive_big = multiwait_offcore(8, 30, HemlockFlavor::Naive, Protocol::Mesif, 5);
+    assert!(ctr_big.totals.offcore_total() > naive_big.totals.offcore_total());
+    let small_ratio =
+        ctr_small.totals.offcore_total() as f64 / naive_small.totals.offcore_total() as f64;
+    let big_ratio =
+        ctr_big.totals.offcore_total() as f64 / naive_big.totals.offcore_total() as f64;
+    assert!(
+        big_ratio > small_ratio * 0.9,
+        "CTR penalty should not shrink with junction degree: {small_ratio} vs {big_ratio}"
+    );
+}
+
+#[test]
+fn ring_rmw_modes_beat_loads_everywhere() {
+    for protocol in [Protocol::Mesi, Protocol::Mesif, Protocol::Moesi] {
+        let load = ring(6, 100, 4, WaitMode::Load, protocol);
+        for mode in [WaitMode::Cas, WaitMode::Swap, WaitMode::Faa] {
+            let rmw = ring(6, 100, 4, mode, protocol);
+            assert!(
+                rmw.offcore_per_hop() < load.offcore_per_hop(),
+                "{protocol:?} {mode:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn simulated_handover_cost_is_thread_invariant_for_hemlock() {
+    // Local spinning: per-pair offcore stays bounded as threads grow, in
+    // contrast with Ticket (checked in the crate's unit tests).
+    let t4 = table2_row(Table2Algo::Hemlock, 4, 60, Protocol::Mesif, 9).offcore_per_pair();
+    let t16 = table2_row(Table2Algo::Hemlock, 16, 60, Protocol::Mesif, 9).offcore_per_pair();
+    assert!(t16 < t4 * 2.0 + 2.0, "{t4} → {t16}");
+}

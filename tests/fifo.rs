@@ -1,0 +1,87 @@
+//! FIFO admission (Theorem 8) for the real lock implementations.
+//!
+//! Arrivals are strictly sequenced by watching the lock's arrival word
+//! change (Tail for queue locks, the ticket dispenser for Ticket), so the
+//! doorstep order is known exactly; completion order must match.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+const WAITERS: usize = 5;
+
+/// Drives `WAITERS` sequenced arrivals against a held lock and asserts
+/// FIFO completion. `arrival_word` must change when a waiter enqueues.
+fn fifo_check<L, F>(lock: Arc<L>, lock_fn: fn(&L), unlock_fn: unsafe fn(&L), arrival_word: F)
+where
+    L: Send + Sync + 'static,
+    F: Fn(&L) -> u64,
+{
+    lock_fn(&lock);
+    let order = Arc::new(AtomicUsize::new(0));
+    let slots: Arc<Vec<AtomicUsize>> =
+        Arc::new((0..WAITERS).map(|_| AtomicUsize::new(usize::MAX)).collect());
+    let mut handles = Vec::new();
+    for i in 0..WAITERS {
+        let before = arrival_word(&lock);
+        let (lock2, order2, slots2) = (Arc::clone(&lock), Arc::clone(&order), Arc::clone(&slots));
+        handles.push(std::thread::spawn(move || {
+            lock_fn(&lock2);
+            slots2[i].store(order2.fetch_add(1, Ordering::AcqRel), Ordering::Release);
+            // Safety: just acquired on this thread.
+            unsafe { unlock_fn(&lock2) };
+        }));
+        while arrival_word(&lock) == before {
+            std::thread::yield_now();
+        }
+    }
+    // Safety: acquired at the top on this thread.
+    unsafe { unlock_fn(&lock) };
+    for h in handles {
+        h.join().unwrap();
+    }
+    for i in 0..WAITERS {
+        assert_eq!(slots[i].load(Ordering::Acquire), i, "waiter {i} out of order");
+    }
+}
+
+macro_rules! fifo_test_tail {
+    ($name:ident, $lock:ty) => {
+        #[test]
+        fn $name() {
+            use hemlock_core::raw::RawLock;
+            for _ in 0..3 {
+                fifo_check::<$lock, _>(
+                    Arc::new(<$lock>::default()),
+                    <$lock>::lock,
+                    <$lock>::unlock,
+                    |l| l.tail_word() as u64,
+                );
+            }
+        }
+    };
+}
+
+fifo_test_tail!(hemlock_is_fifo, hemlock_core::hemlock::Hemlock);
+fifo_test_tail!(hemlock_naive_is_fifo, hemlock_core::hemlock::HemlockNaive);
+fifo_test_tail!(hemlock_overlap_is_fifo, hemlock_core::hemlock::HemlockOverlap);
+fifo_test_tail!(hemlock_ah_is_fifo, hemlock_core::hemlock::HemlockAh);
+fifo_test_tail!(hemlock_v1_is_fifo, hemlock_core::hemlock::HemlockV1);
+fifo_test_tail!(hemlock_v2_is_fifo, hemlock_core::hemlock::HemlockV2);
+fifo_test_tail!(hemlock_parking_is_fifo, hemlock_core::hemlock::HemlockParking);
+fifo_test_tail!(hemlock_chain_is_fifo, hemlock_core::hemlock::HemlockChain);
+fifo_test_tail!(mcs_is_fifo, hemlock_locks::McsLock);
+fifo_test_tail!(clh_is_fifo, hemlock_locks::ClhLock);
+
+#[test]
+fn ticket_is_fifo() {
+    use hemlock_core::raw::RawLock;
+    use hemlock_locks::TicketLock;
+    for _ in 0..3 {
+        fifo_check::<TicketLock, _>(
+            Arc::new(TicketLock::default()),
+            TicketLock::lock,
+            TicketLock::unlock,
+            |l| l.arrivals(),
+        );
+    }
+}

@@ -1,0 +1,111 @@
+//! §5.4-style censuses with the instrumented Hemlock, run as ONE test so
+//! the family-global counters are not perturbed by parallel test threads.
+
+use hemlock_core::hemlock::HemlockInstrumented;
+use hemlock_core::raw::RawLock;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+#[test]
+fn censuses_match_scenarios() {
+    // --- Scenario 1: single-lock workload => purely local spinning. ---
+    HemlockInstrumented::reset_stats();
+    {
+        let l = Arc::new(HemlockInstrumented::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let l = Arc::clone(&l);
+                s.spawn(move || {
+                    for _ in 0..5_000 {
+                        l.lock();
+                        // Safety: acquired above on this thread.
+                        unsafe { l.unlock() };
+                    }
+                });
+            }
+        });
+    }
+    let r = HemlockInstrumented::report();
+    assert_eq!(r.acquires, 20_000);
+    assert_eq!(r.lock_while_holding, 0, "one lock at a time");
+    assert_eq!(r.max_locks_held, 1);
+    assert!(
+        r.max_grant_waiters <= 1,
+        "single-lock workloads spin locally (got {})",
+        r.max_grant_waiters
+    );
+    assert!(r.contended_acquires <= r.acquires);
+
+    // --- Scenario 2: the Figure 1 junction, with real threads. ---
+    // Thread E holds 3 locks; one waiter per lock; all three waiters spin
+    // on E's single Grant word; releases must wake exactly the right one.
+    HemlockInstrumented::reset_stats();
+    {
+        let locks: Arc<Vec<HemlockInstrumented>> =
+            Arc::new((0..3).map(|_| HemlockInstrumented::new()).collect());
+        let woken = Arc::new(AtomicUsize::new(0));
+        for l in locks.iter() {
+            l.lock();
+        }
+        let mut handles = Vec::new();
+        for i in 0..3 {
+            let before = locks[i].tail_word();
+            let (locks2, woken2) = (Arc::clone(&locks), Arc::clone(&woken));
+            handles.push(std::thread::spawn(move || {
+                locks2[i].lock();
+                woken2.fetch_or(1 << i, Ordering::AcqRel);
+                // Safety: acquired above on this thread.
+                unsafe { locks2[i].unlock() };
+            }));
+            while locks[i].tail_word() == before {
+                std::thread::yield_now();
+            }
+        }
+        // Give the waiters time to all begin spinning on E's Grant word.
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        let mid = HemlockInstrumented::report();
+        assert_eq!(
+            mid.max_grant_waiters, 3,
+            "three waiters across three locks share E's Grant word"
+        );
+        // Release middle lock first: only waiter 1 may proceed.
+        // Safety: all three acquired above on this thread.
+        unsafe { locks[1].unlock() };
+        handles.remove(1).join().unwrap();
+        assert_eq!(woken.load(Ordering::Acquire), 0b010);
+        unsafe { locks[2].unlock() };
+        unsafe { locks[0].unlock() };
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(woken.load(Ordering::Acquire), 0b111);
+    }
+    let r = HemlockInstrumented::report();
+    assert_eq!(r.max_locks_held, 3);
+    assert!(r.lock_while_holding >= 2, "E locked while holding");
+
+    // --- Scenario 3: try_lock counts as an acquire, never contends. ---
+    HemlockInstrumented::reset_stats();
+    {
+        use hemlock_core::raw::RawTryLock;
+        let l = HemlockInstrumented::new();
+        assert!(l.try_lock());
+        assert!(!l.try_lock());
+        // Safety: try_lock succeeded above on this thread.
+        unsafe { l.unlock() };
+    }
+    let r = HemlockInstrumented::report();
+    assert_eq!(r.acquires, 1);
+    assert_eq!(r.contended_acquires, 0);
+
+    // --- Scenario 4: the Tail word reflects hold state. ---
+    // (Folded into this single test: the counters are family-global, so
+    // this file deliberately has exactly one #[test].)
+    let l = HemlockInstrumented::new();
+    assert_eq!(l.tail_word(), 0);
+    l.lock();
+    assert_ne!(l.tail_word(), 0);
+    // Safety: acquired above on this thread.
+    unsafe { l.unlock() };
+    assert_eq!(l.tail_word(), 0);
+}

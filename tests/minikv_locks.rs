@@ -1,0 +1,108 @@
+//! The Figure 8 substrate under every lock algorithm: same workload, same
+//! answers, regardless of the central mutex implementation.
+
+use hemlock_core::hemlock::{
+    Hemlock, HemlockAh, HemlockChain, HemlockNaive, HemlockOverlap, HemlockParking, HemlockV1,
+    HemlockV2,
+};
+use hemlock_core::raw::RawLock;
+use hemlock_locks::{AndersonLock, ClhLock, McsLock, TasLock, TicketLock, TtasLock};
+use hemlock_minikv::{fill_seq, key_for, read_random, value_for, Db, Options};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn workload<L: RawLock + 'static>() {
+    let db: Arc<Db<L>> = Arc::new(Db::new(Options {
+        memtable_bytes: 8 << 10,
+        max_runs: 4,
+    }));
+    fill_seq(&db, 2_000, 64);
+
+    // Mixed concurrent traffic: readers + an overwriter + a deleter.
+    std::thread::scope(|s| {
+        for t in 0..2 {
+            let db = Arc::clone(&db);
+            s.spawn(move || {
+                for i in 0..4_000u64 {
+                    let k = (i * 13 + t * 7) % 2_000;
+                    let _ = db.get(&key_for(k));
+                }
+            });
+        }
+        {
+            let db = Arc::clone(&db);
+            s.spawn(move || {
+                for i in 0..1_000u64 {
+                    db.put(&key_for(i), b"overwritten");
+                }
+            });
+        }
+        {
+            let db = Arc::clone(&db);
+            s.spawn(move || {
+                for i in 1_500..1_750u64 {
+                    db.delete(&key_for(i));
+                }
+            });
+        }
+    });
+
+    // Quiesced correctness sweep.
+    for i in 0..1_000u64 {
+        assert_eq!(db.get(&key_for(i)), Some(b"overwritten".to_vec()), "{}", L::NAME);
+    }
+    for i in 1_000..1_500u64 {
+        assert_eq!(db.get(&key_for(i)), Some(value_for(i, 64)), "{}", L::NAME);
+    }
+    for i in 1_500..1_750u64 {
+        assert_eq!(db.get(&key_for(i)), None, "{}", L::NAME);
+    }
+    for i in 1_750..2_000u64 {
+        assert_eq!(db.get(&key_for(i)), Some(value_for(i, 64)), "{}", L::NAME);
+    }
+}
+
+macro_rules! kv_tests {
+    ($($name:ident => $lock:ty),+ $(,)?) => {
+        $(
+            #[test]
+            fn $name() {
+                workload::<$lock>();
+            }
+        )+
+    };
+}
+
+kv_tests! {
+    kv_under_hemlock => Hemlock,
+    kv_under_hemlock_naive => HemlockNaive,
+    kv_under_hemlock_overlap => HemlockOverlap,
+    kv_under_hemlock_ah => HemlockAh,
+    kv_under_hemlock_v1 => HemlockV1,
+    kv_under_hemlock_v2 => HemlockV2,
+    kv_under_hemlock_parking => HemlockParking,
+    kv_under_hemlock_chain => HemlockChain,
+    kv_under_mcs => McsLock,
+    kv_under_clh => ClhLock,
+    kv_under_ticket => TicketLock,
+    kv_under_tas => TasLock,
+    kv_under_ttas => TtasLock,
+    kv_under_anderson => AndersonLock,
+}
+
+#[test]
+fn readrandom_throughput_is_comparable_across_locks() {
+    // Not a performance assertion (2 vCPUs, CI noise) — just that every
+    // lock sustains the benchmark and reports sane numbers.
+    fn rate<L: RawLock>() -> f64 {
+        let db: Db<L> = Db::new(Default::default());
+        fill_seq(&db, 5_000, 64);
+        read_random(&db, 2, 5_000, Duration::from_millis(100)).ops_per_sec()
+    }
+    let hemlock = rate::<Hemlock>();
+    let mcs = rate::<McsLock>();
+    let ticket = rate::<TicketLock>();
+    for (name, r) in [("hemlock", hemlock), ("mcs", mcs), ("ticket", ticket)] {
+        assert!(r > 1_000.0, "{name}: {r} ops/s is implausibly low");
+    }
+}

@@ -1,0 +1,171 @@
+//! Machine-checked Section 3 theorems across configurations, spanning
+//! simlock + model.
+
+use hemlock_model::{check_progress, explore, ExploreConfig};
+use hemlock_simlock::algos::{ClhSim, HemlockFlavor, HemlockSim, McsSim, TicketSim};
+use hemlock_simlock::{Action, LockAlgorithm, Program, World};
+
+fn assert_clean<A: LockAlgorithm + Clone>(world: World<A>, locks: usize, label: &str) {
+    let report = explore(
+        world,
+        ExploreConfig {
+            locks,
+            max_states: 2_000_000,
+            check_fere_local: true,
+        },
+    );
+    assert!(report.clean(), "{label}: {:?}", report.violations);
+    assert!(report.exhaustive, "{label}: state cap hit at {}", report.states);
+    assert!(report.terminal_states >= 1, "{label}: no terminal state");
+}
+
+#[test]
+fn hemlock_two_threads_with_cs_work() {
+    for flavor in [HemlockFlavor::Ctr, HemlockFlavor::Naive] {
+        let programs = vec![
+            Program::lock_unlock(0, 2, 1, 2),
+            Program::lock_unlock(0, 2, 1, 2),
+        ];
+        assert_clean(
+            World::new(HemlockSim::new(2, 1, flavor), programs),
+            1,
+            "hemlock 2t cs-work",
+        );
+    }
+}
+
+#[test]
+fn hemlock_three_threads_one_round() {
+    for flavor in [HemlockFlavor::Ctr, HemlockFlavor::Naive] {
+        let programs = vec![
+            Program::lock_unlock(0, 0, 0, 1),
+            Program::lock_unlock(0, 0, 0, 1),
+            Program::lock_unlock(0, 0, 0, 1),
+        ];
+        assert_clean(
+            World::new(HemlockSim::new(3, 1, flavor), programs),
+            1,
+            "hemlock 3t",
+        );
+    }
+}
+
+#[test]
+fn hemlock_nested_two_locks_exhaustive() {
+    // Both threads take L0 then L1 nested — the multi-lock regime where
+    // fere-local (not purely local) spinning is the guarantee.
+    let nested = Program::new(
+        vec![
+            Action::Acquire(0),
+            Action::Acquire(1),
+            Action::Release(1),
+            Action::Release(0),
+        ],
+        1,
+    );
+    for flavor in [HemlockFlavor::Ctr, HemlockFlavor::Naive] {
+        assert_clean(
+            World::new(
+                HemlockSim::new(2, 2, flavor),
+                vec![nested.clone(), nested.clone()],
+            ),
+            2,
+            "hemlock nested",
+        );
+    }
+}
+
+#[test]
+fn hemlock_opposite_order_independent_locks() {
+    // T0 uses L0 then L1; T1 uses L1 then L0 — sequentially, not nested
+    // (no deadlock possible), exercising Grant reuse across locks.
+    let p0 = Program::new(
+        vec![
+            Action::Acquire(0),
+            Action::Release(0),
+            Action::Acquire(1),
+            Action::Release(1),
+        ],
+        1,
+    );
+    let p1 = Program::new(
+        vec![
+            Action::Acquire(1),
+            Action::Release(1),
+            Action::Acquire(0),
+            Action::Release(0),
+        ],
+        1,
+    );
+    assert_clean(
+        World::new(HemlockSim::new(2, 2, HemlockFlavor::Ctr), vec![p0, p1]),
+        2,
+        "hemlock opposite order",
+    );
+}
+
+#[test]
+fn baselines_with_cs_work() {
+    let programs = || {
+        vec![
+            Program::lock_unlock(0, 2, 0, 2),
+            Program::lock_unlock(0, 2, 0, 2),
+        ]
+    };
+    assert_clean(World::new(TicketSim::new(2, 1), programs()), 1, "ticket");
+    assert_clean(World::new(McsSim::new(2, 1), programs()), 1, "mcs");
+    assert_clean(World::new(ClhSim::new(2, 1), programs()), 1, "clh");
+}
+
+#[test]
+fn lockout_freedom_under_fair_schedules() {
+    // Theorem 6 (bounded form): termination under round-robin plus many
+    // random fair schedules, for every algorithm.
+    let mk_programs = || {
+        vec![
+            Program::lock_unlock(0, 1, 1, 10),
+            Program::lock_unlock(0, 1, 1, 10),
+            Program::lock_unlock(0, 1, 1, 10),
+        ]
+    };
+    assert!(check_progress(
+        || World::new(HemlockSim::new(3, 1, HemlockFlavor::Ctr), mk_programs()),
+        25,
+        3_000_000
+    ));
+    assert!(check_progress(
+        || World::new(HemlockSim::new(3, 1, HemlockFlavor::Naive), mk_programs()),
+        25,
+        3_000_000
+    ));
+    assert!(check_progress(
+        || World::new(McsSim::new(3, 1), mk_programs()),
+        10,
+        3_000_000
+    ));
+    assert!(check_progress(
+        || World::new(ClhSim::new(3, 1), mk_programs()),
+        10,
+        3_000_000
+    ));
+    assert!(check_progress(
+        || World::new(TicketSim::new(3, 1), mk_programs()),
+        10,
+        3_000_000
+    ));
+}
+
+#[test]
+fn multiwait_leader_configuration_is_safe() {
+    // Leader takes L0..L2 ascending, releases descending; two waiters.
+    let programs = vec![
+        Program::multiwait_leader(2, 1),
+        Program::lock_unlock(0, 0, 0, 1),
+        Program::lock_unlock(1, 0, 0, 1),
+    ];
+    assert_clean(
+        World::new(HemlockSim::new(3, 2, HemlockFlavor::Ctr), programs),
+        2,
+        "multiwait leader",
+    );
+}

@@ -1,0 +1,107 @@
+//! Cross-crate integration: mutual exclusion under real contention for
+//! every lock in the workspace (the Hemlock family and all baselines).
+
+use hemlock_core::hemlock::{
+    Hemlock, HemlockAh, HemlockChain, HemlockNaive, HemlockOverlap, HemlockParking, HemlockV1,
+    HemlockV2,
+};
+use hemlock_core::raw::RawLock;
+use hemlock_core::Mutex;
+use hemlock_locks::{AndersonLock, ClhLock, McsLock, TasLock, TicketLock, TtasLock};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+fn counter_torture<L: RawLock + 'static>(threads: usize, iters: u64) {
+    let m: Arc<Mutex<u64, L>> = Arc::new(Mutex::new(0));
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            let m = Arc::clone(&m);
+            s.spawn(move || {
+                for _ in 0..iters {
+                    *m.lock() += 1;
+                }
+            });
+        }
+    });
+    assert_eq!(*m.lock(), threads as u64 * iters, "{}", L::NAME);
+}
+
+fn overlap_detector<L: RawLock + 'static>(threads: usize, iters: u64) {
+    let l = Arc::new(L::default());
+    let in_cs = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            let l = Arc::clone(&l);
+            let in_cs = Arc::clone(&in_cs);
+            s.spawn(move || {
+                for _ in 0..iters {
+                    l.lock();
+                    assert!(!in_cs.swap(true, Ordering::AcqRel), "{} overlap", L::NAME);
+                    std::hint::spin_loop();
+                    in_cs.store(false, Ordering::Release);
+                    // Safety: acquired above on this thread.
+                    unsafe { l.unlock() };
+                }
+            });
+        }
+    });
+}
+
+macro_rules! exclusion_tests {
+    ($($name:ident => $lock:ty),+ $(,)?) => {
+        $(
+            #[test]
+            fn $name() {
+                counter_torture::<$lock>(4, 20_000);
+                overlap_detector::<$lock>(4, 10_000);
+            }
+        )+
+    };
+}
+
+exclusion_tests! {
+    hemlock_ctr => Hemlock,
+    hemlock_naive => HemlockNaive,
+    hemlock_overlap => HemlockOverlap,
+    hemlock_ah => HemlockAh,
+    hemlock_v1 => HemlockV1,
+    hemlock_v2 => HemlockV2,
+    hemlock_parking => HemlockParking,
+    hemlock_chain => HemlockChain,
+    mcs => McsLock,
+    clh => ClhLock,
+    ticket => TicketLock,
+    tas => TasLock,
+    ttas => TtasLock,
+    anderson => AndersonLock,
+}
+
+#[test]
+fn mixed_lock_types_coexist() {
+    // Different algorithms in one program, one thread touching all of them
+    // (each family has its own thread-local Grant slot / node pools).
+    let a: Mutex<u64, Hemlock> = Mutex::new(0);
+    let b: Mutex<u64, McsLock> = Mutex::new(0);
+    let c: Mutex<u64, ClhLock> = Mutex::new(0);
+    let d: Mutex<u64, HemlockV1> = Mutex::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            s.spawn(|| {
+                for _ in 0..5_000 {
+                    let mut ga = a.lock();
+                    let mut gb = b.lock();
+                    let mut gc = c.lock();
+                    let mut gd = d.lock();
+                    *ga += 1;
+                    *gb += 1;
+                    *gc += 1;
+                    *gd += 1;
+                }
+            });
+        }
+    });
+    assert_eq!(*a.lock(), 20_000);
+    assert_eq!(*b.lock(), 20_000);
+    assert_eq!(*c.lock(), 20_000);
+    assert_eq!(*d.lock(), 20_000);
+}

@@ -1,0 +1,85 @@
+//! Table 1 assertions: the space claims, measured from the real types.
+
+use hemlock_core::hemlock::{
+    Hemlock, HemlockAh, HemlockNaive, HemlockOverlap, HemlockV1, HemlockV2,
+};
+use hemlock_core::pad::CACHE_LINE;
+use hemlock_core::raw::RawLock;
+use hemlock_core::registry::GrantCell;
+use hemlock_locks::{ClhLock, McsLock, TicketLock};
+
+const WORD: usize = core::mem::size_of::<usize>();
+
+#[test]
+fn hemlock_lock_body_is_one_word_all_variants() {
+    assert_eq!(core::mem::size_of::<Hemlock>(), WORD);
+    assert_eq!(core::mem::size_of::<HemlockNaive>(), WORD);
+    assert_eq!(core::mem::size_of::<HemlockOverlap>(), WORD);
+    assert_eq!(core::mem::size_of::<HemlockAh>(), WORD);
+    assert_eq!(core::mem::size_of::<HemlockV1>(), WORD);
+    assert_eq!(core::mem::size_of::<HemlockV2>(), WORD);
+}
+
+#[test]
+fn baselines_are_two_words() {
+    assert_eq!(core::mem::size_of::<McsLock>(), 2 * WORD);
+    assert_eq!(core::mem::size_of::<ClhLock>(), 2 * WORD);
+    assert_eq!(core::mem::size_of::<TicketLock>(), 2 * WORD);
+}
+
+#[test]
+fn lock_words_constants_match_reality() {
+    assert_eq!(Hemlock::LOCK_WORDS * WORD, core::mem::size_of::<Hemlock>());
+    assert_eq!(McsLock::LOCK_WORDS * WORD, core::mem::size_of::<McsLock>());
+    assert_eq!(ClhLock::LOCK_WORDS * WORD, core::mem::size_of::<ClhLock>());
+    assert_eq!(
+        TicketLock::LOCK_WORDS * WORD,
+        core::mem::size_of::<TicketLock>()
+    );
+}
+
+#[test]
+fn queue_elements_are_padded_to_a_cache_line() {
+    // §2.3: "we also elected to align and pad the MCS and CLH queue nodes
+    // [...] raising the size of E to a cache line."
+    assert_eq!(McsLock::ELEMENT_BYTES, CACHE_LINE);
+    assert_eq!(ClhLock::ELEMENT_BYTES, CACHE_LINE);
+}
+
+#[test]
+fn grant_field_is_sole_occupant_of_a_cache_line() {
+    // §2.3: "we opted to sequester the Grant field as the sole occupant of
+    // a cache line."
+    assert_eq!(core::mem::size_of::<GrantCell>(), CACHE_LINE);
+    assert_eq!(core::mem::align_of::<GrantCell>(), CACHE_LINE);
+}
+
+#[test]
+fn space_example_from_section_2_3() {
+    // "lets say lock L is owned by thread T1 while threads T2 and T3 wait
+    // [...] The space consumed is 2 words for L plus 3*E for the queue
+    // elements. In comparison, Hemlock consumes one word for L and 3 words
+    // of thread-local state for the Grant fields."
+    let mcs_total = core::mem::size_of::<McsLock>() + 3 * McsLock::ELEMENT_BYTES;
+    let hemlock_marginal = core::mem::size_of::<Hemlock>();
+    // The Hemlock per-thread Grant is amortized across every lock in the
+    // program; the marginal cost of one more Hemlock is one word.
+    assert_eq!(hemlock_marginal, WORD);
+    assert!(mcs_total >= 2 * WORD + 3 * CACHE_LINE);
+}
+
+#[test]
+fn hemlock_has_no_per_held_or_per_wait_space() {
+    // Holding or waiting on N Hemlock locks allocates nothing beyond the
+    // one thread Grant word: demonstrate by holding many locks at once.
+    let locks: Vec<Hemlock> = (0..64).map(|_| Hemlock::new()).collect();
+    for l in &locks {
+        l.lock();
+    }
+    for l in locks.iter().rev() {
+        // Safety: acquired above on this thread.
+        unsafe { l.unlock() };
+    }
+    // (The assertion is structural: Hemlock's lock() allocates no queue
+    // element; MCS would have needed 64 elements here.)
+}

@@ -1,0 +1,142 @@
+//! Randomized multi-lock stress across the Hemlock family: arbitrary
+//! acquisition subsets, arbitrary release orders, try_lock mixed in —
+//! the pthread usage envelope the paper requires (§4: locks "allow
+//! multiple locks to be held simultaneously and released in arbitrary
+//! order").
+
+use hemlock_core::hemlock::{Hemlock, HemlockAh, HemlockNaive, HemlockOverlap, HemlockV1, HemlockV2};
+use hemlock_core::raw::{RawLock, RawTryLock};
+use std::cell::UnsafeCell;
+use std::sync::Arc;
+
+const LOCKS: usize = 6;
+const THREADS: usize = 4;
+const ITERS: u64 = 4_000;
+
+struct Cells {
+    locks: Vec<LockSlot>,
+}
+struct LockSlot {
+    value: UnsafeCell<u64>,
+}
+unsafe impl Sync for Cells {}
+
+fn stress<L: RawLock + RawTryLock + 'static>() {
+    let locks: Arc<Vec<L>> = Arc::new((0..LOCKS).map(|_| L::default()).collect());
+    let cells = Arc::new(Cells {
+        locks: (0..LOCKS)
+            .map(|_| LockSlot {
+                value: UnsafeCell::new(0),
+            })
+            .collect(),
+    });
+
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let locks = Arc::clone(&locks);
+            let cells = Arc::clone(&cells);
+            s.spawn(move || {
+                let mut state = (t as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15);
+                let mut rng = move || {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    state >> 11
+                };
+                for _ in 0..ITERS {
+                    let r = rng();
+                    // Pick an ordered subset of 1..=3 locks (ascending to
+                    // avoid deadlock), acquire them, bump each protected
+                    // counter, release in a pseudo-random order.
+                    let count = 1 + (r % 3) as usize;
+                    let mut picked = Vec::with_capacity(count);
+                    let mut idx = (r >> 8) as usize % LOCKS;
+                    for _ in 0..count {
+                        if picked.last().is_none_or(|&p| p < idx) {
+                            picked.push(idx);
+                        }
+                        idx = (idx + 1 + (r >> 16) as usize % 2).min(LOCKS - 1);
+                    }
+                    picked.dedup();
+                    for &i in &picked {
+                        if r & 1 == 0 {
+                            locks[i].lock();
+                        } else {
+                            // Mix try_lock into the protocol.
+                            if !locks[i].try_lock() {
+                                locks[i].lock();
+                            }
+                        }
+                    }
+                    for &i in &picked {
+                        // Safety: lock i is held.
+                        unsafe { *cells.locks[i].value.get() += 1 };
+                    }
+                    // Release order: forward on even, reverse on odd.
+                    if r & 2 == 0 {
+                        for &i in &picked {
+                            // Safety: acquired above on this thread.
+                            unsafe { locks[i].unlock() };
+                        }
+                    } else {
+                        for &i in picked.iter().rev() {
+                            // Safety: acquired above on this thread.
+                            unsafe { locks[i].unlock() };
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    let total: u64 = (0..LOCKS)
+        .map(|i| unsafe { *cells.locks[i].value.get() })
+        .sum();
+    assert!(total > 0);
+    // Each iteration bumps each picked lock once; totals must be internally
+    // consistent (no lost updates): recompute with a single-threaded replay
+    // is impossible (randomized), so the invariant is simply that every
+    // increment was mutually excluded — guaranteed if no counter was torn.
+    // The real check: no deadlock, no crash, and counters are plausible.
+    assert!(total >= THREADS as u64 * ITERS, "{total}");
+}
+
+macro_rules! stress_tests {
+    ($($name:ident => $lock:ty),+ $(,)?) => {
+        $( #[test] fn $name() { stress::<$lock>(); } )+
+    };
+}
+
+stress_tests! {
+    stress_hemlock => Hemlock,
+    stress_hemlock_naive => HemlockNaive,
+    stress_hemlock_overlap => HemlockOverlap,
+    stress_hemlock_ah => HemlockAh,
+    stress_hemlock_v1 => HemlockV1,
+    stress_hemlock_v2 => HemlockV2,
+}
+
+#[test]
+fn grant_slots_recycle_across_thread_generations() {
+    // Spawn several generations of threads; the Grant arena must recycle
+    // slots rather than leak one per thread ever created.
+    for _gen in 0..5 {
+        let lock = Arc::new(Hemlock::new());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let lock = Arc::clone(&lock);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1_000 {
+                    lock.lock();
+                    // Safety: acquired above on this thread.
+                    unsafe { lock.unlock() };
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+    // No API exposes the CTR family arena size publicly here, but the
+    // registry's own unit tests assert recycling; this test's job is the
+    // end-to-end generational churn without hangs or leaks under ASAN-ish
+    // scrutiny.
+}
