@@ -10,22 +10,19 @@ use hemlock_simlock::{Program, World};
 use std::time::Duration;
 
 fn sim_row(c: &mut Criterion) {
-    c.benchmark_group("coherence_sim").bench_function(
-        "table2_row_hemlock_8t_50r",
-        |b| {
+    c.benchmark_group("coherence_sim")
+        .bench_function("table2_row_hemlock_8t_50r", |b| {
             let mut seed = 0;
             b.iter(|| {
                 seed += 1;
                 table2_row(Table2Algo::Hemlock, 8, 50, Protocol::Mesif, seed)
             })
-        },
-    );
+        });
 }
 
 fn model_explore(c: &mut Criterion) {
-    c.benchmark_group("model_checker").bench_function(
-        "explore_2threads_1round",
-        |b| {
+    c.benchmark_group("model_checker")
+        .bench_function("explore_2threads_1round", |b| {
             b.iter(|| {
                 let world = World::new(
                     HemlockSim::new(2, 1, HemlockFlavor::Ctr),
@@ -36,8 +33,7 @@ fn model_explore(c: &mut Criterion) {
                 );
                 explore(world, ExploreConfig::default())
             })
-        },
-    );
+        });
 }
 
 fn config() -> Criterion {

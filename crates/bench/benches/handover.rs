@@ -26,13 +26,14 @@ fn bench_contended<L: RawLock + 'static>(c: &mut Criterion) {
             }
         })
     };
-    c.benchmark_group("contended_pair").bench_function(L::NAME, |b| {
-        b.iter(|| {
-            lock.lock();
-            // Safety: acquired above on this thread.
-            unsafe { lock.unlock() };
-        })
-    });
+    c.benchmark_group("contended_pair")
+        .bench_function(L::META.name, |b| {
+            b.iter(|| {
+                lock.lock();
+                // Safety: acquired above on this thread.
+                unsafe { lock.unlock() };
+            })
+        });
     stop.store(true, Ordering::Release);
     contender.join().unwrap();
 }

@@ -16,7 +16,10 @@ fn bench_get<L: RawLock>(c: &mut Criterion, name: &str) {
     let mut i = 0u64;
     c.benchmark_group("minikv_get").bench_function(name, |b| {
         b.iter(|| {
-            i = (i.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407)) % ENTRIES;
+            i = (i
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407))
+                % ENTRIES;
             db.get(&key_for(i))
         })
     });
@@ -25,12 +28,13 @@ fn bench_get<L: RawLock>(c: &mut Criterion, name: &str) {
 fn bench_put(c: &mut Criterion) {
     let db: Db<Hemlock> = Db::new(Default::default());
     let mut i = 0u64;
-    c.benchmark_group("minikv_put").bench_function("Hemlock", |b| {
-        b.iter(|| {
-            i += 1;
-            db.put(&key_for(i % ENTRIES), b"value-bytes-for-criterion-run");
-        })
-    });
+    c.benchmark_group("minikv_put")
+        .bench_function("Hemlock", |b| {
+            b.iter(|| {
+                i += 1;
+                db.put(&key_for(i % ENTRIES), b"value-bytes-for-criterion-run");
+            })
+        });
 }
 
 fn gets(c: &mut Criterion) {

@@ -14,14 +14,15 @@ fn next_u32(c: &mut Criterion) {
 
 fn ncs_batch(c: &mut Criterion) {
     let mut rng = Mt19937::new(42);
-    c.benchmark_group("mt19937").bench_function("ncs_batch_400", |b| {
-        b.iter(|| {
-            let steps = rng.below(400);
-            for _ in 0..steps {
-                rng.next_u32();
-            }
-        })
-    });
+    c.benchmark_group("mt19937")
+        .bench_function("ncs_batch_400", |b| {
+            b.iter(|| {
+                let steps = rng.below(400);
+                for _ in 0..steps {
+                    rng.next_u32();
+                }
+            })
+        });
 }
 
 fn config() -> Criterion {

@@ -15,7 +15,7 @@ const LOCKS: usize = 10;
 fn bench_chain<L: RawLock>(c: &mut Criterion) {
     let locks: Vec<L> = (0..LOCKS).map(|_| L::default()).collect();
     c.benchmark_group("leader_step_10locks")
-        .bench_function(L::NAME, |b| {
+        .bench_function(L::META.name, |b| {
             b.iter(|| {
                 for l in &locks {
                     l.lock();

@@ -16,7 +16,7 @@ use std::time::Duration;
 
 fn bench_pair<L: RawLock>(c: &mut Criterion, group: &str) {
     let lock = L::default();
-    c.benchmark_group(group).bench_function(L::NAME, |b| {
+    c.benchmark_group(group).bench_function(L::META.name, |b| {
         b.iter(|| {
             lock.lock();
             // Safety: acquired on this thread in the line above.

@@ -1,24 +1,32 @@
-//! Appendix A/B ablation: the whole Hemlock variant family side by side.
+//! Appendix A/B ablation: the Hemlock variant family side by side (any
+//! catalog subset via `--lock`; defaults to the full family).
 //!
 //! DESIGN.md calls out the family's design choices; this binary measures
 //! each variant under three regimes:
 //!
 //! - single-thread latency (ns per acquire/release pair),
 //! - MutexBench maximum contention (central-lock throughput),
-//! - the Figure 9 multi-waiting leader (the regime where CTR backfires).
+//! - the Figure 9 multi-waiting leader (the regime where CTR backfires),
+//!
+//! plus the simulated coherence cost per contended pair where the
+//! state-machine model implements the variant (parking/chain variants wait
+//! through OS primitives and are not modeled).
 
+use hemlock_bench::{locks_from_args, sim_flavor_for, FAMILY_LOCKS};
 use hemlock_coherence::{flavor_offcore, Protocol};
-use hemlock_core::hemlock::{
-    Hemlock, HemlockAh, HemlockChain, HemlockNaive, HemlockOverlap, HemlockParking, HemlockV1,
-    HemlockV2,
-};
 use hemlock_core::raw::RawLock;
 use hemlock_harness::{
-    fmt_f64, median_of, multiwait_bench, mutex_bench, uncontended_latency_ns, Args, Contention,
-    MultiwaitConfig, MutexBenchConfig, Table,
+    fmt_f64, median_of, multiwait_bench, mutex_bench, uncontended_latency_ns, Contention,
+    MultiwaitConfig, MutexBenchConfig, Spec, Table,
 };
-use hemlock_simlock::algos::HemlockFlavor;
+use hemlock_locks::catalog::{self, CatalogEntry, LockVisitor};
 use std::time::Duration;
+
+struct Measure {
+    threads: usize,
+    duration: Duration,
+    runs: usize,
+}
 
 struct Row {
     name: &'static str,
@@ -27,71 +35,50 @@ struct Row {
     multiwait_mops: f64,
 }
 
-fn measure<L: RawLock>(threads: usize, duration: Duration, runs: usize) -> Row {
-    let latency_ns = uncontended_latency_ns::<L>(200_000);
-    let contended_mops = median_of(runs, || {
-        mutex_bench::<L>(MutexBenchConfig {
-            threads,
-            duration,
-            contention: Contention::Maximum,
-        })
-        .mops()
-    });
-    let multiwait_mops = median_of(runs, || {
-        multiwait_bench::<L>(MultiwaitConfig {
-            threads,
-            locks: 10,
-            duration,
-        })
-        .mops()
-    });
-    Row {
-        name: L::NAME,
-        latency_ns,
-        contended_mops,
-        multiwait_mops,
+impl LockVisitor for Measure {
+    type Output = Row;
+    fn visit<L: RawLock + 'static>(self, entry: &'static CatalogEntry) -> Row {
+        let latency_ns = uncontended_latency_ns::<L>(200_000);
+        let contended_mops = median_of(self.runs, || {
+            mutex_bench::<L>(MutexBenchConfig {
+                threads: self.threads,
+                duration: self.duration,
+                contention: Contention::Maximum,
+            })
+            .mops()
+        });
+        let multiwait_mops = median_of(self.runs, || {
+            multiwait_bench::<L>(MultiwaitConfig {
+                threads: self.threads,
+                locks: 10,
+                duration: self.duration,
+            })
+            .mops()
+        });
+        Row {
+            name: entry.meta.name,
+            latency_ns,
+            contended_mops,
+            multiwait_mops,
+        }
     }
 }
 
 fn main() {
-    let args = Args::from_env();
+    let args = Spec::new("ablation", "Appendix A/B: the Hemlock variant family")
+        .sweep()
+        .value("threads", "contending thread count")
+        .value("sim-threads", "simulated cores for the coherence model")
+        .parse_env();
+    let locks = locks_from_args(&args, FAMILY_LOCKS);
     let quick = args.has("quick");
     let hw = std::thread::available_parallelism().map_or(2, |n| n.get());
     let threads = args.get("threads", if quick { 2 } else { 2 * hw });
     let duration = args.duration("secs", if quick { 0.1 } else { 0.5 });
     let runs = args.get("runs", if quick { 1 } else { 3 });
+    let sim_threads = args.get("sim-threads", 12usize);
 
     println!("# Hemlock family ablation ({threads} threads, {runs} run(s) x {duration:?})");
-    let rows = vec![
-        measure::<HemlockNaive>(threads, duration, runs),
-        measure::<Hemlock>(threads, duration, runs),
-        measure::<HemlockOverlap>(threads, duration, runs),
-        measure::<HemlockAh>(threads, duration, runs),
-        measure::<HemlockV1>(threads, duration, runs),
-        measure::<HemlockV2>(threads, duration, runs),
-        measure::<HemlockParking>(threads, duration, runs),
-        measure::<HemlockChain>(threads, duration, runs),
-    ];
-    // Simulated coherence cost per contended pair, per flavor (the Parking
-    // and Chain variants wait through OS primitives and are not modeled).
-    let sim_threads = args.get("sim-threads", 12usize);
-    let sim = |flavor| {
-        fmt_f64(
-            flavor_offcore(flavor, sim_threads, 80, Protocol::Mesif, 3).offcore_per_pair(),
-            2,
-        )
-    };
-    let sim_col: Vec<String> = vec![
-        sim(HemlockFlavor::Naive),
-        sim(HemlockFlavor::Ctr),
-        sim(HemlockFlavor::Overlap),
-        sim(HemlockFlavor::Ah),
-        sim(HemlockFlavor::V1),
-        sim(HemlockFlavor::V2),
-        "n/a".to_string(),
-        "n/a".to_string(),
-    ];
-
     let mut t = Table::new(vec![
         "Variant",
         "Uncontended ns/pair",
@@ -99,7 +86,24 @@ fn main() {
         "Multiwait leader M/s",
         "OffCore/pair (sim)",
     ]);
-    for (r, sim) in rows.into_iter().zip(sim_col) {
+    for entry in &locks {
+        let r = catalog::with_lock_type(
+            entry.key,
+            Measure {
+                threads,
+                duration,
+                runs,
+            },
+        )
+        .expect("catalog entry key always dispatches");
+        // Simulated coherence cost per contended pair, where modeled.
+        let sim = match sim_flavor_for(entry) {
+            Some(flavor) => fmt_f64(
+                flavor_offcore(flavor, sim_threads, 80, Protocol::Mesif, 3).offcore_per_pair(),
+                2,
+            ),
+            None => "n/a".to_string(),
+        };
         t.row(vec![
             r.name.to_string(),
             fmt_f64(r.latency_ns, 1),
@@ -108,7 +112,14 @@ fn main() {
             sim,
         ]);
     }
-    print!("{}", if args.has("csv") { t.to_csv() } else { t.render() });
+    print!(
+        "{}",
+        if args.has("csv") {
+            t.to_csv()
+        } else {
+            t.render()
+        }
+    );
     println!();
     println!("# Paper expectations: AH best contended throughput when lifecycle permits;");
     println!("# CTR variants lose to Hemlock- under multi-waiting (§5.6).");

@@ -4,31 +4,47 @@
 //! acquisition-latency tail stays bounded; TAS/TTAS "may allow unfairness
 //! and even indefinite starvation".
 
-use hemlock_core::hemlock::{Hemlock, HemlockNaive};
+use hemlock_bench::locks_from_args;
 use hemlock_core::raw::RawLock;
-use hemlock_harness::{fairness_bench, fmt_f64, Args, Table};
-use hemlock_locks::{ClhLock, McsLock, TasLock, TicketLock, TtasLock};
+use hemlock_harness::{fairness_bench, fmt_f64, Spec, Table};
+use hemlock_locks::catalog::{self, CatalogEntry, LockVisitor};
 use std::time::Duration;
 
-fn row<L: RawLock>(threads: usize, duration: Duration, t: &mut Table) {
-    let r = fairness_bench::<L>(threads, duration);
-    t.row(vec![
-        L::NAME.to_string(),
-        if L::FIFO { "yes" } else { "no" }.to_string(),
-        fmt_f64(r.jain_index(), 4),
-        if r.max_min_ratio().is_finite() {
-            fmt_f64(r.max_min_ratio(), 2)
-        } else {
-            "inf (starvation)".to_string()
-        },
-        r.latency.quantile(0.50).to_string(),
-        r.latency.quantile(0.99).to_string(),
-        fmt_f64(r.throughput.mops(), 3),
-    ]);
+struct Row<'a> {
+    threads: usize,
+    duration: Duration,
+    table: &'a mut Table,
+}
+
+impl LockVisitor for Row<'_> {
+    type Output = ();
+    fn visit<L: RawLock + 'static>(self, entry: &'static CatalogEntry) {
+        let r = fairness_bench::<L>(self.threads, self.duration);
+        self.table.row(vec![
+            entry.meta.name.to_string(),
+            if entry.meta.fifo { "yes" } else { "no" }.to_string(),
+            fmt_f64(r.jain_index(), 4),
+            if r.max_min_ratio().is_finite() {
+                fmt_f64(r.max_min_ratio(), 2)
+            } else {
+                "inf (starvation)".to_string()
+            },
+            r.latency.quantile(0.50).to_string(),
+            r.latency.quantile(0.99).to_string(),
+            fmt_f64(r.throughput.mops(), 3),
+        ]);
+    }
 }
 
 fn main() {
-    let args = Args::from_env();
+    let args = Spec::new(
+        "fairness",
+        "Fairness under sustained contention (§4 contrast)",
+    )
+    .sweep()
+    .value("threads", "contending thread count")
+    .parse_env();
+    let locks = locks_from_args(&args, "ticket,mcs,clh,hemlock,hemlock.naive,tas,ttas");
     let quick = args.has("quick");
     let hw = std::thread::available_parallelism().map_or(2, |n| n.get());
     let threads = args.get("threads", 2 * hw);
@@ -45,12 +61,23 @@ fn main() {
         "p99 ns",
         "M ops/s",
     ]);
-    row::<TicketLock>(threads, duration, &mut t);
-    row::<McsLock>(threads, duration, &mut t);
-    row::<ClhLock>(threads, duration, &mut t);
-    row::<Hemlock>(threads, duration, &mut t);
-    row::<HemlockNaive>(threads, duration, &mut t);
-    row::<TasLock>(threads, duration, &mut t);
-    row::<TtasLock>(threads, duration, &mut t);
-    print!("{}", if args.has("csv") { t.to_csv() } else { t.render() });
+    for entry in &locks {
+        catalog::with_lock_type(
+            entry.key,
+            Row {
+                threads,
+                duration,
+                table: &mut t,
+            },
+        )
+        .expect("catalog entry key always dispatches");
+    }
+    print!(
+        "{}",
+        if args.has("csv") {
+            t.to_csv()
+        } else {
+            t.render()
+        }
+    );
 }

@@ -4,34 +4,20 @@
 //! Ticket leads at 1 thread but fades under contention; Hemlock performs
 //! slightly better than or equal to CLH/MCS; CTR beats Hemlock−.
 
-use hemlock_bench::{mutexbench_series, print_series, Sweep};
-use hemlock_core::hemlock::{Hemlock, HemlockNaive};
-use hemlock_harness::{Args, Contention};
-use hemlock_locks::{ClhLock, McsLock, TicketLock};
+use hemlock_bench::{
+    figure_spec, locks_from_args, mutexbench_all, print_series, Sweep, FIGURE_LOCKS,
+};
+use hemlock_harness::Contention;
 
 fn main() {
-    let args = Args::from_env();
+    let args = figure_spec("fig2", "Figure 2: MutexBench, maximum contention").parse_env();
+    let locks = locks_from_args(&args, FIGURE_LOCKS);
     let sweep = Sweep::from_args(&args);
     println!(
         "# Figure 2 reproduction: MutexBench, maximum contention ({} run(s) x {:?} per point)",
         sweep.runs, sweep.duration
     );
-    let series = vec![
-        ("MCS", mutexbench_series::<McsLock>(&sweep, Contention::Maximum)),
-        ("CLH", mutexbench_series::<ClhLock>(&sweep, Contention::Maximum)),
-        (
-            "Ticket",
-            mutexbench_series::<TicketLock>(&sweep, Contention::Maximum),
-        ),
-        (
-            "Hemlock",
-            mutexbench_series::<Hemlock>(&sweep, Contention::Maximum),
-        ),
-        (
-            "Hemlock-",
-            mutexbench_series::<HemlockNaive>(&sweep, Contention::Maximum),
-        ),
-    ];
+    let series = mutexbench_all(&locks, &sweep, Contention::Maximum);
     print_series(
         "MutexBench : Maximum Contention",
         &sweep.threads,

@@ -4,34 +4,20 @@
 //! Shape to reproduce: Ticket does well at low thread counts; Hemlock
 //! outperforms both MCS and CLH.
 
-use hemlock_bench::{mutexbench_series, print_series, Sweep};
-use hemlock_core::hemlock::{Hemlock, HemlockNaive};
-use hemlock_harness::{Args, Contention};
-use hemlock_locks::{ClhLock, McsLock, TicketLock};
+use hemlock_bench::{
+    figure_spec, locks_from_args, mutexbench_all, print_series, Sweep, FIGURE_LOCKS,
+};
+use hemlock_harness::Contention;
 
 fn main() {
-    let args = Args::from_env();
+    let args = figure_spec("fig3", "Figure 3: MutexBench, moderate contention").parse_env();
+    let locks = locks_from_args(&args, FIGURE_LOCKS);
     let sweep = Sweep::from_args(&args);
     println!(
         "# Figure 3 reproduction: MutexBench, moderate contention ({} run(s) x {:?} per point)",
         sweep.runs, sweep.duration
     );
-    let series = vec![
-        ("MCS", mutexbench_series::<McsLock>(&sweep, Contention::Moderate)),
-        ("CLH", mutexbench_series::<ClhLock>(&sweep, Contention::Moderate)),
-        (
-            "Ticket",
-            mutexbench_series::<TicketLock>(&sweep, Contention::Moderate),
-        ),
-        (
-            "Hemlock",
-            mutexbench_series::<Hemlock>(&sweep, Contention::Moderate),
-        ),
-        (
-            "Hemlock-",
-            mutexbench_series::<HemlockNaive>(&sweep, Contention::Moderate),
-        ),
-    ];
+    let series = mutexbench_all(&locks, &sweep, Contention::Moderate);
     print_series(
         "MutexBench : Moderate Contention",
         &sweep.threads,

@@ -11,14 +11,19 @@
 //!    workload under MOESI (SPARC/AMD) vs MESIF (Intel), showing the CTR
 //!    benefit survives the protocol change, as §2.1 claims.
 
-use hemlock_bench::{mutexbench_series, print_series, substitution_note, Sweep};
-use hemlock_coherence::{table2_row, Protocol, Table2Algo};
-use hemlock_core::hemlock::{Hemlock, HemlockNaive};
-use hemlock_harness::{fmt_f64, Args, Contention, Table};
-use hemlock_locks::{ClhLock, McsLock, TicketLock};
+use hemlock_bench::{
+    figure_spec, locks_from_args, mutexbench_all, print_series, sim_algo_for, substitution_note,
+    Sweep, FIGURE_LOCKS,
+};
+use hemlock_coherence::{table2_row, Protocol};
+use hemlock_harness::{fmt_f64, Contention, Table};
 
 fn main() {
-    let args = Args::from_env();
+    let args = figure_spec("fig4_5", "Figures 4/5: SPARC (MOESI) substitution")
+        .value("sim-threads", "simulated cores for the coherence model")
+        .value("rounds", "simulated lock-unlock rounds per core")
+        .parse_env();
+    let locks = locks_from_args(&args, FIGURE_LOCKS);
     let sweep = Sweep::from_args(&args);
     substitution_note("SPARC T7-2 testbed → host run + MOESI coherence simulation");
 
@@ -26,17 +31,12 @@ fn main() {
         ("Figure 4 analog: maximum contention", Contention::Maximum),
         ("Figure 5 analog: moderate contention", Contention::Moderate),
     ] {
-        let series = vec![
-            ("MCS", mutexbench_series::<McsLock>(&sweep, contention)),
-            ("CLH", mutexbench_series::<ClhLock>(&sweep, contention)),
-            ("Ticket", mutexbench_series::<TicketLock>(&sweep, contention)),
-            ("Hemlock", mutexbench_series::<Hemlock>(&sweep, contention)),
-            ("Hemlock-", mutexbench_series::<HemlockNaive>(&sweep, contention)),
-        ];
+        let series = mutexbench_all(&locks, &sweep, contention);
         print_series(title, &sweep.threads, &series, sweep.csv, "M steps/sec");
     }
 
-    // MOESI vs MESIF: offcore per pair for each algorithm.
+    // MOESI vs MESIF: offcore per pair for each selected algorithm that has
+    // a coherence-simulator stand-in.
     let sim_threads = args.get("sim-threads", 12usize);
     let rounds = args.get("rounds", if args.has("quick") { 30u32 } else { 100 });
     println!("# Coherence-protocol sensitivity (simulated, {sim_threads} cores):");
@@ -47,7 +47,14 @@ fn main() {
         "Writebacks MESIF",
         "Writebacks MOESI",
     ]);
-    for algo in Table2Algo::ALL {
+    for entry in &locks {
+        let Some(algo) = sim_algo_for(entry) else {
+            println!(
+                "# (no coherence model for {}; skipped in the table below)",
+                entry.key
+            );
+            continue;
+        };
         let mesif = table2_row(algo, sim_threads, rounds, Protocol::Mesif, 1);
         let moesi = table2_row(algo, sim_threads, rounds, Protocol::Moesi, 1);
         t.row(vec![

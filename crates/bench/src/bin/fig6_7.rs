@@ -9,20 +9,11 @@
 //! between two independent runs, echoing the paper's Intel-vs-AMD
 //! comparison.
 
-use hemlock_bench::{mutexbench_series, print_series, substitution_note, Sweep};
-use hemlock_core::hemlock::{Hemlock, HemlockNaive};
-use hemlock_harness::{Args, Contention};
-use hemlock_locks::{ClhLock, McsLock, TicketLock};
-
-fn run_all(sweep: &Sweep, contention: Contention) -> Vec<(&'static str, Vec<f64>)> {
-    vec![
-        ("MCS", mutexbench_series::<McsLock>(sweep, contention)),
-        ("CLH", mutexbench_series::<ClhLock>(sweep, contention)),
-        ("Ticket", mutexbench_series::<TicketLock>(sweep, contention)),
-        ("Hemlock", mutexbench_series::<Hemlock>(sweep, contention)),
-        ("Hemlock-", mutexbench_series::<HemlockNaive>(sweep, contention)),
-    ]
-}
+use hemlock_bench::{
+    figure_spec, locks_from_args, mutexbench_all, print_series, substitution_note, Sweep,
+    FIGURE_LOCKS,
+};
+use hemlock_harness::Contention;
 
 fn ranking(series: &[(&'static str, Vec<f64>)], point: usize) -> Vec<&'static str> {
     let mut named: Vec<(&str, f64)> = series.iter().map(|(n, v)| (*n, v[point])).collect();
@@ -31,17 +22,24 @@ fn ranking(series: &[(&'static str, Vec<f64>)], point: usize) -> Vec<&'static st
 }
 
 fn main() {
-    let args = Args::from_env();
+    let args = figure_spec("fig6_7", "Figures 6/7: AMD (MOESI) substitution").parse_env();
+    let locks = locks_from_args(&args, FIGURE_LOCKS);
     let sweep = Sweep::from_args(&args);
     substitution_note("AMD EPYC testbed → two independent host runs, concurrence check");
 
     for (title, contention) in [
-        ("Figure 6 analog: maximum contention (run A)", Contention::Maximum),
-        ("Figure 7 analog: moderate contention (run A)", Contention::Moderate),
+        (
+            "Figure 6 analog: maximum contention (run A)",
+            Contention::Maximum,
+        ),
+        (
+            "Figure 7 analog: moderate contention (run A)",
+            Contention::Moderate,
+        ),
     ] {
-        let run_a = run_all(&sweep, contention);
+        let run_a = mutexbench_all(&locks, &sweep, contention);
         print_series(title, &sweep.threads, &run_a, sweep.csv, "M steps/sec");
-        let run_b = run_all(&sweep, contention);
+        let run_b = mutexbench_all(&locks, &sweep, contention);
         print_series(
             &title.replace("run A", "run B"),
             &sweep.threads,

@@ -8,31 +8,41 @@
 //! optimization backfires (the Grant line ping-pongs in M state between
 //! multiple RMW-polling waiters).
 
-use hemlock_bench::{print_series, Sweep};
-use hemlock_core::hemlock::{Hemlock, HemlockNaive};
+use hemlock_bench::{figure_spec, locks_from_args, print_series, Sweep, FIGURE_LOCKS};
 use hemlock_core::raw::RawLock;
-use hemlock_harness::{median_of, multiwait_bench, Args, MultiwaitConfig};
-use hemlock_locks::{ClhLock, McsLock, TicketLock};
+use hemlock_harness::{median_of, multiwait_bench, MultiwaitConfig};
+use hemlock_locks::catalog::{self, CatalogEntry, LockVisitor};
 
-fn series<L: RawLock>(sweep: &Sweep, locks: usize) -> Vec<f64> {
-    sweep
-        .threads
-        .iter()
-        .map(|&threads| {
-            median_of(sweep.runs, || {
-                multiwait_bench::<L>(MultiwaitConfig {
-                    threads,
-                    locks,
-                    duration: sweep.duration,
+struct MultiwaitSeries<'a> {
+    sweep: &'a Sweep,
+    locks: usize,
+}
+
+impl LockVisitor for MultiwaitSeries<'_> {
+    type Output = Vec<f64>;
+    fn visit<L: RawLock + 'static>(self, _entry: &'static CatalogEntry) -> Vec<f64> {
+        self.sweep
+            .threads
+            .iter()
+            .map(|&threads| {
+                median_of(self.sweep.runs, || {
+                    multiwait_bench::<L>(MultiwaitConfig {
+                        threads,
+                        locks: self.locks,
+                        duration: self.sweep.duration,
+                    })
+                    .mops()
                 })
-                .mops()
             })
-        })
-        .collect()
+            .collect()
+    }
 }
 
 fn main() {
-    let args = Args::from_env();
+    let args = figure_spec("fig9", "Figure 9: multi-waiting")
+        .value("locks", "number of shared locks the leader chains")
+        .parse_env();
+    let selected = locks_from_args(&args, FIGURE_LOCKS);
     let sweep = Sweep::from_args(&args);
     let locks = args.get("locks", 10usize);
     println!(
@@ -44,13 +54,20 @@ fn main() {
         "# Worst-case waiters on one word: CLH/MCS 1, Ticket T-1, Hemlock min(T-1, {})",
         locks - 1
     );
-    let series = vec![
-        ("MCS", series::<McsLock>(&sweep, locks)),
-        ("CLH", series::<ClhLock>(&sweep, locks)),
-        ("Ticket", series::<TicketLock>(&sweep, locks)),
-        ("Hemlock", series::<Hemlock>(&sweep, locks)),
-        ("Hemlock-", series::<HemlockNaive>(&sweep, locks)),
-    ];
+    let series: Vec<(&str, Vec<f64>)> = selected
+        .iter()
+        .map(|e| {
+            let s = catalog::with_lock_type(
+                e.key,
+                MultiwaitSeries {
+                    sweep: &sweep,
+                    locks,
+                },
+            )
+            .expect("catalog entry key always dispatches");
+            (e.meta.name, s)
+        })
+        .collect();
     print_series(
         "Multi-waiting (leader throughput)",
         &sweep.threads,

@@ -4,19 +4,32 @@
 //! of concurrent threads are configured in a ring, and circulate a single
 //! token [...] Using CAS, SWAP or Fetch-and-Add to busy-wait improves the
 //! circulation rate as compared to the naive form which uses loads."
+//!
+//! Two tables: the paper's word-circulation benchmark (Load vs CAS/SWAP/FAA
+//! waiting), and a lock-mediated ring where the token passes through a
+//! catalog-selected lock via the dynamic layer (`--lock`, default
+//! `hemlock,mcs`) — every hop is a contended ownership hand-over.
 
+use hemlock_bench::locks_from_args;
 use hemlock_coherence::{ring as sim_ring, Protocol, WaitMode};
-use hemlock_harness::{fmt_f64, median_of, ring_bench, Args, RingWait, Table};
+use hemlock_harness::{dyn_ring_bench, fmt_f64, median_of, ring_bench, RingWait, Spec, Table};
 
 fn main() {
-    let args = Args::from_env();
+    let args = Spec::new("ring", "§5.5: token-ring circulation")
+        .sweep()
+        .value("threads", "ring size (threads)")
+        .value("sim-threads", "simulated cores for the coherence model")
+        .parse_env();
+    let locks = locks_from_args(&args, "hemlock,mcs");
     let quick = args.has("quick");
     let threads = args.get("threads", 2usize);
     let runs = args.get("runs", if quick { 1 } else { 3 });
     let duration = args.duration("secs", if quick { 0.1 } else { 1.0 });
     let sim_threads = args.get("sim-threads", 8usize);
 
-    println!("# §5.5 reproduction: token ring, {threads} threads (real) / {sim_threads} (simulated)");
+    println!(
+        "# §5.5 reproduction: token ring, {threads} threads (real) / {sim_threads} (simulated)"
+    );
     let mut t = Table::new(vec![
         "Wait",
         "Circulations/s (real)",
@@ -38,7 +51,36 @@ fn main() {
             fmt_f64(sim.offcore_per_hop(), 2),
         ]);
     }
-    print!("{}", if args.has("csv") { t.to_csv() } else { t.render() });
+    print!(
+        "{}",
+        if args.has("csv") {
+            t.to_csv()
+        } else {
+            t.render()
+        }
+    );
     println!();
-    println!("# Expectation: CAS/SWAP/FAA beat Load on offcore/hop (and on rate, on big machines).");
+    println!(
+        "# Expectation: CAS/SWAP/FAA beat Load on offcore/hop (and on rate, on big machines)."
+    );
+
+    // Lock-mediated ring: the same circulation pattern with each hop handed
+    // over through a runtime-selected lock (the dynamic layer's DynMutex).
+    println!();
+    println!("# Lock-mediated ring (token behind a catalog lock, {threads} threads):");
+    let mut lt = Table::new(vec!["Lock", "Circulations/s"]);
+    for entry in &locks {
+        let rate = median_of(runs, || {
+            dyn_ring_bench((entry.make)(), threads, duration).ops_per_sec()
+        });
+        lt.row(vec![entry.meta.name.to_string(), fmt_f64(rate, 0)]);
+    }
+    print!(
+        "{}",
+        if args.has("csv") {
+            lt.to_csv()
+        } else {
+            lt.render()
+        }
+    );
 }

@@ -1,74 +1,107 @@
-//! Table 1: space usage of MCS, CLH, Ticket Locks, and Hemlock.
+//! Table 1: space usage of the catalog-selected lock algorithms.
 //!
 //! Columns, as in the paper: lock-body words, space per held lock, space
-//! per waited-on lock, per-thread state, and whether construction /
-//! destruction is non-trivial. `E` is a padded queue element. Values here
-//! are *measured from the actual Rust types* via `size_of`, not asserted.
+//! per waited-on lock, per-thread state, FIFO, and whether construction /
+//! destruction is non-trivial. `E` is a padded queue element (one cache
+//! line). All values come from each algorithm's [`LockMeta`] descriptor in
+//! the catalog; the body column is cross-checked against the measured
+//! `size_of` of the actual Rust type.
 
-use hemlock_core::hemlock::Hemlock;
+use hemlock_core::meta::LockMeta;
 use hemlock_core::pad::CACHE_LINE;
-use hemlock_core::registry::GrantCell;
-use hemlock_harness::{Args, Table};
-use hemlock_locks::{ClhLock, McsLock, TicketLock};
+use hemlock_core::raw::RawLock;
+use hemlock_harness::{Spec, Table};
+use hemlock_locks::catalog::{self, CatalogEntry, LockVisitor};
 
-fn words(bytes: usize) -> String {
-    format!("{}", bytes / core::mem::size_of::<usize>())
+const WORD: usize = core::mem::size_of::<usize>();
+
+/// Measured size of the lock body, for the meta cross-check.
+struct MeasuredWords;
+impl LockVisitor for MeasuredWords {
+    type Output = usize;
+    fn visit<L: RawLock + 'static>(self, _entry: &'static CatalogEntry) -> usize {
+        core::mem::size_of::<L>().div_ceil(WORD)
+    }
+}
+
+fn thread_space(meta: &LockMeta) -> String {
+    match meta.thread_words {
+        0 => "0".to_string(),
+        1 => "1 (Grant word, padded)".to_string(),
+        n => format!("{n} words (padded)"),
+    }
 }
 
 fn main() {
-    let args = Args::from_env();
-    println!("# Table 1 reproduction: space usage (measured via size_of)");
-    println!(
-        "# E = padded queue element = {} bytes ({} words); Grant cell = {} bytes",
-        McsLock::ELEMENT_BYTES,
-        McsLock::ELEMENT_BYTES / core::mem::size_of::<usize>(),
-        core::mem::size_of::<GrantCell>(),
-    );
-    let mut t = Table::new(vec!["Lock", "Body(words)", "Held", "Wait", "Thread", "Init"]);
-    t.row(vec![
-        "MCS".to_string(),
-        words(core::mem::size_of::<McsLock>()),
-        "E".to_string(),
-        "E".to_string(),
-        "0".to_string(),
-        "no".to_string(),
-    ]);
-    t.row(vec![
-        "CLH".to_string(),
-        format!("{}+E", words(core::mem::size_of::<ClhLock>())),
-        "0".to_string(),
-        "E".to_string(),
-        "0".to_string(),
-        "yes (dummy element)".to_string(),
-    ]);
-    t.row(vec![
-        "Ticket".to_string(),
-        words(core::mem::size_of::<TicketLock>()),
-        "0".to_string(),
-        "0".to_string(),
-        "0".to_string(),
-        "no".to_string(),
-    ]);
-    t.row(vec![
-        "Hemlock".to_string(),
-        words(core::mem::size_of::<Hemlock>()),
-        "0".to_string(),
-        "0".to_string(),
-        "1 (Grant word, padded)".to_string(),
-        "no".to_string(),
-    ]);
-    print!("{}", if args.has("csv") { t.to_csv() } else { t.render() });
+    let args = Spec::new("table1", "Table 1: space usage, from LockMeta")
+        .sweep() // secs/runs/max-threads are no-ops here; accepted so driver
+        // scripts can pass one uniform option set to every binary
+        .parse_env();
+    let locks = hemlock_bench::locks_from_args(&args, hemlock_bench::FIGURE_LOCKS);
 
-    println!();
-    println!("# Worked example from §2.3: lock L owned by T1 with T2, T3 waiting:");
-    let mcs = core::mem::size_of::<McsLock>() + 3 * McsLock::ELEMENT_BYTES;
-    let hemlock = core::mem::size_of::<Hemlock>() + 3 * core::mem::size_of::<GrantCell>();
-    println!("#   MCS:     {} (2-word body) + 3*E = {mcs} bytes", core::mem::size_of::<McsLock>());
+    println!("# Table 1 reproduction: space usage (from the catalog's LockMeta descriptors)");
     println!(
-        "#   Hemlock: {} (1-word body) + 3 thread Grant words = {hemlock} bytes \
-         (Grant is per-THREAD, amortized over all locks; the marginal cost of this lock is {} bytes)",
-        core::mem::size_of::<Hemlock>(),
-        core::mem::size_of::<Hemlock>()
+        "# E = padded queue element = {CACHE_LINE} bytes ({} words)",
+        CACHE_LINE / WORD
     );
+    let mut t = Table::new(vec![
+        "Lock",
+        "Body(words)",
+        "Body measured",
+        "Held",
+        "Wait",
+        "Thread",
+        "FIFO",
+        "Init",
+        "Paper",
+    ]);
+    for entry in &locks {
+        let meta = &entry.meta;
+        let measured = catalog::with_lock_type(entry.key, MeasuredWords)
+            .expect("catalog entry key always dispatches");
+        let body = if meta.nontrivial_init {
+            format!("{}+E", meta.lock_words) // CLH: dummy element installed at init
+        } else {
+            meta.lock_words.to_string()
+        };
+        t.row(vec![
+            meta.name.to_string(),
+            body,
+            measured.to_string(),
+            meta.held_space(),
+            meta.wait_space(),
+            thread_space(meta),
+            if meta.fifo { "yes" } else { "no" }.to_string(),
+            if meta.nontrivial_init { "yes" } else { "no" }.to_string(),
+            meta.paper_ref.to_string(),
+        ]);
+    }
+    print!(
+        "{}",
+        if args.has("csv") {
+            t.to_csv()
+        } else {
+            t.render()
+        }
+    );
+
+    // Worked example from §2.3: lock L owned by T1 with T2, T3 waiting.
+    if let (Some(mcs), Some(hemlock)) = (catalog::find("mcs"), catalog::find("hemlock")) {
+        let mcs_total = mcs.meta.lock_bytes()
+            + 3 * (mcs.meta.held_elements.max(mcs.meta.wait_elements)) * CACHE_LINE;
+        let hemlock_total = hemlock.meta.lock_bytes() + 3 * hemlock.meta.thread_words * CACHE_LINE;
+        println!();
+        println!("# Worked example from §2.3: lock L owned by T1 with T2, T3 waiting:");
+        println!(
+            "#   MCS:     {} byte body + 3*E = {mcs_total} bytes",
+            mcs.meta.lock_bytes()
+        );
+        println!(
+            "#   Hemlock: {} byte body + 3 padded thread Grant words = {hemlock_total} bytes \
+             (Grant is per-THREAD, amortized over all locks; the marginal cost of this lock is {} bytes)",
+            hemlock.meta.lock_bytes(),
+            hemlock.meta.lock_bytes()
+        );
+    }
     println!("# Cache line: {CACHE_LINE} bytes");
 }

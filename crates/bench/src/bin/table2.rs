@@ -13,22 +13,31 @@
 //! offcore; Hemlock− sits between; MCS/CLH are moderately elevated (the
 //! node-reinitialization stores); Ticket is far worse on both.
 
+use hemlock_bench::{locks_from_args, sim_algo_for, FIGURE_LOCKS};
 use hemlock_coherence::{table2_row, Protocol, Table2Algo};
-use hemlock_core::hemlock::{Hemlock, HemlockNaive};
 use hemlock_core::raw::RawLock;
-use hemlock_harness::{
-    fmt_f64, median_of, mutex_bench, Args, Contention, MutexBenchConfig, Table,
-};
+use hemlock_harness::{fmt_f64, median_of, mutex_bench, Contention, MutexBenchConfig, Spec, Table};
+use hemlock_locks::catalog::{self, CatalogEntry, LockVisitor};
+use std::time::Duration;
 
-fn rate<L: RawLock>(threads: usize, secs: f64, runs: usize) -> f64 {
-    median_of(runs, || {
-        mutex_bench::<L>(MutexBenchConfig {
-            threads,
-            duration: std::time::Duration::from_secs_f64(secs),
-            contention: Contention::Maximum,
+struct Rate {
+    threads: usize,
+    secs: f64,
+    runs: usize,
+}
+
+impl LockVisitor for Rate {
+    type Output = f64;
+    fn visit<L: RawLock + 'static>(self, _entry: &'static CatalogEntry) -> f64 {
+        median_of(self.runs, || {
+            mutex_bench::<L>(MutexBenchConfig {
+                threads: self.threads,
+                duration: Duration::from_secs_f64(self.secs),
+                contention: Contention::Maximum,
+            })
+            .mops()
         })
-        .mops()
-    })
+    }
 }
 
 fn offcore(algo: Table2Algo, threads: usize, rounds: u32, runs: u64) -> f64 {
@@ -40,7 +49,13 @@ fn offcore(algo: Table2Algo, threads: usize, rounds: u32, runs: u64) -> f64 {
 }
 
 fn main() {
-    let args = Args::from_env();
+    let args = Spec::new("table2", "Table 2: CTR impact on offcore access rates")
+        .sweep()
+        .value("threads", "real-benchmark thread count")
+        .value("sim-threads", "simulated cores for the coherence model")
+        .value("rounds", "simulated lock-unlock rounds per core")
+        .parse_env();
+    let locks = locks_from_args(&args, FIGURE_LOCKS);
     let quick = args.has("quick");
     let hw = std::thread::available_parallelism().map_or(2, |n| n.get());
     let threads = args.get("threads", if quick { 2 } else { 2 * hw });
@@ -53,30 +68,35 @@ fn main() {
     println!("# Rate: real MutexBench, {threads} threads, empty CS/NCS, median of {runs}.");
     println!("# OffCore: MESIF coherence simulation, {sim_threads} simulated cores.");
 
-    let rates = [
-        ("MCS", rate::<hemlock_locks::McsLock>(threads, secs, runs)),
-        ("CLH", rate::<hemlock_locks::ClhLock>(threads, secs, runs)),
-        ("Ticket", rate::<hemlock_locks::TicketLock>(threads, secs, runs)),
-        ("Hemlock", rate::<Hemlock>(threads, secs, runs)),
-        ("Hemlock w/o CTR", rate::<HemlockNaive>(threads, secs, runs)),
-    ];
-    let offcores = [
-        offcore(Table2Algo::Mcs, sim_threads, rounds, runs as u64),
-        offcore(Table2Algo::Clh, sim_threads, rounds, runs as u64),
-        offcore(Table2Algo::Ticket, sim_threads, rounds, runs as u64),
-        offcore(Table2Algo::Hemlock, sim_threads, rounds, runs as u64),
-        offcore(Table2Algo::HemlockNaive, sim_threads, rounds, runs as u64),
-    ];
-
     let mut t = Table::new(vec!["Lock", "Rate (M pairs/s)", "OffCore/pair (sim)"]);
-    for (i, (name, r)) in rates.iter().enumerate() {
+    for entry in &locks {
+        let rate = catalog::with_lock_type(
+            entry.key,
+            Rate {
+                threads,
+                secs,
+                runs,
+            },
+        )
+        .expect("catalog entry key always dispatches");
+        let offcore_cell = match sim_algo_for(entry) {
+            Some(algo) => fmt_f64(offcore(algo, sim_threads, rounds, runs as u64), 2),
+            None => "n/a".to_string(),
+        };
         t.row(vec![
-            name.to_string(),
-            fmt_f64(*r, 2),
-            fmt_f64(offcores[i], 2),
+            entry.meta.name.to_string(),
+            fmt_f64(rate, 2),
+            offcore_cell,
         ]);
     }
-    print!("{}", if args.has("csv") { t.to_csv() } else { t.render() });
+    print!(
+        "{}",
+        if args.has("csv") {
+            t.to_csv()
+        } else {
+            t.render()
+        }
+    );
     println!();
     println!("# Paper (X5-2, 32 threads): MCS 3.81/10.6  CLH 3.82/11.1  Ticket 2.66/45.9");
     println!("#                           Hemlock 4.48/6.81  Hemlock w/o CTR 3.62/7.92");

@@ -17,17 +17,53 @@
 //! | `sec54`  | §5.4 — instrumented lock-usage characterization |
 //! | `ring`   | §5.5 — token-ring circulation |
 //! | `ablation` | Appendices A/B — the Hemlock variant family |
+//! | `fairness` | §4 fairness contrast (extension) |
 //!
-//! All binaries accept `--secs <f>` (per-measurement seconds), `--runs <n>`
-//! (median-of-n), `--max-threads <n>`, `--quick` (CI preset), and `--csv`.
+//! Every binary resolves its lock algorithms at **runtime** through the
+//! unified catalog ([`hemlock_locks::catalog`]): `--lock <name>[,<name>…]`
+//! selects any subset of the registry (`fig2 --lock hemlock,mcs,ttas`), and
+//! measurement loops are still monomorphized per algorithm via
+//! [`catalog::with_lock_type`], so runtime selection costs nothing in the
+//! hot path. All binaries also accept `--secs <f>`, `--runs <n>`,
+//! `--max-threads <n>`, `--wait spin|yield[:N]`, `--quick`, `--csv`, and
+//! `--help`.
 
 #![warn(missing_docs)]
 
+use hemlock_coherence::Table2Algo;
 use hemlock_core::raw::RawLock;
 use hemlock_harness::{
-    fmt_f64, median_of, mutex_bench, thread_sweep, Args, Contention, MutexBenchConfig, Table,
+    fmt_f64, median_of, mutex_bench, thread_sweep, Args, Contention, MutexBenchConfig, Spec, Table,
 };
+use hemlock_locks::catalog::{self, CatalogEntry, LockVisitor};
+use hemlock_simlock::algos::HemlockFlavor;
 use std::time::Duration;
+
+/// Default `--lock` selection for the paper's figure sweeps (the five
+/// algorithms in Figures 2–8).
+pub const FIGURE_LOCKS: &str = "mcs,clh,ticket,hemlock,hemlock.naive";
+
+/// Default `--lock` selection for the appendix ablation (the full family).
+pub const FAMILY_LOCKS: &str = "hemlock.naive,hemlock,hemlock.overlap,hemlock.ah,\
+                                hemlock.v1,hemlock.v2,hemlock.parking,hemlock.chain";
+
+/// Builds the shared option spec for a figure binary.
+pub fn figure_spec(name: &'static str, about: &'static str) -> Spec {
+    Spec::new(name, about).sweep()
+}
+
+/// Resolves the binary's `--lock` list (defaulting to `default`) through
+/// the catalog; prints the error (including the known keys) and exits on an
+/// unknown name.
+pub fn locks_from_args(args: &Args, default: &str) -> Vec<&'static CatalogEntry> {
+    match catalog::resolve_list(&args.get_str("lock", default)) {
+        Ok(entries) => entries,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}
 
 /// Sweep parameters shared by the figure binaries.
 #[derive(Clone, Debug)]
@@ -85,6 +121,70 @@ pub fn mutexbench_series<L: RawLock>(sweep: &Sweep, contention: Contention) -> V
         .collect()
 }
 
+struct MutexbenchVisitor<'a> {
+    sweep: &'a Sweep,
+    contention: Contention,
+}
+
+impl LockVisitor for MutexbenchVisitor<'_> {
+    type Output = Vec<f64>;
+    fn visit<L: RawLock + 'static>(self, _entry: &'static CatalogEntry) -> Vec<f64> {
+        mutexbench_series::<L>(self.sweep, self.contention)
+    }
+}
+
+/// [`mutexbench_series`] for a catalog entry: statically dispatched through
+/// [`catalog::with_lock_type`], so the measured loop is identical to the
+/// monomorphized original.
+pub fn mutexbench_series_for(
+    entry: &'static CatalogEntry,
+    sweep: &Sweep,
+    contention: Contention,
+) -> Vec<f64> {
+    catalog::with_lock_type(entry.key, MutexbenchVisitor { sweep, contention })
+        .expect("catalog entry key always dispatches")
+}
+
+/// Runs the MutexBench sweep for every selected entry, yielding
+/// `print_series`-ready `(name, series)` rows.
+pub fn mutexbench_all(
+    entries: &[&'static CatalogEntry],
+    sweep: &Sweep,
+    contention: Contention,
+) -> Vec<(&'static str, Vec<f64>)> {
+    entries
+        .iter()
+        .map(|e| (e.meta.name, mutexbench_series_for(e, sweep, contention)))
+        .collect()
+}
+
+/// The coherence-simulator stand-in for a catalog entry, where one exists
+/// (the five Table 2 algorithms).
+pub fn sim_algo_for(entry: &CatalogEntry) -> Option<Table2Algo> {
+    match entry.key {
+        "mcs" => Some(Table2Algo::Mcs),
+        "clh" => Some(Table2Algo::Clh),
+        "ticket" => Some(Table2Algo::Ticket),
+        "hemlock" => Some(Table2Algo::Hemlock),
+        "hemlock.naive" => Some(Table2Algo::HemlockNaive),
+        _ => None,
+    }
+}
+
+/// The simulated Hemlock flavor for a catalog entry, where one exists (the
+/// six flavors the state-machine model implements).
+pub fn sim_flavor_for(entry: &CatalogEntry) -> Option<HemlockFlavor> {
+    match entry.key {
+        "hemlock.naive" => Some(HemlockFlavor::Naive),
+        "hemlock" | "hemlock.instr" => Some(HemlockFlavor::Ctr),
+        "hemlock.overlap" => Some(HemlockFlavor::Overlap),
+        "hemlock.ah" => Some(HemlockFlavor::Ah),
+        "hemlock.v1" => Some(HemlockFlavor::V1),
+        "hemlock.v2" => Some(HemlockFlavor::V2),
+        _ => None,
+    }
+}
+
 /// Prints a figure-style table: one row per thread count, one column per
 /// lock series.
 pub fn print_series(
@@ -118,12 +218,16 @@ pub fn substitution_note(what: &str) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hemlock_core::hemlock::Hemlock;
+
+    fn args(s: &str) -> Args {
+        figure_spec("t", "test")
+            .parse(s.split_whitespace().map(String::from))
+            .unwrap()
+    }
 
     #[test]
     fn sweep_quick_preset() {
-        let args = Args::parse(["--quick".to_string()]);
-        let s = Sweep::from_args(&args);
+        let s = Sweep::from_args(&args("--quick"));
         assert_eq!(s.runs, 1);
         assert!(s.duration <= Duration::from_millis(200));
         assert!(!s.threads.is_empty());
@@ -137,8 +241,26 @@ mod tests {
             runs: 1,
             csv: false,
         };
-        let series = mutexbench_series::<Hemlock>(&sweep, Contention::Maximum);
+        let entry = catalog::find("hemlock").unwrap();
+        let series = mutexbench_series_for(entry, &sweep, Contention::Maximum);
         assert_eq!(series.len(), 2);
         assert!(series.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn default_lock_lists_resolve() {
+        assert_eq!(catalog::resolve_list(FIGURE_LOCKS).unwrap().len(), 5);
+        assert_eq!(catalog::resolve_list(FAMILY_LOCKS).unwrap().len(), 8);
+    }
+
+    #[test]
+    fn sim_mappings_cover_the_default_figure_locks() {
+        for entry in catalog::resolve_list(FIGURE_LOCKS).unwrap() {
+            assert!(sim_algo_for(entry).is_some(), "{}", entry.key);
+        }
+        for entry in catalog::resolve_list(FAMILY_LOCKS).unwrap() {
+            let parking = entry.meta.parking;
+            assert_eq!(sim_flavor_for(entry).is_some(), !parking, "{}", entry.key);
+        }
     }
 }

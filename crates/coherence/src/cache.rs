@@ -364,7 +364,11 @@ mod tests {
         let mut moesi = CacheModel::new(Protocol::Moesi, 2);
         moesi.access(0, 7, Store);
         moesi.access(1, 7, Load);
-        assert_eq!(moesi.stats()[1].writebacks, 0, "MOESI keeps dirty data in O");
+        assert_eq!(
+            moesi.stats()[1].writebacks,
+            0,
+            "MOESI keeps dirty data in O"
+        );
         assert_eq!(moesi.state(0, 7), LineState::O);
         moesi.check_invariants().unwrap();
     }

@@ -62,7 +62,13 @@ impl RingStats {
 /// with `idle_polls` failed polls by each waiting thread between hops
 /// (modeling the window in which waiters poll while the token is
 /// elsewhere).
-pub fn ring(threads: usize, laps: u64, idle_polls: u32, mode: WaitMode, protocol: Protocol) -> RingStats {
+pub fn ring(
+    threads: usize,
+    laps: u64,
+    idle_polls: u32,
+    mode: WaitMode,
+    protocol: Protocol,
+) -> RingStats {
     assert!(threads >= 2);
     let mut cache = CacheModel::new(protocol, threads);
     let mailbox = |t: usize| t; // line per mailbox

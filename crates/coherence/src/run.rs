@@ -215,7 +215,11 @@ mod tests {
         assert_eq!(stats.pairs, 100);
         // Uncontended: after warmup the lock word stays in the single
         // core's cache; offcore per pair tends to zero.
-        assert!(stats.offcore_per_pair() < 0.5, "{}", stats.offcore_per_pair());
+        assert!(
+            stats.offcore_per_pair() < 0.5,
+            "{}",
+            stats.offcore_per_pair()
+        );
     }
 
     #[test]

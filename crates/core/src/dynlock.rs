@@ -1,0 +1,371 @@
+//! The object-safe dynamic layer: runtime-selectable locks.
+//!
+//! The paper's evaluation swaps lock algorithms under an unchanged
+//! `pthread_mutex` interface by `LD_PRELOAD`-ing interposition libraries
+//! (§5) — the algorithm is chosen when the process *runs*, not when it is
+//! compiled. [`crate::Mutex`] can't express that: it monomorphizes per lock
+//! type, so every binary needs a hard-coded list of types. This module is
+//! the Rust analog of the interposition boundary:
+//!
+//! - [`DynLock`] — an object-safe lock handle (`Box<dyn DynLock>`), with
+//!   the same context-free contract as [`RawLock`] plus metadata access;
+//! - [`DynMutex`] — a guard-based mutex over a `dyn DynLock`, mirroring the
+//!   `Mutex<T, L>` API so application code is indifferent to which layer
+//!   it runs on;
+//! - [`TryLockError`] — typed "would block" vs "algorithm has no trylock"
+//!   (CLH and Ticket Locks cannot try-lock; §2).
+//!
+//! Concrete `dyn` handles are built by the catalog in `hemlock-locks`
+//! (`hemlock_locks::catalog`), which maps string keys like `"hemlock"` or
+//! `"mcs"` to factories; this module only defines the boundary, so that the
+//! core crate stays free of algorithm inventory.
+
+use crate::meta::LockMeta;
+use crate::raw::{RawLock, RawTryLock};
+use core::cell::UnsafeCell;
+use core::fmt;
+use core::marker::PhantomData;
+use core::ops::{Deref, DerefMut};
+
+/// An object-safe mutual-exclusion lock: [`RawLock`] minus the compile-time
+/// pieces (`Default`, `const META`), plus runtime metadata access.
+///
+/// # Safety
+///
+/// Implementations must uphold the [`RawLock`] contract: mutual exclusion
+/// between `lock`/`try_lock` success and the matching `unlock`, acquire
+/// semantics on acquisition, release semantics on release. `meta()` must
+/// faithfully describe the algorithm (in particular `meta().try_lock` must
+/// be `true` iff `try_lock` can ever return `Ok(true)`).
+pub unsafe trait DynLock: Send + Sync {
+    /// This algorithm's descriptor.
+    fn meta(&self) -> LockMeta;
+
+    /// Acquires the lock, blocking until it is available.
+    fn lock(&self);
+
+    /// Attempts a non-blocking acquisition. `Ok(true)` confers ownership;
+    /// `Ok(false)` means the lock was busy; `Err(TryLockError::Unsupported)`
+    /// means the algorithm has no trylock path at all.
+    fn try_lock(&self) -> Result<bool, TryLockError>;
+
+    /// Releases the lock.
+    ///
+    /// # Safety
+    ///
+    /// The calling thread must hold the lock and must be the thread that
+    /// acquired it, exactly as for [`RawLock::unlock`].
+    unsafe fn unlock(&self);
+}
+
+/// Why a [`DynMutex::try_lock`] attempt yielded no guard.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TryLockError {
+    /// The lock is currently held by another thread.
+    WouldBlock,
+    /// The algorithm does not implement a trylock (e.g. CLH, Ticket: a
+    /// waiter cannot withdraw once it has advertised itself; §2).
+    Unsupported,
+}
+
+impl fmt::Display for TryLockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TryLockError::WouldBlock => f.write_str("lock is busy"),
+            TryLockError::Unsupported => f.write_str("algorithm has no trylock"),
+        }
+    }
+}
+
+impl std::error::Error for TryLockError {}
+
+/// Adapter giving any [`RawLock`] a [`DynLock`] vtable. `try_lock` reports
+/// [`TryLockError::Unsupported`]; use [`DynTryAdapter`] for algorithms that
+/// implement [`RawTryLock`].
+#[derive(Default)]
+pub struct DynAdapter<L: RawLock>(L);
+
+impl<L: RawLock> DynAdapter<L> {
+    /// Wraps a fresh lock.
+    pub fn new() -> Self {
+        Self(L::default())
+    }
+}
+
+// Safety: forwards directly to the RawLock contract; try_lock never claims
+// ownership, and meta() clears try_lock so the descriptor stays truthful
+// even when `L` is trylock-capable but was wrapped through this adapter.
+unsafe impl<L: RawLock> DynLock for DynAdapter<L> {
+    fn meta(&self) -> LockMeta {
+        let mut m = L::META;
+        m.try_lock = false; // this handle exposes no trylock path
+        m
+    }
+    fn lock(&self) {
+        self.0.lock();
+    }
+    fn try_lock(&self) -> Result<bool, TryLockError> {
+        Err(TryLockError::Unsupported)
+    }
+    unsafe fn unlock(&self) {
+        self.0.unlock();
+    }
+}
+
+/// Adapter giving a [`RawTryLock`] a [`DynLock`] vtable with a real
+/// `try_lock`.
+#[derive(Default)]
+pub struct DynTryAdapter<L: RawTryLock>(L);
+
+impl<L: RawTryLock> DynTryAdapter<L> {
+    /// Wraps a fresh lock.
+    pub fn new() -> Self {
+        Self(L::default())
+    }
+}
+
+// Safety: forwards directly to the RawLock/RawTryLock contract.
+unsafe impl<L: RawTryLock> DynLock for DynTryAdapter<L> {
+    fn meta(&self) -> LockMeta {
+        L::META
+    }
+    fn lock(&self) {
+        self.0.lock();
+    }
+    fn try_lock(&self) -> Result<bool, TryLockError> {
+        Ok(self.0.try_lock())
+    }
+    unsafe fn unlock(&self) {
+        self.0.unlock();
+    }
+}
+
+/// Boxes a [`RawLock`] as a runtime lock handle (no trylock path).
+pub fn boxed<L: RawLock + 'static>() -> Box<dyn DynLock> {
+    Box::new(DynAdapter::<L>::new())
+}
+
+/// Boxes a [`RawTryLock`] as a runtime lock handle with trylock support.
+pub fn boxed_try<L: RawTryLock + 'static>() -> Box<dyn DynLock> {
+    Box::new(DynTryAdapter::<L>::new())
+}
+
+/// A mutual-exclusion primitive protecting a `T`, with the lock algorithm
+/// chosen at **runtime** — the dynamic-layer counterpart of
+/// [`Mutex<T, L>`](crate::Mutex).
+///
+/// ```
+/// use hemlock_core::dynlock::{boxed_try, DynMutex};
+/// use hemlock_core::hemlock::Hemlock;
+///
+/// let m = DynMutex::new(boxed_try::<Hemlock>(), 0u64);
+/// *m.lock() += 1;
+/// assert_eq!(*m.lock(), 1);
+/// assert_eq!(m.meta().name, "Hemlock");
+/// ```
+pub struct DynMutex<T: ?Sized> {
+    raw: Box<dyn DynLock>,
+    data: UnsafeCell<T>,
+}
+
+// Safety: the boxed lock serializes access to `data`; DynLock is Send+Sync.
+unsafe impl<T: ?Sized + Send> Send for DynMutex<T> {}
+unsafe impl<T: ?Sized + Send> Sync for DynMutex<T> {}
+
+impl<T> DynMutex<T> {
+    /// Creates an unlocked mutex over a runtime lock handle (usually built
+    /// by the catalog: `hemlock_locks::catalog::dyn_lock("hemlock")`).
+    pub fn new(lock: Box<dyn DynLock>, value: T) -> Self {
+        Self {
+            raw: lock,
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    /// Statically-typed convenience constructor (no trylock path unless `L:
+    /// RawTryLock` — prefer [`DynMutex::of_try`] when it is).
+    pub fn of<L: RawLock + 'static>(value: T) -> Self {
+        Self::new(boxed::<L>(), value)
+    }
+
+    /// Statically-typed constructor preserving the trylock capability.
+    pub fn of_try<L: RawTryLock + 'static>(value: T) -> Self {
+        Self::new(boxed_try::<L>(), value)
+    }
+
+    /// Consumes the mutex, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+impl<T: ?Sized> DynMutex<T> {
+    /// Acquires the lock, blocking until available.
+    pub fn lock(&self) -> DynMutexGuard<'_, T> {
+        self.raw.lock();
+        DynMutexGuard {
+            mutex: self,
+            _not_send: PhantomData,
+        }
+    }
+
+    /// Attempts the lock without waiting. [`TryLockError::Unsupported`]
+    /// when the chosen algorithm has no trylock (check
+    /// [`LockMeta::try_lock`] to know in advance).
+    pub fn try_lock(&self) -> Result<DynMutexGuard<'_, T>, TryLockError> {
+        match self.raw.try_lock()? {
+            true => Ok(DynMutexGuard {
+                mutex: self,
+                _not_send: PhantomData,
+            }),
+            false => Err(TryLockError::WouldBlock),
+        }
+    }
+
+    /// The chosen algorithm's descriptor.
+    pub fn meta(&self) -> LockMeta {
+        self.raw.meta()
+    }
+
+    /// The underlying runtime lock handle.
+    pub fn raw(&self) -> &dyn DynLock {
+        &*self.raw
+    }
+
+    /// Mutable access without locking (the `&mut` proves exclusivity).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut()
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for DynMutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.try_lock() {
+            Ok(g) => f
+                .debug_struct("DynMutex")
+                .field("lock", &self.meta().name)
+                .field("data", &&*g)
+                .finish(),
+            Err(_) => write!(f, "DynMutex {{ <{}> }}", self.meta().name),
+        }
+    }
+}
+
+/// RAII guard over a [`DynMutex`]; the lock is released on drop.
+///
+/// `!Send` for the same reason as [`crate::MutexGuard`]: queue locks and
+/// Hemlock's Grant protocol require the unlock to run on the acquiring
+/// thread.
+pub struct DynMutexGuard<'a, T: ?Sized> {
+    mutex: &'a DynMutex<T>,
+    _not_send: PhantomData<*mut ()>,
+}
+
+impl<T: ?Sized> Deref for DynMutexGuard<'_, T> {
+    type Target = T;
+    #[inline]
+    fn deref(&self) -> &T {
+        // Safety: we hold the lock.
+        unsafe { &*self.mutex.data.get() }
+    }
+}
+
+impl<T: ?Sized> DerefMut for DynMutexGuard<'_, T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut T {
+        // Safety: we hold the lock exclusively.
+        unsafe { &mut *self.mutex.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for DynMutexGuard<'_, T> {
+    #[inline]
+    fn drop(&mut self) {
+        // Safety: this guard proves the current thread holds the lock, and
+        // the guard is !Send so we are on the acquiring thread.
+        unsafe { self.mutex.raw.unlock() }
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for DynMutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
+impl<T: ?Sized + fmt::Display> fmt::Display for DynMutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hemlock::Hemlock;
+
+    #[test]
+    fn dyn_mutex_counter_under_contention() {
+        let m = DynMutex::of_try::<Hemlock>(0u64);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let m = &m;
+                s.spawn(move || {
+                    for _ in 0..5_000 {
+                        *m.lock() += 1;
+                    }
+                });
+            }
+        });
+        assert_eq!(m.into_inner(), 20_000);
+    }
+
+    #[test]
+    fn meta_flows_through_the_vtable() {
+        let m = DynMutex::of_try::<Hemlock>(());
+        assert_eq!(m.meta(), Hemlock::META);
+        assert_eq!(m.meta().name, "Hemlock");
+        assert!(m.meta().try_lock);
+    }
+
+    #[test]
+    fn try_lock_would_block_while_held() {
+        let m = DynMutex::of_try::<Hemlock>(7);
+        let g = m.lock();
+        assert_eq!(m.try_lock().unwrap_err(), TryLockError::WouldBlock);
+        drop(g);
+        assert_eq!(*m.try_lock().expect("uncontended"), 7);
+    }
+
+    #[test]
+    fn plain_adapter_reports_unsupported() {
+        let m = DynMutex::of::<Hemlock>(());
+        assert_eq!(m.try_lock().unwrap_err(), TryLockError::Unsupported);
+        // The descriptor must agree with the handle's actual capability,
+        // even though the underlying type is trylock-capable.
+        assert!(!m.meta().try_lock);
+        // The blocking path is unaffected.
+        drop(m.lock());
+    }
+
+    #[test]
+    fn guard_releases_on_panic() {
+        let m = DynMutex::of_try::<Hemlock>(0);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut g = m.lock();
+            *g = 1;
+            panic!("inside critical section");
+        }));
+        assert!(r.is_err());
+        assert_eq!(*m.lock(), 1);
+    }
+
+    #[test]
+    fn debug_shows_lock_name() {
+        let m = DynMutex::of_try::<Hemlock>(3);
+        assert!(format!("{m:?}").contains('3'));
+        let g = m.lock();
+        assert!(format!("{m:?}").contains("Hemlock"));
+        drop(g);
+    }
+}

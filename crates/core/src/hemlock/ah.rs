@@ -26,6 +26,7 @@
 //! memory" conditions under which AH is permissible.
 
 use crate::hemlock::lock_id;
+use crate::meta::LockMeta;
 use crate::raw::{RawLock, RawTryLock};
 use crate::registry::{slot_tls, GrantCell};
 use crate::spin::SpinWait;
@@ -127,9 +128,7 @@ impl Default for HemlockAh {
 }
 
 unsafe impl RawLock for HemlockAh {
-    const NAME: &'static str = "Hemlock+AH";
-    const LOCK_WORDS: usize = 1;
-    const FIFO: bool = true;
+    const META: LockMeta = LockMeta::hemlock_family("Hemlock+AH", "Listing 4 (App. B)");
 
     fn lock(&self) {
         with_self(|me| unsafe { self.lock_with(me) })

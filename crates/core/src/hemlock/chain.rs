@@ -21,6 +21,7 @@
 //! trivial — the two things the plain Grant protocol gives up.
 
 use crate::hemlock::lock_id;
+use crate::meta::LockMeta;
 use crate::raw::{RawLock, RawTryLock};
 use crate::registry::{slot_tls, Slot};
 use crate::spin::SpinWait;
@@ -139,9 +140,11 @@ unsafe fn push_list(cell: &ChainCell, first: usize, last: &WaitElement) {
 }
 
 unsafe impl RawLock for HemlockChain {
-    const NAME: &'static str = "Hemlock+Chain";
-    const LOCK_WORDS: usize = 1;
-    const FIFO: bool = true;
+    const META: LockMeta = {
+        let mut m = LockMeta::hemlock_family("Hemlock+Chain", "App. C");
+        m.parking = true;
+        m
+    };
 
     fn lock(&self) {
         with_self(|me| {

@@ -19,6 +19,7 @@
 //! `Grant` again in subsequent unlocks.
 
 use crate::hemlock::lock_id;
+use crate::meta::LockMeta;
 use crate::raw::{RawLock, RawTryLock};
 use crate::registry::{slot_tls, GrantCell};
 use crate::spin::SpinWait;
@@ -132,7 +133,10 @@ impl Hemlock {
                 unsafe { self.lock.unlock_with(self.me) };
             }
         }
-        let _guard = UnlockOnDrop { lock: self, me: &me };
+        let _guard = UnlockOnDrop {
+            lock: self,
+            me: &me,
+        };
         f()
     }
 }
@@ -144,9 +148,7 @@ impl Default for Hemlock {
 }
 
 unsafe impl RawLock for Hemlock {
-    const NAME: &'static str = "Hemlock";
-    const LOCK_WORDS: usize = 1;
-    const FIFO: bool = true;
+    const META: LockMeta = LockMeta::hemlock_family("Hemlock", "Listing 2");
 
     fn lock(&self) {
         with_self(|me| unsafe { self.lock_with(me) })

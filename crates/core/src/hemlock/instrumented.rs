@@ -14,6 +14,7 @@
 //! contended path, so use this variant to *characterize*, not to benchmark.
 
 use crate::hemlock::lock_id;
+use crate::meta::LockMeta;
 use crate::raw::{RawLock, RawTryLock};
 use crate::registry::{slot_tls, Slot};
 use crate::spin::SpinWait;
@@ -163,9 +164,7 @@ impl Default for HemlockInstrumented {
 }
 
 unsafe impl RawLock for HemlockInstrumented {
-    const NAME: &'static str = "Hemlock(instr)";
-    const LOCK_WORDS: usize = 1;
-    const FIFO: bool = true;
+    const META: LockMeta = LockMeta::hemlock_family("Hemlock(instr)", "§5.4");
 
     fn lock(&self) {
         if HELD.with(|h| h.get()) >= 1 {
@@ -195,9 +194,9 @@ unsafe impl RawLock for HemlockInstrumented {
             loop {
                 if pred.grant.load(Ordering::Acquire) == l {
                     pred.waiters.fetch_sub(1, Ordering::AcqRel);
-                    let cleared = pred
-                        .grant
-                        .compare_exchange(l, 0, Ordering::AcqRel, Ordering::Relaxed);
+                    let cleared =
+                        pred.grant
+                            .compare_exchange(l, 0, Ordering::AcqRel, Ordering::Relaxed);
                     debug_assert!(cleared.is_ok(), "only the (cell, lock) waiter clears");
                     break;
                 }

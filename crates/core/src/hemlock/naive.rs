@@ -14,6 +14,7 @@
 //! Figures 2–9; [`crate::hemlock::Hemlock`] adds the CTR optimization.
 
 use crate::hemlock::lock_id;
+use crate::meta::LockMeta;
 use crate::raw::{RawLock, RawTryLock};
 use crate::registry::{slot_tls, GrantCell};
 use crate::spin::SpinWait;
@@ -117,9 +118,7 @@ impl Default for HemlockNaive {
 }
 
 unsafe impl RawLock for HemlockNaive {
-    const NAME: &'static str = "Hemlock-";
-    const LOCK_WORDS: usize = 1;
-    const FIFO: bool = true;
+    const META: LockMeta = LockMeta::hemlock_family("Hemlock-", "Listing 1");
 
     fn lock(&self) {
         with_self(|me| unsafe { self.lock_with(me) })

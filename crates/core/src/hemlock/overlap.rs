@@ -23,6 +23,7 @@
 //! failure and a corrupt chain" (Appendix A).
 
 use crate::hemlock::lock_id;
+use crate::meta::LockMeta;
 use crate::raw::{RawLock, RawTryLock};
 use crate::registry::{slot_tls, GrantCell};
 use crate::spin::SpinWait;
@@ -119,9 +120,7 @@ impl Default for HemlockOverlap {
 }
 
 unsafe impl RawLock for HemlockOverlap {
-    const NAME: &'static str = "Hemlock+Overlap";
-    const LOCK_WORDS: usize = 1;
-    const FIFO: bool = true;
+    const META: LockMeta = LockMeta::hemlock_family("Hemlock+Overlap", "Listing 3 (App. A)");
 
     fn lock(&self) {
         with_self(|me| unsafe { self.lock_with(me) })

@@ -15,6 +15,7 @@
 //! would result in space savings."
 
 use crate::hemlock::lock_id;
+use crate::meta::LockMeta;
 use crate::raw::{RawLock, RawTryLock};
 use crate::registry::{slot_tls, Slot};
 use core::sync::atomic::{AtomicUsize, Ordering};
@@ -116,9 +117,11 @@ impl Default for HemlockParking {
 }
 
 unsafe impl RawLock for HemlockParking {
-    const NAME: &'static str = "Hemlock+CV";
-    const LOCK_WORDS: usize = 1;
-    const FIFO: bool = true;
+    const META: LockMeta = {
+        let mut m = LockMeta::hemlock_family("Hemlock+CV", "§6");
+        m.parking = true;
+        m
+    };
 
     fn lock(&self) {
         with_self(|me| {

@@ -26,6 +26,7 @@
 //! could then spin forever.
 
 use crate::hemlock::lock_id;
+use crate::meta::LockMeta;
 use crate::raw::{RawLock, RawTryLock};
 use crate::registry::{slot_tls, GrantCell};
 use crate::spin::SpinWait;
@@ -137,9 +138,7 @@ impl Default for HemlockV1 {
 }
 
 unsafe impl RawLock for HemlockV1 {
-    const NAME: &'static str = "Hemlock+HOV1";
-    const LOCK_WORDS: usize = 1;
-    const FIFO: bool = true;
+    const META: LockMeta = LockMeta::hemlock_family("Hemlock+HOV1", "Listing 5 (App. B)");
 
     fn lock(&self) {
         with_self(|me| unsafe { self.lock_with(me) })

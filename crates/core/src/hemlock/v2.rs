@@ -22,6 +22,7 @@
 //! `unlock` never touches the lock body after ownership may have moved.
 
 use crate::hemlock::lock_id;
+use crate::meta::LockMeta;
 use crate::raw::{RawLock, RawTryLock};
 use crate::registry::{slot_tls, GrantCell};
 use crate::spin::SpinWait;
@@ -128,9 +129,7 @@ impl Default for HemlockV2 {
 }
 
 unsafe impl RawLock for HemlockV2 {
-    const NAME: &'static str = "Hemlock+HOV2";
-    const LOCK_WORDS: usize = 1;
-    const FIFO: bool = true;
+    const META: LockMeta = LockMeta::hemlock_family("Hemlock+HOV2", "Listing 6 (App. B)");
 
     fn lock(&self) {
         with_self(|me| unsafe { self.lock_with(me) })

@@ -30,6 +30,36 @@
 //! assert_eq!(*account.lock(), 200);
 //! ```
 //!
+//! ## The three-layer lock API
+//!
+//! This crate defines the first two layers of the workspace's lock API
+//! (the third, the string-keyed algorithm catalog, lives in
+//! `hemlock-locks::catalog` where every algorithm is visible):
+//!
+//! 1. **Typed core** — the context-free [`raw::RawLock`] /
+//!    [`raw::RawTryLock`] traits (`lock`/`unlock` only, nothing passed
+//!    between them — the paper's §1 pthread-compatibility requirement),
+//!    each implementor carrying a single [`meta::LockMeta`] descriptor
+//!    (`L::META`) with its name, Table 1 space accounting, and
+//!    FIFO/trylock/parking capabilities. [`mutex::Mutex<T, L>`] is the
+//!    guard-based, zero-cost wrapper at this layer.
+//! 2. **Dynamic layer** — the object-safe [`dynlock::DynLock`] trait and
+//!    [`dynlock::DynMutex<T>`], which mirror the typed API but select the
+//!    algorithm at *runtime* (the Rust analog of the paper's §5
+//!    `LD_PRELOAD` interposition). [`dynlock::TryLockError`] distinguishes
+//!    "busy" from "this algorithm has no trylock".
+//!
+//! ```
+//! use hemlock_core::dynlock::{boxed_try, DynMutex};
+//! use hemlock_core::hemlock::Hemlock;
+//!
+//! let m = DynMutex::new(boxed_try::<Hemlock>(), 0u64);
+//! *m.lock() += 1;
+//! assert_eq!(m.meta().name, "Hemlock");
+//! assert_eq!(m.meta().lock_words, 1); // compact: one word per lock…
+//! assert_eq!(m.meta().thread_words, 1); // …plus one word per thread
+//! ```
+//!
 //! ## Layout of this crate
 //!
 //! - [`hemlock`] — the algorithm family: the Listing 1 reference algorithm,
@@ -39,7 +69,10 @@
 //! - [`raw`] — the context-free [`raw::RawLock`] / [`raw::RawTryLock`]
 //!   traits every lock in this workspace (including the MCS/CLH/Ticket
 //!   baselines in `hemlock-locks`) implements.
+//! - [`meta`] — the [`meta::LockMeta`] algorithm descriptor.
 //! - [`mutex`] — a guard-based `Mutex<T, L>` over any raw lock.
+//! - [`dynlock`] — the object-safe dynamic layer: [`dynlock::DynLock`],
+//!   [`dynlock::DynMutex`], and the raw→dyn adapters.
 //! - [`registry`] — the per-thread Grant-slot arena (leak-and-recycle, with
 //!   the paper's drain-before-reclaim rule).
 //! - [`spin`] — busy-wait policy (pure spin vs spin-then-yield).
@@ -47,13 +80,17 @@
 
 #![warn(missing_docs)]
 
+pub mod dynlock;
 pub mod hemlock;
+pub mod meta;
 pub mod mutex;
 pub mod pad;
 pub mod raw;
 pub mod registry;
 pub mod spin;
 
+pub use dynlock::{DynLock, DynMutex, DynMutexGuard, TryLockError};
+pub use meta::LockMeta;
 pub use mutex::{Mutex, MutexGuard};
 pub use raw::{RawLock, RawTryLock};
 

@@ -1,0 +1,137 @@
+//! Algorithm metadata: the [`LockMeta`] descriptor.
+//!
+//! The paper's Table 1 compares lock algorithms along a fixed set of axes —
+//! lock-body size, space per held/waited lock, per-thread state, FIFO
+//! admission, construction cost — and §2 adds capability axes (trylock
+//! support, park/unpark readiness). Earlier revisions of this workspace
+//! scattered those facts across per-trait consts (`NAME`, `LOCK_WORDS`,
+//! `FIFO`); this module gathers them into one `const`-constructible
+//! descriptor so that the raw traits stay lean, the dynamic layer
+//! ([`crate::dynlock`]) can expose metadata through an object-safe method,
+//! and the catalog (in `hemlock-locks`) can print Table 1 straight from the
+//! registry.
+
+/// Static description of a lock algorithm.
+///
+/// One value per lock type, attached as [`crate::RawLock::META`]. All fields
+/// are plain data so the struct can be built in `const` context and compared
+/// in tests (e.g. the catalog conformance suite asserts that the dynamic
+/// layer reports the same descriptor as the static type).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LockMeta {
+    /// Display name used by benchmarks and tables (e.g. `"Hemlock"`).
+    pub name: &'static str,
+    /// Size of the lock body in machine words (Table 1 "lock" column).
+    pub lock_words: usize,
+    /// Per-thread state in machine words, amortized over all locks the
+    /// thread uses (Hemlock's single `Grant` word ⇒ 1; queue locks that
+    /// recycle elements through thread-local caches still report 0 here,
+    /// matching Table 1's accounting).
+    pub thread_words: usize,
+    /// Padded queue elements (`E` in Table 1) consumed per *held* lock.
+    pub held_elements: usize,
+    /// Padded queue elements consumed per *waited-upon* lock.
+    pub wait_elements: usize,
+    /// True when admission is FIFO/FCFS (§4).
+    pub fifo: bool,
+    /// True when the algorithm supports a non-blocking `try_lock`
+    /// (implements [`crate::RawTryLock`]). The paper notes MCS and Hemlock
+    /// admit trivial trylocks while Ticket Locks and CLH do not (§2).
+    pub try_lock: bool,
+    /// True when waiters may block in the OS (condvar/park) instead of
+    /// busy-waiting the whole time (§6 / Appendix C variants).
+    pub parking: bool,
+    /// True when construction or destruction is non-trivial (CLH's dummy
+    /// element; Table 1 "init" column).
+    pub nontrivial_init: bool,
+    /// Where the algorithm comes from in the paper (listing / section),
+    /// e.g. `"Listing 2"` or `"§4 related work"`.
+    pub paper_ref: &'static str,
+}
+
+impl LockMeta {
+    /// Baseline descriptor: a 1-word, non-FIFO, spin-only lock with no
+    /// per-thread or per-engagement state. Individual locks override the
+    /// fields that differ, keeping each `META` definition to its essentials.
+    pub const fn base(name: &'static str, paper_ref: &'static str) -> Self {
+        Self {
+            name,
+            lock_words: 1,
+            thread_words: 0,
+            held_elements: 0,
+            wait_elements: 0,
+            fifo: false,
+            try_lock: false,
+            parking: false,
+            nontrivial_init: false,
+            paper_ref,
+        }
+    }
+
+    /// Descriptor shared by the Hemlock family: 1-word body, 1 Grant word
+    /// per thread, FIFO, trylock-capable.
+    pub const fn hemlock_family(name: &'static str, paper_ref: &'static str) -> Self {
+        let mut m = Self::base(name, paper_ref);
+        m.thread_words = 1;
+        m.fifo = true;
+        m.try_lock = true;
+        m
+    }
+
+    /// Space in bytes consumed by one lock body (words × word size).
+    pub const fn lock_bytes(&self) -> usize {
+        self.lock_words * core::mem::size_of::<usize>()
+    }
+
+    /// Human-readable per-held-lock space, in Table 1's `E` notation.
+    pub fn held_space(&self) -> String {
+        element_notation(self.held_elements)
+    }
+
+    /// Human-readable per-waited-lock space, in Table 1's `E` notation.
+    pub fn wait_space(&self) -> String {
+        element_notation(self.wait_elements)
+    }
+}
+
+fn element_notation(elements: usize) -> String {
+    match elements {
+        0 => "0".to_string(),
+        1 => "E".to_string(),
+        n => format!("{n}E"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_is_minimal() {
+        let m = LockMeta::base("X", "§0");
+        assert_eq!(m.name, "X");
+        assert_eq!(m.lock_words, 1);
+        assert_eq!(m.thread_words, 0);
+        assert!(!m.fifo && !m.try_lock && !m.parking && !m.nontrivial_init);
+    }
+
+    #[test]
+    fn hemlock_family_shape() {
+        let m = LockMeta::hemlock_family("H", "Listing 2");
+        assert_eq!(m.lock_words, 1);
+        assert_eq!(m.thread_words, 1);
+        assert!(m.fifo && m.try_lock);
+        assert!(!m.parking);
+        assert_eq!(m.lock_bytes(), core::mem::size_of::<usize>());
+    }
+
+    #[test]
+    fn element_notation_matches_table1() {
+        let mut m = LockMeta::base("X", "§0");
+        assert_eq!(m.held_space(), "0");
+        m.held_elements = 1;
+        m.wait_elements = 2;
+        assert_eq!(m.held_space(), "E");
+        assert_eq!(m.wait_space(), "2E");
+    }
+}

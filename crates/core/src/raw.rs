@@ -17,14 +17,12 @@
 /// `lock()` must also provide acquire semantics and `unlock()` release
 /// semantics so that critical-section writes are visible to the next holder.
 pub unsafe trait RawLock: Default + Send + Sync {
-    /// Short display name used by benchmarks and tables (e.g. `"Hemlock"`).
-    const NAME: &'static str;
-
-    /// Size of the lock body in machine words, for the Table 1 accounting.
-    const LOCK_WORDS: usize;
-
-    /// True when the lock provides FIFO/FCFS admission.
-    const FIFO: bool;
+    /// Static descriptor of this algorithm: name, space accounting (the
+    /// Table 1 axes), FIFO/trylock/parking capabilities, and the paper
+    /// listing it implements. Everything that is *about* the algorithm —
+    /// rather than an operation on it — lives here, keeping the trait
+    /// itself down to the two context-free operations.
+    const META: crate::meta::LockMeta;
 
     /// Acquires the lock, blocking (busy-waiting) until it is available.
     fn lock(&self);
@@ -48,7 +46,9 @@ pub unsafe trait RawLock: Default + Send + Sync {
 /// # Safety
 ///
 /// As for [`RawLock`]; additionally `try_lock() == true` must confer
-/// ownership exactly as `lock()` does.
+/// ownership exactly as `lock()` does. Implementors must advertise the
+/// capability by setting [`LockMeta::try_lock`](crate::meta::LockMeta) in
+/// their [`RawLock::META`] (the catalog conformance suite checks this).
 pub unsafe trait RawTryLock: RawLock {
     /// Attempts to acquire the lock without waiting. Returns `true` on
     /// success, in which case the caller owns the lock.

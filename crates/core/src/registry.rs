@@ -182,7 +182,10 @@ impl<C: Slot> Arena<C> {
     }
 
     fn release(&self, cell: &'static C) {
-        self.free.lock().expect("arena free list poisoned").push(cell);
+        self.free
+            .lock()
+            .expect("arena free list poisoned")
+            .push(cell);
     }
 }
 

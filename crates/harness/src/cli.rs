@@ -1,10 +1,185 @@
-//! Minimal `--key value` / `--flag` argument parsing for the reproduction
+//! Strict `--key value` / `--flag` argument parsing for the reproduction
 //! binaries (kept dependency-free on purpose).
+//!
+//! Each binary declares its options in a [`Spec`]; parsing then *rejects*
+//! anything outside the declaration — positional junk, typo'd flags, a
+//! value option with no value, duplicates — with a message naming the
+//! nearest known option and the full usage. (An earlier revision silently
+//! ignored unknown tokens, which made `fig2 --thread 8` run a default
+//! sweep without complaint.)
+//!
+//! Every spec automatically includes `--help` and `--wait spin|yield[:N]`;
+//! the latter is applied to the process-wide
+//! [`hemlock_core::spin::set_wait_policy`] during [`Spec::parse_env`], so
+//! all binaries expose the paper-faithful pure-spin mode and the
+//! oversubscription-safe spin-then-yield mode uniformly.
 
+use hemlock_core::spin::{set_wait_policy, WaitPolicy, DEFAULT_SPINS};
 use std::collections::HashMap;
 use std::time::Duration;
 
-/// Parsed command-line arguments.
+/// An option declaration: name (without `--`) and help text.
+pub type OptDecl = (&'static str, &'static str);
+
+/// Options common to every thread-sweep figure binary.
+pub const SWEEP_VALUES: &[OptDecl] = &[
+    ("secs", "seconds per measurement point (fractional allowed)"),
+    ("runs", "median-of-N runs per point"),
+    ("max-threads", "largest thread count in the sweep"),
+    ("lock", "comma-separated lock algorithms from the catalog"),
+];
+
+/// Flags common to every thread-sweep figure binary.
+pub const SWEEP_FLAGS: &[OptDecl] = &[
+    ("quick", "smoke-test preset (small sweep, short intervals)"),
+    ("csv", "emit CSV instead of aligned tables"),
+];
+
+/// Declares a binary's accepted options and parses against them.
+#[derive(Clone, Debug, Default)]
+pub struct Spec {
+    name: &'static str,
+    about: &'static str,
+    values: Vec<OptDecl>,
+    flags: Vec<OptDecl>,
+}
+
+impl Spec {
+    /// Starts a spec for binary `name` with a one-line description.
+    pub fn new(name: &'static str, about: &'static str) -> Self {
+        Self {
+            name,
+            about,
+            values: vec![(
+                "wait",
+                "busy-wait policy: `spin` (paper testbed) or `yield[:SPINS]` (default)",
+            )],
+            flags: Vec::new(),
+        }
+    }
+
+    /// Adds the standard sweep options ([`SWEEP_VALUES`] / [`SWEEP_FLAGS`]).
+    pub fn sweep(mut self) -> Self {
+        self.values.extend_from_slice(SWEEP_VALUES);
+        self.flags.extend_from_slice(SWEEP_FLAGS);
+        self
+    }
+
+    /// Adds one `--name <value>` option.
+    pub fn value(mut self, name: &'static str, help: &'static str) -> Self {
+        self.values.push((name, help));
+        self
+    }
+
+    /// Adds one bare `--name` flag.
+    pub fn flag(mut self, name: &'static str, help: &'static str) -> Self {
+        self.flags.push((name, help));
+        self
+    }
+
+    /// Parses an explicit token stream against this spec.
+    pub fn parse(&self, tokens: impl IntoIterator<Item = String>) -> Result<Args, String> {
+        let mut args = Args::default();
+        let mut iter = tokens.into_iter();
+        while let Some(tok) = iter.next() {
+            let Some(name) = tok.strip_prefix("--") else {
+                return Err(format!(
+                    "unexpected positional argument {tok:?} (every option is --name or --name value)"
+                ));
+            };
+            if name.is_empty() {
+                return Err("stray `--` in arguments".to_string());
+            }
+            if self.flags.iter().any(|(f, _)| *f == name) {
+                if !args.flags.iter().any(|f| f == name) {
+                    args.flags.push(name.to_string());
+                }
+            } else if self.values.iter().any(|(v, _)| *v == name) {
+                let value = iter
+                    .next()
+                    .filter(|v| !v.starts_with("--"))
+                    .ok_or_else(|| format!("option --{name} requires a value"))?;
+                if args.values.insert(name.to_string(), value).is_some() {
+                    return Err(format!("option --{name} given twice"));
+                }
+            } else if name == "help" {
+                return Err(HELP_SENTINEL.to_string());
+            } else {
+                return Err(match self.nearest(name) {
+                    Some(sugg) => format!("unknown option --{name} (did you mean --{sugg}?)"),
+                    None => format!("unknown option --{name}"),
+                });
+            }
+        }
+        Ok(args)
+    }
+
+    /// Parses `std::env::args()`. On `--help`, prints usage and exits 0; on
+    /// any error, prints the error plus usage to stderr and exits 2. Also
+    /// applies `--wait` to the process-wide busy-wait policy.
+    pub fn parse_env(&self) -> Args {
+        let parsed = self.parse(std::env::args().skip(1)).and_then(|args| {
+            if let Some(policy) = args.wait_policy()? {
+                set_wait_policy(policy);
+            }
+            Ok(args)
+        });
+        match parsed {
+            Ok(args) => args,
+            Err(e) if e == HELP_SENTINEL => {
+                println!("{}", self.usage());
+                std::process::exit(0);
+            }
+            Err(e) => {
+                eprintln!("error: {e}\n\n{}", self.usage());
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// The rendered `--help` text.
+    pub fn usage(&self) -> String {
+        let mut s = format!("{} — {}\n\nOptions:\n", self.name, self.about);
+        for (name, help) in &self.values {
+            s.push_str(&format!("  --{name} <value>\n        {help}\n"));
+        }
+        for (name, help) in &self.flags {
+            s.push_str(&format!("  --{name}\n        {help}\n"));
+        }
+        s.push_str("  --help\n        print this message\n");
+        s
+    }
+
+    /// Closest known option name within a small edit distance.
+    fn nearest(&self, name: &str) -> Option<&'static str> {
+        self.values
+            .iter()
+            .chain(self.flags.iter())
+            .map(|(n, _)| *n)
+            .map(|n| (edit_distance(n, name), n))
+            .filter(|(d, _)| *d <= 2)
+            .min_by_key(|(d, _)| *d)
+            .map(|(_, n)| n)
+    }
+}
+
+const HELP_SENTINEL: &str = "\u{1}help";
+
+fn edit_distance(a: &str, b: &str) -> usize {
+    let (a, b): (Vec<char>, Vec<char>) = (a.chars().collect(), b.chars().collect());
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, ca) in a.iter().enumerate() {
+        let mut cur = vec![i + 1];
+        for (j, cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur.push(sub.min(prev[j + 1] + 1).min(cur[j] + 1));
+        }
+        prev = cur;
+    }
+    prev[b.len()]
+}
+
+/// Parsed command-line arguments (build via [`Spec::parse_env`]).
 #[derive(Clone, Debug, Default)]
 pub struct Args {
     values: HashMap<String, String>,
@@ -12,35 +187,28 @@ pub struct Args {
 }
 
 impl Args {
-    /// Parses `std::env::args()` (skipping the binary name).
-    pub fn from_env() -> Self {
-        Self::parse(std::env::args().skip(1))
-    }
-
-    /// Parses an explicit token stream.
-    pub fn parse(tokens: impl IntoIterator<Item = String>) -> Self {
-        let mut args = Args::default();
-        let mut iter = tokens.into_iter().peekable();
-        while let Some(tok) = iter.next() {
-            if let Some(name) = tok.strip_prefix("--") {
-                match iter.peek() {
-                    Some(next) if !next.starts_with("--") => {
-                        let value = iter.next().expect("peeked");
-                        args.values.insert(name.to_string(), value);
-                    }
-                    _ => args.flags.push(name.to_string()),
-                }
+    /// Value of `--name <v>`, parsed, or `default`. Exits with a message on
+    /// an unparseable value (e.g. `--threads x`).
+    pub fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        match self.get_parsed(name) {
+            Ok(v) => v.unwrap_or(default),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
             }
         }
-        args
     }
 
-    /// Value of `--name <v>`, parsed, or `default`.
-    pub fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
-        self.values
-            .get(name)
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(default)
+    /// Value of `--name <v>` parsed as `T`; `Ok(None)` when absent,
+    /// `Err` describing the malformed token when present but unparseable.
+    pub fn get_parsed<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, String> {
+        match self.values.get(name) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("invalid value {v:?} for --{name}")),
+        }
     }
 
     /// String value of `--name <v>`, or `default`.
@@ -60,19 +228,53 @@ impl Args {
     pub fn has(&self, name: &str) -> bool {
         self.flags.iter().any(|f| f == name)
     }
+
+    /// The `--wait` policy, if given: `spin` or `yield[:SPINS]`.
+    pub fn wait_policy(&self) -> Result<Option<WaitPolicy>, String> {
+        let Some(raw) = self.values.get("wait") else {
+            return Ok(None);
+        };
+        parse_wait_policy(raw).map(Some)
+    }
+}
+
+/// Parses a `--wait` value: `spin`, `yield`, or `yield:SPINS`.
+pub fn parse_wait_policy(raw: &str) -> Result<WaitPolicy, String> {
+    match raw {
+        "spin" => Ok(WaitPolicy::Spin),
+        "yield" => Ok(WaitPolicy::SpinThenYield {
+            spins: DEFAULT_SPINS,
+        }),
+        other => match other.strip_prefix("yield:") {
+            Some(n) => n
+                .parse()
+                .map(|spins| WaitPolicy::SpinThenYield { spins })
+                .map_err(|_| format!("invalid spin count in --wait {other:?}")),
+            None => Err(format!(
+                "invalid --wait {raw:?}: expected `spin`, `yield`, or `yield:SPINS`"
+            )),
+        },
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn args(s: &str) -> Args {
-        Args::parse(s.split_whitespace().map(String::from))
+    fn spec() -> Spec {
+        Spec::new("t", "test binary")
+            .sweep()
+            .value("threads", "x")
+            .flag("verbose", "x")
+    }
+
+    fn parse(s: &str) -> Result<Args, String> {
+        spec().parse(s.split_whitespace().map(String::from))
     }
 
     #[test]
     fn parses_key_values_and_flags() {
-        let a = args("--threads 8 --csv --secs 2.5");
+        let a = parse("--threads 8 --csv --secs 2.5").unwrap();
         assert_eq!(a.get("threads", 1usize), 8);
         assert!(a.has("csv"));
         assert_eq!(a.duration("secs", 10.0), Duration::from_secs_f64(2.5));
@@ -82,15 +284,94 @@ mod tests {
 
     #[test]
     fn consecutive_flags() {
-        let a = args("--quick --verbose --runs 3");
+        let a = parse("--quick --verbose --runs 3").unwrap();
         assert!(a.has("quick") && a.has("verbose"));
         assert_eq!(a.get("runs", 0usize), 3);
     }
 
     #[test]
     fn get_str_default() {
-        let a = args("--name hemlock");
-        assert_eq!(a.get_str("name", "x"), "hemlock");
+        let a = parse("--lock hemlock").unwrap();
+        assert_eq!(a.get_str("lock", "x"), "hemlock");
         assert_eq!(a.get_str("other", "x"), "x");
+    }
+
+    #[test]
+    fn rejects_positional_junk() {
+        let e = parse("extra --runs 3").unwrap_err();
+        assert!(e.contains("positional"), "{e}");
+    }
+
+    #[test]
+    fn rejects_unknown_option_with_suggestion() {
+        let e = parse("--thread 8").unwrap_err();
+        assert!(e.contains("--thread") && e.contains("--threads"), "{e}");
+        let e = parse("--totally-bogus").unwrap_err();
+        assert!(e.contains("unknown option"), "{e}");
+    }
+
+    #[test]
+    fn rejects_missing_or_duplicate_values() {
+        assert!(parse("--runs").unwrap_err().contains("requires a value"));
+        assert!(parse("--runs --csv")
+            .unwrap_err()
+            .contains("requires a value"));
+        assert!(parse("--runs 1 --runs 2").unwrap_err().contains("twice"));
+    }
+
+    #[test]
+    fn malformed_values_are_reported() {
+        let a = parse("--runs banana").unwrap();
+        let e = a.get_parsed::<usize>("runs").unwrap_err();
+        assert!(e.contains("banana"), "{e}");
+    }
+
+    #[test]
+    fn wait_policy_forms() {
+        assert_eq!(parse_wait_policy("spin"), Ok(WaitPolicy::Spin));
+        assert_eq!(
+            parse_wait_policy("yield"),
+            Ok(WaitPolicy::SpinThenYield {
+                spins: DEFAULT_SPINS
+            })
+        );
+        assert_eq!(
+            parse_wait_policy("yield:64"),
+            Ok(WaitPolicy::SpinThenYield { spins: 64 })
+        );
+        assert!(parse_wait_policy("yield:x").is_err());
+        assert!(parse_wait_policy("never").is_err());
+        let a = parse("--wait yield:9").unwrap();
+        assert_eq!(
+            a.wait_policy().unwrap(),
+            Some(WaitPolicy::SpinThenYield { spins: 9 })
+        );
+    }
+
+    #[test]
+    fn usage_lists_every_option() {
+        let u = spec().usage();
+        for opt in [
+            "--secs",
+            "--runs",
+            "--max-threads",
+            "--lock",
+            "--wait",
+            "--quick",
+            "--csv",
+            "--threads",
+            "--verbose",
+            "--help",
+        ] {
+            assert!(u.contains(opt), "usage missing {opt}:\n{u}");
+        }
+    }
+
+    #[test]
+    fn edit_distance_sane() {
+        assert_eq!(edit_distance("lock", "lock"), 0);
+        assert_eq!(edit_distance("lock", "locks"), 1);
+        assert_eq!(edit_distance("secs", "swcs"), 1);
+        assert!(edit_distance("quick", "csv") > 2);
     }
 }

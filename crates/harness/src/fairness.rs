@@ -31,7 +31,11 @@ impl FairnessReport {
     pub fn jain_index(&self) -> f64 {
         let n = self.per_thread_ops.len() as f64;
         let sum: f64 = self.per_thread_ops.iter().map(|&x| x as f64).sum();
-        let sumsq: f64 = self.per_thread_ops.iter().map(|&x| (x as f64) * (x as f64)).sum();
+        let sumsq: f64 = self
+            .per_thread_ops
+            .iter()
+            .map(|&x| (x as f64) * (x as f64))
+            .sum();
         if sumsq == 0.0 {
             return 0.0;
         }

@@ -27,14 +27,14 @@ pub mod mutexbench;
 pub mod ring;
 pub mod table;
 
-pub use cli::Args;
+pub use cli::{Args, Spec};
 pub use fairness::{fairness_bench, FairnessReport};
 pub use histogram::Histogram;
 pub use measure::{median_of, thread_sweep, Throughput};
 pub use mt19937::Mt19937;
 pub use multiwait::{multiwait_bench, MultiwaitConfig};
 pub use mutexbench::{mutex_bench, uncontended_latency_ns, Contention, MutexBenchConfig};
-pub use ring::{ring_bench, RingWait};
+pub use ring::{dyn_ring_bench, ring_bench, RingWait};
 pub use table::{fmt_f64, Table};
 
 #[cfg(test)]

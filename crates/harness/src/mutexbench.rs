@@ -66,10 +66,9 @@ pub fn mutex_bench<L: RawLock>(cfg: MutexBenchConfig) -> Throughput {
 
     let start = Instant::now();
     std::thread::scope(|s| {
-        for t in 0..cfg.threads {
+        for (t, counter) in counters.iter().enumerate() {
             let shared = &shared;
             let stop = &stop;
-            let counter = &counters[t];
             s.spawn(move || {
                 let mut local = Mt19937::new(0x5EED ^ (t as u32 + 1));
                 let mut iters = 0u64;

@@ -86,8 +86,9 @@ fn take_token(mailbox: &AtomicU64, mode: RingWait, stop: &AtomicBool) -> bool {
 /// Circulates the token for `duration`; `ops` counts completed laps.
 pub fn ring_bench(threads: usize, duration: Duration, mode: RingWait) -> Throughput {
     assert!(threads >= 2);
-    let mailboxes: Vec<CachePadded<AtomicU64>> =
-        (0..threads).map(|_| CachePadded::new(AtomicU64::new(0))).collect();
+    let mailboxes: Vec<CachePadded<AtomicU64>> = (0..threads)
+        .map(|_| CachePadded::new(AtomicU64::new(0)))
+        .collect();
     let stop = AtomicBool::new(false);
     let laps = AtomicU64::new(0);
 
@@ -122,6 +123,52 @@ pub fn ring_bench(threads: usize, duration: Duration, mode: RingWait) -> Through
     }
 }
 
+/// Lock-mediated ring circulation: the token is a shared counter behind a
+/// runtime-selected lock ([`DynMutex`]), and thread *t* may only advance it
+/// when `token % threads == t`. Every advance is an ownership hand-over
+/// through the lock, so circulations/sec measures contended pass-the-baton
+/// cost for whichever algorithm the catalog resolved — the dynamic-layer
+/// analog of swapping `LD_PRELOAD` libraries under the §5.5 benchmark.
+pub fn dyn_ring_bench(
+    lock: Box<dyn hemlock_core::DynLock>,
+    threads: usize,
+    duration: Duration,
+) -> Throughput {
+    assert!(threads >= 2);
+    let token = hemlock_core::DynMutex::new(lock, 0u64);
+    let stop = AtomicBool::new(false);
+    let laps = AtomicU64::new(0);
+
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let token = &token;
+            let stop = &stop;
+            let laps = &laps;
+            s.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let mut g = token.lock();
+                    if *g % threads as u64 == t as u64 {
+                        *g += 1;
+                        if t == 0 {
+                            laps.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    drop(g);
+                }
+            });
+        }
+        std::thread::sleep(duration);
+        stop.store(true, Ordering::Release);
+    });
+    let elapsed = start.elapsed();
+
+    Throughput {
+        ops: laps.load(Ordering::Relaxed),
+        elapsed,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,5 +185,13 @@ mod tests {
     fn larger_ring_still_circulates() {
         let t = ring_bench(4, Duration::from_millis(60), RingWait::Cas);
         assert!(t.ops > 5);
+    }
+
+    #[test]
+    fn dyn_ring_circulates_through_a_runtime_lock() {
+        use hemlock_core::dynlock::boxed_try;
+        use hemlock_core::hemlock::Hemlock;
+        let t = dyn_ring_bench(boxed_try::<Hemlock>(), 2, Duration::from_millis(100));
+        assert!(t.ops > 0, "token never circulated");
     }
 }

@@ -131,6 +131,6 @@ mod tests {
 
     #[test]
     fn fmt_helper() {
-        assert_eq!(fmt_f64(3.14159, 2), "3.14");
+        assert_eq!(fmt_f64(2.51828, 2), "2.52");
     }
 }

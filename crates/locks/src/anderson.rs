@@ -9,6 +9,7 @@
 //! Hemlock against.
 
 use core::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use hemlock_core::meta::LockMeta;
 use hemlock_core::pad::CachePadded;
 use hemlock_core::raw::RawLock;
 use hemlock_core::spin::SpinWait;
@@ -52,10 +53,15 @@ impl<const SLOTS: usize> Default for AndersonLock<SLOTS> {
 }
 
 unsafe impl<const SLOTS: usize> RawLock for AndersonLock<SLOTS> {
-    const NAME: &'static str = "Anderson";
-    const LOCK_WORDS: usize = 2 + 16 * SLOTS; // head + tail + padded array
-
-    const FIFO: bool = true;
+    const META: LockMeta = {
+        let mut m = LockMeta::base("Anderson", "§4 related work");
+        // Padded waiting array plus head + tail; the struct's cache-line
+        // alignment rounds the two scalar words up to one more full line.
+        m.lock_words =
+            (SLOTS + 1) * (hemlock_core::pad::CACHE_LINE / core::mem::size_of::<usize>());
+        m.fifo = true;
+        m
+    };
 
     fn lock(&self) {
         let slot = self.tail.fetch_add(1, Ordering::Relaxed) % SLOTS;

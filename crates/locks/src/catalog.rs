@@ -1,0 +1,285 @@
+//! The unified lock-algorithm catalog.
+//!
+//! One registry for every lock in the workspace — the Hemlock family from
+//! `hemlock-core` plus the baselines in this crate — mapping stable string
+//! keys (`"hemlock"`, `"hemlock.v1"`, `"mcs"`, `"clh"`, …) to:
+//!
+//! - a [`LockMeta`] descriptor (the Table 1 axes + capabilities), and
+//! - a factory producing a type-erased [`DynLock`] handle for the
+//!   runtime-selection layer ([`DynMutex`]).
+//!
+//! This is the Rust analog of the paper's `LD_PRELOAD` interposition setup
+//! (§5): the figure/table binaries in `hemlock-bench` take
+//! `--lock <key>[,<key>…]` and resolve algorithms here instead of each
+//! carrying a private hard-coded type list.
+//!
+//! Two dispatch styles are offered:
+//!
+//! - **dynamic** — [`dyn_lock`] / [`dyn_mutex`] build boxed handles; one
+//!   vtable call per lock operation;
+//! - **static** — [`with_lock_type`] (or the [`for_each_lock!`] macro
+//!   directly) monomorphizes a generic visitor for the chosen key, so
+//!   benchmark inner loops stay as tight as the hand-written originals.
+//!
+//! The [`for_each_lock!`] macro is the single source of truth: the entry
+//! table, the static dispatcher, and the conformance suite in
+//! `tests/dyn_conformance.rs` are all generated from it.
+
+use hemlock_core::dynlock::{boxed, boxed_try, DynLock, DynMutex};
+use hemlock_core::meta::LockMeta;
+use hemlock_core::raw::RawLock;
+
+/// Re-exports of every catalogued lock type, so `for_each_lock!` callers
+/// (and the macro's own `$crate::catalog::types::…` paths) resolve without
+/// depending on `hemlock-core` directly.
+pub mod types {
+    pub use crate::{AndersonLock, ClhLock, McsLock, TasLock, TicketLock, TtasLock};
+    pub use hemlock_core::hemlock::{
+        Hemlock, HemlockAh, HemlockChain, HemlockInstrumented, HemlockNaive, HemlockOverlap,
+        HemlockParking, HemlockV1, HemlockV2,
+    };
+}
+
+/// Invokes a callback macro with the full catalog: a comma-separated list of
+/// `(key, [aliases…], Type, trylock-capability)` tuples, where the
+/// capability token is `try` (implements `RawTryLock`) or `no_try`.
+///
+/// This is the static-dispatch counterpart of the [`ENTRIES`] table — use
+/// it to generate per-algorithm code (tests, dispatchers, tables) without
+/// re-listing the algorithms:
+///
+/// ```
+/// macro_rules! count_locks {
+///     ($(($key:literal, [$($alias:literal),*], $ty:ty, $cap:ident)),+ $(,)?) => {
+///         const N: usize = 0 $(+ { let _ = $key; 1 })+;
+///     };
+/// }
+/// hemlock_locks::for_each_lock!(count_locks);
+/// assert_eq!(N, hemlock_locks::catalog::ENTRIES.len());
+/// ```
+#[macro_export]
+macro_rules! for_each_lock {
+    ($cb:path) => {
+        $cb! {
+            ("hemlock", ["hemlock.ctr"], $crate::catalog::types::Hemlock, try),
+            ("hemlock.naive", ["hemlock-"], $crate::catalog::types::HemlockNaive, try),
+            ("hemlock.overlap", [], $crate::catalog::types::HemlockOverlap, try),
+            ("hemlock.ah", [], $crate::catalog::types::HemlockAh, try),
+            ("hemlock.v1", ["hemlock.hov1"], $crate::catalog::types::HemlockV1, try),
+            ("hemlock.v2", ["hemlock.hov2"], $crate::catalog::types::HemlockV2, try),
+            ("hemlock.parking", ["hemlock.cv"], $crate::catalog::types::HemlockParking, try),
+            ("hemlock.chain", [], $crate::catalog::types::HemlockChain, try),
+            ("hemlock.instr", ["hemlock.instrumented"], $crate::catalog::types::HemlockInstrumented, try),
+            ("mcs", [], $crate::catalog::types::McsLock, try),
+            ("clh", [], $crate::catalog::types::ClhLock, no_try),
+            ("ticket", [], $crate::catalog::types::TicketLock, no_try),
+            ("tas", [], $crate::catalog::types::TasLock, try),
+            ("ttas", [], $crate::catalog::types::TtasLock, try),
+            ("anderson", [], $crate::catalog::types::AndersonLock, no_try),
+        }
+    };
+}
+
+/// One catalog entry: a stable key, spelling aliases, the algorithm's
+/// metadata, and a factory for runtime lock handles.
+#[derive(Debug)]
+pub struct CatalogEntry {
+    /// Canonical selector key (`--lock` spelling), e.g. `"hemlock.v1"`.
+    pub key: &'static str,
+    /// Alternate accepted spellings.
+    pub aliases: &'static [&'static str],
+    /// The algorithm's descriptor (identical to the static type's `META`).
+    pub meta: LockMeta,
+    /// Builds a fresh, unlocked, type-erased handle on this algorithm.
+    pub make: fn() -> Box<dyn DynLock>,
+}
+
+impl CatalogEntry {
+    /// True when `name` selects this entry: matches the key, an alias, or
+    /// the display name, ASCII-case-insensitively.
+    pub fn matches(&self, name: &str) -> bool {
+        self.key.eq_ignore_ascii_case(name)
+            || self.meta.name.eq_ignore_ascii_case(name)
+            || self.aliases.iter().any(|a| a.eq_ignore_ascii_case(name))
+    }
+}
+
+macro_rules! gen_entries {
+    ($(($key:literal, [$($alias:literal),*], $ty:ty, $cap:ident)),+ $(,)?) => {
+        /// Every lock algorithm in the workspace, in catalog order
+        /// (Hemlock family first, then the baselines).
+        pub static ENTRIES: &[CatalogEntry] = &[
+            $(CatalogEntry {
+                key: $key,
+                aliases: &[$($alias),*],
+                meta: <$ty as RawLock>::META,
+                make: gen_entries!(@maker $cap, $ty),
+            }),+
+        ];
+    };
+    (@maker try, $ty:ty) => { boxed_try::<$ty> };
+    (@maker no_try, $ty:ty) => { boxed::<$ty> };
+}
+for_each_lock!(gen_entries);
+
+/// Looks up one entry by key, alias, or display name (case-insensitive).
+pub fn find(name: &str) -> Option<&'static CatalogEntry> {
+    ENTRIES.iter().find(|e| e.matches(name.trim()))
+}
+
+/// Resolves a comma-separated selector list (the `--lock` argument) to
+/// entries, preserving order and rejecting unknown or duplicate names with
+/// a message that lists the valid keys.
+pub fn resolve_list(list: &str) -> Result<Vec<&'static CatalogEntry>, String> {
+    let mut out: Vec<&'static CatalogEntry> = Vec::new();
+    for name in list.split(',') {
+        let name = name.trim();
+        if name.is_empty() {
+            return Err(format!(
+                "empty lock name in {list:?}; expected a comma-separated subset of: {}",
+                keys().join(", ")
+            ));
+        }
+        let entry = find(name)
+            .ok_or_else(|| format!("unknown lock {name:?}; known locks: {}", keys().join(", ")))?;
+        if out.iter().any(|e| core::ptr::eq(*e, entry)) {
+            return Err(format!("lock {name:?} selected twice in {list:?}"));
+        }
+        out.push(entry);
+    }
+    Ok(out)
+}
+
+/// All canonical keys, in catalog order.
+pub fn keys() -> Vec<&'static str> {
+    ENTRIES.iter().map(|e| e.key).collect()
+}
+
+/// Builds a runtime lock handle for `name`.
+pub fn dyn_lock(name: &str) -> Result<Box<dyn DynLock>, String> {
+    let entry = find(name)
+        .ok_or_else(|| format!("unknown lock {name:?}; known locks: {}", keys().join(", ")))?;
+    Ok((entry.make)())
+}
+
+/// Builds a [`DynMutex`] protecting `value` with the algorithm `name`.
+pub fn dyn_mutex<T>(name: &str, value: T) -> Result<DynMutex<T>, String> {
+    Ok(DynMutex::new(dyn_lock(name)?, value))
+}
+
+/// A generic computation instantiated per statically-dispatched lock type —
+/// the visitor side of [`with_lock_type`].
+pub trait LockVisitor {
+    /// Result produced per lock type.
+    type Output;
+    /// Runs the computation with the chosen algorithm as `L`.
+    fn visit<L: RawLock + 'static>(self, entry: &'static CatalogEntry) -> Self::Output;
+}
+
+macro_rules! gen_dispatch {
+    ($(($key:literal, [$($alias:literal),*], $ty:ty, $cap:ident)),+ $(,)?) => {
+        /// Statically dispatches `visitor` on the algorithm selected by
+        /// `name`: the visitor's generic `visit` is monomorphized for the
+        /// matching type, so the hot path carries no vtable indirection.
+        /// Returns `None` for unknown names.
+        pub fn with_lock_type<V: LockVisitor>(name: &str, visitor: V) -> Option<V::Output> {
+            let entry = find(name)?;
+            match entry.key {
+                $($key => Some(visitor.visit::<$ty>(entry)),)+
+                _ => unreachable!("catalog key missing from dispatch table"),
+            }
+        }
+    };
+}
+for_each_lock!(gen_dispatch);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_by_key_alias_display_name_case_insensitively() {
+        assert_eq!(find("hemlock").unwrap().meta.name, "Hemlock");
+        assert_eq!(find("hemlock.ctr").unwrap().key, "hemlock");
+        assert_eq!(find("Hemlock-").unwrap().key, "hemlock.naive");
+        assert_eq!(find("MCS").unwrap().key, "mcs");
+        assert_eq!(find("mCs").unwrap().key, "mcs");
+        assert!(find("nope").is_none());
+    }
+
+    #[test]
+    fn resolve_list_preserves_order_and_reports_errors() {
+        let picked = resolve_list("mcs, clh,hemlock").unwrap();
+        assert_eq!(
+            picked.iter().map(|e| e.key).collect::<Vec<_>>(),
+            ["mcs", "clh", "hemlock"]
+        );
+        assert!(resolve_list("mcs,bogus")
+            .unwrap_err()
+            .contains("known locks"));
+        assert!(resolve_list("mcs,,clh")
+            .unwrap_err()
+            .contains("empty lock name"));
+        assert!(resolve_list("mcs,MCS").unwrap_err().contains("twice"));
+    }
+
+    #[test]
+    fn every_entry_builds_a_working_dyn_lock() {
+        for entry in ENTRIES {
+            let lock = (entry.make)();
+            assert_eq!(lock.meta(), entry.meta, "{}", entry.key);
+            lock.lock();
+            // Safety: acquired on this thread just above.
+            unsafe { lock.unlock() };
+        }
+    }
+
+    #[test]
+    fn try_capability_agrees_between_meta_and_factory() {
+        for entry in ENTRIES {
+            let lock = (entry.make)();
+            let outcome = lock.try_lock();
+            if entry.meta.try_lock {
+                assert_eq!(outcome, Ok(true), "{}", entry.key);
+                // Safety: try_lock conferred ownership.
+                unsafe { lock.unlock() };
+            } else {
+                assert!(outcome.is_err(), "{}", entry.key);
+            }
+        }
+    }
+
+    #[test]
+    fn dyn_mutex_by_name() {
+        let m = dyn_mutex("ticket", 41u32).unwrap();
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 42);
+        assert_eq!(m.meta().name, "Ticket");
+        assert!(dyn_mutex("bogus", 0).is_err());
+    }
+
+    #[test]
+    fn static_dispatch_reaches_the_right_type() {
+        struct NameOf;
+        impl LockVisitor for NameOf {
+            type Output = (&'static str, usize);
+            fn visit<L: RawLock + 'static>(self, _entry: &'static CatalogEntry) -> Self::Output {
+                (L::META.name, core::mem::size_of::<L>())
+            }
+        }
+        let (name, size) = with_lock_type("mcs", NameOf).unwrap();
+        assert_eq!(name, "MCS");
+        assert_eq!(size, core::mem::size_of::<crate::McsLock>());
+        assert!(with_lock_type("bogus", NameOf).is_none());
+    }
+
+    #[test]
+    fn keys_are_unique_and_nonempty() {
+        let keys = keys();
+        assert!(keys.len() >= 15);
+        let mut dedup = keys.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), keys.len());
+    }
+}

@@ -17,6 +17,7 @@
 
 use core::cell::RefCell;
 use core::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use hemlock_core::meta::LockMeta;
 use hemlock_core::raw::RawLock;
 use hemlock_core::spin::SpinWait;
 
@@ -39,6 +40,9 @@ std::thread_local! {
     /// Per-thread stack of free elements. Unlike MCS, an element popped here
     /// may have been allocated by any thread (elements migrate); they are
     /// plain heap boxes so cross-thread reclamation is sound.
+    // Boxed on purpose: node addresses are published through lock words,
+    // so nodes must not move when the free stack grows.
+    #[allow(clippy::vec_box)]
     static FREE_NODES: RefCell<Vec<Box<ClhNode>>> = const { RefCell::new(Vec::new()) };
 }
 
@@ -115,9 +119,14 @@ impl Drop for ClhLock {
 }
 
 unsafe impl RawLock for ClhLock {
-    const NAME: &'static str = "CLH";
-    const LOCK_WORDS: usize = 2;
-    const FIFO: bool = true;
+    const META: LockMeta = {
+        let mut m = LockMeta::base("CLH", "§4, Table 1");
+        m.lock_words = 2; // tail + head-of-queue pointer
+        m.wait_elements = 1;
+        m.fifo = true;
+        m.nontrivial_init = true; // per-lock dummy element
+        m
+    };
 
     fn lock(&self) {
         let node = alloc_node(true);

@@ -22,16 +22,25 @@
 //!
 //! All implement [`hemlock_core::RawLock`], so they slot into the same
 //! `Mutex<T, L>`, benchmarks, and tests as the Hemlock family.
+//!
+//! This crate also hosts the [`catalog`] — the unified registry mapping
+//! string keys (`"hemlock"`, `"mcs"`, `"clh"`, …) to lock factories and
+//! [`hemlock_core::LockMeta`] descriptors, with both dynamic
+//! ([`catalog::dyn_mutex`]) and static ([`catalog::with_lock_type`],
+//! [`for_each_lock!`]) dispatch. The `hemlock-bench` binaries resolve their
+//! `--lock` arguments here.
 
 #![warn(missing_docs)]
 
 mod anderson;
+pub mod catalog;
 mod clh;
 mod mcs;
 mod tas;
 mod ticket;
 
 pub use anderson::AndersonLock;
+pub use catalog::CatalogEntry;
 pub use clh::ClhLock;
 pub use mcs::McsLock;
 pub use tas::{TasLock, TtasLock};

@@ -19,6 +19,7 @@
 
 use core::cell::RefCell;
 use core::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use hemlock_core::meta::LockMeta;
 use hemlock_core::raw::{RawLock, RawTryLock};
 use hemlock_core::spin::SpinWait;
 
@@ -42,6 +43,9 @@ impl McsNode {
 std::thread_local! {
     /// Footnote 5: per-thread stack of free queue elements. "A stack is
     /// convenient for locality." The stack is trimmed only at thread exit.
+    // Boxed on purpose: node addresses are published through lock words,
+    // so nodes must not move when the free stack grows.
+    #[allow(clippy::vec_box)]
     static FREE_NODES: RefCell<Vec<Box<McsNode>>> = const { RefCell::new(Vec::new()) };
 }
 
@@ -108,9 +112,15 @@ impl Default for McsLock {
 }
 
 unsafe impl RawLock for McsLock {
-    const NAME: &'static str = "MCS";
-    const LOCK_WORDS: usize = 2;
-    const FIFO: bool = true;
+    const META: LockMeta = {
+        let mut m = LockMeta::base("MCS", "§2, Table 1");
+        m.lock_words = 2; // tail + head (owner's element, for context-freedom)
+        m.held_elements = 1;
+        m.wait_elements = 1;
+        m.fifo = true;
+        m.try_lock = true;
+        m
+    };
 
     fn lock(&self) {
         let node = alloc_node();

@@ -10,6 +10,7 @@
 //! protocol (§2.1).
 
 use core::sync::atomic::{AtomicBool, Ordering};
+use hemlock_core::meta::LockMeta;
 use hemlock_core::raw::{RawLock, RawTryLock};
 use hemlock_core::spin::SpinWait;
 
@@ -34,9 +35,11 @@ impl Default for TasLock {
 }
 
 unsafe impl RawLock for TasLock {
-    const NAME: &'static str = "TAS";
-    const LOCK_WORDS: usize = 1;
-    const FIFO: bool = false;
+    const META: LockMeta = {
+        let mut m = LockMeta::base("TAS", "§4 related work");
+        m.try_lock = true;
+        m
+    };
 
     fn lock(&self) {
         let mut spin = SpinWait::new();
@@ -79,15 +82,16 @@ impl Default for TtasLock {
 }
 
 unsafe impl RawLock for TtasLock {
-    const NAME: &'static str = "TTAS";
-    const LOCK_WORDS: usize = 1;
-    const FIFO: bool = false;
+    const META: LockMeta = {
+        let mut m = LockMeta::base("TTAS", "§4 related work");
+        m.try_lock = true;
+        m
+    };
 
     fn lock(&self) {
         let mut spin = SpinWait::new();
         loop {
-            if !self.locked.load(Ordering::Relaxed) && !self.locked.swap(true, Ordering::Acquire)
-            {
+            if !self.locked.load(Ordering::Relaxed) && !self.locked.swap(true, Ordering::Acquire) {
                 return;
             }
             spin.wait();

@@ -9,6 +9,7 @@
 //! Figure 2/3 reproductions and the coherence simulator both expose.
 
 use core::sync::atomic::{AtomicU64, Ordering};
+use hemlock_core::meta::LockMeta;
 use hemlock_core::raw::RawLock;
 use hemlock_core::spin::SpinWait;
 
@@ -49,9 +50,12 @@ impl Default for TicketLock {
 }
 
 unsafe impl RawLock for TicketLock {
-    const NAME: &'static str = "Ticket";
-    const LOCK_WORDS: usize = 2;
-    const FIFO: bool = true;
+    const META: LockMeta = {
+        let mut m = LockMeta::base("Ticket", "§4, Table 1");
+        m.lock_words = 2; // next-ticket + now-serving
+        m.fifo = true;
+        m
+    };
 
     fn lock(&self) {
         // Uncontended acquisition is a single fetch-and-add (§2).

@@ -32,7 +32,9 @@ pub fn key_for(index: u64) -> [u8; 16] {
 
 /// Deterministic value bytes for a key (verifiable on read).
 pub fn value_for(index: u64, len: usize) -> Vec<u8> {
-    (0..len).map(|i| ((index as usize + i) % 251) as u8).collect()
+    (0..len)
+        .map(|i| ((index as usize + i) % 251) as u8)
+        .collect()
 }
 
 /// `fillseq`: sequential keys `0..entries`.
@@ -70,10 +72,12 @@ pub fn read_random<L: RawLock>(
     duration: Duration,
 ) -> ReadBenchResult {
     let stop = AtomicBool::new(false);
-    let counters: Vec<CachePadded<AtomicU64>> =
-        (0..threads).map(|_| CachePadded::new(AtomicU64::new(0))).collect();
-    let hit_counters: Vec<CachePadded<AtomicU64>> =
-        (0..threads).map(|_| CachePadded::new(AtomicU64::new(0))).collect();
+    let counters: Vec<CachePadded<AtomicU64>> = (0..threads)
+        .map(|_| CachePadded::new(AtomicU64::new(0)))
+        .collect();
+    let hit_counters: Vec<CachePadded<AtomicU64>> = (0..threads)
+        .map(|_| CachePadded::new(AtomicU64::new(0)))
+        .collect();
 
     let start = Instant::now();
     std::thread::scope(|s| {

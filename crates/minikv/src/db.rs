@@ -125,7 +125,7 @@ impl<L: RawLock> Db<L> {
 
     /// Name of the central lock algorithm (for benchmark reporting).
     pub fn lock_name(&self) -> &'static str {
-        L::NAME
+        L::META.name
     }
 
     fn write_slot(&self, key: &[u8], value: Slot) {
@@ -267,7 +267,10 @@ mod tests {
             }
         }
         for i in 0..100u32 {
-            assert_eq!(db.get(format!("key{i:03}").as_bytes()), Some(b"v4".to_vec()));
+            assert_eq!(
+                db.get(format!("key{i:03}").as_bytes()),
+                Some(b"v4".to_vec())
+            );
         }
     }
 

@@ -17,7 +17,10 @@ impl Run {
     /// Builds a run from sorted entries (as produced by
     /// [`crate::memtable::Memtable::into_sorted`]).
     pub fn from_sorted(entries: Vec<(Box<[u8]>, Slot)>) -> Self {
-        debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0), "unsorted/dup run");
+        debug_assert!(
+            entries.windows(2).all(|w| w[0].0 < w[1].0),
+            "unsorted/dup run"
+        );
         Self { entries }
     }
 
@@ -92,7 +95,11 @@ mod tests {
     #[test]
     fn merge_newer_wins() {
         let newer = run_of(&[(b"a", Some(b"new")), (b"b", None)]);
-        let older = run_of(&[(b"a", Some(b"old")), (b"b", Some(b"old")), (b"c", Some(b"keep"))]);
+        let older = run_of(&[
+            (b"a", Some(b"old")),
+            (b"b", Some(b"old")),
+            (b"c", Some(b"keep")),
+        ]);
         let merged = Run::merge(&newer, &older);
         assert_eq!(merged.len(), 3);
         assert_eq!(merged.get(b"a"), Some(&Some(b"new".to_vec().into())));

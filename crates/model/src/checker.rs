@@ -54,7 +54,10 @@ impl std::fmt::Display for Violation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Violation::MutualExclusion { lock, tids } => {
-                write!(f, "mutual exclusion broken on lock {lock}: threads {tids:?} in CS")
+                write!(
+                    f,
+                    "mutual exclusion broken on lock {lock}: threads {tids:?} in CS"
+                )
             }
             Violation::Fifo {
                 lock,
@@ -125,7 +128,10 @@ impl FifoTracker {
 }
 
 /// Stateless mutual-exclusion check over the current world state.
-pub fn check_mutual_exclusion<A: LockAlgorithm>(world: &World<A>, locks: usize) -> Option<Violation> {
+pub fn check_mutual_exclusion<A: LockAlgorithm>(
+    world: &World<A>,
+    locks: usize,
+) -> Option<Violation> {
     for lock in 0..locks {
         let mut inside = Vec::new();
         for (tid, t) in world.threads.iter().enumerate() {
@@ -134,10 +140,7 @@ pub fn check_mutual_exclusion<A: LockAlgorithm>(world: &World<A>, locks: usize) 
             }
         }
         if inside.len() > 1 {
-            return Some(Violation::MutualExclusion {
-                lock,
-                tids: inside,
-            });
+            return Some(Violation::MutualExclusion { lock, tids: inside });
         }
     }
     None
@@ -173,11 +176,9 @@ pub fn check_fere_local<A: LockAlgorithm>(world: &mut World<A>) -> Option<Violat
             if tid == u || world.threads[tid].finished() {
                 continue;
             }
-            if let Some((_, meta)) = world.peek(tid) {
-                if let hemlock_simlock::Meta::SpinWait { loc, until } = meta {
-                    if loc == grant && !until.satisfied(world.mem[loc]) {
-                        spinners += 1;
-                    }
+            if let Some((_, hemlock_simlock::Meta::SpinWait { loc, until })) = world.peek(tid) {
+                if loc == grant && !until.satisfied(world.mem[loc]) {
+                    spinners += 1;
                 }
             }
         }

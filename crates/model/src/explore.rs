@@ -178,7 +178,11 @@ mod tests {
         );
         assert!(report.clean(), "violations: {:?}", report.violations);
         assert!(report.exhaustive);
-        assert!(report.states > 50, "trivially small space: {}", report.states);
+        assert!(
+            report.states > 50,
+            "trivially small space: {}",
+            report.states
+        );
         assert!(report.terminal_states >= 1);
     }
 
@@ -195,9 +199,18 @@ mod tests {
     #[test]
     fn baselines_two_threads_exhaustive() {
         for report in [
-            explore(two_thread_world(TicketSim::new(2, 1), 2), ExploreConfig::default()),
-            explore(two_thread_world(McsSim::new(2, 1), 2), ExploreConfig::default()),
-            explore(two_thread_world(ClhSim::new(2, 1), 2), ExploreConfig::default()),
+            explore(
+                two_thread_world(TicketSim::new(2, 1), 2),
+                ExploreConfig::default(),
+            ),
+            explore(
+                two_thread_world(McsSim::new(2, 1), 2),
+                ExploreConfig::default(),
+            ),
+            explore(
+                two_thread_world(ClhSim::new(2, 1), 2),
+                ExploreConfig::default(),
+            ),
         ] {
             assert!(report.clean(), "violations: {:?}", report.violations);
             assert!(report.exhaustive);
@@ -301,7 +314,13 @@ mod tests {
                 ),
             ],
         );
-        let report = explore(world, ExploreConfig { check_fere_local: false, ..Default::default() });
+        let report = explore(
+            world,
+            ExploreConfig {
+                check_fere_local: false,
+                ..Default::default()
+            },
+        );
         assert!(
             report
                 .violations

@@ -101,7 +101,11 @@ pub fn drain_junction(j: &mut Junction) -> usize {
             for e in out.events {
                 if let Event::Acquired { tid, lock } = e {
                     // Waiter `i` waits for lock `i-1` and nothing else.
-                    assert_eq!(lock, tid - 1, "wrong waiter woken: thread {tid} got lock {lock}");
+                    assert_eq!(
+                        lock,
+                        tid - 1,
+                        "wrong waiter woken: thread {tid} got lock {lock}"
+                    );
                     acquired[tid] = Some(lock);
                     correct += 1;
                 }
@@ -162,8 +166,7 @@ mod tests {
             let mut rng = SplitMix64::new(seed);
             let mut steps = 0u64;
             while !world.all_finished() {
-                let live: Vec<usize> =
-                    (0..3).filter(|&t| !world.threads[t].finished()).collect();
+                let live: Vec<usize> = (0..3).filter(|&t| !world.threads[t].finished()).collect();
                 let tid = live[(rng.next() % live.len() as u64) as usize];
                 world.step(tid);
                 let census = spin_census(&mut world);

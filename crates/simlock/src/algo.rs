@@ -28,7 +28,7 @@ pub trait LockAlgorithm {
     /// Per-thread algorithm state (registers + program counter).
     type Thread: Clone + std::hash::Hash + Eq + std::fmt::Debug;
 
-    /// Display name, matching the real implementation's `RawLock::NAME`.
+    /// Display name, matching the real implementation's `RawLock::META.name`.
     fn name(&self) -> &'static str;
 
     /// Number of simulated memory words.

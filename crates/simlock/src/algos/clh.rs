@@ -173,12 +173,12 @@ impl LockAlgorithm for ClhSim {
                     AlgoStep::Issue(Op::Store(self.head(t.lock), t.node as Val), Meta::None)
                 } else {
                     AlgoStep::Issue(
-                    Op::Load(pred),
-                    Meta::SpinWait {
-                        loc: pred,
-                        until: crate::op::Until::Eq(0),
-                    },
-                )
+                        Op::Load(pred),
+                        Meta::SpinWait {
+                            loc: pred,
+                            until: crate::op::Until::Eq(0),
+                        },
+                    )
                 }
             }
             Pc::AcqFini => {
@@ -233,9 +233,12 @@ mod tests {
         a.begin_acquire(&mut t, 0);
         let _ = a.step(&mut t, 0); // init store
         let _ = a.step(&mut t, 0); // swap
-        // swap returns dummy → spin on it
+                                   // swap returns dummy → spin on it
         let s = a.step(&mut t, a.dummy(0) as Val);
-        assert!(matches!(s, AlgoStep::Issue(Op::Load(_), Meta::SpinWait { .. })));
+        assert!(matches!(
+            s,
+            AlgoStep::Issue(Op::Load(_), Meta::SpinWait { .. })
+        ));
         // dummy is unlocked (0): finish
         let _ = a.step(&mut t, 0); // head store
         assert_eq!(a.step(&mut t, 0), AlgoStep::Done);
@@ -258,7 +261,10 @@ mod tests {
         a.begin_release(&mut t, 0);
         assert!(matches!(a.step(&mut t, 0), AlgoStep::Issue(Op::Load(_), _)));
         let node = a.pool_node(0, 0) as Val;
-        assert!(matches!(a.step(&mut t, node), AlgoStep::Issue(Op::Store(_, 0), _)));
+        assert!(matches!(
+            a.step(&mut t, node),
+            AlgoStep::Issue(Op::Store(_, 0), _)
+        ));
         assert_eq!(a.step(&mut t, 0), AlgoStep::Done);
     }
 }

@@ -535,7 +535,10 @@ mod tests {
                 let s = a.step(&mut t, 0);
                 assert!(matches!(s, AlgoStep::Issue(Op::Load(_), _)), "{flavor:?}");
                 let s = a.step(&mut t, 0); // grant is 0 ≠ pub: proceed
-                assert!(matches!(s, AlgoStep::Issue(Op::Swap { .. }, _)), "{flavor:?}");
+                assert!(
+                    matches!(s, AlgoStep::Issue(Op::Swap { .. }, _)),
+                    "{flavor:?}"
+                );
             } else {
                 let s = a.step(&mut t, 0);
                 assert!(
@@ -600,7 +603,10 @@ mod tests {
         }
         // Then the real poll (CAS expecting the published address).
         let s = a.step(&mut t, 0);
-        assert!(matches!(s, AlgoStep::Issue(Op::Cas { .. }, Meta::SpinWait { .. })));
+        assert!(matches!(
+            s,
+            AlgoStep::Issue(Op::Cas { .. }, Meta::SpinWait { .. })
+        ));
     }
 
     #[test]
@@ -627,7 +633,13 @@ mod tests {
         let s = a.step(&mut t, 0);
         assert!(matches!(
             s,
-            AlgoStep::Issue(Op::Faa { .. }, Meta::SpinWait { until: Until::Ne(_), .. })
+            AlgoStep::Issue(
+                Op::Faa { .. },
+                Meta::SpinWait {
+                    until: Until::Ne(_),
+                    ..
+                }
+            )
         ));
         assert_eq!(a.step(&mut t, 0), AlgoStep::Done);
     }
@@ -661,7 +673,10 @@ mod tests {
         a.begin_release(&mut t, 0);
         let _ = a.step(&mut t, 0); // CAS
         let s = a.step(&mut t, a.grant(1) as Val); // CAS failed: successor
-        assert!(matches!(s, AlgoStep::Issue(Op::Load(_), Meta::SpinWait { .. })), "drain");
+        assert!(
+            matches!(s, AlgoStep::Issue(Op::Load(_), Meta::SpinWait { .. })),
+            "drain"
+        );
         let s = a.step(&mut t, 0); // residual already empty: publish
         assert!(matches!(s, AlgoStep::Issue(Op::Store(_, _), _)));
         // And the release completes WITHOUT waiting for the ack.
@@ -675,9 +690,15 @@ mod tests {
         a.begin_acquire(&mut t, 0);
         let _ = a.step(&mut t, 0); // swap
         let s = a.step(&mut t, a.grant(0) as Val);
-        assert!(matches!(s, AlgoStep::Issue(Op::Cas { .. }, Meta::SpinWait { .. })));
+        assert!(matches!(
+            s,
+            AlgoStep::Issue(Op::Cas { .. }, Meta::SpinWait { .. })
+        ));
         let s = a.step(&mut t, 0);
-        assert!(matches!(s, AlgoStep::Issue(Op::Cas { .. }, Meta::SpinWait { .. })));
+        assert!(matches!(
+            s,
+            AlgoStep::Issue(Op::Cas { .. }, Meta::SpinWait { .. })
+        ));
         assert_eq!(a.step(&mut t, a.pub_val(0)), AlgoStep::Done);
     }
 
@@ -688,7 +709,10 @@ mod tests {
         a.begin_acquire(&mut t, 0);
         let _ = a.step(&mut t, 0);
         let s = a.step(&mut t, a.grant(0) as Val);
-        assert!(matches!(s, AlgoStep::Issue(Op::Load(_), Meta::SpinWait { .. })));
+        assert!(matches!(
+            s,
+            AlgoStep::Issue(Op::Load(_), Meta::SpinWait { .. })
+        ));
         let _ = a.step(&mut t, 0);
         let s = a.step(&mut t, a.pub_val(0));
         assert!(matches!(s, AlgoStep::Issue(Op::Store(_, 0), Meta::None)));
@@ -707,7 +731,10 @@ mod tests {
         let s = a.step(&mut t, a.grant(1) as Val);
         assert!(matches!(s, AlgoStep::Issue(Op::Store(_, _), Meta::None)));
         let s = a.step(&mut t, 0);
-        assert!(matches!(s, AlgoStep::Issue(Op::Faa { add: 0, .. }, Meta::SpinWait { .. })));
+        assert!(matches!(
+            s,
+            AlgoStep::Issue(Op::Faa { add: 0, .. }, Meta::SpinWait { .. })
+        ));
         assert_eq!(a.step(&mut t, 0), AlgoStep::Done);
     }
 }

@@ -272,14 +272,23 @@ mod tests {
         let a = McsSim::new(1, 1);
         let mut t = a.new_thread(0);
         a.begin_acquire(&mut t, 0);
-        assert!(matches!(a.step(&mut t, 0), AlgoStep::Issue(Op::Store(_, 1), _)));
-        assert!(matches!(a.step(&mut t, 0), AlgoStep::Issue(Op::Store(_, 0), _)));
+        assert!(matches!(
+            a.step(&mut t, 0),
+            AlgoStep::Issue(Op::Store(_, 1), _)
+        ));
+        assert!(matches!(
+            a.step(&mut t, 0),
+            AlgoStep::Issue(Op::Store(_, 0), _)
+        ));
         assert!(matches!(
             a.step(&mut t, 0),
             AlgoStep::Issue(Op::Swap { .. }, Meta::Doorstep { lock: 0 })
         ));
         // pred == 0: store head then done
-        assert!(matches!(a.step(&mut t, 0), AlgoStep::Issue(Op::Store(_, _), _)));
+        assert!(matches!(
+            a.step(&mut t, 0),
+            AlgoStep::Issue(Op::Store(_, _), _)
+        ));
         assert_eq!(a.step(&mut t, 0), AlgoStep::Done);
     }
 
@@ -303,7 +312,10 @@ mod tests {
         }
         // then spin on own locked flag
         let s = a.step(&mut t, 0);
-        assert!(matches!(s, AlgoStep::Issue(Op::Load(_), Meta::SpinWait { .. })));
+        assert!(matches!(
+            s,
+            AlgoStep::Issue(Op::Load(_), Meta::SpinWait { .. })
+        ));
         // flag still 1 → spin; flag 0 → set head → done
         let _ = a.step(&mut t, 1);
         let _ = a.step(&mut t, 0); // head store

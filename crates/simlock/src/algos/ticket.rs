@@ -194,10 +194,16 @@ mod tests {
         a.begin_acquire(&mut t, 0);
         // FAA on next
         let s1 = a.step(&mut t, 0);
-        assert!(matches!(s1, AlgoStep::Issue(Op::Faa { add: 1, .. }, Meta::Doorstep { lock: 0 })));
+        assert!(matches!(
+            s1,
+            AlgoStep::Issue(Op::Faa { add: 1, .. }, Meta::Doorstep { lock: 0 })
+        ));
         // FAA returned 0 (first ticket); poll serving
         let s2 = a.step(&mut t, 0);
-        assert!(matches!(s2, AlgoStep::Issue(Op::Load(_), Meta::SpinWait { .. })));
+        assert!(matches!(
+            s2,
+            AlgoStep::Issue(Op::Load(_), Meta::SpinWait { .. })
+        ));
         // serving == 0 == ticket: acquired
         assert_eq!(a.step(&mut t, 0), AlgoStep::Done);
         // release: load serving then store serving+1
@@ -215,10 +221,13 @@ mod tests {
         a.begin_acquire(&mut t, 0);
         let _ = a.step(&mut t, 0); // FAA
         let _ = a.step(&mut t, 1); // ticket = 1; poll
-        // serving stays 0: keep spinning
+                                   // serving stays 0: keep spinning
         for _ in 0..5 {
             let s = a.step(&mut t, 0);
-            assert!(matches!(s, AlgoStep::Issue(Op::Load(_), Meta::SpinWait { .. })));
+            assert!(matches!(
+                s,
+                AlgoStep::Issue(Op::Load(_), Meta::SpinWait { .. })
+            ));
         }
         // serving reaches 1: done
         assert_eq!(a.step(&mut t, 1), AlgoStep::Done);

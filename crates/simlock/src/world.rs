@@ -449,6 +449,7 @@ impl SplitMix64 {
     }
 
     /// Next 64-bit value.
+    #[allow(clippy::should_implement_trait)] // not an Iterator: infinite stream
     pub fn next(&mut self) -> u64 {
         self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
         let mut z = self.0;
@@ -517,9 +518,11 @@ mod tests {
             assert!(World::new(ClhSim::new(3, 1), programs())
                 .run_random(seed, 2_000_000)
                 .is_some());
-            assert!(World::new(HemlockSim::new(3, 1, HemlockFlavor::Ctr), programs())
-                .run_random(seed, 2_000_000)
-                .is_some());
+            assert!(
+                World::new(HemlockSim::new(3, 1, HemlockFlavor::Ctr), programs())
+                    .run_random(seed, 2_000_000)
+                    .is_some()
+            );
             assert!(
                 World::new(HemlockSim::new(3, 1, HemlockFlavor::Naive), programs())
                     .run_random(seed, 2_000_000)

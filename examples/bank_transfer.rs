@@ -55,7 +55,9 @@ impl Bank {
 fn main() {
     let bank = Bank {
         locks: (0..ACCOUNTS).map(|_| HemlockInstrumented::new()).collect(),
-        balances: (0..ACCOUNTS).map(|_| UnsafeCell::new(START_BALANCE)).collect(),
+        balances: (0..ACCOUNTS)
+            .map(|_| UnsafeCell::new(START_BALANCE))
+            .collect(),
     };
     HemlockInstrumented::reset_stats();
     let completed = AtomicU64::new(0);

@@ -37,7 +37,10 @@ fn main() {
         max_runs: 4,
     });
     for i in 0..10_000u64 {
-        db.put(format!("user:{i:06}").as_bytes(), format!("{{\"id\":{i}}}").as_bytes());
+        db.put(
+            format!("user:{i:06}").as_bytes(),
+            format!("{{\"id\":{i}}}").as_bytes(),
+        );
     }
     for i in (0..10_000u64).step_by(3) {
         db.delete(format!("user:{i:06}").as_bytes());
@@ -48,7 +51,9 @@ fn main() {
     println!(
         "after deletes: {alive} live keys, {} runs, {} compactions",
         db.run_count(),
-        db.stats().compactions.load(std::sync::atomic::Ordering::Relaxed)
+        db.stats()
+            .compactions
+            .load(std::sync::atomic::Ordering::Relaxed)
     );
     assert_eq!(alive, 6_666);
     println!("kv_store OK");

@@ -36,8 +36,14 @@ fn main() {
             Program::lock_unlock(0, 1, 0, 2),
         ]
     };
-    check(World::new(HemlockSim::new(2, 1, HemlockFlavor::Ctr), programs()), 1);
-    check(World::new(HemlockSim::new(2, 1, HemlockFlavor::Naive), programs()), 1);
+    check(
+        World::new(HemlockSim::new(2, 1, HemlockFlavor::Ctr), programs()),
+        1,
+    );
+    check(
+        World::new(HemlockSim::new(2, 1, HemlockFlavor::Naive), programs()),
+        1,
+    );
     check(World::new(McsSim::new(2, 1), programs()), 1);
     check(World::new(ClhSim::new(2, 1), programs()), 1);
     check(World::new(TicketSim::new(2, 1), programs()), 1);
@@ -46,7 +52,10 @@ fn main() {
     for k in 1..=4 {
         let mut junction = build_junction(k, HemlockFlavor::Ctr);
         let census = spin_census(&mut junction.world);
-        println!("  k = {k}: census on holder's Grant = {} (Theorem 10 bound = {k})", census[0]);
+        println!(
+            "  k = {k}: census on holder's Grant = {} (Theorem 10 bound = {k})",
+            census[0]
+        );
         assert_eq!(census[0], k);
         let correct = drain_junction(&mut junction);
         println!("         drained: {correct}/{k} hand-overs woke the right waiter");

@@ -57,7 +57,10 @@ fn main() {
 
     let total: u64 = pipeline.stages.iter().map(|s| unsafe { *s.get() }).sum();
     let report = HemlockInstrumented::report();
-    println!("processed {total} stage-visits (expected {})", (STAGES * WORKERS * PASSES));
+    println!(
+        "processed {total} stage-visits (expected {})",
+        (STAGES * WORKERS * PASSES)
+    );
     println!("{report}");
     assert_eq!(total, (STAGES * WORKERS * PASSES) as u64);
     assert_eq!(report.max_locks_held, 2, "coupled locking holds exactly 2");

@@ -4,8 +4,12 @@
 //! every crate so that examples and integration tests have a single import
 //! surface. The interesting code lives in the member crates:
 //!
-//! - [`hemlock_core`] — the Hemlock lock family (the paper's contribution).
-//! - [`hemlock_locks`] — MCS / CLH / Ticket / TAS / TTAS / Anderson baselines.
+//! - [`hemlock_core`] — the Hemlock lock family (the paper's contribution),
+//!   plus the typed core (`RawLock` + `LockMeta`) and the object-safe
+//!   dynamic layer (`DynLock` / `DynMutex`) of the three-layer lock API.
+//! - [`hemlock_locks`] — MCS / CLH / Ticket / TAS / TTAS / Anderson
+//!   baselines, and the unified catalog (`hemlock_locks::catalog`) mapping
+//!   string keys to every algorithm for runtime selection (`--lock`).
 //! - [`hemlock_simlock`] — lock algorithms as deterministic state machines.
 //! - [`hemlock_model`] — schedule exploration checking the §3 theorems.
 //! - [`hemlock_coherence`] — MESI/MESIF/MOESI simulator (Table 2, §5.5).

@@ -59,8 +59,7 @@ fn multiwait_inverts_the_ctr_advantage() {
     assert!(ctr_big.totals.offcore_total() > naive_big.totals.offcore_total());
     let small_ratio =
         ctr_small.totals.offcore_total() as f64 / naive_small.totals.offcore_total() as f64;
-    let big_ratio =
-        ctr_big.totals.offcore_total() as f64 / naive_big.totals.offcore_total() as f64;
+    let big_ratio = ctr_big.totals.offcore_total() as f64 / naive_big.totals.offcore_total() as f64;
     assert!(
         big_ratio > small_ratio * 0.9,
         "CTR penalty should not shrink with junction degree: {small_ratio} vs {big_ratio}"

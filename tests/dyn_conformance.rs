@@ -1,0 +1,152 @@
+//! Conformance suite for the dynamic layer: every entry in the unified
+//! catalog must behave identically through `DynMutex` as its static
+//! counterpart does through `Mutex<T, L>`, and its advertised [`LockMeta`]
+//! must be truthful.
+//!
+//! Checks, per catalog entry:
+//!
+//! - **mutual exclusion** — concurrent increments and an overlap detector
+//!   through the type-erased handle;
+//! - **trylock semantics** — `meta.try_lock` entries must acquire when
+//!   free, report `WouldBlock` when held, and really confer ownership;
+//!   non-trylock algorithms (CLH, Ticket, Anderson) must report
+//!   `Unsupported`;
+//! - **guard drop on panic** — unwinding out of a critical section must
+//!   release the lock;
+//! - **metadata fidelity** — the entry's meta equals the static type's
+//!   `META` (via `for_each_lock!`), the `dyn` handle reports the same, and
+//!   the declared body size matches the measured `size_of`.
+
+use hemlock_core::dynlock::TryLockError;
+use hemlock_core::raw::RawLock;
+use hemlock_core::DynMutex;
+use hemlock_locks::catalog::{self, CatalogEntry};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+fn dyn_mutex_for(entry: &CatalogEntry) -> DynMutex<u64> {
+    DynMutex::new((entry.make)(), 0)
+}
+
+#[test]
+fn catalog_is_populated() {
+    assert!(catalog::ENTRIES.len() >= 15);
+}
+
+#[test]
+fn mutual_exclusion_through_dyn_mutex() {
+    for entry in catalog::ENTRIES {
+        let m = dyn_mutex_for(entry);
+        let in_cs = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let m = &m;
+                let in_cs = &in_cs;
+                s.spawn(move || {
+                    for _ in 0..1_000 {
+                        let mut g = m.lock();
+                        assert!(
+                            !in_cs.swap(true, Ordering::AcqRel),
+                            "{}: overlapping critical sections",
+                            entry.key
+                        );
+                        *g += 1;
+                        in_cs.store(false, Ordering::Release);
+                    }
+                });
+            }
+        });
+        assert_eq!(*m.lock(), 4_000, "{}", entry.key);
+    }
+}
+
+#[test]
+fn trylock_semantics_match_the_advertised_capability() {
+    for entry in catalog::ENTRIES {
+        let m = dyn_mutex_for(entry);
+        if entry.meta.try_lock {
+            // Uncontended: must acquire and really confer ownership.
+            {
+                let mut g = m
+                    .try_lock()
+                    .unwrap_or_else(|e| panic!("{}: uncontended try_lock failed: {e}", entry.key));
+                *g += 1;
+            }
+            // Held: must refuse without blocking.
+            let g = m.lock();
+            assert_eq!(
+                m.try_lock().map(|_| ()).unwrap_err(),
+                TryLockError::WouldBlock,
+                "{}",
+                entry.key
+            );
+            drop(g);
+            // Released again: must succeed again.
+            drop(m.try_lock().expect("released lock must be acquirable"));
+        } else {
+            assert_eq!(
+                m.try_lock().map(|_| ()).unwrap_err(),
+                TryLockError::Unsupported,
+                "{}: non-trylock algorithm must report Unsupported",
+                entry.key
+            );
+            // The blocking path must be unaffected.
+            drop(m.lock());
+        }
+    }
+}
+
+#[test]
+fn guard_drop_releases_on_panic() {
+    for entry in catalog::ENTRIES {
+        let m = dyn_mutex_for(entry);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut g = m.lock();
+            *g = 7;
+            panic!("inside critical section");
+        }));
+        assert!(r.is_err());
+        // The guard released during unwinding; the lock is usable.
+        assert_eq!(*m.lock(), 7, "{}", entry.key);
+    }
+}
+
+#[test]
+fn dyn_handles_report_the_entry_meta() {
+    for entry in catalog::ENTRIES {
+        let lock = (entry.make)();
+        assert_eq!(lock.meta(), entry.meta, "{}", entry.key);
+        let m = dyn_mutex_for(entry);
+        assert_eq!(m.meta(), entry.meta, "{}", entry.key);
+    }
+}
+
+macro_rules! static_meta_checks {
+    ($(($key:literal, [$($alias:literal),*], $ty:ty, $cap:ident)),+ $(,)?) => {
+        /// The catalog's meta is byte-for-byte the static type's `META`,
+        /// and the declared body size is the measured body size.
+        #[test]
+        fn catalog_meta_matches_static_counterparts() {
+            $(
+                let entry = catalog::find($key)
+                    .unwrap_or_else(|| panic!("catalog lost key {}", $key));
+                assert_eq!(entry.meta, <$ty as RawLock>::META, "{}", $key);
+                // Declared body words = measured size, rounded up to whole
+                // words (TAS/TTAS bodies are a single byte).
+                assert_eq!(
+                    entry.meta.lock_words,
+                    core::mem::size_of::<$ty>().div_ceil(core::mem::size_of::<usize>()),
+                    "{}: LockMeta.lock_words disagrees with size_of",
+                    $key
+                );
+                $(
+                    assert_eq!(
+                        catalog::find($alias).map(|e| e.key),
+                        Some($key),
+                        "alias {} must resolve to {}", $alias, $key
+                    );
+                )*
+            )+
+        }
+    };
+}
+hemlock_locks::for_each_lock!(static_meta_checks);

@@ -40,7 +40,11 @@ where
         h.join().unwrap();
     }
     for i in 0..WAITERS {
-        assert_eq!(slots[i].load(Ordering::Acquire), i, "waiter {i} out of order");
+        assert_eq!(
+            slots[i].load(Ordering::Acquire),
+            i,
+            "waiter {i} out of order"
+        );
     }
 }
 
@@ -63,11 +67,17 @@ macro_rules! fifo_test_tail {
 
 fifo_test_tail!(hemlock_is_fifo, hemlock_core::hemlock::Hemlock);
 fifo_test_tail!(hemlock_naive_is_fifo, hemlock_core::hemlock::HemlockNaive);
-fifo_test_tail!(hemlock_overlap_is_fifo, hemlock_core::hemlock::HemlockOverlap);
+fifo_test_tail!(
+    hemlock_overlap_is_fifo,
+    hemlock_core::hemlock::HemlockOverlap
+);
 fifo_test_tail!(hemlock_ah_is_fifo, hemlock_core::hemlock::HemlockAh);
 fifo_test_tail!(hemlock_v1_is_fifo, hemlock_core::hemlock::HemlockV1);
 fifo_test_tail!(hemlock_v2_is_fifo, hemlock_core::hemlock::HemlockV2);
-fifo_test_tail!(hemlock_parking_is_fifo, hemlock_core::hemlock::HemlockParking);
+fifo_test_tail!(
+    hemlock_parking_is_fifo,
+    hemlock_core::hemlock::HemlockParking
+);
 fifo_test_tail!(hemlock_chain_is_fifo, hemlock_core::hemlock::HemlockChain);
 fifo_test_tail!(mcs_is_fifo, hemlock_locks::McsLock);
 fifo_test_tail!(clh_is_fifo, hemlock_locks::ClhLock);

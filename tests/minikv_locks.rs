@@ -49,16 +49,31 @@ fn workload<L: RawLock + 'static>() {
 
     // Quiesced correctness sweep.
     for i in 0..1_000u64 {
-        assert_eq!(db.get(&key_for(i)), Some(b"overwritten".to_vec()), "{}", L::NAME);
+        assert_eq!(
+            db.get(&key_for(i)),
+            Some(b"overwritten".to_vec()),
+            "{}",
+            L::META.name
+        );
     }
     for i in 1_000..1_500u64 {
-        assert_eq!(db.get(&key_for(i)), Some(value_for(i, 64)), "{}", L::NAME);
+        assert_eq!(
+            db.get(&key_for(i)),
+            Some(value_for(i, 64)),
+            "{}",
+            L::META.name
+        );
     }
     for i in 1_500..1_750u64 {
-        assert_eq!(db.get(&key_for(i)), None, "{}", L::NAME);
+        assert_eq!(db.get(&key_for(i)), None, "{}", L::META.name);
     }
     for i in 1_750..2_000u64 {
-        assert_eq!(db.get(&key_for(i)), Some(value_for(i, 64)), "{}", L::NAME);
+        assert_eq!(
+            db.get(&key_for(i)),
+            Some(value_for(i, 64)),
+            "{}",
+            L::META.name
+        );
     }
 }
 

@@ -15,7 +15,11 @@ fn assert_clean<A: LockAlgorithm + Clone>(world: World<A>, locks: usize, label: 
         },
     );
     assert!(report.clean(), "{label}: {:?}", report.violations);
-    assert!(report.exhaustive, "{label}: state cap hit at {}", report.states);
+    assert!(
+        report.exhaustive,
+        "{label}: state cap hit at {}",
+        report.states
+    );
     assert!(report.terminal_states >= 1, "{label}: no terminal state");
 }
 

@@ -8,7 +8,7 @@
 
 use hemlock_model::{check_progress, explore, ExploreConfig};
 use hemlock_simlock::algos::{HemlockFlavor, HemlockSim};
-use hemlock_simlock::{Action, LockAlgorithm, Program, World};
+use hemlock_simlock::{Action, Program, World};
 
 fn assert_clean(world: World<HemlockSim>, locks: usize, label: &str) {
     let report = explore(
@@ -20,7 +20,11 @@ fn assert_clean(world: World<HemlockSim>, locks: usize, label: &str) {
         },
     );
     assert!(report.clean(), "{label}: {:?}", report.violations);
-    assert!(report.exhaustive, "{label}: cap hit at {} states", report.states);
+    assert!(
+        report.exhaustive,
+        "{label}: cap hit at {} states",
+        report.states
+    );
     assert!(report.terminal_states >= 1, "{label}");
 }
 

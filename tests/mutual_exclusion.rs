@@ -23,7 +23,7 @@ fn counter_torture<L: RawLock + 'static>(threads: usize, iters: u64) {
             });
         }
     });
-    assert_eq!(*m.lock(), threads as u64 * iters, "{}", L::NAME);
+    assert_eq!(*m.lock(), threads as u64 * iters, "{}", L::META.name);
 }
 
 fn overlap_detector<L: RawLock + 'static>(threads: usize, iters: u64) {
@@ -36,7 +36,11 @@ fn overlap_detector<L: RawLock + 'static>(threads: usize, iters: u64) {
             s.spawn(move || {
                 for _ in 0..iters {
                     l.lock();
-                    assert!(!in_cs.swap(true, Ordering::AcqRel), "{} overlap", L::NAME);
+                    assert!(
+                        !in_cs.swap(true, Ordering::AcqRel),
+                        "{} overlap",
+                        L::META.name
+                    );
                     std::hint::spin_loop();
                     in_cs.store(false, Ordering::Release);
                     // Safety: acquired above on this thread.

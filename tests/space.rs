@@ -29,11 +29,20 @@ fn baselines_are_two_words() {
 
 #[test]
 fn lock_words_constants_match_reality() {
-    assert_eq!(Hemlock::LOCK_WORDS * WORD, core::mem::size_of::<Hemlock>());
-    assert_eq!(McsLock::LOCK_WORDS * WORD, core::mem::size_of::<McsLock>());
-    assert_eq!(ClhLock::LOCK_WORDS * WORD, core::mem::size_of::<ClhLock>());
     assert_eq!(
-        TicketLock::LOCK_WORDS * WORD,
+        Hemlock::META.lock_words * WORD,
+        core::mem::size_of::<Hemlock>()
+    );
+    assert_eq!(
+        McsLock::META.lock_words * WORD,
+        core::mem::size_of::<McsLock>()
+    );
+    assert_eq!(
+        ClhLock::META.lock_words * WORD,
+        core::mem::size_of::<ClhLock>()
+    );
+    assert_eq!(
+        TicketLock::META.lock_words * WORD,
         core::mem::size_of::<TicketLock>()
     );
 }

@@ -4,7 +4,9 @@
 //! multiple locks to be held simultaneously and released in arbitrary
 //! order").
 
-use hemlock_core::hemlock::{Hemlock, HemlockAh, HemlockNaive, HemlockOverlap, HemlockV1, HemlockV2};
+use hemlock_core::hemlock::{
+    Hemlock, HemlockAh, HemlockNaive, HemlockOverlap, HemlockV1, HemlockV2,
+};
 use hemlock_core::raw::{RawLock, RawTryLock};
 use std::cell::UnsafeCell;
 use std::sync::Arc;
@@ -38,7 +40,9 @@ fn stress<L: RawLock + RawTryLock + 'static>() {
             s.spawn(move || {
                 let mut state = (t as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15);
                 let mut rng = move || {
-                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
                     state >> 11
                 };
                 for _ in 0..ITERS {

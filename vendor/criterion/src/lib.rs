@@ -1,0 +1,244 @@
+//! Minimal offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmarking crate.
+//!
+//! Supports the subset this workspace's benches use: `Criterion::default()`
+//! with `sample_size`/`warm_up_time`/`measurement_time`, `bench_function`,
+//! `benchmark_group(..).bench_function(..)`, [`black_box`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros. Each benchmark runs a
+//! warm-up, then `sample_size` timed samples, and prints min/mean/max
+//! ns/iter to stdout. Statistical analysis, plots, and baseline comparison
+//! are not implemented.
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a computed value.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark driver (shim for `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Respect the benchmark-name filter cargo bench forwards as the
+        // first free argument (`cargo bench -- <filter>`), and ignore the
+        // flags the harness=false protocol passes (--bench, --test, etc.).
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'))
+            .filter(|a| !a.is_empty());
+        Self {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(200),
+            measurement_time: Duration::from_millis(700),
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Untimed warm-up interval before sampling.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Total timed interval, split across samples.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.run(id.to_string(), f);
+        self
+    }
+
+    /// Starts a named group; member benchmarks report as `group/name`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: String, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            mode: Mode::WarmUp {
+                until: self.warm_up_time,
+            },
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b); // calibrating warm-up: grows iters until warm_up_time is spent
+        let per_sample = self.measurement_time / self.sample_size as u32;
+        let iters_per_sample = b.iters_for(per_sample).max(1);
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            b.mode = Mode::Fixed {
+                iters: iters_per_sample,
+            };
+            f(&mut b);
+            samples_ns.push(b.elapsed.as_nanos() as f64 / iters_per_sample as f64);
+        }
+        let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+        let min = samples_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples_ns.iter().cloned().fold(0.0, f64::max);
+        println!(
+            "{id:<40} time: [{min:>10.1} ns {mean:>10.1} ns {max:>10.1} ns]  ({} samples x {iters_per_sample} iters)",
+            samples_ns.len()
+        );
+    }
+}
+
+/// A named benchmark group (shim for `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run(full, f);
+        self
+    }
+
+    /// Ends the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+enum Mode {
+    WarmUp { until: Duration },
+    Fixed { iters: u64 },
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    mode: Mode,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match self.mode {
+            Mode::WarmUp { until } => {
+                // Double the batch size until one batch exceeds the warm-up
+                // budget; leaves a calibrated per-iteration estimate behind.
+                let start = Instant::now();
+                let mut iters = 1u64;
+                loop {
+                    let batch = Instant::now();
+                    for _ in 0..iters {
+                        black_box(routine());
+                    }
+                    let batch_elapsed = batch.elapsed();
+                    self.iters = iters;
+                    self.elapsed = batch_elapsed;
+                    if start.elapsed() >= until {
+                        break;
+                    }
+                    iters = iters.saturating_mul(2);
+                }
+            }
+            Mode::Fixed { iters } => {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(routine());
+                }
+                self.elapsed = start.elapsed();
+                self.iters = iters;
+            }
+        }
+    }
+
+    /// Estimated iterations fitting in `budget`, from the warm-up calibration.
+    fn iters_for(&self, budget: Duration) -> u64 {
+        if self.elapsed.is_zero() || self.iters == 0 {
+            return 1;
+        }
+        let per_iter = self.elapsed.as_secs_f64() / self.iters as f64;
+        if per_iter <= 0.0 {
+            return 1;
+        }
+        (budget.as_secs_f64() / per_iter).max(1.0) as u64
+    }
+}
+
+/// Declares a benchmark group, mirroring criterion's two accepted forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generates `fn main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_prints() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(15));
+        let mut count = 0u64;
+        c.bench_function("counting", |b| b.iter(|| count += 1));
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn group_prefixes_names() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(2))
+            .measurement_time(Duration::from_millis(6));
+        c.benchmark_group("g")
+            .bench_function("x", |b| b.iter(|| black_box(1 + 1)));
+    }
+}
