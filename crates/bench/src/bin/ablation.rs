@@ -78,7 +78,7 @@ fn main() {
     let runs = args.get("runs", if quick { 1 } else { 3 });
     let sim_threads = args.get("sim-threads", 12usize);
 
-    println!("# Hemlock family ablation ({threads} threads, {runs} run(s) x {duration:?})");
+    eprintln!("# Hemlock family ablation ({threads} threads, {runs} run(s) x {duration:?})");
     let mut t = Table::new(vec![
         "Variant",
         "Uncontended ns/pair",
@@ -121,6 +121,6 @@ fn main() {
         }
     );
     println!();
-    println!("# Paper expectations: AH best contended throughput when lifecycle permits;");
-    println!("# CTR variants lose to Hemlock- under multi-waiting (§5.6).");
+    eprintln!("# Paper expectations: AH best contended throughput when lifecycle permits;");
+    eprintln!("# CTR variants lose to Hemlock- under multi-waiting (§5.6).");
 }

@@ -1,0 +1,112 @@
+//! `bench_ci`: normalize bench outputs into one trajectory artifact and
+//! gate against the committed baseline.
+//!
+//! CI pipes each bench binary's machine-readable stdout to a file, then
+//! runs:
+//!
+//! ```text
+//! bench_ci --fig2 fig2.csv --shardkv shardkv.json --table1 table1.csv \
+//!          --out BENCH_ci.json --baseline BENCH_baseline.json
+//! ```
+//!
+//! All inputs are optional — whatever is given is normalized into `--out`
+//! as `{bench, lock, threads, ops_per_sec[, space_bytes]}` records (the
+//! schema in [`hemlock_bench::ci`]). With `--baseline`, the run fails
+//! (exit 1) when any baseline throughput record regresses more than
+//! `--tolerance` (default 0.30) or any lock's measured body grows.
+//! Regenerate the baseline by running the same benches and passing
+//! `--out BENCH_baseline.json` with no `--baseline`.
+
+use hemlock_bench::ci::{self, Record};
+use hemlock_harness::Spec;
+
+fn read(path: &str, what: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read {what} file {path:?}: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn or_exit<T>(r: Result<T, String>) -> T {
+    r.unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let args = Spec::new(
+        "bench_ci",
+        "Normalize bench outputs into BENCH_ci.json and gate vs a baseline",
+    )
+    .value("fig2", "fig2 --quick --csv output (series CSV)")
+    .value("fig3", "fig3 --quick --csv output (series CSV)")
+    .value("fig8", "fig8 --quick --csv output (series CSV)")
+    .value(
+        "shardkv",
+        "shardkv --quick --json output (normalized records)",
+    )
+    .value("table1", "table1 --csv output (space table)")
+    .value(
+        "out",
+        "where to write the normalized artifact (default BENCH_ci.json)",
+    )
+    .value(
+        "baseline",
+        "baseline artifact to gate against (omit to skip the gate)",
+    )
+    .value(
+        "tolerance",
+        "allowed fractional throughput drop (default 0.30)",
+    )
+    .parse_env();
+
+    let mut records: Vec<Record> = Vec::new();
+    for (opt, bench) in [
+        ("fig2", "fig2.max"),
+        ("fig3", "fig3.mod"),
+        ("fig8", "fig8.kv"),
+    ] {
+        if let Some(path) = Some(args.get_str(opt, "")).filter(|p| !p.is_empty()) {
+            records.extend(or_exit(ci::parse_series_csv(bench, &read(&path, opt))));
+        }
+    }
+    if let Some(path) = Some(args.get_str("shardkv", "")).filter(|p| !p.is_empty()) {
+        records.extend(or_exit(ci::parse_json(&read(&path, "shardkv"))));
+    }
+    if let Some(path) = Some(args.get_str("table1", "")).filter(|p| !p.is_empty()) {
+        records.extend(or_exit(ci::parse_table1_csv(&read(&path, "table1"))));
+    }
+    if records.is_empty() {
+        eprintln!("error: no inputs given (pass --fig2/--fig3/--fig8/--shardkv/--table1)");
+        std::process::exit(2);
+    }
+
+    let out = args.get_str("out", "BENCH_ci.json");
+    if let Err(e) = std::fs::write(&out, ci::to_json(&records)) {
+        eprintln!("error: cannot write {out:?}: {e}");
+        std::process::exit(2);
+    }
+    eprintln!("# bench_ci: wrote {} record(s) to {out}", records.len());
+
+    let baseline_path = args.get_str("baseline", "");
+    if baseline_path.is_empty() {
+        return;
+    }
+    let tolerance: f64 = args.get("tolerance", 0.30);
+    let baseline = or_exit(ci::parse_json(&read(&baseline_path, "baseline")));
+    let failures = ci::gate(&records, &baseline, tolerance);
+    if failures.is_empty() {
+        eprintln!(
+            "# bench_ci: gate PASSED against {baseline_path} ({} baseline record(s), tolerance {:.0}%)",
+            baseline.len(),
+            tolerance * 100.0
+        );
+    } else {
+        eprintln!("# bench_ci: gate FAILED against {baseline_path}:");
+        for f in &failures {
+            eprintln!("#   {f}");
+        }
+        std::process::exit(1);
+    }
+}

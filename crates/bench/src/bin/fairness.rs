@@ -50,8 +50,8 @@ fn main() {
     let threads = args.get("threads", 2 * hw);
     let duration = args.duration("secs", if quick { 0.15 } else { 1.0 });
 
-    println!("# Fairness under sustained contention ({threads} threads, {duration:?})");
-    println!("# Jain index: 1.0 = perfectly fair; 1/{threads} = one thread monopolizes.");
+    eprintln!("# Fairness under sustained contention ({threads} threads, {duration:?})");
+    eprintln!("# Jain index: 1.0 = perfectly fair; 1/{threads} = one thread monopolizes.");
     let mut t = Table::new(vec![
         "Lock",
         "FIFO",

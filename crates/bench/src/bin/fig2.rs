@@ -13,7 +13,7 @@ fn main() {
     let args = figure_spec("fig2", "Figure 2: MutexBench, maximum contention").parse_env();
     let locks = locks_from_args(&args, FIGURE_LOCKS);
     let sweep = Sweep::from_args(&args);
-    println!(
+    eprintln!(
         "# Figure 2 reproduction: MutexBench, maximum contention ({} run(s) x {:?} per point)",
         sweep.runs, sweep.duration
     );

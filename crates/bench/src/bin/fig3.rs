@@ -13,7 +13,7 @@ fn main() {
     let args = figure_spec("fig3", "Figure 3: MutexBench, moderate contention").parse_env();
     let locks = locks_from_args(&args, FIGURE_LOCKS);
     let sweep = Sweep::from_args(&args);
-    println!(
+    eprintln!(
         "# Figure 3 reproduction: MutexBench, moderate contention ({} run(s) x {:?} per point)",
         sweep.runs, sweep.duration
     );

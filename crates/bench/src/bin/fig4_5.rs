@@ -39,7 +39,7 @@ fn main() {
     // a coherence-simulator stand-in.
     let sim_threads = args.get("sim-threads", 12usize);
     let rounds = args.get("rounds", if args.has("quick") { 30u32 } else { 100 });
-    println!("# Coherence-protocol sensitivity (simulated, {sim_threads} cores):");
+    eprintln!("# Coherence-protocol sensitivity (simulated, {sim_threads} cores):");
     let mut t = Table::new(vec![
         "Lock",
         "OffCore/pair MESIF",
@@ -49,7 +49,7 @@ fn main() {
     ]);
     for entry in &locks {
         let Some(algo) = sim_algo_for(entry) else {
-            println!(
+            eprintln!(
                 "# (no coherence model for {}; skipped in the table below)",
                 entry.key
             );
@@ -66,7 +66,7 @@ fn main() {
         ]);
     }
     print!("{}", if sweep.csv { t.to_csv() } else { t.render() });
-    println!(
+    eprintln!(
         "# Expectation: offcore orderings agree across protocols; MOESI's O state \
          eliminates the dirty writebacks (\"more graceful handling of write sharing\", §5.2)."
     );

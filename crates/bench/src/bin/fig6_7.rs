@@ -52,6 +52,6 @@ fn main() {
         let agree = (0..points)
             .filter(|&p| ranking(&run_a, p)[0] == ranking(&run_b, p)[0])
             .count();
-        println!("# Concurrence: top-ranked lock agrees at {agree}/{points} sweep points\n");
+        eprintln!("# Concurrence: top-ranked lock agrees at {agree}/{points} sweep points\n");
     }
 }

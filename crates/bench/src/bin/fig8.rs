@@ -51,7 +51,7 @@ fn main() {
     substitution_note(
         "LevelDB 1.20 → hemlock-minikv (memtable + immutable runs behind one central mutex)",
     );
-    println!(
+    eprintln!(
         "# Figure 8 reproduction: readrandom over {entries} fillseq entries, \
          {} run(s) x {:?} per point",
         sweep.runs, sweep.duration

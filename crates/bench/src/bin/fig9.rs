@@ -45,12 +45,12 @@ fn main() {
     let selected = locks_from_args(&args, FIGURE_LOCKS);
     let sweep = Sweep::from_args(&args);
     let locks = args.get("locks", 10usize);
-    println!(
+    eprintln!(
         "# Figure 9 reproduction: multi-waiting, {locks} locks, leader steps only \
          ({} run(s) x {:?} per point)",
         sweep.runs, sweep.duration
     );
-    println!(
+    eprintln!(
         "# Worst-case waiters on one word: CLH/MCS 1, Ticket T-1, Hemlock min(T-1, {})",
         locks - 1
     );

@@ -27,7 +27,7 @@ fn main() {
     let duration = args.duration("secs", if quick { 0.1 } else { 1.0 });
     let sim_threads = args.get("sim-threads", 8usize);
 
-    println!(
+    eprintln!(
         "# §5.5 reproduction: token ring, {threads} threads (real) / {sim_threads} (simulated)"
     );
     let mut t = Table::new(vec![
@@ -60,14 +60,14 @@ fn main() {
         }
     );
     println!();
-    println!(
+    eprintln!(
         "# Expectation: CAS/SWAP/FAA beat Load on offcore/hop (and on rate, on big machines)."
     );
 
     // Lock-mediated ring: the same circulation pattern with each hop handed
     // over through a runtime-selected lock (the dynamic layer's DynMutex).
     println!();
-    println!("# Lock-mediated ring (token behind a catalog lock, {threads} threads):");
+    eprintln!("# Lock-mediated ring (token behind a catalog lock, {threads} threads):");
     let mut lt = Table::new(vec!["Lock", "Circulations/s"]);
     for entry in &locks {
         let rate = median_of(runs, || {

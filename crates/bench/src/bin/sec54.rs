@@ -57,7 +57,7 @@ fn main() {
     let threads = args.get("threads", 4usize);
     let duration = args.duration("secs", if quick { 0.2 } else { 2.0 });
 
-    println!("# §5.4 reproduction: instrumented lock censuses under the KV workload");
+    eprintln!("# §5.4 reproduction: instrumented lock censuses under the KV workload");
     for entry in &locks {
         let instrumented = entry.key == "hemlock.instr";
         let before_read: fn() = if instrumented {
@@ -75,7 +75,7 @@ fn main() {
             },
         )
         .expect("catalog entry key always dispatches");
-        println!(
+        eprintln!(
             "# [{}] {} reads across {threads} threads in {:?} ({:.0} ops/s)",
             entry.meta.name,
             result.ops,
@@ -83,7 +83,7 @@ fn main() {
             result.ops_per_sec()
         );
         if !instrumented {
-            println!(
+            eprintln!(
                 "# (no census: {} is not the instrumented build)",
                 entry.meta.name
             );
@@ -93,18 +93,18 @@ fn main() {
         println!("{report}");
         println!();
         if report.max_grant_waiters <= 1 {
-            println!(
+            eprintln!(
                 "# => purely local spinning (max Grant waiters = {}), matching §5.4",
                 report.max_grant_waiters
             );
         } else {
-            println!(
+            eprintln!(
                 "# => multi-waiting observed (max Grant waiters = {})",
                 report.max_grant_waiters
             );
         }
     }
-    println!(
+    eprintln!(
         "# Paper (LevelDB, 64 threads, 50 s): 24 lock-while-holding calls (startup only), \
          max 2 locks held, max 1 Grant waiter."
     );

@@ -1,0 +1,246 @@
+//! `shardkv`: throughput scaling of the sharded lock table.
+//!
+//! The experiment the paper's Table 1 implies but never runs: if a lock
+//! costs one word, you can afford *many* — so stripe a keyed store over
+//! `--shards` locks and watch aggregate throughput climb with `--threads`
+//! while the lock-space bill (from [`LockMeta`]) stays tiny. Sweeps
+//! shard counts × thread counts for every `--lock` from the catalog
+//! (default: the shard-friendly compact subset), reporting ops/sec, the
+//! contended-acquisition fraction from the per-shard census, and the
+//! quiescent lock footprint.
+//!
+//! Output: aligned table (default), `--csv`, or `--json` (normalized
+//! bench-trajectory records, the format `bench_ci` consumes). Banners and
+//! progress go to stderr so stdout stays machine-readable.
+
+use hemlock_bench::ci::{self, Record};
+use hemlock_bench::{locks_from_args, Sweep};
+use hemlock_core::meta::LockMeta;
+use hemlock_core::pad::CachePadded;
+use hemlock_core::raw::RawLock;
+use hemlock_harness::{fmt_f64, Spec, Table};
+use hemlock_locks::catalog::{self, CatalogEntry, LockVisitor};
+use hemlock_shard::ShardedTable;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+#[derive(Clone, Copy)]
+struct Workload {
+    shards: usize,
+    threads: usize,
+    read_pct: u64,
+    keys: u64,
+    duration: Duration,
+}
+
+/// One timed run: returns (ops/sec, contended fraction).
+fn run_once<L: RawLock>(w: Workload) -> (f64, f64) {
+    let table: ShardedTable<u64, u64, L> = ShardedTable::with_shards(w.shards);
+    for k in 0..w.keys {
+        table.insert(k, k);
+    }
+    table.reset_stats(); // census the measured interval only
+    let stop = AtomicBool::new(false);
+    let counters: Vec<CachePadded<AtomicU64>> = (0..w.threads)
+        .map(|_| CachePadded::new(AtomicU64::new(0)))
+        .collect();
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for (t, ops) in counters.iter().enumerate() {
+            let table = &table;
+            let stop = &stop;
+            s.spawn(move || {
+                let mut state = 0x243F6A8885A308D3u64.wrapping_mul(t as u64 + 1);
+                let mut local = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let r = splitmix64(&mut state);
+                    let key = r % w.keys;
+                    if (r >> 32) % 100 < w.read_pct {
+                        std::hint::black_box(table.get(&key));
+                    } else {
+                        table.insert(key, r);
+                    }
+                    local += 1;
+                }
+                ops.store(local, Ordering::Relaxed);
+            });
+        }
+        std::thread::sleep(w.duration);
+        stop.store(true, Ordering::Relaxed);
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    let total: u64 = counters.iter().map(|c| c.load(Ordering::Relaxed)).sum();
+    (total as f64 / elapsed, table.stats().contended_fraction())
+}
+
+/// Median-ops run of `runs` attempts (keeping that run's census).
+fn run_median<L: RawLock>(w: Workload, runs: usize) -> (f64, f64) {
+    let mut results: Vec<(f64, f64)> = (0..runs.max(1)).map(|_| run_once::<L>(w)).collect();
+    results.sort_by(|a, b| a.0.total_cmp(&b.0));
+    results[results.len() / 2]
+}
+
+struct Row {
+    meta: LockMeta,
+    shards: usize,
+    threads: usize,
+    ops_per_sec: f64,
+    contended: f64,
+}
+
+struct ShardSweep<'a> {
+    sweep: &'a Sweep,
+    shards: usize,
+    read_pct: u64,
+    keys: u64,
+}
+
+impl LockVisitor for ShardSweep<'_> {
+    type Output = Vec<Row>;
+    fn visit<L: RawLock + 'static>(self, entry: &'static CatalogEntry) -> Vec<Row> {
+        self.sweep
+            .threads
+            .iter()
+            .map(|&threads| {
+                let (ops_per_sec, contended) = run_median::<L>(
+                    Workload {
+                        shards: self.shards,
+                        threads,
+                        read_pct: self.read_pct,
+                        keys: self.keys,
+                        duration: self.sweep.duration,
+                    },
+                    self.sweep.runs,
+                );
+                eprintln!(
+                    "# shardkv {} shards={} threads={}: {:.2} Mops/s ({:.1}% contended)",
+                    entry.meta.name,
+                    self.shards,
+                    threads,
+                    ops_per_sec / 1e6,
+                    100.0 * contended
+                );
+                Row {
+                    meta: entry.meta,
+                    shards: self.shards,
+                    threads,
+                    ops_per_sec,
+                    contended,
+                }
+            })
+            .collect()
+    }
+}
+
+fn main() {
+    let spec = Spec::new("shardkv", "Sharded lock-table scaling (hemlock-shard)")
+        .sweep()
+        .value("shards", "comma-separated shard counts to sweep")
+        .value(
+            "threads",
+            "comma-separated thread counts (default: the standard sweep)",
+        )
+        .value(
+            "read-pct",
+            "percentage of operations that are reads (default 90)",
+        )
+        .value("keys", "distinct keys in the working set")
+        .flag("json", "emit normalized bench-trajectory JSON records");
+    let args = spec.parse_env();
+
+    let default_locks: String = catalog::shard_friendly()
+        .iter()
+        .map(|e| e.key)
+        .collect::<Vec<_>>()
+        .join(",");
+    let locks = locks_from_args(&args, &default_locks);
+    let mut sweep = Sweep::from_args(&args);
+    let quick = args.has("quick");
+    let or_exit = |r: Result<Vec<usize>, String>| {
+        r.unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        })
+    };
+    let shard_counts = or_exit(args.get_list(
+        "shards",
+        if quick {
+            &[4, 64][..]
+        } else {
+            &[1, 4, 16, 64, 256][..]
+        },
+    ));
+    sweep.threads = or_exit(args.get_list("threads", &sweep.threads));
+    let read_pct: u64 = args.get("read-pct", 90);
+    if read_pct > 100 {
+        eprintln!("error: --read-pct must be 0..=100, got {read_pct}");
+        std::process::exit(2);
+    }
+    let keys: u64 = args.get("keys", if quick { 4_096 } else { 65_536 });
+    let json = args.has("json");
+
+    eprintln!(
+        "# shardkv: {} key(s), {read_pct}% reads, {} run(s) x {:?} per point",
+        keys, sweep.runs, sweep.duration
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    for entry in &locks {
+        for &shards in &shard_counts {
+            let visited = catalog::with_lock_type(
+                entry.key,
+                ShardSweep {
+                    sweep: &sweep,
+                    shards,
+                    read_pct,
+                    keys,
+                },
+            )
+            .expect("catalog entry key always dispatches");
+            rows.extend(visited);
+        }
+    }
+
+    if json {
+        let records: Vec<Record> = rows
+            .iter()
+            .map(|r| Record {
+                bench: format!("shardkv.s{}", r.shards),
+                lock: r.meta.name.to_string(),
+                threads: r.threads,
+                ops_per_sec: r.ops_per_sec,
+                space_bytes: Some(r.meta.footprint_bytes(r.shards, r.threads) as u64),
+            })
+            .collect();
+        print!("{}", ci::to_json(&records));
+        return;
+    }
+
+    let mut t = Table::new(vec![
+        "Lock",
+        "Shards",
+        "Threads",
+        "Mops/s",
+        "Contended%",
+        "LockSpace(B)",
+    ]);
+    for r in &rows {
+        t.row(vec![
+            r.meta.name.to_string(),
+            r.shards.to_string(),
+            r.threads.to_string(),
+            fmt_f64(r.ops_per_sec / 1e6, 3),
+            fmt_f64(100.0 * r.contended, 1),
+            r.meta.footprint_bytes(r.shards, r.threads).to_string(),
+        ]);
+    }
+    print!("{}", if sweep.csv { t.to_csv() } else { t.render() });
+}

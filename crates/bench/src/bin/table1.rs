@@ -39,8 +39,8 @@ fn main() {
         .parse_env();
     let locks = hemlock_bench::locks_from_args(&args, hemlock_bench::FIGURE_LOCKS);
 
-    println!("# Table 1 reproduction: space usage (from the catalog's LockMeta descriptors)");
-    println!(
+    eprintln!("# Table 1 reproduction: space usage (from the catalog's LockMeta descriptors)");
+    eprintln!(
         "# E = padded queue element = {CACHE_LINE} bytes ({} words)",
         CACHE_LINE / WORD
     );
@@ -91,17 +91,17 @@ fn main() {
             + 3 * (mcs.meta.held_elements.max(mcs.meta.wait_elements)) * CACHE_LINE;
         let hemlock_total = hemlock.meta.lock_bytes() + 3 * hemlock.meta.thread_words * CACHE_LINE;
         println!();
-        println!("# Worked example from §2.3: lock L owned by T1 with T2, T3 waiting:");
-        println!(
+        eprintln!("# Worked example from §2.3: lock L owned by T1 with T2, T3 waiting:");
+        eprintln!(
             "#   MCS:     {} byte body + 3*E = {mcs_total} bytes",
             mcs.meta.lock_bytes()
         );
-        println!(
+        eprintln!(
             "#   Hemlock: {} byte body + 3 padded thread Grant words = {hemlock_total} bytes \
              (Grant is per-THREAD, amortized over all locks; the marginal cost of this lock is {} bytes)",
             hemlock.meta.lock_bytes(),
             hemlock.meta.lock_bytes()
         );
     }
-    println!("# Cache line: {CACHE_LINE} bytes");
+    eprintln!("# Cache line: {CACHE_LINE} bytes");
 }

@@ -64,9 +64,9 @@ fn main() {
     let runs = args.get("runs", if quick { 1 } else { 3 });
     let rounds = args.get("rounds", if quick { 30u32 } else { 200 });
 
-    println!("# Table 2 reproduction: CTR impact on offcore access rates");
-    println!("# Rate: real MutexBench, {threads} threads, empty CS/NCS, median of {runs}.");
-    println!("# OffCore: MESIF coherence simulation, {sim_threads} simulated cores.");
+    eprintln!("# Table 2 reproduction: CTR impact on offcore access rates");
+    eprintln!("# Rate: real MutexBench, {threads} threads, empty CS/NCS, median of {runs}.");
+    eprintln!("# OffCore: MESIF coherence simulation, {sim_threads} simulated cores.");
 
     let mut t = Table::new(vec!["Lock", "Rate (M pairs/s)", "OffCore/pair (sim)"]);
     for entry in &locks {
@@ -98,6 +98,6 @@ fn main() {
         }
     );
     println!();
-    println!("# Paper (X5-2, 32 threads): MCS 3.81/10.6  CLH 3.82/11.1  Ticket 2.66/45.9");
-    println!("#                           Hemlock 4.48/6.81  Hemlock w/o CTR 3.62/7.92");
+    eprintln!("# Paper (X5-2, 32 threads): MCS 3.81/10.6  CLH 3.82/11.1  Ticket 2.66/45.9");
+    eprintln!("#                           Hemlock 4.48/6.81  Hemlock w/o CTR 3.62/7.92");
 }

@@ -30,6 +30,8 @@
 
 #![warn(missing_docs)]
 
+pub mod ci;
+
 use hemlock_coherence::Table2Algo;
 use hemlock_core::raw::RawLock;
 use hemlock_harness::{
@@ -194,8 +196,8 @@ pub fn print_series(
     csv: bool,
     unit: &str,
 ) {
-    println!("# {title}");
-    println!("# unit: {unit}");
+    eprintln!("# {title}");
+    eprintln!("# unit: {unit}");
     let mut headers = vec!["Threads".to_string()];
     headers.extend(series.iter().map(|(n, _)| n.to_string()));
     let mut table = Table::new(headers);
@@ -211,8 +213,8 @@ pub fn print_series(
 /// Notes printed by binaries whose paper counterpart ran on hardware this
 /// container does not have.
 pub fn substitution_note(what: &str) {
-    println!("# SUBSTITUTION: {what}");
-    println!("# See DESIGN.md §3 for why the substitution preserves the paper's claim.");
+    eprintln!("# SUBSTITUTION: {what}");
+    eprintln!("# See DESIGN.md §3 for why the substitution preserves the paper's claim.");
 }
 
 #[cfg(test)]

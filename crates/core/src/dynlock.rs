@@ -56,6 +56,12 @@ pub unsafe trait DynLock: Send + Sync {
     /// The calling thread must hold the lock and must be the thread that
     /// acquired it, exactly as for [`RawLock::unlock`].
     unsafe fn unlock(&self);
+
+    /// Best-effort engagement probe, as [`RawLock::is_locked_hint`]:
+    /// statistics only, never correctness.
+    fn is_locked_hint(&self) -> Option<bool> {
+        None
+    }
 }
 
 /// Why a [`DynMutex::try_lock`] attempt yielded no guard.
@@ -110,6 +116,9 @@ unsafe impl<L: RawLock> DynLock for DynAdapter<L> {
     unsafe fn unlock(&self) {
         self.0.unlock();
     }
+    fn is_locked_hint(&self) -> Option<bool> {
+        self.0.is_locked_hint()
+    }
 }
 
 /// Adapter giving a [`RawTryLock`] a [`DynLock`] vtable with a real
@@ -137,6 +146,9 @@ unsafe impl<L: RawTryLock> DynLock for DynTryAdapter<L> {
     }
     unsafe fn unlock(&self) {
         self.0.unlock();
+    }
+    fn is_locked_hint(&self) -> Option<bool> {
+        self.0.is_locked_hint()
     }
 }
 

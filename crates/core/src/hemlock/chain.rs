@@ -146,6 +146,11 @@ unsafe impl RawLock for HemlockChain {
         m
     };
 
+    fn is_locked_hint(&self) -> Option<bool> {
+        // Tail is null exactly when the lock is unheld with no queue.
+        Some(self.tail_word() != 0)
+    }
+
     fn lock(&self) {
         with_self(|me| {
             let pred = self.tail.swap(me.addr(), Ordering::AcqRel);

@@ -157,6 +157,11 @@ unsafe impl RawLock for Hemlock {
     unsafe fn unlock(&self) {
         with_self(|me| self.unlock_with(me))
     }
+
+    fn is_locked_hint(&self) -> Option<bool> {
+        // Tail is null exactly when the lock is unheld with no queue.
+        Some(self.tail_word() != 0)
+    }
 }
 
 unsafe impl RawTryLock for Hemlock {

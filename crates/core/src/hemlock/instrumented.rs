@@ -225,6 +225,11 @@ unsafe impl RawLock for HemlockInstrumented {
         });
         Self::note_released();
     }
+
+    fn is_locked_hint(&self) -> Option<bool> {
+        // Tail is null exactly when the lock is unheld with no queue.
+        Some(self.tail_word() != 0)
+    }
 }
 
 unsafe impl RawTryLock for HemlockInstrumented {

@@ -123,6 +123,11 @@ unsafe impl RawLock for HemlockParking {
         m
     };
 
+    fn is_locked_hint(&self) -> Option<bool> {
+        // Tail is null exactly when the lock is unheld with no queue.
+        Some(self.tail_word() != 0)
+    }
+
     fn lock(&self) {
         with_self(|me| {
             debug_assert_eq!(me.grant.load(Ordering::Relaxed), 0);

@@ -83,6 +83,16 @@ impl LockMeta {
         self.lock_words * core::mem::size_of::<usize>()
     }
 
+    /// Quiescent footprint of a deployment with `locks` lock instances used
+    /// by `threads` threads: lock bodies plus padded per-thread state (each
+    /// thread word lives on its own cache line, as in the Grant registry).
+    /// Excludes per-*engagement* queue elements, which are transient — this
+    /// is the resting space cost Table 1 compares and the sharded-table
+    /// benchmark reports per shard count.
+    pub const fn footprint_bytes(&self, locks: usize, threads: usize) -> usize {
+        locks * self.lock_bytes() + threads * self.thread_words * crate::pad::CACHE_LINE
+    }
+
     /// Human-readable per-held-lock space, in Table 1's `E` notation.
     pub fn held_space(&self) -> String {
         element_notation(self.held_elements)
@@ -123,6 +133,21 @@ mod tests {
         assert!(m.fifo && m.try_lock);
         assert!(!m.parking);
         assert_eq!(m.lock_bytes(), core::mem::size_of::<usize>());
+    }
+
+    #[test]
+    fn footprint_scales_with_locks_and_threads() {
+        let hemlock = LockMeta::hemlock_family("H", "Listing 2");
+        let word = core::mem::size_of::<usize>();
+        // 1M one-word locks + 64 padded Grant words.
+        assert_eq!(
+            hemlock.footprint_bytes(1 << 20, 64),
+            (1 << 20) * word + 64 * crate::pad::CACHE_LINE
+        );
+        // A lock with no per-thread state pays only for bodies.
+        let mut mcs = LockMeta::base("M", "§4");
+        mcs.lock_words = 2;
+        assert_eq!(mcs.footprint_bytes(10, 1000), 10 * 2 * word);
     }
 
     #[test]

@@ -35,6 +35,15 @@ pub unsafe trait RawLock: Default + Send + Sync {
     /// thread that acquired it (queue locks store per-thread state; Hemlock
     /// hands ownership over through the caller's own `Grant` field).
     unsafe fn unlock(&self);
+
+    /// Best-effort probe: does the lock currently *appear* engaged (held or
+    /// queued on)? `None` when the algorithm cannot tell from its lock body
+    /// alone (e.g. CLH, whose tail always points at a node). The answer is
+    /// inherently racy — callers may use it only for statistics such as the
+    /// sharded-table contention census, never for correctness.
+    fn is_locked_hint(&self) -> Option<bool> {
+        None
+    }
 }
 
 /// Locks that additionally support a non-blocking acquisition attempt.

@@ -211,6 +211,28 @@ impl Args {
         }
     }
 
+    /// Comma-separated list value of `--name <v1,v2,…>` parsed as `T`s, or
+    /// `default`. `Err` names the malformed element.
+    pub fn get_list<T: std::str::FromStr + Clone>(
+        &self,
+        name: &str,
+        default: &[T],
+    ) -> Result<Vec<T>, String> {
+        let Some(raw) = self.values.get(name) else {
+            return Ok(default.to_vec());
+        };
+        raw.split(',')
+            .map(|tok| {
+                let tok = tok.trim();
+                tok.parse().map_err(|_| {
+                    format!(
+                        "invalid element {tok:?} in --{name} {raw:?} (expected a list like 1,4,16)"
+                    )
+                })
+            })
+            .collect()
+    }
+
     /// String value of `--name <v>`, or `default`.
     pub fn get_str(&self, name: &str, default: &str) -> String {
         self.values
@@ -317,6 +339,23 @@ mod tests {
             .unwrap_err()
             .contains("requires a value"));
         assert!(parse("--runs 1 --runs 2").unwrap_err().contains("twice"));
+    }
+
+    #[test]
+    fn get_list_parses_comma_separated_values() {
+        let spec = Spec::new("t", "x").value("shards", "x");
+        let a = spec
+            .parse(["--shards".to_string(), "1,4,16".to_string()])
+            .unwrap();
+        assert_eq!(a.get_list("shards", &[64usize]).unwrap(), vec![1, 4, 16]);
+        assert_eq!(a.get_list("missing", &[64usize]).unwrap(), vec![64]);
+        let bad = spec
+            .parse(["--shards".to_string(), "1,x".to_string()])
+            .unwrap();
+        assert!(bad
+            .get_list::<usize>("shards", &[])
+            .unwrap_err()
+            .contains("\"x\""));
     }
 
     #[test]

@@ -155,6 +155,19 @@ pub fn keys() -> Vec<&'static str> {
     ENTRIES.iter().map(|e| e.key).collect()
 }
 
+/// Entries suited to *many-instance* deployments such as sharded lock
+/// tables: compact bodies (≤ 2 words) and trivial construction, judged from
+/// each entry's [`LockMeta`]. This is the paper's headline trade-off — a
+/// one-word lock makes millions of instances affordable — so `shardkv` and
+/// `hemlock-shard` default to this subset (excluding CLH, whose per-lock
+/// dummy element costs a padded cache line, and Anderson's waiting array).
+pub fn shard_friendly() -> Vec<&'static CatalogEntry> {
+    ENTRIES
+        .iter()
+        .filter(|e| e.meta.lock_words <= 2 && !e.meta.nontrivial_init)
+        .collect()
+}
+
 /// Builds a runtime lock handle for `name`.
 pub fn dyn_lock(name: &str) -> Result<Box<dyn DynLock>, String> {
     let entry = find(name)
@@ -271,6 +284,40 @@ mod tests {
         assert_eq!(name, "MCS");
         assert_eq!(size, core::mem::size_of::<crate::McsLock>());
         assert!(with_lock_type("bogus", NameOf).is_none());
+    }
+
+    #[test]
+    fn shard_friendly_is_the_compact_subset() {
+        let friendly = shard_friendly();
+        assert!(friendly.iter().any(|e| e.key == "hemlock"));
+        assert!(friendly.iter().any(|e| e.key == "mcs"));
+        assert!(friendly.iter().any(|e| e.key == "ticket"));
+        // CLH pays a padded dummy element per lock; Anderson a waiting array.
+        assert!(!friendly.iter().any(|e| e.key == "clh"));
+        assert!(!friendly.iter().any(|e| e.key == "anderson"));
+        for e in &friendly {
+            assert!(e.meta.lock_bytes() <= 2 * core::mem::size_of::<usize>());
+        }
+    }
+
+    #[test]
+    fn locked_hint_agrees_with_lock_state() {
+        for entry in ENTRIES {
+            let lock = (entry.make)();
+            if let Some(held) = lock.is_locked_hint() {
+                assert!(!held, "{} hints held while unlocked", entry.key);
+                lock.lock();
+                assert_eq!(
+                    lock.is_locked_hint(),
+                    Some(true),
+                    "{} hints free while held",
+                    entry.key
+                );
+                // Safety: acquired on this thread just above.
+                unsafe { lock.unlock() };
+                assert_eq!(lock.is_locked_hint(), Some(false), "{}", entry.key);
+            }
+        }
     }
 
     #[test]

@@ -122,6 +122,11 @@ unsafe impl RawLock for McsLock {
         m
     };
 
+    fn is_locked_hint(&self) -> Option<bool> {
+        // Tail is null exactly when the lock is unheld with no queue.
+        Some(self.tail_word() != 0)
+    }
+
     fn lock(&self) {
         let node = alloc_node();
         // Safety: `node` is live until this thread's unlock reclaims it.

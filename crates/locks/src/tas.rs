@@ -51,6 +51,10 @@ unsafe impl RawLock for TasLock {
     unsafe fn unlock(&self) {
         self.locked.store(false, Ordering::Release);
     }
+
+    fn is_locked_hint(&self) -> Option<bool> {
+        Some(self.locked.load(Ordering::Relaxed))
+    }
 }
 
 unsafe impl RawTryLock for TasLock {
@@ -100,6 +104,10 @@ unsafe impl RawLock for TtasLock {
 
     unsafe fn unlock(&self) {
         self.locked.store(false, Ordering::Release);
+    }
+
+    fn is_locked_hint(&self) -> Option<bool> {
+        Some(self.locked.load(Ordering::Relaxed))
     }
 }
 

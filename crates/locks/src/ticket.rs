@@ -71,6 +71,10 @@ unsafe impl RawLock for TicketLock {
         let next = self.serving.load(Ordering::Relaxed) + 1;
         self.serving.store(next, Ordering::Release);
     }
+
+    fn is_locked_hint(&self) -> Option<bool> {
+        Some(self.is_locked())
+    }
 }
 
 #[cfg(test)]

@@ -1,21 +1,33 @@
-//! The database: memtable + immutable runs behind one central mutex.
+//! The database: sharded memtable + immutable runs behind a central mutex.
 //!
-//! Mirrors the locking discipline Figure 8 measures: "LevelDB uses
-//! coarse-grained locking, protecting the database with a single central
-//! mutex: DBImpl::Mutex. Profiling indicates contention on that lock via
-//! leveldb::DBImpl::Get()." Reads take the central lock briefly — to search
-//! the active memtable and snapshot `Arc` handles to the immutable runs —
-//! then search the runs *outside* the lock, as LevelDB's `Get` does.
+//! The locking discipline is a two-tier refinement of the coarse-grained
+//! scheme Figure 8 measures. LevelDB protects everything with one
+//! `DBImpl::Mutex`; here the *keyed* fast paths (memtable reads and writes)
+//! take only the owning shard's lock in the sharded [`Memtable`], while the
+//! central mutex is reserved for **structural** state — the immutable run
+//! list, freeze, and compaction:
 //!
-//! The mutex is generic over [`RawLock`], so swapping MCS / CLH / Ticket /
-//! Hemlock under the same database is a type parameter, standing in for the
-//! paper's `LD_PRELOAD` interposition.
+//! - `put`: one shard lock for the insert; the central mutex is touched
+//!   only when the byte budget trips a freeze.
+//! - `get`: one shard lock to probe the memtable; on a miss, the central
+//!   mutex *briefly* to snapshot `Arc` handles to the runs, which are then
+//!   searched outside any lock — exactly LevelDB's `Get` shape.
+//! - freeze/compaction: the central mutex for the whole transition. The
+//!   memtable drains one shard at a time *while the central mutex is
+//!   held*; a reader that misses a just-drained shard must acquire the
+//!   central mutex for its run snapshot, which blocks until the new run is
+//!   installed — so no key is ever invisible in both tiers.
+//!
+//! Both tiers use the same lock algorithm `L`, so swapping `--lock` swaps
+//! every lock in the system, standing in for the paper's process-wide
+//! `LD_PRELOAD` interposition.
 
 use crate::memtable::{Memtable, Slot};
 use crate::run::Run;
 use core::cell::UnsafeCell;
 use core::sync::atomic::{AtomicU64, Ordering};
 use hemlock_core::raw::RawLock;
+use hemlock_shard::TableStats;
 use std::sync::Arc;
 
 /// Tuning knobs.
@@ -25,6 +37,9 @@ pub struct Options {
     pub memtable_bytes: usize,
     /// Merge the two oldest runs once more than this many accumulate.
     pub max_runs: usize,
+    /// Shard locks striping the memtable; `0` picks a machine-sized
+    /// power of two (see `hemlock_shard::ShardedTable::new`).
+    pub mem_shards: usize,
 }
 
 impl Default for Options {
@@ -32,6 +47,7 @@ impl Default for Options {
         Self {
             memtable_bytes: 1 << 20,
             max_runs: 8,
+            mem_shards: 0,
         }
     }
 }
@@ -49,14 +65,8 @@ pub struct DbStats {
     pub compactions: AtomicU64,
 }
 
-/// State protected by the central mutex.
-struct Inner {
-    mem: Memtable,
-    /// Immutable runs, newest first.
-    runs: Vec<Arc<Run>>,
-}
-
-/// A LevelDB-shaped KV store generic over the central lock algorithm.
+/// A LevelDB-shaped KV store generic over the lock algorithm used for both
+/// the memtable shards and the central (structural) mutex.
 ///
 /// ```
 /// use hemlock_minikv::Db;
@@ -69,17 +79,21 @@ struct Inner {
 /// assert_eq!(db.get(b"answer"), None);
 /// ```
 pub struct Db<L: RawLock> {
+    /// Central mutex: guards `runs` and serializes freeze/compaction.
     mu: L,
-    inner: UnsafeCell<Inner>,
+    /// Immutable runs, newest first. Only touched while holding `mu`.
+    runs: UnsafeCell<Vec<Arc<Run>>>,
+    /// Sharded active memtable; synchronizes itself per shard.
+    mem: Memtable<L>,
     stats: DbStats,
     opts: Options,
 }
 
-// Safety: `inner` is only touched while holding `mu`.
+// Safety: `runs` is only touched while holding `mu`; `Memtable` is Sync.
 unsafe impl<L: RawLock> Send for Db<L> {}
 unsafe impl<L: RawLock> Sync for Db<L> {}
 
-/// RAII critical section over `Db::inner`.
+/// RAII critical section over the central mutex (the run list).
 struct DbGuard<'a, L: RawLock> {
     db: &'a Db<L>,
 }
@@ -91,9 +105,9 @@ impl<'a, L: RawLock> DbGuard<'a, L> {
     }
 
     #[allow(clippy::mut_from_ref)]
-    fn inner(&mut self) -> &mut Inner {
+    fn runs(&mut self) -> &mut Vec<Arc<Run>> {
         // Safety: we hold the central mutex.
-        unsafe { &mut *self.db.inner.get() }
+        unsafe { &mut *self.db.runs.get() }
     }
 }
 
@@ -109,10 +123,8 @@ impl<L: RawLock> Db<L> {
     pub fn new(opts: Options) -> Self {
         Self {
             mu: L::default(),
-            inner: UnsafeCell::new(Inner {
-                mem: Memtable::new(),
-                runs: Vec::new(),
-            }),
+            runs: UnsafeCell::new(Vec::new()),
+            mem: Memtable::with_shards(opts.mem_shards),
             stats: DbStats::default(),
             opts,
         }
@@ -123,32 +135,54 @@ impl<L: RawLock> Db<L> {
         &self.stats
     }
 
-    /// Name of the central lock algorithm (for benchmark reporting).
+    /// Name of the lock algorithm (for benchmark reporting).
     pub fn lock_name(&self) -> &'static str {
         L::META.name
     }
 
+    /// Per-shard contention census of the memtable locks (diagnostics).
+    pub fn memtable_stats(&self) -> TableStats {
+        self.mem.shard_stats()
+    }
+
+    /// Number of shard locks striping the memtable.
+    pub fn memtable_shards(&self) -> usize {
+        self.mem.shards()
+    }
+
     fn write_slot(&self, key: &[u8], value: Slot) {
-        let mut g = DbGuard::lock(self);
-        let inner = g.inner();
-        inner.mem.insert(key, value);
-        if inner.mem.approximate_bytes() >= self.opts.memtable_bytes {
-            let full = std::mem::take(&mut inner.mem);
-            inner
-                .runs
-                .insert(0, Arc::new(Run::from_sorted(full.into_sorted())));
-            self.stats.freezes.fetch_add(1, Ordering::Relaxed);
-            if inner.runs.len() > self.opts.max_runs {
-                // Fold the two oldest runs together (simplified foreground
-                // compaction; LevelDB does this on a background thread).
-                let older = inner.runs.pop().expect("len > max_runs >= 1");
-                let newer = inner.runs.pop().expect("len > max_runs >= 1");
-                inner.runs.push(Arc::new(Run::merge(&newer, &older)));
-                self.stats.compactions.fetch_add(1, Ordering::Relaxed);
-            }
+        // Fast path: one shard lock, no central mutex.
+        self.mem.insert(key, value);
+        if self.mem.approximate_bytes() >= self.opts.memtable_bytes {
+            self.freeze_and_maybe_compact();
         }
-        drop(g);
         self.stats.puts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Structural transition under the central mutex: drain the memtable
+    /// into a new immutable run; fold the two oldest runs when too many
+    /// accumulate. Racing writers that also saw the budget trip re-check
+    /// under the mutex and back off.
+    fn freeze_and_maybe_compact(&self) {
+        let mut g = DbGuard::lock(self);
+        if self.mem.approximate_bytes() < self.opts.memtable_bytes {
+            return; // another thread froze first
+        }
+        let drained = self.mem.drain_sorted();
+        if drained.is_empty() {
+            return;
+        }
+        let runs = g.runs();
+        runs.insert(0, Arc::new(Run::from_sorted(drained)));
+        self.stats.freezes.fetch_add(1, Ordering::Relaxed);
+        if runs.len() > self.opts.max_runs {
+            // Fold the two oldest runs together (simplified foreground
+            // compaction; LevelDB does this on a background thread).
+            let older = runs.pop().expect("len > max_runs >= 1");
+            let newer = runs.pop().expect("len > max_runs >= 1");
+            runs.push(Arc::new(Run::merge(&newer, &older)));
+            self.stats.compactions.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Inserts or overwrites a key.
@@ -163,19 +197,21 @@ impl<L: RawLock> Db<L> {
 
     /// Point lookup.
     pub fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
-        // Critical section: search the active memtable and snapshot run
-        // handles. Everything below the lock drop runs concurrently.
-        let mut g = DbGuard::lock(self);
-        let inner = g.inner();
-        if let Some(slot) = inner.mem.get(key) {
-            let hit = slot.as_ref().map(|v| v.to_vec());
-            drop(g);
+        // Tier 1: the memtable, under the owning shard's lock only. The
+        // probe order (memtable before run snapshot) matters: a key can
+        // migrate memtable→runs during a freeze, but the freeze holds the
+        // central mutex until the run is installed, so a tier-1 miss
+        // always finds the key in the tier-2 snapshot taken afterwards.
+        if let Some(value) = self.mem.get_vec(key) {
             self.stats.gets.fetch_add(1, Ordering::Relaxed);
-            return hit;
+            return value;
         }
-        let snapshot: Vec<Arc<Run>> = inner.runs.clone();
-        drop(g);
-
+        // Tier 2: snapshot run handles under the central mutex, search
+        // outside it — LevelDB's `Get` shape.
+        let snapshot: Vec<Arc<Run>> = {
+            let mut g = DbGuard::lock(self);
+            g.runs().clone()
+        };
         let mut result = None;
         for run in &snapshot {
             if let Some(slot) = run.get(key) {
@@ -190,15 +226,14 @@ impl<L: RawLock> Db<L> {
     /// Number of immutable runs (tests/diagnostics).
     pub fn run_count(&self) -> usize {
         let mut g = DbGuard::lock(self);
-        g.inner().runs.len()
+        g.runs().len()
     }
 
     /// Total entries across memtable and runs, counting shadowed duplicates
     /// (diagnostics).
     pub fn entry_count(&self) -> usize {
         let mut g = DbGuard::lock(self);
-        let inner = g.inner();
-        inner.mem.len() + inner.runs.iter().map(|r| r.len()).sum::<usize>()
+        g.runs().iter().map(|r| r.len()).sum::<usize>() + self.mem.len()
     }
 }
 
@@ -212,6 +247,7 @@ mod tests {
         Options {
             memtable_bytes: 512,
             max_runs: 3,
+            mem_shards: 4,
         }
     }
 
@@ -291,6 +327,16 @@ mod tests {
                 assert_eq!(got, Some(b"live".to_vec()));
             }
         }
+    }
+
+    #[test]
+    fn memtable_census_reflects_sharded_fast_path() {
+        let db: Db<Hemlock> = Db::new(tiny_opts());
+        assert_eq!(db.memtable_shards(), 4);
+        db.put(b"k", b"v");
+        db.get(b"k");
+        // One shard acquisition for the put, one for the memtable probe.
+        assert!(db.memtable_stats().acquisitions() >= 2);
     }
 
     fn concurrent_readers_with_writer<L: RawLock + 'static>() {

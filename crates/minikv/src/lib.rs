@@ -8,9 +8,11 @@
 //!
 //! - an LSM-shaped store: active **memtable** + immutable sorted **runs**
 //!   (in-memory SSTables) with foreground merge compaction;
-//! - one **central mutex**, generic over [`hemlock_core::RawLock`] — reads
-//!   hold it briefly (memtable probe + run-handle snapshot) and search runs
-//!   outside it, as LevelDB's `Get` does;
+//! - a **sharded memtable** (`hemlock-shard`'s `ShardedTable`): point
+//!   reads/writes take one shard lock; the **central mutex** — generic
+//!   over [`hemlock_core::RawLock`] like every lock here — guards the run
+//!   list, freeze, and compaction, and reads still snapshot run handles
+//!   under it before searching runs outside, as LevelDB's `Get` does;
 //! - `db_bench`-style drivers: [`fill_seq`] and the fixed-duration
 //!   [`read_random`] the paper's harness modification added.
 //!
@@ -63,7 +65,11 @@ mod proptests {
         /// across memtable freezes and compactions.
         #[test]
         fn db_matches_btreemap_oracle(ops in proptest::collection::vec(op_strategy(), 1..300)) {
-            let db: Db<Hemlock> = Db::new(Options { memtable_bytes: 256, max_runs: 2 });
+            let db: Db<Hemlock> = Db::new(Options {
+                memtable_bytes: 256,
+                max_runs: 2,
+                mem_shards: 2,
+            });
             let mut oracle: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
             for op in ops {
                 match op {

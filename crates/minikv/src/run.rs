@@ -77,7 +77,7 @@ mod tests {
     use crate::memtable::Memtable;
 
     fn run_of(pairs: &[(&[u8], Option<&[u8]>)]) -> Run {
-        let mut m = Memtable::new();
+        let m: Memtable = Memtable::new();
         for (k, v) in pairs {
             m.insert(k, v.map(|v| v.to_vec().into()));
         }

@@ -1,0 +1,118 @@
+//! # hemlock-shard
+//!
+//! A striped/sharded lock-table subsystem — the "millions of locks" side of
+//! the Hemlock paper's headline claim. Hemlock's lock body is one word
+//! (Table 1), so the marginal cost of another lock instance is negligible;
+//! this crate spends that budget on *parallelism*: keyed state is split
+//! across a fixed power-of-two number of shards, each guarded by its own
+//! [`Mutex`](hemlock_core::Mutex) over any [`RawLock`] algorithm from the
+//! workspace (selectable at runtime through `hemlock_locks::catalog`, as
+//! every bench binary does).
+//!
+//! - [`ShardedTable<K, V, L>`](table::ShardedTable) — a concurrent hash
+//!   table with per-shard locking, guard-returning access
+//!   ([`table::ShardedTable::guard`]) plus closure APIs (`get`/`with`/
+//!   `update`), and a per-shard contention census ([`stats::TableStats`]);
+//! - [`ShardedCounter<L>`](counter::ShardedCounter) — a striped counter
+//!   where each stripe is its own lock-guarded cell, the smallest possible
+//!   demonstration of trading lock *instances* for coherence traffic.
+//!
+//! The design is deliberately **resize-free**: the stripe count is fixed at
+//! construction, so a shard's lock is the only synchronization any
+//! operation needs — no seqlock over a growing directory, no RCU epoch.
+//! Space accounting comes straight from the algorithm's
+//! [`LockMeta`](hemlock_core::LockMeta):
+//! [`footprint_bytes`](table::ShardedTable::footprint_bytes) reports what a
+//! given shard count costs, which is how the `shardkv` benchmark prices the
+//! space/throughput trade-off explored by the Hapax-Locks line of work.
+//!
+//! ```
+//! use hemlock_core::hemlock::Hemlock;
+//! use hemlock_shard::ShardedTable;
+//!
+//! let t: ShardedTable<String, u64, Hemlock> = ShardedTable::with_shards(64);
+//! t.insert("alice".into(), 1);
+//! t.update("alice".into(), |slot| *slot = slot.map(|n| n + 1));
+//! assert_eq!(t.get("alice"), Some(2)); // borrowed-form lookup, as HashMap
+//! assert_eq!(t.shards(), 64);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod counter;
+pub mod stats;
+pub mod table;
+
+pub use counter::ShardedCounter;
+pub use stats::{ShardSnapshot, TableStats};
+pub use table::{ShardGuard, ShardedTable};
+
+#[cfg(test)]
+mod proptests {
+    use crate::ShardedTable;
+    use hemlock_core::hemlock::Hemlock;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    #[derive(Clone, Debug)]
+    enum Op {
+        Insert(u16, u32),
+        Remove(u16),
+        Update(u16, u32),
+        Get(u16),
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (any::<u16>(), any::<u32>()).prop_map(|(k, v)| Op::Insert(k, v)),
+            any::<u16>().prop_map(Op::Remove),
+            (any::<u16>(), any::<u32>()).prop_map(|(k, v)| Op::Update(k, v)),
+            any::<u16>().prop_map(Op::Get),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        /// Sequential oracle: a sharded table behaves exactly like a
+        /// HashMap, regardless of how keys scatter over shards.
+        #[test]
+        fn table_matches_hashmap_oracle(
+            shards in 1usize..40,
+            ops in proptest::collection::vec(op_strategy(), 1..200),
+        ) {
+            let t: ShardedTable<u16, u32, Hemlock> = ShardedTable::with_shards(shards);
+            let mut oracle: HashMap<u16, u32> = HashMap::new();
+            for op in ops {
+                match op {
+                    Op::Insert(k, v) => {
+                        prop_assert_eq!(t.insert(k, v), oracle.insert(k, v));
+                    }
+                    Op::Remove(k) => {
+                        prop_assert_eq!(t.remove(&k), oracle.remove(&k));
+                    }
+                    Op::Update(k, v) => {
+                        // Increment-or-insert, exercising both entry arms.
+                        t.update(k, |slot| {
+                            *slot = Some(slot.unwrap_or(v).wrapping_add(1));
+                        });
+                        let e = oracle.entry(k).or_insert(v);
+                        *e = e.wrapping_add(1);
+                    }
+                    Op::Get(k) => {
+                        prop_assert_eq!(t.get(&k), oracle.get(&k).copied());
+                    }
+                }
+            }
+            prop_assert_eq!(t.len(), oracle.len());
+            for (k, v) in &oracle {
+                prop_assert_eq!(t.get(k), Some(*v));
+            }
+            let mut drained = t.drain();
+            drained.sort_unstable();
+            let mut expect: Vec<(u16, u32)> = oracle.into_iter().collect();
+            expect.sort_unstable();
+            prop_assert_eq!(drained, expect);
+            prop_assert!(t.is_empty());
+        }
+    }
+}

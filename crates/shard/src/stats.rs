@@ -1,0 +1,144 @@
+//! Per-shard contention statistics.
+//!
+//! Every shard acquisition bumps a relaxed counter; acquisitions that found
+//! the shard's lock already engaged (detected through the best-effort
+//! [`RawLock::is_locked_hint`](hemlock_core::RawLock::is_locked_hint)
+//! probe, where the algorithm exposes one) count as *contended*. The
+//! numbers are a census, not a synchronization mechanism: they answer "did
+//! striping actually spread the load?" and feed the `shardkv` benchmark's
+//! contention column.
+
+use core::sync::atomic::{AtomicU64, Ordering};
+use hemlock_core::pad::CachePadded;
+
+/// Live counters attached to one shard (padded so the census never shares a
+/// line with a neighboring shard's).
+#[derive(Debug, Default)]
+pub struct ShardStats {
+    inner: CachePadded<Counters>,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    acquisitions: AtomicU64,
+    contended: AtomicU64,
+}
+
+impl ShardStats {
+    /// Notes one acquisition of the owning shard's lock; `contended` when
+    /// the lock appeared engaged at acquisition time.
+    #[inline]
+    pub fn note_acquisition(&self, contended: bool) {
+        self.inner.acquisitions.fetch_add(1, Ordering::Relaxed);
+        if contended {
+            self.inner.contended.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Snapshot of this shard's counters.
+    pub fn snapshot(&self) -> ShardSnapshot {
+        ShardSnapshot {
+            acquisitions: self.inner.acquisitions.load(Ordering::Relaxed),
+            contended: self.inner.contended.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zeroes the counters (between benchmark phases).
+    pub fn reset(&self) {
+        self.inner.acquisitions.store(0, Ordering::Relaxed);
+        self.inner.contended.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Point-in-time view of one shard's counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardSnapshot {
+    /// Lock acquisitions against this shard.
+    pub acquisitions: u64,
+    /// Acquisitions that found the lock already engaged (best-effort; zero
+    /// when the algorithm's lock body cannot be probed).
+    pub contended: u64,
+}
+
+/// Whole-table statistics: one [`ShardSnapshot`] per shard plus aggregates.
+#[derive(Clone, Debug, Default)]
+pub struct TableStats {
+    /// Per-shard snapshots, in shard order.
+    pub shards: Vec<ShardSnapshot>,
+}
+
+impl TableStats {
+    /// Total acquisitions across all shards.
+    pub fn acquisitions(&self) -> u64 {
+        self.shards.iter().map(|s| s.acquisitions).sum()
+    }
+
+    /// Total contended acquisitions across all shards.
+    pub fn contended(&self) -> u64 {
+        self.shards.iter().map(|s| s.contended).sum()
+    }
+
+    /// Fraction of acquisitions that were contended, in `[0, 1]`.
+    pub fn contended_fraction(&self) -> f64 {
+        let total = self.acquisitions();
+        if total == 0 {
+            0.0
+        } else {
+            self.contended() as f64 / total as f64
+        }
+    }
+
+    /// Busiest shard's acquisition count.
+    pub fn max_shard_acquisitions(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.acquisitions)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Ratio of the busiest shard to the ideal uniform share (1.0 = perfect
+    /// balance; large values mean the hash is clumping keys onto few
+    /// shards). Returns 0 when nothing was acquired.
+    pub fn imbalance(&self) -> f64 {
+        let total = self.acquisitions();
+        if total == 0 || self.shards.is_empty() {
+            return 0.0;
+        }
+        let ideal = total as f64 / self.shards.len() as f64;
+        self.max_shard_acquisitions() as f64 / ideal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn census_counts_and_aggregates() {
+        let a = ShardStats::default();
+        let b = ShardStats::default();
+        a.note_acquisition(false);
+        a.note_acquisition(true);
+        b.note_acquisition(false);
+        let stats = TableStats {
+            shards: vec![a.snapshot(), b.snapshot()],
+        };
+        assert_eq!(stats.acquisitions(), 3);
+        assert_eq!(stats.contended(), 1);
+        assert!((stats.contended_fraction() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(stats.max_shard_acquisitions(), 2);
+        // 2 acquisitions on the busiest of 2 shards, ideal share 1.5.
+        assert!((stats.imbalance() - 2.0 / 1.5).abs() < 1e-12);
+        a.reset();
+        assert_eq!(a.snapshot(), ShardSnapshot::default());
+    }
+
+    #[test]
+    fn empty_stats_are_calm() {
+        let stats = TableStats::default();
+        assert_eq!(stats.acquisitions(), 0);
+        assert_eq!(stats.contended_fraction(), 0.0);
+        assert_eq!(stats.imbalance(), 0.0);
+    }
+}

@@ -1,0 +1,536 @@
+//! The sharded lock table: [`ShardedTable`].
+//!
+//! Keys hash onto a fixed, power-of-two array of shards; each shard is a
+//! `HashMap` behind its own [`Mutex<_, L>`](hemlock_core::Mutex). Because
+//! the stripe count never changes, a shard's lock is the *only*
+//! synchronization any operation takes — no global epoch, no directory
+//! lock — so aggregate throughput scales with the number of independent
+//! shards until the machine, not the lock, is the bottleneck. A compact
+//! lock algorithm (Hemlock's one-word body) is what makes large stripe
+//! counts affordable; [`ShardedTable::footprint_bytes`] prices exactly
+//! that, straight from the algorithm's [`LockMeta`].
+
+use crate::stats::{ShardStats, TableStats};
+use core::ops::{Deref, DerefMut};
+use hemlock_core::hemlock::Hemlock;
+use hemlock_core::meta::LockMeta;
+use hemlock_core::raw::{RawLock, RawTryLock};
+use hemlock_core::{Mutex, MutexGuard};
+use std::borrow::Borrow;
+use std::collections::hash_map::RandomState;
+use std::collections::HashMap;
+use std::hash::{BuildHasher, Hash};
+
+/// One stripe: a map plus its lock and contention census.
+struct Shard<K, V, L: RawLock> {
+    map: Mutex<HashMap<K, V>, L>,
+    stats: ShardStats,
+}
+
+impl<K, V, L: RawLock> Default for Shard<K, V, L> {
+    fn default() -> Self {
+        Self {
+            map: Mutex::new(HashMap::new()),
+            stats: ShardStats::default(),
+        }
+    }
+}
+
+/// A concurrent keyed table striped over independently locked shards.
+///
+/// The lock algorithm `L` is a type parameter exactly as in
+/// [`Mutex<T, L>`](hemlock_core::Mutex); benchmark binaries select it at
+/// runtime by monomorphizing through `hemlock_locks::catalog::with_lock_type`
+/// (see `shardkv`), so any catalog entry can guard the shards.
+///
+/// ```
+/// use hemlock_shard::ShardedTable;
+/// use hemlock_core::hemlock::Hemlock;
+///
+/// let t: ShardedTable<u64, u64, Hemlock> = ShardedTable::with_shards(16);
+/// std::thread::scope(|s| {
+///     for tid in 0..4u64 {
+///         let t = &t;
+///         s.spawn(move || {
+///             for i in 0..100 {
+///                 t.insert(tid * 1_000 + i, i);
+///             }
+///         });
+///     }
+/// });
+/// assert_eq!(t.len(), 400);
+/// ```
+pub struct ShardedTable<K, V, L: RawLock = Hemlock> {
+    shards: Box<[Shard<K, V, L>]>,
+    mask: usize,
+    hasher: RandomState,
+}
+
+impl<K: Hash + Eq, V, L: RawLock> Default for ShardedTable<K, V, L> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K, V, L: RawLock> core::fmt::Debug for ShardedTable<K, V, L> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("ShardedTable")
+            .field("lock", &L::META.name)
+            .field("shards", &self.shards.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<K: Hash + Eq, V, L: RawLock> ShardedTable<K, V, L> {
+    /// Creates a table with a shard count sized to the machine: the next
+    /// power of two above 4× the available parallelism (at least 16), so
+    /// that even an adversarial schedule leaves most acquisitions
+    /// uncontended.
+    pub fn new() -> Self {
+        let hw = std::thread::available_parallelism().map_or(4, |n| n.get());
+        Self::with_shards((4 * hw).max(16))
+    }
+
+    /// Creates a table with `shards` stripes, rounded up to a power of two
+    /// (and at least 1). The count is fixed for the table's lifetime — the
+    /// resize-free design is what keeps every operation single-lock.
+    pub fn with_shards(shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        Self {
+            shards: (0..n).map(|_| Shard::default()).collect(),
+            mask: n - 1,
+            hasher: RandomState::new(),
+        }
+    }
+
+    /// Number of shards (always a power of two).
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The stripe `key` maps to, in `0..self.shards()`. Accepts any
+    /// borrowed form of the key (`Borrow` guarantees equal hashes, so a
+    /// `&[u8]` probe lands on the same shard as its owning `Box<[u8]>`).
+    pub fn shard_index<Q>(&self, key: &Q) -> usize
+    where
+        K: Borrow<Q>,
+        Q: Hash + ?Sized,
+    {
+        // Power-of-two masking keeps this a single AND; SipHash (the std
+        // default) already mixes the low bits well.
+        (self.hasher.hash_one(key) as usize) & self.mask
+    }
+
+    /// Locks shard `idx` directly, recording the contention census.
+    fn lock_shard(&self, idx: usize) -> ShardGuard<'_, K, V, L> {
+        let shard = &self.shards[idx];
+        let contended = shard.map.raw().is_locked_hint() == Some(true);
+        let guard = shard.map.lock();
+        // Count after acquiring: a panicking probe can't skew the census.
+        shard.stats.note_acquisition(contended);
+        ShardGuard { guard }
+    }
+
+    /// Acquires shard `idx` (for whole-table maintenance such as draining
+    /// one stripe at a time). Panics when `idx >= self.shards()`.
+    pub fn guard_shard(&self, idx: usize) -> ShardGuard<'_, K, V, L> {
+        assert!(idx < self.shards.len(), "shard index out of range");
+        self.lock_shard(idx)
+    }
+
+    /// Acquires the shard holding `key`, returning a guard over that
+    /// shard's whole map. This is the primitive the closure APIs build on;
+    /// use it directly for multi-operation critical sections on one shard
+    /// (e.g. check-then-insert without a second hash).
+    pub fn guard<Q>(&self, key: &Q) -> ShardGuard<'_, K, V, L>
+    where
+        K: Borrow<Q>,
+        Q: Hash + ?Sized,
+    {
+        self.lock_shard(self.shard_index(key))
+    }
+
+    /// Inserts or overwrites, returning the previous value.
+    pub fn insert(&self, key: K, value: V) -> Option<V> {
+        self.guard(&key).insert(key, value)
+    }
+
+    /// Removes `key`, returning the value it held.
+    pub fn remove<Q>(&self, key: &Q) -> Option<V>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        self.guard(key).remove(key)
+    }
+
+    /// True when `key` is present.
+    pub fn contains_key<Q>(&self, key: &Q) -> bool
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        self.guard(key).contains_key(key)
+    }
+
+    /// Runs `f` on the slot for `key` (shared view) under the shard lock.
+    pub fn with<Q, R>(&self, key: &Q, f: impl FnOnce(Option<&V>) -> R) -> R
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        f(self.guard(key).get(key))
+    }
+
+    /// Read-modify-write on the slot for `key` under the shard lock:
+    /// `f` receives the current slot (`None` when absent) and may fill,
+    /// replace, or empty it. Returns `f`'s result. If `f` unwinds, the
+    /// slot's content at the moment of the panic is preserved in the table
+    /// (the entry does not vanish) before the panic propagates.
+    pub fn update<R>(&self, key: K, f: impl FnOnce(&mut Option<V>) -> R) -> R {
+        use std::collections::hash_map::Entry;
+        let mut g = self.guard(&key);
+        match g.entry(key) {
+            Entry::Vacant(e) => {
+                let mut slot = None;
+                let r = f(&mut slot);
+                if let Some(v) = slot {
+                    e.insert(v);
+                }
+                r
+            }
+            Entry::Occupied(e) => {
+                let (key, v) = e.remove_entry();
+                let mut slot = Some(v);
+                let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut slot)));
+                // Restore before unwinding further: a panicking closure
+                // must not delete the entry as a side effect.
+                if let Some(v) = slot {
+                    g.insert(key, v);
+                }
+                match r {
+                    Ok(r) => r,
+                    Err(panic) => std::panic::resume_unwind(panic),
+                }
+            }
+        }
+    }
+
+    /// Total entries, summed shard by shard (each shard locked briefly; the
+    /// answer is exact only while no writer runs concurrently).
+    pub fn len(&self) -> usize {
+        (0..self.shards.len())
+            .map(|i| self.lock_shard(i).len())
+            .sum()
+    }
+
+    /// True when every shard is empty (same caveat as [`Self::len`]).
+    pub fn is_empty(&self) -> bool {
+        (0..self.shards.len()).all(|i| self.lock_shard(i).is_empty())
+    }
+
+    /// Removes every entry, shard by shard.
+    pub fn clear(&self) {
+        for i in 0..self.shards.len() {
+            self.lock_shard(i).clear();
+        }
+    }
+
+    /// Drains the whole table into a vector, shard by shard (unordered).
+    pub fn drain(&self) -> Vec<(K, V)> {
+        let mut out = Vec::new();
+        for i in 0..self.shards.len() {
+            out.extend(std::mem::take(&mut *self.lock_shard(i)));
+        }
+        out
+    }
+
+    /// Visits every entry, one shard lock at a time. Entries inserted or
+    /// removed concurrently in not-yet-visited shards may or may not be
+    /// seen — the usual sharded-iteration contract.
+    pub fn for_each(&self, mut f: impl FnMut(&K, &V)) {
+        for i in 0..self.shards.len() {
+            let g = self.lock_shard(i);
+            for (k, v) in g.iter() {
+                f(k, v);
+            }
+        }
+    }
+
+    /// Snapshot of the per-shard contention census.
+    pub fn stats(&self) -> TableStats {
+        TableStats {
+            shards: self.shards.iter().map(|s| s.stats.snapshot()).collect(),
+        }
+    }
+
+    /// Zeroes the contention census (between benchmark phases).
+    pub fn reset_stats(&self) {
+        for s in self.shards.iter() {
+            s.stats.reset();
+        }
+    }
+
+    /// The shard-lock algorithm's descriptor.
+    pub fn lock_meta(&self) -> LockMeta {
+        L::META
+    }
+
+    /// Quiescent lock-space cost of this table when used by `threads`
+    /// threads: `shards` lock bodies plus padded per-thread state, from
+    /// [`LockMeta::footprint_bytes`]. This is the number the paper's
+    /// Table 1 argues should stay small even at millions of stripes.
+    pub fn footprint_bytes(&self, threads: usize) -> usize {
+        L::META.footprint_bytes(self.shards.len(), threads)
+    }
+}
+
+impl<K: Hash + Eq, V: Clone, L: RawLock> ShardedTable<K, V, L> {
+    /// Point lookup (clones the value out so the shard lock is held only
+    /// for the probe).
+    pub fn get<Q>(&self, key: &Q) -> Option<V>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        self.guard(key).get(key).cloned()
+    }
+}
+
+impl<K: Hash + Eq, V, L: RawTryLock> ShardedTable<K, V, L> {
+    /// Non-blocking [`Self::guard`]: `None` when the shard's lock is busy
+    /// (counted as a contended acquisition in the census).
+    pub fn try_guard(&self, key: &K) -> Option<ShardGuard<'_, K, V, L>> {
+        let shard = &self.shards[self.shard_index(key)];
+        match shard.map.try_lock() {
+            Some(guard) => {
+                shard.stats.note_acquisition(false);
+                Some(ShardGuard { guard })
+            }
+            None => {
+                shard.stats.note_acquisition(true);
+                None
+            }
+        }
+    }
+}
+
+/// RAII guard over one shard's map; releases the shard lock on drop.
+///
+/// Derefs to the shard's `HashMap`, so the full map API is available for
+/// the duration of the critical section. `!Send`, like every guard in this
+/// workspace: queue locks and Hemlock's Grant protocol require the unlock
+/// to run on the acquiring thread.
+pub struct ShardGuard<'a, K, V, L: RawLock> {
+    guard: MutexGuard<'a, HashMap<K, V>, L>,
+}
+
+impl<K, V, L: RawLock> Deref for ShardGuard<'_, K, V, L> {
+    type Target = HashMap<K, V>;
+    #[inline]
+    fn deref(&self) -> &HashMap<K, V> {
+        &self.guard
+    }
+}
+
+impl<K, V, L: RawLock> DerefMut for ShardGuard<'_, K, V, L> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut HashMap<K, V> {
+        &mut self.guard
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type Table<K, V> = ShardedTable<K, V, Hemlock>;
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        for (ask, got) in [(1, 1), (2, 2), (3, 4), (5, 8), (64, 64), (100, 128)] {
+            let t: Table<u32, u32> = ShardedTable::with_shards(ask);
+            assert_eq!(t.shards(), got);
+        }
+        let t: Table<u32, u32> = ShardedTable::with_shards(0);
+        assert_eq!(t.shards(), 1);
+        assert!(ShardedTable::<u32, u32, Hemlock>::new().shards() >= 16);
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let t: Table<&'static str, i32> = ShardedTable::with_shards(8);
+        assert_eq!(t.insert("a", 1), None);
+        assert_eq!(t.insert("a", 2), Some(1));
+        assert_eq!(t.get(&"a"), Some(2));
+        assert!(t.contains_key(&"a"));
+        assert_eq!(t.remove(&"a"), Some(2));
+        assert_eq!(t.get(&"a"), None);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn update_covers_insert_mutate_delete() {
+        let t: Table<u32, u32> = ShardedTable::with_shards(4);
+        // Absent -> filled.
+        t.update(7, |slot| {
+            assert_eq!(*slot, None);
+            *slot = Some(1);
+        });
+        // Present -> mutated, returning a value.
+        let doubled = t.update(7, |slot| {
+            let v = slot.unwrap() * 2;
+            *slot = Some(v);
+            v
+        });
+        assert_eq!(doubled, 2);
+        // Present -> emptied.
+        t.update(7, |slot| *slot = None);
+        assert_eq!(t.get(&7), None);
+    }
+
+    #[test]
+    fn with_observes_without_mutating() {
+        let t: Table<u32, String> = ShardedTable::with_shards(2);
+        t.insert(1, "one".into());
+        assert_eq!(t.with(&1, |s| s.map(String::len)), Some(3));
+        assert!(!t.with(&2, |s| s.is_some()));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn guard_allows_multi_op_critical_sections() {
+        let t: Table<u32, u32> = ShardedTable::with_shards(1);
+        {
+            let mut g = t.guard(&1);
+            g.entry(1).or_insert(10); // full HashMap API through the guard
+            g.insert(2, 20); // single shard: same guard covers both keys
+        }
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn shard_index_is_stable_and_in_range() {
+        let t: Table<u64, ()> = ShardedTable::with_shards(32);
+        for k in 0..1000u64 {
+            let i = t.shard_index(&k);
+            assert!(i < t.shards());
+            assert_eq!(i, t.shard_index(&k), "same key, same shard");
+        }
+    }
+
+    #[test]
+    fn distribution_spreads_across_shards() {
+        let t: Table<u64, ()> = ShardedTable::with_shards(16);
+        let mut counts = vec![0usize; t.shards()];
+        for k in 0..16_000u64 {
+            counts[t.shard_index(&k)] += 1;
+        }
+        // Uniform share is 1000; SipHash should keep every shard within a
+        // generous ±50% band (binomial σ ≈ 31, so ±500 is > 16σ).
+        for (i, &c) in counts.iter().enumerate() {
+            assert!((500..=1500).contains(&c), "shard {i} got {c} of 16000");
+        }
+    }
+
+    #[test]
+    fn stats_census_counts_acquisitions() {
+        let t: Table<u32, u32> = ShardedTable::with_shards(4);
+        for k in 0..100 {
+            t.insert(k, k);
+        }
+        let stats = t.stats();
+        assert_eq!(stats.acquisitions(), 100);
+        assert_eq!(stats.contended(), 0, "single thread never contends");
+        assert_eq!(stats.shards.len(), 4);
+        t.reset_stats();
+        assert_eq!(t.stats().acquisitions(), 0);
+    }
+
+    #[test]
+    fn try_guard_reports_busy_shards() {
+        let t: Table<u32, u32> = ShardedTable::with_shards(1);
+        let g = t.guard(&1);
+        assert!(t.try_guard(&1).is_none());
+        drop(g);
+        assert!(t.try_guard(&1).is_some());
+        let stats = t.stats();
+        assert_eq!(stats.acquisitions(), 3);
+        assert_eq!(stats.contended(), 1);
+    }
+
+    #[test]
+    fn footprint_prices_shards_and_threads() {
+        let t: Table<u32, u32> = ShardedTable::with_shards(64);
+        assert_eq!(t.lock_meta().name, "Hemlock");
+        assert_eq!(t.footprint_bytes(8), Hemlock::META.footprint_bytes(64, 8));
+        // One-word locks: 64 shards cost 64 words of lock space.
+        assert_eq!(
+            Hemlock::META.footprint_bytes(64, 0),
+            64 * core::mem::size_of::<usize>()
+        );
+    }
+
+    #[test]
+    fn concurrent_mixed_workload_is_consistent() {
+        let t: Table<u64, u64> = ShardedTable::with_shards(8);
+        let threads = 4u64;
+        let per = 2_000u64;
+        std::thread::scope(|s| {
+            for tid in 0..threads {
+                let t = &t;
+                s.spawn(move || {
+                    // Disjoint key ranges: every write must survive.
+                    for i in 0..per {
+                        let k = tid * per + i;
+                        t.insert(k, k);
+                        assert_eq!(t.get(&k), Some(k));
+                        if i % 3 == 0 {
+                            t.remove(&k);
+                        }
+                    }
+                });
+            }
+        });
+        let expect: usize = (0..threads * per).filter(|i| i % per % 3 != 0).count();
+        assert_eq!(t.len(), expect);
+        assert!(t.stats().acquisitions() >= threads * per * 2);
+    }
+
+    #[test]
+    fn update_preserves_the_entry_when_the_closure_panics() {
+        let t: Table<u32, u32> = ShardedTable::with_shards(2);
+        t.insert(1, 10);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            t.update(1, |slot| {
+                *slot = Some(11); // applied before the panic
+                panic!("mid-update");
+            })
+        }));
+        assert!(r.is_err());
+        // The slot's content at panic time survived; nothing vanished.
+        assert_eq!(t.get(&1), Some(11));
+        // A panicking closure on a vacant slot leaves the key absent.
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            t.update(2, |_| panic!("vacant"))
+        }));
+        assert!(r.is_err());
+        assert_eq!(t.get(&2), None);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn guard_drop_on_panic_releases_the_shard() {
+        let t: Table<u32, u32> = ShardedTable::with_shards(2);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut g = t.guard(&1);
+            g.insert(1, 1);
+            panic!("inside shard critical section");
+        }));
+        assert!(r.is_err());
+        // The shard is usable again and the write persisted.
+        assert_eq!(t.get(&1), Some(1));
+        t.insert(1, 2);
+        assert_eq!(t.get(&1), Some(2));
+    }
+}

@@ -35,6 +35,7 @@ fn main() {
     let db: Db<Hemlock> = Db::new(hemlock_minikv::Options {
         memtable_bytes: 4 << 10,
         max_runs: 4,
+        mem_shards: 8,
     });
     for i in 0..10_000u64 {
         db.put(

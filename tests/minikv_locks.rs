@@ -15,6 +15,7 @@ fn workload<L: RawLock + 'static>() {
     let db: Arc<Db<L>> = Arc::new(Db::new(Options {
         memtable_bytes: 8 << 10,
         max_runs: 4,
+        mem_shards: 8,
     }));
     fill_seq(&db, 2_000, 64);
 
