@@ -5,7 +5,8 @@
 //! runs:
 //!
 //! ```text
-//! bench_ci --fig2 fig2.csv --shardkv shardkv.json --table1 table1.csv \
+//! bench_ci --fig2 fig2.csv --shardkv shardkv.json --rwbench rwbench.json \
+//!          --table1 table1.csv \
 //!          --out BENCH_ci.json --baseline BENCH_baseline.json
 //! ```
 //!
@@ -46,6 +47,10 @@ fn main() {
         "shardkv",
         "shardkv --quick --json output (normalized records)",
     )
+    .value(
+        "rwbench",
+        "rwbench --quick --json output (normalized records)",
+    )
     .value("table1", "table1 --csv output (space table)")
     .value(
         "out",
@@ -71,14 +76,18 @@ fn main() {
             records.extend(or_exit(ci::parse_series_csv(bench, &read(&path, opt))));
         }
     }
-    if let Some(path) = Some(args.get_str("shardkv", "")).filter(|p| !p.is_empty()) {
-        records.extend(or_exit(ci::parse_json(&read(&path, "shardkv"))));
+    for opt in ["shardkv", "rwbench"] {
+        if let Some(path) = Some(args.get_str(opt, "")).filter(|p| !p.is_empty()) {
+            records.extend(or_exit(ci::parse_json(&read(&path, opt))));
+        }
     }
     if let Some(path) = Some(args.get_str("table1", "")).filter(|p| !p.is_empty()) {
         records.extend(or_exit(ci::parse_table1_csv(&read(&path, "table1"))));
     }
     if records.is_empty() {
-        eprintln!("error: no inputs given (pass --fig2/--fig3/--fig8/--shardkv/--table1)");
+        eprintln!(
+            "error: no inputs given (pass --fig2/--fig3/--fig8/--shardkv/--rwbench/--table1)"
+        );
         std::process::exit(2);
     }
 

@@ -1,0 +1,270 @@
+//! `rwbench`: read-mostly scaling of shared-mode locking.
+//!
+//! The experiment the RW subsystem exists for: sweep **read fraction ×
+//! thread count** over one maximally contended lock and compare the `rw.*`
+//! catalog (readers admitted concurrently) against the exclusive catalog
+//! (readers serialize behind the single holder). Lock names resolve
+//! against *both* registries — `--lock hemlock,rw.hemlock` runs the same
+//! measurement loop through `catalog::with_lock_type` and
+//! `hemlock_rw::catalog::with_rw_lock_type` respectively, so the only
+//! difference between a pair of rows is whether `read_lock` shares.
+//!
+//! Each operation takes the lock (read mode for reads, write mode for
+//! writes) around a touch of one slot in a shared array. At high read
+//! fractions an RW lock should scale with threads while the exclusive
+//! baseline stays flat: the acceptance bar for this subsystem is
+//! `rw.hemlock ≥ 2× hemlock` at 95% reads on ≥ 4 threads.
+//!
+//! Output: aligned table (default), `--csv`, or `--json` (normalized
+//! bench-trajectory records; `bench_ci --rwbench` consumes them).
+//! Banners and progress go to stderr so stdout stays machine-readable.
+
+use hemlock_bench::ci::{self, Record};
+use hemlock_bench::Sweep;
+use hemlock_core::meta::LockMeta;
+use hemlock_core::pad::CachePadded;
+use hemlock_core::raw::RawLock;
+use hemlock_harness::{fmt_f64, Spec, Table};
+use hemlock_rw::catalog as rw_catalog;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+#[derive(Clone, Copy)]
+struct Workload {
+    threads: usize,
+    read_pct: u64,
+    keys: u64,
+    duration: Duration,
+}
+
+/// One timed run over a single shared lock: ops/sec across all threads.
+fn run_once<L: RawLock>(w: Workload) -> f64 {
+    let lock = L::default();
+    let slots: Vec<CachePadded<AtomicU64>> = (0..w.keys)
+        .map(|i| CachePadded::new(AtomicU64::new(i)))
+        .collect();
+    let stop = AtomicBool::new(false);
+    let counters: Vec<CachePadded<AtomicU64>> = (0..w.threads)
+        .map(|_| CachePadded::new(AtomicU64::new(0)))
+        .collect();
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for (t, ops) in counters.iter().enumerate() {
+            let lock = &lock;
+            let slots = &slots;
+            let stop = &stop;
+            s.spawn(move || {
+                let mut state = 0x243F6A8885A308D3u64.wrapping_mul(t as u64 + 1);
+                let mut local = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let r = splitmix64(&mut state);
+                    let key = (r % w.keys) as usize;
+                    if (r >> 32) % 100 < w.read_pct {
+                        lock.read_lock();
+                        std::hint::black_box(slots[key].load(Ordering::Relaxed));
+                        // Safety: read-acquired just above on this thread.
+                        unsafe { lock.read_unlock() };
+                    } else {
+                        lock.lock();
+                        slots[key].store(r, Ordering::Relaxed);
+                        // Safety: acquired just above on this thread.
+                        unsafe { lock.unlock() };
+                    }
+                    local += 1;
+                }
+                ops.store(local, Ordering::Relaxed);
+            });
+        }
+        std::thread::sleep(w.duration);
+        stop.store(true, Ordering::Relaxed);
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    let total: u64 = counters.iter().map(|c| c.load(Ordering::Relaxed)).sum();
+    total as f64 / elapsed
+}
+
+fn run_median<L: RawLock>(w: Workload, runs: usize) -> f64 {
+    let mut results: Vec<f64> = (0..runs.max(1)).map(|_| run_once::<L>(w)).collect();
+    results.sort_by(f64::total_cmp);
+    results[results.len() / 2]
+}
+
+struct Row {
+    meta: LockMeta,
+    read_pct: u64,
+    threads: usize,
+    ops_per_sec: f64,
+}
+
+struct RwSweep<'a> {
+    sweep: &'a Sweep,
+    read_pct: u64,
+    keys: u64,
+}
+
+impl rw_catalog::RwLockVisitor for RwSweep<'_> {
+    type Output = Vec<Row>;
+    fn visit<L: RawLock + 'static>(self, meta: LockMeta) -> Vec<Row> {
+        self.sweep
+            .threads
+            .iter()
+            .map(|&threads| {
+                let ops_per_sec = run_median::<L>(
+                    Workload {
+                        threads,
+                        read_pct: self.read_pct,
+                        keys: self.keys,
+                        duration: self.sweep.duration,
+                    },
+                    self.sweep.runs,
+                );
+                eprintln!(
+                    "# rwbench {} reads={}% threads={}: {:.2} Mops/s{}",
+                    meta.name,
+                    self.read_pct,
+                    threads,
+                    ops_per_sec / 1e6,
+                    if meta.rw { "" } else { " (exclusive reads)" }
+                );
+                Row {
+                    meta,
+                    read_pct: self.read_pct,
+                    threads,
+                    ops_per_sec,
+                }
+            })
+            .collect()
+    }
+}
+
+fn or_exit<T>(r: Result<T, String>) -> T {
+    r.unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let spec = Spec::new(
+        "rwbench",
+        "Read-fraction x thread sweep: rw.* shared-mode locks vs exclusive baselines",
+    )
+    .sweep()
+    .value(
+        "threads",
+        "comma-separated thread counts (default: the standard sweep)",
+    )
+    .value(
+        "read-pct",
+        "comma-separated read percentages to sweep (default 50,95,100; quick: 95)",
+    )
+    .value(
+        "keys",
+        "slots in the shared array the critical sections touch",
+    )
+    .flag("json", "emit normalized bench-trajectory JSON records");
+    let args = spec.parse_env();
+
+    let quick = args.has("quick");
+    let lock_list = args.get_str("lock", "hemlock,rw.hemlock,mcs,rw.mcs");
+    let names: Vec<String> = lock_list.split(',').map(|n| n.trim().to_string()).collect();
+    // Validate the whole selection before any measurement runs, so a typo
+    // at the end of the list fails fast instead of after minutes of sweep.
+    for name in &names {
+        if name.is_empty() {
+            or_exit::<()>(Err(format!(
+                "empty lock name in {lock_list:?}; known locks: {}",
+                rw_catalog::all_keys().join(", ")
+            )));
+        }
+        if rw_catalog::find(name).is_none() && hemlock_locks::catalog::find(name).is_none() {
+            or_exit::<()>(Err(format!(
+                "unknown lock {name:?}; known locks: {}",
+                rw_catalog::all_keys().join(", ")
+            )));
+        }
+    }
+    let mut sweep = Sweep::from_args(&args);
+    sweep.threads = or_exit(args.get_list("threads", &sweep.threads));
+    let read_pcts: Vec<u64> = or_exit(args.get_list(
+        "read-pct",
+        if quick { &[95][..] } else { &[50, 95, 100][..] },
+    ));
+    if let Some(bad) = read_pcts.iter().find(|&&p| p > 100) {
+        or_exit::<()>(Err(format!("--read-pct must be 0..=100, got {bad}")));
+    }
+    let keys: u64 = args.get("keys", 1_024);
+    if keys == 0 {
+        or_exit::<()>(Err("--keys must be at least 1".to_string()));
+    }
+    let json = args.has("json");
+
+    eprintln!(
+        "# rwbench: {} slot(s), read fractions {:?}, {} run(s) x {:?} per point",
+        keys, read_pcts, sweep.runs, sweep.duration
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    for name in &names {
+        for &read_pct in &read_pcts {
+            let visited = rw_catalog::with_any_lock_type(
+                name,
+                RwSweep {
+                    sweep: &sweep,
+                    read_pct,
+                    keys,
+                },
+            );
+            match visited {
+                Some(v) => rows.extend(v),
+                None => or_exit::<()>(Err(format!(
+                    "unknown lock {name:?}; known locks: {}",
+                    rw_catalog::all_keys().join(", ")
+                ))),
+            }
+        }
+    }
+
+    if json {
+        let records: Vec<Record> = rows
+            .iter()
+            .map(|r| Record {
+                bench: format!("rwbench.r{}", r.read_pct),
+                lock: r.meta.name.to_string(),
+                threads: r.threads,
+                ops_per_sec: r.ops_per_sec,
+                space_bytes: Some(r.meta.footprint_bytes(1, r.threads) as u64),
+            })
+            .collect();
+        print!("{}", ci::to_json(&records));
+        return;
+    }
+
+    let mut t = Table::new(vec![
+        "Lock",
+        "RW",
+        "Read%",
+        "Threads",
+        "Mops/s",
+        "LockSpace(B)",
+    ]);
+    for r in &rows {
+        t.row(vec![
+            r.meta.name.to_string(),
+            if r.meta.rw { "yes" } else { "no" }.to_string(),
+            r.read_pct.to_string(),
+            r.threads.to_string(),
+            fmt_f64(r.ops_per_sec / 1e6, 3),
+            r.meta.footprint_bytes(1, r.threads).to_string(),
+        ]);
+    }
+    print!("{}", if sweep.csv { t.to_csv() } else { t.render() });
+}

@@ -27,6 +27,13 @@
 //! hot path. All binaries also accept `--secs <f>`, `--runs <n>`,
 //! `--max-threads <n>`, `--wait spin|yield[:N]`, `--quick`, `--csv`, and
 //! `--help`.
+//!
+//! Two extension binaries go beyond the paper's artifacts: `shardkv`
+//! (sharded lock-table scaling, `hemlock-shard`) and `rwbench`
+//! (read-fraction × thread sweep of the reader-writer subsystem,
+//! `hemlock-rw` — its `--lock` additionally accepts the `rw.*` catalog).
+//! `bench_ci` normalizes all machine-readable outputs into the
+//! bench-trajectory artifact and gates regressions (see [`ci`]).
 
 #![warn(missing_docs)]
 

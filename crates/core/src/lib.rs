@@ -49,6 +49,14 @@
 //!    `LD_PRELOAD` interposition). [`dynlock::TryLockError`] distinguishes
 //!    "busy" from "this algorithm has no trylock".
 //!
+//! Both layers carry a *shared-mode* extension: [`raw::RawLock::read_lock`]
+//! / [`raw::RawLock::read_unlock`] default to the exclusive path, and
+//! reader-writer algorithms ([`raw::RawRwLock`], advertised via
+//! [`meta::LockMeta`]'s `rw` bit) override them to admit concurrent
+//! readers. [`dynrw::DynRwLock`] / [`dynrw::DynRwMutex`] are the
+//! object-safe counterpart; the implementations (`HemlockRw`, the
+//! `RwFromRaw` adapter) and the `rw.*` catalog live in `hemlock-rw`.
+//!
 //! ```
 //! use hemlock_core::dynlock::{boxed_try, DynMutex};
 //! use hemlock_core::hemlock::Hemlock;
@@ -81,6 +89,7 @@
 #![warn(missing_docs)]
 
 pub mod dynlock;
+pub mod dynrw;
 pub mod hemlock;
 pub mod meta;
 pub mod mutex;
@@ -90,9 +99,10 @@ pub mod registry;
 pub mod spin;
 
 pub use dynlock::{DynLock, DynMutex, DynMutexGuard, TryLockError};
+pub use dynrw::{DynRwLock, DynRwMutex, DynRwReadGuard, DynRwWriteGuard};
 pub use meta::LockMeta;
-pub use mutex::{Mutex, MutexGuard};
-pub use raw::{RawLock, RawTryLock};
+pub use mutex::{Mutex, MutexGuard, ReadGuard};
+pub use raw::{RawLock, RawRwLock, RawTryLock};
 
 #[cfg(test)]
 mod proptests {

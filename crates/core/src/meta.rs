@@ -41,6 +41,12 @@ pub struct LockMeta {
     /// True when waiters may block in the OS (condvar/park) instead of
     /// busy-waiting the whole time (§6 / Appendix C variants).
     pub parking: bool,
+    /// True when the algorithm supports a *shared* (reader) mode: its
+    /// [`RawLock::read_lock`](crate::RawLock::read_lock) admits concurrent
+    /// readers while still excluding writers (implements
+    /// [`crate::RawRwLock`]). Exclusive-only algorithms leave this false and
+    /// their `read_lock` degrades to the exclusive path.
+    pub rw: bool,
     /// True when construction or destruction is non-trivial (CLH's dummy
     /// element; Table 1 "init" column).
     pub nontrivial_init: bool,
@@ -63,6 +69,7 @@ impl LockMeta {
             fifo: false,
             try_lock: false,
             parking: false,
+            rw: false,
             nontrivial_init: false,
             paper_ref,
         }
@@ -122,7 +129,7 @@ mod tests {
         assert_eq!(m.name, "X");
         assert_eq!(m.lock_words, 1);
         assert_eq!(m.thread_words, 0);
-        assert!(!m.fifo && !m.try_lock && !m.parking && !m.nontrivial_init);
+        assert!(!m.fifo && !m.try_lock && !m.parking && !m.rw && !m.nontrivial_init);
     }
 
     #[test]

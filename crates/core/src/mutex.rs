@@ -55,6 +55,23 @@ impl<T: ?Sized, L: RawLock> Mutex<T, L> {
         }
     }
 
+    /// Acquires for *reading*: when `L` has a shared mode
+    /// ([`LockMeta::rw`](crate::meta::LockMeta), i.e. `L:
+    /// `[`RawRwLock`](crate::RawRwLock)) any number of read guards coexist;
+    /// exclusive-only algorithms degrade to [`Mutex::lock`] semantics with a
+    /// read-only guard. `T: Sync` because concurrent readers share `&T`
+    /// across threads.
+    pub fn read(&self) -> ReadGuard<'_, T, L>
+    where
+        T: Sync,
+    {
+        self.raw.read_lock();
+        ReadGuard {
+            mutex: self,
+            _not_send: PhantomData,
+        }
+    }
+
     /// Mutable access without locking (the `&mut` proves exclusivity).
     pub fn get_mut(&mut self) -> &mut T {
         self.data.get_mut()
@@ -136,6 +153,42 @@ impl<T: ?Sized, L: RawLock> Drop for MutexGuard<'_, T, L> {
     }
 }
 
+/// Shared RAII guard: `Deref` only, released on drop via
+/// [`RawLock::read_unlock`]. Many may coexist when `L` is RW-capable; with
+/// an exclusive-only `L` it is simply a read-only view of an exclusive
+/// acquisition. `!Send` like [`MutexGuard`]: the release must run on the
+/// acquiring thread (RW implementations track the acquisition in
+/// per-thread state such as a thread-striped read-indicator).
+pub struct ReadGuard<'a, T: ?Sized, L: RawLock> {
+    mutex: &'a Mutex<T, L>,
+    _not_send: PhantomData<*mut ()>,
+}
+
+impl<T: ?Sized, L: RawLock> Deref for ReadGuard<'_, T, L> {
+    type Target = T;
+    #[inline]
+    fn deref(&self) -> &T {
+        // Safety: we hold the lock in read mode; writers are excluded and
+        // every concurrent holder also only has `&T` (T: Sync at creation).
+        unsafe { &*self.mutex.data.get() }
+    }
+}
+
+impl<T: ?Sized, L: RawLock> Drop for ReadGuard<'_, T, L> {
+    #[inline]
+    fn drop(&mut self) {
+        // Safety: this guard proves the current thread holds the lock in
+        // read mode, and the guard is !Send so we are on that thread.
+        unsafe { self.mutex.raw.read_unlock() }
+    }
+}
+
+impl<T: ?Sized + fmt::Debug, L: RawLock> fmt::Debug for ReadGuard<'_, T, L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
 impl<T: ?Sized + fmt::Debug, L: RawLock> fmt::Debug for MutexGuard<'_, T, L> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         (**self).fmt(f)
@@ -206,6 +259,19 @@ mod tests {
         assert!(r.is_err());
         // The guard released during unwinding; the lock is usable.
         assert_eq!(*m.lock(), 1);
+    }
+
+    #[test]
+    fn read_guard_on_an_exclusive_lock_degrades_to_exclusive() {
+        let m: Mutex<i32, Hemlock> = Mutex::new(5);
+        {
+            let g = m.read();
+            assert_eq!(*g, 5);
+            // Hemlock has no shared mode: the read guard holds the lock
+            // exclusively, so a trylock must fail while it lives.
+            assert!(m.try_lock().is_none());
+        }
+        assert!(m.try_lock().is_some());
     }
 
     #[test]

@@ -44,6 +44,79 @@ pub unsafe trait RawLock: Default + Send + Sync {
     fn is_locked_hint(&self) -> Option<bool> {
         None
     }
+
+    /// Acquires the lock for *reading*. For exclusive-only algorithms this
+    /// is [`RawLock::lock`]; reader-writer algorithms ([`RawRwLock`],
+    /// advertised by [`LockMeta::rw`](crate::meta::LockMeta)) override it to
+    /// admit concurrent readers while still excluding writers. Callers that
+    /// only read the protected state can therefore call `read_lock`
+    /// unconditionally and let the algorithm decide whether to share — the
+    /// sharded-table and minikv read paths do exactly this.
+    ///
+    /// Implementations overriding this must guarantee that between a
+    /// `read_lock()` return and the matching [`RawLock::read_unlock`], no
+    /// `lock()` (write acquisition) may return — readers exclude writers,
+    /// and only ever receive shared access.
+    #[inline]
+    fn read_lock(&self) {
+        self.lock();
+    }
+
+    /// Releases a [`RawLock::read_lock`] acquisition.
+    ///
+    /// # Safety
+    ///
+    /// The calling thread must currently hold the lock in read mode, and
+    /// must be the thread that acquired it (reader-writer implementations
+    /// track the acquisition in per-thread state, e.g. a thread-striped
+    /// read-indicator counter).
+    #[inline]
+    unsafe fn read_unlock(&self) {
+        self.unlock();
+    }
+}
+
+/// Locks with a genuine *shared* (reader) mode: `read_lock` admits any
+/// number of concurrent readers while writers exclude everyone.
+///
+/// The four operations stay context-free exactly as [`RawLock`] requires —
+/// nothing flows from a `read_lock` to its `read_unlock` or from a
+/// `write_lock` to its `write_unlock` — so reader-writer locks drop into
+/// the same pthread-shaped call sites (`pthread_rwlock_t`) as the exclusive
+/// family. The write path *is* the [`RawLock`] path: `write_lock` /
+/// `write_unlock` are provided aliases of `lock` / `unlock`, which keeps
+/// every RW lock usable behind exclusive-only infrastructure
+/// (`Mutex<T, L>`, the sharded table's write path, the catalog benches).
+///
+/// # Safety
+///
+/// Implementations must override [`RawLock::read_lock`] /
+/// [`RawLock::read_unlock`] so that
+///
+/// - any number of `read_lock()` calls may return concurrently (readers
+///   coexist),
+/// - no `lock()` may return between a `read_lock()` return and its matching
+///   `read_unlock()` (readers exclude writers), with `read_unlock` giving
+///   release semantics readers' critical-section loads are ordered by, and
+/// - [`RawLock::META`]`.rw` is `true`, so the dynamic layer and the shard
+///   census can tell genuine sharing from the degraded exclusive default.
+pub unsafe trait RawRwLock: RawLock {
+    /// Acquires the lock exclusively — an alias of [`RawLock::lock`] for
+    /// call sites that want the reader/writer intent spelled out.
+    #[inline]
+    fn write_lock(&self) {
+        self.lock();
+    }
+
+    /// Releases an exclusive acquisition — an alias of [`RawLock::unlock`].
+    ///
+    /// # Safety
+    ///
+    /// As for [`RawLock::unlock`].
+    #[inline]
+    unsafe fn write_unlock(&self) {
+        self.unlock();
+    }
 }
 
 /// Locks that additionally support a non-blocking acquisition attempt.

@@ -212,7 +212,10 @@ impl Args {
     }
 
     /// Comma-separated list value of `--name <v1,v2,…>` parsed as `T`s, or
-    /// `default`. `Err` names the malformed element.
+    /// `default`. `Err` names the malformed element; empty segments
+    /// (`1,,4`, trailing commas) are rejected with the de-comma'd spelling
+    /// the caller probably meant, instead of a confusing downstream error
+    /// about an empty key.
     pub fn get_list<T: std::str::FromStr + Clone>(
         &self,
         name: &str,
@@ -224,6 +227,21 @@ impl Args {
         raw.split(',')
             .map(|tok| {
                 let tok = tok.trim();
+                if tok.is_empty() {
+                    let cleaned: Vec<&str> = raw
+                        .split(',')
+                        .map(str::trim)
+                        .filter(|t| !t.is_empty())
+                        .collect();
+                    return Err(if cleaned.is_empty() {
+                        format!("empty element in --{name} {raw:?} (expected a list like 1,4,16)")
+                    } else {
+                        format!(
+                            "empty element in --{name} {raw:?} (did you mean \"{}\"?)",
+                            cleaned.join(",")
+                        )
+                    });
+                }
                 tok.parse().map_err(|_| {
                     format!(
                         "invalid element {tok:?} in --{name} {raw:?} (expected a list like 1,4,16)"
@@ -356,6 +374,31 @@ mod tests {
             .get_list::<usize>("shards", &[])
             .unwrap_err()
             .contains("\"x\""));
+    }
+
+    #[test]
+    fn get_list_rejects_empty_segments_with_a_suggestion() {
+        let spec = Spec::new("t", "x").value("shards", "x");
+        let parse_list = |raw: &str| {
+            spec.parse(["--shards".to_string(), raw.to_string()])
+                .unwrap()
+                .get_list::<usize>("shards", &[])
+        };
+        // A doubled comma suggests the cleaned spelling.
+        let e = parse_list("1,,4").unwrap_err();
+        assert!(e.contains("empty element"), "{e}");
+        assert!(e.contains("did you mean \"1,4\"?"), "{e}");
+        // So do trailing commas and whitespace-only segments.
+        let e = parse_list("1,4,").unwrap_err();
+        assert!(e.contains("did you mean \"1,4\"?"), "{e}");
+        let e = parse_list("1, ,4").unwrap_err();
+        assert!(e.contains("did you mean \"1,4\"?"), "{e}");
+        // Nothing but commas: no suggestion to offer.
+        let e = parse_list(",").unwrap_err();
+        assert!(
+            e.contains("empty element") && !e.contains("did you mean"),
+            "{e}"
+        );
     }
 
     #[test]

@@ -124,7 +124,8 @@ pub fn ring_bench(threads: usize, duration: Duration, mode: RingWait) -> Through
 }
 
 /// Lock-mediated ring circulation: the token is a shared counter behind a
-/// runtime-selected lock ([`DynMutex`]), and thread *t* may only advance it
+/// runtime-selected lock ([`hemlock_core::DynMutex`]), and thread *t* may
+/// only advance it
 /// when `token % threads == t`. Every advance is an ownership hand-over
 /// through the lock, so circulations/sec measures contended pass-the-baton
 /// cost for whichever algorithm the catalog resolved — the dynamic-layer

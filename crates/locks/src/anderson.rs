@@ -78,6 +78,18 @@ unsafe impl<const SLOTS: usize> RawLock for AndersonLock<SLOTS> {
         let slot = self.head.load(Ordering::Relaxed);
         self.flags[(slot + 1) % SLOTS].store(true, Ordering::Release);
     }
+
+    fn is_locked_hint(&self) -> Option<bool> {
+        // The grant slot the *next* arrival would take: its flag is true
+        // exactly when the lock is free with an empty queue (the previous
+        // owner enabled it and nobody has consumed it). A holder clears its
+        // own flag on entry, and with waiters queued the dispenser has
+        // advanced to a slot whose flag is still false — so a false flag at
+        // `tail % SLOTS` means "engaged". Racy by nature (the ticket may
+        // advance between the two loads); statistics only, per the trait.
+        let next = self.tail.load(Ordering::Relaxed) % SLOTS;
+        Some(!self.flags[next].load(Ordering::Relaxed))
+    }
 }
 
 #[cfg(test)]
@@ -100,6 +112,47 @@ mod tests {
             l.lock();
             unsafe { l.unlock() };
         }
+    }
+
+    #[test]
+    fn locked_hint_tracks_the_grant_slot() {
+        let l: AndersonLock<4> = AndersonLock::new();
+        // Across wraps: free → held → free must stay visible in the hint.
+        for _ in 0..13 {
+            assert_eq!(l.is_locked_hint(), Some(false));
+            l.lock();
+            assert_eq!(l.is_locked_hint(), Some(true));
+            unsafe { l.unlock() };
+        }
+        assert_eq!(l.is_locked_hint(), Some(false));
+    }
+
+    #[test]
+    fn locked_hint_sees_queued_waiters() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let l: Arc<AndersonLock<8>> = Arc::new(AndersonLock::new());
+        let release = Arc::new(AtomicBool::new(false));
+        l.lock();
+        let waiter = {
+            let l = Arc::clone(&l);
+            let release = Arc::clone(&release);
+            std::thread::spawn(move || {
+                l.lock();
+                while !release.load(std::sync::atomic::Ordering::Acquire) {
+                    std::hint::spin_loop();
+                }
+                unsafe { l.unlock() };
+            })
+        };
+        // Holder plus a (soon-)queued waiter: the hint must say engaged
+        // throughout, including right after ownership transfers.
+        assert_eq!(l.is_locked_hint(), Some(true));
+        unsafe { l.unlock() };
+        assert_eq!(l.is_locked_hint(), Some(true), "waiter now holds it");
+        release.store(true, std::sync::atomic::Ordering::Release);
+        waiter.join().unwrap();
+        assert_eq!(l.is_locked_hint(), Some(false));
     }
 
     #[test]

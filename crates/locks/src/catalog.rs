@@ -17,11 +17,11 @@
 //!
 //! - **dynamic** — [`dyn_lock`] / [`dyn_mutex`] build boxed handles; one
 //!   vtable call per lock operation;
-//! - **static** — [`with_lock_type`] (or the [`for_each_lock!`] macro
+//! - **static** — [`with_lock_type`] (or the [`for_each_lock!`](crate::for_each_lock) macro
 //!   directly) monomorphizes a generic visitor for the chosen key, so
 //!   benchmark inner loops stay as tight as the hand-written originals.
 //!
-//! The [`for_each_lock!`] macro is the single source of truth: the entry
+//! The [`for_each_lock!`](crate::for_each_lock) macro is the single source of truth: the entry
 //! table, the static dispatcher, and the conformance suite in
 //! `tests/dyn_conformance.rs` are all generated from it.
 

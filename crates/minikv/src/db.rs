@@ -9,9 +9,14 @@
 //!
 //! - `put`: one shard lock for the insert; the central mutex is touched
 //!   only when the byte budget trips a freeze.
-//! - `get`: one shard lock to probe the memtable; on a miss, the central
-//!   mutex *briefly* to snapshot `Arc` handles to the runs, which are then
-//!   searched outside any lock — exactly LevelDB's `Get` shape.
+//! - `get`: one shard lock **in read mode** to probe the memtable; on a
+//!   miss, the central mutex *briefly* — also in read mode — to snapshot
+//!   `Arc` handles to the runs, which are then searched outside any lock —
+//!   exactly LevelDB's `Get` shape. With an RW-capable lock algorithm
+//!   (`LockMeta::rw`, e.g. `hemlock_rw::HemlockRw` or any `rw.*` catalog
+//!   entry) point reads of a hot shard and concurrent run snapshots are
+//!   admitted together, so the read-mostly workload no longer serializes;
+//!   exclusive-only algorithms degrade to the previous behaviour.
 //! - freeze/compaction: the central mutex for the whole transition. The
 //!   memtable drains one shard at a time *while the central mutex is
 //!   held*; a reader that misses a just-drained shard must acquire the
@@ -96,12 +101,18 @@ unsafe impl<L: RawLock> Sync for Db<L> {}
 /// RAII critical section over the central mutex (the run list).
 struct DbGuard<'a, L: RawLock> {
     db: &'a Db<L>,
+    /// `!Send`: queue locks and the Grant protocol require the unlock to
+    /// run on the acquiring thread.
+    _not_send: core::marker::PhantomData<*mut ()>,
 }
 
 impl<'a, L: RawLock> DbGuard<'a, L> {
     fn lock(db: &'a Db<L>) -> Self {
         db.mu.lock();
-        Self { db }
+        Self {
+            db,
+            _not_send: core::marker::PhantomData,
+        }
     }
 
     #[allow(clippy::mut_from_ref)]
@@ -115,6 +126,44 @@ impl<L: RawLock> Drop for DbGuard<'_, L> {
     fn drop(&mut self) {
         // Safety: this guard acquired the lock on this thread.
         unsafe { self.db.mu.unlock() };
+    }
+}
+
+/// Shared critical section over the central mutex: a read-mode view of the
+/// run list. With an RW-capable `L` ([`hemlock_core::LockMeta`]'s `rw`
+/// bit, e.g. `hemlock_rw::HemlockRw`), concurrent readers snapshot run
+/// handles together and only structural transitions (freeze, compaction)
+/// exclude them; with an exclusive-only `L` this degrades to [`DbGuard`]
+/// semantics, preserving the coarse contention Figure 8 measures.
+struct DbReadGuard<'a, L: RawLock> {
+    db: &'a Db<L>,
+    /// `!Send`, like every guard in this workspace: `read_unlock` must run
+    /// on the acquiring thread (the RW read-indicator stripe is chosen by
+    /// thread-local state).
+    _not_send: core::marker::PhantomData<*mut ()>,
+}
+
+impl<'a, L: RawLock> DbReadGuard<'a, L> {
+    fn lock(db: &'a Db<L>) -> Self {
+        db.mu.read_lock();
+        Self {
+            db,
+            _not_send: core::marker::PhantomData,
+        }
+    }
+
+    fn runs(&self) -> &Vec<Arc<Run>> {
+        // Safety: we hold the central mutex in read mode — mutators
+        // (freeze/compaction) hold it exclusively, and every concurrent
+        // read-mode holder only takes `&` references.
+        unsafe { &*self.db.runs.get() }
+    }
+}
+
+impl<L: RawLock> Drop for DbReadGuard<'_, L> {
+    fn drop(&mut self) {
+        // Safety: this guard read-acquired the lock on this thread.
+        unsafe { self.db.mu.read_unlock() };
     }
 }
 
@@ -206,12 +255,10 @@ impl<L: RawLock> Db<L> {
             self.stats.gets.fetch_add(1, Ordering::Relaxed);
             return value;
         }
-        // Tier 2: snapshot run handles under the central mutex, search
-        // outside it — LevelDB's `Get` shape.
-        let snapshot: Vec<Arc<Run>> = {
-            let mut g = DbGuard::lock(self);
-            g.runs().clone()
-        };
+        // Tier 2: snapshot run handles under the central mutex in *read*
+        // mode (shared among concurrent getters when the lock is
+        // RW-capable), search outside it — LevelDB's `Get` shape.
+        let snapshot: Vec<Arc<Run>> = DbReadGuard::lock(self).runs().clone();
         let mut result = None;
         for run in &snapshot {
             if let Some(slot) = run.get(key) {
@@ -225,15 +272,18 @@ impl<L: RawLock> Db<L> {
 
     /// Number of immutable runs (tests/diagnostics).
     pub fn run_count(&self) -> usize {
-        let mut g = DbGuard::lock(self);
-        g.runs().len()
+        DbReadGuard::lock(self).runs().len()
     }
 
     /// Total entries across memtable and runs, counting shadowed duplicates
     /// (diagnostics).
     pub fn entry_count(&self) -> usize {
-        let mut g = DbGuard::lock(self);
-        g.runs().iter().map(|r| r.len()).sum::<usize>() + self.mem.len()
+        DbReadGuard::lock(self)
+            .runs()
+            .iter()
+            .map(|r| r.len())
+            .sum::<usize>()
+            + self.mem.len()
     }
 }
 
@@ -383,5 +433,44 @@ mod tests {
     #[test]
     fn concurrent_access_under_ticket() {
         concurrent_readers_with_writer::<TicketLock>();
+    }
+
+    #[test]
+    fn concurrent_access_under_hemlock_rw() {
+        // The RW lock drives both tiers: memtable probes and run snapshots
+        // run in shared mode, structural transitions exclusively.
+        concurrent_readers_with_writer::<hemlock_rw::HemlockRw>();
+    }
+
+    #[test]
+    fn concurrent_access_under_rw_adapter() {
+        concurrent_readers_with_writer::<hemlock_rw::RwFromRaw<McsLock>>();
+    }
+
+    #[test]
+    fn rw_point_reads_share_the_run_snapshot() {
+        use hemlock_rw::HemlockRw;
+        let db: Arc<Db<HemlockRw>> = Arc::new(Db::new(tiny_opts()));
+        for i in 0..300u32 {
+            db.put(format!("key{i:05}").as_bytes(), &i.to_be_bytes());
+        }
+        assert!(db.run_count() > 0, "the memtable must have frozen");
+        // Many concurrent getters: every lock they take is in read mode,
+        // so this also smoke-tests reader-reader admission end to end.
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let db = Arc::clone(&db);
+                s.spawn(move || {
+                    for i in 0..1_000u32 {
+                        let k = (i * 13 + t * 7) % 300;
+                        assert_eq!(
+                            db.get(format!("key{k:05}").as_bytes()),
+                            Some(k.to_be_bytes().to_vec())
+                        );
+                    }
+                });
+            }
+        });
+        assert_eq!(db.stats().gets.load(Ordering::Relaxed), 4_000);
     }
 }

@@ -7,7 +7,10 @@
 //! mutex; this one is a [`ShardedTable`] from `hemlock-shard`, so point
 //! reads and writes synchronize on one *shard* lock each and run
 //! concurrently — the central mutex is reserved for structural transitions
-//! (freeze, compaction, run-list snapshots; see [`crate::db`]).
+//! (freeze, compaction, run-list snapshots; see [`crate::db`]). Point
+//! *reads* ([`Memtable::get`], [`Memtable::get_vec`]) take their shard in
+//! read mode, so an RW-capable lock algorithm lets readers of the same hot
+//! shard proceed together.
 //!
 //! The shard locks use the same algorithm `L` as the database's central
 //! mutex, so a benchmark that swaps `--lock` swaps *every* lock in the

@@ -1,0 +1,358 @@
+//! The reader-writer lock catalog: `rw.*` keys.
+//!
+//! Every algorithm in the exclusive catalog (`hemlock_locks::catalog`)
+//! gains a reader-writer counterpart here under the same key with an `rw.`
+//! prefix — `"rw.mcs"`, `"rw.clh"`, `"rw.ticket"`, … — built with the
+//! generic [`RwFromRaw`](crate::RwFromRaw) adapter, while `"rw.hemlock"`
+//! resolves to the native [`HemlockRw`](crate::HemlockRw) with its striped
+//! read-indicator. As in the exclusive catalog, two dispatch styles are
+//! offered:
+//!
+//! - **dynamic** — [`dyn_rw_lock`] / [`dyn_rw_mutex`] build boxed
+//!   [`DynRwLock`] handles for the runtime-selection layer
+//!   ([`DynRwMutex`]);
+//! - **static** — [`with_rw_lock_type`] monomorphizes a generic visitor
+//!   for the chosen key, so benchmark inner loops carry no vtable
+//!   indirection; [`with_any_lock_type`] extends the dispatch to the
+//!   exclusive catalog's keys (whose `read_lock` degrades to the exclusive
+//!   path), which is how `rwbench` compares `rw.hemlock` against plain
+//!   `hemlock` under one measurement loop.
+//!
+//! The [`for_each_rw_lock!`](crate::for_each_rw_lock) macro is the single
+//! source of truth for the `rw.*` entries; a conformance test asserts it
+//! stays in sync with the exclusive catalog (every exclusive key has an
+//! `rw.` counterpart).
+//!
+//! Display names are patched per entry (`"RW-MCS"`, `"RW-CLH"`, …): Rust
+//! has no `const` string concatenation, so [`RwFromRaw`](crate::RwFromRaw)'s
+//! own `META` carries the inner lock's name and the catalog supplies the
+//! prefixed spelling both in its [`RwCatalogEntry::meta`] and to the
+//! [`DynRwAdapter`] factory.
+
+use hemlock_core::dynrw::{DynRwAdapter, DynRwLock, DynRwMutex};
+use hemlock_core::meta::LockMeta;
+use hemlock_core::raw::RawLock;
+
+/// Re-exports of every type the [`for_each_rw_lock!`](crate::for_each_rw_lock)
+/// expansion names, so callers need no direct dependency on `hemlock-core`
+/// / `hemlock-locks`.
+pub mod types {
+    pub use crate::{HemlockRw, RwFromRaw};
+    pub use hemlock_core::hemlock::{
+        Hemlock, HemlockAh, HemlockChain, HemlockInstrumented, HemlockNaive, HemlockOverlap,
+        HemlockParking, HemlockV1, HemlockV2,
+    };
+    pub use hemlock_locks::{AndersonLock, ClhLock, McsLock, TasLock, TicketLock, TtasLock};
+}
+
+/// Invokes a callback macro with the full RW catalog: a comma-separated
+/// list of `(key, display-name, [aliases…], Type)` tuples. The display
+/// name is the `LockMeta::name` the catalog reports for the entry (the
+/// type's own `META` keeps the inner lock's name — see the module docs).
+///
+/// This is the RW counterpart of `hemlock_locks::for_each_lock!`; use it
+/// to generate per-algorithm code (tests, dispatchers) without re-listing
+/// the entries.
+#[macro_export]
+macro_rules! for_each_rw_lock {
+    ($cb:path) => {
+        $cb! {
+            ("rw.hemlock", "HemlockRw", ["hemlockrw", "hemlock.rw"], $crate::catalog::types::HemlockRw),
+            ("rw.hemlock.naive", "RW-Hemlock-", [], $crate::catalog::types::RwFromRaw<$crate::catalog::types::HemlockNaive>),
+            ("rw.hemlock.overlap", "RW-Hemlock+Overlap", [], $crate::catalog::types::RwFromRaw<$crate::catalog::types::HemlockOverlap>),
+            ("rw.hemlock.ah", "RW-Hemlock+AH", [], $crate::catalog::types::RwFromRaw<$crate::catalog::types::HemlockAh>),
+            ("rw.hemlock.v1", "RW-Hemlock+HOV1", [], $crate::catalog::types::RwFromRaw<$crate::catalog::types::HemlockV1>),
+            ("rw.hemlock.v2", "RW-Hemlock+HOV2", [], $crate::catalog::types::RwFromRaw<$crate::catalog::types::HemlockV2>),
+            ("rw.hemlock.parking", "RW-Hemlock+CV", [], $crate::catalog::types::RwFromRaw<$crate::catalog::types::HemlockParking>),
+            ("rw.hemlock.chain", "RW-Hemlock+Chain", [], $crate::catalog::types::RwFromRaw<$crate::catalog::types::HemlockChain>),
+            ("rw.hemlock.instr", "RW-Hemlock(instr)", [], $crate::catalog::types::RwFromRaw<$crate::catalog::types::HemlockInstrumented>),
+            ("rw.mcs", "RW-MCS", [], $crate::catalog::types::RwFromRaw<$crate::catalog::types::McsLock>),
+            ("rw.clh", "RW-CLH", [], $crate::catalog::types::RwFromRaw<$crate::catalog::types::ClhLock>),
+            ("rw.ticket", "RW-Ticket", [], $crate::catalog::types::RwFromRaw<$crate::catalog::types::TicketLock>),
+            ("rw.tas", "RW-TAS", [], $crate::catalog::types::RwFromRaw<$crate::catalog::types::TasLock>),
+            ("rw.ttas", "RW-TTAS", [], $crate::catalog::types::RwFromRaw<$crate::catalog::types::TtasLock>),
+            ("rw.anderson", "RW-Anderson", [], $crate::catalog::types::RwFromRaw<$crate::catalog::types::AndersonLock>),
+        }
+    };
+}
+
+/// One RW catalog entry: a stable key, spelling aliases, the (display-name
+/// patched) metadata, and a factory for runtime reader-writer handles.
+#[derive(Debug)]
+pub struct RwCatalogEntry {
+    /// Canonical selector key (`--lock` spelling), e.g. `"rw.mcs"`.
+    pub key: &'static str,
+    /// Alternate accepted spellings.
+    pub aliases: &'static [&'static str],
+    /// The entry's descriptor: the implementing type's `META` with the
+    /// display name patched to the catalog spelling (`"RW-MCS"`).
+    pub meta: LockMeta,
+    /// Builds a fresh, unlocked, type-erased handle on this algorithm.
+    pub make: fn() -> Box<dyn DynRwLock>,
+}
+
+impl RwCatalogEntry {
+    /// True when `name` selects this entry: matches the key, an alias, or
+    /// the display name, ASCII-case-insensitively.
+    pub fn matches(&self, name: &str) -> bool {
+        self.key.eq_ignore_ascii_case(name)
+            || self.meta.name.eq_ignore_ascii_case(name)
+            || self.aliases.iter().any(|a| a.eq_ignore_ascii_case(name))
+    }
+}
+
+macro_rules! gen_rw_entries {
+    ($(($key:literal, $display:literal, [$($alias:literal),*], $ty:ty)),+ $(,)?) => {
+        /// Every reader-writer algorithm, in catalog order (the native
+        /// `rw.hemlock` first, then the `RwFromRaw` adapters mirroring the
+        /// exclusive catalog).
+        pub static ENTRIES: &[RwCatalogEntry] = &[
+            $(RwCatalogEntry {
+                key: $key,
+                aliases: &[$($alias),*],
+                meta: {
+                    let mut m = <$ty as RawLock>::META;
+                    m.name = $display;
+                    m
+                },
+                make: || {
+                    let mut m = <$ty as RawLock>::META;
+                    m.name = $display;
+                    Box::new(DynRwAdapter::<$ty>::with_meta(m))
+                },
+            }),+
+        ];
+    };
+}
+for_each_rw_lock!(gen_rw_entries);
+
+/// Looks up one entry by key, alias, or display name (case-insensitive).
+pub fn find(name: &str) -> Option<&'static RwCatalogEntry> {
+    ENTRIES.iter().find(|e| e.matches(name.trim()))
+}
+
+/// Resolves a comma-separated selector list to RW entries, preserving
+/// order and rejecting unknown or duplicate names.
+pub fn resolve_list(list: &str) -> Result<Vec<&'static RwCatalogEntry>, String> {
+    let mut out: Vec<&'static RwCatalogEntry> = Vec::new();
+    for name in list.split(',') {
+        let name = name.trim();
+        if name.is_empty() {
+            return Err(format!(
+                "empty lock name in {list:?}; expected a comma-separated subset of: {}",
+                keys().join(", ")
+            ));
+        }
+        let entry = find(name).ok_or_else(|| {
+            format!(
+                "unknown RW lock {name:?}; known RW locks: {}",
+                keys().join(", ")
+            )
+        })?;
+        if out.iter().any(|e| core::ptr::eq(*e, entry)) {
+            return Err(format!("lock {name:?} selected twice in {list:?}"));
+        }
+        out.push(entry);
+    }
+    Ok(out)
+}
+
+/// All canonical RW keys, in catalog order.
+pub fn keys() -> Vec<&'static str> {
+    ENTRIES.iter().map(|e| e.key).collect()
+}
+
+/// Builds a runtime reader-writer lock handle for `name`.
+pub fn dyn_rw_lock(name: &str) -> Result<Box<dyn DynRwLock>, String> {
+    let entry = find(name).ok_or_else(|| {
+        format!(
+            "unknown RW lock {name:?}; known RW locks: {}",
+            keys().join(", ")
+        )
+    })?;
+    Ok((entry.make)())
+}
+
+/// Builds a [`DynRwMutex`] protecting `value` with the algorithm `name`.
+pub fn dyn_rw_mutex<T>(name: &str, value: T) -> Result<DynRwMutex<T>, String> {
+    Ok(DynRwMutex::new(dyn_rw_lock(name)?, value))
+}
+
+/// A generic computation instantiated per statically-dispatched lock type.
+///
+/// The bound is [`RawLock`], not [`RawRwLock`](hemlock_core::RawRwLock):
+/// RW types implement both
+/// (their `read_lock` shares, the exclusive catalog's degrades), so one
+/// visitor can be dispatched over *either* catalog via
+/// [`with_any_lock_type`] — the shape `rwbench` uses to compare shared
+/// against exclusive read paths with an identical measurement loop.
+pub trait RwLockVisitor {
+    /// Result produced per lock type.
+    type Output;
+    /// Runs the computation with the chosen algorithm as `L`; `meta` is
+    /// the catalog entry's descriptor (display name included).
+    fn visit<L: RawLock + 'static>(self, meta: LockMeta) -> Self::Output;
+}
+
+macro_rules! gen_rw_dispatch {
+    ($(($key:literal, $display:literal, [$($alias:literal),*], $ty:ty)),+ $(,)?) => {
+        /// Statically dispatches `visitor` on the RW algorithm selected by
+        /// `name`. Returns `None` for unknown names.
+        pub fn with_rw_lock_type<V: RwLockVisitor>(name: &str, visitor: V) -> Option<V::Output> {
+            let entry = find(name)?;
+            match entry.key {
+                $($key => Some(visitor.visit::<$ty>(entry.meta)),)+
+                _ => unreachable!("rw catalog key missing from dispatch table"),
+            }
+        }
+    };
+}
+for_each_rw_lock!(gen_rw_dispatch);
+
+/// Statically dispatches `visitor` on `name` resolved against **both**
+/// catalogs: `rw.*` keys hit this crate's registry; anything else falls
+/// through to the exclusive catalog (where `read_lock` degrades to the
+/// exclusive path). Returns `None` when neither catalog knows the name.
+pub fn with_any_lock_type<V: RwLockVisitor>(name: &str, visitor: V) -> Option<V::Output> {
+    if find(name).is_some() {
+        return with_rw_lock_type(name, visitor);
+    }
+    struct Bridge<V>(V);
+    impl<V: RwLockVisitor> hemlock_locks::catalog::LockVisitor for Bridge<V> {
+        type Output = V::Output;
+        fn visit<L: RawLock + 'static>(
+            self,
+            entry: &'static hemlock_locks::catalog::CatalogEntry,
+        ) -> V::Output {
+            self.0.visit::<L>(entry.meta)
+        }
+    }
+    hemlock_locks::catalog::with_lock_type(name, Bridge(visitor))
+}
+
+/// All keys [`with_any_lock_type`] accepts: the exclusive catalog's, then
+/// the RW catalog's.
+pub fn all_keys() -> Vec<&'static str> {
+    let mut out = hemlock_locks::catalog::keys();
+    out.extend(keys());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_exclusive_key_has_an_rw_counterpart() {
+        for entry in hemlock_locks::catalog::ENTRIES {
+            let rw_key = format!("rw.{}", entry.key);
+            let rw = find(&rw_key)
+                .unwrap_or_else(|| panic!("no RW counterpart for catalog key {}", entry.key));
+            assert!(rw.meta.rw, "{rw_key}: descriptor must advertise rw");
+            assert!(!rw.meta.try_lock, "{rw_key}: RW entries expose no trylock");
+        }
+        assert_eq!(ENTRIES.len(), hemlock_locks::catalog::ENTRIES.len());
+    }
+
+    #[test]
+    fn finds_by_key_alias_display_name_case_insensitively() {
+        assert_eq!(find("rw.hemlock").unwrap().meta.name, "HemlockRw");
+        assert_eq!(find("HEMLOCKRW").unwrap().key, "rw.hemlock");
+        assert_eq!(find("hemlock.rw").unwrap().key, "rw.hemlock");
+        assert_eq!(find("RW-MCS").unwrap().key, "rw.mcs");
+        assert!(
+            find("mcs").is_none(),
+            "exclusive keys stay out of this registry"
+        );
+        assert!(find("nope").is_none());
+    }
+
+    #[test]
+    fn every_entry_builds_a_working_dyn_rw_lock() {
+        for entry in ENTRIES {
+            let lock = (entry.make)();
+            assert_eq!(lock.meta(), entry.meta, "{}", entry.key);
+            lock.write_lock();
+            // Safety: acquired on this thread just above.
+            unsafe { lock.write_unlock() };
+            lock.read_lock();
+            // Safety: read-acquired on this thread just above.
+            unsafe { lock.read_unlock() };
+        }
+    }
+
+    #[test]
+    fn resolve_list_preserves_order_and_reports_errors() {
+        let picked = resolve_list("rw.mcs, rw.clh,rw.hemlock").unwrap();
+        assert_eq!(
+            picked.iter().map(|e| e.key).collect::<Vec<_>>(),
+            ["rw.mcs", "rw.clh", "rw.hemlock"]
+        );
+        assert!(resolve_list("rw.mcs,bogus")
+            .unwrap_err()
+            .contains("known RW locks"));
+        assert!(resolve_list("rw.mcs,,rw.clh")
+            .unwrap_err()
+            .contains("empty lock name"));
+        assert!(resolve_list("rw.mcs,RW-MCS").unwrap_err().contains("twice"));
+    }
+
+    #[test]
+    fn dyn_rw_mutex_by_name() {
+        let m = dyn_rw_mutex("rw.ticket", 41u32).unwrap();
+        *m.write() += 1;
+        assert_eq!(*m.read(), 42);
+        assert_eq!(m.meta().name, "RW-Ticket");
+        assert!(dyn_rw_mutex("bogus", 0).is_err());
+    }
+
+    #[test]
+    fn static_dispatch_reaches_both_catalogs() {
+        struct NameAndSize;
+        impl RwLockVisitor for NameAndSize {
+            type Output = (&'static str, usize, bool);
+            fn visit<L: RawLock + 'static>(self, meta: LockMeta) -> Self::Output {
+                (meta.name, core::mem::size_of::<L>(), meta.rw)
+            }
+        }
+        let (name, size, rw) = with_any_lock_type("rw.mcs", NameAndSize).unwrap();
+        assert_eq!(name, "RW-MCS");
+        assert_eq!(
+            size,
+            core::mem::size_of::<crate::RwFromRaw<hemlock_locks::McsLock>>()
+        );
+        assert!(rw);
+        // Exclusive fall-through: same visitor, degraded read path.
+        let (name, _, rw) = with_any_lock_type("mcs", NameAndSize).unwrap();
+        assert_eq!(name, "MCS");
+        assert!(!rw);
+        assert!(with_any_lock_type("bogus", NameAndSize).is_none());
+    }
+
+    #[test]
+    fn keys_are_unique_prefixed_and_listed_in_all_keys() {
+        let keys = keys();
+        assert_eq!(keys.len(), ENTRIES.len());
+        assert!(keys.iter().all(|k| k.starts_with("rw.")));
+        let mut dedup = keys.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), keys.len());
+        let all = all_keys();
+        assert!(all.len() == keys.len() + hemlock_locks::catalog::keys().len());
+        assert!(all.contains(&"hemlock") && all.contains(&"rw.hemlock"));
+    }
+
+    #[test]
+    fn display_names_do_not_collide_with_exclusive_ones() {
+        for rw in ENTRIES {
+            assert!(
+                hemlock_locks::catalog::ENTRIES
+                    .iter()
+                    .all(|e| !e.meta.name.eq_ignore_ascii_case(rw.meta.name)),
+                "{} shadows an exclusive display name",
+                rw.meta.name
+            );
+        }
+    }
+}

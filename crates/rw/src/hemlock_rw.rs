@@ -1,0 +1,314 @@
+//! The native Hemlock reader-writer lock: [`HemlockRw`].
+//!
+//! Writers keep everything the paper's Listing 2 gives the exclusive lock —
+//! SWAP-based FIFO arrival on a one-word tail, address-based handover
+//! through the per-thread Grant word, CTR polling — by simply *being* a
+//! [`Hemlock`] acquisition: writer-vs-writer ordering, space cost, and
+//! coherence behaviour are inherited unchanged. What is new is the read
+//! side: a **distributed read-indicator** of per-cache-line striped
+//! counters. An arriving reader increments the stripe picked by its
+//! thread's stable seed (one uncontended atomic RMW when stripes ≥
+//! threads), checks the writer flag, and is in — constant-time arrival, no
+//! queue element, nothing allocated per engagement, exactly the property
+//! Table 1 prices for the exclusive family.
+//!
+//! Admission is **writer-preference**: a writer first wins the internal
+//! Hemlock lock (serializing writers FIFO), raises the writer flag so new
+//! readers turn away, then drains the indicator stripe by stripe. Readers
+//! that lose the race decrement, wait for the flag to clear, and retry.
+//! Continuous writer traffic can therefore starve readers — the intended
+//! trade-off for a read-mostly workload where writers are rare and should
+//! not wait behind unbounded reader streams.
+
+use core::sync::atomic::{AtomicUsize, Ordering};
+use hemlock_core::hemlock::Hemlock;
+use hemlock_core::meta::LockMeta;
+use hemlock_core::pad::CachePadded;
+use hemlock_core::raw::{RawLock, RawRwLock};
+use hemlock_core::spin::SpinWait;
+
+/// Default number of read-indicator stripes. Sized so that a handful of
+/// concurrent readers land on distinct cache lines; raise via the const
+/// parameter for very wide read-side parallelism (space grows one line per
+/// stripe, priced by [`LockMeta::footprint_bytes`] through `lock_words`).
+pub const DEFAULT_STRIPES: usize = 8;
+
+/// Monotonic seed handed to each thread on first use; a thread's stripe for
+/// every `HemlockRw<STRIPES>` is `seed % STRIPES`, which spreads the first
+/// `STRIPES` threads across distinct stripes perfectly. The seed (not the
+/// stripe) is stored so one thread-local serves every stripe count.
+static NEXT_SEED: AtomicUsize = AtomicUsize::new(0);
+
+std::thread_local! {
+    static STRIPE_SEED: usize = NEXT_SEED.fetch_add(1, Ordering::Relaxed);
+}
+
+#[inline]
+fn stripe_index<const STRIPES: usize>() -> usize {
+    STRIPE_SEED.with(|s| *s) % STRIPES
+}
+
+/// Native Hemlock reader-writer lock (see the module docs for the design).
+///
+/// The write path implements [`RawLock`] — `lock` / `unlock` *are*
+/// `write_lock` / `write_unlock` — so a `HemlockRw` drops into every
+/// exclusive-only call site; `read_lock` / `read_unlock` add the shared
+/// mode. Like the rest of the workspace, operations are context-free and
+/// must be released by the acquiring thread (the reader's stripe comes
+/// from thread-local state). Not reentrant in either mode.
+pub struct HemlockRw<const STRIPES: usize = DEFAULT_STRIPES> {
+    /// Serializes writers: FIFO arrival and handover via the grant protocol.
+    writer: Hemlock,
+    /// Write phase flag: non-zero while a writer owns (or is draining
+    /// readers for) the lock. Arriving readers back off while set.
+    wflag: AtomicUsize,
+    /// The distributed read-indicator: per-line striped reader counts.
+    readers: [CachePadded<AtomicUsize>; STRIPES],
+}
+
+impl<const STRIPES: usize> HemlockRw<STRIPES> {
+    /// Creates an unlocked lock.
+    pub fn new() -> Self {
+        assert!(STRIPES > 0, "HemlockRw needs at least one stripe");
+        Self {
+            writer: Hemlock::new(),
+            wflag: AtomicUsize::new(0),
+            readers: core::array::from_fn(|_| CachePadded::new(AtomicUsize::new(0))),
+        }
+    }
+
+    /// Bytes occupied by the read-indicator stripes alone (the space this
+    /// design spends beyond the exclusive lock's single word).
+    pub const INDICATOR_BYTES: usize = STRIPES * core::mem::size_of::<CachePadded<AtomicUsize>>();
+
+    /// Sum over all stripes: the number of readers currently admitted
+    /// (racy; diagnostics only).
+    pub fn reader_count(&self) -> usize {
+        self.readers.iter().map(|s| s.load(Ordering::Relaxed)).sum()
+    }
+}
+
+impl<const STRIPES: usize> Default for HemlockRw<STRIPES> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+unsafe impl<const STRIPES: usize> RawLock for HemlockRw<STRIPES> {
+    const META: LockMeta = {
+        let mut m = LockMeta::base("HemlockRw", "extension: RW over Listing 2");
+        // Body = writer tail + flag + the padded stripe array, as measured
+        // (alignment rounds the two scalar words up to one full line).
+        m.lock_words = core::mem::size_of::<Self>().div_ceil(core::mem::size_of::<usize>());
+        m.thread_words = 1; // the writer path's Grant word
+                            // Writers hand over FIFO, but readers may overtake waiting writers'
+                            // queue positions (and writers starve readers), so global admission
+                            // is not FCFS.
+        m.fifo = false;
+        m.rw = true;
+        m
+    };
+
+    /// Exclusive (write) acquisition: win the writer lock, raise the write
+    /// phase, drain the read-indicator.
+    fn lock(&self) {
+        self.writer.lock();
+        // SeqCst store-then-scan pairs with the readers' SeqCst
+        // increment-then-check: in the total order either the reader's
+        // wflag load sees this store (reader backs off) or the reader's
+        // stripe increment precedes the scan below (writer waits it out).
+        self.wflag.store(1, Ordering::SeqCst);
+        for stripe in &self.readers {
+            let mut spin = SpinWait::new();
+            while stripe.load(Ordering::SeqCst) != 0 {
+                spin.wait();
+            }
+        }
+    }
+
+    unsafe fn unlock(&self) {
+        self.wflag.store(0, Ordering::SeqCst);
+        // Safety: caller holds the write lock, acquired via `lock` above.
+        self.writer.unlock();
+    }
+
+    /// Shared acquisition: one RMW on this thread's stripe plus one flag
+    /// load in the uncontended (no-writer) case.
+    fn read_lock(&self) {
+        let stripe = &self.readers[stripe_index::<STRIPES>()];
+        let mut spin = SpinWait::new();
+        loop {
+            stripe.fetch_add(1, Ordering::SeqCst);
+            if self.wflag.load(Ordering::SeqCst) == 0 {
+                return;
+            }
+            // A writer is present (or draining): withdraw, wait for the
+            // write phase to end, retry. The flag stays set for the whole
+            // write phase, so the writer's drain cannot livelock.
+            stripe.fetch_sub(1, Ordering::AcqRel);
+            while self.wflag.load(Ordering::Relaxed) != 0 {
+                spin.wait();
+            }
+        }
+    }
+
+    unsafe fn read_unlock(&self) {
+        // Release so the critical section's loads are ordered before a
+        // draining writer's Acquire observation of the zero.
+        self.readers[stripe_index::<STRIPES>()].fetch_sub(1, Ordering::AcqRel);
+    }
+
+    fn is_locked_hint(&self) -> Option<bool> {
+        if self.writer.is_locked_hint() == Some(true) || self.wflag.load(Ordering::Relaxed) != 0 {
+            return Some(true);
+        }
+        Some(self.reader_count() != 0)
+    }
+}
+
+// Safety: readers coexist (disjoint stripe increments admit any number
+// while wflag is clear); `lock` drains every stripe under a raised wflag
+// before returning, so no write acquisition returns while a reader is in
+// (and vice versa — see the SeqCst pairing notes inline). META.rw is set.
+unsafe impl<const STRIPES: usize> RawRwLock for HemlockRw<STRIPES> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hemlock_core::Mutex;
+    use std::sync::atomic::{AtomicBool, AtomicU64};
+    use std::sync::Arc;
+
+    #[test]
+    fn body_accounting_matches_measurement() {
+        assert_eq!(
+            <HemlockRw>::META.lock_words * core::mem::size_of::<usize>(),
+            core::mem::size_of::<HemlockRw>()
+        );
+        const { assert!(<HemlockRw>::META.rw) };
+        // 8 stripes, one line each, plus one line for tail + flag.
+        assert_eq!(HemlockRw::<8>::INDICATOR_BYTES, 8 * 128);
+        assert_eq!(core::mem::size_of::<HemlockRw<8>>(), 9 * 128);
+    }
+
+    #[test]
+    fn write_path_is_a_working_mutex() {
+        let m: Mutex<u64, HemlockRw> = Mutex::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let m = &m;
+                s.spawn(move || {
+                    for _ in 0..5_000 {
+                        *m.lock() += 1;
+                    }
+                });
+            }
+        });
+        assert_eq!(m.into_inner(), 20_000);
+    }
+
+    #[test]
+    fn readers_are_admitted_concurrently() {
+        let l: Arc<HemlockRw> = Arc::new(HemlockRw::new());
+        l.read_lock();
+        let peer = {
+            let l = Arc::clone(&l);
+            std::thread::spawn(move || {
+                // Must not block behind the main thread's read hold.
+                l.read_lock();
+                unsafe { l.read_unlock() };
+            })
+        };
+        peer.join().unwrap();
+        assert_eq!(l.reader_count(), 1);
+        unsafe { l.read_unlock() };
+        assert_eq!(l.reader_count(), 0);
+    }
+
+    #[test]
+    fn writer_waits_for_readers_and_readers_wait_for_writer() {
+        let l: Arc<HemlockRw> = Arc::new(HemlockRw::new());
+        let writer_in = Arc::new(AtomicBool::new(false));
+        l.read_lock();
+        let w = {
+            let l = Arc::clone(&l);
+            let writer_in = Arc::clone(&writer_in);
+            std::thread::spawn(move || {
+                l.lock();
+                writer_in.store(true, Ordering::Release);
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                writer_in.store(false, Ordering::Release);
+                unsafe { l.unlock() };
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        assert!(
+            !writer_in.load(Ordering::Acquire),
+            "writer must wait for the reader to drain"
+        );
+        unsafe { l.read_unlock() };
+        // A late reader must never observe the writer inside its phase.
+        let r = {
+            let l = Arc::clone(&l);
+            let writer_in = Arc::clone(&writer_in);
+            std::thread::spawn(move || {
+                l.read_lock();
+                assert!(!writer_in.load(Ordering::Acquire), "reader/writer overlap");
+                unsafe { l.read_unlock() };
+            })
+        };
+        w.join().unwrap();
+        r.join().unwrap();
+    }
+
+    #[test]
+    fn no_lost_updates_under_reader_writer_mix() {
+        let l: Arc<HemlockRw<4>> = Arc::new(HemlockRw::new());
+        let value = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                let l = Arc::clone(&l);
+                let value = Arc::clone(&value);
+                s.spawn(move || {
+                    for _ in 0..3_000 {
+                        l.lock();
+                        // Non-atomic-style RMW: safe only because writers
+                        // exclude everyone.
+                        let v = value.load(Ordering::Relaxed);
+                        value.store(v + 1, Ordering::Relaxed);
+                        unsafe { l.unlock() };
+                    }
+                });
+            }
+            for _ in 0..3 {
+                let l = Arc::clone(&l);
+                let value = Arc::clone(&value);
+                s.spawn(move || {
+                    for _ in 0..3_000 {
+                        l.read_lock();
+                        let a = value.load(Ordering::Relaxed);
+                        std::hint::spin_loop();
+                        let b = value.load(Ordering::Relaxed);
+                        assert_eq!(a, b, "value changed under a read hold");
+                        unsafe { l.read_unlock() };
+                    }
+                });
+            }
+        });
+        assert_eq!(value.load(Ordering::Relaxed), 6_000);
+    }
+
+    #[test]
+    fn locked_hint_tracks_both_modes() {
+        let l: HemlockRw = HemlockRw::new();
+        assert_eq!(l.is_locked_hint(), Some(false));
+        l.read_lock();
+        assert_eq!(l.is_locked_hint(), Some(true));
+        unsafe { l.read_unlock() };
+        assert_eq!(l.is_locked_hint(), Some(false));
+        l.lock();
+        assert_eq!(l.is_locked_hint(), Some(true));
+        unsafe { l.unlock() };
+        assert_eq!(l.is_locked_hint(), Some(false));
+    }
+}

@@ -5,7 +5,7 @@
 //! (Table 1), so the marginal cost of another lock instance is negligible;
 //! this crate spends that budget on *parallelism*: keyed state is split
 //! across a fixed power-of-two number of shards, each guarded by its own
-//! [`Mutex`](hemlock_core::Mutex) over any [`RawLock`] algorithm from the
+//! [`Mutex`](hemlock_core::Mutex) over any [`RawLock`](hemlock_core::RawLock) algorithm from the
 //! workspace (selectable at runtime through `hemlock_locks::catalog`, as
 //! every bench binary does).
 //!

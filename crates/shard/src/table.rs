@@ -9,13 +9,21 @@
 //! lock algorithm (Hemlock's one-word body) is what makes large stripe
 //! counts affordable; [`ShardedTable::footprint_bytes`] prices exactly
 //! that, straight from the algorithm's [`LockMeta`].
+//!
+//! Read-only operations ([`ShardedTable::get`], [`ShardedTable::with`],
+//! [`ShardedTable::contains_key`], iteration, sizing) take the shard in
+//! *read* mode via [`RawLock::read_lock`]: with an RW-capable algorithm
+//! (`LockMeta::rw`, e.g. `hemlock_rw::HemlockRw` or any `rw.*` catalog
+//! entry) readers of a hot shard are admitted concurrently and only
+//! writers serialize; with an exclusive-only algorithm the read mode
+//! degrades to the ordinary lock, so nothing changes for existing users.
 
 use crate::stats::{ShardStats, TableStats};
 use core::ops::{Deref, DerefMut};
 use hemlock_core::hemlock::Hemlock;
 use hemlock_core::meta::LockMeta;
 use hemlock_core::raw::{RawLock, RawTryLock};
-use hemlock_core::{Mutex, MutexGuard};
+use hemlock_core::{Mutex, MutexGuard, ReadGuard};
 use std::borrow::Borrow;
 use std::collections::hash_map::RandomState;
 use std::collections::HashMap;
@@ -131,6 +139,40 @@ impl<K: Hash + Eq, V, L: RawLock> ShardedTable<K, V, L> {
         ShardGuard { guard }
     }
 
+    /// Locks shard `idx` in *read* mode, recording the contention census.
+    /// With an RW-capable `L` ([`LockMeta::rw`]) concurrent readers of the
+    /// same shard are admitted together; otherwise this is `lock_shard`
+    /// with a read-only guard.
+    fn read_shard(&self, idx: usize) -> ShardReadGuard<'_, K, V, L>
+    where
+        K: Sync,
+        V: Sync,
+    {
+        let shard = &self.shards[idx];
+        // Census: on an RW-capable lock an engaged hint usually means
+        // *coexisting readers* — which this acquisition joins without
+        // waiting — so counting it as contended would invert the statistic
+        // exactly when sharing works. The indicator cannot distinguish a
+        // present writer generically, so RW read acquisitions are recorded
+        // uncontended; exclusive-only locks keep the engaged-hint probe.
+        let contended = !L::META.rw && shard.map.raw().is_locked_hint() == Some(true);
+        let guard = shard.map.read();
+        shard.stats.note_acquisition(contended);
+        ShardReadGuard { guard }
+    }
+
+    /// Acquires the shard holding `key` in read mode, returning a shared
+    /// guard over that shard's whole map — the read-side counterpart of
+    /// [`Self::guard`] for multi-probe read-only critical sections.
+    pub fn read_guard<Q>(&self, key: &Q) -> ShardReadGuard<'_, K, V, L>
+    where
+        K: Borrow<Q> + Sync,
+        Q: Hash + ?Sized,
+        V: Sync,
+    {
+        self.read_shard(self.shard_index(key))
+    }
+
     /// Acquires shard `idx` (for whole-table maintenance such as draining
     /// one stripe at a time). Panics when `idx >= self.shards()`.
     pub fn guard_shard(&self, idx: usize) -> ShardGuard<'_, K, V, L> {
@@ -164,22 +206,27 @@ impl<K: Hash + Eq, V, L: RawLock> ShardedTable<K, V, L> {
         self.guard(key).remove(key)
     }
 
-    /// True when `key` is present.
+    /// True when `key` is present (shard taken in read mode).
     pub fn contains_key<Q>(&self, key: &Q) -> bool
     where
-        K: Borrow<Q>,
+        K: Borrow<Q> + Sync,
         Q: Hash + Eq + ?Sized,
+        V: Sync,
     {
-        self.guard(key).contains_key(key)
+        self.read_guard(key).contains_key(key)
     }
 
-    /// Runs `f` on the slot for `key` (shared view) under the shard lock.
+    /// Runs `f` on the slot for `key` (shared view) under the shard lock,
+    /// taken in *read* mode: when `L` is RW-capable, concurrent `with`/
+    /// [`Self::get`] calls on the same shard proceed together and only
+    /// writers ([`Self::guard`], [`Self::insert`], …) exclude them.
     pub fn with<Q, R>(&self, key: &Q, f: impl FnOnce(Option<&V>) -> R) -> R
     where
-        K: Borrow<Q>,
+        K: Borrow<Q> + Sync,
         Q: Hash + Eq + ?Sized,
+        V: Sync,
     {
-        f(self.guard(key).get(key))
+        f(self.read_guard(key).get(key))
     }
 
     /// Read-modify-write on the slot for `key` under the shard lock:
@@ -216,17 +263,26 @@ impl<K: Hash + Eq, V, L: RawLock> ShardedTable<K, V, L> {
         }
     }
 
-    /// Total entries, summed shard by shard (each shard locked briefly; the
-    /// answer is exact only while no writer runs concurrently).
-    pub fn len(&self) -> usize {
+    /// Total entries, summed shard by shard (each shard read-locked
+    /// briefly; the answer is exact only while no writer runs
+    /// concurrently).
+    pub fn len(&self) -> usize
+    where
+        K: Sync,
+        V: Sync,
+    {
         (0..self.shards.len())
-            .map(|i| self.lock_shard(i).len())
+            .map(|i| self.read_shard(i).len())
             .sum()
     }
 
     /// True when every shard is empty (same caveat as [`Self::len`]).
-    pub fn is_empty(&self) -> bool {
-        (0..self.shards.len()).all(|i| self.lock_shard(i).is_empty())
+    pub fn is_empty(&self) -> bool
+    where
+        K: Sync,
+        V: Sync,
+    {
+        (0..self.shards.len()).all(|i| self.read_shard(i).is_empty())
     }
 
     /// Removes every entry, shard by shard.
@@ -245,12 +301,16 @@ impl<K: Hash + Eq, V, L: RawLock> ShardedTable<K, V, L> {
         out
     }
 
-    /// Visits every entry, one shard lock at a time. Entries inserted or
-    /// removed concurrently in not-yet-visited shards may or may not be
-    /// seen — the usual sharded-iteration contract.
-    pub fn for_each(&self, mut f: impl FnMut(&K, &V)) {
+    /// Visits every entry, one shard *read* lock at a time. Entries
+    /// inserted or removed concurrently in not-yet-visited shards may or
+    /// may not be seen — the usual sharded-iteration contract.
+    pub fn for_each(&self, mut f: impl FnMut(&K, &V))
+    where
+        K: Sync,
+        V: Sync,
+    {
         for i in 0..self.shards.len() {
-            let g = self.lock_shard(i);
+            let g = self.read_shard(i);
             for (k, v) in g.iter() {
                 f(k, v);
             }
@@ -287,13 +347,16 @@ impl<K: Hash + Eq, V, L: RawLock> ShardedTable<K, V, L> {
 
 impl<K: Hash + Eq, V: Clone, L: RawLock> ShardedTable<K, V, L> {
     /// Point lookup (clones the value out so the shard lock is held only
-    /// for the probe).
+    /// for the probe). The shard is taken in *read* mode: with an
+    /// RW-capable `L`, concurrent `get`s on the same shard are admitted
+    /// together.
     pub fn get<Q>(&self, key: &Q) -> Option<V>
     where
-        K: Borrow<Q>,
+        K: Borrow<Q> + Sync,
         Q: Hash + Eq + ?Sized,
+        V: Sync,
     {
-        self.guard(key).get(key).cloned()
+        self.read_guard(key).get(key).cloned()
     }
 }
 
@@ -337,6 +400,22 @@ impl<K, V, L: RawLock> DerefMut for ShardGuard<'_, K, V, L> {
     #[inline]
     fn deref_mut(&mut self) -> &mut HashMap<K, V> {
         &mut self.guard
+    }
+}
+
+/// Shared RAII guard over one shard's map; releases the shard's read mode
+/// on drop. `Deref` only — with an RW-capable lock algorithm, several of
+/// these may view the same shard concurrently, so no `&mut` is ever
+/// handed out. `!Send` like [`ShardGuard`].
+pub struct ShardReadGuard<'a, K, V, L: RawLock> {
+    guard: ReadGuard<'a, HashMap<K, V>, L>,
+}
+
+impl<K, V, L: RawLock> Deref for ShardReadGuard<'_, K, V, L> {
+    type Target = HashMap<K, V>;
+    #[inline]
+    fn deref(&self) -> &HashMap<K, V> {
+        &self.guard
     }
 }
 
@@ -517,6 +596,30 @@ mod tests {
         assert!(r.is_err());
         assert_eq!(t.get(&2), None);
         assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn rw_lock_admits_concurrent_readers_of_one_shard() {
+        use hemlock_rw::HemlockRw;
+        // One shard: every key contends on the same lock, so a concurrent
+        // reader completing while we hold a read guard proves sharing.
+        let t: ShardedTable<u32, u32, HemlockRw> = ShardedTable::with_shards(1);
+        t.insert(1, 10);
+        let g = t.read_guard(&1);
+        assert_eq!(g.get(&1), Some(&10));
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                // Must not block behind the main thread's read hold.
+                assert_eq!(t.get(&1), Some(10));
+                assert!(t.contains_key(&1));
+                assert_eq!(t.with(&1, |v| v.copied()), Some(10));
+            });
+        });
+        drop(g);
+        // Writers still exclude: the census keeps counting both modes.
+        t.insert(1, 11);
+        assert_eq!(t.get(&1), Some(11));
+        assert!(t.stats().acquisitions() >= 6);
     }
 
     #[test]

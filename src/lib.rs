@@ -6,10 +6,16 @@
 //!
 //! - [`hemlock_core`] — the Hemlock lock family (the paper's contribution),
 //!   plus the typed core (`RawLock` + `LockMeta`) and the object-safe
-//!   dynamic layer (`DynLock` / `DynMutex`) of the three-layer lock API.
+//!   dynamic layer (`DynLock` / `DynMutex`, `DynRwLock` / `DynRwMutex`) of
+//!   the three-layer lock API.
 //! - [`hemlock_locks`] — MCS / CLH / Ticket / TAS / TTAS / Anderson
 //!   baselines, and the unified catalog (`hemlock_locks::catalog`) mapping
 //!   string keys to every algorithm for runtime selection (`--lock`).
+//! - [`hemlock_rw`] — the reader-writer subsystem: native `HemlockRw`
+//!   (striped read-indicator over the grant protocol), the `RwFromRaw`
+//!   adapter, and the `rw.*` catalog.
+//! - [`hemlock_shard`] — the sharded lock-table subsystem
+//!   (`ShardedTable`, `ShardedCounter`).
 //! - [`hemlock_simlock`] — lock algorithms as deterministic state machines.
 //! - [`hemlock_model`] — schedule exploration checking the §3 theorems.
 //! - [`hemlock_coherence`] — MESI/MESIF/MOESI simulator (Table 2, §5.5).
@@ -22,4 +28,6 @@ pub use hemlock_harness as harness;
 pub use hemlock_locks as locks;
 pub use hemlock_minikv as minikv;
 pub use hemlock_model as model;
+pub use hemlock_rw as rw;
+pub use hemlock_shard as shard;
 pub use hemlock_simlock as simlock;

@@ -16,12 +16,20 @@
 //! - **metadata fidelity** — the entry's meta equals the static type's
 //!   `META` (via `for_each_lock!`), the `dyn` handle reports the same, and
 //!   the declared body size matches the measured `size_of`.
+//!
+//! A parallel pass walks the **RW catalog** (`hemlock_rw::catalog`,
+//! `rw.*` keys) through `DynRwMutex`: readers coexist, the writer excludes
+//! readers and writers alike, no updates are lost under a mixed
+//! reader/writer schedule, and every entry's metadata stays truthful
+//! (rw bit set, body words = measured size, display name patched).
 
 use hemlock_core::dynlock::TryLockError;
 use hemlock_core::raw::RawLock;
-use hemlock_core::DynMutex;
+use hemlock_core::{DynMutex, DynRwMutex};
 use hemlock_locks::catalog::{self, CatalogEntry};
-use std::sync::atomic::{AtomicBool, Ordering};
+use hemlock_rw::catalog as rw_catalog;
+use hemlock_rw::catalog::RwCatalogEntry;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 fn dyn_mutex_for(entry: &CatalogEntry) -> DynMutex<u64> {
     DynMutex::new((entry.make)(), 0)
@@ -119,6 +127,177 @@ fn dyn_handles_report_the_entry_meta() {
         assert_eq!(m.meta(), entry.meta, "{}", entry.key);
     }
 }
+
+// ---------------------------------------------------------------- RW pass
+
+fn dyn_rw_mutex_for(entry: &RwCatalogEntry) -> DynRwMutex<u64> {
+    DynRwMutex::new((entry.make)(), 0)
+}
+
+#[test]
+fn rw_catalog_mirrors_the_exclusive_catalog() {
+    assert_eq!(rw_catalog::ENTRIES.len(), catalog::ENTRIES.len());
+    for entry in catalog::ENTRIES {
+        let rw_key = format!("rw.{}", entry.key);
+        let rw = rw_catalog::find(&rw_key)
+            .unwrap_or_else(|| panic!("no RW counterpart for {}", entry.key));
+        assert!(rw.meta.rw, "{rw_key}");
+    }
+}
+
+#[test]
+fn readers_coexist_through_dyn_rw_mutex() {
+    for entry in rw_catalog::ENTRIES {
+        let m = dyn_rw_mutex_for(entry);
+        *m.write() = 9;
+        let held = m.read();
+        // A second reader on another thread must be admitted while the
+        // main thread's guard is still alive — completion proves sharing.
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                let m = &m;
+                s.spawn(move || {
+                    assert_eq!(*m.read(), 9, "{}", entry.key);
+                });
+            }
+        });
+        assert_eq!(*held, 9, "{}", entry.key);
+    }
+}
+
+#[test]
+fn writer_excludes_all_through_dyn_rw_mutex() {
+    for entry in rw_catalog::ENTRIES {
+        let m = dyn_rw_mutex_for(entry);
+        let writer_in = AtomicBool::new(false);
+        let started = AtomicUsize::new(0);
+        let mut g = m.write();
+        std::thread::scope(|s| {
+            let spawn_probe = |as_reader: bool| {
+                let m = &m;
+                let writer_in = &writer_in;
+                let started = &started;
+                s.spawn(move || {
+                    started.fetch_add(1, Ordering::AcqRel);
+                    if as_reader {
+                        let g = m.read();
+                        assert!(!writer_in.load(Ordering::Acquire), "reader/writer overlap");
+                        drop(g);
+                    } else {
+                        let g = m.write();
+                        assert!(!writer_in.load(Ordering::Acquire), "writer/writer overlap");
+                        drop(g);
+                    }
+                });
+            };
+            spawn_probe(true);
+            spawn_probe(false);
+            while started.load(Ordering::Acquire) < 2 {
+                std::hint::spin_loop();
+            }
+            // Both probes are launched and must now be blocked on us.
+            writer_in.store(true, Ordering::Release);
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            *g = 1;
+            writer_in.store(false, Ordering::Release);
+            drop(g);
+        });
+        assert_eq!(*m.read(), 1, "{}", entry.key);
+    }
+}
+
+#[test]
+fn no_lost_updates_under_mixed_rw_traffic() {
+    for entry in rw_catalog::ENTRIES {
+        let m = dyn_rw_mutex_for(entry);
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                let m = &m;
+                s.spawn(move || {
+                    for _ in 0..1_000 {
+                        *m.write() += 1;
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let m = &m;
+                s.spawn(move || {
+                    for _ in 0..1_000 {
+                        let g = m.read();
+                        let a = *g;
+                        std::hint::spin_loop();
+                        assert_eq!(a, *g, "{}: value moved under a read hold", entry.key);
+                    }
+                });
+            }
+        });
+        assert_eq!(m.into_inner(), 2_000, "{}", entry.key);
+    }
+}
+
+#[test]
+fn rw_read_guard_and_write_guard_release_on_panic() {
+    for entry in rw_catalog::ENTRIES {
+        let m = dyn_rw_mutex_for(entry);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut g = m.write();
+            *g = 7;
+            panic!("inside write critical section");
+        }));
+        assert!(r.is_err());
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let g = m.read();
+            assert_eq!(*g, 7, "{}", entry.key);
+            panic!("inside read critical section");
+        }));
+        assert!(r.is_err());
+        // Both guards released during unwinding: a writer gets in again.
+        *m.write() += 1;
+        assert_eq!(*m.read(), 8, "{}", entry.key);
+    }
+}
+
+#[test]
+fn dyn_rw_handles_report_the_entry_meta() {
+    for entry in rw_catalog::ENTRIES {
+        let lock = (entry.make)();
+        assert_eq!(lock.meta(), entry.meta, "{}", entry.key);
+        let m = dyn_rw_mutex_for(entry);
+        assert_eq!(m.meta(), entry.meta, "{}", entry.key);
+        assert!(m.meta().rw, "{}", entry.key);
+    }
+}
+
+macro_rules! rw_static_meta_checks {
+    ($(($key:literal, $display:literal, [$($alias:literal),*], $ty:ty)),+ $(,)?) => {
+        /// The RW catalog's meta is the static type's `META` with the
+        /// display name patched, and the declared body size is measured.
+        #[test]
+        fn rw_catalog_meta_matches_static_counterparts() {
+            $(
+                let entry = rw_catalog::find($key)
+                    .unwrap_or_else(|| panic!("rw catalog lost key {}", $key));
+                let mut expected = <$ty as RawLock>::META;
+                expected.name = $display;
+                assert_eq!(entry.meta, expected, "{}", $key);
+                assert_eq!(
+                    entry.meta.lock_words,
+                    core::mem::size_of::<$ty>().div_ceil(core::mem::size_of::<usize>()),
+                    "{}: LockMeta.lock_words disagrees with size_of",
+                    $key
+                );
+                $(
+                    assert_eq!(
+                        rw_catalog::find($alias).map(|e| e.key),
+                        Some($key),
+                        "alias {} must resolve to {}", $alias, $key
+                    );
+                )*
+            )+
+        }
+    };
+}
+hemlock_rw::for_each_rw_lock!(rw_static_meta_checks);
 
 macro_rules! static_meta_checks {
     ($(($key:literal, [$($alias:literal),*], $ty:ty, $cap:ident)),+ $(,)?) => {

@@ -7,7 +7,7 @@
 //! - the [`proptest!`] macro (with optional `#![proptest_config(..)]`,
 //!   `name in strategy` bindings, and `name: Type` "any value" bindings);
 //! - integer-range strategies (`-100i64..100`), tuple strategies,
-//!   [`collection::vec`], [`any`], `prop_map`, and [`prop_oneof!`];
+//!   [`collection::vec`], [`any`], `prop_map`, and [`prop_oneof!`](crate::prop_oneof);
 //! - [`prop_assert!`] / [`prop_assert_eq!`].
 //!
 //! Sampling is deterministic: each test derives its RNG seed from the test
@@ -87,7 +87,7 @@ pub mod strategy {
             Map { inner: self, f }
         }
 
-        /// Type-erases this strategy (used by [`prop_oneof!`]).
+        /// Type-erases this strategy (used by [`prop_oneof!`](crate::prop_oneof)).
         fn boxed(self) -> BoxedStrategy<Self::Value>
         where
             Self: 'static,
@@ -132,7 +132,7 @@ pub mod strategy {
         }
     }
 
-    /// Uniform choice among same-typed strategies ([`prop_oneof!`]).
+    /// Uniform choice among same-typed strategies ([`prop_oneof!`](crate::prop_oneof)).
     pub struct Union<V>(Vec<BoxedStrategy<V>>);
 
     impl<V> Union<V> {
@@ -236,7 +236,7 @@ pub mod collection {
         VecStrategy { element, len }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         len: Range<usize>,
