@@ -23,7 +23,7 @@ use hemlock_bench::ci::{self, Record};
 use hemlock_bench::Sweep;
 use hemlock_core::meta::LockMeta;
 use hemlock_core::pad::CachePadded;
-use hemlock_core::raw::RawLock;
+use hemlock_core::raw::{RawLock, RawTryLock};
 use hemlock_harness::{fmt_f64, Spec, Table};
 use hemlock_rw::catalog as rw_catalog;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -97,11 +97,74 @@ fn run_median<L: RawLock>(w: Workload, runs: usize) -> f64 {
     results[results.len() / 2]
 }
 
+/// One timed run where **every** acquisition carries the `--timeout`
+/// budget (`try_read_lock_for` / `try_lock_for`): returns completed
+/// ops/sec and the abandon rate. Only abortable locks reach this loop.
+fn run_once_timed<L: RawTryLock>(w: Workload, timeout: Duration) -> (f64, f64) {
+    let lock = L::default();
+    let slots: Vec<CachePadded<AtomicU64>> = (0..w.keys)
+        .map(|i| CachePadded::new(AtomicU64::new(i)))
+        .collect();
+    let stop = AtomicBool::new(false);
+    let counters: Vec<CachePadded<[AtomicU64; 2]>> = (0..w.threads)
+        .map(|_| CachePadded::new([AtomicU64::new(0), AtomicU64::new(0)]))
+        .collect();
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for (t, counts) in counters.iter().enumerate() {
+            let lock = &lock;
+            let slots = &slots;
+            let stop = &stop;
+            s.spawn(move || {
+                let mut state = 0x243F6A8885A308D3u64.wrapping_mul(t as u64 + 1);
+                let (mut done, mut abandoned) = (0u64, 0u64);
+                while !stop.load(Ordering::Relaxed) {
+                    let r = splitmix64(&mut state);
+                    let key = (r % w.keys) as usize;
+                    if (r >> 32) % 100 < w.read_pct {
+                        if lock.try_read_lock_for(timeout) {
+                            std::hint::black_box(slots[key].load(Ordering::Relaxed));
+                            // Safety: timed read acquisition succeeded.
+                            unsafe { lock.read_unlock() };
+                            done += 1;
+                        } else {
+                            abandoned += 1;
+                        }
+                    } else if lock.try_lock_for(timeout) {
+                        slots[key].store(r, Ordering::Relaxed);
+                        // Safety: timed acquisition conferred ownership.
+                        unsafe { lock.unlock() };
+                        done += 1;
+                    } else {
+                        abandoned += 1;
+                    }
+                }
+                counts[0].store(done, Ordering::Relaxed);
+                counts[1].store(abandoned, Ordering::Relaxed);
+            });
+        }
+        std::thread::sleep(w.duration);
+        stop.store(true, Ordering::Relaxed);
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    let done: u64 = counters.iter().map(|c| c[0].load(Ordering::Relaxed)).sum();
+    let abandoned: u64 = counters.iter().map(|c| c[1].load(Ordering::Relaxed)).sum();
+    let attempts = done + abandoned;
+    let abandon_rate = if attempts == 0 {
+        0.0
+    } else {
+        abandoned as f64 / attempts as f64
+    };
+    (done as f64 / elapsed, abandon_rate)
+}
+
 struct Row {
     meta: LockMeta,
     read_pct: u64,
     threads: usize,
     ops_per_sec: f64,
+    /// `Some` when `--timeout` put the run in timed-acquisition mode.
+    abandon_rate: Option<f64>,
 }
 
 struct RwSweep<'a> {
@@ -139,6 +202,60 @@ impl rw_catalog::RwLockVisitor for RwSweep<'_> {
                     read_pct: self.read_pct,
                     threads,
                     ops_per_sec,
+                    abandon_rate: None,
+                }
+            })
+            .collect()
+    }
+}
+
+/// The `--timeout` counterpart of [`RwSweep`]: dispatched through the
+/// timed registries (`with_any_timed_lock_type`), so the monomorphized
+/// loop gets `try_lock_for`/`try_read_lock_for` at zero dispatch cost.
+struct TimedRwSweep<'a> {
+    sweep: &'a Sweep,
+    read_pct: u64,
+    keys: u64,
+    timeout: Duration,
+}
+
+impl rw_catalog::TimedRwLockVisitor for TimedRwSweep<'_> {
+    type Output = Vec<Row>;
+    fn visit<L: RawTryLock + 'static>(self, meta: LockMeta) -> Vec<Row> {
+        self.sweep
+            .threads
+            .iter()
+            .map(|&threads| {
+                let mut results: Vec<(f64, f64)> = (0..self.sweep.runs.max(1))
+                    .map(|_| {
+                        run_once_timed::<L>(
+                            Workload {
+                                threads,
+                                read_pct: self.read_pct,
+                                keys: self.keys,
+                                duration: self.sweep.duration,
+                            },
+                            self.timeout,
+                        )
+                    })
+                    .collect();
+                results.sort_by(|a, b| a.0.total_cmp(&b.0));
+                let (ops_per_sec, abandon_rate) = results[results.len() / 2];
+                eprintln!(
+                    "# rwbench {} reads={}% threads={} timeout={:?}: {:.2} Mops/s, abandon {:.2}%",
+                    meta.name,
+                    self.read_pct,
+                    threads,
+                    self.timeout,
+                    ops_per_sec / 1e6,
+                    abandon_rate * 100.0,
+                );
+                Row {
+                    meta,
+                    read_pct: self.read_pct,
+                    threads,
+                    ops_per_sec,
+                    abandon_rate: Some(abandon_rate),
                 }
             })
             .collect()
@@ -169,6 +286,11 @@ fn main() {
     .value(
         "keys",
         "slots in the shared array the critical sections touch",
+    )
+    .value(
+        "timeout",
+        "acquisition budget in ms: every lock op becomes try_lock_for / try_read_lock_for \
+         (abortable locks only; abandon rate is reported per row)",
     )
     .flag("json", "emit normalized bench-trajectory JSON records");
     let args = spec.parse_env();
@@ -205,6 +327,23 @@ fn main() {
     if keys == 0 {
         or_exit::<()>(Err("--keys must be at least 1".to_string()));
     }
+    let timeout = or_exit(args.timeout());
+    if timeout.is_some() {
+        // Timed mode needs an abortable path on every selected lock —
+        // refuse up front rather than silently measuring something else.
+        for name in &names {
+            let abortable = rw_catalog::find(name)
+                .map(|e| e.meta.abortable)
+                .or_else(|| hemlock_locks::catalog::find(name).map(|e| e.meta.abortable))
+                .unwrap_or(false);
+            if !abortable {
+                or_exit::<()>(Err(format!(
+                    "--timeout requires abortable locks, but {name:?} reports abortable: false \
+                     (its waiters cannot withdraw)"
+                )));
+            }
+        }
+    }
     let json = args.has("json");
 
     eprintln!(
@@ -215,14 +354,25 @@ fn main() {
     let mut rows: Vec<Row> = Vec::new();
     for name in &names {
         for &read_pct in &read_pcts {
-            let visited = rw_catalog::with_any_lock_type(
-                name,
-                RwSweep {
-                    sweep: &sweep,
-                    read_pct,
-                    keys,
-                },
-            );
+            let visited = match timeout {
+                Some(budget) => rw_catalog::with_any_timed_lock_type(
+                    name,
+                    TimedRwSweep {
+                        sweep: &sweep,
+                        read_pct,
+                        keys,
+                        timeout: budget,
+                    },
+                ),
+                None => rw_catalog::with_any_lock_type(
+                    name,
+                    RwSweep {
+                        sweep: &sweep,
+                        read_pct,
+                        keys,
+                    },
+                ),
+            };
             match visited {
                 Some(v) => rows.extend(v),
                 None => or_exit::<()>(Err(format!(
@@ -234,10 +384,16 @@ fn main() {
     }
 
     if json {
+        // f64 Display is shortest-roundtrip, so distinct timeouts always
+        // produce distinct bench keys (no rounding collisions in the
+        // bench_ci (bench, lock, threads) matching).
+        let suffix = timeout
+            .map(|t| format!(".t{}", t.as_secs_f64() * 1e3))
+            .unwrap_or_default();
         let records: Vec<Record> = rows
             .iter()
             .map(|r| Record {
-                bench: format!("rwbench.r{}", r.read_pct),
+                bench: format!("rwbench.r{}{}", r.read_pct, suffix),
                 lock: r.meta.name.to_string(),
                 threads: r.threads,
                 ops_per_sec: r.ops_per_sec,
@@ -254,6 +410,7 @@ fn main() {
         "Read%",
         "Threads",
         "Mops/s",
+        "Abandon%",
         "LockSpace(B)",
     ]);
     for r in &rows {
@@ -263,6 +420,9 @@ fn main() {
             r.read_pct.to_string(),
             r.threads.to_string(),
             fmt_f64(r.ops_per_sec / 1e6, 3),
+            r.abandon_rate
+                .map(|a| fmt_f64(a * 100.0, 2))
+                .unwrap_or_else(|| "-".to_string()),
             r.meta.footprint_bytes(1, r.threads).to_string(),
         ]);
     }

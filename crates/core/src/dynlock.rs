@@ -12,8 +12,9 @@
 //! - [`DynMutex`] — a guard-based mutex over a `dyn DynLock`, mirroring the
 //!   `Mutex<T, L>` API so application code is indifferent to which layer
 //!   it runs on;
-//! - [`TryLockError`] — typed "would block" vs "algorithm has no trylock"
-//!   (CLH and Ticket Locks cannot try-lock; §2).
+//! - [`TryLockError`] — typed "would block" / "timed out" vs "algorithm
+//!   has no trylock or abortable path" (CLH and Anderson cannot withdraw a
+//!   waiter once advertised; §2).
 //!
 //! Concrete `dyn` handles are built by the catalog in `hemlock-locks`
 //! (`hemlock_locks::catalog`), which maps string keys like `"hemlock"` or
@@ -49,6 +50,16 @@ pub unsafe trait DynLock: Send + Sync {
     /// means the algorithm has no trylock path at all.
     fn try_lock(&self) -> Result<bool, TryLockError>;
 
+    /// Attempts a **timed** acquisition: `Ok(true)` confers ownership,
+    /// `Ok(false)` means the deadline passed (the waiter has withdrawn and
+    /// will never be granted the lock by this call), and
+    /// `Err(TryLockError::Unsupported)` means the algorithm has no
+    /// abortable path (`meta().abortable == false` — CLH, Anderson).
+    fn try_lock_for(&self, timeout: core::time::Duration) -> Result<bool, TryLockError> {
+        let _ = timeout;
+        Err(TryLockError::Unsupported)
+    }
+
     /// Releases the lock.
     ///
     /// # Safety
@@ -64,13 +75,19 @@ pub unsafe trait DynLock: Send + Sync {
     }
 }
 
-/// Why a [`DynMutex::try_lock`] attempt yielded no guard.
+/// Why a [`DynMutex::try_lock`] / [`DynMutex::try_lock_for`] attempt
+/// yielded no guard.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum TryLockError {
     /// The lock is currently held by another thread.
     WouldBlock,
-    /// The algorithm does not implement a trylock (e.g. CLH, Ticket: a
-    /// waiter cannot withdraw once it has advertised itself; §2).
+    /// A timed acquisition's deadline passed; the waiter withdrew and will
+    /// never receive the lock from that attempt.
+    TimedOut,
+    /// The algorithm does not implement the requested path (e.g. CLH or
+    /// Anderson: a waiter cannot withdraw once it has advertised itself —
+    /// CLH's tail link and Anderson's claimed array slot are commitments;
+    /// §2).
     Unsupported,
 }
 
@@ -78,7 +95,8 @@ impl fmt::Display for TryLockError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TryLockError::WouldBlock => f.write_str("lock is busy"),
-            TryLockError::Unsupported => f.write_str("algorithm has no trylock"),
+            TryLockError::TimedOut => f.write_str("timed out waiting for the lock"),
+            TryLockError::Unsupported => f.write_str("algorithm has no trylock/abortable path"),
         }
     }
 }
@@ -99,12 +117,14 @@ impl<L: RawLock> DynAdapter<L> {
 }
 
 // Safety: forwards directly to the RawLock contract; try_lock never claims
-// ownership, and meta() clears try_lock so the descriptor stays truthful
-// even when `L` is trylock-capable but was wrapped through this adapter.
+// ownership, and meta() clears try_lock/abortable so the descriptor stays
+// truthful even when `L` is trylock-capable but was wrapped through this
+// adapter.
 unsafe impl<L: RawLock> DynLock for DynAdapter<L> {
     fn meta(&self) -> LockMeta {
         let mut m = L::META;
         m.try_lock = false; // this handle exposes no trylock path
+        m.abortable = false; // …and therefore no timed path either
         m
     }
     fn lock(&self) {
@@ -133,7 +153,8 @@ impl<L: RawTryLock> DynTryAdapter<L> {
     }
 }
 
-// Safety: forwards directly to the RawLock/RawTryLock contract.
+// Safety: forwards directly to the RawLock/RawTryLock contract, including
+// the timed path (whose bounds L::META.abortable advertises).
 unsafe impl<L: RawTryLock> DynLock for DynTryAdapter<L> {
     fn meta(&self) -> LockMeta {
         L::META
@@ -143,6 +164,13 @@ unsafe impl<L: RawTryLock> DynLock for DynTryAdapter<L> {
     }
     fn try_lock(&self) -> Result<bool, TryLockError> {
         Ok(self.0.try_lock())
+    }
+    fn try_lock_for(&self, timeout: core::time::Duration) -> Result<bool, TryLockError> {
+        if L::META.abortable {
+            Ok(self.0.try_lock_for(timeout))
+        } else {
+            Err(TryLockError::Unsupported)
+        }
     }
     unsafe fn unlock(&self) {
         self.0.unlock();
@@ -231,6 +259,24 @@ impl<T: ?Sized> DynMutex<T> {
                 _not_send: PhantomData,
             }),
             false => Err(TryLockError::WouldBlock),
+        }
+    }
+
+    /// Attempts the lock with a deadline: [`TryLockError::TimedOut`] when
+    /// `timeout` elapses first (the waiter has withdrawn — it can never be
+    /// granted the lock afterwards), [`TryLockError::Unsupported`] when the
+    /// algorithm has no abortable path (check [`LockMeta`]'s `abortable`
+    /// bit to know in advance).
+    pub fn try_lock_for(
+        &self,
+        timeout: core::time::Duration,
+    ) -> Result<DynMutexGuard<'_, T>, TryLockError> {
+        match self.raw.try_lock_for(timeout)? {
+            true => Ok(DynMutexGuard {
+                mutex: self,
+                _not_send: PhantomData,
+            }),
+            false => Err(TryLockError::TimedOut),
         }
     }
 
@@ -353,11 +399,41 @@ mod tests {
     fn plain_adapter_reports_unsupported() {
         let m = DynMutex::of::<Hemlock>(());
         assert_eq!(m.try_lock().unwrap_err(), TryLockError::Unsupported);
+        assert_eq!(
+            m.try_lock_for(core::time::Duration::from_millis(1))
+                .map(|_| ())
+                .unwrap_err(),
+            TryLockError::Unsupported
+        );
         // The descriptor must agree with the handle's actual capability,
         // even though the underlying type is trylock-capable.
         assert!(!m.meta().try_lock);
+        assert!(!m.meta().abortable);
         // The blocking path is unaffected.
         drop(m.lock());
+    }
+
+    #[test]
+    fn try_lock_for_times_out_then_reacquires() {
+        use core::time::Duration;
+        let m = DynMutex::of_try::<Hemlock>(5);
+        assert!(m.meta().abortable);
+        // Uncontended: acquires immediately.
+        drop(m.try_lock_for(Duration::from_millis(10)).expect("free"));
+        // Held: must give up within the deadline and report TimedOut.
+        let g = m.lock();
+        let t0 = std::time::Instant::now();
+        assert_eq!(
+            m.try_lock_for(Duration::from_millis(20))
+                .map(|_| ())
+                .unwrap_err(),
+            TryLockError::TimedOut
+        );
+        let waited = t0.elapsed();
+        assert!(waited >= Duration::from_millis(20), "{waited:?}");
+        drop(g);
+        // The aborted attempt left no state: the lock is reusable.
+        assert_eq!(*m.try_lock_for(Duration::from_millis(10)).expect("free"), 5);
     }
 
     #[test]

@@ -16,12 +16,14 @@
 //!
 //! [`DynLock`]: crate::dynlock::DynLock
 
+use crate::dynlock::TryLockError;
 use crate::meta::LockMeta;
-use crate::raw::RawRwLock;
+use crate::raw::{RawRwLock, RawTryLock};
 use core::cell::UnsafeCell;
 use core::fmt;
 use core::marker::PhantomData;
 use core::ops::{Deref, DerefMut};
+use core::time::Duration;
 
 /// An object-safe reader-writer lock: [`RawRwLock`] minus the compile-time
 /// pieces (`Default`, `const META`), plus runtime metadata access.
@@ -58,6 +60,23 @@ pub unsafe trait DynRwLock: Send + Sync {
     /// The calling thread must hold the lock exclusively and must be the
     /// thread that acquired it.
     unsafe fn write_unlock(&self);
+
+    /// Attempts a **timed shared** acquisition: `Ok(true)` confers read
+    /// ownership, `Ok(false)` means the deadline passed (the reader has
+    /// withdrawn from the read indicator), and
+    /// [`TryLockError::Unsupported`] means the algorithm has no abortable
+    /// path (`meta().abortable == false`).
+    fn try_read_lock_for(&self, timeout: Duration) -> Result<bool, TryLockError> {
+        let _ = timeout;
+        Err(TryLockError::Unsupported)
+    }
+
+    /// Attempts a **timed exclusive** acquisition, with the same contract
+    /// as [`DynRwLock::try_read_lock_for`] in write mode.
+    fn try_write_lock_for(&self, timeout: Duration) -> Result<bool, TryLockError> {
+        let _ = timeout;
+        Err(TryLockError::Unsupported)
+    }
 
     /// Best-effort engagement probe, as
     /// [`RawLock::is_locked_hint`](crate::RawLock::is_locked_hint):
@@ -127,6 +146,85 @@ unsafe impl<L: RawRwLock> DynRwLock for DynRwAdapter<L> {
 /// Boxes a [`RawRwLock`] as a runtime reader-writer lock handle.
 pub fn boxed_rw<L: RawRwLock + 'static>() -> Box<dyn DynRwLock> {
     Box::new(DynRwAdapter::<L>::new())
+}
+
+/// Adapter giving a timed-capable reader-writer lock (`RawRwLock +
+/// RawTryLock`) a [`DynRwLock`] vtable whose timed methods are real.
+/// Mirrors [`DynRwAdapter`], including the catalog display-name patching.
+pub struct DynRwTimedAdapter<L: RawRwLock + RawTryLock> {
+    lock: L,
+    meta: LockMeta,
+}
+
+impl<L: RawRwLock + RawTryLock> DynRwTimedAdapter<L> {
+    /// Wraps a fresh lock reporting the type's own `META`.
+    pub fn new() -> Self {
+        Self::with_meta(L::META)
+    }
+
+    /// Wraps a fresh lock reporting `meta` (which must describe `L` —
+    /// catalogs only ever patch the display name).
+    pub fn with_meta(meta: LockMeta) -> Self {
+        debug_assert!(
+            meta.rw,
+            "DynRwTimedAdapter requires an rw-capable descriptor"
+        );
+        Self {
+            lock: L::default(),
+            meta,
+        }
+    }
+}
+
+impl<L: RawRwLock + RawTryLock> Default for DynRwTimedAdapter<L> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// Safety: forwards directly to the RawRwLock/RawTryLock contracts; the
+// timed methods are gated on the descriptor's abortable bit so the vtable
+// never claims bounds the type's META disavows.
+unsafe impl<L: RawRwLock + RawTryLock> DynRwLock for DynRwTimedAdapter<L> {
+    fn meta(&self) -> LockMeta {
+        self.meta
+    }
+    fn read_lock(&self) {
+        self.lock.read_lock();
+    }
+    unsafe fn read_unlock(&self) {
+        self.lock.read_unlock();
+    }
+    fn write_lock(&self) {
+        self.lock.write_lock();
+    }
+    unsafe fn write_unlock(&self) {
+        self.lock.write_unlock();
+    }
+    fn try_read_lock_for(&self, timeout: Duration) -> Result<bool, TryLockError> {
+        if self.meta.abortable {
+            Ok(self.lock.try_read_lock_for(timeout))
+        } else {
+            Err(TryLockError::Unsupported)
+        }
+    }
+    fn try_write_lock_for(&self, timeout: Duration) -> Result<bool, TryLockError> {
+        if self.meta.abortable {
+            Ok(self.lock.try_lock_for(timeout))
+        } else {
+            Err(TryLockError::Unsupported)
+        }
+    }
+    fn is_locked_hint(&self) -> Option<bool> {
+        self.lock.is_locked_hint()
+    }
+}
+
+/// Boxes a timed-capable [`RawRwLock`] as a runtime reader-writer handle
+/// with real [`DynRwLock::try_read_lock_for`] /
+/// [`DynRwLock::try_write_lock_for`] paths.
+pub fn boxed_rw_timed<L: RawRwLock + RawTryLock + 'static>() -> Box<dyn DynRwLock> {
+    Box::new(DynRwTimedAdapter::<L>::new())
 }
 
 /// A reader-writer primitive protecting a `T`, with the lock algorithm
@@ -203,6 +301,32 @@ impl<T: ?Sized> DynRwMutex<T> {
         DynRwWriteGuard {
             mutex: self,
             _not_send: PhantomData,
+        }
+    }
+
+    /// Attempts a shared acquisition with a deadline:
+    /// [`TryLockError::TimedOut`] when `timeout` elapses first (the reader
+    /// withdrew from the read indicator), [`TryLockError::Unsupported`]
+    /// when the algorithm has no abortable path.
+    pub fn try_read_for(&self, timeout: Duration) -> Result<DynRwReadGuard<'_, T>, TryLockError> {
+        match self.raw.try_read_lock_for(timeout)? {
+            true => Ok(DynRwReadGuard {
+                mutex: self,
+                _not_send: PhantomData,
+            }),
+            false => Err(TryLockError::TimedOut),
+        }
+    }
+
+    /// Attempts an exclusive acquisition with a deadline, with the same
+    /// contract as [`DynRwMutex::try_read_for`] in write mode.
+    pub fn try_write_for(&self, timeout: Duration) -> Result<DynRwWriteGuard<'_, T>, TryLockError> {
+        match self.raw.try_write_lock_for(timeout)? {
+            true => Ok(DynRwWriteGuard {
+                mutex: self,
+                _not_send: PhantomData,
+            }),
+            false => Err(TryLockError::TimedOut),
         }
     }
 
@@ -324,6 +448,8 @@ mod tests {
         const META: LockMeta = {
             let mut m = LockMeta::base("TestRw", "test");
             m.rw = true;
+            m.try_lock = true;
+            m.abortable = true;
             m
         };
         fn lock(&self) {
@@ -356,6 +482,31 @@ mod tests {
         }
         unsafe fn read_unlock(&self) {
             self.state.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+    unsafe impl RawTryLock for TestRw {
+        fn try_lock(&self) -> bool {
+            self.state
+                .compare_exchange(0, -1, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+        }
+        fn try_read_lock_until(&self, deadline: std::time::Instant) -> bool {
+            let mut spin = SpinWait::new();
+            loop {
+                let s = self.state.load(Ordering::Relaxed);
+                if s >= 0
+                    && self
+                        .state
+                        .compare_exchange_weak(s, s + 1, Ordering::AcqRel, Ordering::Relaxed)
+                        .is_ok()
+                {
+                    return true;
+                }
+                if std::time::Instant::now() >= deadline {
+                    return false;
+                }
+                spin.wait();
+            }
         }
     }
     unsafe impl RawRwLock for TestRw {}
@@ -415,6 +566,55 @@ mod tests {
         assert_eq!(lock.meta().name, "RW-Patched");
         let m = DynRwMutex::new(lock, 1u32);
         assert_eq!(*m.read(), 1);
+    }
+
+    #[test]
+    fn plain_adapter_reports_timed_unsupported() {
+        let m = DynRwMutex::of::<TestRw>(0u8);
+        assert_eq!(
+            m.try_read_for(Duration::from_millis(1))
+                .map(|_| ())
+                .unwrap_err(),
+            TryLockError::Unsupported
+        );
+        assert_eq!(
+            m.try_write_for(Duration::from_millis(1))
+                .map(|_| ())
+                .unwrap_err(),
+            TryLockError::Unsupported
+        );
+    }
+
+    #[test]
+    fn timed_adapter_reads_share_and_writes_time_out() {
+        let m = DynRwMutex::new(boxed_rw_timed::<TestRw>(), 7u64);
+        // Timed readers coexist with a blocking reader.
+        let held = m.read();
+        let r = m
+            .try_read_for(Duration::from_millis(20))
+            .expect("reader must be admitted alongside a reader");
+        assert_eq!((*held, *r), (7, 7));
+        // A timed writer must give up while readers are in.
+        let t0 = std::time::Instant::now();
+        assert_eq!(
+            m.try_write_for(Duration::from_millis(15))
+                .map(|_| ())
+                .unwrap_err(),
+            TryLockError::TimedOut
+        );
+        assert!(t0.elapsed() >= Duration::from_millis(15));
+        drop((held, r));
+        // Abort left no state: a timed writer now gets in, and while it
+        // holds the lock a timed reader times out.
+        let w = m.try_write_for(Duration::from_millis(20)).expect("free");
+        assert_eq!(
+            m.try_read_for(Duration::from_millis(10))
+                .map(|_| ())
+                .unwrap_err(),
+            TryLockError::TimedOut
+        );
+        drop(w);
+        assert_eq!(*m.try_read_for(Duration::from_millis(5)).expect("free"), 7);
     }
 
     #[test]

@@ -127,6 +127,36 @@ macro_rules! lock_family_tests {
             }
 
             #[test]
+            fn timed_acquisition_aborts_cleanly_and_never_acquires_late() {
+                use std::time::Duration;
+                let meta = <$lock as RawLock>::META;
+                assert!(meta.abortable, "hemlock family must advertise abortable");
+                let l = Arc::new(<$lock>::default());
+                l.lock();
+                // A timed waiter must give up within bound — and, by the
+                // conditional-arrival contract, must never have joined the
+                // queue, so releasing afterwards wakes nobody.
+                let aborted = {
+                    let l = Arc::clone(&l);
+                    std::thread::spawn(move || {
+                        let t0 = std::time::Instant::now();
+                        let got = l.try_lock_for(Duration::from_millis(15));
+                        (got, t0.elapsed())
+                    })
+                };
+                let (got, waited) = aborted.join().unwrap();
+                assert!(!got, "waiter must time out while the lock is held");
+                assert!(waited >= Duration::from_millis(15));
+                unsafe { l.unlock() };
+                // The abort left no protocol state: every path still works,
+                // including another timed acquisition.
+                assert!(l.try_lock_for(Duration::from_millis(10)));
+                unsafe { l.unlock() };
+                l.lock();
+                unsafe { l.unlock() };
+            }
+
+            #[test]
             fn handover_blocks_then_transfers() {
                 let l = Arc::new(<$lock>::default());
                 let stage = Arc::new(AtomicUsize::new(0));

@@ -57,6 +57,29 @@
 //! object-safe counterpart; the implementations (`HemlockRw`, the
 //! `RwFromRaw` adapter) and the `rw.*` catalog live in `hemlock-rw`.
 //!
+//! Both layers also carry an **abortable (timed) acquisition** extension:
+//! [`raw::RawTryLock::try_lock_for`] / `try_lock_until` (and the shared
+//! `try_read_lock_for`) give bounded-wait acquisition with the guarantee
+//! that a timed-out waiter never receives the lock afterwards and leaves no
+//! protocol state behind. The capability is advertised by
+//! [`meta::LockMeta`]'s `abortable` bit; algorithms whose waiters cannot
+//! withdraw once advertised (CLH, Anderson) leave it false and the dynamic
+//! layer reports [`dynlock::TryLockError::Unsupported`]. See [`raw`] for
+//! why queue withdrawal is unsound under Hemlock's single multiplexed
+//! Grant word and the timed path therefore uses *conditional arrival*.
+//!
+//! ```
+//! use hemlock_core::{Mutex, hemlock::Hemlock};
+//! use std::time::Duration;
+//!
+//! let m: Mutex<u32, Hemlock> = Mutex::new(1);
+//! let held = m.lock();
+//! // A bounded wait instead of wedging behind the holder:
+//! assert!(m.try_lock_for(Duration::from_millis(5)).is_none());
+//! drop(held);
+//! assert_eq!(*m.try_lock_for(Duration::from_millis(5)).unwrap(), 1);
+//! ```
+//!
 //! ```
 //! use hemlock_core::dynlock::{boxed_try, DynMutex};
 //! use hemlock_core::hemlock::Hemlock;
@@ -86,7 +109,7 @@
 //! - [`spin`] — busy-wait policy (pure spin vs spin-then-yield).
 //! - [`pad`] — cache-line padding used for all contended words.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod dynlock;
 pub mod dynrw;

@@ -41,6 +41,19 @@ pub struct LockMeta {
     /// True when waiters may block in the OS (condvar/park) instead of
     /// busy-waiting the whole time (§6 / Appendix C variants).
     pub parking: bool,
+    /// True when the algorithm supports **abortable (timed) acquisition**:
+    /// its [`try_lock_for`](crate::RawTryLock::try_lock_for) /
+    /// [`try_lock_until`](crate::RawTryLock::try_lock_until) return within
+    /// the deadline bound, a timed-out waiter never acquires the lock later,
+    /// and an abort leaves no protocol state behind (for the Hemlock family
+    /// the per-thread Grant slot provably stays null — see the
+    /// [`crate::raw`] module docs for why this forces conditional arrival
+    /// rather than queue withdrawal). Algorithms where a waiter cannot
+    /// withdraw once advertised (CLH's implicit queue link, Anderson's
+    /// claimed array slot) leave this false and the dynamic layer reports
+    /// [`TryLockError::Unsupported`](crate::dynlock::TryLockError) instead
+    /// of a fake timeout.
+    pub abortable: bool,
     /// True when the algorithm supports a *shared* (reader) mode: its
     /// [`RawLock::read_lock`](crate::RawLock::read_lock) admits concurrent
     /// readers while still excluding writers (implements
@@ -69,6 +82,7 @@ impl LockMeta {
             fifo: false,
             try_lock: false,
             parking: false,
+            abortable: false,
             rw: false,
             nontrivial_init: false,
             paper_ref,
@@ -76,12 +90,15 @@ impl LockMeta {
     }
 
     /// Descriptor shared by the Hemlock family: 1-word body, 1 Grant word
-    /// per thread, FIFO, trylock-capable.
+    /// per thread, FIFO, trylock-capable, and abortable (the timed path
+    /// arrives conditionally via the trylock CAS, so an abort never leaves
+    /// queue state behind — see [`crate::raw`]).
     pub const fn hemlock_family(name: &'static str, paper_ref: &'static str) -> Self {
         let mut m = Self::base(name, paper_ref);
         m.thread_words = 1;
         m.fifo = true;
         m.try_lock = true;
+        m.abortable = true;
         m
     }
 
@@ -129,7 +146,9 @@ mod tests {
         assert_eq!(m.name, "X");
         assert_eq!(m.lock_words, 1);
         assert_eq!(m.thread_words, 0);
-        assert!(!m.fifo && !m.try_lock && !m.parking && !m.rw && !m.nontrivial_init);
+        assert!(
+            !m.fifo && !m.try_lock && !m.parking && !m.abortable && !m.rw && !m.nontrivial_init
+        );
     }
 
     #[test]
@@ -137,7 +156,7 @@ mod tests {
         let m = LockMeta::hemlock_family("H", "Listing 2");
         assert_eq!(m.lock_words, 1);
         assert_eq!(m.thread_words, 1);
-        assert!(m.fifo && m.try_lock);
+        assert!(m.fifo && m.try_lock && m.abortable);
         assert!(!m.parking);
         assert_eq!(m.lock_bytes(), core::mem::size_of::<usize>());
     }

@@ -95,6 +95,42 @@ impl<T: ?Sized, L: RawTryLock> Mutex<T, L> {
             None
         }
     }
+
+    /// Attempts the lock with a deadline: `None` once `timeout` elapses,
+    /// after which this waiter can never be granted the lock (the abortable
+    /// contract — see [`RawTryLock::try_lock_for`]). Only meaningful when
+    /// `L` advertises [`LockMeta::abortable`](crate::meta::LockMeta); on a
+    /// trylock-only algorithm it degrades to deadline-bounded retries of
+    /// `try_lock`, which satisfies the same bound.
+    pub fn try_lock_for(&self, timeout: core::time::Duration) -> Option<MutexGuard<'_, T, L>> {
+        if self.raw.try_lock_for(timeout) {
+            Some(MutexGuard {
+                mutex: self,
+                _not_send: PhantomData,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Attempts a *read* acquisition with a deadline: the timed counterpart
+    /// of [`Mutex::read`]. With an RW-capable `L` concurrent timed readers
+    /// are admitted together and a timed-out reader genuinely withdraws
+    /// from the read indicator; exclusive-only algorithms degrade to the
+    /// exclusive timed path with a read-only guard.
+    pub fn try_read_for(&self, timeout: core::time::Duration) -> Option<ReadGuard<'_, T, L>>
+    where
+        T: Sync,
+    {
+        if self.raw.try_read_lock_for(timeout) {
+            Some(ReadGuard {
+                mutex: self,
+                _not_send: PhantomData,
+            })
+        } else {
+            None
+        }
+    }
 }
 
 impl<T: Default, L: RawLock> Default for Mutex<T, L> {
@@ -236,6 +272,41 @@ mod tests {
         assert!(m.try_lock().is_none());
         drop(g);
         assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn try_lock_for_respects_the_deadline_and_leaves_the_lock_usable() {
+        use core::time::Duration;
+        let m: Mutex<i32, Hemlock> = Mutex::new(3);
+        // Free: the timed path acquires immediately.
+        assert_eq!(*m.try_lock_for(Duration::from_millis(5)).unwrap(), 3);
+        // Held: it gives up after (at least) the timeout.
+        let g = m.lock();
+        let t0 = std::time::Instant::now();
+        assert!(m.try_lock_for(Duration::from_millis(15)).is_none());
+        assert!(t0.elapsed() >= Duration::from_millis(15));
+        drop(g);
+        // The abort left no protocol state: both paths still work.
+        assert!(m.try_lock().is_some());
+        drop(m.lock());
+    }
+
+    #[test]
+    fn try_read_for_degrades_to_exclusive_on_an_exclusive_lock() {
+        use core::time::Duration;
+        let m: Mutex<i32, Hemlock> = Mutex::new(9);
+        {
+            let g = m.try_read_for(Duration::from_millis(5)).expect("free");
+            assert_eq!(*g, 9);
+            // Hemlock has no shared mode: the timed read guard holds the
+            // lock exclusively.
+            assert!(m.try_lock().is_none());
+        }
+        // While exclusively held, a timed read must time out.
+        let g = m.lock();
+        assert!(m.try_read_for(Duration::from_millis(10)).is_none());
+        drop(g);
+        assert!(m.try_read_for(Duration::from_millis(5)).is_some());
     }
 
     #[test]

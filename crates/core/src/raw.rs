@@ -7,6 +7,49 @@
 //! must stash it inside the lock body or per-thread storage to satisfy this
 //! trait, exactly as the paper describes for its pthread interposition
 //! library.
+//!
+//! # Abortable (timed) acquisition
+//!
+//! [`RawTryLock`] extends the non-blocking `try_lock` with **bounded-wait**
+//! acquisition: [`RawTryLock::try_lock_for`] /
+//! [`RawTryLock::try_lock_until`] return `false` once the deadline passes,
+//! and a timed-out waiter is guaranteed never to acquire the lock later.
+//! Algorithms advertise the capability through
+//! [`LockMeta::abortable`](crate::meta::LockMeta).
+//!
+//! The provided implementation uses **conditional arrival**: it retries the
+//! trylock path (for Hemlock, a `CAS` on `Tail` instead of the
+//! unconditional `SWAP` — §2) under the process-wide
+//! [`SpinWait`](crate::spin::SpinWait) policy until the deadline. The timed
+//! waiter therefore *never joins the queue*, which is what makes the abort
+//! trivially sound:
+//!
+//! - **Why Hemlock cannot withdraw from mid-queue.** A queued Hemlock
+//!   waiter is known to its predecessor only through the predecessor's
+//!   single `Grant` word, and known to its successor only through its *own*
+//!   `Grant` word — and that one word is shared by **every** lock the
+//!   thread is currently engaged with (multi-waiting, §2.2). A withdrawal
+//!   marker written there ("I aborted; my predecessor was P") cannot name
+//!   *which* lock it refers to, so successors waiting on the same word for
+//!   a different lock would mis-splice. Abortable queue locks solve this
+//!   with per-engagement nodes and doubly-linked surgery (Scott & Scherer;
+//!   Jayanti & Jayanti's constant-RMR abortable construction; Woelfel &
+//!   Pareek's randomized variants) — exactly the per-lock space the single
+//!   Grant word exists to avoid. Conditional arrival keeps Table 1's space
+//!   story intact: an aborted waiter provably leaves its Grant slot null,
+//!   because it never exposed it.
+//! - **The trade-off** is fairness: timed waiters do not take a FIFO queue
+//!   position, so under continuous contention a `try_lock_for` caller can
+//!   starve until its deadline while `lock()` callers are admitted in
+//!   arrival order. That is the documented contract — timed acquisition is
+//!   a tail-latency escape hatch, not a fair admission path.
+//!
+//! Reader-writer locks override [`RawTryLock::try_read_lock_for`] with a
+//! genuinely shared timed path (for the striped-indicator `HemlockRw`, a
+//! real *withdrawal*: the reader decrements its stripe and leaves, which is
+//! sound because the read indicator — unlike the Grant word — is per-lock
+//! state). Exclusive-only algorithms degrade it to the exclusive timed
+//! path, mirroring [`RawLock::read_lock`].
 
 /// A raw mutual-exclusion lock with a context-free interface.
 ///
@@ -128,11 +171,67 @@ pub unsafe trait RawRwLock: RawLock {
 /// # Safety
 ///
 /// As for [`RawLock`]; additionally `try_lock() == true` must confer
-/// ownership exactly as `lock()` does. Implementors must advertise the
-/// capability by setting [`LockMeta::try_lock`](crate::meta::LockMeta) in
-/// their [`RawLock::META`] (the catalog conformance suite checks this).
+/// ownership exactly as `lock()` does, and every timed method returning
+/// `true` likewise. A timed method returning `false` must leave the lock's
+/// protocol state untouched (the abandoned waiter can never be granted the
+/// lock afterwards, and no other thread may ever block on state the waiter
+/// left behind). Implementors must advertise the capabilities by setting
+/// [`LockMeta::try_lock`](crate::meta::LockMeta) — and, when the timed
+/// methods' bounds hold, `abortable` — in their [`RawLock::META`] (the
+/// catalog conformance suite checks both).
 pub unsafe trait RawTryLock: RawLock {
     /// Attempts to acquire the lock without waiting. Returns `true` on
     /// success, in which case the caller owns the lock.
     fn try_lock(&self) -> bool;
+
+    /// Attempts to acquire the lock, giving up once `deadline` passes.
+    /// Returns `true` on success (the caller owns the lock exactly as
+    /// after [`RawLock::lock`]); `false` means the attempt was abandoned
+    /// and the caller is guaranteed **never** to receive the lock from this
+    /// call afterwards.
+    ///
+    /// The provided implementation is *conditional arrival*: it retries
+    /// [`RawTryLock::try_lock`] under the process-wide wait policy until
+    /// the deadline (see the module docs for why the Hemlock family — and
+    /// queue locks generally — take this shape instead of queue
+    /// withdrawal). Timed waiters are therefore **not FIFO**, even on FIFO
+    /// algorithms. Reader-writer implementations may override it with an
+    /// algorithm-specific bounded path.
+    fn try_lock_until(&self, deadline: std::time::Instant) -> bool {
+        if self.try_lock() {
+            return true;
+        }
+        let mut spin = crate::spin::SpinWait::new();
+        loop {
+            if std::time::Instant::now() >= deadline {
+                return false;
+            }
+            spin.wait();
+            if self.try_lock() {
+                return true;
+            }
+        }
+    }
+
+    /// [`RawTryLock::try_lock_until`] with a relative timeout. A zero
+    /// timeout behaves like a (slightly more expensive) `try_lock`.
+    fn try_lock_for(&self, timeout: std::time::Duration) -> bool {
+        self.try_lock_until(std::time::Instant::now() + timeout)
+    }
+
+    /// Attempts a *shared* (read) acquisition, giving up once `deadline`
+    /// passes. On success the caller holds the lock in read mode and must
+    /// release it with [`RawLock::read_unlock`]. For exclusive-only
+    /// algorithms this is the exclusive timed path (mirroring
+    /// [`RawLock::read_lock`]); reader-writer algorithms override it so
+    /// concurrent timed readers are admitted together and a timed-out
+    /// reader genuinely withdraws from the read indicator.
+    fn try_read_lock_until(&self, deadline: std::time::Instant) -> bool {
+        self.try_lock_until(deadline)
+    }
+
+    /// [`RawTryLock::try_read_lock_until`] with a relative timeout.
+    fn try_read_lock_for(&self, timeout: std::time::Duration) -> bool {
+        self.try_read_lock_until(std::time::Instant::now() + timeout)
+    }
 }

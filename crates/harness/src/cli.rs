@@ -276,6 +276,34 @@ impl Args {
         };
         parse_wait_policy(raw).map(Some)
     }
+
+    /// The `--timeout <ms>` acquisition budget, if given, parsed strictly
+    /// (same contract as [`Args::wait_policy`]: an error names the
+    /// malformed token; typo'd option names already got a did-you-mean
+    /// from [`Spec::parse`]). Binaries that accept it declare
+    /// `.value("timeout", …)` in their spec — `timeoutbench` and `rwbench`
+    /// feed it to the locks' `try_lock_for` family.
+    pub fn timeout(&self) -> Result<Option<Duration>, String> {
+        let Some(raw) = self.values.get("timeout") else {
+            return Ok(None);
+        };
+        parse_timeout_ms(raw).map(Some)
+    }
+}
+
+/// Parses a `--timeout` value: integer or fractional **milliseconds**,
+/// strictly positive and finite (`0` would silently degrade every timed
+/// acquisition to a trylock — ask for that explicitly, not via a timeout).
+pub fn parse_timeout_ms(raw: &str) -> Result<Duration, String> {
+    let ms: f64 = raw.parse().map_err(|_| {
+        format!("invalid --timeout {raw:?}: expected milliseconds (e.g. `5` or `0.5`)")
+    })?;
+    if !ms.is_finite() || ms <= 0.0 {
+        return Err(format!(
+            "invalid --timeout {raw:?}: must be a positive number of milliseconds"
+        ));
+    }
+    Ok(Duration::from_secs_f64(ms / 1_000.0))
 }
 
 /// Parses a `--wait` value: `spin`, `yield`, or `yield:SPINS`.
@@ -428,6 +456,33 @@ mod tests {
             a.wait_policy().unwrap(),
             Some(WaitPolicy::SpinThenYield { spins: 9 })
         );
+    }
+
+    #[test]
+    fn timeout_parses_strictly_with_wait_style_errors() {
+        assert_eq!(parse_timeout_ms("5"), Ok(Duration::from_millis(5)));
+        assert_eq!(parse_timeout_ms("0.5"), Ok(Duration::from_micros(500)));
+        for bad in ["x", "", "-1", "0", "nan", "inf", "5ms"] {
+            let e = parse_timeout_ms(bad).unwrap_err();
+            assert!(e.contains("--timeout"), "{bad}: {e}");
+        }
+        // Wired through Args like --wait is.
+        let spec = Spec::new("t", "x").value("timeout", "acquisition budget in ms");
+        let a = spec
+            .parse(["--timeout".to_string(), "2.5".to_string()])
+            .unwrap();
+        assert_eq!(a.timeout().unwrap(), Some(Duration::from_micros(2_500)));
+        let a = spec.parse(std::iter::empty()).unwrap();
+        assert_eq!(a.timeout().unwrap(), None);
+        let a = spec
+            .parse(["--timeout".to_string(), "bogus".to_string()])
+            .unwrap();
+        assert!(a.timeout().unwrap_err().contains("bogus"));
+        // A typo'd spelling gets the same did-you-mean as every option.
+        let e = spec
+            .parse(["--timeuot".to_string(), "5".to_string()])
+            .unwrap_err();
+        assert!(e.contains("did you mean --timeout"), "{e}");
     }
 
     #[test]

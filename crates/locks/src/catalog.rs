@@ -42,7 +42,10 @@ pub mod types {
 
 /// Invokes a callback macro with the full catalog: a comma-separated list of
 /// `(key, [aliases…], Type, trylock-capability)` tuples, where the
-/// capability token is `try` (implements `RawTryLock`) or `no_try`.
+/// capability token is `try` (implements `RawTryLock`, including the timed
+/// `try_lock_for` family) or `no_try` (CLH, Anderson: a waiter cannot
+/// withdraw once advertised, so there is neither a trylock nor an
+/// abortable path — their `LockMeta` reports both honestly).
 ///
 /// This is the static-dispatch counterpart of the [`ENTRIES`] table — use
 /// it to generate per-algorithm code (tests, dispatchers, tables) without
@@ -72,7 +75,7 @@ macro_rules! for_each_lock {
             ("hemlock.instr", ["hemlock.instrumented"], $crate::catalog::types::HemlockInstrumented, try),
             ("mcs", [], $crate::catalog::types::McsLock, try),
             ("clh", [], $crate::catalog::types::ClhLock, no_try),
-            ("ticket", [], $crate::catalog::types::TicketLock, no_try),
+            ("ticket", [], $crate::catalog::types::TicketLock, try),
             ("tas", [], $crate::catalog::types::TasLock, try),
             ("ttas", [], $crate::catalog::types::TtasLock, try),
             ("anderson", [], $crate::catalog::types::AndersonLock, no_try),
@@ -168,6 +171,16 @@ pub fn shard_friendly() -> Vec<&'static CatalogEntry> {
         .collect()
 }
 
+/// Entries supporting **abortable (timed) acquisition** — `try_lock_for`
+/// returns within the deadline bound and an aborted waiter never acquires
+/// later — judged from each entry's [`LockMeta`]. `timeoutbench` sweeps
+/// exactly this subset; CLH and Anderson are excluded because a waiter
+/// cannot withdraw once it has advertised itself (CLH's tail link,
+/// Anderson's claimed array slot).
+pub fn abortable() -> Vec<&'static CatalogEntry> {
+    ENTRIES.iter().filter(|e| e.meta.abortable).collect()
+}
+
 /// Builds a runtime lock handle for `name`.
 pub fn dyn_lock(name: &str) -> Result<Box<dyn DynLock>, String> {
     let entry = find(name)
@@ -205,6 +218,49 @@ macro_rules! gen_dispatch {
     };
 }
 for_each_lock!(gen_dispatch);
+
+/// A generic computation instantiated per statically-dispatched
+/// **trylock/timed-capable** lock type — the visitor side of
+/// [`with_timed_lock_type`]. The `RawTryLock` bound gives the visitor's
+/// body `try_lock` and the `try_lock_for` family at zero dispatch cost,
+/// which is how `timeoutbench` keeps its measurement loop monomorphized.
+pub trait TimedLockVisitor {
+    /// Result produced per lock type.
+    type Output;
+    /// Runs the computation with the chosen algorithm as `L`.
+    fn visit<L: hemlock_core::raw::RawTryLock + 'static>(
+        self,
+        entry: &'static CatalogEntry,
+    ) -> Self::Output;
+}
+
+macro_rules! gen_timed_dispatch {
+    ($(($key:literal, [$($alias:literal),*], $ty:ty, $cap:ident)),+ $(,)?) => {
+        /// Statically dispatches `visitor` on the algorithm selected by
+        /// `name`, restricted to the trylock/timed-capable subset. Returns
+        /// `None` for unknown names **and** for known entries without a
+        /// trylock path (CLH, Anderson) — check
+        /// [`CatalogEntry::meta`]`.abortable` to distinguish.
+        pub fn with_timed_lock_type<V: TimedLockVisitor>(
+            name: &str,
+            visitor: V,
+        ) -> Option<V::Output> {
+            let entry = find(name)?;
+            match entry.key {
+                $($key => gen_timed_dispatch!(@arm $cap, $ty, visitor, entry),)+
+                _ => unreachable!("catalog key missing from timed dispatch table"),
+            }
+        }
+    };
+    (@arm try, $ty:ty, $visitor:ident, $entry:ident) => {
+        Some($visitor.visit::<$ty>($entry))
+    };
+    (@arm no_try, $ty:ty, $visitor:ident, $entry:ident) => {{
+        let _ = $visitor;
+        None
+    }};
+}
+for_each_lock!(gen_timed_dispatch);
 
 #[cfg(test)]
 mod tests {
@@ -260,6 +316,66 @@ mod tests {
                 assert!(outcome.is_err(), "{}", entry.key);
             }
         }
+    }
+
+    #[test]
+    fn abortable_capability_agrees_between_meta_and_dyn_handle() {
+        use core::time::Duration;
+        for entry in ENTRIES {
+            let lock = (entry.make)();
+            let outcome = lock.try_lock_for(Duration::from_millis(5));
+            if entry.meta.abortable {
+                assert_eq!(outcome, Ok(true), "{}: free timed acquire", entry.key);
+                // Safety: the timed acquisition conferred ownership.
+                unsafe { lock.unlock() };
+            } else {
+                assert!(outcome.is_err(), "{}", entry.key);
+            }
+        }
+    }
+
+    #[test]
+    fn abortable_is_the_withdrawable_subset() {
+        let timed = abortable();
+        for must in ["hemlock", "hemlock.naive", "tas", "ttas", "ticket", "mcs"] {
+            assert!(
+                timed.iter().any(|e| e.key == must),
+                "{must} must be abortable"
+            );
+        }
+        // CLH's tail link and Anderson's array slot are commitments.
+        assert!(!timed.iter().any(|e| e.key == "clh"));
+        assert!(!timed.iter().any(|e| e.key == "anderson"));
+        // Abortable without a trylock path would be incoherent.
+        assert!(timed.iter().all(|e| e.meta.try_lock));
+    }
+
+    #[test]
+    fn timed_dispatch_covers_exactly_the_try_capable_entries() {
+        struct TimedProbe;
+        impl TimedLockVisitor for TimedProbe {
+            type Output = bool;
+            fn visit<L: hemlock_core::raw::RawTryLock + 'static>(
+                self,
+                _entry: &'static CatalogEntry,
+            ) -> bool {
+                let l = L::default();
+                let got = l.try_lock_for(core::time::Duration::from_millis(5));
+                if got {
+                    // Safety: the timed acquisition conferred ownership.
+                    unsafe { l.unlock() };
+                }
+                got
+            }
+        }
+        for entry in ENTRIES {
+            let hit = with_timed_lock_type(entry.key, TimedProbe);
+            assert_eq!(hit.is_some(), entry.meta.try_lock, "{}", entry.key);
+            if let Some(acquired) = hit {
+                assert!(acquired, "{}: free timed acquire must succeed", entry.key);
+            }
+        }
+        assert!(with_timed_lock_type("bogus", TimedProbe).is_none());
     }
 
     #[test]

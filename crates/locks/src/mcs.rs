@@ -119,6 +119,9 @@ unsafe impl RawLock for McsLock {
         m.wait_elements = 1;
         m.fifo = true;
         m.try_lock = true;
+        // The trylock CAS never publishes a queue element on failure, so
+        // the provided deadline-bounded retry path aborts cleanly.
+        m.abortable = true;
         m
     };
 

@@ -38,6 +38,7 @@ unsafe impl RawLock for TasLock {
     const META: LockMeta = {
         let mut m = LockMeta::base("TAS", "§4 related work");
         m.try_lock = true;
+        m.abortable = true; // a failed swap leaves nothing to withdraw
         m
     };
 
@@ -89,6 +90,7 @@ unsafe impl RawLock for TtasLock {
     const META: LockMeta = {
         let mut m = LockMeta::base("TTAS", "§4 related work");
         m.try_lock = true;
+        m.abortable = true; // a failed swap leaves nothing to withdraw
         m
     };
 

@@ -10,11 +10,19 @@
 
 use core::sync::atomic::{AtomicU64, Ordering};
 use hemlock_core::meta::LockMeta;
-use hemlock_core::raw::RawLock;
+use hemlock_core::raw::{RawLock, RawTryLock};
 use hemlock_core::spin::SpinWait;
 
-/// Classic two-word ticket lock: FIFO, global spinning, no trylock (taking
-/// a ticket is already a commitment; see §2).
+/// Classic two-word ticket lock: FIFO, global spinning.
+///
+/// The paper notes (§2) that ticket locks admit no *trivial* trylock —
+/// taking a ticket with `fetch_add` is already a commitment. The
+/// non-trivial form implemented here is **conditional entry**: `try_lock`
+/// CASes `next` forward *only when it equals `serving`*, i.e. it takes a
+/// ticket only if that ticket would be served immediately. A waiter
+/// therefore never joins the line, which is also what makes the timed path
+/// ([`RawTryLock::try_lock_for`], deadline-bounded retries of the CAS)
+/// abortable: there is never a queue position to withdraw from.
 pub struct TicketLock {
     /// Next ticket to hand out.
     next: AtomicU64,
@@ -54,6 +62,8 @@ unsafe impl RawLock for TicketLock {
         let mut m = LockMeta::base("Ticket", "§4, Table 1");
         m.lock_words = 2; // next-ticket + now-serving
         m.fifo = true;
+        m.try_lock = true; // conditional entry (see the type docs)
+        m.abortable = true; // …which never queues, so aborts are free
         m
     };
 
@@ -77,6 +87,27 @@ unsafe impl RawLock for TicketLock {
     }
 }
 
+// Safety: the CAS takes ticket `serving` only while `next == serving`, so a
+// success means our ticket is the one being served — ownership exactly as
+// `lock()` confers it (Acquire on success pairs with unlock's Release). A
+// failure takes no ticket at all: nothing to withdraw, so the provided
+// timed methods (deadline-bounded retries) satisfy the abortable contract.
+unsafe impl RawTryLock for TicketLock {
+    fn try_lock(&self) -> bool {
+        // Acquire: the happens-before edge with the previous holder comes
+        // from observing its `unlock` (a Release store to `serving`) —
+        // the CAS below is on `next`, which release paths never write, so
+        // this load is the only place that pairing can happen.
+        let serving = self.serving.load(Ordering::Acquire);
+        // `next >= serving` always; if another arrival or a release slips
+        // in between the load and the CAS, `next` has moved past our stale
+        // `serving` view and the CAS fails harmlessly.
+        self.next
+            .compare_exchange(serving, serving + 1, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -85,6 +116,61 @@ mod tests {
     #[test]
     fn lock_body_is_two_words() {
         assert_eq!(core::mem::size_of::<TicketLock>(), 16);
+    }
+
+    #[test]
+    fn conditional_entry_try_lock_confers_real_ownership() {
+        let l = TicketLock::new();
+        assert!(l.try_lock());
+        assert!(l.is_locked());
+        assert!(!l.try_lock(), "held: conditional entry must refuse");
+        unsafe { l.unlock() };
+        // The refused attempt took no ticket: FIFO accounting is intact.
+        assert_eq!(l.arrivals(), 1);
+        assert!(l.try_lock());
+        unsafe { l.unlock() };
+    }
+
+    #[test]
+    fn try_lock_refuses_while_a_queue_exists() {
+        use std::sync::Arc;
+        let l = Arc::new(TicketLock::new());
+        l.lock();
+        let waiter = {
+            let l = Arc::clone(&l);
+            std::thread::spawn(move || {
+                l.lock(); // joins the line behind the holder
+                unsafe { l.unlock() };
+            })
+        };
+        while l.arrivals() < 2 {
+            std::hint::spin_loop();
+        }
+        // next(2) != serving(0): conditional entry must refuse rather than
+        // barge past the queued waiter.
+        assert!(!l.try_lock());
+        unsafe { l.unlock() };
+        waiter.join().unwrap();
+        assert!(l.try_lock());
+        unsafe { l.unlock() };
+    }
+
+    #[test]
+    fn timed_acquisition_times_out_and_leaves_fifo_state_clean() {
+        use std::time::Duration;
+        let l = TicketLock::new();
+        l.lock();
+        let t0 = std::time::Instant::now();
+        assert!(!l.try_lock_for(Duration::from_millis(10)));
+        assert!(t0.elapsed() >= Duration::from_millis(10));
+        assert_eq!(
+            l.arrivals(),
+            1,
+            "aborted waiter must not have taken a ticket"
+        );
+        unsafe { l.unlock() };
+        assert!(l.try_lock_for(Duration::from_millis(5)));
+        unsafe { l.unlock() };
     }
 
     #[test]

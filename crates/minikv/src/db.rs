@@ -17,6 +17,11 @@
 //!   entry) point reads of a hot shard and concurrent run snapshots are
 //!   admitted together, so the read-mostly workload no longer serializes;
 //!   exclusive-only algorithms degrade to the previous behaviour.
+//! - `try_get` / `try_put` / `try_delete`: **bounded-wait** variants that
+//!   return [`WouldBlock`] instead of stalling when a shard lock or the
+//!   central mutex stays busy past the caller's timeout (a freeze or
+//!   compaction in progress); `try_put` additionally defers a tripped
+//!   freeze when the central mutex is busy rather than waiting behind it.
 //! - freeze/compaction: the central mutex for the whole transition. The
 //!   memtable drains one shard at a time *while the central mutex is
 //!   held*; a reader that misses a just-drained shard must acquire the
@@ -31,9 +36,25 @@ use crate::memtable::{Memtable, Slot};
 use crate::run::Run;
 use core::cell::UnsafeCell;
 use core::sync::atomic::{AtomicU64, Ordering};
-use hemlock_core::raw::RawLock;
+use hemlock_core::raw::{RawLock, RawTryLock};
 use hemlock_shard::TableStats;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A bounded-wait operation gave up: the lock it needed (a memtable shard
+/// or the central run-list mutex) stayed busy — typically behind a freeze
+/// or compaction — past the caller's timeout. Nothing was read or written;
+/// retry, back off, or fall back to the blocking API.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WouldBlock;
+
+impl core::fmt::Display for WouldBlock {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str("operation would block past its timeout")
+    }
+}
+
+impl std::error::Error for WouldBlock {}
 
 /// Tuning knobs.
 #[derive(Clone, Debug)]
@@ -115,6 +136,18 @@ impl<'a, L: RawLock> DbGuard<'a, L> {
         }
     }
 
+    /// Non-blocking constructor: `None` when the central mutex is busy
+    /// (e.g. a compaction is running).
+    fn try_lock(db: &'a Db<L>) -> Option<Self>
+    where
+        L: RawTryLock,
+    {
+        db.mu.try_lock().then(|| Self {
+            db,
+            _not_send: core::marker::PhantomData,
+        })
+    }
+
     #[allow(clippy::mut_from_ref)]
     fn runs(&mut self) -> &mut Vec<Arc<Run>> {
         // Safety: we hold the central mutex.
@@ -150,6 +183,19 @@ impl<'a, L: RawLock> DbReadGuard<'a, L> {
             db,
             _not_send: core::marker::PhantomData,
         }
+    }
+
+    /// Timed constructor: `None` once `deadline` passes (the waiter has
+    /// withdrawn; with an RW-capable abortable `L` it genuinely leaves the
+    /// read indicator).
+    fn try_lock_until(db: &'a Db<L>, deadline: Instant) -> Option<Self>
+    where
+        L: RawTryLock,
+    {
+        db.mu.try_read_lock_until(deadline).then(|| Self {
+            db,
+            _not_send: core::marker::PhantomData,
+        })
     }
 
     fn runs(&self) -> &Vec<Arc<Run>> {
@@ -214,6 +260,11 @@ impl<L: RawLock> Db<L> {
     /// under the mutex and back off.
     fn freeze_and_maybe_compact(&self) {
         let mut g = DbGuard::lock(self);
+        self.freeze_locked(&mut g);
+    }
+
+    /// The freeze/compaction body, run while `g` holds the central mutex.
+    fn freeze_locked(&self, g: &mut DbGuard<'_, L>) {
         if self.mem.approximate_bytes() < self.opts.memtable_bytes {
             return; // another thread froze first
         }
@@ -268,6 +319,83 @@ impl<L: RawLock> Db<L> {
         }
         self.stats.gets.fetch_add(1, Ordering::Relaxed);
         result
+    }
+
+    /// Bounded-wait [`Db::get`]: [`WouldBlock`] when either lock on the
+    /// read path (the owning memtable shard, then the central run-list
+    /// mutex) stays busy past `timeout` — typically because a freeze or
+    /// compaction holds the central mutex. Nothing is retried internally;
+    /// the caller owns the back-off policy. The bound is only a *bound*
+    /// when `L` advertises [`abortable`](hemlock_core::LockMeta); on a
+    /// trylock-only algorithm the timed waits degrade to bounded retries.
+    pub fn try_get(&self, key: &[u8], timeout: Duration) -> Result<Option<Vec<u8>>, WouldBlock>
+    where
+        L: RawTryLock,
+    {
+        let deadline = Instant::now() + timeout;
+        // Tier 1 (same probe order as `get`, for the same visibility
+        // argument): the memtable under a bounded shard acquisition.
+        if let Some(value) = self.mem.try_get_vec(key, timeout)? {
+            self.stats.gets.fetch_add(1, Ordering::Relaxed);
+            return Ok(value);
+        }
+        // Tier 2: a bounded read-mode snapshot of the run handles. A
+        // compaction holding the central mutex makes this return
+        // WouldBlock instead of stalling the reader behind it.
+        let snapshot: Vec<Arc<Run>> = match DbReadGuard::try_lock_until(self, deadline) {
+            Some(g) => g.runs().clone(),
+            None => return Err(WouldBlock),
+        };
+        let mut result = None;
+        for run in &snapshot {
+            if let Some(slot) = run.get(key) {
+                result = slot.as_ref().map(|v| v.to_vec());
+                break;
+            }
+        }
+        self.stats.gets.fetch_add(1, Ordering::Relaxed);
+        Ok(result)
+    }
+
+    /// Bounded-wait [`Db::put`]: [`WouldBlock`] when the owning memtable
+    /// shard stays busy past `timeout` (nothing is written). When the
+    /// write lands and trips the freeze budget, the freeze itself is
+    /// **opportunistic**: it runs only if the central mutex is free right
+    /// now, so a `try_put` never stalls behind a running compaction — a
+    /// deferred freeze is picked up by the next writer (timed or blocking)
+    /// to see the budget tripped.
+    pub fn try_put(&self, key: &[u8], value: &[u8], timeout: Duration) -> Result<(), WouldBlock>
+    where
+        L: RawTryLock,
+    {
+        self.try_write_slot(key, Some(value.into()), timeout)
+    }
+
+    /// Bounded-wait [`Db::delete`] (tombstone write), with [`Db::try_put`]
+    /// semantics.
+    pub fn try_delete(&self, key: &[u8], timeout: Duration) -> Result<(), WouldBlock>
+    where
+        L: RawTryLock,
+    {
+        self.try_write_slot(key, None, timeout)
+    }
+
+    fn try_write_slot(&self, key: &[u8], value: Slot, timeout: Duration) -> Result<(), WouldBlock>
+    where
+        L: RawTryLock,
+    {
+        if !self.mem.try_insert(key, value, timeout) {
+            return Err(WouldBlock);
+        }
+        if self.mem.approximate_bytes() >= self.opts.memtable_bytes {
+            // Opportunistic freeze: skip (deferring to a later writer)
+            // rather than block behind whoever holds the central mutex.
+            if let Some(mut g) = DbGuard::try_lock(self) {
+                self.freeze_locked(&mut g);
+            }
+        }
+        self.stats.puts.fetch_add(1, Ordering::Relaxed);
+        Ok(())
     }
 
     /// Number of immutable runs (tests/diagnostics).
@@ -413,6 +541,115 @@ mod tests {
             });
         });
         assert_eq!(db.stats().gets.load(Ordering::Relaxed), 6_000);
+    }
+
+    #[test]
+    fn try_get_and_try_put_roundtrip_when_uncontended() {
+        let db: Db<Hemlock> = Db::new(tiny_opts());
+        let t = Duration::from_millis(20);
+        db.try_put(b"a", b"1", t).unwrap();
+        assert_eq!(db.try_get(b"a", t).unwrap(), Some(b"1".to_vec()));
+        db.try_delete(b"a", t).unwrap();
+        assert_eq!(db.try_get(b"a", t).unwrap(), None);
+        assert_eq!(db.try_get(b"missing", t).unwrap(), None);
+        // The timed paths share the blocking paths' stats.
+        assert_eq!(db.stats().puts.load(Ordering::Relaxed), 2);
+        assert_eq!(db.stats().gets.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn timed_writes_survive_freezes_and_stay_visible() {
+        let db: Db<Hemlock> = Db::new(tiny_opts());
+        let t = Duration::from_millis(50);
+        for i in 0..300u32 {
+            db.try_put(format!("key{i:05}").as_bytes(), &i.to_be_bytes(), t)
+                .unwrap();
+        }
+        // Opportunistic freezes still happen on the uncontended path.
+        assert!(db.run_count() > 0, "timed puts must still freeze");
+        for i in (0..300u32).step_by(17) {
+            assert_eq!(
+                db.try_get(format!("key{i:05}").as_bytes(), t).unwrap(),
+                Some(i.to_be_bytes().to_vec())
+            );
+        }
+    }
+
+    #[test]
+    fn try_get_would_block_behind_a_held_central_mutex() {
+        let db: Arc<Db<Hemlock>> = Arc::new(Db::new(tiny_opts()));
+        for i in 0..300u32 {
+            db.put(format!("key{i:05}").as_bytes(), &i.to_be_bytes());
+        }
+        assert!(db.run_count() > 0, "need runs so misses hit tier 2");
+        // Hold the central mutex, standing in for a long compaction.
+        db.mu.lock();
+        let blocked = {
+            let db = Arc::clone(&db);
+            std::thread::spawn(move || {
+                let t0 = std::time::Instant::now();
+                // A key that misses the memtable must consult the run
+                // list — and give up within bound instead of stalling.
+                let r = db.try_get(b"key00000-missing", Duration::from_millis(15));
+                (r, t0.elapsed())
+            })
+        };
+        let (r, waited) = blocked.join().unwrap();
+        assert_eq!(r, Err(WouldBlock));
+        assert!(waited >= Duration::from_millis(15));
+        assert!(
+            waited < Duration::from_secs(5),
+            "must be bounded, not stalled"
+        );
+        // Safety: held by this thread since the lock() above.
+        unsafe { db.mu.unlock() };
+        // After the "compaction" ends, the same read succeeds.
+        assert_eq!(
+            db.try_get(b"key00000-missing", Duration::from_millis(50))
+                .unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn try_put_defers_the_freeze_instead_of_stalling_behind_the_central_mutex() {
+        let db: Arc<Db<Hemlock>> = Arc::new(Db::new(tiny_opts()));
+        // Hold the central mutex, standing in for a long compaction.
+        db.mu.lock();
+        let writer = {
+            let db = Arc::clone(&db);
+            std::thread::spawn(move || {
+                let t0 = std::time::Instant::now();
+                // Far past the 512-byte budget: every one of these trips
+                // the freeze check, which must be *skipped*, not waited on.
+                for i in 0..200u32 {
+                    db.try_put(
+                        format!("key{i:05}").as_bytes(),
+                        &[0u8; 32],
+                        Duration::from_millis(50),
+                    )
+                    .unwrap();
+                }
+                t0.elapsed()
+            })
+        };
+        let elapsed = writer.join().unwrap();
+        assert!(
+            elapsed < Duration::from_secs(5),
+            "timed puts stalled behind the central mutex: {elapsed:?}"
+        );
+        // Safety: this thread holds `mu`, so reading the run list is safe.
+        let runs_while_held = unsafe { &*db.runs.get() }.len();
+        assert_eq!(runs_while_held, 0, "freeze must have been deferred");
+        // Safety: held by this thread since the lock() above.
+        unsafe { db.mu.unlock() };
+        // The deferred freeze is picked up by the next writer to trip the
+        // budget now that the central mutex is free.
+        db.put(b"one-more", &[0u8; 32]);
+        assert!(db.run_count() > 0, "deferred freeze must eventually run");
+        for i in (0..200u32).step_by(23) {
+            assert!(db.get(format!("key{i:05}").as_bytes()).is_some());
+        }
     }
 
     #[test]

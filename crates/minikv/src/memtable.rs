@@ -19,8 +19,9 @@
 
 use core::sync::atomic::{AtomicIsize, Ordering};
 use hemlock_core::hemlock::Hemlock;
-use hemlock_core::raw::RawLock;
+use hemlock_core::raw::{RawLock, RawTryLock};
 use hemlock_shard::{ShardedTable, TableStats};
+use std::time::Duration;
 
 /// A value or a deletion marker.
 pub type Slot = Option<Box<[u8]>>;
@@ -31,6 +32,17 @@ const ENTRY_OVERHEAD: usize = 16;
 
 fn entry_bytes(key: &[u8], slot: &Slot) -> isize {
     (key.len() + slot.as_ref().map_or(0, |v| v.len()) + ENTRY_OVERHEAD) as isize
+}
+
+/// Byte-budget delta of writing a `new_len`-byte slot over `old` (the
+/// displaced slot, `None` for a fresh key). The single accounting formula
+/// both `insert` and `try_insert` charge, so the two write paths cannot
+/// drift apart.
+fn insert_delta(key: &[u8], new_len: usize, old: Option<&Slot>) -> isize {
+    match old {
+        Some(old) => new_len as isize - old.as_ref().map_or(0, |v| v.len()) as isize,
+        None => (key.len() + new_len + ENTRY_OVERHEAD) as isize,
+    }
 }
 
 /// Mutable concurrent table: keys scatter over independently locked shards.
@@ -75,13 +87,7 @@ impl<L: RawLock> Memtable<L> {
     pub fn insert(&self, key: &[u8], value: Slot) {
         let vlen = value.as_ref().map_or(0, |v| v.len());
         self.map.update(key.into(), |slot| {
-            let delta = match slot.take() {
-                Some(old) => {
-                    let old_len = old.as_ref().map_or(0, |v| v.len());
-                    vlen as isize - old_len as isize
-                }
-                None => (key.len() + vlen + ENTRY_OVERHEAD) as isize,
-            };
+            let delta = insert_delta(key, vlen, slot.as_ref());
             *slot = Some(value);
             // Inside the shard critical section: drain_sorted subtracts
             // what it actually removes, so the budget can never leak.
@@ -106,6 +112,46 @@ impl<L: RawLock> Memtable<L> {
     /// Number of entries (including tombstones).
     pub fn len(&self) -> usize {
         self.map.len()
+    }
+
+    /// Bounded-wait [`Memtable::insert`]: gives up (writing nothing) when
+    /// the owning shard's lock stays busy past `timeout`. Returns whether
+    /// the write landed. Requires a trylock-capable `L`; the bound is only
+    /// a *bound* when `L` also advertises
+    /// [`abortable`](hemlock_core::LockMeta).
+    pub fn try_insert(&self, key: &[u8], value: Slot, timeout: Duration) -> bool
+    where
+        L: RawTryLock,
+    {
+        let vlen = value.as_ref().map_or(0, |v| v.len());
+        let Some(mut g) = self.map.try_guard_for(key, timeout) else {
+            return false;
+        };
+        let old = g.insert(key.into(), value);
+        let delta = insert_delta(key, vlen, old.as_ref());
+        // Inside the shard critical section, exactly as `insert` (the
+        // guard is still live), so a racing drain can never double-count.
+        self.approx_bytes.fetch_add(delta, Ordering::Relaxed);
+        true
+    }
+
+    /// Bounded-wait [`Memtable::get_vec`]: [`WouldBlock`](crate::db::WouldBlock)
+    /// when the owning shard's lock stays busy past `timeout` (the caller
+    /// decides whether to give up or fall back to the blocking path). The
+    /// shard is taken in read mode, so RW-capable algorithms admit
+    /// concurrent timed probes together.
+    pub fn try_get_vec(
+        &self,
+        key: &[u8],
+        timeout: Duration,
+    ) -> Result<Option<Option<Vec<u8>>>, crate::db::WouldBlock>
+    where
+        L: RawTryLock,
+    {
+        match self.map.try_read_guard_for(key, timeout) {
+            Some(g) => Ok(g.get(key).map(|slot| slot.as_deref().map(<[u8]>::to_vec))),
+            None => Err(crate::db::WouldBlock),
+        }
     }
 
     /// True when empty.

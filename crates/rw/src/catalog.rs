@@ -29,7 +29,7 @@
 //! prefixed spelling both in its [`RwCatalogEntry::meta`] and to the
 //! [`DynRwAdapter`] factory.
 
-use hemlock_core::dynrw::{DynRwAdapter, DynRwLock, DynRwMutex};
+use hemlock_core::dynrw::{DynRwAdapter, DynRwLock, DynRwMutex, DynRwTimedAdapter};
 use hemlock_core::meta::LockMeta;
 use hemlock_core::raw::RawLock;
 
@@ -46,9 +46,13 @@ pub mod types {
 }
 
 /// Invokes a callback macro with the full RW catalog: a comma-separated
-/// list of `(key, display-name, [aliases…], Type)` tuples. The display
-/// name is the `LockMeta::name` the catalog reports for the entry (the
-/// type's own `META` keeps the inner lock's name — see the module docs).
+/// list of `(key, display-name, [aliases…], Type, capability)` tuples. The
+/// display name is the `LockMeta::name` the catalog reports for the entry
+/// (the type's own `META` keeps the inner lock's name — see the module
+/// docs). The capability token is `timed` (implements `RawTryLock`, so the
+/// entry has trylock *and* the abortable `try_lock_for` family in both
+/// modes) or `no_timed` (the gate cannot trylock — CLH, Anderson — so
+/// neither can the adapter; its `LockMeta` reports both honestly).
 ///
 /// This is the RW counterpart of `hemlock_locks::for_each_lock!`; use it
 /// to generate per-algorithm code (tests, dispatchers) without re-listing
@@ -57,21 +61,21 @@ pub mod types {
 macro_rules! for_each_rw_lock {
     ($cb:path) => {
         $cb! {
-            ("rw.hemlock", "HemlockRw", ["hemlockrw", "hemlock.rw"], $crate::catalog::types::HemlockRw),
-            ("rw.hemlock.naive", "RW-Hemlock-", [], $crate::catalog::types::RwFromRaw<$crate::catalog::types::HemlockNaive>),
-            ("rw.hemlock.overlap", "RW-Hemlock+Overlap", [], $crate::catalog::types::RwFromRaw<$crate::catalog::types::HemlockOverlap>),
-            ("rw.hemlock.ah", "RW-Hemlock+AH", [], $crate::catalog::types::RwFromRaw<$crate::catalog::types::HemlockAh>),
-            ("rw.hemlock.v1", "RW-Hemlock+HOV1", [], $crate::catalog::types::RwFromRaw<$crate::catalog::types::HemlockV1>),
-            ("rw.hemlock.v2", "RW-Hemlock+HOV2", [], $crate::catalog::types::RwFromRaw<$crate::catalog::types::HemlockV2>),
-            ("rw.hemlock.parking", "RW-Hemlock+CV", [], $crate::catalog::types::RwFromRaw<$crate::catalog::types::HemlockParking>),
-            ("rw.hemlock.chain", "RW-Hemlock+Chain", [], $crate::catalog::types::RwFromRaw<$crate::catalog::types::HemlockChain>),
-            ("rw.hemlock.instr", "RW-Hemlock(instr)", [], $crate::catalog::types::RwFromRaw<$crate::catalog::types::HemlockInstrumented>),
-            ("rw.mcs", "RW-MCS", [], $crate::catalog::types::RwFromRaw<$crate::catalog::types::McsLock>),
-            ("rw.clh", "RW-CLH", [], $crate::catalog::types::RwFromRaw<$crate::catalog::types::ClhLock>),
-            ("rw.ticket", "RW-Ticket", [], $crate::catalog::types::RwFromRaw<$crate::catalog::types::TicketLock>),
-            ("rw.tas", "RW-TAS", [], $crate::catalog::types::RwFromRaw<$crate::catalog::types::TasLock>),
-            ("rw.ttas", "RW-TTAS", [], $crate::catalog::types::RwFromRaw<$crate::catalog::types::TtasLock>),
-            ("rw.anderson", "RW-Anderson", [], $crate::catalog::types::RwFromRaw<$crate::catalog::types::AndersonLock>),
+            ("rw.hemlock", "HemlockRw", ["hemlockrw", "hemlock.rw"], $crate::catalog::types::HemlockRw, timed),
+            ("rw.hemlock.naive", "RW-Hemlock-", [], $crate::catalog::types::RwFromRaw<$crate::catalog::types::HemlockNaive>, timed),
+            ("rw.hemlock.overlap", "RW-Hemlock+Overlap", [], $crate::catalog::types::RwFromRaw<$crate::catalog::types::HemlockOverlap>, timed),
+            ("rw.hemlock.ah", "RW-Hemlock+AH", [], $crate::catalog::types::RwFromRaw<$crate::catalog::types::HemlockAh>, timed),
+            ("rw.hemlock.v1", "RW-Hemlock+HOV1", [], $crate::catalog::types::RwFromRaw<$crate::catalog::types::HemlockV1>, timed),
+            ("rw.hemlock.v2", "RW-Hemlock+HOV2", [], $crate::catalog::types::RwFromRaw<$crate::catalog::types::HemlockV2>, timed),
+            ("rw.hemlock.parking", "RW-Hemlock+CV", [], $crate::catalog::types::RwFromRaw<$crate::catalog::types::HemlockParking>, timed),
+            ("rw.hemlock.chain", "RW-Hemlock+Chain", [], $crate::catalog::types::RwFromRaw<$crate::catalog::types::HemlockChain>, timed),
+            ("rw.hemlock.instr", "RW-Hemlock(instr)", [], $crate::catalog::types::RwFromRaw<$crate::catalog::types::HemlockInstrumented>, timed),
+            ("rw.mcs", "RW-MCS", [], $crate::catalog::types::RwFromRaw<$crate::catalog::types::McsLock>, timed),
+            ("rw.clh", "RW-CLH", [], $crate::catalog::types::RwFromRaw<$crate::catalog::types::ClhLock>, no_timed),
+            ("rw.ticket", "RW-Ticket", [], $crate::catalog::types::RwFromRaw<$crate::catalog::types::TicketLock>, timed),
+            ("rw.tas", "RW-TAS", [], $crate::catalog::types::RwFromRaw<$crate::catalog::types::TasLock>, timed),
+            ("rw.ttas", "RW-TTAS", [], $crate::catalog::types::RwFromRaw<$crate::catalog::types::TtasLock>, timed),
+            ("rw.anderson", "RW-Anderson", [], $crate::catalog::types::RwFromRaw<$crate::catalog::types::AndersonLock>, no_timed),
         }
     };
 }
@@ -102,10 +106,12 @@ impl RwCatalogEntry {
 }
 
 macro_rules! gen_rw_entries {
-    ($(($key:literal, $display:literal, [$($alias:literal),*], $ty:ty)),+ $(,)?) => {
+    ($(($key:literal, $display:literal, [$($alias:literal),*], $ty:ty, $cap:ident)),+ $(,)?) => {
         /// Every reader-writer algorithm, in catalog order (the native
         /// `rw.hemlock` first, then the `RwFromRaw` adapters mirroring the
-        /// exclusive catalog).
+        /// exclusive catalog). `timed` entries build handles whose
+        /// [`DynRwLock::try_read_lock_for`] / `try_write_lock_for` are
+        /// real; `no_timed` handles report `Unsupported`.
         pub static ENTRIES: &[RwCatalogEntry] = &[
             $(RwCatalogEntry {
                 key: $key,
@@ -118,10 +124,16 @@ macro_rules! gen_rw_entries {
                 make: || {
                     let mut m = <$ty as RawLock>::META;
                     m.name = $display;
-                    Box::new(DynRwAdapter::<$ty>::with_meta(m))
+                    gen_rw_entries!(@make $cap, $ty, m)
                 },
             }),+
         ];
+    };
+    (@make timed, $ty:ty, $meta:ident) => {
+        Box::new(DynRwTimedAdapter::<$ty>::with_meta($meta))
+    };
+    (@make no_timed, $ty:ty, $meta:ident) => {
+        Box::new(DynRwAdapter::<$ty>::with_meta($meta))
     };
 }
 for_each_rw_lock!(gen_rw_entries);
@@ -195,7 +207,7 @@ pub trait RwLockVisitor {
 }
 
 macro_rules! gen_rw_dispatch {
-    ($(($key:literal, $display:literal, [$($alias:literal),*], $ty:ty)),+ $(,)?) => {
+    ($(($key:literal, $display:literal, [$($alias:literal),*], $ty:ty, $cap:ident)),+ $(,)?) => {
         /// Statically dispatches `visitor` on the RW algorithm selected by
         /// `name`. Returns `None` for unknown names.
         pub fn with_rw_lock_type<V: RwLockVisitor>(name: &str, visitor: V) -> Option<V::Output> {
@@ -208,6 +220,72 @@ macro_rules! gen_rw_dispatch {
     };
 }
 for_each_rw_lock!(gen_rw_dispatch);
+
+/// A generic computation instantiated per statically-dispatched
+/// **timed-capable** lock type: the visitor's `RawTryLock` bound provides
+/// `try_lock_for` / `try_read_lock_for` in the monomorphized body — the
+/// shape `timeoutbench` and `rwbench --timeout` measure through.
+pub trait TimedRwLockVisitor {
+    /// Result produced per lock type.
+    type Output;
+    /// Runs the computation with the chosen algorithm as `L`; `meta` is
+    /// the catalog entry's descriptor (display name included).
+    fn visit<L: hemlock_core::raw::RawTryLock + 'static>(self, meta: LockMeta) -> Self::Output;
+}
+
+macro_rules! gen_timed_rw_dispatch {
+    ($(($key:literal, $display:literal, [$($alias:literal),*], $ty:ty, $cap:ident)),+ $(,)?) => {
+        /// Statically dispatches `visitor` on the RW algorithm selected by
+        /// `name`, restricted to the timed-capable subset. Returns `None`
+        /// for unknown names **and** for known entries without an
+        /// abortable path (`rw.clh`, `rw.anderson`) — check
+        /// [`RwCatalogEntry::meta`]`.abortable` to distinguish.
+        pub fn with_timed_rw_lock_type<V: TimedRwLockVisitor>(
+            name: &str,
+            visitor: V,
+        ) -> Option<V::Output> {
+            let entry = find(name)?;
+            match entry.key {
+                $($key => gen_timed_rw_dispatch!(@arm $cap, $ty, visitor, entry),)+
+                _ => unreachable!("rw catalog key missing from timed dispatch table"),
+            }
+        }
+    };
+    (@arm timed, $ty:ty, $visitor:ident, $entry:ident) => {
+        Some($visitor.visit::<$ty>($entry.meta))
+    };
+    (@arm no_timed, $ty:ty, $visitor:ident, $entry:ident) => {{
+        let _ = $visitor;
+        None
+    }};
+}
+for_each_rw_lock!(gen_timed_rw_dispatch);
+
+/// Statically dispatches a timed visitor on `name` resolved against
+/// **both** catalogs, mirroring [`with_any_lock_type`]: `rw.*` keys hit
+/// this crate's timed registry; anything else falls through to the
+/// exclusive catalog's timed subset (where the shared timed path degrades
+/// to the exclusive one). Returns `None` when the name is unknown or the
+/// resolved entry has no abortable path.
+pub fn with_any_timed_lock_type<V: TimedRwLockVisitor>(
+    name: &str,
+    visitor: V,
+) -> Option<V::Output> {
+    if find(name).is_some() {
+        return with_timed_rw_lock_type(name, visitor);
+    }
+    struct Bridge<V>(V);
+    impl<V: TimedRwLockVisitor> hemlock_locks::catalog::TimedLockVisitor for Bridge<V> {
+        type Output = V::Output;
+        fn visit<L: hemlock_core::raw::RawTryLock + 'static>(
+            self,
+            entry: &'static hemlock_locks::catalog::CatalogEntry,
+        ) -> V::Output {
+            self.0.visit::<L>(entry.meta)
+        }
+    }
+    hemlock_locks::catalog::with_timed_lock_type(name, Bridge(visitor))
+}
 
 /// Statically dispatches `visitor` on `name` resolved against **both**
 /// catalogs: `rw.*` keys hit this crate's registry; anything else falls
@@ -249,9 +327,97 @@ mod tests {
             let rw = find(&rw_key)
                 .unwrap_or_else(|| panic!("no RW counterpart for catalog key {}", entry.key));
             assert!(rw.meta.rw, "{rw_key}: descriptor must advertise rw");
-            assert!(!rw.meta.try_lock, "{rw_key}: RW entries expose no trylock");
+            // Trylock/abortable capability mirrors the gate's: a CLH gate
+            // cannot withdraw, so neither can its adapter.
+            assert_eq!(
+                rw.meta.try_lock, entry.meta.try_lock,
+                "{rw_key}: trylock capability must mirror the gate"
+            );
+            assert_eq!(
+                rw.meta.abortable, entry.meta.abortable,
+                "{rw_key}: abortable capability must mirror the gate"
+            );
         }
         assert_eq!(ENTRIES.len(), hemlock_locks::catalog::ENTRIES.len());
+    }
+
+    #[test]
+    fn timed_capability_agrees_between_meta_and_dyn_handle() {
+        use core::time::Duration;
+        for entry in ENTRIES {
+            let lock = (entry.make)();
+            let read = lock.try_read_lock_for(Duration::from_millis(5));
+            let write = lock.try_write_lock_for(Duration::from_millis(5));
+            if entry.meta.abortable {
+                // Free lock: the read attempt must have been admitted; the
+                // write attempt then timed out behind it (readers exclude
+                // writers) — both through the vtable.
+                assert_eq!(read, Ok(true), "{}", entry.key);
+                assert_eq!(write, Ok(false), "{}: writer behind a reader", entry.key);
+                // Safety: read-acquired just above on this thread.
+                unsafe { lock.read_unlock() };
+                assert_eq!(
+                    lock.try_write_lock_for(Duration::from_millis(5)),
+                    Ok(true),
+                    "{}",
+                    entry.key
+                );
+                // Safety: write-acquired just above on this thread.
+                unsafe { lock.write_unlock() };
+            } else {
+                assert!(read.is_err(), "{}", entry.key);
+                assert!(write.is_err(), "{}", entry.key);
+            }
+        }
+    }
+
+    #[test]
+    fn timed_dispatch_reaches_both_catalogs_and_skips_unwithdrawable_entries() {
+        struct TimedRoundtrip;
+        impl TimedRwLockVisitor for TimedRoundtrip {
+            type Output = &'static str;
+            fn visit<L: hemlock_core::raw::RawTryLock + 'static>(
+                self,
+                meta: LockMeta,
+            ) -> Self::Output {
+                let l = L::default();
+                assert!(
+                    l.try_lock_for(core::time::Duration::from_millis(5)),
+                    "{}",
+                    meta.name
+                );
+                // Safety: the timed acquisition conferred ownership.
+                unsafe { l.unlock() };
+                assert!(
+                    l.try_read_lock_for(core::time::Duration::from_millis(5)),
+                    "{}",
+                    meta.name
+                );
+                // Safety: the timed read acquisition succeeded above.
+                unsafe { l.read_unlock() };
+                meta.name
+            }
+        }
+        assert_eq!(
+            with_any_timed_lock_type("rw.hemlock", TimedRoundtrip),
+            Some("HemlockRw")
+        );
+        assert_eq!(
+            with_any_timed_lock_type("rw.mcs", TimedRoundtrip),
+            Some("RW-MCS")
+        );
+        assert_eq!(
+            with_any_timed_lock_type("hemlock", TimedRoundtrip),
+            Some("Hemlock")
+        );
+        assert_eq!(
+            with_any_timed_lock_type("ticket", TimedRoundtrip),
+            Some("Ticket")
+        );
+        // Known but unwithdrawable names dispatch to None in both catalogs.
+        assert_eq!(with_any_timed_lock_type("rw.clh", TimedRoundtrip), None);
+        assert_eq!(with_any_timed_lock_type("clh", TimedRoundtrip), None);
+        assert_eq!(with_any_timed_lock_type("bogus", TimedRoundtrip), None);
     }
 
     #[test]

@@ -22,8 +22,9 @@
 
 use core::sync::atomic::{AtomicUsize, Ordering};
 use hemlock_core::meta::LockMeta;
-use hemlock_core::raw::{RawLock, RawRwLock};
+use hemlock_core::raw::{RawLock, RawRwLock, RawTryLock};
 use hemlock_core::spin::SpinWait;
+use std::time::Instant;
 
 /// Reader-writer adapter over any [`RawLock`] (see the module docs).
 ///
@@ -61,10 +62,14 @@ unsafe impl<L: RawLock> RawLock for RwFromRaw<L> {
         // character, same per-thread and per-engagement state.
         let mut m = L::META;
         m.lock_words = core::mem::size_of::<Self>().div_ceil(core::mem::size_of::<usize>());
-        // The adapter exposes no trylock path (a writer's acquisition
-        // spans the gate *and* the drain; backing out of the drain is not
-        // expressible through the context-free gate interface).
-        m.try_lock = false;
+        // Trylock and the timed family are inherited from the gate: a
+        // writer's trylock takes the gate conditionally and *backs out of
+        // the drain* by releasing the gate (the readers it found were never
+        // excluded, so the withdrawal is free); a reader's is the gate
+        // trylock around the count bump. Gates that cannot trylock (CLH,
+        // Anderson) leave both bits false here too.
+        m.try_lock = L::META.try_lock;
+        m.abortable = L::META.abortable;
         m.rw = true;
         m
     };
@@ -114,6 +119,62 @@ unsafe impl<L: RawLock> RawLock for RwFromRaw<L> {
 // META.rw is set above.
 unsafe impl<L: RawLock> RawRwLock for RwFromRaw<L> {}
 
+// Safety: every success path holds the gate with the reader count drained
+// (write) or has bumped the count under the gate (read) — exactly the
+// states `lock`/`read_lock` confer. Every failure path releases the gate
+// before returning, so an aborted attempt leaves no state: readers it
+// observed were never excluded, and no waiter can block on anything the
+// aborter did.
+unsafe impl<L: RawTryLock> RawTryLock for RwFromRaw<L> {
+    /// Writer trylock: take the gate conditionally; if readers are in
+    /// flight, back out by releasing the gate.
+    fn try_lock(&self) -> bool {
+        if !self.gate.try_lock() {
+            return false;
+        }
+        if self.readers.load(Ordering::Acquire) != 0 {
+            // Safety: acquired just above on this thread.
+            unsafe { self.gate.unlock() };
+            return false;
+        }
+        true
+    }
+
+    /// Timed writer acquisition: a timed gate acquisition followed by a
+    /// deadline-bounded drain. A drain timeout *withdraws* by releasing
+    /// the gate — the in-flight readers were never excluded, so the
+    /// batched readers queued behind us on the gate are admitted as if we
+    /// had never arrived.
+    fn try_lock_until(&self, deadline: Instant) -> bool {
+        if !self.gate.try_lock_until(deadline) {
+            return false;
+        }
+        let mut spin = SpinWait::new();
+        while self.readers.load(Ordering::Acquire) != 0 {
+            if Instant::now() >= deadline {
+                // Safety: the gate was acquired above on this thread.
+                unsafe { self.gate.unlock() };
+                return false;
+            }
+            spin.wait();
+        }
+        true
+    }
+
+    /// Timed reader acquisition: a timed pass through the gate around the
+    /// count bump. Once the bump lands the reader is admitted — there is
+    /// no post-admission wait to abort from.
+    fn try_read_lock_until(&self, deadline: Instant) -> bool {
+        if !self.gate.try_lock_until(deadline) {
+            return false;
+        }
+        self.readers.fetch_add(1, Ordering::Relaxed);
+        // Safety: acquired just above on this thread.
+        unsafe { self.gate.unlock() };
+        true
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -127,7 +188,10 @@ mod tests {
     fn meta_inherits_the_gate_and_adds_the_counter() {
         type Rw = RwFromRaw<Hemlock>;
         const { assert!(Rw::META.rw) };
-        const { assert!(!Rw::META.try_lock) };
+        const { assert!(Rw::META.try_lock && Rw::META.abortable) };
+        // A non-try gate propagates honesty.
+        const { assert!(!RwFromRaw::<hemlock_locks::ClhLock>::META.try_lock) };
+        const { assert!(!RwFromRaw::<hemlock_locks::ClhLock>::META.abortable) };
         assert_eq!(Rw::META.name, "Hemlock");
         assert_eq!(Rw::META.thread_words, 1);
         // One-word gate + one counter word, as measured.
@@ -220,6 +284,47 @@ mod tests {
             }
         });
         assert_eq!(m.into_inner(), 6_000);
+    }
+
+    #[test]
+    fn writer_try_and_timed_paths_respect_readers() {
+        use std::time::Duration;
+        let l: RwFromRaw<Hemlock> = RwFromRaw::new();
+        // Uncontended: both writer paths acquire.
+        assert!(l.try_lock());
+        unsafe { l.unlock() };
+        assert!(l.try_lock_for(Duration::from_millis(5)));
+        unsafe { l.unlock() };
+        // A reader in flight: the writer trylock backs out of the drain…
+        l.read_lock();
+        assert!(!l.try_lock());
+        let t0 = std::time::Instant::now();
+        assert!(!l.try_lock_for(Duration::from_millis(15)));
+        assert!(t0.elapsed() >= Duration::from_millis(15));
+        // …and the withdrawal released the gate: a new reader is admitted
+        // immediately (timed read path), proving nothing was left behind.
+        assert!(l.try_read_lock_for(Duration::from_millis(5)));
+        unsafe { l.read_unlock() };
+        unsafe { l.read_unlock() };
+        assert!(l.try_lock());
+        unsafe { l.unlock() };
+    }
+
+    #[test]
+    fn timed_reader_times_out_behind_a_writer_and_recovers() {
+        use std::sync::Arc;
+        use std::time::Duration;
+        let l: Arc<RwFromRaw<Hemlock>> = Arc::new(RwFromRaw::new());
+        l.lock(); // writer holds the gate for its whole critical section
+        let waiter = {
+            let l = Arc::clone(&l);
+            std::thread::spawn(move || l.try_read_lock_for(Duration::from_millis(10)))
+        };
+        assert!(!waiter.join().unwrap(), "reader must time out on the gate");
+        unsafe { l.unlock() };
+        assert!(l.try_read_lock_for(Duration::from_millis(5)));
+        unsafe { l.read_unlock() };
+        assert_eq!(l.reader_count(), 0);
     }
 
     #[test]

@@ -24,8 +24,9 @@ use core::sync::atomic::{AtomicUsize, Ordering};
 use hemlock_core::hemlock::Hemlock;
 use hemlock_core::meta::LockMeta;
 use hemlock_core::pad::CachePadded;
-use hemlock_core::raw::{RawLock, RawRwLock};
+use hemlock_core::raw::{RawLock, RawRwLock, RawTryLock};
 use hemlock_core::spin::SpinWait;
+use std::time::Instant;
 
 /// Default number of read-indicator stripes. Sized so that a handful of
 /// concurrent readers land on distinct cache lines; raise via the const
@@ -106,6 +107,13 @@ unsafe impl<const STRIPES: usize> RawLock for HemlockRw<STRIPES> {
                             // is not FCFS.
         m.fifo = false;
         m.rw = true;
+        // Both modes abort cleanly: a timed writer rides the internal
+        // Hemlock's conditional arrival and can back out of the drain by
+        // dropping the write phase; a timed reader withdraws from its
+        // indicator stripe — per-lock state, so (unlike the Grant word) a
+        // genuine mid-wait withdrawal is sound here.
+        m.try_lock = true;
+        m.abortable = true;
         m
     };
 
@@ -171,6 +179,85 @@ unsafe impl<const STRIPES: usize> RawLock for HemlockRw<STRIPES> {
 // before returning, so no write acquisition returns while a reader is in
 // (and vice versa — see the SeqCst pairing notes inline). META.rw is set.
 unsafe impl<const STRIPES: usize> RawRwLock for HemlockRw<STRIPES> {}
+
+// Safety: write successes hold the internal Hemlock with the indicator
+// drained under a raised wflag — the same state `lock` confers; read
+// successes hold a stripe increment with the wflag observed clear — the
+// same state `read_lock` confers. Every abort path restores exactly the
+// state it changed (wflag cleared before the writer lock is released; a
+// withdrawing reader decrements the stripe it bumped) before returning, so
+// a timed-out waiter leaves nothing for others to block on and can never
+// be granted the lock later.
+unsafe impl<const STRIPES: usize> RawTryLock for HemlockRw<STRIPES> {
+    /// Writer trylock: conditional arrival on the internal Hemlock, then a
+    /// single pass over the indicator; any reader in flight backs us out.
+    fn try_lock(&self) -> bool {
+        if !self.writer.try_lock() {
+            return false;
+        }
+        self.wflag.store(1, Ordering::SeqCst);
+        for stripe in &self.readers {
+            if stripe.load(Ordering::SeqCst) != 0 {
+                self.wflag.store(0, Ordering::SeqCst);
+                // Safety: acquired just above on this thread.
+                unsafe { self.writer.unlock() };
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Timed writer acquisition: a timed internal-Hemlock acquisition,
+    /// then a deadline-bounded drain. A drain timeout withdraws by
+    /// dropping the write phase (readers that backed off while our wflag
+    /// was up simply retry) and releasing the writer lock.
+    fn try_lock_until(&self, deadline: Instant) -> bool {
+        if !self.writer.try_lock_until(deadline) {
+            return false;
+        }
+        self.wflag.store(1, Ordering::SeqCst);
+        for stripe in &self.readers {
+            let mut spin = SpinWait::new();
+            while stripe.load(Ordering::SeqCst) != 0 {
+                if Instant::now() >= deadline {
+                    self.wflag.store(0, Ordering::SeqCst);
+                    // Safety: the writer lock was acquired above on this
+                    // thread.
+                    unsafe { self.writer.unlock() };
+                    return false;
+                }
+                spin.wait();
+            }
+        }
+        true
+    }
+
+    /// Timed reader acquisition: the blocking `read_lock` loop with a
+    /// deadline on the back-off wait. The withdrawal (decrementing the
+    /// stripe we optimistically bumped) is the *same* step the blocking
+    /// path already performs when it loses to a writer — timing out merely
+    /// stops retrying.
+    fn try_read_lock_until(&self, deadline: Instant) -> bool {
+        let stripe = &self.readers[stripe_index::<STRIPES>()];
+        let mut spin = SpinWait::new();
+        loop {
+            stripe.fetch_add(1, Ordering::SeqCst);
+            if self.wflag.load(Ordering::SeqCst) == 0 {
+                return true;
+            }
+            stripe.fetch_sub(1, Ordering::AcqRel);
+            loop {
+                if Instant::now() >= deadline {
+                    return false;
+                }
+                if self.wflag.load(Ordering::Relaxed) == 0 {
+                    break;
+                }
+                spin.wait();
+            }
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -296,6 +383,58 @@ mod tests {
             }
         });
         assert_eq!(value.load(Ordering::Relaxed), 6_000);
+    }
+
+    #[test]
+    fn timed_writer_backs_out_of_the_drain_without_stranding_readers() {
+        use std::time::Duration;
+        let l: Arc<HemlockRw<4>> = Arc::new(HemlockRw::new());
+        l.read_lock();
+        // trylock: one pass, immediate back-out.
+        assert!(!l.try_lock());
+        // timed: bounded drain, then withdrawal.
+        let w = {
+            let l = Arc::clone(&l);
+            std::thread::spawn(move || {
+                let t0 = std::time::Instant::now();
+                let got = l.try_lock_for(Duration::from_millis(15));
+                (got, t0.elapsed())
+            })
+        };
+        let (got, waited) = w.join().unwrap();
+        assert!(!got, "writer must time out behind the reader");
+        assert!(waited >= Duration::from_millis(15));
+        // The withdrawal dropped the write phase: new readers are admitted
+        // immediately while the original hold is still live.
+        assert!(l.try_read_lock_for(Duration::from_millis(5)));
+        unsafe { l.read_unlock() };
+        unsafe { l.read_unlock() };
+        // And the writer lock was released: exclusive paths work again.
+        assert!(l.try_lock());
+        unsafe { l.unlock() };
+    }
+
+    #[test]
+    fn timed_reader_withdraws_from_its_stripe_on_timeout() {
+        use std::time::Duration;
+        let l: Arc<HemlockRw<4>> = Arc::new(HemlockRw::new());
+        l.lock(); // writer in: the wflag stays up
+        let r = {
+            let l = Arc::clone(&l);
+            std::thread::spawn(move || l.try_read_lock_for(Duration::from_millis(10)))
+        };
+        assert!(
+            !r.join().unwrap(),
+            "reader must time out during the write phase"
+        );
+        // The aborted reader left its stripe at zero — a fresh writer's
+        // drain must not wait on ghost readers.
+        assert_eq!(l.reader_count(), 0);
+        unsafe { l.unlock() };
+        assert!(l.try_lock_for(Duration::from_millis(10)));
+        unsafe { l.unlock() };
+        assert!(l.try_read_lock_for(Duration::from_millis(5)));
+        unsafe { l.read_unlock() };
     }
 
     #[test]

@@ -376,6 +376,158 @@ impl<K: Hash + Eq, V, L: RawTryLock> ShardedTable<K, V, L> {
             }
         }
     }
+
+    /// Non-blocking [`Self::with`]: runs `f` on the slot for `key` only if
+    /// the owning shard's lock is free right now; `None` (without running
+    /// `f`) when it is busy. The bounded-wait building block for callers
+    /// that must not stall behind a slow shard holder.
+    pub fn try_with<Q, R>(&self, key: &Q, f: impl FnOnce(Option<&V>) -> R) -> Option<R>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        let shard = &self.shards[self.shard_index(key)];
+        match shard.map.try_lock() {
+            Some(guard) => {
+                shard.stats.note_acquisition(false);
+                Some(f(guard.get(key)))
+            }
+            None => {
+                shard.stats.note_acquisition(true);
+                None
+            }
+        }
+    }
+
+    /// Timed [`Self::guard`]: gives up once `timeout` elapses (counted as
+    /// a contended acquisition in the census), after which the waiter is
+    /// guaranteed never to receive the shard lock from this call. Only
+    /// meaningful when `L` advertises
+    /// [`LockMeta::abortable`](hemlock_core::LockMeta).
+    pub fn try_guard_for<Q>(
+        &self,
+        key: &Q,
+        timeout: std::time::Duration,
+    ) -> Option<ShardGuard<'_, K, V, L>>
+    where
+        K: Borrow<Q>,
+        Q: Hash + ?Sized,
+    {
+        let shard = &self.shards[self.shard_index(key)];
+        match shard.map.try_lock_for(timeout) {
+            Some(guard) => {
+                shard.stats.note_acquisition(false);
+                Some(ShardGuard { guard })
+            }
+            None => {
+                shard.stats.note_acquisition(true);
+                None
+            }
+        }
+    }
+
+    /// Timed [`Self::read_guard`]: the shared-mode counterpart of
+    /// [`Self::try_guard_for`]. With an RW-capable `L`, concurrent timed
+    /// readers of a hot shard are admitted together and a timed-out reader
+    /// genuinely withdraws from the read indicator.
+    pub fn try_read_guard_for<Q>(
+        &self,
+        key: &Q,
+        timeout: std::time::Duration,
+    ) -> Option<ShardReadGuard<'_, K, V, L>>
+    where
+        K: Borrow<Q> + Sync,
+        Q: Hash + ?Sized,
+        V: Sync,
+    {
+        let shard = &self.shards[self.shard_index(key)];
+        match shard.map.try_read_for(timeout) {
+            Some(guard) => {
+                shard.stats.note_acquisition(false);
+                Some(ShardReadGuard { guard })
+            }
+            None => {
+                shard.stats.note_acquisition(true);
+                None
+            }
+        }
+    }
+
+    /// Atomic read-modify-write over **two** slots that may live on
+    /// different shards — the multi-shard transaction primitive. `f`
+    /// receives both slots (`None` when absent) with [`Self::update`]'s
+    /// fill/replace/empty semantics and panic-safety (slot contents at the
+    /// moment of a panic are preserved).
+    ///
+    /// Deadlock freedom: the two shard locks are taken in **index order**
+    /// — the lower-index shard blocking, the higher by *try-acquire with
+    /// backoff* (on failure both are dropped and the attempt restarts), so
+    /// two `with_two` calls with crossing key pairs can never hold-and-wait
+    /// in opposite orders, and a blocking holder of the higher shard is
+    /// never waited on while the lower is held longer than one trylock.
+    /// Same-shard pairs degrade to a single guard.
+    ///
+    /// Panics when `a == b` (two `&mut` views of one slot are
+    /// ill-defined); route single-key updates through [`Self::update`].
+    pub fn with_two<R>(
+        &self,
+        a: K,
+        b: K,
+        f: impl FnOnce(&mut Option<V>, &mut Option<V>) -> R,
+    ) -> R {
+        assert!(a != b, "with_two requires distinct keys");
+        let (ia, ib) = (self.shard_index(&a), self.shard_index(&b));
+        if ia == ib {
+            let mut g = self.lock_shard(ia);
+            let mut slot_a = g.remove(&a);
+            let mut slot_b = g.remove(&b);
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                f(&mut slot_a, &mut slot_b)
+            }));
+            if let Some(v) = slot_a {
+                g.insert(a, v);
+            }
+            if let Some(v) = slot_b {
+                g.insert(b, v);
+            }
+            return match r {
+                Ok(r) => r,
+                Err(panic) => std::panic::resume_unwind(panic),
+            };
+        }
+        // Cross-shard: ordered acquire, try + backoff on the second lock.
+        let (lo, hi) = (ia.min(ib), ia.max(ib));
+        let mut spin = hemlock_core::spin::SpinWait::new();
+        let (g_lo, g_hi) = loop {
+            let g_lo = self.lock_shard(lo);
+            match self.shards[hi].map.try_lock() {
+                Some(guard) => {
+                    self.shards[hi].stats.note_acquisition(false);
+                    break (g_lo, ShardGuard { guard });
+                }
+                None => {
+                    self.shards[hi].stats.note_acquisition(true);
+                    drop(g_lo); // release before backing off: no hold-and-wait
+                    spin.wait();
+                }
+            }
+        };
+        let (mut g_a, mut g_b) = if ia == lo { (g_lo, g_hi) } else { (g_hi, g_lo) };
+        let mut slot_a = g_a.remove(&a);
+        let mut slot_b = g_b.remove(&b);
+        let r =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut slot_a, &mut slot_b)));
+        if let Some(v) = slot_a {
+            g_a.insert(a, v);
+        }
+        if let Some(v) = slot_b {
+            g_b.insert(b, v);
+        }
+        match r {
+            Ok(r) => r,
+            Err(panic) => std::panic::resume_unwind(panic),
+        }
+    }
 }
 
 /// RAII guard over one shard's map; releases the shard lock on drop.
@@ -536,6 +688,104 @@ mod tests {
         let stats = t.stats();
         assert_eq!(stats.acquisitions(), 3);
         assert_eq!(stats.contended(), 1);
+    }
+
+    #[test]
+    fn try_with_and_timed_guards_respect_a_busy_shard() {
+        use std::time::Duration;
+        let t: Table<u32, u32> = ShardedTable::with_shards(1);
+        t.insert(1, 10);
+        // Free: all bounded paths succeed.
+        assert_eq!(t.try_with(&1, |v| v.copied()), Some(Some(10)));
+        assert!(t.try_guard_for(&1, Duration::from_millis(5)).is_some());
+        assert!(t.try_read_guard_for(&1, Duration::from_millis(5)).is_some());
+        // Busy: they refuse or time out instead of stalling.
+        let g = t.guard(&1);
+        assert_eq!(t.try_with(&1, |_| ()), None);
+        let t0 = std::time::Instant::now();
+        assert!(t.try_guard_for(&1, Duration::from_millis(10)).is_none());
+        assert!(t0.elapsed() >= Duration::from_millis(10));
+        assert!(t
+            .try_read_guard_for(&1, Duration::from_millis(10))
+            .is_none());
+        drop(g);
+        // The aborted attempts left the shard fully usable.
+        assert_eq!(t.get(&1), Some(10));
+    }
+
+    #[test]
+    fn with_two_moves_value_across_shards_atomically() {
+        let t: Table<u32, u32> = ShardedTable::with_shards(8);
+        t.insert(3, 30);
+        // Transfer: drain one slot into the other, across shard locks.
+        let moved = t.with_two(3, 4, |a, b| {
+            let v = a.take().expect("source present");
+            *b = Some(b.take().unwrap_or(0) + v);
+            v
+        });
+        assert_eq!(moved, 30);
+        assert_eq!(t.get(&3), None);
+        assert_eq!(t.get(&4), Some(30));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn with_two_same_shard_and_panic_preserve_slots() {
+        let t: Table<u32, u32> = ShardedTable::with_shards(1); // force same shard
+        t.insert(1, 10);
+        t.insert(2, 20);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            t.with_two(1, 2, |a, _b| {
+                *a = Some(11); // applied before the panic
+                panic!("mid-transaction");
+            })
+        }));
+        assert!(r.is_err());
+        // Slot contents at panic time survived; nothing vanished.
+        assert_eq!(t.get(&1), Some(11));
+        assert_eq!(t.get(&2), Some(20));
+    }
+
+    #[test]
+    fn crossing_with_two_pairs_never_deadlock() {
+        use std::sync::Arc;
+        // Two shards, two threads, opposite key orders: the ordered
+        // try+backoff protocol must make progress on every schedule.
+        let t: Arc<Table<u32, u64>> = Arc::new(ShardedTable::with_shards(2));
+        // Find two keys on distinct shards.
+        let (ka, kb) = {
+            let mut ka = 0;
+            let mut kb = 1;
+            'outer: for a in 0..64u32 {
+                for b in 0..64u32 {
+                    if a != b && t.shard_index(&a) != t.shard_index(&b) {
+                        ka = a;
+                        kb = b;
+                        break 'outer;
+                    }
+                }
+            }
+            (ka, kb)
+        };
+        t.insert(ka, 0);
+        t.insert(kb, 0);
+        std::thread::scope(|s| {
+            for flip in [false, true] {
+                let t = Arc::clone(&t);
+                s.spawn(move || {
+                    let (x, y) = if flip { (kb, ka) } else { (ka, kb) };
+                    for _ in 0..2_000 {
+                        t.with_two(x, y, |a, b| {
+                            *a = Some(a.unwrap_or(0) + 1);
+                            *b = Some(b.unwrap_or(0) + 1);
+                        });
+                    }
+                });
+            }
+        });
+        // Both transactions fully applied: each key saw every increment.
+        assert_eq!(t.get(&ka), Some(4_000));
+        assert_eq!(t.get(&kb), Some(4_000));
     }
 
     #[test]

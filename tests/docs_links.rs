@@ -1,0 +1,112 @@
+//! Markdown link check for the human-facing docs: every **relative** link
+//! in `README.md` and `docs/*.md` must point at a file that exists in the
+//! repository. External (`http(s)://`, `mailto:`) links and pure
+//! `#fragment` anchors are out of scope — this guards against the common
+//! failure of renaming or moving a file and stranding the docs that point
+//! at it. The CI `docs` job runs exactly this test as its link-check step.
+
+use std::path::{Path, PathBuf};
+
+/// Extracts `](target)` link targets from one markdown document,
+/// ignoring fenced code blocks (```…```), where `](…)` is usually Rust.
+fn link_targets(markdown: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut in_fence = false;
+    for line in markdown.lines() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        let mut rest = line;
+        while let Some(open) = rest.find("](") {
+            rest = &rest[open + 2..];
+            let Some(close) = rest.find(')') else { break };
+            out.push(rest[..close].to_string());
+            rest = &rest[close + 1..];
+        }
+    }
+    out
+}
+
+fn check_doc(repo_root: &Path, doc: &Path, failures: &mut Vec<String>) {
+    let text = std::fs::read_to_string(doc)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", doc.display()));
+    for target in link_targets(&text) {
+        // External links and in-page anchors are not this test's job.
+        if target.starts_with("http://")
+            || target.starts_with("https://")
+            || target.starts_with("mailto:")
+            || target.starts_with('#')
+        {
+            continue;
+        }
+        // Strip a trailing fragment/query from relative links.
+        let path_part = target
+            .split(['#', '?'])
+            .next()
+            .expect("split yields at least one element");
+        if path_part.is_empty() {
+            continue;
+        }
+        // Relative links resolve against the linking document's directory.
+        let base = doc.parent().unwrap_or(repo_root);
+        let resolved = base.join(path_part);
+        if !resolved.exists() {
+            failures.push(format!(
+                "{}: broken relative link `{}` (resolved to {})",
+                doc.strip_prefix(repo_root).unwrap_or(doc).display(),
+                target,
+                resolved.display(),
+            ));
+        }
+    }
+}
+
+#[test]
+fn readme_and_docs_have_no_broken_relative_links() {
+    let repo_root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let mut docs = vec![repo_root.join("README.md")];
+    let docs_dir = repo_root.join("docs");
+    if let Ok(entries) = std::fs::read_dir(&docs_dir) {
+        for entry in entries.flatten() {
+            let p = entry.path();
+            if p.extension().is_some_and(|e| e == "md") {
+                docs.push(p);
+            }
+        }
+    }
+    assert!(
+        docs.len() >= 3,
+        "expected README.md plus at least docs/ARCHITECTURE.md and docs/BENCH_FORMAT.md, found {docs:?}"
+    );
+    let mut failures = Vec::new();
+    for doc in &docs {
+        check_doc(&repo_root, doc, &mut failures);
+    }
+    assert!(
+        failures.is_empty(),
+        "broken links:\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn link_extractor_understands_the_markdown_we_write() {
+    let md = "see [a](docs/A.md) and [b](https://x.y) and [c](other.md#frag)\n\
+              ```rust\nlet x = a[0](1); // not a link\n```\n\
+              [anchor](#local) [d](sub/d.md?q=1)";
+    let targets = link_targets(md);
+    assert_eq!(
+        targets,
+        vec![
+            "docs/A.md",
+            "https://x.y",
+            "other.md#frag",
+            "#local",
+            "sub/d.md?q=1"
+        ]
+    );
+}

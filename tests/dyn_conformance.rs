@@ -9,8 +9,14 @@
 //!   through the type-erased handle;
 //! - **trylock semantics** — `meta.try_lock` entries must acquire when
 //!   free, report `WouldBlock` when held, and really confer ownership;
-//!   non-trylock algorithms (CLH, Ticket, Anderson) must report
-//!   `Unsupported`;
+//!   non-trylock algorithms (CLH, Anderson) must report `Unsupported`;
+//! - **timeout semantics** — `meta.abortable` entries must return within
+//!   the deadline bound, a timed-out waiter must never acquire the lock
+//!   afterwards (no double grant), and the lock must stay acquirable;
+//!   non-abortable algorithms must report `Unsupported` rather than a fake
+//!   timeout. A proptest drives arbitrary mixes of blocking acquisitions,
+//!   timed acquisitions, and aborts over every abortable key, checking the
+//!   counter oracle and an overlap detector;
 //! - **guard drop on panic** — unwinding out of a critical section must
 //!   release the lock;
 //! - **metadata fidelity** — the entry's meta equals the static type's
@@ -100,6 +106,111 @@ fn trylock_semantics_match_the_advertised_capability() {
             // The blocking path must be unaffected.
             drop(m.lock());
         }
+    }
+}
+
+#[test]
+fn timeout_semantics_match_the_advertised_capability() {
+    use std::time::{Duration, Instant};
+    for entry in catalog::ENTRIES {
+        let m = dyn_mutex_for(entry);
+        if entry.meta.abortable {
+            // Uncontended: the timed path must acquire and confer
+            // ownership.
+            {
+                let mut g = m
+                    .try_lock_for(Duration::from_millis(10))
+                    .unwrap_or_else(|e| panic!("{}: free timed acquire failed: {e}", entry.key));
+                *g += 1;
+            }
+            // Held: a timed waiter must return TimedOut within bound — it
+            // waits at least the timeout and (generously) far less than
+            // forever.
+            let g = m.lock();
+            let t0 = Instant::now();
+            assert_eq!(
+                m.try_lock_for(Duration::from_millis(20))
+                    .map(|_| ())
+                    .unwrap_err(),
+                TryLockError::TimedOut,
+                "{}",
+                entry.key
+            );
+            let waited = t0.elapsed();
+            assert!(
+                waited >= Duration::from_millis(20),
+                "{}: {waited:?}",
+                entry.key
+            );
+            assert!(
+                waited < Duration::from_secs(10),
+                "{}: timed waiter failed to return within bound ({waited:?})",
+                entry.key
+            );
+            drop(g);
+            // Released again: the aborted attempt left the lock reusable
+            // for both the timed and the blocking path.
+            drop(
+                m.try_lock_for(Duration::from_millis(10))
+                    .expect("released lock must be timed-acquirable"),
+            );
+            drop(m.lock());
+        } else {
+            assert_eq!(
+                m.try_lock_for(Duration::from_millis(5))
+                    .map(|_| ())
+                    .unwrap_err(),
+                TryLockError::Unsupported,
+                "{}: non-abortable algorithm must report Unsupported, not a fake timeout",
+                entry.key
+            );
+            drop(m.lock());
+        }
+    }
+}
+
+#[test]
+fn aborted_waiters_never_acquire_and_never_double_grant() {
+    use std::time::Duration;
+    // The no-double-grant property: a holder keeps the lock across many
+    // timed waiters' aborts; when it finally releases, exactly one new
+    // acquisition succeeds, and the aborted waiters' attempts can never
+    // surface as ownership later.
+    for entry in catalog::ENTRIES.iter().filter(|e| e.meta.abortable) {
+        let m = dyn_mutex_for(entry);
+        let g = m.lock();
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                let m = &m;
+                s.spawn(move || {
+                    // Every attempt must abort: the holder never releases
+                    // while these run.
+                    assert_eq!(
+                        m.try_lock_for(Duration::from_millis(15))
+                            .map(|_| ())
+                            .unwrap_err(),
+                        TryLockError::TimedOut,
+                        "{}",
+                        entry.key
+                    );
+                });
+            }
+        });
+        // All waiters aborted and returned. Release; the critical section
+        // must be re-enterable exactly once at a time.
+        drop(g);
+        let g2 = m
+            .try_lock_for(Duration::from_millis(10))
+            .unwrap_or_else(|e| panic!("{}: lock unusable after aborts: {e}", entry.key));
+        // While g2 is held, nothing an aborted waiter left behind may make
+        // a second acquisition succeed.
+        assert_eq!(
+            m.try_lock().map(|_| ()).unwrap_err(),
+            TryLockError::WouldBlock,
+            "{}: double grant after aborts",
+            entry.key
+        );
+        drop(g2);
     }
 }
 
@@ -258,6 +369,71 @@ fn rw_read_guard_and_write_guard_release_on_panic() {
 }
 
 #[test]
+fn rw_timed_semantics_match_the_advertised_capability() {
+    use std::time::Duration;
+    for entry in rw_catalog::ENTRIES {
+        let m = dyn_rw_mutex_for(entry);
+        if entry.meta.abortable {
+            // Free: both timed modes acquire.
+            *m.try_write_for(Duration::from_millis(10))
+                .unwrap_or_else(|e| panic!("{}: free timed write failed: {e}", entry.key)) = 3;
+            {
+                // Timed readers coexist with a blocking reader.
+                let held = m.read();
+                let r = m
+                    .try_read_for(Duration::from_millis(20))
+                    .unwrap_or_else(|e| panic!("{}: timed reader not admitted: {e}", entry.key));
+                assert_eq!((*held, *r), (3, 3), "{}", entry.key);
+                // A timed writer must give up behind the readers…
+                assert_eq!(
+                    m.try_write_for(Duration::from_millis(15))
+                        .map(|_| ())
+                        .unwrap_err(),
+                    TryLockError::TimedOut,
+                    "{}",
+                    entry.key
+                );
+            }
+            // …and its abort must leave the lock fully usable: writer in,
+            // then a timed reader times out behind it, then both recover.
+            let w = m
+                .try_write_for(Duration::from_millis(20))
+                .expect("free after aborts");
+            assert_eq!(
+                m.try_read_for(Duration::from_millis(10))
+                    .map(|_| ())
+                    .unwrap_err(),
+                TryLockError::TimedOut,
+                "{}",
+                entry.key
+            );
+            drop(w);
+            assert_eq!(*m.try_read_for(Duration::from_millis(10)).expect("free"), 3);
+        } else {
+            assert_eq!(
+                m.try_read_for(Duration::from_millis(5))
+                    .map(|_| ())
+                    .unwrap_err(),
+                TryLockError::Unsupported,
+                "{}",
+                entry.key
+            );
+            assert_eq!(
+                m.try_write_for(Duration::from_millis(5))
+                    .map(|_| ())
+                    .unwrap_err(),
+                TryLockError::Unsupported,
+                "{}",
+                entry.key
+            );
+            // The blocking paths are unaffected.
+            *m.write() += 1;
+            drop(m.read());
+        }
+    }
+}
+
+#[test]
 fn dyn_rw_handles_report_the_entry_meta() {
     for entry in rw_catalog::ENTRIES {
         let lock = (entry.make)();
@@ -269,7 +445,7 @@ fn dyn_rw_handles_report_the_entry_meta() {
 }
 
 macro_rules! rw_static_meta_checks {
-    ($(($key:literal, $display:literal, [$($alias:literal),*], $ty:ty)),+ $(,)?) => {
+    ($(($key:literal, $display:literal, [$($alias:literal),*], $ty:ty, $cap:ident)),+ $(,)?) => {
         /// The RW catalog's meta is the static type's `META` with the
         /// display name patched, and the declared body size is measured.
         #[test]
@@ -298,6 +474,110 @@ macro_rules! rw_static_meta_checks {
     };
 }
 hemlock_rw::for_each_rw_lock!(rw_static_meta_checks);
+
+// ------------------------------------------------------- abort proptests
+
+mod abort_mix {
+    //! Proptest: arbitrary per-thread mixes of blocking acquisitions and
+    //! timed acquisitions (many of which abort under contention) over
+    //! **every abortable catalog key**. Invariants, per schedule:
+    //!
+    //! - the protected counter equals the number of acquisitions that
+    //!   actually succeeded (aborted waiters never acquire — a timed-out
+    //!   attempt that secretly took the lock would inflate the count, and
+    //!   one that corrupted the queue would deadlock or tear it);
+    //! - critical sections never overlap (mutual exclusion survives
+    //!   aborts);
+    //! - after the schedule the lock is still acquirable by both paths
+    //!   (aborts leave the lock reusable).
+
+    use super::*;
+    use proptest::prelude::*;
+    use std::sync::atomic::AtomicU64;
+    use std::time::Duration;
+
+    #[derive(Clone, Copy, Debug)]
+    enum Op {
+        /// Unconditional acquisition: always succeeds eventually.
+        Block,
+        /// Timed acquisition with a tiny budget (microseconds): under
+        /// contention a large fraction abort, which is the point.
+        Timed(u16),
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        // The vendored proptest shim has no `Just`; a 1-value range stands
+        // in for the constant arm, as in tests/mutual_exclusion.rs.
+        prop_oneof![
+            (0u8..1).prop_map(|_| Op::Block),
+            (1u16..200).prop_map(Op::Timed), // 1..200 us budgets
+        ]
+    }
+
+    fn run_mix(entry: &'static CatalogEntry, ops: &[Vec<Op>]) {
+        let m = dyn_mutex_for(entry);
+        let in_cs = AtomicBool::new(false);
+        let successes = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for thread_ops in ops {
+                let m = &m;
+                let in_cs = &in_cs;
+                let successes = &successes;
+                s.spawn(move || {
+                    for &op in thread_ops {
+                        let guard = match op {
+                            Op::Block => Some(m.lock()),
+                            Op::Timed(us) => {
+                                match m.try_lock_for(Duration::from_micros(us as u64)) {
+                                    Ok(g) => Some(g),
+                                    Err(TryLockError::TimedOut) => None,
+                                    Err(e) => panic!("{}: unexpected {e}", entry.key),
+                                }
+                            }
+                        };
+                        if let Some(mut g) = guard {
+                            assert!(
+                                !in_cs.swap(true, Ordering::AcqRel),
+                                "{}: overlapping critical sections",
+                                entry.key
+                            );
+                            *g += 1;
+                            successes.fetch_add(1, Ordering::Relaxed);
+                            in_cs.store(false, Ordering::Release);
+                        }
+                    }
+                });
+            }
+        });
+        // Oracle: every success incremented exactly once; aborted waiters
+        // contributed nothing.
+        assert_eq!(
+            *m.lock(),
+            successes.load(Ordering::Relaxed),
+            "{}: counter diverged from successful acquisitions",
+            entry.key
+        );
+        // The lock outlives the abort storm: both paths still acquire.
+        drop(
+            m.try_lock_for(Duration::from_millis(20))
+                .expect("timed path reusable"),
+        );
+        drop(m.lock());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+        #[test]
+        fn acquire_abort_release_mixes_preserve_every_invariant(
+            ops in proptest::collection::vec(
+                proptest::collection::vec(op_strategy(), 0..24), 1..4)
+        ) {
+            for entry in catalog::ENTRIES.iter().filter(|e| e.meta.abortable) {
+                run_mix(entry, &ops);
+            }
+        }
+    }
+}
 
 macro_rules! static_meta_checks {
     ($(($key:literal, [$($alias:literal),*], $ty:ty, $cap:ident)),+ $(,)?) => {

@@ -161,7 +161,7 @@ mod rw_conformance {
     }
 
     macro_rules! rw_conformance_tests {
-        ($(($key:literal, $display:literal, [$($alias:literal),*], $ty:ty)),+ $(,)?) => {
+        ($(($key:literal, $display:literal, [$($alias:literal),*], $ty:ty, $cap:ident)),+ $(,)?) => {
             $(rw_conformance_tests!(@one $key, $ty);)+
 
             #[test]
