@@ -1,0 +1,292 @@
+//! [`AsyncMutex`]: an asynchronous mutual-exclusion lock over the
+//! waker-parking queue.
+//!
+//! The API mirrors `hemlock_core::Mutex<T, L>` with one decisive
+//! difference: [`AsyncMutex::lock`] returns a future, so a contended
+//! acquisition suspends the *task*, not the thread — and the guard it
+//! resolves to is `Send`, because release goes through the queue's
+//! thread-agnostic hand-off instead of a raw lock's thread-bound `unlock`.
+
+use crate::queue::{WaitNode, WakerQueue};
+use core::cell::UnsafeCell;
+use core::fmt;
+use core::future::Future;
+use core::marker::PhantomData;
+use core::ops::{Deref, DerefMut};
+use core::pin::Pin;
+use core::task::{Context, Poll};
+use hemlock_core::hemlock::Hemlock;
+use hemlock_core::meta::LockMeta;
+use hemlock_core::raw::RawTryLock;
+use std::sync::Arc;
+
+/// An asynchronous mutual-exclusion primitive protecting a `T`, generic
+/// over the compact lock `L` guarding its waker queue.
+///
+/// ```
+/// use hemlock_async::AsyncMutex;
+/// use hemlock_core::hemlock::Hemlock;
+/// use hemlock_harness::executor::block_on;
+///
+/// let m: AsyncMutex<u64, Hemlock> = AsyncMutex::new(41);
+/// block_on(async {
+///     *m.lock().await += 1;
+/// });
+/// assert_eq!(m.into_inner(), 42);
+/// ```
+pub struct AsyncMutex<T: ?Sized, L: RawTryLock = Hemlock> {
+    queue: WakerQueue<L>,
+    data: UnsafeCell<T>,
+}
+
+// Safety: the queue serializes exclusive access to `data` exactly like a
+// mutex; `T: Send` because the protected value migrates with the guard
+// across executor threads.
+unsafe impl<T: ?Sized + Send, L: RawTryLock> Send for AsyncMutex<T, L> {}
+unsafe impl<T: ?Sized + Send, L: RawTryLock> Sync for AsyncMutex<T, L> {}
+
+impl<T, L: RawTryLock> AsyncMutex<T, L> {
+    /// Creates an unlocked mutex.
+    pub fn new(value: T) -> Self {
+        Self {
+            queue: WakerQueue::new(),
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    /// Consumes the mutex, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+impl<T: Default, L: RawTryLock> Default for AsyncMutex<T, L> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T: ?Sized, L: RawTryLock> AsyncMutex<T, L> {
+    /// Acquires the lock asynchronously. The returned future is
+    /// **cancel-safe**: dropping it before completion withdraws the pending
+    /// acquisition (see the [`crate::queue`] docs — cancellation is an
+    /// abort) and provably never acquires afterwards.
+    pub fn lock(&self) -> AsyncLock<'_, T, L> {
+        AsyncLock {
+            mutex: self,
+            node: None,
+            done: false,
+        }
+    }
+
+    /// Attempts the lock without waiting. Refuses when held **or** when
+    /// waiters are parked (no barging past the queue).
+    pub fn try_lock(&self) -> Option<AsyncMutexGuard<'_, T, L>> {
+        self.queue.try_acquire(true).then(|| AsyncMutexGuard {
+            mutex: self,
+            _marker: PhantomData,
+        })
+    }
+
+    /// The queue-guard algorithm's descriptor.
+    pub fn meta(&self) -> LockMeta {
+        self.queue.meta()
+    }
+
+    /// Number of tasks currently parked on this mutex (diagnostics).
+    pub fn waiters(&self) -> usize {
+        self.queue.waiters()
+    }
+
+    /// Mutable access without locking (the `&mut` proves exclusivity).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut()
+    }
+}
+
+impl<T: ?Sized + fmt::Debug, L: RawTryLock> fmt::Debug for AsyncMutex<T, L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.try_lock() {
+            Some(g) => f.debug_struct("AsyncMutex").field("data", &&*g).finish(),
+            None => f.write_str("AsyncMutex { <locked> }"),
+        }
+    }
+}
+
+/// The future returned by [`AsyncMutex::lock`]. Resolves to the guard;
+/// dropping it while pending withdraws the acquisition.
+pub struct AsyncLock<'a, T: ?Sized, L: RawTryLock> {
+    mutex: &'a AsyncMutex<T, L>,
+    node: Option<Arc<WaitNode>>,
+    done: bool,
+}
+
+impl<'a, T: ?Sized, L: RawTryLock> Future for AsyncLock<'a, T, L> {
+    type Output = AsyncMutexGuard<'a, T, L>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        // All fields are Unpin, so the pin projection is trivial.
+        let this = Pin::into_inner(self);
+        assert!(!this.done, "AsyncLock polled after completion");
+        match this.mutex.queue.poll_acquire(true, &mut this.node, cx) {
+            Poll::Ready(()) => {
+                this.done = true;
+                Poll::Ready(AsyncMutexGuard {
+                    mutex: this.mutex,
+                    _marker: PhantomData,
+                })
+            }
+            Poll::Pending => Poll::Pending,
+        }
+    }
+}
+
+impl<T: ?Sized, L: RawTryLock> Drop for AsyncLock<'_, T, L> {
+    fn drop(&mut self) {
+        // Cancellation = abort: a pending (or raced-granted) node is
+        // withdrawn; a completed future already handed the lock to its
+        // guard, whose own Drop releases.
+        if let Some(node) = self.node.take() {
+            self.mutex.queue.cancel(&node);
+        }
+    }
+}
+
+/// RAII guard over an [`AsyncMutex`]; releases (with direct FIFO hand-off)
+/// on drop.
+///
+/// Unlike this workspace's synchronous guards, this one is **`Send`**: the
+/// release path goes through the waker queue's short guarded section —
+/// locked and unlocked on whichever thread drops the guard — never through
+/// a raw lock held across threads.
+pub struct AsyncMutexGuard<'a, T: ?Sized, L: RawTryLock> {
+    mutex: &'a AsyncMutex<T, L>,
+    /// Variance/auto-trait marker: the guard behaves like `&mut T` (Send
+    /// iff `T: Send`, Sync iff `T: Sync`).
+    _marker: PhantomData<&'a mut T>,
+}
+
+impl<T: ?Sized, L: RawTryLock> Deref for AsyncMutexGuard<'_, T, L> {
+    type Target = T;
+    #[inline]
+    fn deref(&self) -> &T {
+        // Safety: we hold the lock.
+        unsafe { &*self.mutex.data.get() }
+    }
+}
+
+impl<T: ?Sized, L: RawTryLock> DerefMut for AsyncMutexGuard<'_, T, L> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut T {
+        // Safety: we hold the lock exclusively.
+        unsafe { &mut *self.mutex.data.get() }
+    }
+}
+
+impl<T: ?Sized, L: RawTryLock> Drop for AsyncMutexGuard<'_, T, L> {
+    #[inline]
+    fn drop(&mut self) {
+        // Safety: this guard proves ownership of the exclusive mode.
+        unsafe { self.mutex.queue.release(true) };
+    }
+}
+
+impl<T: ?Sized + fmt::Debug, L: RawTryLock> fmt::Debug for AsyncMutexGuard<'_, T, L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hemlock_harness::executor::{block_on, TaskPool};
+
+    #[test]
+    fn uncontended_lock_roundtrip() {
+        let m: AsyncMutex<u32> = AsyncMutex::new(1);
+        block_on(async {
+            let mut g = m.lock().await;
+            *g += 1;
+        });
+        assert_eq!(block_on(async { *m.lock().await }), 2);
+        assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn try_lock_respects_holders() {
+        let m: AsyncMutex<u32> = AsyncMutex::new(0);
+        let g = m.try_lock().expect("free");
+        assert!(m.try_lock().is_none());
+        drop(g);
+        assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn guard_is_send_and_survives_thread_migration() {
+        fn assert_send<T: Send>(_: &T) {}
+        let m: AsyncMutex<u32> = AsyncMutex::new(0);
+        let g = m.try_lock().expect("free");
+        assert_send(&g);
+        // Drop the guard on another thread: the release path must not
+        // depend on the acquiring thread (no Grant-word thread affinity).
+        std::thread::scope(|s| {
+            s.spawn(move || drop(g));
+        });
+        assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn contended_counter_on_a_task_pool() {
+        let pool = TaskPool::new(4);
+        let m: Arc<AsyncMutex<u64>> = Arc::new(AsyncMutex::new(0));
+        let tasks = 16;
+        let per = 500;
+        let handles: Vec<_> = (0..tasks)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                pool.spawn(async move {
+                    for _ in 0..per {
+                        *m.lock().await += 1;
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join();
+        }
+        assert_eq!(block_on(async { *m.lock().await }), tasks * per);
+        assert_eq!(m.waiters(), 0);
+    }
+
+    #[test]
+    fn dropped_pending_future_never_acquires() {
+        let m: AsyncMutex<u32> = AsyncMutex::new(0);
+        let held = m.try_lock().expect("free");
+        {
+            let mut fut = Box::pin(m.lock());
+            // Drive it to the parked state with a real waker.
+            let woken = Arc::new(std::sync::atomic::AtomicBool::new(false));
+            struct Flag(Arc<std::sync::atomic::AtomicBool>);
+            impl std::task::Wake for Flag {
+                fn wake(self: Arc<Self>) {
+                    self.0.store(true, std::sync::atomic::Ordering::SeqCst);
+                }
+            }
+            let waker = std::task::Waker::from(Arc::new(Flag(Arc::clone(&woken))));
+            assert!(fut
+                .as_mut()
+                .poll(&mut Context::from_waker(&waker))
+                .is_pending());
+            assert_eq!(m.waiters(), 1);
+            drop(fut); // cancellation while parked
+            assert_eq!(m.waiters(), 0, "cancel must leave no queue state");
+        }
+        drop(held);
+        // The cancelled future's attempt never surfaces as ownership:
+        // the lock is immediately acquirable and exclusively ours.
+        let g = m.try_lock().expect("free after cancel");
+        assert!(m.try_lock().is_none());
+        drop(g);
+    }
+}

@@ -1,0 +1,321 @@
+//! [`AsyncRwLock`]: the shared-mode counterpart of
+//! [`AsyncMutex`](crate::AsyncMutex).
+//!
+//! Readers are admitted together; writers exclude everyone. Admission is
+//! FIFO-ish exactly as in the queue (readers at the head are granted as a
+//! batch, so a stream of readers cannot starve a parked writer and a
+//! writer hand-off cannot starve the reader batch behind it). Both futures
+//! are cancel-safe: dropping one withdraws the pending acquisition.
+
+use crate::queue::{WaitNode, WakerQueue};
+use core::cell::UnsafeCell;
+use core::fmt;
+use core::future::Future;
+use core::marker::PhantomData;
+use core::ops::{Deref, DerefMut};
+use core::pin::Pin;
+use core::task::{Context, Poll};
+use hemlock_core::hemlock::Hemlock;
+use hemlock_core::meta::LockMeta;
+use hemlock_core::raw::RawTryLock;
+use std::sync::Arc;
+
+/// An asynchronous reader-writer lock protecting a `T`, generic over the
+/// compact lock `L` guarding its waker queue.
+///
+/// ```
+/// use hemlock_async::AsyncRwLock;
+/// use hemlock_harness::executor::block_on;
+///
+/// let l: AsyncRwLock<Vec<u32>> = AsyncRwLock::new(vec![1, 2]);
+/// block_on(async {
+///     {
+///         let a = l.read().await;
+///         let b = l.read().await; // readers coexist
+///         assert_eq!(a.len() + b.len(), 4);
+///     }
+///     l.write().await.push(3);
+/// });
+/// assert_eq!(l.into_inner(), vec![1, 2, 3]);
+/// ```
+pub struct AsyncRwLock<T: ?Sized, L: RawTryLock = Hemlock> {
+    queue: WakerQueue<L>,
+    data: UnsafeCell<T>,
+}
+
+// Safety: the queue serializes writers against everyone and admits readers
+// only to `&T`. `T: Send` for guard migration; `Sync` additionally needs
+// `T: Send + Sync` since concurrent readers share `&T` across threads.
+unsafe impl<T: ?Sized + Send, L: RawTryLock> Send for AsyncRwLock<T, L> {}
+unsafe impl<T: ?Sized + Send + Sync, L: RawTryLock> Sync for AsyncRwLock<T, L> {}
+
+impl<T, L: RawTryLock> AsyncRwLock<T, L> {
+    /// Creates an unlocked lock.
+    pub fn new(value: T) -> Self {
+        Self {
+            queue: WakerQueue::new(),
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    /// Consumes the lock, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+impl<T: Default, L: RawTryLock> Default for AsyncRwLock<T, L> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T: ?Sized, L: RawTryLock> AsyncRwLock<T, L> {
+    /// Acquires the lock for *reading*; concurrent readers are admitted
+    /// together. Cancel-safe: dropping the pending future withdraws it.
+    pub fn read(&self) -> AsyncRead<'_, T, L> {
+        AsyncRead {
+            lock: self,
+            node: None,
+            done: false,
+        }
+    }
+
+    /// Acquires the lock for *writing* (exclusive). Cancel-safe.
+    pub fn write(&self) -> AsyncWrite<'_, T, L> {
+        AsyncWrite {
+            lock: self,
+            node: None,
+            done: false,
+        }
+    }
+
+    /// Attempts a read acquisition without waiting (refuses when a writer
+    /// holds or any waiter is parked — no barging).
+    pub fn try_read(&self) -> Option<AsyncRwReadGuard<'_, T, L>> {
+        self.queue.try_acquire(false).then(|| AsyncRwReadGuard {
+            lock: self,
+            _marker: PhantomData,
+        })
+    }
+
+    /// Attempts a write acquisition without waiting.
+    pub fn try_write(&self) -> Option<AsyncRwWriteGuard<'_, T, L>> {
+        self.queue.try_acquire(true).then(|| AsyncRwWriteGuard {
+            lock: self,
+            _marker: PhantomData,
+        })
+    }
+
+    /// The queue-guard algorithm's descriptor.
+    pub fn meta(&self) -> LockMeta {
+        self.queue.meta()
+    }
+
+    /// Number of tasks currently parked on this lock (diagnostics).
+    pub fn waiters(&self) -> usize {
+        self.queue.waiters()
+    }
+
+    /// Mutable access without locking (the `&mut` proves exclusivity).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut()
+    }
+}
+
+macro_rules! acquire_future {
+    ($(#[$doc:meta])* $name:ident, $exclusive:literal, $guard:ident) => {
+        $(#[$doc])*
+        pub struct $name<'a, T: ?Sized, L: RawTryLock> {
+            lock: &'a AsyncRwLock<T, L>,
+            node: Option<Arc<WaitNode>>,
+            done: bool,
+        }
+
+        impl<'a, T: ?Sized, L: RawTryLock> Future for $name<'a, T, L> {
+            type Output = $guard<'a, T, L>;
+
+            fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+                let this = Pin::into_inner(self);
+                assert!(!this.done, concat!(stringify!($name), " polled after completion"));
+                match this.lock.queue.poll_acquire($exclusive, &mut this.node, cx) {
+                    Poll::Ready(()) => {
+                        this.done = true;
+                        Poll::Ready($guard {
+                            lock: this.lock,
+                            _marker: PhantomData,
+                        })
+                    }
+                    Poll::Pending => Poll::Pending,
+                }
+            }
+        }
+
+        impl<T: ?Sized, L: RawTryLock> Drop for $name<'_, T, L> {
+            fn drop(&mut self) {
+                if let Some(node) = self.node.take() {
+                    self.lock.queue.cancel(&node);
+                }
+            }
+        }
+    };
+}
+
+acquire_future!(
+    /// The future returned by [`AsyncRwLock::read`]. Resolves to a shared
+    /// guard; dropping it while pending withdraws the acquisition.
+    AsyncRead,
+    false,
+    AsyncRwReadGuard
+);
+acquire_future!(
+    /// The future returned by [`AsyncRwLock::write`]. Resolves to an
+    /// exclusive guard; dropping it while pending withdraws the
+    /// acquisition.
+    AsyncWrite,
+    true,
+    AsyncRwWriteGuard
+);
+
+/// Shared RAII guard over an [`AsyncRwLock`]; `Deref` only, `Send` (the
+/// release hand-off is thread-agnostic).
+pub struct AsyncRwReadGuard<'a, T: ?Sized, L: RawTryLock> {
+    lock: &'a AsyncRwLock<T, L>,
+    /// Auto-trait marker: behaves like `&T`.
+    _marker: PhantomData<&'a T>,
+}
+
+impl<T: ?Sized, L: RawTryLock> Deref for AsyncRwReadGuard<'_, T, L> {
+    type Target = T;
+    #[inline]
+    fn deref(&self) -> &T {
+        // Safety: we hold the shared mode; writers are excluded.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized, L: RawTryLock> Drop for AsyncRwReadGuard<'_, T, L> {
+    #[inline]
+    fn drop(&mut self) {
+        // Safety: this guard proves ownership of one shared hold.
+        unsafe { self.lock.queue.release(false) };
+    }
+}
+
+/// Exclusive RAII guard over an [`AsyncRwLock`]; `Send` like its mutex
+/// counterpart.
+pub struct AsyncRwWriteGuard<'a, T: ?Sized, L: RawTryLock> {
+    lock: &'a AsyncRwLock<T, L>,
+    /// Auto-trait marker: behaves like `&mut T`.
+    _marker: PhantomData<&'a mut T>,
+}
+
+impl<T: ?Sized, L: RawTryLock> Deref for AsyncRwWriteGuard<'_, T, L> {
+    type Target = T;
+    #[inline]
+    fn deref(&self) -> &T {
+        // Safety: we hold the exclusive mode.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized, L: RawTryLock> DerefMut for AsyncRwWriteGuard<'_, T, L> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut T {
+        // Safety: we hold the exclusive mode.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized, L: RawTryLock> Drop for AsyncRwWriteGuard<'_, T, L> {
+    #[inline]
+    fn drop(&mut self) {
+        // Safety: this guard proves ownership of the exclusive mode.
+        unsafe { self.lock.queue.release(true) };
+    }
+}
+
+impl<T: ?Sized + fmt::Debug, L: RawTryLock> fmt::Debug for AsyncRwLock<T, L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.try_read() {
+            Some(g) => f.debug_struct("AsyncRwLock").field("data", &&*g).finish(),
+            None => f.write_str("AsyncRwLock { <write-locked> }"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hemlock_harness::executor::{block_on, TaskPool};
+
+    #[test]
+    fn readers_coexist_writers_exclude() {
+        let l: AsyncRwLock<u32> = AsyncRwLock::new(7);
+        let a = l.try_read().expect("free");
+        let b = l.try_read().expect("readers coexist");
+        assert_eq!(*a + *b, 14);
+        assert!(l.try_write().is_none(), "writer must wait for readers");
+        drop((a, b));
+        let mut w = l.try_write().expect("free");
+        *w = 8;
+        assert!(l.try_read().is_none(), "reader must wait for the writer");
+        drop(w);
+        assert_eq!(block_on(async { *l.read().await }), 8);
+    }
+
+    #[test]
+    fn mixed_rw_traffic_loses_no_updates() {
+        let pool = TaskPool::new(4);
+        let l: Arc<AsyncRwLock<u64>> = Arc::new(AsyncRwLock::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let l = Arc::clone(&l);
+            handles.push(pool.spawn(async move {
+                for _ in 0..500 {
+                    *l.write().await += 1;
+                }
+            }));
+        }
+        for _ in 0..4 {
+            let l = Arc::clone(&l);
+            handles.push(pool.spawn(async move {
+                for _ in 0..500 {
+                    let g = l.read().await;
+                    std::hint::black_box(*g);
+                }
+            }));
+        }
+        for h in handles {
+            h.join();
+        }
+        assert_eq!(block_on(async { *l.read().await }), 2_000);
+        assert_eq!(l.waiters(), 0);
+    }
+
+    #[test]
+    fn dropping_a_pending_writer_unblocks_readers() {
+        let l: AsyncRwLock<u32> = AsyncRwLock::new(0);
+        let held = l.try_read().expect("free");
+        let mut wfut = Box::pin(l.write());
+        let waker = noop_waker();
+        assert!(wfut
+            .as_mut()
+            .poll(&mut Context::from_waker(&waker))
+            .is_pending());
+        // A new reader queues behind the parked writer (no barging)…
+        assert!(l.try_read().is_none());
+        drop(wfut); // …until the writer withdraws.
+        assert!(l.try_read().is_some());
+        drop(held);
+        assert_eq!(l.waiters(), 0);
+    }
+
+    fn noop_waker() -> std::task::Waker {
+        struct Noop;
+        impl std::task::Wake for Noop {
+            fn wake(self: Arc<Self>) {}
+        }
+        std::task::Waker::from(Arc::new(Noop))
+    }
+}

@@ -6,7 +6,8 @@
 //!
 //! ```text
 //! bench_ci --fig2 fig2.csv --shardkv shardkv.json --rwbench rwbench.json \
-//!          --timeoutbench timeoutbench.json --table1 table1.csv \
+//!          --timeoutbench timeoutbench.json --asyncbench asyncbench.json \
+//!          --table1 table1.csv \
 //!          --out BENCH_ci.json --baseline BENCH_baseline.json
 //! ```
 //!
@@ -55,6 +56,10 @@ fn main() {
         "timeoutbench",
         "timeoutbench --quick --json output (normalized records)",
     )
+    .value(
+        "asyncbench",
+        "asyncbench --quick --json output (normalized records)",
+    )
     .value("table1", "table1 --csv output (space table)")
     .value(
         "out",
@@ -80,7 +85,7 @@ fn main() {
             records.extend(or_exit(ci::parse_series_csv(bench, &read(&path, opt))));
         }
     }
-    for opt in ["shardkv", "rwbench", "timeoutbench"] {
+    for opt in ["shardkv", "rwbench", "timeoutbench", "asyncbench"] {
         if let Some(path) = Some(args.get_str(opt, "")).filter(|p| !p.is_empty()) {
             records.extend(or_exit(ci::parse_json(&read(&path, opt))));
         }
@@ -90,7 +95,7 @@ fn main() {
     }
     if records.is_empty() {
         eprintln!(
-            "error: no inputs given (pass --fig2/--fig3/--fig8/--shardkv/--rwbench/--timeoutbench/--table1)"
+            "error: no inputs given (pass --fig2/--fig3/--fig8/--shardkv/--rwbench/--timeoutbench/--asyncbench/--table1)"
         );
         std::process::exit(2);
     }

@@ -9,6 +9,14 @@
 //! contended-acquisition fraction from the per-shard census, and the
 //! quiescent lock footprint.
 //!
+//! With `--tasks <n[,n…]>` the sweep runs in **async mode**: per point,
+//! `n` tasks drive the table's `get_async`/`update_async` operations on a
+//! `--threads`-worker `TaskPool` (the in-tree executor), so a busy shard
+//! parks the task instead of spinning the worker — the oversubscribed
+//! regime (`tasks ≫ threads`) a thread-per-waiter design cannot reach.
+//! Async rows are keyed `shardkv.s<shards>.t<tasks>` and restricted to the
+//! trylock-capable catalog subset (others are skipped with a note).
+//!
 //! Output: aligned table (default), `--csv`, or `--json` (normalized
 //! bench-trajectory records, the format `bench_ci` consumes). Banners and
 //! progress go to stderr so stdout stays machine-readable.
@@ -17,11 +25,13 @@ use hemlock_bench::ci::{self, Record};
 use hemlock_bench::{locks_from_args, Sweep};
 use hemlock_core::meta::LockMeta;
 use hemlock_core::pad::CachePadded;
-use hemlock_core::raw::RawLock;
+use hemlock_core::raw::{RawLock, RawTryLock};
+use hemlock_harness::executor::TaskPool;
 use hemlock_harness::{fmt_f64, Spec, Table};
-use hemlock_locks::catalog::{self, CatalogEntry, LockVisitor};
+use hemlock_locks::catalog::{self, CatalogEntry, LockVisitor, TimedLockVisitor};
 use hemlock_shard::ShardedTable;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 fn splitmix64(state: &mut u64) -> u64 {
@@ -88,10 +98,61 @@ fn run_median<L: RawLock>(w: Workload, runs: usize) -> (f64, f64) {
     results[results.len() / 2]
 }
 
+/// One timed **async** run: `tasks` tasks on `threads` pool workers, each
+/// looping keyed `get_async`/`update_async` against the shared table.
+/// Returns (ops/sec, contended fraction).
+fn run_once_async<L: RawTryLock + 'static>(w: Workload, tasks: usize) -> (f64, f64) {
+    let table: Arc<ShardedTable<u64, u64, L>> = Arc::new(ShardedTable::with_shards(w.shards));
+    for k in 0..w.keys {
+        table.insert(k, k);
+    }
+    table.reset_stats();
+    let stop = Arc::new(AtomicBool::new(false));
+    let pool = TaskPool::new(w.threads);
+    let start = Instant::now();
+    let handles: Vec<_> = (0..tasks)
+        .map(|t| {
+            let table = Arc::clone(&table);
+            let stop = Arc::clone(&stop);
+            pool.spawn(async move {
+                let mut state = 0x243F6A8885A308D3u64.wrapping_mul(t as u64 + 1);
+                let mut local = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let r = splitmix64(&mut state);
+                    let key = r % w.keys;
+                    if (r >> 32) % 100 < w.read_pct {
+                        std::hint::black_box(table.get_async(&key).await);
+                    } else {
+                        table.update_async(key, |slot| *slot = Some(r)).await;
+                    }
+                    local += 1;
+                }
+                local
+            })
+        })
+        .collect();
+    std::thread::sleep(w.duration);
+    stop.store(true, Ordering::Relaxed);
+    let total: u64 = handles.into_iter().map(|h| h.join()).sum();
+    let elapsed = start.elapsed().as_secs_f64();
+    (total as f64 / elapsed, table.stats().contended_fraction())
+}
+
+/// Median-ops async run of `runs` attempts.
+fn run_median_async<L: RawTryLock + 'static>(w: Workload, tasks: usize, runs: usize) -> (f64, f64) {
+    let mut results: Vec<(f64, f64)> = (0..runs.max(1))
+        .map(|_| run_once_async::<L>(w, tasks))
+        .collect();
+    results.sort_by(|a, b| a.0.total_cmp(&b.0));
+    results[results.len() / 2]
+}
+
 struct Row {
     meta: LockMeta,
     shards: usize,
     threads: usize,
+    /// `Some(n)`: async mode with `n` tasks; `None`: sync thread mode.
+    tasks: Option<usize>,
     ops_per_sec: f64,
     contended: f64,
 }
@@ -132,6 +193,55 @@ impl LockVisitor for ShardSweep<'_> {
                     meta: entry.meta,
                     shards: self.shards,
                     threads,
+                    tasks: None,
+                    ops_per_sec,
+                    contended,
+                }
+            })
+            .collect()
+    }
+}
+
+struct AsyncShardSweep<'a> {
+    sweep: &'a Sweep,
+    shards: usize,
+    read_pct: u64,
+    keys: u64,
+    tasks: usize,
+}
+
+impl TimedLockVisitor for AsyncShardSweep<'_> {
+    type Output = Vec<Row>;
+    fn visit<L: RawTryLock + 'static>(self, entry: &'static CatalogEntry) -> Vec<Row> {
+        self.sweep
+            .threads
+            .iter()
+            .map(|&threads| {
+                let (ops_per_sec, contended) = run_median_async::<L>(
+                    Workload {
+                        shards: self.shards,
+                        threads,
+                        read_pct: self.read_pct,
+                        keys: self.keys,
+                        duration: self.sweep.duration,
+                    },
+                    self.tasks,
+                    self.sweep.runs,
+                );
+                eprintln!(
+                    "# shardkv {} shards={} tasks={} workers={}: {:.2} Mops/s ({:.1}% contended)",
+                    entry.meta.name,
+                    self.shards,
+                    self.tasks,
+                    threads,
+                    ops_per_sec / 1e6,
+                    100.0 * contended
+                );
+                Row {
+                    meta: entry.meta,
+                    shards: self.shards,
+                    threads,
+                    tasks: Some(self.tasks),
                     ops_per_sec,
                     contended,
                 }
@@ -153,6 +263,11 @@ fn main() {
             "percentage of operations that are reads (default 90)",
         )
         .value("keys", "distinct keys in the working set")
+        .value(
+            "tasks",
+            "async mode: comma-separated task counts per point, driven \
+             through get_async/update_async on a --threads-worker pool",
+        )
         .flag("json", "emit normalized bench-trajectory JSON records");
     let args = spec.parse_env();
 
@@ -185,6 +300,10 @@ fn main() {
         std::process::exit(2);
     }
     let keys: u64 = args.get("keys", if quick { 4_096 } else { 65_536 });
+    let tasks_mode: Option<Vec<usize>> = args.tasks().unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
     let json = args.has("json");
 
     eprintln!(
@@ -195,17 +314,45 @@ fn main() {
     let mut rows: Vec<Row> = Vec::new();
     for entry in &locks {
         for &shards in &shard_counts {
-            let visited = catalog::with_lock_type(
-                entry.key,
-                ShardSweep {
-                    sweep: &sweep,
-                    shards,
-                    read_pct,
-                    keys,
-                },
-            )
-            .expect("catalog entry key always dispatches");
-            rows.extend(visited);
+            match &tasks_mode {
+                None => {
+                    let visited = catalog::with_lock_type(
+                        entry.key,
+                        ShardSweep {
+                            sweep: &sweep,
+                            shards,
+                            read_pct,
+                            keys,
+                        },
+                    )
+                    .expect("catalog entry key always dispatches");
+                    rows.extend(visited);
+                }
+                Some(task_counts) => {
+                    for &tasks in task_counts {
+                        match catalog::with_timed_lock_type(
+                            entry.key,
+                            AsyncShardSweep {
+                                sweep: &sweep,
+                                shards,
+                                read_pct,
+                                keys,
+                                tasks,
+                            },
+                        ) {
+                            Some(visited) => rows.extend(visited),
+                            None => {
+                                eprintln!(
+                                    "# shardkv: skipping {} in async mode (no trylock path \
+                                     — its shards cannot back get_async/update_async)",
+                                    entry.key
+                                );
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
         }
     }
 
@@ -213,7 +360,10 @@ fn main() {
         let records: Vec<Record> = rows
             .iter()
             .map(|r| Record {
-                bench: format!("shardkv.s{}", r.shards),
+                bench: match r.tasks {
+                    Some(t) => format!("shardkv.s{}.t{}", r.shards, t),
+                    None => format!("shardkv.s{}", r.shards),
+                },
                 lock: r.meta.name.to_string(),
                 threads: r.threads,
                 ops_per_sec: r.ops_per_sec,
@@ -228,6 +378,7 @@ fn main() {
         "Lock",
         "Shards",
         "Threads",
+        "Tasks",
         "Mops/s",
         "Contended%",
         "LockSpace(B)",
@@ -237,6 +388,7 @@ fn main() {
             r.meta.name.to_string(),
             r.shards.to_string(),
             r.threads.to_string(),
+            r.tasks.map_or_else(|| "-".to_string(), |t| t.to_string()),
             fmt_f64(r.ops_per_sec / 1e6, 3),
             fmt_f64(100.0 * r.contended, 1),
             r.meta.footprint_bytes(r.shards, r.threads).to_string(),

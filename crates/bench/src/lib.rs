@@ -28,12 +28,15 @@
 //! `--max-threads <n>`, `--wait spin|yield[:N]`, `--quick`, `--csv`, and
 //! `--help`.
 //!
-//! Two extension binaries go beyond the paper's artifacts: `shardkv`
-//! (sharded lock-table scaling, `hemlock-shard`) and `rwbench`
-//! (read-fraction × thread sweep of the reader-writer subsystem,
-//! `hemlock-rw` — its `--lock` additionally accepts the `rw.*` catalog).
-//! `bench_ci` normalizes all machine-readable outputs into the
-//! bench-trajectory artifact and gates regressions (see [`ci`]).
+//! Extension binaries go beyond the paper's artifacts: `shardkv`
+//! (sharded lock-table scaling, `hemlock-shard`; `--tasks` switches it to
+//! async mode on the in-tree executor), `rwbench` (read-fraction × thread
+//! sweep of the reader-writer subsystem, `hemlock-rw` — its `--lock`
+//! additionally accepts the `rw.*` catalog), `timeoutbench` (abortable
+//! acquisition), and `asyncbench` (tasks × worker-threads sweep of the
+//! waker-parking `AsyncMutex` over the `async.*` catalog). `bench_ci`
+//! normalizes all machine-readable outputs into the bench-trajectory
+//! artifact and gates regressions (see [`ci`]).
 
 #![warn(missing_docs)]
 

@@ -125,6 +125,7 @@ unsafe impl<L: RawLock> DynLock for DynAdapter<L> {
         let mut m = L::META;
         m.try_lock = false; // this handle exposes no trylock path
         m.abortable = false; // …and therefore no timed path either
+        m.asyncable = false; // …nor an async one (the fast path is the trylock)
         m
     }
     fn lock(&self) {

@@ -108,6 +108,10 @@
 //!   the paper's drain-before-reclaim rule).
 //! - [`spin`] — busy-wait policy (pure spin vs spin-then-yield).
 //! - [`pad`] — cache-line padding used for all contended words.
+//! - [`wakerset`] — [`wakerset::WakerSet`], the notify-on-release
+//!   eventcount that lets synchronous raw-lock releases wake asynchronous
+//!   waiters (the `hemlock-async` subsystem's sync↔async bridge; it lives
+//!   here so the sharded table and minikv need no async dependency).
 
 #![deny(missing_docs)]
 
@@ -120,12 +124,14 @@ pub mod pad;
 pub mod raw;
 pub mod registry;
 pub mod spin;
+pub mod wakerset;
 
 pub use dynlock::{DynLock, DynMutex, DynMutexGuard, TryLockError};
 pub use dynrw::{DynRwLock, DynRwMutex, DynRwReadGuard, DynRwWriteGuard};
 pub use meta::LockMeta;
 pub use mutex::{Mutex, MutexGuard, ReadGuard};
 pub use raw::{RawLock, RawRwLock, RawTryLock};
+pub use wakerset::WakerSet;
 
 #[cfg(test)]
 mod proptests {

@@ -54,6 +54,17 @@ pub struct LockMeta {
     /// [`TryLockError::Unsupported`](crate::dynlock::TryLockError) instead
     /// of a fake timeout.
     pub abortable: bool,
+    /// True when the algorithm can serve as the **waker-queue guard** of
+    /// the asynchronous layer (`hemlock-async`): its `try_lock` is real
+    /// (the async fast path *is* the raw trylock) and its blocking
+    /// acquisition is suitable for the queue's short, never-suspended
+    /// critical sections. In practice this is the abortable subset — the
+    /// same property that makes a timed abort sound (a waiter that never
+    /// exposes queue state can withdraw freely) is what makes *dropping a
+    /// pending lock future* sound: cancellation is an abort. Algorithms
+    /// whose waiters cannot withdraw (CLH, Anderson) leave this false and
+    /// get no `async.*` catalog entry.
+    pub asyncable: bool,
     /// True when the algorithm supports a *shared* (reader) mode: its
     /// [`RawLock::read_lock`](crate::RawLock::read_lock) admits concurrent
     /// readers while still excluding writers (implements
@@ -83,6 +94,7 @@ impl LockMeta {
             try_lock: false,
             parking: false,
             abortable: false,
+            asyncable: false,
             rw: false,
             nontrivial_init: false,
             paper_ref,
@@ -92,13 +104,16 @@ impl LockMeta {
     /// Descriptor shared by the Hemlock family: 1-word body, 1 Grant word
     /// per thread, FIFO, trylock-capable, and abortable (the timed path
     /// arrives conditionally via the trylock CAS, so an abort never leaves
-    /// queue state behind — see [`crate::raw`]).
+    /// queue state behind — see [`crate::raw`]). Abortable implies
+    /// asyncable: the same free withdrawal backs the async layer's
+    /// cancellation-is-abort contract.
     pub const fn hemlock_family(name: &'static str, paper_ref: &'static str) -> Self {
         let mut m = Self::base(name, paper_ref);
         m.thread_words = 1;
         m.fifo = true;
         m.try_lock = true;
         m.abortable = true;
+        m.asyncable = true;
         m
     }
 
@@ -149,6 +164,7 @@ mod tests {
         assert!(
             !m.fifo && !m.try_lock && !m.parking && !m.abortable && !m.rw && !m.nontrivial_init
         );
+        assert!(!m.asyncable);
     }
 
     #[test]
@@ -156,7 +172,7 @@ mod tests {
         let m = LockMeta::hemlock_family("H", "Listing 2");
         assert_eq!(m.lock_words, 1);
         assert_eq!(m.thread_words, 1);
-        assert!(m.fifo && m.try_lock && m.abortable);
+        assert!(m.fifo && m.try_lock && m.abortable && m.asyncable);
         assert!(!m.parking);
         assert_eq!(m.lock_bytes(), core::mem::size_of::<usize>());
     }

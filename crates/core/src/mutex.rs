@@ -113,6 +113,25 @@ impl<T: ?Sized, L: RawTryLock> Mutex<T, L> {
         }
     }
 
+    /// Attempts a *read* acquisition without waiting: the non-blocking
+    /// counterpart of [`Mutex::read`], built on
+    /// [`RawTryLock::try_read_lock`]. With an RW-capable `L` concurrent
+    /// probes of a read-held lock succeed together; exclusive-only
+    /// algorithms degrade to [`Mutex::try_lock`] with a read-only guard.
+    pub fn try_read(&self) -> Option<ReadGuard<'_, T, L>>
+    where
+        T: Sync,
+    {
+        if self.raw.try_read_lock() {
+            Some(ReadGuard {
+                mutex: self,
+                _not_send: PhantomData,
+            })
+        } else {
+            None
+        }
+    }
+
     /// Attempts a *read* acquisition with a deadline: the timed counterpart
     /// of [`Mutex::read`]. With an RW-capable `L` concurrent timed readers
     /// are admitted together and a timed-out reader genuinely withdraws

@@ -219,6 +219,18 @@ pub unsafe trait RawTryLock: RawLock {
         self.try_lock_until(std::time::Instant::now() + timeout)
     }
 
+    /// Attempts a *shared* (read) acquisition without waiting. `true`
+    /// confers read-mode ownership (release with [`RawLock::read_unlock`]).
+    /// For exclusive-only algorithms this is [`RawTryLock::try_lock`],
+    /// mirroring [`RawLock::read_lock`]; reader-writer algorithms override
+    /// it with a genuine one-shot shared attempt so concurrent probes of a
+    /// read-held lock succeed together. The async layer's shared fast path
+    /// (`ShardedTable::get_async`, minikv's run snapshots) is built on
+    /// exactly this method.
+    fn try_read_lock(&self) -> bool {
+        self.try_lock()
+    }
+
     /// Attempts a *shared* (read) acquisition, giving up once `deadline`
     /// passes. On success the caller holds the lock in read mode and must
     /// release it with [`RawLock::read_unlock`]. For exclusive-only

@@ -289,6 +289,43 @@ impl Args {
         };
         parse_timeout_ms(raw).map(Some)
     }
+
+    /// The `--tasks <n>` concurrent-task count(s), if given, parsed
+    /// strictly (same contract as [`Args::timeout`]: an error names the
+    /// malformed token; typo'd option names already got a did-you-mean
+    /// from [`Spec::parse`]). Accepts a single count or a comma list
+    /// (`256` or `64,256,1024`) — `asyncbench` sweeps the list and
+    /// `shardkv --tasks` drives its async mode per count. Binaries that
+    /// accept it declare `.value("tasks", …)` in their spec.
+    pub fn tasks(&self) -> Result<Option<Vec<usize>>, String> {
+        let Some(raw) = self.values.get("tasks") else {
+            return Ok(None);
+        };
+        parse_tasks(raw).map(Some)
+    }
+}
+
+/// Parses a `--tasks` value: one or more comma-separated **strictly
+/// positive** task counts (`0` tasks would measure an idle executor —
+/// certainly a mistake, so it is rejected rather than silently swept).
+pub fn parse_tasks(raw: &str) -> Result<Vec<usize>, String> {
+    raw.split(',')
+        .map(|tok| {
+            let tok = tok.trim();
+            if tok.is_empty() {
+                return Err(format!(
+                    "empty element in --tasks {raw:?} (expected counts like `256` or `64,256`)"
+                ));
+            }
+            match tok.parse::<usize>() {
+                Ok(n) if n > 0 => Ok(n),
+                _ => Err(format!(
+                    "invalid --tasks element {tok:?}: expected a positive task count \
+                     (e.g. `256` or `64,256`)"
+                )),
+            }
+        })
+        .collect()
 }
 
 /// Parses a `--timeout` value: integer or fractional **milliseconds**,
@@ -483,6 +520,33 @@ mod tests {
             .parse(["--timeuot".to_string(), "5".to_string()])
             .unwrap_err();
         assert!(e.contains("did you mean --timeout"), "{e}");
+    }
+
+    #[test]
+    fn tasks_parses_strictly_with_wait_style_errors() {
+        assert_eq!(parse_tasks("256"), Ok(vec![256]));
+        assert_eq!(parse_tasks("64, 256,1024"), Ok(vec![64, 256, 1024]));
+        for bad in ["x", "", "-1", "0", "64,0", "64,,256", "1.5"] {
+            let e = parse_tasks(bad).unwrap_err();
+            assert!(e.contains("--tasks"), "{bad}: {e}");
+        }
+        // Wired through Args like --timeout is.
+        let spec = Spec::new("t", "x").value("tasks", "concurrent task counts");
+        let a = spec
+            .parse(["--tasks".to_string(), "64,256".to_string()])
+            .unwrap();
+        assert_eq!(a.tasks().unwrap(), Some(vec![64, 256]));
+        let a = spec.parse(std::iter::empty()).unwrap();
+        assert_eq!(a.tasks().unwrap(), None);
+        let a = spec
+            .parse(["--tasks".to_string(), "bogus".to_string()])
+            .unwrap();
+        assert!(a.tasks().unwrap_err().contains("bogus"));
+        // A typo'd spelling gets the same did-you-mean as every option.
+        let e = spec
+            .parse(["--taks".to_string(), "5".to_string()])
+            .unwrap_err();
+        assert!(e.contains("did you mean --tasks"), "{e}");
     }
 
     #[test]

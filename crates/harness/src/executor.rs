@@ -1,0 +1,455 @@
+//! A minimal executor: [`block_on`] plus a multi-worker [`TaskPool`].
+//!
+//! The workspace is offline/vendored, so the async subsystem
+//! (`hemlock-async`) cannot lean on an external runtime; this module is
+//! the in-tree substitute the benches, tests, and examples drive. It is a
+//! deliberately small, classic design:
+//!
+//! - [`block_on`] — drives one future on the current thread with a
+//!   park/unpark waker;
+//! - [`TaskPool`] — `N` worker threads sharing one injector queue. Each
+//!   spawned task is an `Arc` that *is* its own [`Waker`]
+//!   (`std::task::Wake`); waking pushes the task back onto the queue. A
+//!   small per-task state machine (idle / queued / running / notified)
+//!   guarantees a task is polled by at most one worker at a time and that
+//!   a wake arriving *during* a poll re-queues the task afterwards — the
+//!   standard no-lost-wakeup discipline.
+//!
+//! Tasks may migrate between workers across polls, which is precisely why
+//! the async lock guards in `hemlock-async` must be (and are) `Send`, and
+//! why raw locks — whose `unlock` is thread-bound — can only ever be held
+//! *within* a single poll.
+
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
+use std::thread::JoinHandle as ThreadHandle;
+
+/// Runs a future to completion on the current thread, parking between
+/// polls.
+///
+/// ```
+/// use hemlock_harness::executor::block_on;
+///
+/// assert_eq!(block_on(async { 2 + 2 }), 4);
+/// ```
+pub fn block_on<F: Future>(fut: F) -> F::Output {
+    struct Unparker {
+        thread: std::thread::Thread,
+        notified: AtomicBool,
+    }
+    impl Wake for Unparker {
+        fn wake(self: Arc<Self>) {
+            self.notified.store(true, Ordering::Release);
+            self.thread.unpark();
+        }
+    }
+    let unparker = Arc::new(Unparker {
+        thread: std::thread::current(),
+        notified: AtomicBool::new(false),
+    });
+    let waker = Waker::from(Arc::clone(&unparker));
+    let mut cx = Context::from_waker(&waker);
+    let mut fut = std::pin::pin!(fut);
+    loop {
+        match fut.as_mut().poll(&mut cx) {
+            Poll::Ready(out) => return out,
+            Poll::Pending => {
+                while !unparker.notified.swap(false, Ordering::Acquire) {
+                    std::thread::park();
+                }
+            }
+        }
+    }
+}
+
+type BoxFuture = Pin<Box<dyn Future<Output = ()> + Send + 'static>>;
+
+/// Task states for the per-task scheduling machine.
+const IDLE: u8 = 0;
+const QUEUED: u8 = 1;
+const RUNNING: u8 = 2;
+const NOTIFIED: u8 = 3;
+const DONE: u8 = 4;
+
+struct Task {
+    /// One of [`IDLE`]/[`QUEUED`]/[`RUNNING`]/[`NOTIFIED`]/[`DONE`].
+    state: AtomicU8,
+    /// The future, present while the task is alive and not being polled.
+    future: Mutex<Option<BoxFuture>>,
+    pool: Arc<PoolShared>,
+}
+
+impl Task {
+    /// Transitions toward QUEUED and enqueues if this call won the
+    /// transition. Idempotent from every state.
+    fn schedule(self: &Arc<Self>) {
+        loop {
+            let state = self.state.load(Ordering::Acquire);
+            let (target, push) = match state {
+                IDLE => (QUEUED, true),
+                RUNNING => (NOTIFIED, false),
+                QUEUED | NOTIFIED | DONE => return,
+                _ => unreachable!("bad task state"),
+            };
+            if self
+                .state
+                .compare_exchange(state, target, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                if push {
+                    self.pool.push(Arc::clone(self));
+                }
+                return;
+            }
+        }
+    }
+}
+
+impl Wake for Task {
+    fn wake(self: Arc<Self>) {
+        self.schedule();
+    }
+}
+
+struct PoolShared {
+    queue: Mutex<VecDeque<Arc<Task>>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl PoolShared {
+    fn push(&self, task: Arc<Task>) {
+        self.queue.lock().expect("pool queue").push_back(task);
+        self.available.notify_one();
+    }
+}
+
+/// Shared state of one spawned task's result slot (`Err` carries the
+/// payload of a panic that escaped the task's future).
+struct JoinShared<T> {
+    slot: Mutex<Option<std::thread::Result<T>>>,
+    done: Condvar,
+}
+
+/// Handle to a spawned task's result; blocking [`JoinHandle::join`]
+/// returns it.
+pub struct JoinHandle<T> {
+    shared: Arc<JoinShared<T>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Blocks the calling thread until the task completes, returning its
+    /// output. Must be called from outside the pool's workers (a worker
+    /// joining its own pool would deadlock the pool). If the task
+    /// panicked, the panic is resumed here — exactly
+    /// `std::thread::JoinHandle` semantics, and crucially the worker that
+    /// ran the task survived (the panic was caught at the poll boundary).
+    pub fn join(self) -> T {
+        let mut slot = self.shared.slot.lock().expect("join slot");
+        loop {
+            match slot.take() {
+                Some(Ok(out)) => return out,
+                Some(Err(panic)) => std::panic::resume_unwind(panic),
+                None => slot = self.shared.done.wait(slot).expect("join slot"),
+            }
+        }
+    }
+
+    /// True once the task has completed (non-blocking).
+    pub fn is_finished(&self) -> bool {
+        self.shared.slot.lock().expect("join slot").is_some()
+    }
+}
+
+/// Future adapter that converts a panic escaping the inner future's
+/// `poll` into a `Ready(Err(payload))`, so a panicking task reports
+/// through its [`JoinHandle`] instead of killing the worker thread and
+/// leaving `join()` blocked forever. The unwind still runs the future's
+/// local destructors (lock guards release), and the poisoned future is
+/// dropped immediately rather than ever polled again.
+struct CatchUnwind<F> {
+    inner: Option<Pin<Box<F>>>,
+}
+
+impl<F: Future> Future for CatchUnwind<F> {
+    type Output = std::thread::Result<F::Output>;
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let inner = self.inner.as_mut().expect("polled after completion");
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| inner.as_mut().poll(cx))) {
+            Ok(Poll::Ready(out)) => {
+                self.inner = None;
+                Poll::Ready(Ok(out))
+            }
+            Ok(Poll::Pending) => Poll::Pending,
+            Err(panic) => {
+                self.inner = None;
+                Poll::Ready(Err(panic))
+            }
+        }
+    }
+}
+
+/// A fixed-size pool of worker threads driving spawned futures.
+///
+/// Dropping the pool shuts the workers down after they finish the polls
+/// they are in; queued-but-unpolled tasks are dropped (their futures run
+/// cancellation on drop). Join every handle you care about before
+/// dropping the pool.
+///
+/// ```
+/// use hemlock_harness::executor::TaskPool;
+///
+/// let pool = TaskPool::new(2);
+/// let h = pool.spawn(async { 6 * 7 });
+/// assert_eq!(h.join(), 42);
+/// ```
+pub struct TaskPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<ThreadHandle<()>>,
+}
+
+impl TaskPool {
+    /// Spawns `workers` worker threads (at least 1).
+    pub fn new(workers: usize) -> Self {
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = (0..workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("hemlock-pool-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Self { shared, workers }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Spawns a future onto the pool, returning a handle to its output.
+    pub fn spawn<F>(&self, fut: F) -> JoinHandle<F::Output>
+    where
+        F: Future + Send + 'static,
+        F::Output: Send + 'static,
+    {
+        let shared = Arc::new(JoinShared {
+            slot: Mutex::new(None),
+            done: Condvar::new(),
+        });
+        let js = Arc::clone(&shared);
+        let wrapped: BoxFuture = Box::pin(async move {
+            let out = CatchUnwind {
+                inner: Some(Box::pin(fut)),
+            }
+            .await;
+            *js.slot.lock().expect("join slot") = Some(out);
+            js.done.notify_all();
+        });
+        let task = Arc::new(Task {
+            state: AtomicU8::new(QUEUED),
+            future: Mutex::new(Some(wrapped)),
+            pool: Arc::clone(&self.shared),
+        });
+        self.shared.push(task);
+        JoinHandle { shared }
+    }
+}
+
+impl Drop for TaskPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.available.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        // Drop whatever never got polled; future drops run cancellation.
+        self.shared.queue.lock().expect("pool queue").clear();
+    }
+}
+
+fn worker_loop(shared: &Arc<PoolShared>) {
+    loop {
+        let task = {
+            let mut q = shared.queue.lock().expect("pool queue");
+            loop {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                if let Some(t) = q.pop_front() {
+                    break t;
+                }
+                q = shared.available.wait(q).expect("pool queue");
+            }
+        };
+        // QUEUED → RUNNING: we are the only poller from here on.
+        task.state.store(RUNNING, Ordering::Release);
+        let Some(mut fut) = task.future.lock().expect("task future").take() else {
+            // Completed or stolen (cannot happen under the state machine,
+            // but a missing future is simply nothing to do).
+            task.state.store(DONE, Ordering::Release);
+            continue;
+        };
+        let waker = Waker::from(Arc::clone(&task));
+        let mut cx = Context::from_waker(&waker);
+        match fut.as_mut().poll(&mut cx) {
+            Poll::Ready(()) => {
+                task.state.store(DONE, Ordering::Release);
+            }
+            Poll::Pending => {
+                // Restore the future *before* leaving RUNNING, so a waker
+                // firing right after the transition finds it in place.
+                *task.future.lock().expect("task future") = Some(fut);
+                if task
+                    .state
+                    .compare_exchange(RUNNING, IDLE, Ordering::AcqRel, Ordering::Acquire)
+                    .is_err()
+                {
+                    // A wake arrived during the poll (NOTIFIED): re-queue.
+                    task.state.store(QUEUED, Ordering::Release);
+                    shared.push(Arc::clone(&task));
+                }
+            }
+        }
+    }
+}
+
+/// Cooperatively yields once: resolves on the second poll, after waking
+/// itself. Lets a task give the pool a chance to run others (the
+/// `with_two_async` backoff uses the same shape).
+pub fn yield_now() -> YieldNow {
+    YieldNow { yielded: false }
+}
+
+/// Future returned by [`yield_now`].
+pub struct YieldNow {
+    yielded: bool,
+}
+
+impl Future for YieldNow {
+    type Output = ();
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.yielded {
+            Poll::Ready(())
+        } else {
+            self.yielded = true;
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn block_on_resolves_immediate_and_yielding_futures() {
+        assert_eq!(block_on(async { 1 + 1 }), 2);
+        assert_eq!(
+            block_on(async {
+                yield_now().await;
+                yield_now().await;
+                7
+            }),
+            7
+        );
+    }
+
+    #[test]
+    fn pool_runs_tasks_to_completion_across_workers() {
+        let pool = TaskPool::new(4);
+        assert_eq!(pool.workers(), 4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..32)
+            .map(|i| {
+                let counter = Arc::clone(&counter);
+                pool.spawn(async move {
+                    for _ in 0..i {
+                        yield_now().await;
+                    }
+                    counter.fetch_add(1, Ordering::SeqCst);
+                    i
+                })
+            })
+            .collect();
+        let sum: usize = handles.into_iter().map(JoinHandle::join).sum();
+        assert_eq!(sum, (0..32).sum());
+        assert_eq!(counter.load(Ordering::SeqCst), 32);
+    }
+
+    #[test]
+    fn external_wakes_resume_a_parked_task() {
+        // A task parks on a oneshot-style flag; a plain thread flips the
+        // flag and wakes it through the registered waker.
+        struct Oneshot {
+            fired: AtomicBool,
+            waker: Mutex<Option<Waker>>,
+        }
+        let shot = Arc::new(Oneshot {
+            fired: AtomicBool::new(false),
+            waker: Mutex::new(None),
+        });
+        let pool = TaskPool::new(2);
+        let shot2 = Arc::clone(&shot);
+        let h = pool.spawn(async move {
+            std::future::poll_fn(|cx| {
+                if shot2.fired.load(Ordering::Acquire) {
+                    return Poll::Ready(());
+                }
+                *shot2.waker.lock().expect("waker slot") = Some(cx.waker().clone());
+                if shot2.fired.load(Ordering::Acquire) {
+                    Poll::Ready(())
+                } else {
+                    Poll::Pending
+                }
+            })
+            .await;
+            99
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        shot.fired.store(true, Ordering::Release);
+        if let Some(w) = shot.waker.lock().expect("waker slot").take() {
+            w.wake();
+        }
+        assert_eq!(h.join(), 99);
+    }
+
+    #[test]
+    fn task_panic_reports_at_join_and_spares_the_worker() {
+        let pool = TaskPool::new(1);
+        let bad = pool.spawn(async {
+            yield_now().await;
+            panic!("task exploded");
+        });
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| bad.join()));
+        assert!(r.is_err(), "join must resume the task's panic");
+        // The single worker survived the panic: the pool still runs tasks.
+        assert_eq!(pool.spawn(async { 11 }).join(), 11);
+    }
+
+    #[test]
+    fn is_finished_tracks_completion() {
+        let pool = TaskPool::new(1);
+        let h = pool.spawn(async { 5 });
+        let v = loop {
+            if h.is_finished() {
+                break h.join();
+            }
+            std::thread::yield_now();
+        };
+        assert_eq!(v, 5);
+    }
+}

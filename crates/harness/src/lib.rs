@@ -13,11 +13,15 @@
 //!   value);
 //! - [`measure`] / [`table`] / [`cli`] — timing, median-of-K, output
 //!   formatting, and argument plumbing for the reproduction binaries in
-//!   `hemlock-bench`.
+//!   `hemlock-bench`;
+//! - [`executor`] — a minimal in-tree async runtime (`block_on` + a
+//!   multi-worker `TaskPool`), so the `hemlock-async` subsystem's benches
+//!   and tests need no external runtime in this offline workspace.
 
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod executor;
 pub mod fairness;
 pub mod histogram;
 pub mod measure;
@@ -28,6 +32,7 @@ pub mod ring;
 pub mod table;
 
 pub use cli::{Args, Spec};
+pub use executor::{block_on, JoinHandle, TaskPool};
 pub use fairness::{fairness_bench, FairnessReport};
 pub use histogram::Histogram;
 pub use measure::{median_of, thread_sweep, Throughput};

@@ -30,7 +30,7 @@
 //! [`for_each_lock!`]) dispatch. The `hemlock-bench` binaries resolve their
 //! `--lock` arguments here.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod anderson;
 pub mod catalog;

@@ -122,6 +122,7 @@ unsafe impl RawLock for McsLock {
         // The trylock CAS never publishes a queue element on failure, so
         // the provided deadline-bounded retry path aborts cleanly.
         m.abortable = true;
+        m.asyncable = true; // free withdrawal => safe as the async queue guard
         m
     };
 

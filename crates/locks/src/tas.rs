@@ -39,6 +39,7 @@ unsafe impl RawLock for TasLock {
         let mut m = LockMeta::base("TAS", "§4 related work");
         m.try_lock = true;
         m.abortable = true; // a failed swap leaves nothing to withdraw
+        m.asyncable = true; // …which also makes it safe as the async queue guard
         m
     };
 
@@ -91,6 +92,7 @@ unsafe impl RawLock for TtasLock {
         let mut m = LockMeta::base("TTAS", "§4 related work");
         m.try_lock = true;
         m.abortable = true; // a failed swap leaves nothing to withdraw
+        m.asyncable = true; // …which also makes it safe as the async queue guard
         m
     };
 

@@ -64,6 +64,7 @@ unsafe impl RawLock for TicketLock {
         m.fifo = true;
         m.try_lock = true; // conditional entry (see the type docs)
         m.abortable = true; // …which never queues, so aborts are free
+        m.asyncable = true; // free aborts => safe as the async queue guard
         m
     };
 

@@ -36,7 +36,9 @@ use crate::memtable::{Memtable, Slot};
 use crate::run::Run;
 use core::cell::UnsafeCell;
 use core::sync::atomic::{AtomicU64, Ordering};
+use core::task::Poll;
 use hemlock_core::raw::{RawLock, RawTryLock};
+use hemlock_core::wakerset::WakerSet;
 use hemlock_shard::TableStats;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -111,6 +113,11 @@ pub struct Db<L: RawLock> {
     runs: UnsafeCell<Vec<Arc<Run>>>,
     /// Sharded active memtable; synchronizes itself per shard.
     mem: Memtable<L>,
+    /// Parked asynchronous waiters of the central mutex. Every guard
+    /// release notifies (register → re-try → park on the waiter side), so
+    /// an `*_async` operation can await a freeze or compaction without a
+    /// lost wakeup — see [`hemlock_core::wakerset::WakerSet`].
+    mu_wakers: WakerSet,
     stats: DbStats,
     opts: Options,
 }
@@ -159,6 +166,10 @@ impl<L: RawLock> Drop for DbGuard<'_, L> {
     fn drop(&mut self) {
         // Safety: this guard acquired the lock on this thread.
         unsafe { self.db.mu.unlock() };
+        // Release-then-notify: async waiters of the central mutex (e.g. a
+        // `get_async` behind this freeze) are woken only after the unlock
+        // is visible, so their re-try cannot miss it.
+        self.db.mu_wakers.notify_all();
     }
 }
 
@@ -183,6 +194,19 @@ impl<'a, L: RawLock> DbReadGuard<'a, L> {
             db,
             _not_send: core::marker::PhantomData,
         }
+    }
+
+    /// Non-blocking constructor: one shared-mode attempt
+    /// ([`hemlock_core::RawTryLock::try_read_lock`]); `None` when the
+    /// central mutex is busy right now. The async read path polls this.
+    fn try_lock(db: &'a Db<L>) -> Option<Self>
+    where
+        L: RawTryLock,
+    {
+        db.mu.try_read_lock().then(|| Self {
+            db,
+            _not_send: core::marker::PhantomData,
+        })
     }
 
     /// Timed constructor: `None` once `deadline` passes (the waiter has
@@ -210,6 +234,7 @@ impl<L: RawLock> Drop for DbReadGuard<'_, L> {
     fn drop(&mut self) {
         // Safety: this guard read-acquired the lock on this thread.
         unsafe { self.db.mu.read_unlock() };
+        self.db.mu_wakers.notify_all();
     }
 }
 
@@ -220,6 +245,7 @@ impl<L: RawLock> Db<L> {
             mu: L::default(),
             runs: UnsafeCell::new(Vec::new()),
             mem: Memtable::with_shards(opts.mem_shards),
+            mu_wakers: WakerSet::new(),
             stats: DbStats::default(),
             opts,
         }
@@ -396,6 +422,120 @@ impl<L: RawLock> Db<L> {
         }
         self.stats.puts.fetch_add(1, Ordering::Relaxed);
         Ok(())
+    }
+
+    /// Awaits an exclusive central-mutex acquisition: the fast path is one
+    /// trylock; a busy mutex (freeze, compaction, another structural
+    /// transition) parks the task in the central [`WakerSet`] until a
+    /// guard release notifies.
+    async fn central_lock_async(&self) -> DbGuard<'_, L>
+    where
+        L: RawTryLock,
+    {
+        std::future::poll_fn(|cx| match DbGuard::try_lock(self) {
+            Some(g) => Poll::Ready(g),
+            None => {
+                self.mu_wakers.register_current(cx);
+                match DbGuard::try_lock(self) {
+                    Some(g) => Poll::Ready(g),
+                    None => Poll::Pending,
+                }
+            }
+        })
+        .await
+    }
+
+    /// Awaits a shared (read-mode) central-mutex acquisition, for run-list
+    /// snapshots. With an RW-capable `L`, concurrent async snapshotters
+    /// are admitted together.
+    async fn central_read_async(&self) -> DbReadGuard<'_, L>
+    where
+        L: RawTryLock,
+    {
+        std::future::poll_fn(|cx| match DbReadGuard::try_lock(self) {
+            Some(g) => Poll::Ready(g),
+            None => {
+                self.mu_wakers.register_current(cx);
+                match DbReadGuard::try_lock(self) {
+                    Some(g) => Poll::Ready(g),
+                    None => Poll::Pending,
+                }
+            }
+        })
+        .await
+    }
+
+    /// Asynchronous [`Db::get`]: the same two-tier probe, but a busy lock
+    /// anywhere on the path — the owning memtable shard, or the central
+    /// mutex held by a freeze/compaction — suspends the *task* instead of
+    /// stalling a thread or bailing out with [`WouldBlock`]. No guard ever
+    /// lives across a suspension point, so the returned future is `Send`
+    /// and cancel-safe.
+    pub async fn get_async(&self, key: &[u8]) -> Option<Vec<u8>>
+    where
+        L: RawTryLock,
+    {
+        // Tier 1: the memtable, awaiting the owning shard in read mode.
+        // Probe order matters exactly as in `get`: a freeze migrates keys
+        // memtable→runs while holding the central mutex, so a tier-1 miss
+        // always finds the key in the tier-2 snapshot awaited afterwards.
+        if let Some(value) = self.mem.get_vec_async(key).await {
+            self.stats.gets.fetch_add(1, Ordering::Relaxed);
+            return value;
+        }
+        // Tier 2: await a read-mode snapshot of the run handles — this is
+        // the wait that used to be `WouldBlock`: a compaction holding the
+        // central mutex now parks this task and wakes it on release.
+        let snapshot: Vec<Arc<Run>> = {
+            let g = self.central_read_async().await;
+            g.runs().clone()
+        };
+        let mut result = None;
+        for run in &snapshot {
+            if let Some(slot) = run.get(key) {
+                result = slot.as_ref().map(|v| v.to_vec());
+                break;
+            }
+        }
+        self.stats.gets.fetch_add(1, Ordering::Relaxed);
+        result
+    }
+
+    /// Asynchronous [`Db::put`]: awaits the owning memtable shard, and —
+    /// unlike [`Db::try_put`], which *defers* a tripped freeze — **awaits
+    /// the freeze/compaction** when the write trips the byte budget,
+    /// parking the task until the central mutex is free and then running
+    /// the structural transition itself.
+    pub async fn put_async(&self, key: &[u8], value: &[u8])
+    where
+        L: RawTryLock,
+    {
+        self.write_slot_async(key, Some(value.into())).await;
+    }
+
+    /// Asynchronous [`Db::delete`] (tombstone write), with [`Db::put_async`]
+    /// semantics.
+    pub async fn delete_async(&self, key: &[u8])
+    where
+        L: RawTryLock,
+    {
+        self.write_slot_async(key, None).await;
+    }
+
+    async fn write_slot_async(&self, key: &[u8], value: Slot)
+    where
+        L: RawTryLock,
+    {
+        self.mem.insert_async(key, value).await;
+        if self.mem.approximate_bytes() >= self.opts.memtable_bytes {
+            // Await the central mutex instead of skipping (try_put) or
+            // blocking a thread (put): the freeze runs as soon as whatever
+            // holds the mutex releases it. The guard is created and
+            // dropped between suspension points, on one thread.
+            let mut g = self.central_lock_async().await;
+            self.freeze_locked(&mut g);
+        }
+        self.stats.puts.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Number of immutable runs (tests/diagnostics).
@@ -650,6 +790,119 @@ mod tests {
         for i in (0..200u32).step_by(23) {
             assert!(db.get(format!("key{i:05}").as_bytes()).is_some());
         }
+    }
+
+    #[test]
+    fn async_ops_roundtrip_and_are_send() {
+        use hemlock_harness::executor::block_on;
+        fn assert_send<T: Send>(t: T) -> T {
+            t
+        }
+        let db: Db<Hemlock> = Db::new(tiny_opts());
+        block_on(async {
+            assert_send(db.put_async(b"a", b"1")).await;
+            assert_eq!(assert_send(db.get_async(b"a")).await, Some(b"1".to_vec()));
+            assert_send(db.delete_async(b"a")).await;
+            assert_eq!(db.get_async(b"a").await, None);
+            assert_eq!(db.get_async(b"missing").await, None);
+        });
+        assert_eq!(db.stats().puts.load(Ordering::Relaxed), 2);
+        assert_eq!(db.stats().gets.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn put_async_awaits_the_freeze_instead_of_deferring_it() {
+        use hemlock_harness::executor::block_on;
+        let db: Db<Hemlock> = Db::new(tiny_opts());
+        block_on(async {
+            // Far past the 512-byte budget: the tripped freezes must RUN
+            // (awaited), not be deferred as try_put does.
+            for i in 0..100u32 {
+                db.put_async(format!("key{i:05}").as_bytes(), &[0u8; 32])
+                    .await;
+            }
+        });
+        assert!(db.run_count() > 0, "awaited freezes must have run");
+        block_on(async {
+            for i in (0..100u32).step_by(13) {
+                assert!(db
+                    .get_async(format!("key{i:05}").as_bytes())
+                    .await
+                    .is_some());
+            }
+        });
+    }
+
+    #[test]
+    fn get_async_parks_behind_a_held_central_mutex_then_completes() {
+        use hemlock_harness::executor::TaskPool;
+        let db: Arc<Db<Hemlock>> = Arc::new(Db::new(tiny_opts()));
+        for i in 0..300u32 {
+            db.put(format!("key{i:05}").as_bytes(), &i.to_be_bytes());
+        }
+        assert!(db.run_count() > 0, "need runs so misses hit tier 2");
+        // Hold the central mutex, standing in for a long compaction.
+        db.mu.lock();
+        let pool = TaskPool::new(2);
+        let h = {
+            let db = Arc::clone(&db);
+            pool.spawn(async move {
+                // Misses the memtable -> must await the run snapshot,
+                // parking (not spinning a worker) behind the "compaction".
+                db.get_async(b"key00000-missing").await
+            })
+        };
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(!h.is_finished(), "get_async must wait for the mutex");
+        // Safety: held by this thread since the lock() above.
+        unsafe { db.mu.unlock() };
+        db.mu_wakers.notify_all(); // what a DbGuard drop would have done
+        assert_eq!(h.join(), None);
+    }
+
+    #[test]
+    fn mixed_async_tasks_and_sync_threads_share_the_db() {
+        use hemlock_harness::executor::TaskPool;
+        let db: Arc<Db<Hemlock>> = Arc::new(Db::new(tiny_opts()));
+        let pool = TaskPool::new(2);
+        let handles: Vec<_> = (0..2u32)
+            .map(|t| {
+                let db = Arc::clone(&db);
+                pool.spawn(async move {
+                    for i in 0..300u32 {
+                        let key = format!("async{t}k{i:05}");
+                        db.put_async(key.as_bytes(), &i.to_be_bytes()).await;
+                        assert_eq!(
+                            db.get_async(key.as_bytes()).await,
+                            Some(i.to_be_bytes().to_vec())
+                        );
+                    }
+                })
+            })
+            .collect();
+        std::thread::scope(|s| {
+            for t in 0..2u32 {
+                let db = Arc::clone(&db);
+                s.spawn(move || {
+                    for i in 0..300u32 {
+                        let key = format!("sync{t}k{i:05}");
+                        db.put(key.as_bytes(), &i.to_be_bytes());
+                        assert_eq!(db.get(key.as_bytes()), Some(i.to_be_bytes().to_vec()));
+                    }
+                });
+            }
+        });
+        for h in handles {
+            h.join();
+        }
+        // Every key from both worlds is visible afterwards.
+        for prefix in ["async0", "async1", "sync0", "sync1"] {
+            for i in (0..300u32).step_by(41) {
+                let key = format!("{prefix}k{i:05}");
+                assert!(db.get(key.as_bytes()).is_some(), "{key}");
+            }
+        }
+        assert_eq!(db.stats().puts.load(Ordering::Relaxed), 1_200);
     }
 
     #[test]

@@ -154,6 +154,36 @@ impl<L: RawLock> Memtable<L> {
         }
     }
 
+    /// Asynchronous [`Memtable::insert`]: awaits the owning shard instead
+    /// of spinning a thread on it. The byte-budget delta is charged inside
+    /// the shard critical section, exactly as the synchronous path, so a
+    /// racing drain can never double-count.
+    pub async fn insert_async(&self, key: &[u8], value: Slot)
+    where
+        L: RawTryLock,
+    {
+        let vlen = value.as_ref().map_or(0, |v| v.len());
+        self.map
+            .update_async(key.into(), |slot| {
+                let delta = insert_delta(key, vlen, slot.as_ref());
+                *slot = Some(value);
+                self.approx_bytes.fetch_add(delta, Ordering::Relaxed);
+            })
+            .await;
+    }
+
+    /// Asynchronous [`Memtable::get_vec`]: the shard is awaited in read
+    /// mode, so RW-capable algorithms admit concurrent async probes
+    /// together.
+    pub async fn get_vec_async(&self, key: &[u8]) -> Option<Option<Vec<u8>>>
+    where
+        L: RawTryLock,
+    {
+        self.map
+            .with_async(key, |slot| slot.map(|s| s.as_deref().map(<[u8]>::to_vec)))
+            .await
+    }
+
     /// True when empty.
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()

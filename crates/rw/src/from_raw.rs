@@ -70,6 +70,7 @@ unsafe impl<L: RawLock> RawLock for RwFromRaw<L> {
         // Anderson) leave both bits false here too.
         m.try_lock = L::META.try_lock;
         m.abortable = L::META.abortable;
+        m.asyncable = L::META.asyncable;
         m.rw = true;
         m
     };
@@ -158,6 +159,19 @@ unsafe impl<L: RawTryLock> RawTryLock for RwFromRaw<L> {
             }
             spin.wait();
         }
+        true
+    }
+
+    /// Reader trylock: a conditional pass through the gate around the
+    /// count bump — one attempt, no waiting, genuinely shared (a read-held
+    /// lock leaves the gate free, so concurrent probes all succeed).
+    fn try_read_lock(&self) -> bool {
+        if !self.gate.try_lock() {
+            return false;
+        }
+        self.readers.fetch_add(1, Ordering::Relaxed);
+        // Safety: acquired just above on this thread.
+        unsafe { self.gate.unlock() };
         true
     }
 

@@ -114,6 +114,7 @@ unsafe impl<const STRIPES: usize> RawLock for HemlockRw<STRIPES> {
         // genuine mid-wait withdrawal is sound here.
         m.try_lock = true;
         m.abortable = true;
+        m.asyncable = true;
         m
     };
 
@@ -230,6 +231,20 @@ unsafe impl<const STRIPES: usize> RawTryLock for HemlockRw<STRIPES> {
             }
         }
         true
+    }
+
+    /// Reader trylock: one optimistic stripe bump; if a writer is present
+    /// the bump is withdrawn and the attempt refused — the same
+    /// single-step withdrawal the blocking path performs, so a failed
+    /// probe leaves no indicator state.
+    fn try_read_lock(&self) -> bool {
+        let stripe = &self.readers[stripe_index::<STRIPES>()];
+        stripe.fetch_add(1, Ordering::SeqCst);
+        if self.wflag.load(Ordering::SeqCst) == 0 {
+            return true;
+        }
+        stripe.fetch_sub(1, Ordering::AcqRel);
+        false
     }
 
     /// Timed reader acquisition: the blocking `read_lock` loop with a

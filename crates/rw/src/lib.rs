@@ -51,7 +51,7 @@
 //! assert_eq!(m.read().len(), 4);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod catalog;
 mod from_raw;

@@ -37,7 +37,7 @@
 //! assert_eq!(t.shards(), 64);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod counter;
 pub mod stats;

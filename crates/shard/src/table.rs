@@ -19,10 +19,13 @@
 //! degrades to the ordinary lock, so nothing changes for existing users.
 
 use crate::stats::{ShardStats, TableStats};
+use core::mem::ManuallyDrop;
 use core::ops::{Deref, DerefMut};
+use core::task::Poll;
 use hemlock_core::hemlock::Hemlock;
 use hemlock_core::meta::LockMeta;
 use hemlock_core::raw::{RawLock, RawTryLock};
+use hemlock_core::wakerset::WakerSet;
 use hemlock_core::{Mutex, MutexGuard, ReadGuard};
 use std::borrow::Borrow;
 use std::collections::hash_map::RandomState;
@@ -72,6 +75,14 @@ pub struct ShardedTable<K, V, L: RawLock = Hemlock> {
     shards: Box<[Shard<K, V, L>]>,
     mask: usize,
     hasher: RandomState,
+    /// Parked asynchronous waiters (the `*_async` operations). One set for
+    /// the whole table — a per-shard set would cost tens of bytes per
+    /// shard, working against the compact-footprint story; the price is
+    /// that a release may spuriously wake a waiter of another shard, which
+    /// simply re-tries. Every guard release notifies (see [`ShardGuard`]),
+    /// so synchronous and asynchronous users can mix freely on one shard
+    /// without lost wakeups.
+    wakers: WakerSet,
 }
 
 impl<K: Hash + Eq, V, L: RawLock> Default for ShardedTable<K, V, L> {
@@ -108,6 +119,7 @@ impl<K: Hash + Eq, V, L: RawLock> ShardedTable<K, V, L> {
             shards: (0..n).map(|_| Shard::default()).collect(),
             mask: n - 1,
             hasher: RandomState::new(),
+            wakers: WakerSet::new(),
         }
     }
 
@@ -136,7 +148,7 @@ impl<K: Hash + Eq, V, L: RawLock> ShardedTable<K, V, L> {
         let guard = shard.map.lock();
         // Count after acquiring: a panicking probe can't skew the census.
         shard.stats.note_acquisition(contended);
-        ShardGuard { guard }
+        ShardGuard::wrap(guard, &self.wakers)
     }
 
     /// Locks shard `idx` in *read* mode, recording the contention census.
@@ -158,7 +170,7 @@ impl<K: Hash + Eq, V, L: RawLock> ShardedTable<K, V, L> {
         let contended = !L::META.rw && shard.map.raw().is_locked_hint() == Some(true);
         let guard = shard.map.read();
         shard.stats.note_acquisition(contended);
-        ShardReadGuard { guard }
+        ShardReadGuard::wrap(guard, &self.wakers)
     }
 
     /// Acquires the shard holding `key` in read mode, returning a shared
@@ -235,32 +247,8 @@ impl<K: Hash + Eq, V, L: RawLock> ShardedTable<K, V, L> {
     /// slot's content at the moment of the panic is preserved in the table
     /// (the entry does not vanish) before the panic propagates.
     pub fn update<R>(&self, key: K, f: impl FnOnce(&mut Option<V>) -> R) -> R {
-        use std::collections::hash_map::Entry;
         let mut g = self.guard(&key);
-        match g.entry(key) {
-            Entry::Vacant(e) => {
-                let mut slot = None;
-                let r = f(&mut slot);
-                if let Some(v) = slot {
-                    e.insert(v);
-                }
-                r
-            }
-            Entry::Occupied(e) => {
-                let (key, v) = e.remove_entry();
-                let mut slot = Some(v);
-                let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut slot)));
-                // Restore before unwinding further: a panicking closure
-                // must not delete the entry as a side effect.
-                if let Some(v) = slot {
-                    g.insert(key, v);
-                }
-                match r {
-                    Ok(r) => r,
-                    Err(panic) => std::panic::resume_unwind(panic),
-                }
-            }
-        }
+        update_slot(&mut g, key, f)
     }
 
     /// Total entries, summed shard by shard (each shard read-locked
@@ -364,17 +352,7 @@ impl<K: Hash + Eq, V, L: RawTryLock> ShardedTable<K, V, L> {
     /// Non-blocking [`Self::guard`]: `None` when the shard's lock is busy
     /// (counted as a contended acquisition in the census).
     pub fn try_guard(&self, key: &K) -> Option<ShardGuard<'_, K, V, L>> {
-        let shard = &self.shards[self.shard_index(key)];
-        match shard.map.try_lock() {
-            Some(guard) => {
-                shard.stats.note_acquisition(false);
-                Some(ShardGuard { guard })
-            }
-            None => {
-                shard.stats.note_acquisition(true);
-                None
-            }
-        }
+        self.try_lock_shard_idx(self.shard_index(key))
     }
 
     /// Non-blocking [`Self::with`]: runs `f` on the slot for `key` only if
@@ -386,17 +364,8 @@ impl<K: Hash + Eq, V, L: RawTryLock> ShardedTable<K, V, L> {
         K: Borrow<Q>,
         Q: Hash + Eq + ?Sized,
     {
-        let shard = &self.shards[self.shard_index(key)];
-        match shard.map.try_lock() {
-            Some(guard) => {
-                shard.stats.note_acquisition(false);
-                Some(f(guard.get(key)))
-            }
-            None => {
-                shard.stats.note_acquisition(true);
-                None
-            }
-        }
+        let g = self.try_lock_shard_idx(self.shard_index(key))?;
+        Some(f(g.get(key)))
     }
 
     /// Timed [`Self::guard`]: gives up once `timeout` elapses (counted as
@@ -417,7 +386,7 @@ impl<K: Hash + Eq, V, L: RawTryLock> ShardedTable<K, V, L> {
         match shard.map.try_lock_for(timeout) {
             Some(guard) => {
                 shard.stats.note_acquisition(false);
-                Some(ShardGuard { guard })
+                Some(ShardGuard::wrap(guard, &self.wakers))
             }
             None => {
                 shard.stats.note_acquisition(true);
@@ -444,7 +413,7 @@ impl<K: Hash + Eq, V, L: RawTryLock> ShardedTable<K, V, L> {
         match shard.map.try_read_for(timeout) {
             Some(guard) => {
                 shard.stats.note_acquisition(false);
-                Some(ShardReadGuard { guard })
+                Some(ShardReadGuard::wrap(guard, &self.wakers))
             }
             None => {
                 shard.stats.note_acquisition(true);
@@ -479,21 +448,7 @@ impl<K: Hash + Eq, V, L: RawTryLock> ShardedTable<K, V, L> {
         let (ia, ib) = (self.shard_index(&a), self.shard_index(&b));
         if ia == ib {
             let mut g = self.lock_shard(ia);
-            let mut slot_a = g.remove(&a);
-            let mut slot_b = g.remove(&b);
-            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                f(&mut slot_a, &mut slot_b)
-            }));
-            if let Some(v) = slot_a {
-                g.insert(a, v);
-            }
-            if let Some(v) = slot_b {
-                g.insert(b, v);
-            }
-            return match r {
-                Ok(r) => r,
-                Err(panic) => std::panic::resume_unwind(panic),
-            };
+            return rmw_two_same_shard(&mut g, a, b, f);
         }
         // Cross-shard: ordered acquire, try + backoff on the second lock.
         let (lo, hi) = (ia.min(ib), ia.max(ib));
@@ -503,7 +458,7 @@ impl<K: Hash + Eq, V, L: RawTryLock> ShardedTable<K, V, L> {
             match self.shards[hi].map.try_lock() {
                 Some(guard) => {
                     self.shards[hi].stats.note_acquisition(false);
-                    break (g_lo, ShardGuard { guard });
+                    break (g_lo, ShardGuard::wrap(guard, &self.wakers));
                 }
                 None => {
                     self.shards[hi].stats.note_acquisition(true);
@@ -513,31 +468,291 @@ impl<K: Hash + Eq, V, L: RawTryLock> ShardedTable<K, V, L> {
             }
         };
         let (mut g_a, mut g_b) = if ia == lo { (g_lo, g_hi) } else { (g_hi, g_lo) };
-        let mut slot_a = g_a.remove(&a);
-        let mut slot_b = g_b.remove(&b);
-        let r =
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut slot_a, &mut slot_b)));
-        if let Some(v) = slot_a {
-            g_a.insert(a, v);
+        rmw_two_cross_shard(&mut g_a, &mut g_b, a, b, f)
+    }
+
+    /// One non-blocking attempt on shard `idx`, with census accounting —
+    /// the building block every `*_async` poll uses.
+    fn try_lock_shard_idx(&self, idx: usize) -> Option<ShardGuard<'_, K, V, L>> {
+        let shard = &self.shards[idx];
+        match shard.map.try_lock() {
+            Some(guard) => {
+                shard.stats.note_acquisition(false);
+                Some(ShardGuard::wrap(guard, &self.wakers))
+            }
+            None => {
+                shard.stats.note_acquisition(true);
+                None
+            }
         }
-        if let Some(v) = slot_b {
-            g_b.insert(b, v);
+    }
+
+    /// One non-blocking *read-mode* attempt on shard `idx`
+    /// ([`hemlock_core::RawTryLock::try_read_lock`]): with an RW-capable
+    /// `L`, probes of a read-held shard succeed together.
+    fn try_read_shard_idx(&self, idx: usize) -> Option<ShardReadGuard<'_, K, V, L>>
+    where
+        K: Sync,
+        V: Sync,
+    {
+        let shard = &self.shards[idx];
+        match shard.map.try_read() {
+            Some(guard) => {
+                shard.stats.note_acquisition(false);
+                Some(ShardReadGuard::wrap(guard, &self.wakers))
+            }
+            None => {
+                shard.stats.note_acquisition(true);
+                None
+            }
         }
-        match r {
-            Ok(r) => r,
-            Err(panic) => std::panic::resume_unwind(panic),
+    }
+
+    /// Acquires the shard holding `key` **asynchronously**: the fast path
+    /// is one raw trylock; a busy shard parks the task in the table's
+    /// [`WakerSet`] (register → re-try → suspend, the lost-wakeup-free
+    /// protocol) until some release notifies. Cancel-safe: dropping the
+    /// future leaves at most a stale waker, which the next notification
+    /// drains — it can never acquire anything.
+    pub async fn guard_async<Q>(&self, key: &Q) -> ShardGuard<'_, K, V, L>
+    where
+        K: Borrow<Q>,
+        Q: Hash + ?Sized,
+    {
+        let idx = self.shard_index(key);
+        std::future::poll_fn(|cx| match self.try_lock_shard_idx(idx) {
+            Some(g) => Poll::Ready(g),
+            None => {
+                self.wakers.register_current(cx);
+                match self.try_lock_shard_idx(idx) {
+                    Some(g) => Poll::Ready(g),
+                    None => Poll::Pending,
+                }
+            }
+        })
+        .await
+    }
+
+    /// Asynchronous [`Self::read_guard`]: like [`Self::guard_async`] but
+    /// in read mode, so RW-capable algorithms admit concurrent async
+    /// readers of a hot shard together.
+    pub async fn read_guard_async<Q>(&self, key: &Q) -> ShardReadGuard<'_, K, V, L>
+    where
+        K: Borrow<Q> + Sync,
+        Q: Hash + ?Sized,
+        V: Sync,
+    {
+        let idx = self.shard_index(key);
+        std::future::poll_fn(|cx| match self.try_read_shard_idx(idx) {
+            Some(g) => Poll::Ready(g),
+            None => {
+                self.wakers.register_current(cx);
+                match self.try_read_shard_idx(idx) {
+                    Some(g) => Poll::Ready(g),
+                    None => Poll::Pending,
+                }
+            }
+        })
+        .await
+    }
+
+    /// Asynchronous [`Self::with`]: runs `f` on the slot for `key` under
+    /// the shard's read mode, awaiting a busy shard instead of spinning a
+    /// thread on it. `f` runs synchronously within one poll — the guard
+    /// never lives across a suspension point.
+    pub async fn with_async<Q, R>(&self, key: &Q, f: impl FnOnce(Option<&V>) -> R) -> R
+    where
+        K: Borrow<Q> + Sync,
+        Q: Hash + Eq + ?Sized,
+        V: Sync,
+    {
+        let g = self.read_guard_async(key).await;
+        f(g.get(key))
+    }
+
+    /// Asynchronous [`Self::update`]: read-modify-write on `key`'s slot,
+    /// awaiting the owning shard. Same fill/replace/empty and
+    /// panic-preservation semantics.
+    pub async fn update_async<R>(&self, key: K, f: impl FnOnce(&mut Option<V>) -> R) -> R {
+        let mut g = self.guard_async(&key).await;
+        update_slot(&mut g, key, f)
+    }
+
+    /// Asynchronous [`Self::with_two`]: the atomic two-slot RMW, awaiting
+    /// both shards instead of spinning. Deadlock freedom carries over from
+    /// the synchronous protocol — shards are taken in index order, the
+    /// higher by trylock, and on failure **both** are dropped before the
+    /// task parks (no hold-and-wait across a suspension, ever). Each full
+    /// attempt runs within a single poll, so cancellation between attempts
+    /// leaves no locks held.
+    ///
+    /// Panics when `a == b`, as [`Self::with_two`] does.
+    pub async fn with_two_async<R>(
+        &self,
+        a: K,
+        b: K,
+        f: impl FnOnce(&mut Option<V>, &mut Option<V>) -> R,
+    ) -> R {
+        assert!(a != b, "with_two_async requires distinct keys");
+        let (ia, ib) = (self.shard_index(&a), self.shard_index(&b));
+        if ia == ib {
+            let mut g = self.guard_async(&a).await;
+            return rmw_two_same_shard(&mut g, a, b, f);
+        }
+        let (lo, hi) = (ia.min(ib), ia.max(ib));
+        let (g_lo, g_hi) = std::future::poll_fn(|cx| {
+            // One ordered attempt per poll: lo by trylock (parking when
+            // busy), then hi by trylock (dropping lo and parking when
+            // busy). Registration always precedes the re-try, so the
+            // releases that matter cannot slip between.
+            let g_lo = match self.try_lock_shard_idx(lo) {
+                Some(g) => g,
+                None => {
+                    self.wakers.register_current(cx);
+                    match self.try_lock_shard_idx(lo) {
+                        Some(g) => g,
+                        None => return Poll::Pending,
+                    }
+                }
+            };
+            match self.try_lock_shard_idx(hi) {
+                Some(g_hi) => Poll::Ready((g_lo, g_hi)),
+                None => {
+                    self.wakers.register_current(cx);
+                    match self.try_lock_shard_idx(hi) {
+                        Some(g_hi) => Poll::Ready((g_lo, g_hi)),
+                        None => {
+                            drop(g_lo); // no hold-and-wait across the park
+                            Poll::Pending
+                        }
+                    }
+                }
+            }
+        })
+        .await;
+        let (mut g_a, mut g_b) = if ia == lo { (g_lo, g_hi) } else { (g_hi, g_lo) };
+        rmw_two_cross_shard(&mut g_a, &mut g_b, a, b, f)
+    }
+}
+
+impl<K: Hash + Eq, V: Clone, L: RawTryLock> ShardedTable<K, V, L> {
+    /// Asynchronous [`Self::get`]: a point lookup that *awaits* a busy
+    /// shard (read mode) instead of blocking a thread on it.
+    pub async fn get_async<Q>(&self, key: &Q) -> Option<V>
+    where
+        K: Borrow<Q> + Sync,
+        Q: Hash + Eq + ?Sized,
+        V: Sync,
+    {
+        self.read_guard_async(key).await.get(key).cloned()
+    }
+}
+
+/// The [`ShardedTable::update`] body, shared with the async variant:
+/// fill/replace/empty semantics, slot contents preserved across a panic.
+fn update_slot<K: Hash + Eq, V, R>(
+    map: &mut HashMap<K, V>,
+    key: K,
+    f: impl FnOnce(&mut Option<V>) -> R,
+) -> R {
+    use std::collections::hash_map::Entry;
+    match map.entry(key) {
+        Entry::Vacant(e) => {
+            let mut slot = None;
+            let r = f(&mut slot);
+            if let Some(v) = slot {
+                e.insert(v);
+            }
+            r
+        }
+        Entry::Occupied(e) => {
+            let (key, v) = e.remove_entry();
+            let mut slot = Some(v);
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut slot)));
+            // Restore before unwinding further: a panicking closure must
+            // not delete the entry as a side effect.
+            if let Some(v) = slot {
+                map.insert(key, v);
+            }
+            match r {
+                Ok(r) => r,
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
         }
     }
 }
 
-/// RAII guard over one shard's map; releases the shard lock on drop.
+/// The same-shard [`ShardedTable::with_two`] body, shared with the async
+/// variant: both slots taken out, run, restored (panic-safely).
+fn rmw_two_same_shard<K: Hash + Eq, V, R>(
+    map: &mut HashMap<K, V>,
+    a: K,
+    b: K,
+    f: impl FnOnce(&mut Option<V>, &mut Option<V>) -> R,
+) -> R {
+    let mut slot_a = map.remove(&a);
+    let mut slot_b = map.remove(&b);
+    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut slot_a, &mut slot_b)));
+    if let Some(v) = slot_a {
+        map.insert(a, v);
+    }
+    if let Some(v) = slot_b {
+        map.insert(b, v);
+    }
+    match r {
+        Ok(r) => r,
+        Err(panic) => std::panic::resume_unwind(panic),
+    }
+}
+
+/// The cross-shard [`ShardedTable::with_two`] body, shared with the async
+/// variant (both shard guards already held, in index order).
+fn rmw_two_cross_shard<K: Hash + Eq, V, R>(
+    map_a: &mut HashMap<K, V>,
+    map_b: &mut HashMap<K, V>,
+    a: K,
+    b: K,
+    f: impl FnOnce(&mut Option<V>, &mut Option<V>) -> R,
+) -> R {
+    let mut slot_a = map_a.remove(&a);
+    let mut slot_b = map_b.remove(&b);
+    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut slot_a, &mut slot_b)));
+    if let Some(v) = slot_a {
+        map_a.insert(a, v);
+    }
+    if let Some(v) = slot_b {
+        map_b.insert(b, v);
+    }
+    match r {
+        Ok(r) => r,
+        Err(panic) => std::panic::resume_unwind(panic),
+    }
+}
+
+/// RAII guard over one shard's map; releases the shard lock on drop, then
+/// notifies the table's parked asynchronous waiters ([`WakerSet`]) — the
+/// release-then-notify order is what keeps the sync and async user
+/// populations of one shard free of lost wakeups.
 ///
 /// Derefs to the shard's `HashMap`, so the full map API is available for
 /// the duration of the critical section. `!Send`, like every guard in this
 /// workspace: queue locks and Hemlock's Grant protocol require the unlock
 /// to run on the acquiring thread.
 pub struct ShardGuard<'a, K, V, L: RawLock> {
-    guard: MutexGuard<'a, HashMap<K, V>, L>,
+    /// `ManuallyDrop` so `Drop` can release the raw lock *before* the
+    /// waker notification (plain field order would notify first, opening a
+    /// park-after-notify window).
+    guard: ManuallyDrop<MutexGuard<'a, HashMap<K, V>, L>>,
+    wakers: &'a WakerSet,
+}
+
+impl<'a, K, V, L: RawLock> ShardGuard<'a, K, V, L> {
+    fn wrap(guard: MutexGuard<'a, HashMap<K, V>, L>, wakers: &'a WakerSet) -> Self {
+        Self {
+            guard: ManuallyDrop::new(guard),
+            wakers,
+        }
+    }
 }
 
 impl<K, V, L: RawLock> Deref for ShardGuard<'_, K, V, L> {
@@ -555,12 +770,34 @@ impl<K, V, L: RawLock> DerefMut for ShardGuard<'_, K, V, L> {
     }
 }
 
+impl<K, V, L: RawLock> Drop for ShardGuard<'_, K, V, L> {
+    #[inline]
+    fn drop(&mut self) {
+        // Safety: dropped exactly once, here; the field is never touched
+        // again. Release first, notify second (see the type docs).
+        unsafe { ManuallyDrop::drop(&mut self.guard) };
+        self.wakers.notify_all();
+    }
+}
+
 /// Shared RAII guard over one shard's map; releases the shard's read mode
-/// on drop. `Deref` only — with an RW-capable lock algorithm, several of
-/// these may view the same shard concurrently, so no `&mut` is ever
-/// handed out. `!Send` like [`ShardGuard`].
+/// on drop (then notifies async waiters, as [`ShardGuard`] does). `Deref`
+/// only — with an RW-capable lock algorithm, several of these may view the
+/// same shard concurrently, so no `&mut` is ever handed out. `!Send` like
+/// [`ShardGuard`].
 pub struct ShardReadGuard<'a, K, V, L: RawLock> {
-    guard: ReadGuard<'a, HashMap<K, V>, L>,
+    /// See [`ShardGuard::guard`] for the `ManuallyDrop` rationale.
+    guard: ManuallyDrop<ReadGuard<'a, HashMap<K, V>, L>>,
+    wakers: &'a WakerSet,
+}
+
+impl<'a, K, V, L: RawLock> ShardReadGuard<'a, K, V, L> {
+    fn wrap(guard: ReadGuard<'a, HashMap<K, V>, L>, wakers: &'a WakerSet) -> Self {
+        Self {
+            guard: ManuallyDrop::new(guard),
+            wakers,
+        }
+    }
 }
 
 impl<K, V, L: RawLock> Deref for ShardReadGuard<'_, K, V, L> {
@@ -568,6 +805,15 @@ impl<K, V, L: RawLock> Deref for ShardReadGuard<'_, K, V, L> {
     #[inline]
     fn deref(&self) -> &HashMap<K, V> {
         &self.guard
+    }
+}
+
+impl<K, V, L: RawLock> Drop for ShardReadGuard<'_, K, V, L> {
+    #[inline]
+    fn drop(&mut self) {
+        // Safety: dropped exactly once, here. Release, then notify.
+        unsafe { ManuallyDrop::drop(&mut self.guard) };
+        self.wakers.notify_all();
     }
 }
 
@@ -870,6 +1116,134 @@ mod tests {
         t.insert(1, 11);
         assert_eq!(t.get(&1), Some(11));
         assert!(t.stats().acquisitions() >= 6);
+    }
+
+    #[test]
+    fn async_ops_roundtrip_uncontended() {
+        use hemlock_harness::executor::block_on;
+        let t: Table<u32, u32> = ShardedTable::with_shards(4);
+        block_on(async {
+            t.update_async(1, |slot| *slot = Some(10)).await;
+            assert_eq!(t.get_async(&1).await, Some(10));
+            assert_eq!(t.with_async(&1, |v| v.copied()).await, Some(10));
+            let moved = t
+                .with_two_async(1, 2, |a, b| {
+                    let v = a.take().expect("present");
+                    *b = Some(v + 1);
+                    v
+                })
+                .await;
+            assert_eq!(moved, 10);
+            assert_eq!(t.get_async(&1).await, None);
+            assert_eq!(t.get_async(&2).await, Some(11));
+        });
+    }
+
+    #[test]
+    fn async_tasks_and_sync_threads_share_the_table() {
+        use hemlock_harness::executor::TaskPool;
+        use std::sync::Arc;
+        // One shard: every operation contends on a single lock, so async
+        // waiters park behind sync holders and vice versa — completion
+        // proves the release-notification protocol loses no wakeups.
+        let t: Arc<Table<u32, u64>> = Arc::new(ShardedTable::with_shards(1));
+        t.insert(0, 0);
+        let pool = TaskPool::new(2);
+        let per = 500u64;
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let t = Arc::clone(&t);
+                pool.spawn(async move {
+                    for _ in 0..per {
+                        t.update_async(0, |slot| *slot = Some(slot.unwrap_or(0) + 1))
+                            .await;
+                    }
+                })
+            })
+            .collect();
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                let t = Arc::clone(&t);
+                s.spawn(move || {
+                    for _ in 0..per {
+                        t.update(0, |slot| *slot = Some(slot.unwrap_or(0) + 1));
+                    }
+                });
+            }
+        });
+        for h in handles {
+            h.join();
+        }
+        assert_eq!(t.get(&0), Some(5 * per));
+    }
+
+    #[test]
+    fn crossing_with_two_async_pairs_never_deadlock() {
+        use hemlock_harness::executor::TaskPool;
+        use std::sync::Arc;
+        let t: Arc<Table<u32, u64>> = Arc::new(ShardedTable::with_shards(2));
+        let (ka, kb) = {
+            let (mut ka, mut kb) = (0, 1);
+            'outer: for a in 0..64u32 {
+                for b in 0..64u32 {
+                    if a != b && t.shard_index(&a) != t.shard_index(&b) {
+                        ka = a;
+                        kb = b;
+                        break 'outer;
+                    }
+                }
+            }
+            (ka, kb)
+        };
+        let pool = TaskPool::new(2);
+        let handles: Vec<_> = [false, true]
+            .into_iter()
+            .map(|flip| {
+                let t = Arc::clone(&t);
+                pool.spawn(async move {
+                    let (x, y) = if flip { (kb, ka) } else { (ka, kb) };
+                    for _ in 0..1_000 {
+                        t.with_two_async(x, y, |a, b| {
+                            *a = Some(a.unwrap_or(0) + 1);
+                            *b = Some(b.unwrap_or(0) + 1);
+                        })
+                        .await;
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join();
+        }
+        assert_eq!(t.get(&ka), Some(2_000));
+        assert_eq!(t.get(&kb), Some(2_000));
+    }
+
+    #[test]
+    fn dropped_async_guard_future_leaves_the_shard_usable() {
+        use std::future::Future;
+        use std::sync::Arc;
+        use std::task::{Context, Wake, Waker};
+        struct Noop;
+        impl Wake for Noop {
+            fn wake(self: Arc<Self>) {}
+        }
+        let t: Table<u32, u32> = ShardedTable::with_shards(1);
+        let held = t.guard(&1);
+        {
+            let fut = t.guard_async(&1);
+            let mut fut = Box::pin(fut);
+            let waker = Waker::from(Arc::new(Noop));
+            assert!(fut
+                .as_mut()
+                .poll(&mut Context::from_waker(&waker))
+                .is_pending());
+            // Dropping the pending future (cancellation) must not wedge
+            // the shard: the registered waker is stale, nothing more.
+        }
+        drop(held);
+        t.insert(1, 1);
+        assert_eq!(t.get(&1), Some(1));
     }
 
     #[test]

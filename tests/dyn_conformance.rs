@@ -579,6 +579,237 @@ mod abort_mix {
     }
 }
 
+// ---------------------------------------------------------- async pass
+
+mod async_pass {
+    //! Conformance for the **async catalog** (`hemlock_async::catalog`,
+    //! `async.*` keys) through `DynAsyncMutex`: mutual exclusion under
+    //! task contention, truthful metadata, and — the property the
+    //! subsystem is built around — **cancellation is an abort**: a
+    //! dropped pending lock future never acquires afterwards and leaves
+    //! no queue state, while every surviving waiter still gets its wakeup.
+
+    use super::*;
+    use hemlock_async::catalog as async_catalog;
+    use hemlock_async::catalog::AsyncCatalogEntry;
+    use hemlock_async::DynAsyncMutex;
+    use hemlock_harness::executor::{block_on, TaskPool};
+    use proptest::prelude::*;
+    use std::future::Future;
+    use std::pin::Pin;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+    use std::task::{Context, Poll};
+
+    fn dyn_async_mutex_for(entry: &AsyncCatalogEntry) -> DynAsyncMutex<u64> {
+        DynAsyncMutex::new((entry.make)(), 0)
+    }
+
+    #[test]
+    fn async_catalog_mirrors_the_abortable_subset() {
+        let abortable = catalog::abortable();
+        assert_eq!(async_catalog::ENTRIES.len(), abortable.len());
+        for entry in &abortable {
+            let key = format!("async.{}", entry.key);
+            let a = async_catalog::find(&key)
+                .unwrap_or_else(|| panic!("no async counterpart for {}", entry.key));
+            assert_eq!(a.meta, entry.meta, "{key}");
+            assert!(a.meta.asyncable, "{key}");
+        }
+        assert!(async_catalog::find("async.clh").is_none());
+        assert!(async_catalog::find("async.anderson").is_none());
+    }
+
+    #[test]
+    fn exclusive_catalog_asyncable_bit_is_truthful() {
+        // asyncable == abortable everywhere, and exactly the asyncable
+        // entries have an async.* key.
+        for entry in catalog::ENTRIES {
+            assert_eq!(entry.meta.asyncable, entry.meta.abortable, "{}", entry.key);
+            assert_eq!(
+                async_catalog::find(&format!("async.{}", entry.key)).is_some(),
+                entry.meta.asyncable,
+                "{}",
+                entry.key
+            );
+        }
+    }
+
+    #[test]
+    fn mutual_exclusion_through_dyn_async_mutex() {
+        for entry in async_catalog::ENTRIES {
+            let pool = TaskPool::new(3);
+            let m = Arc::new(dyn_async_mutex_for(entry));
+            let in_cs = Arc::new(AtomicBool::new(false));
+            let handles: Vec<_> = (0..6)
+                .map(|_| {
+                    let m = Arc::clone(&m);
+                    let in_cs = Arc::clone(&in_cs);
+                    let key = entry.key;
+                    pool.spawn(async move {
+                        for _ in 0..300 {
+                            let mut g = m.lock().await;
+                            assert!(
+                                !in_cs.swap(true, Ordering::AcqRel),
+                                "{key}: overlapping critical sections"
+                            );
+                            *g += 1;
+                            in_cs.store(false, Ordering::Release);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join();
+            }
+            assert_eq!(block_on(async { *m.lock().await }), 1_800, "{}", entry.key);
+            assert!(m.raw().is_idle(), "{}", entry.key);
+        }
+    }
+
+    #[test]
+    fn dyn_async_handles_report_the_entry_meta() {
+        for entry in async_catalog::ENTRIES {
+            let lock = (entry.make)();
+            assert_eq!(lock.meta(), entry.meta, "{}", entry.key);
+            let m = dyn_async_mutex_for(entry);
+            assert_eq!(m.meta(), entry.meta, "{}", entry.key);
+        }
+    }
+
+    #[test]
+    fn cancelled_parked_futures_never_acquire_and_release_flows_on() {
+        for entry in async_catalog::ENTRIES {
+            let m = dyn_async_mutex_for(entry);
+            let held = m.try_lock().expect("free");
+            // Park three futures, then cancel the middle one.
+            let noop = noop_waker();
+            let mut cx = Context::from_waker(&noop);
+            let mut f1 = Box::pin(m.lock());
+            let mut f2 = Box::pin(m.lock());
+            let mut f3 = Box::pin(m.lock());
+            assert!(f1.as_mut().poll(&mut cx).is_pending());
+            assert!(f2.as_mut().poll(&mut cx).is_pending());
+            assert!(f3.as_mut().poll(&mut cx).is_pending());
+            assert_eq!(m.waiters(), 3, "{}", entry.key);
+            drop(f2);
+            assert_eq!(m.waiters(), 2, "{}: cancel must unlink", entry.key);
+            drop(held);
+            // FIFO hand-off skips the cancelled node: f1 then f3.
+            let g1 = match f1.as_mut().poll(&mut cx) {
+                Poll::Ready(g) => g,
+                Poll::Pending => panic!("{}: head waiter not granted", entry.key),
+            };
+            assert!(f3.as_mut().poll(&mut cx).is_pending(), "{}", entry.key);
+            drop(g1);
+            let g3 = match f3.as_mut().poll(&mut cx) {
+                Poll::Ready(g) => g,
+                Poll::Pending => panic!("{}: next waiter not granted", entry.key),
+            };
+            // Nothing the cancelled future left behind may double-grant.
+            assert!(m.try_lock().is_none(), "{}: double grant", entry.key);
+            drop(g3);
+            assert!(m.raw().is_idle(), "{}", entry.key);
+        }
+    }
+
+    fn noop_waker() -> std::task::Waker {
+        struct Noop;
+        impl std::task::Wake for Noop {
+            fn wake(self: Arc<Self>) {}
+        }
+        std::task::Waker::from(Arc::new(Noop))
+    }
+
+    /// Polls the wrapped acquisition once; if it parks, **drops it on the
+    /// spot** — a cancellation of a genuinely-parked future, the racy
+    /// moment the abort contract must survive.
+    struct CancelIfParked<F>(Option<Pin<Box<F>>>);
+
+    impl<F: Future> Future for CancelIfParked<F> {
+        type Output = Option<F::Output>;
+        fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+            let mut inner = self.0.take().expect("polled after completion");
+            match inner.as_mut().poll(cx) {
+                Poll::Ready(out) => Poll::Ready(Some(out)),
+                Poll::Pending => {
+                    drop(inner); // cancel the parked acquisition
+                    Poll::Ready(None)
+                }
+            }
+        }
+    }
+
+    fn run_cancel_mix(entry: &'static AsyncCatalogEntry, ops: &[Vec<bool>]) {
+        let pool = TaskPool::new(3);
+        let m = Arc::new(dyn_async_mutex_for(entry));
+        let in_cs = Arc::new(AtomicBool::new(false));
+        let successes = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = ops
+            .iter()
+            .map(|task_ops| {
+                let m = Arc::clone(&m);
+                let in_cs = Arc::clone(&in_cs);
+                let successes = Arc::clone(&successes);
+                let task_ops = task_ops.clone();
+                let key = entry.key;
+                pool.spawn(async move {
+                    for cancel_style in task_ops {
+                        let guard = if cancel_style {
+                            // Acquire-or-cancel: parks under contention and
+                            // is immediately dropped — the abort path.
+                            CancelIfParked(Some(Box::pin(m.lock()))).await
+                        } else {
+                            Some(m.lock().await)
+                        };
+                        if let Some(mut g) = guard {
+                            assert!(
+                                !in_cs.swap(true, Ordering::AcqRel),
+                                "{key}: overlapping critical sections"
+                            );
+                            *g += 1;
+                            successes.fetch_add(1, Ordering::Relaxed);
+                            in_cs.store(false, Ordering::Release);
+                        }
+                    }
+                })
+            })
+            .collect();
+        // Every task completing — none stranded on a wait that a
+        // cancellation should have unblocked — IS the no-lost-wakeup
+        // check: a leaked queue head would hang a `lock().await` forever.
+        for h in handles {
+            h.join();
+        }
+        // Oracle: aborted attempts contributed nothing.
+        assert_eq!(
+            block_on(async { *m.lock().await }),
+            successes.load(Ordering::Relaxed),
+            "{}: counter diverged from successful acquisitions",
+            entry.key
+        );
+        // No queue state left behind, and the lock is fully reusable.
+        assert_eq!(m.waiters(), 0, "{}", entry.key);
+        assert!(m.raw().is_idle(), "{}", entry.key);
+        let g = m.try_lock().expect("reusable after the abort storm");
+        assert!(m.try_lock().is_none(), "{}: double grant", entry.key);
+        drop(g);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(4))]
+        #[test]
+        fn random_future_drops_preserve_every_invariant(
+            ops in proptest::collection::vec(
+                proptest::collection::vec(proptest::any::<bool>(), 0..24), 1..5)
+        ) {
+            for entry in async_catalog::ENTRIES {
+                run_cancel_mix(entry, &ops);
+            }
+        }
+    }
+}
+
 macro_rules! static_meta_checks {
     ($(($key:literal, [$($alias:literal),*], $ty:ty, $cap:ident)),+ $(,)?) => {
         /// The catalog's meta is byte-for-byte the static type's `META`,
