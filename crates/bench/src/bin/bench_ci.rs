@@ -7,7 +7,7 @@
 //! ```text
 //! bench_ci --fig2 fig2.csv --shardkv shardkv.json --rwbench rwbench.json \
 //!          --timeoutbench timeoutbench.json --asyncbench asyncbench.json \
-//!          --table1 table1.csv \
+//!          --loadgen loadgen.json --table1 table1.csv \
 //!          --out BENCH_ci.json --baseline BENCH_baseline.json
 //! ```
 //!
@@ -60,6 +60,10 @@ fn main() {
         "asyncbench",
         "asyncbench --quick --json output (normalized records)",
     )
+    .value(
+        "loadgen",
+        "loadgen --quick --json output (normalized records)",
+    )
     .value("table1", "table1 --csv output (space table)")
     .value(
         "out",
@@ -85,7 +89,13 @@ fn main() {
             records.extend(or_exit(ci::parse_series_csv(bench, &read(&path, opt))));
         }
     }
-    for opt in ["shardkv", "rwbench", "timeoutbench", "asyncbench"] {
+    for opt in [
+        "shardkv",
+        "rwbench",
+        "timeoutbench",
+        "asyncbench",
+        "loadgen",
+    ] {
         if let Some(path) = Some(args.get_str(opt, "")).filter(|p| !p.is_empty()) {
             records.extend(or_exit(ci::parse_json(&read(&path, opt))));
         }
@@ -95,7 +105,7 @@ fn main() {
     }
     if records.is_empty() {
         eprintln!(
-            "error: no inputs given (pass --fig2/--fig3/--fig8/--shardkv/--rwbench/--timeoutbench/--asyncbench/--table1)"
+            "error: no inputs given (pass --fig2/--fig3/--fig8/--shardkv/--rwbench/--timeoutbench/--asyncbench/--loadgen/--table1)"
         );
         std::process::exit(2);
     }

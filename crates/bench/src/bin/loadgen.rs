@@ -1,0 +1,376 @@
+//! `loadgen`: pipelined TCP load generator for the networked minikv
+//! front-end (`hemlock-net`).
+//!
+//! The service-shaped experiment the net layer exists for: **`--conns`
+//! pipelined connections × `--threads` client workers** against a
+//! kvserver, with Zipfian key skew (`--zipf`, the YCSB/Gray sampler in
+//! `hemlock_harness::zipf`) setting how hard the store's central mutex
+//! and shard locks are contended. By default it spawns the server
+//! **in-process** on its own `TaskPool` (`--lock` picks the `async.*`
+//! catalog algorithm); `--addr` points it at an external `kvserver`
+//! instead.
+//!
+//! Closed loop by default: every connection keeps `--pipeline` requests
+//! in flight and issues the next batch the moment the previous one
+//! completes. `--rate <ops/s>` switches to an open loop, pacing each
+//! connection to its share of the target rate. Per-request round-trip
+//! latency lands in the log-bucketed histogram; the report is
+//! throughput plus **p50/p99/p999**.
+//!
+//! Output: aligned table (default), or `--json` normalized
+//! bench-trajectory records (`bench: "loadgen.c<conns>.p<pipeline>"`,
+//! with `p50_ns`/`p99_ns`/`p999_ns` extras `bench_ci --loadgen`
+//! ignores). Banners go to stderr, stdout stays machine-readable.
+
+use hemlock_async::catalog::{self, AsyncCatalogEntry, AsyncLockVisitor};
+use hemlock_core::raw::RawTryLock;
+use hemlock_harness::executor::TaskPool;
+use hemlock_harness::{fmt_f64, Histogram, Mt19937, Reactor, Spec, Table, Zipf};
+use hemlock_minikv::{AsyncKv, Db, Options};
+use hemlock_net::{spawn_server, AsyncConn, Client, Op, ServerHandle};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::task::Poll;
+use std::time::{Duration, Instant};
+
+#[derive(Clone, Copy)]
+struct Workload {
+    conns: usize,
+    workers: usize,
+    pipeline: usize,
+    keys: u64,
+    theta: f64,
+    read_pct: u32,
+    value_size: usize,
+    duration: Duration,
+    /// Open-loop target in ops/s across all connections; `None` = closed
+    /// loop.
+    rate: Option<f64>,
+}
+
+struct RunStats {
+    ops: u64,
+    elapsed: Duration,
+    latency: Histogram,
+}
+
+fn key_bytes(rank: u64) -> Vec<u8> {
+    format!("key{rank:08}").into_bytes()
+}
+
+/// Sleeps until `deadline` by re-registering with the reactor each tick
+/// (the open-loop pacer; resolution is the reactor tick).
+async fn sleep_until(reactor: &Reactor, deadline: Instant) {
+    std::future::poll_fn(|cx| {
+        if Instant::now() >= deadline {
+            Poll::Ready(())
+        } else {
+            reactor.register(cx.waker());
+            Poll::Pending
+        }
+    })
+    .await
+}
+
+/// One measured run: preload the keyspace, then hammer it for
+/// `duration` from `conns` pipelined connections.
+fn run_once(addr: SocketAddr, w: Workload) -> std::io::Result<RunStats> {
+    // Preload over one blocking connection so GETs hit: every key gets a
+    // value of the configured size.
+    let mut pre = Client::connect(addr)?;
+    let value = vec![b'v'; w.value_size];
+    let keys: Vec<Vec<u8>> = (0..w.keys).map(key_bytes).collect();
+    for chunk in keys.chunks(512) {
+        let ops: Vec<Op<'_>> = chunk.iter().map(|k| Op::Put(k, &value)).collect();
+        pre.pipeline(&ops)?;
+    }
+    drop(pre);
+
+    let pool = TaskPool::new(w.workers);
+    let reactor = Arc::new(Reactor::new());
+    let zipf = Arc::new(Zipf::new(w.keys, w.theta).expect("validated by main"));
+    let stop = Arc::new(AtomicBool::new(false));
+    // Connect before starting the clock so the measured window is all
+    // steady state.
+    let conns: Vec<AsyncConn> = (0..w.conns)
+        .map(|_| AsyncConn::connect(addr))
+        .collect::<std::io::Result<_>>()?;
+
+    let start = Instant::now();
+    let handles: Vec<_> = conns
+        .into_iter()
+        .enumerate()
+        .map(|(i, mut conn)| {
+            let reactor = Arc::clone(&reactor);
+            let zipf = Arc::clone(&zipf);
+            let stop = Arc::clone(&stop);
+            let value = value.clone();
+            // Per-connection pacing interval: each batch of `pipeline`
+            // ops is this connection's share of the open-loop rate.
+            let batch_every = w
+                .rate
+                .map(|r| Duration::from_secs_f64(w.pipeline as f64 * w.conns as f64 / r));
+            pool.spawn(async move {
+                let mut rng = Mt19937::new(0xC0FFEE ^ (i as u32).wrapping_mul(0x9E37_79B9));
+                let mut latency = Histogram::new();
+                let mut ops_done = 0u64;
+                let mut next_send = Instant::now();
+                loop {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    if let Some(every) = batch_every {
+                        sleep_until(&reactor, next_send).await;
+                        next_send += every;
+                    }
+                    let batch_keys: Vec<Vec<u8>> = (0..w.pipeline)
+                        .map(|_| key_bytes(zipf.sample(&mut rng)))
+                        .collect();
+                    let ops: Vec<Op<'_>> = batch_keys
+                        .iter()
+                        .map(|k| {
+                            if rng.below(100) < w.read_pct {
+                                Op::Get(k)
+                            } else {
+                                Op::Put(k, &value)
+                            }
+                        })
+                        .collect();
+                    let t0 = Instant::now();
+                    match conn.batch(&reactor, &ops).await {
+                        Ok(resps) => {
+                            let ns = t0.elapsed().as_nanos() as u64;
+                            for _ in &resps {
+                                latency.record(ns);
+                            }
+                            ops_done += resps.len() as u64;
+                        }
+                        Err(_) => break, // server gone; report what we have
+                    }
+                }
+                (ops_done, latency)
+            })
+        })
+        .collect();
+
+    std::thread::sleep(w.duration);
+    stop.store(true, Ordering::Relaxed);
+    let mut stats = RunStats {
+        ops: 0,
+        elapsed: Duration::ZERO,
+        latency: Histogram::new(),
+    };
+    for h in handles {
+        let (ops, lat) = h.join();
+        stats.ops += ops;
+        stats.latency.merge(&lat);
+    }
+    stats.elapsed = start.elapsed();
+    Ok(stats)
+}
+
+/// Spawns the in-process server for whichever lock type the catalog key
+/// dispatches to.
+struct SpawnInProc {
+    pool: Arc<TaskPool>,
+}
+
+impl AsyncLockVisitor for SpawnInProc {
+    type Output = std::io::Result<ServerHandle>;
+    fn visit<L: RawTryLock + 'static>(self, _entry: &'static AsyncCatalogEntry) -> Self::Output {
+        let kv: Arc<dyn AsyncKv> = Arc::new(Db::<L>::new(Options::default())).into_async_kv();
+        spawn_server(&self.pool, kv, "127.0.0.1:0".parse().unwrap())
+    }
+}
+
+fn or_exit<T>(r: Result<T, String>) -> T {
+    r.unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    })
+}
+
+struct Report {
+    lock: String,
+    workers: usize,
+    w: Workload,
+    ops_per_sec: f64,
+    p50_ns: u64,
+    p99_ns: u64,
+    p999_ns: u64,
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// One bench-trajectory record plus latency extras (ignored by
+/// `bench_ci`'s schema, preserved for humans).
+fn to_json(r: &Report) -> String {
+    format!(
+        "[\n  {{\"bench\": \"loadgen.c{}.p{}\", \"lock\": \"{}\", \"threads\": {}, \
+         \"ops_per_sec\": {:.1}, \"p50_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}}}\n]\n",
+        r.w.conns,
+        r.w.pipeline,
+        json_escape(&r.lock),
+        r.workers,
+        r.ops_per_sec,
+        r.p50_ns,
+        r.p99_ns,
+        r.p999_ns,
+    )
+}
+
+fn main() {
+    let spec = Spec::new(
+        "loadgen",
+        "Pipelined TCP load generator for the networked minikv server",
+    )
+    .value(
+        "addr",
+        "connect to an external kvserver at ip:port (default: spawn in-process)",
+    )
+    .value(
+        "lock",
+        "in-process server's `async.*` lock and the record label (default async.hemlock; with --addr, pass the remote server's lock)",
+    )
+    .value(
+        "server-threads",
+        "in-process server TaskPool workers (default 4; ignored with --addr)",
+    )
+    .value("conns", "pipelined connections (default 64)")
+    .value("threads", "client TaskPool workers (default 4)")
+    .value("pipeline", "requests in flight per connection (default 8)")
+    .value("keys", "key-space size (default 65536)")
+    .value(
+        "zipf",
+        "Zipfian skew theta in [0,1); 0 = uniform (default 0.99)",
+    )
+    .value("read-pct", "percentage of GETs, rest PUTs (default 90)")
+    .value("value-size", "PUT payload bytes (default 100)")
+    .value(
+        "rate",
+        "open-loop target ops/s across all connections (default: closed loop)",
+    )
+    .value("secs", "seconds per measured run (default 2)")
+    .value("runs", "median-of-N runs (default 1)")
+    .flag(
+        "quick",
+        "smoke-test preset (8 conns, small keyspace, short run)",
+    )
+    .flag("json", "emit one normalized bench-trajectory JSON record");
+    let args = spec.parse_env();
+
+    let quick = args.has("quick");
+    let w = Workload {
+        conns: or_exit(args.conns()).unwrap_or(if quick { 8 } else { 64 }),
+        workers: args.get("threads", 4usize).max(1),
+        pipeline: or_exit(args.pipeline()).unwrap_or(if quick { 4 } else { 8 }),
+        keys: args.get("keys", if quick { 1024u64 } else { 65_536 }),
+        theta: args.get("zipf", 0.99f64),
+        read_pct: args.get("read-pct", 90u32).min(100),
+        value_size: or_exit(args.value_size()).unwrap_or(100),
+        duration: args.duration("secs", if quick { 0.3 } else { 2.0 }),
+        rate: or_exit(args.get_parsed::<f64>("rate")).filter(|r| *r > 0.0),
+    };
+    if w.keys == 0 {
+        or_exit::<()>(Err("--keys must be positive".to_string()));
+    }
+    // Validate the Zipf parameters up front with the CLI-shaped error.
+    or_exit(Zipf::new(w.keys, w.theta).map(|_| ()));
+    let runs: usize = args.get("runs", 1usize).max(1);
+    let json = args.has("json");
+
+    // External server, or an in-process one on its own pool.
+    let lock_key = args.get_str("lock", "async.hemlock");
+    let (addr, lock_name, server) = match or_exit(args.addr()) {
+        Some(addr) => (addr, lock_key.clone(), None),
+        None => {
+            let entry = catalog::find(&lock_key).unwrap_or_else(|| {
+                or_exit::<&AsyncCatalogEntry>(Err(format!(
+                    "unknown async lock {lock_key:?}; known async locks: {}",
+                    catalog::keys().join(", ")
+                )))
+            });
+            let server_pool = Arc::new(TaskPool::new(args.get("server-threads", 4usize).max(1)));
+            let server = or_exit(
+                catalog::with_async_lock_type(
+                    entry.key,
+                    SpawnInProc {
+                        pool: Arc::clone(&server_pool),
+                    },
+                )
+                .expect("async catalog entries always dispatch")
+                .map_err(|e| format!("cannot spawn in-process server: {e}")),
+            );
+            // The pool must outlive the server; stash it via a leak-free
+            // move into the tuple below.
+            (
+                server.local_addr(),
+                entry.meta.name.to_string(),
+                Some((server, server_pool)),
+            )
+        }
+    };
+
+    eprintln!(
+        "# loadgen: {} conns x {} pipeline -> {} ({}), {} run(s) x {:?}, {} keys zipf {}, {}% reads",
+        w.conns,
+        w.pipeline,
+        addr,
+        lock_name,
+        runs,
+        w.duration,
+        w.keys,
+        w.theta,
+        w.read_pct,
+    );
+
+    let mut results: Vec<RunStats> = (0..runs)
+        .map(|_| {
+            run_once(addr, w).unwrap_or_else(|e| {
+                eprintln!("error: load run failed: {e}");
+                std::process::exit(1);
+            })
+        })
+        .collect();
+    results.sort_by_key(|r| r.ops);
+    let median = results.remove(results.len() / 2);
+
+    if let Some((server, _pool)) = server {
+        let stats = server.shutdown();
+        eprintln!(
+            "# loadgen: in-process server served {} request(s) over {} connection(s)",
+            stats.requests, stats.connections
+        );
+    }
+
+    let report = Report {
+        lock: lock_name,
+        workers: w.workers,
+        w,
+        ops_per_sec: median.ops as f64 / median.elapsed.as_secs_f64(),
+        p50_ns: median.latency.quantile(0.50),
+        p99_ns: median.latency.quantile(0.99),
+        p999_ns: median.latency.quantile(0.999),
+    };
+
+    if json {
+        print!("{}", to_json(&report));
+        return;
+    }
+    let mut t = Table::new(vec![
+        "Lock", "Conns", "Pipeline", "Kops/s", "p50(us)", "p99(us)", "p999(us)",
+    ]);
+    t.row(vec![
+        report.lock.clone(),
+        report.w.conns.to_string(),
+        report.w.pipeline.to_string(),
+        fmt_f64(report.ops_per_sec / 1e3, 1),
+        fmt_f64(report.p50_ns as f64 / 1e3, 1),
+        fmt_f64(report.p99_ns as f64 / 1e3, 1),
+        fmt_f64(report.p999_ns as f64 / 1e3, 1),
+    ]);
+    print!("{}", t.render());
+}

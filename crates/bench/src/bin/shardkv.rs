@@ -27,7 +27,7 @@ use hemlock_core::meta::LockMeta;
 use hemlock_core::pad::CachePadded;
 use hemlock_core::raw::{RawLock, RawTryLock};
 use hemlock_harness::executor::TaskPool;
-use hemlock_harness::{fmt_f64, Spec, Table};
+use hemlock_harness::{fmt_f64, Mt19937, Spec, Table, Zipf};
 use hemlock_locks::catalog::{self, CatalogEntry, LockVisitor, TimedLockVisitor};
 use hemlock_shard::ShardedTable;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -48,7 +48,35 @@ struct Workload {
     threads: usize,
     read_pct: u64,
     keys: u64,
+    /// `Some(theta)`: Zipfian key skew (hot shards); `None`: uniform.
+    theta: Option<f64>,
     duration: Duration,
+}
+
+/// Per-worker key sampler: Zipfian (seeded Mersenne Twister through the
+/// shared precomputed [`Zipf`]) or the original uniform splitmix draw.
+struct KeyPick {
+    zipf: Option<(Arc<Zipf>, Mt19937)>,
+}
+
+impl KeyPick {
+    fn new(zipf: Option<&Arc<Zipf>>, worker: u64) -> Self {
+        Self {
+            zipf: zipf.map(|z| {
+                let seed = 0x5EED_0000 ^ (worker as u32 + 1).wrapping_mul(0x9E37_79B9);
+                (Arc::clone(z), Mt19937::new(seed))
+            }),
+        }
+    }
+
+    /// Next key: Zipf rank from the sampler, or `r % keys` (the original
+    /// uniform draw, `r` being the worker's splitmix output).
+    fn pick(&mut self, r: u64, keys: u64) -> u64 {
+        match &mut self.zipf {
+            Some((z, rng)) => z.sample(rng),
+            None => r % keys,
+        }
+    }
 }
 
 /// One timed run: returns (ops/sec, contended fraction).
@@ -58,6 +86,9 @@ fn run_once<L: RawLock>(w: Workload) -> (f64, f64) {
         table.insert(k, k);
     }
     table.reset_stats(); // census the measured interval only
+    let zipf = w
+        .theta
+        .map(|t| Arc::new(Zipf::new(w.keys, t).expect("validated in main")));
     let stop = AtomicBool::new(false);
     let counters: Vec<CachePadded<AtomicU64>> = (0..w.threads)
         .map(|_| CachePadded::new(AtomicU64::new(0)))
@@ -67,12 +98,13 @@ fn run_once<L: RawLock>(w: Workload) -> (f64, f64) {
         for (t, ops) in counters.iter().enumerate() {
             let table = &table;
             let stop = &stop;
+            let mut pick = KeyPick::new(zipf.as_ref(), t as u64);
             s.spawn(move || {
                 let mut state = 0x243F6A8885A308D3u64.wrapping_mul(t as u64 + 1);
                 let mut local = 0u64;
                 while !stop.load(Ordering::Relaxed) {
                     let r = splitmix64(&mut state);
-                    let key = r % w.keys;
+                    let key = pick.pick(r, w.keys);
                     if (r >> 32) % 100 < w.read_pct {
                         std::hint::black_box(table.get(&key));
                     } else {
@@ -107,6 +139,9 @@ fn run_once_async<L: RawTryLock + 'static>(w: Workload, tasks: usize) -> (f64, f
         table.insert(k, k);
     }
     table.reset_stats();
+    let zipf = w
+        .theta
+        .map(|t| Arc::new(Zipf::new(w.keys, t).expect("validated in main")));
     let stop = Arc::new(AtomicBool::new(false));
     let pool = TaskPool::new(w.threads);
     let start = Instant::now();
@@ -114,12 +149,13 @@ fn run_once_async<L: RawTryLock + 'static>(w: Workload, tasks: usize) -> (f64, f
         .map(|t| {
             let table = Arc::clone(&table);
             let stop = Arc::clone(&stop);
+            let mut pick = KeyPick::new(zipf.as_ref(), t as u64);
             pool.spawn(async move {
                 let mut state = 0x243F6A8885A308D3u64.wrapping_mul(t as u64 + 1);
                 let mut local = 0u64;
                 while !stop.load(Ordering::Relaxed) {
                     let r = splitmix64(&mut state);
-                    let key = r % w.keys;
+                    let key = pick.pick(r, w.keys);
                     if (r >> 32) % 100 < w.read_pct {
                         std::hint::black_box(table.get_async(&key).await);
                     } else {
@@ -162,6 +198,7 @@ struct ShardSweep<'a> {
     shards: usize,
     read_pct: u64,
     keys: u64,
+    theta: Option<f64>,
 }
 
 impl LockVisitor for ShardSweep<'_> {
@@ -177,6 +214,7 @@ impl LockVisitor for ShardSweep<'_> {
                         threads,
                         read_pct: self.read_pct,
                         keys: self.keys,
+                        theta: self.theta,
                         duration: self.sweep.duration,
                     },
                     self.sweep.runs,
@@ -207,6 +245,7 @@ struct AsyncShardSweep<'a> {
     shards: usize,
     read_pct: u64,
     keys: u64,
+    theta: Option<f64>,
     tasks: usize,
 }
 
@@ -223,6 +262,7 @@ impl TimedLockVisitor for AsyncShardSweep<'_> {
                         threads,
                         read_pct: self.read_pct,
                         keys: self.keys,
+                        theta: self.theta,
                         duration: self.sweep.duration,
                     },
                     self.tasks,
@@ -264,6 +304,11 @@ fn main() {
         )
         .value("keys", "distinct keys in the working set")
         .value(
+            "zipf",
+            "Zipfian key-skew theta in [0,1): hot keys pile onto hot shards \
+             (default: uniform keys)",
+        )
+        .value(
             "tasks",
             "async mode: comma-separated task counts per point, driven \
              through get_async/update_async on a --threads-worker pool",
@@ -300,6 +345,17 @@ fn main() {
         std::process::exit(2);
     }
     let keys: u64 = args.get("keys", if quick { 4_096 } else { 65_536 });
+    let theta: Option<f64> = args.get_parsed("zipf").unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    if let Some(t) = theta {
+        // Validate once, with the sampler's CLI-shaped error.
+        if let Err(e) = Zipf::new(keys.max(1), t) {
+            eprintln!("error: --zipf: {e}");
+            std::process::exit(2);
+        }
+    }
     let tasks_mode: Option<Vec<usize>> = args.tasks().unwrap_or_else(|e| {
         eprintln!("error: {e}");
         std::process::exit(2);
@@ -307,8 +363,11 @@ fn main() {
     let json = args.has("json");
 
     eprintln!(
-        "# shardkv: {} key(s), {read_pct}% reads, {} run(s) x {:?} per point",
-        keys, sweep.runs, sweep.duration
+        "# shardkv: {} key(s){}, {read_pct}% reads, {} run(s) x {:?} per point",
+        keys,
+        theta.map_or(String::new(), |t| format!(" (zipf {t})")),
+        sweep.runs,
+        sweep.duration
     );
 
     let mut rows: Vec<Row> = Vec::new();
@@ -323,6 +382,7 @@ fn main() {
                             shards,
                             read_pct,
                             keys,
+                            theta,
                         },
                     )
                     .expect("catalog entry key always dispatches");
@@ -337,6 +397,7 @@ fn main() {
                                 shards,
                                 read_pct,
                                 keys,
+                                theta,
                                 tasks,
                             },
                         ) {

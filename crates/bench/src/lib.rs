@@ -33,10 +33,12 @@
 //! async mode on the in-tree executor), `rwbench` (read-fraction × thread
 //! sweep of the reader-writer subsystem, `hemlock-rw` — its `--lock`
 //! additionally accepts the `rw.*` catalog), `timeoutbench` (abortable
-//! acquisition), and `asyncbench` (tasks × worker-threads sweep of the
-//! waker-parking `AsyncMutex` over the `async.*` catalog). `bench_ci`
-//! normalizes all machine-readable outputs into the bench-trajectory
-//! artifact and gates regressions (see [`ci`]).
+//! acquisition), `asyncbench` (tasks × worker-threads sweep of the
+//! waker-parking `AsyncMutex` over the `async.*` catalog), and `loadgen`
+//! (pipelined TCP load against the `hemlock-net` minikv server — conns ×
+//! pipeline depth with Zipfian key skew, reporting p50/p99/p999).
+//! `bench_ci` normalizes all machine-readable outputs into the
+//! bench-trajectory artifact and gates regressions (see [`ci`]).
 
 #![warn(missing_docs)]
 

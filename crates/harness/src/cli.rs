@@ -303,6 +303,68 @@ impl Args {
         };
         parse_tasks(raw).map(Some)
     }
+
+    /// The `--addr <host:port>` socket address, if given, parsed strictly
+    /// (same contract as [`Args::timeout`]). Shared by the `kvserver` bin
+    /// (where to bind) and `loadgen` (where to connect; omitting it spawns
+    /// an in-process server instead).
+    pub fn addr(&self) -> Result<Option<std::net::SocketAddr>, String> {
+        let Some(raw) = self.values.get("addr") else {
+            return Ok(None);
+        };
+        parse_addr(raw).map(Some)
+    }
+
+    /// The `--conns <n>` connection count, if given: strictly positive
+    /// (`loadgen` with zero connections would measure nothing).
+    pub fn conns(&self) -> Result<Option<usize>, String> {
+        self.positive("conns")
+    }
+
+    /// The `--pipeline <n>` in-flight-requests-per-connection depth, if
+    /// given: strictly positive (depth 1 *is* the unpipelined protocol;
+    /// depth 0 would send nothing — certainly a mistake).
+    pub fn pipeline(&self) -> Result<Option<usize>, String> {
+        self.positive("pipeline")
+    }
+
+    /// The `--value-size <bytes>` PUT payload size, if given: strictly
+    /// positive (benchmarking empty values exercises only the frame
+    /// headers; ask for that by measuring PING instead).
+    pub fn value_size(&self) -> Result<Option<usize>, String> {
+        self.positive("value-size")
+    }
+
+    fn positive(&self, name: &'static str) -> Result<Option<usize>, String> {
+        let Some(raw) = self.values.get(name) else {
+            return Ok(None);
+        };
+        parse_positive(name, raw).map(Some)
+    }
+}
+
+/// Parses an `--addr` value as a socket address (`host:port`, e.g.
+/// `127.0.0.1:7878` or `[::1]:7878`). Hostnames are rejected — this
+/// offline workspace does no DNS — with a message naming the accepted
+/// forms.
+pub fn parse_addr(raw: &str) -> Result<std::net::SocketAddr, String> {
+    raw.parse().map_err(|_| {
+        format!(
+            "invalid --addr {raw:?}: expected an ip:port address \
+             (e.g. `127.0.0.1:7878` or `[::1]:7878`; hostnames are not resolved)"
+        )
+    })
+}
+
+/// Parses a strictly positive integer option value (`--conns`,
+/// `--pipeline`, `--value-size`); the error names the option.
+pub fn parse_positive(name: &str, raw: &str) -> Result<usize, String> {
+    match raw.parse::<usize>() {
+        Ok(n) if n > 0 => Ok(n),
+        _ => Err(format!(
+            "invalid --{name} {raw:?}: expected a positive integer"
+        )),
+    }
 }
 
 /// Parses a `--tasks` value: one or more comma-separated **strictly
@@ -547,6 +609,67 @@ mod tests {
             .parse(["--taks".to_string(), "5".to_string()])
             .unwrap_err();
         assert!(e.contains("did you mean --tasks"), "{e}");
+    }
+
+    #[test]
+    fn net_options_parse_strictly_with_wait_style_errors() {
+        use std::net::SocketAddr;
+        assert_eq!(
+            parse_addr("127.0.0.1:7878"),
+            Ok("127.0.0.1:7878".parse::<SocketAddr>().unwrap())
+        );
+        assert_eq!(
+            parse_addr("[::1]:80"),
+            Ok("[::1]:80".parse::<SocketAddr>().unwrap())
+        );
+        for bad in ["localhost:80", "1.2.3.4", ":80", "1.2.3.4:notaport", ""] {
+            let e = parse_addr(bad).unwrap_err();
+            assert!(e.contains("--addr"), "{bad}: {e}");
+        }
+        assert_eq!(parse_positive("conns", "64"), Ok(64));
+        for bad in ["0", "-1", "x", "", "1.5"] {
+            let e = parse_positive("pipeline", bad).unwrap_err();
+            assert!(e.contains("--pipeline"), "{bad}: {e}");
+        }
+        // Wired through Args like --timeout is, with did-you-mean intact.
+        let spec = Spec::new("t", "x")
+            .value("addr", "x")
+            .value("conns", "x")
+            .value("pipeline", "x")
+            .value("value-size", "x");
+        let a = spec
+            .parse(
+                [
+                    "--addr",
+                    "127.0.0.1:9000",
+                    "--conns",
+                    "64",
+                    "--pipeline",
+                    "8",
+                    "--value-size",
+                    "100",
+                ]
+                .map(String::from),
+            )
+            .unwrap();
+        assert_eq!(
+            a.addr().unwrap(),
+            Some("127.0.0.1:9000".parse::<SocketAddr>().unwrap())
+        );
+        assert_eq!(a.conns().unwrap(), Some(64));
+        assert_eq!(a.pipeline().unwrap(), Some(8));
+        assert_eq!(a.value_size().unwrap(), Some(100));
+        let empty = spec.parse(std::iter::empty()).unwrap();
+        assert_eq!(empty.addr().unwrap(), None);
+        assert_eq!(empty.conns().unwrap(), None);
+        let e = spec
+            .parse(["--cons".to_string(), "4".to_string()])
+            .unwrap_err();
+        assert!(e.contains("did you mean --conns"), "{e}");
+        let bad = spec
+            .parse(["--value-size".to_string(), "0".to_string()])
+            .unwrap();
+        assert!(bad.value_size().unwrap_err().contains("--value-size"));
     }
 
     #[test]

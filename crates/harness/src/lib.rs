@@ -16,7 +16,12 @@
 //!   `hemlock-bench`;
 //! - [`executor`] — a minimal in-tree async runtime (`block_on` + a
 //!   multi-worker `TaskPool`), so the `hemlock-async` subsystem's benches
-//!   and tests need no external runtime in this offline workspace.
+//!   and tests need no external runtime in this offline workspace;
+//! - [`reactor`] — the tick-based readiness reactor backing
+//!   `hemlock-net`'s nonblocking sockets (std-only; no epoll bindings in
+//!   this offline workspace);
+//! - [`zipf`] — a seeded Zipfian key-distribution sampler (Gray et al. /
+//!   YCSB method) for service-shaped workloads (`loadgen`, `shardkv`).
 
 #![warn(missing_docs)]
 
@@ -28,8 +33,10 @@ pub mod measure;
 pub mod mt19937;
 pub mod multiwait;
 pub mod mutexbench;
+pub mod reactor;
 pub mod ring;
 pub mod table;
+pub mod zipf;
 
 pub use cli::{Args, Spec};
 pub use executor::{block_on, JoinHandle, TaskPool};
@@ -39,8 +46,10 @@ pub use measure::{median_of, thread_sweep, Throughput};
 pub use mt19937::Mt19937;
 pub use multiwait::{multiwait_bench, MultiwaitConfig};
 pub use mutexbench::{mutex_bench, uncontended_latency_ns, Contention, MutexBenchConfig};
+pub use reactor::Reactor;
 pub use ring::{dyn_ring_bench, ring_bench, RingWait};
 pub use table::{fmt_f64, Table};
+pub use zipf::Zipf;
 
 #[cfg(test)]
 mod proptests {

@@ -73,6 +73,17 @@ impl Mt19937 {
     pub fn below(&mut self, bound: u32) -> u32 {
         self.next_u32() % bound
     }
+
+    /// Uniform `f64` in `[0, 1)` with 53-bit resolution — the reference
+    /// implementation's `genrand_res53` (two tempered outputs combined),
+    /// so the Zipfian sampler's inversion step gets full mantissa
+    /// precision rather than a 32-bit lattice.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        let a = (self.next_u32() >> 5) as f64; // 27 bits
+        let b = (self.next_u32() >> 6) as f64; // 26 bits
+        (a * 67_108_864.0 + b) * (1.0 / 9_007_199_254_740_992.0)
+    }
 }
 
 impl Default for Mt19937 {
@@ -128,6 +139,20 @@ mod tests {
         let mut rng = Mt19937::new(7);
         for _ in 0..10_000 {
             assert!(rng.below(400) < 400);
+        }
+    }
+
+    #[test]
+    fn next_f64_is_unit_interval_and_matches_res53() {
+        let mut rng = Mt19937::new(5489);
+        // genrand_res53 of the first two reference outputs with seed 5489
+        // (3499211612, 581869302): (a*2^26 + b) / 2^53.
+        let expected = ((3499211612u64 >> 5) as f64 * 67_108_864.0 + (581869302u64 >> 6) as f64)
+            / 9_007_199_254_740_992.0;
+        assert_eq!(rng.next_f64(), expected);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x), "{x}");
         }
     }
 

@@ -1,0 +1,271 @@
+//! A tiny tick-based readiness reactor for std-only nonblocking I/O.
+//!
+//! The workspace is offline and dependency-free, so the networked layer
+//! (`hemlock-net`) cannot lean on `mio`/epoll bindings. What it *can* do
+//! with `std` alone is put sockets in nonblocking mode and attempt I/O
+//! from a task; the missing piece is "park this task until the socket
+//! might be ready". This module supplies that piece in the same shape as
+//! [`hemlock_core::wakerset::WakerSet`]: a registry of parked wakers plus
+//! a notifier — except the notifier here is a **driver thread ticking a
+//! clock**, because without epoll there is no kernel edge to subscribe
+//! to.
+//!
+//! The protocol, from a task's `poll`:
+//!
+//! 1. attempt the nonblocking syscall (`read`/`write`/`accept`);
+//! 2. on `WouldBlock`, [`Reactor::register`] the waker and return
+//!    `Pending`;
+//! 3. the driver wakes every registered waker each tick; the task
+//!    re-attempts, and either progresses or re-registers.
+//!
+//! Unlike the lock-side `WakerSet`, no Dekker fence pair is needed: the
+//! wakeup source is time, not a racing releaser, so a registration can
+//! never be "missed" — at worst it waits one tick. The driver parks on a
+//! condvar while no waker is registered, so an idle reactor costs zero
+//! CPU; under load the tick bounds added latency at `tick` (default
+//! 50 µs) per blocked attempt, a deliberate trade of worst-case latency
+//! for portability. Ready sockets never touch the reactor at all — a
+//! task whose bytes are already buffered stays on the executor's fast
+//! path.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::task::Waker;
+use std::time::Duration;
+
+/// Default tick: a compromise between busy-polling (latency) and wasted
+/// wakeups (CPU). See the module docs.
+pub const DEFAULT_TICK: Duration = Duration::from_micros(50);
+
+struct Shared {
+    wakers: Mutex<Vec<Waker>>,
+    /// Signals the driver out of its idle park when the first waker
+    /// registers (or shutdown is requested).
+    arrived: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// The readiness reactor: a waker registry plus its driver thread.
+///
+/// Dropping the reactor stops the driver and wakes everything still
+/// registered (so parked tasks can observe their own shutdown flags
+/// rather than sleeping forever).
+pub struct Reactor {
+    shared: Arc<Shared>,
+    tick: Duration,
+    driver: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Reactor {
+    /// Starts a reactor with the [`DEFAULT_TICK`].
+    pub fn new() -> Self {
+        Self::with_tick(DEFAULT_TICK)
+    }
+
+    /// Starts a reactor waking registered tasks every `tick` while any
+    /// are parked.
+    pub fn with_tick(tick: Duration) -> Self {
+        let shared = Arc::new(Shared {
+            wakers: Mutex::new(Vec::new()),
+            arrived: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let driver = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("hemlock-reactor".to_string())
+                .spawn(move || driver_loop(&shared, tick))
+                .expect("spawn reactor driver")
+        };
+        Self {
+            shared,
+            tick,
+            driver: Some(driver),
+        }
+    }
+
+    /// Registers `waker` for the next tick. Call **after** a nonblocking
+    /// attempt returned `WouldBlock`; the caller will be woken within one
+    /// tick and must re-attempt (a wake is a hint, not a readiness
+    /// guarantee).
+    pub fn register(&self, waker: &Waker) {
+        let mut g = self.shared.wakers.lock().expect("reactor wakers");
+        let was_empty = g.is_empty();
+        g.push(waker.clone());
+        drop(g);
+        if was_empty {
+            // First parker: lift the driver out of its idle park.
+            self.shared.arrived.notify_one();
+        }
+    }
+
+    /// Number of currently parked wakers (diagnostics; racy).
+    pub fn parked(&self) -> usize {
+        self.shared.wakers.lock().expect("reactor wakers").len()
+    }
+
+    /// The configured tick.
+    pub fn tick(&self) -> Duration {
+        self.tick
+    }
+}
+
+impl Default for Reactor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Drop for Reactor {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        {
+            // Notify under the mutex: the driver holds it from its loop top
+            // until it enters a condvar wait, so this notification cannot
+            // land in the gap between its shutdown check and the wait (a
+            // lost notify here would stall this join for a full tick).
+            let _g = self.shared.wakers.lock().expect("reactor wakers");
+            self.shared.arrived.notify_all();
+        }
+        if let Some(d) = self.driver.take() {
+            let _ = d.join();
+        }
+        // Anything still parked gets one final wake so its task can run
+        // to a shutdown check instead of leaking.
+        let drained: Vec<Waker> = {
+            let mut g = self.shared.wakers.lock().expect("reactor wakers");
+            core::mem::take(&mut *g)
+        };
+        for w in drained {
+            w.wake();
+        }
+    }
+}
+
+fn driver_loop(shared: &Shared, tick: Duration) {
+    loop {
+        // Idle-park until at least one waker is registered. The mutex is
+        // held from here until a condvar wait begins, so a shutdown
+        // notification (sent under the same mutex) is never lost.
+        let mut g = shared.wakers.lock().expect("reactor wakers");
+        while g.is_empty() {
+            if shared.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            g = shared.arrived.wait(g).expect("reactor wakers");
+        }
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        // One tick of latency — as an interruptible wait, not a bare
+        // sleep, so Drop's shutdown notification cuts it short instead of
+        // stalling the join for a full tick (with a long tick, forever in
+        // practice). The condvar releases the mutex while waiting, so
+        // register() never blocks on the driver.
+        let (mut g, _) = shared
+            .arrived
+            .wait_timeout(g, tick)
+            .expect("reactor wakers");
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        // Wake everyone outside the lock (waker code schedules tasks and
+        // may take executor locks).
+        let drained: Vec<Waker> = core::mem::take(&mut *g);
+        drop(g);
+        for w in drained {
+            w.wake();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::task::Wake;
+
+    struct Counting(AtomicUsize);
+    impl Wake for Counting {
+        fn wake(self: Arc<Self>) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn registered_waker_fires_within_a_tick_or_two() {
+        let reactor = Reactor::with_tick(Duration::from_micros(100));
+        let flag = Arc::new(Counting(AtomicUsize::new(0)));
+        reactor.register(&Waker::from(Arc::clone(&flag)));
+        let t0 = std::time::Instant::now();
+        while flag.0.load(Ordering::SeqCst) == 0 {
+            assert!(
+                t0.elapsed() < Duration::from_secs(5),
+                "reactor never ticked"
+            );
+            std::thread::yield_now();
+        }
+        assert_eq!(reactor.parked(), 0, "tick must drain the registry");
+    }
+
+    #[test]
+    fn re_registration_gets_a_fresh_tick() {
+        let reactor = Reactor::with_tick(Duration::from_micros(100));
+        let flag = Arc::new(Counting(AtomicUsize::new(0)));
+        for expected in 1..=3 {
+            reactor.register(&Waker::from(Arc::clone(&flag)));
+            let t0 = std::time::Instant::now();
+            while flag.0.load(Ordering::SeqCst) < expected {
+                assert!(t0.elapsed() < Duration::from_secs(5));
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    #[test]
+    fn drop_wakes_leftover_registrations() {
+        let reactor = Reactor::with_tick(Duration::from_secs(3600)); // never ticks
+        let flag = Arc::new(Counting(AtomicUsize::new(0)));
+        reactor.register(&Waker::from(Arc::clone(&flag)));
+        drop(reactor);
+        assert_eq!(
+            flag.0.load(Ordering::SeqCst),
+            1,
+            "drop must fire the final wake"
+        );
+    }
+
+    #[test]
+    fn idle_reactor_spins_nothing() {
+        // No registration: the driver must be parked, not ticking. This is
+        // only observable as "drop returns promptly" (a busy loop would
+        // still return, so the real assertion is the condvar park above —
+        // but a hang here would time the suite out).
+        let reactor = Reactor::new();
+        assert_eq!(reactor.parked(), 0);
+        drop(reactor);
+    }
+
+    #[test]
+    fn drives_a_real_future_on_the_executor() {
+        use crate::executor::TaskPool;
+        // A future that needs N reactor ticks to complete — the same shape
+        // as a nonblocking read that keeps returning WouldBlock.
+        let reactor = Arc::new(Reactor::with_tick(Duration::from_micros(100)));
+        let pool = TaskPool::new(2);
+        let r = Arc::clone(&reactor);
+        let h = pool.spawn(async move {
+            let mut remaining = 5u32;
+            std::future::poll_fn(move |cx| {
+                if remaining == 0 {
+                    return std::task::Poll::Ready(42u32);
+                }
+                remaining -= 1;
+                r.register(cx.waker());
+                std::task::Poll::Pending
+            })
+            .await
+        });
+        assert_eq!(h.join(), 42);
+    }
+}

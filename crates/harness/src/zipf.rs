@@ -1,0 +1,189 @@
+//! Seeded Zipfian key-distribution generator.
+//!
+//! Service-shaped KV workloads are skewed: a few keys take most of the
+//! traffic. The standard way to model that (YCSB, and the method it took
+//! from Gray et al., "Quickly Generating Billion-Record Synthetic
+//! Databases", SIGMOD '94) is a Zipfian distribution over `[0, n)` with
+//! skew parameter `theta`: key rank `k` is drawn with probability
+//! proportional to `1 / (k+1)^theta`.
+//!
+//! The sampler here is the **rejection-free inversion** form: the zeta
+//! normalization constants are precomputed once in [`Zipf::new`] (one
+//! `O(n)` pass), after which every [`Zipf::sample`] is a handful of
+//! floating-point operations on one uniform draw — no retry loop, so the
+//! per-op cost is flat regardless of skew. Randomness comes from the
+//! caller's [`Mt19937`], keeping workloads seeded and reproducible across
+//! `loadgen` / `shardkv` runs.
+//!
+//! `theta = 0` degenerates to the uniform distribution; `theta -> 1`
+//! concentrates mass on the head (YCSB's default is `0.99`). Values
+//! `>= 1` are rejected — the textbook constants are only defined for
+//! `theta` in `[0, 1)`.
+
+use crate::mt19937::Mt19937;
+
+/// A precomputed Zipfian sampler over the key space `[0, n)`.
+///
+/// ```
+/// use hemlock_harness::{Mt19937, Zipf};
+///
+/// let zipf = Zipf::new(1_000, 0.99).unwrap();
+/// let mut rng = Mt19937::new(42);
+/// let key = zipf.sample(&mut rng);
+/// assert!(key < 1_000);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    n: u64,
+    /// `1 / (1 - theta)` — the inversion exponent.
+    alpha: f64,
+    /// `zeta(n, theta)` — the full normalization constant.
+    zetan: f64,
+    /// Gray et al.'s `eta` interpolation constant.
+    eta: f64,
+    /// `1 + 0.5^theta` — the precomputed rank-1 threshold.
+    half_pow_theta: f64,
+}
+
+impl Zipf {
+    /// Precomputes a sampler for `n` keys with skew `theta` in `[0, 1)`.
+    ///
+    /// Errors (instead of producing NaN keys) on `n == 0` or a `theta`
+    /// outside the supported range — the messages are CLI-ready, so
+    /// `loadgen`/`shardkv` surface them verbatim for a bad `--zipf`.
+    pub fn new(n: u64, theta: f64) -> Result<Self, String> {
+        if n == 0 {
+            return Err("zipf: key-space size must be positive".to_string());
+        }
+        if !theta.is_finite() || !(0.0..1.0).contains(&theta) {
+            return Err(format!(
+                "zipf: skew theta must be in [0, 1), got {theta} \
+                 (0 = uniform, 0.99 = YCSB default)"
+            ));
+        }
+        let zetan = zeta(n, theta);
+        let zeta2 = zeta(2.min(n), theta);
+        let nf = n as f64;
+        Ok(Self {
+            n,
+            alpha: 1.0 / (1.0 - theta),
+            zetan,
+            eta: (1.0 - (2.0 / nf).powf(1.0 - theta)) / (1.0 - zeta2 / zetan),
+            half_pow_theta: 1.0 + 0.5f64.powf(theta),
+        })
+    }
+
+    /// Number of keys in the sampled space.
+    pub fn keys(&self) -> u64 {
+        self.n
+    }
+
+    /// Draws one key in `[0, n)`; rank 0 is the hottest key.
+    #[inline]
+    pub fn sample(&self, rng: &mut Mt19937) -> u64 {
+        let u = rng.next_f64();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < self.half_pow_theta {
+            return 1.min(self.n - 1);
+        }
+        let k = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        k.min(self.n - 1)
+    }
+}
+
+/// `zeta(n, theta) = sum_{i=1..n} 1 / i^theta`.
+fn zeta(n: u64, theta: f64) -> f64 {
+    let mut sum = 0.0;
+    for i in 1..=n {
+        sum += 1.0 / (i as f64).powf(theta);
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn head_fraction(theta: f64, n: u64, head: u64, draws: u32) -> f64 {
+        let zipf = Zipf::new(n, theta).unwrap();
+        let mut rng = Mt19937::new(0xD1CE);
+        let hits = (0..draws).filter(|_| zipf.sample(&mut rng) < head).count();
+        hits as f64 / draws as f64
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Zipf::new(0, 0.5).is_err());
+        for theta in [-0.1, 1.0, 1.5, f64::NAN, f64::INFINITY] {
+            let e = Zipf::new(10, theta).unwrap_err();
+            assert!(e.contains("theta"), "{e}");
+        }
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        for theta in [0.0, 0.5, 0.99] {
+            for n in [1u64, 2, 7, 1_000] {
+                let zipf = Zipf::new(n, theta).unwrap();
+                let mut rng = Mt19937::new(7);
+                for _ in 0..2_000 {
+                    assert!(zipf.sample(&mut rng) < n, "theta={theta} n={n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn equal_seeds_reproduce_the_stream() {
+        let zipf = Zipf::new(4_096, 0.9).unwrap();
+        let (mut a, mut b) = (Mt19937::new(99), Mt19937::new(99));
+        for _ in 0..500 {
+            assert_eq!(zipf.sample(&mut a), zipf.sample(&mut b));
+        }
+    }
+
+    #[test]
+    fn skew_is_monotone_in_theta() {
+        // The defining property: raising theta concentrates more mass on
+        // the head of the key space. Measured over the hottest 1% of keys.
+        let n = 10_000;
+        let head = n / 100;
+        let fractions: Vec<f64> = [0.0, 0.5, 0.8, 0.99]
+            .iter()
+            .map(|&theta| head_fraction(theta, n, head, 60_000))
+            .collect();
+        for w in fractions.windows(2) {
+            assert!(w[1] > w[0], "head mass must grow with theta: {fractions:?}");
+        }
+        // And the endpoints behave: theta=0 is uniform (head ~ 1%),
+        // theta=0.99 is YCSB-hot (head well past a third of the traffic).
+        assert!((fractions[0] - 0.01).abs() < 0.005, "{fractions:?}");
+        assert!(fractions[3] > 0.35, "{fractions:?}");
+    }
+
+    #[test]
+    fn rank_zero_is_the_hottest_key() {
+        let zipf = Zipf::new(1_000, 0.99).unwrap();
+        let mut rng = Mt19937::new(3);
+        let mut counts = vec![0u32; 1_000];
+        for _ in 0..50_000 {
+            counts[zipf.sample(&mut rng) as usize] += 1;
+        }
+        let max = counts.iter().copied().max().unwrap();
+        assert_eq!(counts[0], max, "rank 0 must take the most traffic");
+        // Within the head, popularity decays with rank.
+        assert!(counts[0] > counts[10] && counts[10] > counts[500]);
+    }
+
+    #[test]
+    fn single_key_space_always_returns_zero() {
+        let zipf = Zipf::new(1, 0.99).unwrap();
+        let mut rng = Mt19937::new(1);
+        for _ in 0..100 {
+            assert_eq!(zipf.sample(&mut rng), 0);
+        }
+    }
+}

@@ -543,6 +543,17 @@ impl<L: RawLock> Db<L> {
         DbReadGuard::lock(self).runs().len()
     }
 
+    /// This database as an [`AsyncKv`] trait object — the hand-off point
+    /// to lock-agnostic consumers (the `hemlock-net` server takes an
+    /// `Arc<dyn AsyncKv>`, so one server binary can serve a `Db` whose
+    /// lock algorithm was chosen at runtime from the `async.*` catalog).
+    pub fn into_async_kv(self: Arc<Self>) -> Arc<dyn AsyncKv>
+    where
+        L: RawTryLock + 'static,
+    {
+        self
+    }
+
     /// Total entries across memtable and runs, counting shadowed duplicates
     /// (diagnostics).
     pub fn entry_count(&self) -> usize {
@@ -552,6 +563,59 @@ impl<L: RawLock> Db<L> {
             .map(|r| r.len())
             .sum::<usize>()
             + self.mem.len()
+    }
+}
+
+/// A boxed, `Send` future of an asynchronous KV operation (the object-safe
+/// shape [`AsyncKv`] needs; MSRV predates usable `async fn` in dyn traits).
+pub type BoxKvFuture<'a, T> = core::pin::Pin<Box<dyn core::future::Future<Output = T> + Send + 'a>>;
+
+/// Object-safe asynchronous KV surface over [`Db`] — the **server hook**
+/// for the networked front-end (`hemlock-net`).
+///
+/// `Db<L>` is generic over its lock algorithm, but a server that selects
+/// the lock at runtime (`kvserver --lock async.hemlock`) cannot name `L`
+/// in its types. This trait erases it: every `Db<L>` whose lock can back
+/// the async paths ([`hemlock_core::RawTryLock`]) is an `AsyncKv`, and the
+/// server dispatches wire ops through `Arc<dyn AsyncKv>`. The methods
+/// mirror `Db::{get,put,delete}_async` exactly — a busy shard or a
+/// freeze/compaction holding the central mutex suspends the calling task,
+/// never an OS thread, which is what makes task-per-connection serving
+/// safe on a small `TaskPool`.
+pub trait AsyncKv: Send + Sync {
+    /// Asynchronous point lookup ([`Db::get_async`]).
+    fn get_async<'a>(&'a self, key: &'a [u8]) -> BoxKvFuture<'a, Option<Vec<u8>>>;
+    /// Asynchronous insert/overwrite ([`Db::put_async`]).
+    fn put_async<'a>(&'a self, key: &'a [u8], value: &'a [u8]) -> BoxKvFuture<'a, ()>;
+    /// Asynchronous delete ([`Db::delete_async`]).
+    fn delete_async<'a>(&'a self, key: &'a [u8]) -> BoxKvFuture<'a, ()>;
+    /// Completed-operation counters (shared with the sync paths).
+    fn stats(&self) -> &DbStats;
+    /// Display name of the lock algorithm both tiers run on.
+    fn lock_name(&self) -> &'static str;
+}
+
+impl<L: RawTryLock> AsyncKv for Db<L> {
+    fn get_async<'a>(&'a self, key: &'a [u8]) -> BoxKvFuture<'a, Option<Vec<u8>>> {
+        // Inherent methods win resolution, so these call the concrete
+        // `Db` futures, not this trait recursively.
+        Box::pin(self.get_async(key))
+    }
+
+    fn put_async<'a>(&'a self, key: &'a [u8], value: &'a [u8]) -> BoxKvFuture<'a, ()> {
+        Box::pin(self.put_async(key, value))
+    }
+
+    fn delete_async<'a>(&'a self, key: &'a [u8]) -> BoxKvFuture<'a, ()> {
+        Box::pin(self.delete_async(key))
+    }
+
+    fn stats(&self) -> &DbStats {
+        Db::stats(self)
+    }
+
+    fn lock_name(&self) -> &'static str {
+        Db::lock_name(self)
     }
 }
 
@@ -567,6 +631,22 @@ mod tests {
             max_runs: 3,
             mem_shards: 4,
         }
+    }
+
+    #[test]
+    fn async_kv_trait_object_roundtrip() {
+        // The erased surface must hit the same store as the concrete one.
+        let db: Arc<Db<Hemlock>> = Arc::new(Db::new(tiny_opts()));
+        let kv: Arc<dyn AsyncKv> = Arc::clone(&db).into_async_kv();
+        hemlock_harness::executor::block_on(async {
+            kv.put_async(b"k", b"v").await;
+            assert_eq!(kv.get_async(b"k").await, Some(b"v".to_vec()));
+            kv.delete_async(b"k").await;
+            assert_eq!(kv.get_async(b"k").await, None);
+        });
+        assert_eq!(db.get(b"k"), None);
+        assert_eq!(AsyncKv::stats(&*kv).puts.load(Ordering::Relaxed), 2);
+        assert_eq!(AsyncKv::lock_name(&*kv), db.lock_name());
     }
 
     #[test]

@@ -33,7 +33,7 @@ pub mod memtable;
 pub mod run;
 
 pub use bench::{fill_seq, key_for, read_random, value_for, ReadBenchResult};
-pub use db::{Db, DbStats, Options, WouldBlock};
+pub use db::{AsyncKv, BoxKvFuture, Db, DbStats, Options, WouldBlock};
 pub use memtable::Memtable;
 pub use run::Run;
 

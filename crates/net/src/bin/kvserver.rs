@@ -1,0 +1,111 @@
+//! `kvserver`: the networked minikv server as a standalone binary.
+//!
+//! Binds `--addr`, builds a [`hemlock_minikv::Db`] over the `async.*`
+//! catalog lock named by `--lock` (the lock algorithm is a *runtime*
+//! choice — the whole point of the [`hemlock_minikv::AsyncKv`] erasure),
+//! and serves task-per-connection on a `TaskPool` of `--threads`
+//! workers. With `--secs` it runs that long, shuts down gracefully, and
+//! prints totals; without, it serves until the process is killed.
+//!
+//! ```text
+//! kvserver --addr 127.0.0.1:7878 --lock async.hemlock --threads 4 &
+//! loadgen  --addr 127.0.0.1:7878 --conns 64 --pipeline 8
+//! ```
+
+use hemlock_async::catalog::{self, AsyncCatalogEntry, AsyncLockVisitor};
+use hemlock_core::raw::RawTryLock;
+use hemlock_harness::executor::TaskPool;
+use hemlock_harness::Spec;
+use hemlock_minikv::{AsyncKv, Db, Options};
+use hemlock_net::spawn_server;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Builds an `Arc<dyn AsyncKv>` for whichever lock type the catalog key
+/// dispatches to.
+struct MakeDb;
+
+impl AsyncLockVisitor for MakeDb {
+    type Output = Arc<dyn AsyncKv>;
+    fn visit<L: RawTryLock + 'static>(self, _entry: &'static AsyncCatalogEntry) -> Self::Output {
+        Arc::new(Db::<L>::new(Options::default())).into_async_kv()
+    }
+}
+
+fn or_exit<T>(r: Result<T, String>) -> T {
+    r.unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let spec = Spec::new(
+        "kvserver",
+        "Networked minikv server on the in-tree TaskPool",
+    )
+    .value(
+        "addr",
+        "ip:port to bind (default 127.0.0.1:7878; port 0 picks one)",
+    )
+    .value(
+        "lock",
+        "central-mutex algorithm, one `async.*` catalog key (default async.hemlock)",
+    )
+    .value(
+        "threads",
+        "TaskPool worker threads serving connections (default 4)",
+    )
+    .value(
+        "secs",
+        "serve this long then shut down gracefully (default: until killed)",
+    );
+    let args = spec.parse_env();
+
+    let addr = or_exit(args.addr()).unwrap_or_else(|| "127.0.0.1:7878".parse().unwrap());
+    let lock_key = args.get_str("lock", "async.hemlock");
+    let workers: usize = args.get("threads", 4);
+    let secs: f64 = args.get("secs", 0.0);
+
+    let entry = catalog::find(&lock_key).unwrap_or_else(|| {
+        eprintln!(
+            "error: unknown async lock {lock_key:?}; known async locks: {}",
+            catalog::keys().join(", ")
+        );
+        std::process::exit(2);
+    });
+    let kv = catalog::with_async_lock_type(entry.key, MakeDb)
+        .expect("async catalog entries always dispatch");
+
+    let pool = Arc::new(TaskPool::new(workers.max(1)));
+    let server = spawn_server(&pool, kv, addr).unwrap_or_else(|e| {
+        eprintln!("error: cannot bind {addr}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!(
+        "# kvserver: serving {} on {} ({} workers){}",
+        entry.meta.name,
+        server.local_addr(),
+        pool.workers(),
+        if secs > 0.0 {
+            format!(", for {secs}s")
+        } else {
+            String::new()
+        }
+    );
+
+    if secs > 0.0 {
+        std::thread::sleep(Duration::from_secs_f64(secs));
+        let stats = server.shutdown();
+        println!(
+            "kvserver: {} connection(s), {} request(s) served",
+            stats.connections, stats.requests
+        );
+    } else {
+        // Serve until killed: the acceptor thread owns the listener, so
+        // the main thread just parks.
+        loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! The KV server: task-per-connection on the in-tree `TaskPool`.
+//!
+//! Shape:
+//!
+//! - an **acceptor** — a dedicated OS thread driving an async accept
+//!   loop with `block_on`. It cannot run on the pool itself: it holds an
+//!   `Arc<TaskPool>` to spawn connection tasks, and if that `Arc` were
+//!   the last one dropped *inside* a pool worker, the pool's drop would
+//!   join its own worker and deadlock. A plain thread makes that drop
+//!   always safe, and keeps every pool worker available for serving.
+//! - one **connection task** per accepted socket, spawned on the pool.
+//!   Each task loops: decode every complete request, dispatch it to the
+//!   [`AsyncKv`] store (suspending on busy shards, never blocking a
+//!   worker), flush the encoded responses, then park for more bytes.
+//! - a shared tick [`Reactor`] parking all of the above between
+//!   readiness attempts.
+//!
+//! **Graceful shutdown** ([`ServerHandle::shutdown`]) sets one flag.
+//! The acceptor observes it within a tick and stops accepting; each
+//! connection task observes it at its next read (requests already
+//! decoded are answered and flushed first — the write path deliberately
+//! ignores the flag) and returns its served-request count. The handle
+//! then joins the acceptor and every connection task from the caller's
+//! thread — `JoinHandle::join` blocks, which is exactly why the joins
+//! happen here and never on a pool worker. No task outlives the call
+//! and every fully-received request got its response: the PR-5
+//! cancellation-safety work is what makes the remaining case (a task
+//! dropped mid-`await` by pool teardown) safe rather than corrupting —
+//! async lock futures unregister on drop.
+
+use crate::aio;
+use crate::proto::{encode_response, Decoder, Request, Response};
+use hemlock_harness::executor::{block_on, JoinHandle, TaskPool};
+use hemlock_harness::Reactor;
+use hemlock_minikv::AsyncKv;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Totals reported by [`ServerHandle::shutdown`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections accepted over the server's lifetime.
+    pub connections: usize,
+    /// Requests that were fully received, executed, **and responded to**.
+    pub requests: u64,
+}
+
+/// A running server; dropping it without [`ServerHandle::shutdown`]
+/// still stops the acceptor, but only `shutdown` reports stats and
+/// joins the connection tasks.
+pub struct ServerHandle {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<std::thread::JoinHandle<(usize, Vec<JoinHandle<u64>>)>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops the server gracefully: no new connections, every decoded
+    /// request answered and flushed, every task joined. Call from a
+    /// plain thread, **not** from a task on the serving pool (the joins
+    /// block).
+    pub fn shutdown(mut self) -> ServerStats {
+        self.stop.store(true, Ordering::Release);
+        let (connections, conns) = self
+            .acceptor
+            .take()
+            .expect("shutdown called once")
+            .join()
+            .expect("acceptor thread");
+        let requests = conns.into_iter().map(JoinHandle::join).sum();
+        ServerStats {
+            connections,
+            requests,
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.acceptor.take() {
+            // Join the acceptor (it exits within a tick) but detach the
+            // connection handles: resuming a task panic inside drop
+            // could double-panic, and the tasks stop on the same flag.
+            let _ = t.join();
+        }
+    }
+}
+
+/// Binds `addr` and starts serving `kv` with one pool task per
+/// connection. Returns once the listener is bound; serving continues
+/// until [`ServerHandle::shutdown`].
+pub fn spawn_server(
+    pool: &Arc<TaskPool>,
+    kv: Arc<dyn AsyncKv>,
+    addr: SocketAddr,
+) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local_addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let reactor = Arc::new(Reactor::new());
+    let acceptor = {
+        let pool = Arc::clone(pool);
+        let stop = Arc::clone(&stop);
+        std::thread::Builder::new()
+            .name("hemlock-accept".to_string())
+            .spawn(move || accept_loop(&listener, &pool, kv, &reactor, &stop))
+            .expect("spawn acceptor thread")
+    };
+    Ok(ServerHandle {
+        local_addr,
+        stop,
+        acceptor: Some(acceptor),
+    })
+}
+
+/// Runs on the acceptor thread; returns (connections accepted, one
+/// [`JoinHandle`] per connection task).
+fn accept_loop(
+    listener: &TcpListener,
+    pool: &Arc<TaskPool>,
+    kv: Arc<dyn AsyncKv>,
+    reactor: &Arc<Reactor>,
+    stop: &Arc<AtomicBool>,
+) -> (usize, Vec<JoinHandle<u64>>) {
+    block_on(async {
+        let mut conns = Vec::new();
+        loop {
+            match aio::accept(listener, reactor, stop).await {
+                Ok(Some((stream, _peer))) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    conns.push(pool.spawn(serve_conn(
+                        stream,
+                        Arc::clone(&kv),
+                        Arc::clone(reactor),
+                        Arc::clone(stop),
+                    )));
+                }
+                Ok(None) => break, // graceful stop
+                Err(_) => break,   // listener failed; stop accepting
+            }
+        }
+        (conns.len(), conns)
+    })
+}
+
+/// One connection's lifetime; returns the number of requests served
+/// (executed **and** response flushed).
+async fn serve_conn(
+    stream: TcpStream,
+    kv: Arc<dyn AsyncKv>,
+    reactor: Arc<Reactor>,
+    stop: Arc<AtomicBool>,
+) -> u64 {
+    let mut dec = Decoder::new();
+    let mut inbuf = vec![0u8; 16 * 1024];
+    let mut outbuf = Vec::new();
+    let mut served = 0u64;
+    loop {
+        // Execute everything fully received, in arrival order. Pipelined
+        // peers get one flush per read batch rather than per request.
+        let mut batched = 0u64;
+        loop {
+            match dec.next_request() {
+                Ok(Some(req)) => {
+                    let resp = dispatch(&*kv, req).await;
+                    if encode_response(&resp, &mut outbuf).is_err() {
+                        return served;
+                    }
+                    batched += 1;
+                }
+                Ok(None) => break,
+                // Protocol violation: the stream has no resync point, so
+                // drop the connection (never panic the task).
+                Err(_) => return served,
+            }
+        }
+        if !outbuf.is_empty() {
+            if aio::write_all(&stream, &reactor, &outbuf).await.is_err() {
+                return served;
+            }
+            outbuf.clear();
+        }
+        // Responses above are flushed, so they count even if the next
+        // read finds the peer gone.
+        served += batched;
+        match aio::read_some(&stream, &reactor, &stop, &mut inbuf).await {
+            Ok(0) => return served, // EOF or graceful stop
+            Ok(n) => dec.feed(&inbuf[..n]),
+            Err(_) => return served,
+        }
+    }
+}
+
+/// Executes one request against the store. Infallible by construction —
+/// [`Response::Err`] exists for wire completeness, but the in-memory
+/// `Db` cannot fail an operation.
+async fn dispatch(kv: &dyn AsyncKv, req: Request) -> Response {
+    match req {
+        Request::Get { id, key } => match kv.get_async(&key).await {
+            Some(value) => Response::Value { id, value },
+            None => Response::NotFound { id },
+        },
+        Request::Put { id, key, value } => {
+            kv.put_async(&key, &value).await;
+            Response::Ok { id }
+        }
+        Request::Delete { id, key } => {
+            kv.delete_async(&key).await;
+            Response::Ok { id }
+        }
+        Request::Ping { id } => Response::Pong { id },
+    }
+}

@@ -20,7 +20,11 @@
 //! - [`hemlock_model`] — schedule exploration checking the §3 theorems.
 //! - [`hemlock_coherence`] — MESI/MESIF/MOESI simulator (Table 2, §5.5).
 //! - [`hemlock_minikv`] — LevelDB-shaped KV store (Figure 8).
-//! - [`hemlock_harness`] — MutexBench and friends (Figures 2–9).
+//! - [`hemlock_net`] — networked minikv front-end: length-prefixed wire
+//!   protocol, async TCP server on the in-tree `TaskPool`, pipelining
+//!   client.
+//! - [`hemlock_harness`] — MutexBench and friends (Figures 2–9), plus
+//!   the executor/reactor runtime the async subsystems run on.
 
 pub use hemlock_coherence as coherence;
 pub use hemlock_core as core;
@@ -28,6 +32,7 @@ pub use hemlock_harness as harness;
 pub use hemlock_locks as locks;
 pub use hemlock_minikv as minikv;
 pub use hemlock_model as model;
+pub use hemlock_net as net;
 pub use hemlock_rw as rw;
 pub use hemlock_shard as shard;
 pub use hemlock_simlock as simlock;
