@@ -27,6 +27,7 @@
 
 use hemlock_async::catalog::{self, AsyncCatalogEntry, AsyncLockVisitor};
 use hemlock_async::AsyncMutex;
+use hemlock_bench::ci::{self, Record, RecordBuilder};
 use hemlock_bench::Sweep;
 use hemlock_core::meta::LockMeta;
 use hemlock_core::raw::RawTryLock;
@@ -172,34 +173,21 @@ fn or_exit<T>(r: Result<T, String>) -> T {
     })
 }
 
-fn json_escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
-}
-
-/// Bench-trajectory records plus `wakeup_p99_ns` / `fairness_spread`
-/// extras (ignored by `bench_ci`'s schema, preserved for humans).
+/// Bench-trajectory records through the shared [`RecordBuilder`]:
+/// `wakeup_p99_ns` / `fairness_spread` ride as schema-invisible extras.
 fn to_json(rows: &[Row]) -> String {
-    use std::fmt::Write as _;
-    let mut out = String::from("[\n");
-    for (i, r) in rows.iter().enumerate() {
-        let _ = write!(
-            out,
-            "  {{\"bench\": \"asyncbench.t{}\", \"lock\": \"{}\", \"threads\": {}, \
-             \"ops_per_sec\": {:.1}, \"wakeup_p99_ns\": {}, \"fairness_spread\": {:.3}}}",
-            r.tasks,
-            json_escape(r.meta.name),
-            r.workers,
-            r.ops_per_sec,
-            r.wakeup_p99_ns,
-            r.fairness_spread,
-        );
-        if i + 1 < rows.len() {
-            out.push(',');
-        }
-        out.push('\n');
-    }
-    out.push_str("]\n");
-    out
+    let records: Vec<Record> = rows
+        .iter()
+        .map(|r| {
+            RecordBuilder::new(format!("asyncbench.t{}", r.tasks), r.meta.name)
+                .threads(r.workers)
+                .ops_per_sec(r.ops_per_sec)
+                .extra("wakeup_p99_ns", r.wakeup_p99_ns as f64)
+                .extra("fairness_spread", r.fairness_spread)
+                .build()
+        })
+        .collect();
+    ci::to_json(&records)
 }
 
 fn main() {

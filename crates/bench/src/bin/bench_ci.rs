@@ -11,7 +11,9 @@
 //!          --out BENCH_ci.json --baseline BENCH_baseline.json
 //! ```
 //!
-//! All inputs are optional — whatever is given is normalized into `--out`
+//! All inputs are optional, and each accepts a comma-separated file list
+//! (how the per-op and `--combine on` runs of one bench land in the same
+//! artifact) — whatever is given is normalized into `--out`
 //! as `{bench, lock, threads, ops_per_sec[, space_bytes]}` records (the
 //! schema in [`hemlock_bench::ci`]). With `--baseline`, the run fails
 //! (exit 1) when any baseline throughput record regresses more than
@@ -46,7 +48,8 @@ fn main() {
     .value("fig8", "fig8 --quick --csv output (series CSV)")
     .value(
         "shardkv",
-        "shardkv --quick --json output (normalized records)",
+        "shardkv --quick --json output (normalized records; comma-separate \
+         multiple files, e.g. per-op and --combine runs)",
     )
     .value(
         "rwbench",
@@ -79,13 +82,24 @@ fn main() {
     )
     .parse_env();
 
+    // Every input accepts a comma-separated file list, so one bench run
+    // per mode (e.g. `shardkv.json,shardkv_combined.json`) concatenates
+    // into the same trajectory.
+    let paths = |opt: &str| -> Vec<String> {
+        args.get_str(opt, "")
+            .split(',')
+            .map(str::trim)
+            .filter(|p| !p.is_empty())
+            .map(String::from)
+            .collect()
+    };
     let mut records: Vec<Record> = Vec::new();
     for (opt, bench) in [
         ("fig2", "fig2.max"),
         ("fig3", "fig3.mod"),
         ("fig8", "fig8.kv"),
     ] {
-        if let Some(path) = Some(args.get_str(opt, "")).filter(|p| !p.is_empty()) {
+        for path in paths(opt) {
             records.extend(or_exit(ci::parse_series_csv(bench, &read(&path, opt))));
         }
     }
@@ -96,11 +110,11 @@ fn main() {
         "asyncbench",
         "loadgen",
     ] {
-        if let Some(path) = Some(args.get_str(opt, "")).filter(|p| !p.is_empty()) {
+        for path in paths(opt) {
             records.extend(or_exit(ci::parse_json(&read(&path, opt))));
         }
     }
-    if let Some(path) = Some(args.get_str("table1", "")).filter(|p| !p.is_empty()) {
+    for path in paths("table1") {
         records.extend(or_exit(ci::parse_table1_csv(&read(&path, "table1"))));
     }
     if records.is_empty() {

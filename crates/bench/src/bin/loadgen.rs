@@ -17,17 +17,24 @@
 //! latency lands in the log-bucketed histogram; the report is
 //! throughput plus **p50/p99/p999**.
 //!
+//! The in-process server runs with **combined burst dispatch** by
+//! default — each decoded pipeline burst becomes one
+//! `AsyncKv::apply_batch_async` call through the store's flat-combining
+//! layer; `--combine off` measures the per-op dispatch baseline instead.
+//!
 //! Output: aligned table (default), or `--json` normalized
 //! bench-trajectory records (`bench: "loadgen.c<conns>.p<pipeline>"`,
-//! with `p50_ns`/`p99_ns`/`p999_ns` extras `bench_ci --loadgen`
-//! ignores). Banners go to stderr, stdout stays machine-readable.
+//! `.combined`-suffixed in combined mode, with `p50_ns`/`p99_ns`/
+//! `p999_ns` extras `bench_ci --loadgen` ignores). Banners go to stderr,
+//! stdout stays machine-readable.
 
 use hemlock_async::catalog::{self, AsyncCatalogEntry, AsyncLockVisitor};
+use hemlock_bench::ci::{self, RecordBuilder};
 use hemlock_core::raw::RawTryLock;
 use hemlock_harness::executor::TaskPool;
 use hemlock_harness::{fmt_f64, Histogram, Mt19937, Reactor, Spec, Table, Zipf};
 use hemlock_minikv::{AsyncKv, Db, Options};
-use hemlock_net::{spawn_server, AsyncConn, Client, Op, ServerHandle};
+use hemlock_net::{spawn_server_with, AsyncConn, Client, Op, ServerHandle, ServerOptions};
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -174,13 +181,14 @@ fn run_once(addr: SocketAddr, w: Workload) -> std::io::Result<RunStats> {
 /// dispatches to.
 struct SpawnInProc {
     pool: Arc<TaskPool>,
+    opts: ServerOptions,
 }
 
 impl AsyncLockVisitor for SpawnInProc {
     type Output = std::io::Result<ServerHandle>;
     fn visit<L: RawTryLock + 'static>(self, _entry: &'static AsyncCatalogEntry) -> Self::Output {
         let kv: Arc<dyn AsyncKv> = Arc::new(Db::<L>::new(Options::default())).into_async_kv();
-        spawn_server(&self.pool, kv, "127.0.0.1:0".parse().unwrap())
+        spawn_server_with(&self.pool, kv, "127.0.0.1:0".parse().unwrap(), self.opts)
     }
 }
 
@@ -194,6 +202,7 @@ fn or_exit<T>(r: Result<T, String>) -> T {
 struct Report {
     lock: String,
     workers: usize,
+    combined: bool,
     w: Workload,
     ops_per_sec: f64,
     p50_ns: u64,
@@ -201,25 +210,19 @@ struct Report {
     p999_ns: u64,
 }
 
-fn json_escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
-}
-
-/// One bench-trajectory record plus latency extras (ignored by
-/// `bench_ci`'s schema, preserved for humans).
+/// One bench-trajectory record through the shared [`RecordBuilder`]:
+/// combined-mode runs get the `.combined` bench-key suffix, and the
+/// latency percentiles ride as schema-invisible extras.
 fn to_json(r: &Report) -> String {
-    format!(
-        "[\n  {{\"bench\": \"loadgen.c{}.p{}\", \"lock\": \"{}\", \"threads\": {}, \
-         \"ops_per_sec\": {:.1}, \"p50_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}}}\n]\n",
-        r.w.conns,
-        r.w.pipeline,
-        json_escape(&r.lock),
-        r.workers,
-        r.ops_per_sec,
-        r.p50_ns,
-        r.p99_ns,
-        r.p999_ns,
-    )
+    let record = RecordBuilder::new(format!("loadgen.c{}.p{}", r.w.conns, r.w.pipeline), &r.lock)
+        .combined(r.combined)
+        .threads(r.workers)
+        .ops_per_sec(r.ops_per_sec)
+        .extra("p50_ns", r.p50_ns as f64)
+        .extra("p99_ns", r.p99_ns as f64)
+        .extra("p999_ns", r.p999_ns as f64)
+        .build();
+    ci::to_json(&[record])
 }
 
 fn main() {
@@ -253,6 +256,12 @@ fn main() {
         "rate",
         "open-loop target ops/s across all connections (default: closed loop)",
     )
+    .value(
+        "combine",
+        "on|off (default on): in-process server dispatches each pipeline \
+         burst as one flat-combined batch; `on` adds a `.combined` \
+         bench-key suffix (with --addr it only labels the record)",
+    )
     .value("secs", "seconds per measured run (default 2)")
     .value("runs", "median-of-N runs (default 1)")
     .flag(
@@ -280,6 +289,14 @@ fn main() {
     // Validate the Zipf parameters up front with the CLI-shaped error.
     or_exit(Zipf::new(w.keys, w.theta).map(|_| ()));
     let runs: usize = args.get("runs", 1usize).max(1);
+    let combine = match args.get_str("combine", "on").as_str() {
+        "on" => true,
+        "off" => false,
+        other => {
+            eprintln!("error: --combine must be `on` or `off`, got {other:?}");
+            std::process::exit(2);
+        }
+    };
     let json = args.has("json");
 
     // External server, or an in-process one on its own pool.
@@ -299,6 +316,7 @@ fn main() {
                     entry.key,
                     SpawnInProc {
                         pool: Arc::clone(&server_pool),
+                        opts: ServerOptions { combine },
                     },
                 )
                 .expect("async catalog entries always dispatch")
@@ -315,11 +333,12 @@ fn main() {
     };
 
     eprintln!(
-        "# loadgen: {} conns x {} pipeline -> {} ({}), {} run(s) x {:?}, {} keys zipf {}, {}% reads",
+        "# loadgen: {} conns x {} pipeline -> {} ({}, {} dispatch), {} run(s) x {:?}, {} keys zipf {}, {}% reads",
         w.conns,
         w.pipeline,
         addr,
         lock_name,
+        if combine { "combined" } else { "per-op" },
         runs,
         w.duration,
         w.keys,
@@ -349,6 +368,7 @@ fn main() {
     let report = Report {
         lock: lock_name,
         workers: w.workers,
+        combined: combine,
         w,
         ops_per_sec: median.ops as f64 / median.elapsed.as_secs_f64(),
         p50_ns: median.latency.quantile(0.50),

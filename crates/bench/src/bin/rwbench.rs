@@ -19,7 +19,7 @@
 //! bench-trajectory records; `bench_ci --rwbench` consumes them).
 //! Banners and progress go to stderr so stdout stays machine-readable.
 
-use hemlock_bench::ci::{self, Record};
+use hemlock_bench::ci::{self, Record, RecordBuilder};
 use hemlock_bench::Sweep;
 use hemlock_core::meta::LockMeta;
 use hemlock_core::pad::CachePadded;
@@ -392,12 +392,12 @@ fn main() {
             .unwrap_or_default();
         let records: Vec<Record> = rows
             .iter()
-            .map(|r| Record {
-                bench: format!("rwbench.r{}{}", r.read_pct, suffix),
-                lock: r.meta.name.to_string(),
-                threads: r.threads,
-                ops_per_sec: r.ops_per_sec,
-                space_bytes: Some(r.meta.footprint_bytes(1, r.threads) as u64),
+            .map(|r| {
+                RecordBuilder::new(format!("rwbench.r{}{}", r.read_pct, suffix), r.meta.name)
+                    .threads(r.threads)
+                    .ops_per_sec(r.ops_per_sec)
+                    .space_bytes(r.meta.footprint_bytes(1, r.threads) as u64)
+                    .build()
             })
             .collect();
         print!("{}", ci::to_json(&records));

@@ -17,11 +17,19 @@
 //! Async rows are keyed `shardkv.s<shards>.t<tasks>` and restricted to the
 //! trylock-capable catalog subset (others are skipped with a note).
 //!
+//! `--combine on` switches either mode to the **flat-combined** issue
+//! path: each thread (or task) submits its ops in 8-deep
+//! [`ShardedTable::apply_batch`] groups, so threads colliding on a shard
+//! have their posted ops serviced by the current lock holder instead of
+//! queueing for the lock themselves. Combined records carry a
+//! `.combined` bench-key suffix, letting `bench_ci` track combined vs
+//! per-op throughput as separate trajectories.
+//!
 //! Output: aligned table (default), `--csv`, or `--json` (normalized
 //! bench-trajectory records, the format `bench_ci` consumes). Banners and
 //! progress go to stderr so stdout stays machine-readable.
 
-use hemlock_bench::ci::{self, Record};
+use hemlock_bench::ci::{self, Record, RecordBuilder};
 use hemlock_bench::{locks_from_args, Sweep};
 use hemlock_core::meta::LockMeta;
 use hemlock_core::pad::CachePadded;
@@ -29,7 +37,7 @@ use hemlock_core::raw::{RawLock, RawTryLock};
 use hemlock_harness::executor::TaskPool;
 use hemlock_harness::{fmt_f64, Mt19937, Spec, Table, Zipf};
 use hemlock_locks::catalog::{self, CatalogEntry, LockVisitor, TimedLockVisitor};
-use hemlock_shard::ShardedTable;
+use hemlock_shard::{ShardedTable, TableOp};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -42,6 +50,11 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Ops per `apply_batch` call in combined mode — the same depth as a
+/// default `loadgen` pipeline burst, so the two benches measure the
+/// combining layer at comparable batch granularity.
+const BATCH: usize = 8;
+
 #[derive(Clone, Copy)]
 struct Workload {
     shards: usize,
@@ -50,6 +63,9 @@ struct Workload {
     keys: u64,
     /// `Some(theta)`: Zipfian key skew (hot shards); `None`: uniform.
     theta: Option<f64>,
+    /// Issue ops in [`BATCH`]-deep `apply_batch` groups (the
+    /// flat-combined path) instead of one point op at a time.
+    combine: bool,
     duration: Duration,
 }
 
@@ -130,6 +146,77 @@ fn run_median<L: RawLock>(w: Workload, runs: usize) -> (f64, f64) {
     results[results.len() / 2]
 }
 
+/// Builds the next [`BATCH`]-deep op group into `ops` (reused across
+/// iterations): the same read/write mix and key draw as the point loop,
+/// just expressed as [`TableOp`]s.
+fn fill_batch(ops: &mut Vec<TableOp<u64, u64>>, state: &mut u64, pick: &mut KeyPick, w: &Workload) {
+    ops.clear();
+    for _ in 0..BATCH {
+        let r = splitmix64(state);
+        let key = pick.pick(r, w.keys);
+        ops.push(if (r >> 32) % 100 < w.read_pct {
+            TableOp::Get(key)
+        } else {
+            TableOp::Put(key, r)
+        });
+    }
+}
+
+/// One timed **combined** run: the same thread/key/read-mix workload as
+/// [`run_once`], but each thread issues its ops in [`BATCH`]-deep
+/// [`ShardedTable::apply_batch`] groups — one shard acquisition per shard
+/// the group touches, with threads that collide on a shard getting their
+/// posted ops serviced by the current combiner instead of queueing for
+/// the lock themselves. Needs the trylock-capable catalog subset (the
+/// batch paths post and park on busy shards).
+fn run_once_combined<L: RawTryLock + 'static>(w: Workload) -> (f64, f64) {
+    let table: ShardedTable<u64, u64, L> = ShardedTable::with_shards(w.shards);
+    for k in 0..w.keys {
+        table.insert(k, k);
+    }
+    table.reset_stats();
+    let zipf = w
+        .theta
+        .map(|t| Arc::new(Zipf::new(w.keys, t).expect("validated in main")));
+    let stop = AtomicBool::new(false);
+    let counters: Vec<CachePadded<AtomicU64>> = (0..w.threads)
+        .map(|_| CachePadded::new(AtomicU64::new(0)))
+        .collect();
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for (t, ops_count) in counters.iter().enumerate() {
+            let table = &table;
+            let stop = &stop;
+            let mut pick = KeyPick::new(zipf.as_ref(), t as u64);
+            s.spawn(move || {
+                let mut state = 0x243F6A8885A308D3u64.wrapping_mul(t as u64 + 1);
+                let mut ops: Vec<TableOp<u64, u64>> = Vec::with_capacity(BATCH);
+                let mut local = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    fill_batch(&mut ops, &mut state, &mut pick, &w);
+                    std::hint::black_box(table.apply_batch(&ops));
+                    local += ops.len() as u64;
+                }
+                ops_count.store(local, Ordering::Relaxed);
+            });
+        }
+        std::thread::sleep(w.duration);
+        stop.store(true, Ordering::Relaxed);
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    let total: u64 = counters.iter().map(|c| c.load(Ordering::Relaxed)).sum();
+    (total as f64 / elapsed, table.stats().contended_fraction())
+}
+
+/// Median-ops combined run of `runs` attempts.
+fn run_median_combined<L: RawTryLock + 'static>(w: Workload, runs: usize) -> (f64, f64) {
+    let mut results: Vec<(f64, f64)> = (0..runs.max(1))
+        .map(|_| run_once_combined::<L>(w))
+        .collect();
+    results.sort_by(|a, b| a.0.total_cmp(&b.0));
+    results[results.len() / 2]
+}
+
 /// One timed **async** run: `tasks` tasks on `threads` pool workers, each
 /// looping keyed `get_async`/`update_async` against the shared table.
 /// Returns (ops/sec, contended fraction).
@@ -153,15 +240,27 @@ fn run_once_async<L: RawTryLock + 'static>(w: Workload, tasks: usize) -> (f64, f
             pool.spawn(async move {
                 let mut state = 0x243F6A8885A308D3u64.wrapping_mul(t as u64 + 1);
                 let mut local = 0u64;
-                while !stop.load(Ordering::Relaxed) {
-                    let r = splitmix64(&mut state);
-                    let key = pick.pick(r, w.keys);
-                    if (r >> 32) % 100 < w.read_pct {
-                        std::hint::black_box(table.get_async(&key).await);
-                    } else {
-                        table.update_async(key, |slot| *slot = Some(r)).await;
+                if w.combine {
+                    // Combined async mode: each task awaits one
+                    // `apply_batch_async` per BATCH ops, parking on the
+                    // posted records' completion instead of per shard.
+                    let mut ops: Vec<TableOp<u64, u64>> = Vec::with_capacity(BATCH);
+                    while !stop.load(Ordering::Relaxed) {
+                        fill_batch(&mut ops, &mut state, &mut pick, &w);
+                        std::hint::black_box(table.apply_batch_async(&ops).await);
+                        local += ops.len() as u64;
                     }
-                    local += 1;
+                } else {
+                    while !stop.load(Ordering::Relaxed) {
+                        let r = splitmix64(&mut state);
+                        let key = pick.pick(r, w.keys);
+                        if (r >> 32) % 100 < w.read_pct {
+                            std::hint::black_box(table.get_async(&key).await);
+                        } else {
+                            table.update_async(key, |slot| *slot = Some(r)).await;
+                        }
+                        local += 1;
+                    }
                 }
                 local
             })
@@ -189,6 +288,8 @@ struct Row {
     threads: usize,
     /// `Some(n)`: async mode with `n` tasks; `None`: sync thread mode.
     tasks: Option<usize>,
+    /// Measured through the flat-combined batch path (`--combine on`).
+    combined: bool,
     ops_per_sec: f64,
     contended: f64,
 }
@@ -215,6 +316,7 @@ impl LockVisitor for ShardSweep<'_> {
                         read_pct: self.read_pct,
                         keys: self.keys,
                         theta: self.theta,
+                        combine: false,
                         duration: self.sweep.duration,
                     },
                     self.sweep.runs,
@@ -232,6 +334,59 @@ impl LockVisitor for ShardSweep<'_> {
                     shards: self.shards,
                     threads,
                     tasks: None,
+                    combined: false,
+                    ops_per_sec,
+                    contended,
+                }
+            })
+            .collect()
+    }
+}
+
+/// The sync sweep through the **combined** issue path: dispatched via the
+/// trylock-capable visitor because `apply_batch` posts and parks on busy
+/// shards.
+struct CombinedShardSweep<'a> {
+    sweep: &'a Sweep,
+    shards: usize,
+    read_pct: u64,
+    keys: u64,
+    theta: Option<f64>,
+}
+
+impl TimedLockVisitor for CombinedShardSweep<'_> {
+    type Output = Vec<Row>;
+    fn visit<L: RawTryLock + 'static>(self, entry: &'static CatalogEntry) -> Vec<Row> {
+        self.sweep
+            .threads
+            .iter()
+            .map(|&threads| {
+                let (ops_per_sec, contended) = run_median_combined::<L>(
+                    Workload {
+                        shards: self.shards,
+                        threads,
+                        read_pct: self.read_pct,
+                        keys: self.keys,
+                        theta: self.theta,
+                        combine: true,
+                        duration: self.sweep.duration,
+                    },
+                    self.sweep.runs,
+                );
+                eprintln!(
+                    "# shardkv {} shards={} threads={} combined: {:.2} Mops/s ({:.1}% contended)",
+                    entry.meta.name,
+                    self.shards,
+                    threads,
+                    ops_per_sec / 1e6,
+                    100.0 * contended
+                );
+                Row {
+                    meta: entry.meta,
+                    shards: self.shards,
+                    threads,
+                    tasks: None,
+                    combined: true,
                     ops_per_sec,
                     contended,
                 }
@@ -246,6 +401,7 @@ struct AsyncShardSweep<'a> {
     read_pct: u64,
     keys: u64,
     theta: Option<f64>,
+    combine: bool,
     tasks: usize,
 }
 
@@ -263,17 +419,19 @@ impl TimedLockVisitor for AsyncShardSweep<'_> {
                         read_pct: self.read_pct,
                         keys: self.keys,
                         theta: self.theta,
+                        combine: self.combine,
                         duration: self.sweep.duration,
                     },
                     self.tasks,
                     self.sweep.runs,
                 );
                 eprintln!(
-                    "# shardkv {} shards={} tasks={} workers={}: {:.2} Mops/s ({:.1}% contended)",
+                    "# shardkv {} shards={} tasks={} workers={}{}: {:.2} Mops/s ({:.1}% contended)",
                     entry.meta.name,
                     self.shards,
                     self.tasks,
                     threads,
+                    if self.combine { " combined" } else { "" },
                     ops_per_sec / 1e6,
                     100.0 * contended
                 );
@@ -282,6 +440,7 @@ impl TimedLockVisitor for AsyncShardSweep<'_> {
                     shards: self.shards,
                     threads,
                     tasks: Some(self.tasks),
+                    combined: self.combine,
                     ops_per_sec,
                     contended,
                 }
@@ -312,6 +471,12 @@ fn main() {
             "tasks",
             "async mode: comma-separated task counts per point, driven \
              through get_async/update_async on a --threads-worker pool",
+        )
+        .value(
+            "combine",
+            "on|off (default off): issue ops in 8-deep apply_batch groups \
+             through the flat-combining layer; records gain a `.combined` \
+             bench-key suffix (needs trylock-capable locks)",
         )
         .flag("json", "emit normalized bench-trajectory JSON records");
     let args = spec.parse_env();
@@ -360,12 +525,25 @@ fn main() {
         eprintln!("error: {e}");
         std::process::exit(2);
     });
+    let combine = match args.get_str("combine", "off").as_str() {
+        "on" => true,
+        "off" => false,
+        other => {
+            eprintln!("error: --combine must be `on` or `off`, got {other:?}");
+            std::process::exit(2);
+        }
+    };
     let json = args.has("json");
 
     eprintln!(
-        "# shardkv: {} key(s){}, {read_pct}% reads, {} run(s) x {:?} per point",
+        "# shardkv: {} key(s){}, {read_pct}% reads{}, {} run(s) x {:?} per point",
         keys,
         theta.map_or(String::new(), |t| format!(" (zipf {t})")),
+        if combine {
+            format!(", combined (batch {BATCH})")
+        } else {
+            String::new()
+        },
         sweep.runs,
         sweep.duration
     );
@@ -374,7 +552,7 @@ fn main() {
     for entry in &locks {
         for &shards in &shard_counts {
             match &tasks_mode {
-                None => {
+                None if !combine => {
                     let visited = catalog::with_lock_type(
                         entry.key,
                         ShardSweep {
@@ -388,6 +566,25 @@ fn main() {
                     .expect("catalog entry key always dispatches");
                     rows.extend(visited);
                 }
+                None => {
+                    match catalog::with_timed_lock_type(
+                        entry.key,
+                        CombinedShardSweep {
+                            sweep: &sweep,
+                            shards,
+                            read_pct,
+                            keys,
+                            theta,
+                        },
+                    ) {
+                        Some(visited) => rows.extend(visited),
+                        None => eprintln!(
+                            "# shardkv: skipping {} in combined mode (no trylock path \
+                             — apply_batch posts and parks on busy shards)",
+                            entry.key
+                        ),
+                    }
+                }
                 Some(task_counts) => {
                     for &tasks in task_counts {
                         match catalog::with_timed_lock_type(
@@ -398,6 +595,7 @@ fn main() {
                                 read_pct,
                                 keys,
                                 theta,
+                                combine,
                                 tasks,
                             },
                         ) {
@@ -420,15 +618,18 @@ fn main() {
     if json {
         let records: Vec<Record> = rows
             .iter()
-            .map(|r| Record {
-                bench: match r.tasks {
+            .map(|r| {
+                let bench = match r.tasks {
                     Some(t) => format!("shardkv.s{}.t{}", r.shards, t),
                     None => format!("shardkv.s{}", r.shards),
-                },
-                lock: r.meta.name.to_string(),
-                threads: r.threads,
-                ops_per_sec: r.ops_per_sec,
-                space_bytes: Some(r.meta.footprint_bytes(r.shards, r.threads) as u64),
+                };
+                RecordBuilder::new(bench, r.meta.name)
+                    .combined(r.combined)
+                    .threads(r.threads)
+                    .ops_per_sec(r.ops_per_sec)
+                    .space_bytes(r.meta.footprint_bytes(r.shards, r.threads) as u64)
+                    .extra("contended", r.contended)
+                    .build()
             })
             .collect();
         print!("{}", ci::to_json(&records));
@@ -440,6 +641,7 @@ fn main() {
         "Shards",
         "Threads",
         "Tasks",
+        "Mode",
         "Mops/s",
         "Contended%",
         "LockSpace(B)",
@@ -450,6 +652,7 @@ fn main() {
             r.shards.to_string(),
             r.threads.to_string(),
             r.tasks.map_or_else(|| "-".to_string(), |t| t.to_string()),
+            if r.combined { "combined" } else { "per-op" }.to_string(),
             fmt_f64(r.ops_per_sec / 1e6, 3),
             fmt_f64(100.0 * r.contended, 1),
             r.meta.footprint_bytes(r.shards, r.threads).to_string(),

@@ -178,35 +178,25 @@ fn or_exit<T>(r: Result<T, String>) -> T {
     })
 }
 
-fn json_escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
-}
-
-/// Bench-trajectory records plus `abandon_rate` / `p99_acquire_ns` extras
-/// (ignored by `bench_ci`'s schema, preserved in the artifact for humans).
+/// Bench-trajectory records through the shared
+/// [`RecordBuilder`](hemlock_bench::ci::RecordBuilder):
+/// `abandon_rate` / `p99_acquire_ns` ride as schema-invisible extras.
 fn to_json(rows: &[Row]) -> String {
-    use std::fmt::Write as _;
-    let mut out = String::from("[\n");
-    for (i, r) in rows.iter().enumerate() {
-        let _ = write!(
-            out,
-            "  {{\"bench\": \"timeoutbench.h{}t{}\", \"lock\": \"{}\", \"threads\": {}, \
-             \"ops_per_sec\": {:.1}, \"abandon_rate\": {:.4}, \"p99_acquire_ns\": {}}}",
-            r.hold_us,
-            r.timeout_ms,
-            json_escape(r.meta.name),
-            r.threads,
-            r.ops_per_sec,
-            r.abandon_rate,
-            r.p99_acquire_ns,
-        );
-        if i + 1 < rows.len() {
-            out.push(',');
-        }
-        out.push('\n');
-    }
-    out.push_str("]\n");
-    out
+    let records: Vec<hemlock_bench::ci::Record> = rows
+        .iter()
+        .map(|r| {
+            hemlock_bench::ci::RecordBuilder::new(
+                format!("timeoutbench.h{}t{}", r.hold_us, r.timeout_ms),
+                r.meta.name,
+            )
+            .threads(r.threads)
+            .ops_per_sec(r.ops_per_sec)
+            .extra("abandon_rate", r.abandon_rate)
+            .extra("p99_acquire_ns", r.p99_acquire_ns as f64)
+            .build()
+        })
+        .collect();
+    hemlock_bench::ci::to_json(&records)
 }
 
 fn main() {

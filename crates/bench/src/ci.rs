@@ -10,6 +10,10 @@
 //! at all. The `bench_ci` binary drives this module; everything here is
 //! dependency-free (the container vendors no serde), so the JSON dialect
 //! is deliberately tiny: arrays, objects, strings, and finite numbers.
+//!
+//! Producer binaries build their records through [`RecordBuilder`] — the
+//! single place bench ids, the `.combined`-mode suffix, and schema-
+//! invisible extras are shaped — rather than hand-assembling JSON.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -28,12 +32,103 @@ pub struct Record {
     pub ops_per_sec: f64,
     /// Lock-body space for space rows (bytes).
     pub space_bytes: Option<u64>,
+    /// Extra producer-specific numeric measurements (`p99_ns`,
+    /// `fairness_spread`, `contended`, …), serialized after the schema
+    /// keys. The parser ignores them and the gate never sees them — they
+    /// ride along for humans reading the artifact.
+    pub extras: Vec<(String, f64)>,
 }
 
 impl Record {
     /// Identity used to match a record against the baseline.
     pub fn key(&self) -> (String, String, usize) {
         (self.bench.clone(), self.lock.clone(), self.threads)
+    }
+}
+
+/// The one place producer binaries shape trajectory records.
+///
+/// Every `--json` bench (`shardkv`, `loadgen`, `asyncbench`, …) routes its
+/// emission through this builder instead of hand-assembling JSON, so a
+/// schema change — like the [`combined`](RecordBuilder::combined) mode
+/// marker — lands in every producer at once and `BENCH_FORMAT.md` stays
+/// the single description of what is on disk.
+///
+/// ```
+/// use hemlock_bench::ci::{self, RecordBuilder};
+///
+/// let rec = RecordBuilder::new("loadgen.c8.p4", "Hemlock")
+///     .combined(true) // -> bench key "loadgen.c8.p4.combined"
+///     .threads(4)
+///     .ops_per_sec(1.5e5)
+///     .extra("p99_ns", 120_000.0)
+///     .build();
+/// assert_eq!(rec.bench, "loadgen.c8.p4.combined");
+/// assert!(ci::to_json(&[rec]).contains("\"p99_ns\": 120000"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct RecordBuilder {
+    record: Record,
+    combined: bool,
+}
+
+impl RecordBuilder {
+    /// Starts a record for benchmark id `bench` measured under `lock`.
+    pub fn new(bench: impl Into<String>, lock: impl Into<String>) -> Self {
+        Self {
+            record: Record {
+                bench: bench.into(),
+                lock: lock.into(),
+                threads: 0,
+                ops_per_sec: 0.0,
+                space_bytes: None,
+                extras: Vec::new(),
+            },
+            combined: false,
+        }
+    }
+
+    /// Marks the record as measured in **combined** (flat-combining /
+    /// batched) mode: the bench id gains a `.combined` suffix, so both
+    /// modes coexist in one artifact and the gate tracks them as separate
+    /// trajectories. `false` is a no-op, letting producers pass the mode
+    /// toggle straight through.
+    pub fn combined(mut self, combined: bool) -> Self {
+        self.combined = combined;
+        self
+    }
+
+    /// Thread (or worker) count for the throughput row.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.record.threads = threads;
+        self
+    }
+
+    /// Aggregate throughput.
+    pub fn ops_per_sec(mut self, ops: f64) -> Self {
+        self.record.ops_per_sec = ops;
+        self
+    }
+
+    /// Lock-space price of the measured deployment.
+    pub fn space_bytes(mut self, bytes: u64) -> Self {
+        self.record.space_bytes = Some(bytes);
+        self
+    }
+
+    /// Appends a producer-specific numeric extra (schema-invisible).
+    pub fn extra(mut self, key: impl Into<String>, value: f64) -> Self {
+        self.record.extras.push((key.into(), value));
+        self
+    }
+
+    /// Finishes the record.
+    pub fn build(self) -> Record {
+        let mut record = self.record;
+        if self.combined {
+            record.bench.push_str(".combined");
+        }
+        record
     }
 }
 
@@ -53,8 +148,18 @@ fn json_escape(s: &str) -> String {
     out
 }
 
+/// Extras keep their integer-ness on the wire (`p99_ns` values read as
+/// nanosecond counts, ratios as 3-decimal fractions).
+fn fmt_extra(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
 /// Serializes records as a stable, diff-friendly JSON array (one record
-/// per line, keys in schema order).
+/// per line, keys in schema order, extras after the schema keys).
 pub fn to_json(records: &[Record]) -> String {
     let mut out = String::from("[\n");
     for (i, r) in records.iter().enumerate() {
@@ -68,6 +173,9 @@ pub fn to_json(records: &[Record]) -> String {
         );
         if let Some(b) = r.space_bytes {
             let _ = write!(out, ", \"space_bytes\": {b}");
+        }
+        for (k, v) in &r.extras {
+            let _ = write!(out, ", \"{}\": {}", json_escape(k), fmt_extra(*v));
         }
         out.push('}');
         if i + 1 < records.len() {
@@ -297,6 +405,9 @@ pub fn parse_json(text: &str) -> Result<Vec<Record>, String> {
                     Some(Json::Num(n)) => Some(*n as u64),
                     _ => None,
                 },
+                // Producer extras are dropped here by design: re-serialized
+                // artifacts carry only the gated schema.
+                extras: Vec::new(),
             })
         })
         .collect()
@@ -368,6 +479,7 @@ pub fn parse_series_csv(bench: &str, csv: &str) -> Result<Vec<Record>, String> {
                 threads,
                 ops_per_sec: mops * 1e6,
                 space_bytes: None,
+                extras: Vec::new(),
             });
         }
     }
@@ -405,6 +517,7 @@ pub fn parse_table1_csv(csv: &str) -> Result<Vec<Record>, String> {
             threads: 0,
             ops_per_sec: 0.0,
             space_bytes: Some(words * core::mem::size_of::<usize>() as u64),
+            extras: Vec::new(),
         });
     }
     Ok(out)
@@ -471,7 +584,57 @@ mod tests {
             threads,
             ops_per_sec: ops,
             space_bytes: None,
+            extras: Vec::new(),
         }
+    }
+
+    #[test]
+    fn builder_shapes_records_and_the_combined_suffix() {
+        let plain = RecordBuilder::new("loadgen.c8.p4", "Hemlock")
+            .combined(false)
+            .threads(4)
+            .ops_per_sec(1234.5)
+            .build();
+        assert_eq!(plain, rec("loadgen.c8.p4", "Hemlock", 4, 1234.5));
+
+        let combined = RecordBuilder::new("shardkv.s64", "MCS")
+            .combined(true)
+            .threads(8)
+            .ops_per_sec(9.9e6)
+            .space_bytes(1024)
+            .extra("contended", 0.25)
+            .build();
+        assert_eq!(combined.bench, "shardkv.s64.combined");
+        assert_eq!(
+            combined.key(),
+            ("shardkv.s64.combined".into(), "MCS".into(), 8)
+        );
+        assert_eq!(combined.space_bytes, Some(1024));
+        assert_eq!(combined.extras, vec![("contended".to_string(), 0.25)]);
+    }
+
+    #[test]
+    fn extras_serialize_after_the_schema_and_parse_back_ignored() {
+        let record = RecordBuilder::new("asyncbench.t64", "Hemlock")
+            .threads(2)
+            .ops_per_sec(1e6)
+            .extra("wakeup_p99_ns", 52_000.0)
+            .extra("fairness_spread", 1.25)
+            .build();
+        let text = to_json(std::slice::from_ref(&record));
+        // Integer-valued extras stay integers on the wire; ratios keep
+        // three decimals. Schema keys come first.
+        assert!(
+            text.contains(
+                "\"ops_per_sec\": 1000000.0, \"wakeup_p99_ns\": 52000, \"fairness_spread\": 1.250"
+            ),
+            "{text}"
+        );
+        // The parser sees the extras as unknown keys and drops them.
+        let parsed = parse_json(&text).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].key(), record.key());
+        assert!(parsed[0].extras.is_empty());
     }
 
     #[test]

@@ -33,6 +33,7 @@
 //! `LD_PRELOAD` interposition.
 
 use crate::memtable::{Memtable, Slot};
+use crate::op::{KvOp, KvResult};
 use crate::run::Run;
 use core::cell::UnsafeCell;
 use core::sync::atomic::{AtomicU64, Ordering};
@@ -538,6 +539,137 @@ impl<L: RawLock> Db<L> {
         self.stats.puts.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Folds the memtable tier's batch answers into positional
+    /// [`KvResult`]s, returning the indices of gets that missed tier 1
+    /// entirely and still need the run tier. A tombstone hit
+    /// (`Value(Some(None))`) is *definitive* — the key is deleted, the run
+    /// tier must not be consulted. Bumps the shared op counters.
+    fn batch_fold_memtable(
+        &self,
+        ops: &[KvOp],
+        mem: Vec<hemlock_shard::TableResult<Slot>>,
+    ) -> (Vec<KvResult>, Vec<usize>) {
+        use hemlock_shard::TableResult;
+        let mut out = Vec::with_capacity(ops.len());
+        let mut misses = Vec::new();
+        let (mut gets, mut puts) = (0u64, 0u64);
+        for (i, (op, res)) in ops.iter().zip(mem).enumerate() {
+            match op {
+                KvOp::Get(_) => {
+                    gets += 1;
+                    match res {
+                        TableResult::Value(Some(slot)) => {
+                            out.push(KvResult::Value(slot.as_deref().map(<[u8]>::to_vec)));
+                        }
+                        _ => {
+                            misses.push(i);
+                            out.push(KvResult::Value(None));
+                        }
+                    }
+                }
+                KvOp::Put(..) | KvOp::Delete(_) => {
+                    puts += 1;
+                    out.push(KvResult::Done);
+                }
+            }
+        }
+        if gets > 0 {
+            self.stats.gets.fetch_add(gets, Ordering::Relaxed);
+        }
+        if puts > 0 {
+            self.stats.puts.fetch_add(puts, Ordering::Relaxed);
+        }
+        (out, misses)
+    }
+
+    /// Answers the tier-1 misses from one run-list snapshot, searched
+    /// outside any lock (the batched form of `get`'s tier 2).
+    fn batch_search_runs(
+        ops: &[KvOp],
+        misses: &[usize],
+        snapshot: &[Arc<Run>],
+        out: &mut [KvResult],
+    ) {
+        for &i in misses {
+            let key = ops[i].key();
+            for run in snapshot {
+                if let Some(slot) = run.get(key) {
+                    out[i] = KvResult::Value(slot.as_ref().map(|v| v.to_vec()));
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Applies a positional batch of operations: `out[i]` answers
+    /// `ops[i]`. This is the amortized form of the point API — where `n`
+    /// point ops pay `n` shard acquisitions, up to `n` run snapshots, and
+    /// `n` freeze checks, a batch pays:
+    ///
+    /// - **one shard-lock acquisition per shard touched** — the memtable
+    ///   pass goes through the sharded table's flat-combining layer
+    ///   ([`hemlock_shard::ShardedTable::apply_batch`]), so a contended
+    ///   shard is serviced by whichever thread holds it;
+    /// - **one central-mutex read acquisition** for all the gets that
+    ///   missed tier 1 (a single run-list snapshot, searched outside the
+    ///   lock), instead of one per missing get;
+    /// - **one freeze check** after the batch, instead of one per write.
+    ///
+    /// The two-tier visibility argument survives batching because the
+    /// snapshot is taken *after* the memtable pass: a freeze migrating
+    /// keys memtable→runs holds the central mutex until the new run is
+    /// installed, so any key our batch missed in tier 1 is present in the
+    /// snapshot we take afterwards. Deletes are tombstone writes in tier 1
+    /// and a tombstone hit never falls through to the runs, so a delete in
+    /// this batch shadows older run entries exactly like [`Db::delete`].
+    pub fn apply_batch(&self, ops: &[KvOp]) -> Vec<KvResult>
+    where
+        L: RawTryLock,
+    {
+        let mem = self.mem.apply_batch(ops);
+        let (mut out, misses) = self.batch_fold_memtable(ops, mem);
+        if !misses.is_empty() {
+            let snapshot: Vec<Arc<Run>> = DbReadGuard::lock(self).runs().clone();
+            Self::batch_search_runs(ops, &misses, &snapshot, &mut out);
+        }
+        if ops.iter().any(KvOp::is_write)
+            && self.mem.approximate_bytes() >= self.opts.memtable_bytes
+        {
+            self.freeze_and_maybe_compact();
+        }
+        out
+    }
+
+    /// Asynchronous [`Db::apply_batch`]: the same amortization, but every
+    /// wait — a contended memtable shard (the batch parks on its posted
+    /// publication record until a combiner services it), the central mutex
+    /// for the run snapshot, or a tripped freeze — suspends the task, not
+    /// a thread. No guard lives across a suspension point, so the future
+    /// is `Send`, and cancellation is safe: a batch whose posted ops were
+    /// not yet claimed withdraws them (nothing applied); once a combiner
+    /// claimed a shard's group that group lands atomically.
+    pub async fn apply_batch_async(&self, ops: &[KvOp]) -> Vec<KvResult>
+    where
+        L: RawTryLock,
+    {
+        let mem = self.mem.apply_batch_async(ops).await;
+        let (mut out, misses) = self.batch_fold_memtable(ops, mem);
+        if !misses.is_empty() {
+            let snapshot: Vec<Arc<Run>> = {
+                let g = self.central_read_async().await;
+                g.runs().clone()
+            };
+            Self::batch_search_runs(ops, &misses, &snapshot, &mut out);
+        }
+        if ops.iter().any(KvOp::is_write)
+            && self.mem.approximate_bytes() >= self.opts.memtable_bytes
+        {
+            let mut g = self.central_lock_async().await;
+            self.freeze_locked(&mut g);
+        }
+        out
+    }
+
     /// Number of immutable runs (tests/diagnostics).
     pub fn run_count(&self) -> usize {
         DbReadGuard::lock(self).runs().len()
@@ -589,6 +721,12 @@ pub trait AsyncKv: Send + Sync {
     fn put_async<'a>(&'a self, key: &'a [u8], value: &'a [u8]) -> BoxKvFuture<'a, ()>;
     /// Asynchronous delete ([`Db::delete_async`]).
     fn delete_async<'a>(&'a self, key: &'a [u8]) -> BoxKvFuture<'a, ()>;
+    /// Applies a positional batch in one pass ([`Db::apply_batch_async`]):
+    /// one shard acquisition per shard touched (flat-combined under
+    /// contention), one run snapshot for all tier-1 misses, one freeze
+    /// check. The server feeds each decoded pipeline burst here as a unit
+    /// instead of spawning per-op futures.
+    fn apply_batch_async<'a>(&'a self, ops: &'a [KvOp]) -> BoxKvFuture<'a, Vec<KvResult>>;
     /// Completed-operation counters (shared with the sync paths).
     fn stats(&self) -> &DbStats;
     /// Display name of the lock algorithm both tiers run on.
@@ -608,6 +746,10 @@ impl<L: RawTryLock> AsyncKv for Db<L> {
 
     fn delete_async<'a>(&'a self, key: &'a [u8]) -> BoxKvFuture<'a, ()> {
         Box::pin(self.delete_async(key))
+    }
+
+    fn apply_batch_async<'a>(&'a self, ops: &'a [KvOp]) -> BoxKvFuture<'a, Vec<KvResult>> {
+        Box::pin(self.apply_batch_async(ops))
     }
 
     fn stats(&self) -> &DbStats {
@@ -983,6 +1125,148 @@ mod tests {
             }
         }
         assert_eq!(db.stats().puts.load(Ordering::Relaxed), 1_200);
+    }
+
+    #[test]
+    fn apply_batch_roundtrip_is_positional() {
+        let db: Db<Hemlock> = Db::new(tiny_opts());
+        let out = db.apply_batch(&[
+            KvOp::Put(b"a".to_vec(), b"1".to_vec()),
+            KvOp::Get(b"a".to_vec()),
+            KvOp::Put(b"a".to_vec(), b"2".to_vec()),
+            KvOp::Get(b"a".to_vec()),
+            KvOp::Delete(b"a".to_vec()),
+            KvOp::Get(b"a".to_vec()),
+            KvOp::Get(b"missing".to_vec()),
+        ]);
+        assert_eq!(
+            out,
+            vec![
+                KvResult::Done,
+                KvResult::Value(Some(b"1".to_vec())),
+                KvResult::Done,
+                KvResult::Value(Some(b"2".to_vec())),
+                KvResult::Done,
+                KvResult::Value(None),
+                KvResult::Value(None),
+            ]
+        );
+        // The batch shares the point paths' counters: 4 gets, 3 writes.
+        assert_eq!(db.stats().gets.load(Ordering::Relaxed), 4);
+        assert_eq!(db.stats().puts.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn batched_gets_reach_the_run_tier_and_tombstones_shadow_it() {
+        let db: Db<Hemlock> = Db::new(tiny_opts());
+        for i in 0..300u32 {
+            db.put(format!("key{i:05}").as_bytes(), &i.to_be_bytes());
+        }
+        assert!(db.run_count() > 0, "need runs so misses hit tier 2");
+        // One batch: a delete whose tombstone must shadow the run entry,
+        // then gets that miss the memtable and fall through to the runs.
+        let out = db.apply_batch(&[
+            KvOp::Delete(b"key00007".to_vec()),
+            KvOp::Get(b"key00007".to_vec()),
+            KvOp::Get(b"key00042".to_vec()),
+            KvOp::Get(b"key99999".to_vec()),
+        ]);
+        assert_eq!(out[0], KvResult::Done);
+        assert_eq!(out[1], KvResult::Value(None), "tombstone shadows the run");
+        assert_eq!(out[2], KvResult::Value(Some(42u32.to_be_bytes().to_vec())));
+        assert_eq!(out[3], KvResult::Value(None));
+    }
+
+    #[test]
+    fn apply_batch_trips_the_freeze_once_per_batch() {
+        let db: Db<Hemlock> = Db::new(tiny_opts());
+        // Far past the 512-byte budget in one batch: the freeze check runs
+        // after the batch and must fold everything into a run.
+        let ops: Vec<KvOp> = (0..100u32)
+            .map(|i| KvOp::Put(format!("key{i:05}").into_bytes(), vec![0u8; 32]))
+            .collect();
+        db.apply_batch(&ops);
+        assert!(db.run_count() > 0, "batched writes must still freeze");
+        for i in (0..100u32).step_by(13) {
+            assert!(db.get(format!("key{i:05}").as_bytes()).is_some());
+        }
+    }
+
+    #[test]
+    fn apply_batch_async_matches_sync_through_the_trait_object() {
+        use hemlock_harness::executor::block_on;
+        let db: Arc<Db<Hemlock>> = Arc::new(Db::new(tiny_opts()));
+        for i in 0..300u32 {
+            db.put(format!("key{i:05}").as_bytes(), &i.to_be_bytes());
+        }
+        assert!(db.run_count() > 0, "need runs so misses hit tier 2");
+        let kv: Arc<dyn AsyncKv> = Arc::clone(&db).into_async_kv();
+        let ops = vec![
+            KvOp::Put(b"fresh".to_vec(), b"x".to_vec()),
+            KvOp::Get(b"fresh".to_vec()),
+            KvOp::Get(b"key00042".to_vec()),
+            KvOp::Delete(b"key00042".to_vec()),
+            KvOp::Get(b"key00042".to_vec()),
+        ];
+        let out = block_on(async { kv.apply_batch_async(&ops).await });
+        assert_eq!(
+            out,
+            vec![
+                KvResult::Done,
+                KvResult::Value(Some(b"x".to_vec())),
+                KvResult::Value(Some(42u32.to_be_bytes().to_vec())),
+                KvResult::Done,
+                KvResult::Value(None),
+            ]
+        );
+        // And the writes are visible to the synchronous point API.
+        assert_eq!(db.get(b"fresh"), Some(b"x".to_vec()));
+        assert_eq!(db.get(b"key00042"), None);
+    }
+
+    #[test]
+    fn concurrent_batches_and_point_ops_share_the_db() {
+        let db: Arc<Db<Hemlock>> = Arc::new(Db::new(tiny_opts()));
+        std::thread::scope(|s| {
+            for t in 0..2u32 {
+                let db = Arc::clone(&db);
+                s.spawn(move || {
+                    for round in 0..100u32 {
+                        let ops: Vec<KvOp> = (0..8u32)
+                            .map(|i| {
+                                KvOp::Put(
+                                    format!("b{t}r{round:03}k{i}").into_bytes(),
+                                    round.to_be_bytes().to_vec(),
+                                )
+                            })
+                            .collect();
+                        let out = db.apply_batch(&ops);
+                        assert!(out.iter().all(|r| *r == KvResult::Done));
+                    }
+                });
+            }
+            let db = Arc::clone(&db);
+            s.spawn(move || {
+                for i in 0..500u32 {
+                    let key = format!("point{i:05}");
+                    db.put(key.as_bytes(), &i.to_be_bytes());
+                    assert_eq!(db.get(key.as_bytes()), Some(i.to_be_bytes().to_vec()));
+                }
+            });
+        });
+        // Every batched write is visible afterwards, across any freezes.
+        for t in 0..2u32 {
+            for round in (0..100u32).step_by(17) {
+                for i in 0..8u32 {
+                    let key = format!("b{t}r{round:03}k{i}");
+                    assert_eq!(
+                        db.get(key.as_bytes()),
+                        Some(round.to_be_bytes().to_vec()),
+                        "{key}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -30,11 +30,13 @@
 pub mod bench;
 pub mod db;
 pub mod memtable;
+pub mod op;
 pub mod run;
 
 pub use bench::{fill_seq, key_for, read_random, value_for, ReadBenchResult};
 pub use db::{AsyncKv, BoxKvFuture, Db, DbStats, Options, WouldBlock};
 pub use memtable::Memtable;
+pub use op::{KvOp, KvResult};
 pub use run::Run;
 
 #[cfg(test)]

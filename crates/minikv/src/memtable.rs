@@ -17,10 +17,11 @@
 //! system, exactly like the paper's process-wide `LD_PRELOAD`
 //! interposition.
 
+use crate::op::KvOp;
 use core::sync::atomic::{AtomicIsize, Ordering};
 use hemlock_core::hemlock::Hemlock;
 use hemlock_core::raw::{RawLock, RawTryLock};
-use hemlock_shard::{ShardedTable, TableStats};
+use hemlock_shard::{ShardedTable, TableOp, TableResult, TableStats};
 use std::time::Duration;
 
 /// A value or a deletion marker.
@@ -184,6 +185,76 @@ impl<L: RawLock> Memtable<L> {
             .await
     }
 
+    /// Lowers a [`KvOp`] batch onto the sharded table's vocabulary. A
+    /// `Delete` becomes a tombstone *write* (`Put(key, None)`), never a
+    /// [`TableOp::Remove`]: removing the entry would resurrect whatever an
+    /// older run holds for the key, exactly the bug LSM tombstones exist
+    /// to prevent.
+    fn lower_batch(ops: &[KvOp]) -> Vec<TableOp<Box<[u8]>, Slot>> {
+        ops.iter()
+            .map(|op| match op {
+                KvOp::Get(k) => TableOp::Get(k.as_slice().into()),
+                KvOp::Put(k, v) => TableOp::Put(k.as_slice().into(), Some(v.as_slice().into())),
+                KvOp::Delete(k) => TableOp::Put(k.as_slice().into(), None),
+            })
+            .collect()
+    }
+
+    /// Charges the byte budget for a completed batch, **post-hoc** from the
+    /// displaced slots the writes returned. Unlike the point paths, which
+    /// charge inside the shard critical section, the batch may have been
+    /// serviced by a *combiner* on another thread — so the charge happens
+    /// here, after completion. This stays exact under racing drains because
+    /// the accounting telescopes: every write's delta is computed against
+    /// the slot it actually displaced (serialized per shard), and
+    /// [`Memtable::drain_sorted`] subtracts the bytes it actually removes.
+    /// The one leak is an *async batch cancelled after its ops were
+    /// claimed*: the ops land but the discarded results are never charged,
+    /// leaving `approx_bytes` to understate until the next freeze re-zeroes
+    /// it — acceptable for an approximate budget whose only job is to trip
+    /// freezes.
+    fn charge_batch(&self, ops: &[TableOp<Box<[u8]>, Slot>], results: &[TableResult<Slot>]) {
+        let mut delta = 0isize;
+        for (op, res) in ops.iter().zip(results) {
+            if let (TableOp::Put(key, slot), TableResult::Prev(prev)) = (op, res) {
+                let vlen = slot.as_ref().map_or(0, |v| v.len());
+                delta += insert_delta(key, vlen, prev.as_ref());
+            }
+        }
+        if delta != 0 {
+            self.approx_bytes.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// Applies a [`KvOp`] batch through the sharded table's flat-combining
+    /// layer ([`ShardedTable::apply_batch`]): one lock acquisition per
+    /// shard touched, posted to a combiner when the shard is contended.
+    /// Results are positional and in the raw table vocabulary — the caller
+    /// ([`crate::Db`]) distinguishes a memtable miss (`Value(None)`) from a
+    /// tombstone hit (`Value(Some(None))`) to decide which gets still need
+    /// the run tier.
+    pub fn apply_batch(&self, ops: &[KvOp]) -> Vec<TableResult<Slot>>
+    where
+        L: RawTryLock,
+    {
+        let lowered = Self::lower_batch(ops);
+        let results = self.map.apply_batch(&lowered);
+        self.charge_batch(&lowered, &results);
+        results
+    }
+
+    /// Asynchronous [`Memtable::apply_batch`]: a contended shard parks the
+    /// task on its posted record instead of the thread.
+    pub async fn apply_batch_async(&self, ops: &[KvOp]) -> Vec<TableResult<Slot>>
+    where
+        L: RawTryLock,
+    {
+        let lowered = Self::lower_batch(ops);
+        let results = self.map.apply_batch_async(&lowered).await;
+        self.charge_batch(&lowered, &results);
+        results
+    }
+
     /// True when empty.
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
@@ -281,6 +352,43 @@ mod tests {
         assert_eq!(drained.len(), 500);
         assert_eq!(m.approximate_bytes(), 0);
         assert!(m.is_empty());
+    }
+
+    #[test]
+    fn batch_byte_accounting_matches_the_point_paths() {
+        // The same op sequence, issued point-wise and batched, must leave
+        // the byte budget identical — overwrites, tombstones, and fresh
+        // keys exercise both arms of `insert_delta`.
+        let point = Mem::with_shards(4);
+        let batched = Mem::with_shards(4);
+        let ops = vec![
+            KvOp::Put(b"a".to_vec(), vec![1; 100]),
+            KvOp::Put(b"b".to_vec(), vec![2; 50]),
+            KvOp::Put(b"a".to_vec(), vec![3; 10]), // shrink overwrite
+            KvOp::Delete(b"b".to_vec()),           // tombstone overwrite
+            KvOp::Delete(b"c".to_vec()),           // fresh tombstone
+            KvOp::Get(b"a".to_vec()),
+        ];
+        for op in &ops {
+            match op {
+                KvOp::Put(k, v) => point.insert(k, Some(v.as_slice().into())),
+                KvOp::Delete(k) => point.insert(k, None),
+                KvOp::Get(k) => {
+                    point.get(k);
+                }
+            }
+        }
+        let results = batched.apply_batch(&ops);
+        assert_eq!(batched.approximate_bytes(), point.approximate_bytes());
+        assert!(batched.approximate_bytes() > 0);
+        // Positional answers: the get sees the shrunken overwrite.
+        assert_eq!(
+            results[5],
+            TableResult::Value(Some(Some(vec![3u8; 10].into())))
+        );
+        // Draining still returns the budget to exactly zero.
+        batched.drain_sorted();
+        assert_eq!(batched.approximate_bytes(), 0);
     }
 
     #[test]

@@ -1,0 +1,96 @@
+//! The one batch-op vocabulary shared by every layer of the stack.
+//!
+//! Before this module, three shapes described the same three operations:
+//! the wire protocol's `Request` variants in `hemlock-net`, the load
+//! generator's internal `Op`, and the `get`/`put`/`delete` method triple on
+//! [`Db`](crate::Db). The batch API ([`Db::apply_batch`](crate::Db::apply_batch),
+//! [`AsyncKv::apply_batch_async`](crate::AsyncKv::apply_batch_async), the
+//! server's burst dispatch) would have been a fourth. Instead, everything
+//! batched speaks [`KvOp`] / [`KvResult`]:
+//!
+//! - `hemlock-minikv` defines them (this module) and consumes them in the
+//!   batch entry points;
+//! - `hemlock-net` provides `From` conversions between `(id, KvOp)` /
+//!   `(id, KvResult)` and its framed `Request` / `Response`, so a decoded
+//!   pipeline burst maps 1:1 onto a batch and back;
+//! - the bench binaries generate `KvOp` streams directly.
+//!
+//! Results are **positional**: `apply_batch(&ops)[i]` answers `ops[i]`.
+//! Writes answer [`KvResult::Done`]; reads answer [`KvResult::Value`]
+//! (`None` for a key that is absent *or* tombstoned — the distinction is
+//! internal to the LSM tiers and deliberately not surfaced here, matching
+//! what [`Db::get`](crate::Db::get) returns).
+
+/// One keyed operation, as named by every layer from the wire down.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum KvOp {
+    /// Point lookup.
+    Get(Vec<u8>),
+    /// Insert or overwrite.
+    Put(Vec<u8>, Vec<u8>),
+    /// Delete (a tombstone write in the LSM tiers).
+    Delete(Vec<u8>),
+}
+
+impl KvOp {
+    /// The key this operation addresses.
+    pub fn key(&self) -> &[u8] {
+        match self {
+            KvOp::Get(k) | KvOp::Put(k, _) | KvOp::Delete(k) => k,
+        }
+    }
+
+    /// True for the write variants (`Put`, `Delete`).
+    pub fn is_write(&self) -> bool {
+        !matches!(self, KvOp::Get(_))
+    }
+}
+
+/// The positional answer to one [`KvOp`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum KvResult {
+    /// Answer to a [`KvOp::Get`]: the value, or `None` when the key is
+    /// absent (or deleted — callers see exactly what `Db::get` returns).
+    Value(Option<Vec<u8>>),
+    /// Answer to a [`KvOp::Put`] or [`KvOp::Delete`]: the write landed.
+    Done,
+}
+
+impl KvResult {
+    /// The value carried by a [`KvResult::Value`]; `None` for `Done` or a
+    /// missing key. Convenience for callers that know they issued a `Get`.
+    pub fn into_value(self) -> Option<Vec<u8>> {
+        match self {
+            KvResult::Value(v) => v,
+            KvResult::Done => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_and_is_write_cover_all_variants() {
+        let g = KvOp::Get(b"k".to_vec());
+        let p = KvOp::Put(b"k".to_vec(), b"v".to_vec());
+        let d = KvOp::Delete(b"k".to_vec());
+        for op in [&g, &p, &d] {
+            assert_eq!(op.key(), b"k");
+        }
+        assert!(!g.is_write());
+        assert!(p.is_write());
+        assert!(d.is_write());
+    }
+
+    #[test]
+    fn into_value_unwraps_only_values() {
+        assert_eq!(
+            KvResult::Value(Some(b"v".to_vec())).into_value(),
+            Some(b"v".to_vec())
+        );
+        assert_eq!(KvResult::Value(None).into_value(), None);
+        assert_eq!(KvResult::Done.into_value(), None);
+    }
+}

@@ -9,6 +9,7 @@
 use crate::aio;
 use crate::proto::{encode_request, Decoder, FrameError, Request, Response};
 use hemlock_harness::Reactor;
+use hemlock_minikv::KvOp;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::AtomicBool;
@@ -28,22 +29,24 @@ pub enum Op<'a> {
 }
 
 impl Op<'_> {
-    fn to_request(self, id: u64) -> Request {
+    /// Materializes this borrowed view as the stack-wide owned batch op
+    /// ([`hemlock_minikv::KvOp`]); `None` for [`Op::Ping`], which is
+    /// connection liveness rather than a KV operation. `Op` is just the
+    /// zero-copy batch-building form of `KvOp` — the wire encoding, the
+    /// server dispatch, and the store all speak the shared vocabulary.
+    pub fn to_kv(self) -> Option<KvOp> {
         match self {
-            Op::Get(key) => Request::Get {
-                id,
-                key: key.to_vec(),
-            },
-            Op::Put(key, value) => Request::Put {
-                id,
-                key: key.to_vec(),
-                value: value.to_vec(),
-            },
-            Op::Delete(key) => Request::Delete {
-                id,
-                key: key.to_vec(),
-            },
-            Op::Ping => Request::Ping { id },
+            Op::Get(key) => Some(KvOp::Get(key.to_vec())),
+            Op::Put(key, value) => Some(KvOp::Put(key.to_vec(), value.to_vec())),
+            Op::Delete(key) => Some(KvOp::Delete(key.to_vec())),
+            Op::Ping => None,
+        }
+    }
+
+    fn to_request(self, id: u64) -> Request {
+        match self.to_kv() {
+            Some(op) => Request::from((id, op)),
+            None => Request::Ping { id },
         }
     }
 }

@@ -48,6 +48,7 @@
 
 pub mod aio;
 pub mod client;
+pub mod convert;
 pub mod proto;
 pub mod server;
 
@@ -55,7 +56,7 @@ pub use client::{AsyncConn, Client, Op};
 pub use proto::{
     encode_request, encode_response, Decoder, FrameError, Request, Response, MAX_FRAME,
 };
-pub use server::{spawn_server, ServerHandle, ServerStats};
+pub use server::{spawn_server, spawn_server_with, ServerHandle, ServerOptions, ServerStats};
 
 #[cfg(test)]
 mod proptests {

@@ -32,11 +32,28 @@ use crate::aio;
 use crate::proto::{encode_response, Decoder, Request, Response};
 use hemlock_harness::executor::{block_on, JoinHandle, TaskPool};
 use hemlock_harness::Reactor;
-use hemlock_minikv::AsyncKv;
+use hemlock_minikv::{AsyncKv, KvOp};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerOptions {
+    /// Dispatch each decoded pipeline burst as **one**
+    /// [`AsyncKv::apply_batch_async`] call (the flat-combined path: one
+    /// shard acquisition per shard touched, one run snapshot for all the
+    /// misses) instead of awaiting one future per request. On by
+    /// default; `loadgen --combine off` measures the per-op baseline.
+    pub combine: bool,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        Self { combine: true }
+    }
+}
 
 /// Totals reported by [`ServerHandle::shutdown`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -95,12 +112,23 @@ impl Drop for ServerHandle {
 }
 
 /// Binds `addr` and starts serving `kv` with one pool task per
-/// connection. Returns once the listener is bound; serving continues
-/// until [`ServerHandle::shutdown`].
+/// connection and default [`ServerOptions`] (burst dispatch combined).
+/// Returns once the listener is bound; serving continues until
+/// [`ServerHandle::shutdown`].
 pub fn spawn_server(
     pool: &Arc<TaskPool>,
     kv: Arc<dyn AsyncKv>,
     addr: SocketAddr,
+) -> io::Result<ServerHandle> {
+    spawn_server_with(pool, kv, addr, ServerOptions::default())
+}
+
+/// [`spawn_server`] with explicit [`ServerOptions`].
+pub fn spawn_server_with(
+    pool: &Arc<TaskPool>,
+    kv: Arc<dyn AsyncKv>,
+    addr: SocketAddr,
+    opts: ServerOptions,
 ) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let local_addr = listener.local_addr()?;
@@ -112,7 +140,7 @@ pub fn spawn_server(
         let stop = Arc::clone(&stop);
         std::thread::Builder::new()
             .name("hemlock-accept".to_string())
-            .spawn(move || accept_loop(&listener, &pool, kv, &reactor, &stop))
+            .spawn(move || accept_loop(&listener, &pool, kv, &reactor, &stop, opts))
             .expect("spawn acceptor thread")
     };
     Ok(ServerHandle {
@@ -130,6 +158,7 @@ fn accept_loop(
     kv: Arc<dyn AsyncKv>,
     reactor: &Arc<Reactor>,
     stop: &Arc<AtomicBool>,
+    opts: ServerOptions,
 ) -> (usize, Vec<JoinHandle<u64>>) {
     block_on(async {
         let mut conns = Vec::new();
@@ -145,6 +174,7 @@ fn accept_loop(
                         Arc::clone(&kv),
                         Arc::clone(reactor),
                         Arc::clone(stop),
+                        opts,
                     )));
                 }
                 Ok(None) => break, // graceful stop
@@ -162,28 +192,40 @@ async fn serve_conn(
     kv: Arc<dyn AsyncKv>,
     reactor: Arc<Reactor>,
     stop: Arc<AtomicBool>,
+    opts: ServerOptions,
 ) -> u64 {
     let mut dec = Decoder::new();
     let mut inbuf = vec![0u8; 16 * 1024];
     let mut outbuf = Vec::new();
+    let mut reqs: Vec<Request> = Vec::new();
     let mut served = 0u64;
     loop {
-        // Execute everything fully received, in arrival order. Pipelined
+        // Drain everything fully received, in arrival order. Pipelined
         // peers get one flush per read batch rather than per request.
-        let mut batched = 0u64;
         loop {
             match dec.next_request() {
-                Ok(Some(req)) => {
-                    let resp = dispatch(&*kv, req).await;
-                    if encode_response(&resp, &mut outbuf).is_err() {
-                        return served;
-                    }
-                    batched += 1;
-                }
+                Ok(Some(req)) => reqs.push(req),
                 Ok(None) => break,
                 // Protocol violation: the stream has no resync point, so
                 // drop the connection (never panic the task).
                 Err(_) => return served,
+            }
+        }
+        let batched = reqs.len() as u64;
+        if opts.combine {
+            // The decoded burst IS the batch: one `apply_batch_async`
+            // call amortizes the whole read's lock work (flat-combined
+            // shard passes, one run snapshot, one freeze check) instead
+            // of paying it once per request.
+            if dispatch_burst(&*kv, &mut reqs, &mut outbuf).await.is_err() {
+                return served;
+            }
+        } else {
+            for req in reqs.drain(..) {
+                let resp = dispatch(&*kv, req).await;
+                if encode_response(&resp, &mut outbuf).is_err() {
+                    return served;
+                }
             }
         }
         if !outbuf.is_empty() {
@@ -201,6 +243,53 @@ async fn serve_conn(
             Err(_) => return served,
         }
     }
+}
+
+/// What a burst slot is waiting for: a ping answered inline, or the
+/// next positional result of the batch.
+enum Pending {
+    Ping(u64),
+    Op(u64),
+}
+
+/// Executes one decoded pipeline burst as a single batch: converts the
+/// KV requests to [`KvOp`]s (pings are answered in place), feeds them to
+/// [`AsyncKv::apply_batch_async`] as one unit, and encodes the
+/// positional results back in request order. `Err` means an encode
+/// failure — fatal to the connection, like the per-op path.
+async fn dispatch_burst(
+    kv: &dyn AsyncKv,
+    reqs: &mut Vec<Request>,
+    outbuf: &mut Vec<u8>,
+) -> Result<(), ()> {
+    if reqs.is_empty() {
+        return Ok(());
+    }
+    let mut pending = Vec::with_capacity(reqs.len());
+    let mut ops = Vec::with_capacity(reqs.len());
+    for req in reqs.drain(..) {
+        match <(u64, KvOp)>::try_from(req) {
+            Ok((id, op)) => {
+                pending.push(Pending::Op(id));
+                ops.push(op);
+            }
+            Err(ping) => pending.push(Pending::Ping(ping.id())),
+        }
+    }
+    let mut results = kv.apply_batch_async(&ops).await.into_iter();
+    for p in pending {
+        let resp = match p {
+            Pending::Ping(id) => Response::Pong { id },
+            Pending::Op(id) => {
+                let res = results.next().expect("batch results are positional");
+                Response::from((id, res))
+            }
+        };
+        if encode_response(&resp, outbuf).is_err() {
+            return Err(());
+        }
+    }
+    Ok(())
 }
 
 /// Executes one request against the store. Infallible by construction —

@@ -32,10 +32,14 @@ use std::collections::hash_map::RandomState;
 use std::collections::HashMap;
 use std::hash::{BuildHasher, Hash};
 
-/// One stripe: a map plus its lock and contention census.
+/// One stripe: a map plus its lock, contention census, and the
+/// flat-combining publication list ([`crate::batch`]).
 struct Shard<K, V, L: RawLock> {
     map: Mutex<HashMap<K, V>, L>,
     stats: ShardStats,
+    /// Posted-but-unserviced batch groups awaiting this shard's lock
+    /// holder; drained only by the batch paths (see `crate::batch`).
+    pubs: crate::batch::PubList<K, V>,
 }
 
 impl<K, V, L: RawLock> Default for Shard<K, V, L> {
@@ -43,6 +47,7 @@ impl<K, V, L: RawLock> Default for Shard<K, V, L> {
         Self {
             map: Mutex::new(HashMap::new()),
             stats: ShardStats::default(),
+            pubs: crate::batch::PubList::default(),
         }
     }
 }
@@ -273,7 +278,14 @@ impl<K: Hash + Eq, V, L: RawLock> ShardedTable<K, V, L> {
         (0..self.shards.len()).all(|i| self.read_shard(i).is_empty())
     }
 
-    /// Removes every entry, shard by shard.
+    /// Removes every entry, **one shard at a time** — there is no
+    /// table-wide consistent cut. A concurrent writer may repopulate
+    /// already-cleared shards before later shards are reached, so the
+    /// table is only guaranteed empty at return if no writer ran
+    /// concurrently. What *is* guaranteed is per-shard atomicity: each
+    /// shard transitions from its current contents to empty under its own
+    /// lock, so operations that complete within one shard (point ops, a
+    /// batch's same-shard group) are never observed half-cleared.
     pub fn clear(&self) {
         for i in 0..self.shards.len() {
             self.lock_shard(i).clear();
@@ -281,6 +293,10 @@ impl<K: Hash + Eq, V, L: RawLock> ShardedTable<K, V, L> {
     }
 
     /// Drains the whole table into a vector, shard by shard (unordered).
+    /// Same cut semantics as [`Self::clear`]: per-shard atomic, no
+    /// table-wide snapshot — entries written concurrently to
+    /// already-drained shards are missed, entries written to
+    /// not-yet-drained shards are included.
     pub fn drain(&self) -> Vec<(K, V)> {
         let mut out = Vec::new();
         for i in 0..self.shards.len() {
@@ -326,10 +342,32 @@ impl<K: Hash + Eq, V, L: RawLock> ShardedTable<K, V, L> {
 
     /// Quiescent lock-space cost of this table when used by `threads`
     /// threads: `shards` lock bodies plus padded per-thread state, from
-    /// [`LockMeta::footprint_bytes`]. This is the number the paper's
-    /// Table 1 argues should stay small even at millions of stripes.
+    /// [`LockMeta::footprint_bytes`] — plus the flat-combining layer,
+    /// priced the same way: one compact Hemlock word guarding each
+    /// shard's publication list, and the list header itself. (Posted
+    /// records are transient, like engagement queue elements, and are
+    /// excluded — this is the *resting* space cost the paper's Table 1
+    /// compares.)
     pub fn footprint_bytes(&self, threads: usize) -> usize {
-        L::META.footprint_bytes(self.shards.len(), threads)
+        let n = self.shards.len();
+        L::META.footprint_bytes(n, threads)
+            + Hemlock::META.footprint_bytes(n, 0)
+            + n * core::mem::size_of::<Vec<()>>()
+    }
+}
+
+impl<K, V, L: RawLock> ShardedTable<K, V, L> {
+    /// Shard `idx`'s publication list (the batch paths' combining seam).
+    /// Unbounded on `K`/`V` so the batch layer's drop guards can
+    /// withdraw records without carrying the table's op bounds.
+    pub(crate) fn shard_pubs(&self, idx: usize) -> &crate::batch::PubList<K, V> {
+        &self.shards[idx].pubs
+    }
+
+    /// The table-wide waiter registry, shared by the async point ops and
+    /// the batch posters (sync and async alike).
+    pub(crate) fn wakerset(&self) -> &WakerSet {
+        &self.wakers
     }
 }
 
@@ -472,8 +510,8 @@ impl<K: Hash + Eq, V, L: RawTryLock> ShardedTable<K, V, L> {
     }
 
     /// One non-blocking attempt on shard `idx`, with census accounting —
-    /// the building block every `*_async` poll uses.
-    fn try_lock_shard_idx(&self, idx: usize) -> Option<ShardGuard<'_, K, V, L>> {
+    /// the building block every `*_async` poll and every batch step uses.
+    pub(crate) fn try_lock_shard_idx(&self, idx: usize) -> Option<ShardGuard<'_, K, V, L>> {
         let shard = &self.shards[idx];
         match shard.map.try_lock() {
             Some(guard) => {
@@ -1035,10 +1073,16 @@ mod tests {
     }
 
     #[test]
-    fn footprint_prices_shards_and_threads() {
+    fn footprint_prices_shards_threads_and_the_combining_layer() {
         let t: Table<u32, u32> = ShardedTable::with_shards(64);
         assert_eq!(t.lock_meta().name, "Hemlock");
-        assert_eq!(t.footprint_bytes(8), Hemlock::META.footprint_bytes(64, 8));
+        // Shard locks + thread state, plus the combining layer: one
+        // Hemlock word per publication-list lock and the list header.
+        let combining = Hemlock::META.footprint_bytes(64, 0) + 64 * core::mem::size_of::<Vec<()>>();
+        assert_eq!(
+            t.footprint_bytes(8),
+            Hemlock::META.footprint_bytes(64, 8) + combining
+        );
         // One-word locks: 64 shards cost 64 words of lock space.
         assert_eq!(
             Hemlock::META.footprint_bytes(64, 0),

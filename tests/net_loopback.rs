@@ -14,7 +14,9 @@ use hemlock_core::raw::RawTryLock;
 use hemlock_harness::executor::TaskPool;
 use hemlock_harness::reactor::Reactor;
 use hemlock_minikv::{AsyncKv, Db, Options};
-use hemlock_net::{spawn_server, AsyncConn, Client, Op, Response, ServerHandle};
+use hemlock_net::{
+    spawn_server_with, AsyncConn, Client, Op, Response, ServerHandle, ServerOptions,
+};
 use std::sync::Arc;
 
 fn tiny_opts() -> Options {
@@ -28,13 +30,15 @@ fn tiny_opts() -> Options {
 /// Spawns a fresh server over a `Db<L>` for the given catalog entry.
 struct Spawn<'a> {
     pool: &'a Arc<TaskPool>,
+    opts: ServerOptions,
 }
 
 impl AsyncLockVisitor for Spawn<'_> {
     type Output = ServerHandle;
     fn visit<L: RawTryLock + 'static>(self, _entry: &'static AsyncCatalogEntry) -> ServerHandle {
         let kv: Arc<dyn AsyncKv> = Arc::new(Db::<L>::new(tiny_opts())).into_async_kv();
-        spawn_server(self.pool, kv, "127.0.0.1:0".parse().unwrap()).expect("bind loopback")
+        spawn_server_with(self.pool, kv, "127.0.0.1:0".parse().unwrap(), self.opts)
+            .expect("bind loopback")
     }
 }
 
@@ -97,20 +101,28 @@ fn drive(addr: std::net::SocketAddr, lock: &str) -> u64 {
 }
 
 /// GET/PUT/DELETE/PING round-trips + graceful shutdown accounting under
-/// every abortable lock in the `async.*` catalog.
+/// every abortable lock in the `async.*` catalog — in **both** dispatch
+/// modes, so the combined (batched) server path proves itself
+/// observably identical to the per-op baseline on every lock.
 #[test]
 fn round_trips_and_graceful_shutdown_under_every_async_lock() {
     let pool = Arc::new(TaskPool::new(2));
-    for key in catalog::keys() {
-        let server = catalog::with_async_lock_type(key, Spawn { pool: &pool })
-            .expect("catalog key dispatches");
-        let responses = drive(server.local_addr(), key);
-        let stats = server.shutdown();
-        assert_eq!(stats.connections, 1, "{key}: one client connected");
-        assert_eq!(
-            stats.requests, responses,
-            "{key}: every request the client saw answered must be counted served"
-        );
+    for combine in [true, false] {
+        let opts = ServerOptions { combine };
+        for key in catalog::keys() {
+            let server = catalog::with_async_lock_type(key, Spawn { pool: &pool, opts })
+                .expect("catalog key dispatches");
+            let responses = drive(server.local_addr(), key);
+            let stats = server.shutdown();
+            assert_eq!(
+                stats.connections, 1,
+                "{key} combine={combine}: one client connected"
+            );
+            assert_eq!(
+                stats.requests, responses,
+                "{key} combine={combine}: every request the client saw answered must be counted served"
+            );
+        }
     }
 }
 
@@ -125,8 +137,14 @@ fn sixty_four_pipelined_connections_survive_shutdown_accounting() {
     const PIPELINE: usize = 8;
 
     let server_pool = Arc::new(TaskPool::new(4));
-    let server = catalog::with_async_lock_type("async.hemlock", Spawn { pool: &server_pool })
-        .expect("async.hemlock is in the catalog");
+    let server = catalog::with_async_lock_type(
+        "async.hemlock",
+        Spawn {
+            pool: &server_pool,
+            opts: ServerOptions::default(),
+        },
+    )
+    .expect("async.hemlock is in the catalog");
     let addr = server.local_addr();
 
     // Drive the clients from their own pool so 64 connections need only
