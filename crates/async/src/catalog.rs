@@ -30,6 +30,7 @@ pub mod types {
         HemlockParking, HemlockV1, HemlockV2,
     };
     pub use hemlock_locks::{McsLock, TasLock, TicketLock, TtasLock};
+    pub use hemlock_obs::ObservedHemlock;
 }
 
 /// Invokes a callback macro with the full async catalog: a comma-separated
@@ -50,6 +51,7 @@ macro_rules! for_each_async_lock {
             ("async.hemlock.parking", [], $crate::catalog::types::HemlockParking),
             ("async.hemlock.chain", [], $crate::catalog::types::HemlockChain),
             ("async.hemlock.instr", [], $crate::catalog::types::HemlockInstrumented),
+            ("async.obs.hemlock", ["async.hemlock.obs"], $crate::catalog::types::ObservedHemlock),
             ("async.mcs", [], $crate::catalog::types::McsLock),
             ("async.ticket", [], $crate::catalog::types::TicketLock),
             ("async.tas", [], $crate::catalog::types::TasLock),

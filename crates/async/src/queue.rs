@@ -143,6 +143,11 @@ impl Inner {
             if let Some(w) = unsafe { (*node.waker.get()).take() } {
                 wakes.push(w);
             }
+            if hemlock_obs::enabled() {
+                let reg = hemlock_obs::registry();
+                reg.async_wakes.inc();
+                reg.async_queue_depth.dec();
+            }
             node.state.store(GRANTED, Ordering::Release);
             if exclusive {
                 return;
@@ -266,6 +271,11 @@ impl<L: RawTryLock> WakerQueue<L> {
                 let node = Arc::new(WaitNode::new(exclusive, cx.waker().clone()));
                 inner.queue.push_back(Arc::clone(&node));
                 *slot = Some(node);
+                if hemlock_obs::enabled() {
+                    let reg = hemlock_obs::registry();
+                    reg.async_parks.inc();
+                    reg.async_queue_depth.inc();
+                }
                 false
             }
         });
@@ -326,6 +336,11 @@ impl<L: RawTryLock> WakerQueue<L> {
                 let before = inner.queue.len();
                 inner.queue.retain(|n| !Arc::ptr_eq(n, node));
                 debug_assert_eq!(inner.queue.len() + 1, before, "node missing from queue");
+                if hemlock_obs::enabled() {
+                    let reg = hemlock_obs::registry();
+                    reg.async_cancels.inc();
+                    reg.async_queue_depth.dec();
+                }
             }
             // A withdrawn writer may unblock the reader batch behind it; a
             // passed-on grant needs a new owner.

@@ -33,6 +33,7 @@ use hemlock_core::meta::LockMeta;
 use hemlock_core::raw::RawTryLock;
 use hemlock_harness::executor::{yield_now, TaskPool};
 use hemlock_harness::{fmt_f64, Histogram, Spec, Table};
+use hemlock_obs::Pcts;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -111,7 +112,7 @@ struct Row {
     tasks: usize,
     workers: usize,
     ops_per_sec: f64,
-    wakeup_p99_ns: u64,
+    wakeup: Pcts,
     fairness_spread: f64,
 }
 
@@ -138,7 +139,9 @@ impl AsyncLockVisitor for AsyncSweep<'_> {
                 runs.sort_by_key(|r| r.acquired);
                 let median = runs.remove(runs.len() / 2);
                 let ops_per_sec = median.acquired as f64 / median.elapsed.as_secs_f64();
-                let wakeup_p99_ns = median.latency.quantile(0.99);
+                // One pcts() call instead of per-bin quantile picking:
+                // the shared summary struct is what every bench reports.
+                let wakeup = median.latency.pcts();
                 // Spread from the per-task count histogram: max/min (a
                 // starved task drives this toward infinity; cap via >=1).
                 let fairness_spread =
@@ -149,7 +152,7 @@ impl AsyncLockVisitor for AsyncSweep<'_> {
                     tasks,
                     workers,
                     ops_per_sec / 1e6,
-                    wakeup_p99_ns as f64 / 1e3,
+                    wakeup.p99 as f64 / 1e3,
                     fairness_spread,
                 );
                 rows.push(Row {
@@ -157,7 +160,7 @@ impl AsyncLockVisitor for AsyncSweep<'_> {
                     tasks,
                     workers,
                     ops_per_sec,
-                    wakeup_p99_ns,
+                    wakeup,
                     fairness_spread,
                 });
             }
@@ -182,7 +185,9 @@ fn to_json(rows: &[Row]) -> String {
             RecordBuilder::new(format!("asyncbench.t{}", r.tasks), r.meta.name)
                 .threads(r.workers)
                 .ops_per_sec(r.ops_per_sec)
-                .extra("wakeup_p99_ns", r.wakeup_p99_ns as f64)
+                .extra("wakeup_p50_ns", r.wakeup.p50 as f64)
+                .extra("wakeup_p99_ns", r.wakeup.p99 as f64)
+                .extra("wakeup_p999_ns", r.wakeup.p999 as f64)
                 .extra("fairness_spread", r.fairness_spread)
                 .build()
         })
@@ -262,7 +267,7 @@ fn main() {
             r.tasks.to_string(),
             r.workers.to_string(),
             fmt_f64(r.ops_per_sec / 1e6, 3),
-            fmt_f64(r.wakeup_p99_ns as f64 / 1e3, 1),
+            fmt_f64(r.wakeup.p99 as f64 / 1e3, 1),
             fmt_f64(r.fairness_spread, 2),
         ]);
     }

@@ -80,6 +80,17 @@ fn main() {
         "tolerance",
         "allowed fractional throughput drop (default 0.30)",
     )
+    .value(
+        "obs-disabled",
+        "normalized records from `--obs off` re-runs of the same benches \
+         (comma-separated files); each must stay within --obs-tolerance \
+         of its metrics-enabled counterpart in the normal inputs",
+    )
+    .value(
+        "obs-tolerance",
+        "allowed fractional metrics-enabled throughput drop vs the \
+         --obs-disabled run (default 0.10)",
+    )
     .parse_env();
 
     // Every input accepts a comma-separated file list, so one bench run
@@ -130,6 +141,31 @@ fn main() {
         std::process::exit(2);
     }
     eprintln!("# bench_ci: wrote {} record(s) to {out}", records.len());
+
+    // Observability-overhead gate: metrics-enabled runs (the normal
+    // inputs above) vs `--obs off` re-runs of the same benches.
+    let obs_disabled_paths = paths("obs-disabled");
+    if !obs_disabled_paths.is_empty() {
+        let mut disabled: Vec<Record> = Vec::new();
+        for path in &obs_disabled_paths {
+            disabled.extend(or_exit(ci::parse_json(&read(path, "obs-disabled"))));
+        }
+        let obs_tolerance: f64 = args.get("obs-tolerance", 0.10);
+        let failures = ci::obs_gate(&records, &disabled, obs_tolerance);
+        if failures.is_empty() {
+            eprintln!(
+                "# bench_ci: obs gate PASSED ({} disabled record(s), tolerance {:.0}%)",
+                disabled.len(),
+                obs_tolerance * 100.0
+            );
+        } else {
+            eprintln!("# bench_ci: obs gate FAILED (metrics overhead over budget):");
+            for f in &failures {
+                eprintln!("#   {f}");
+            }
+            std::process::exit(1);
+        }
+    }
 
     let baseline_path = args.get_str("baseline", "");
     if baseline_path.is_empty() {

@@ -27,6 +27,15 @@
 //! `.combined`-suffixed in combined mode, with `p50_ns`/`p99_ns`/
 //! `p999_ns` extras `bench_ci --loadgen` ignores). Banners go to stderr,
 //! stdout stays machine-readable.
+//!
+//! Client RTT alone conflates queueing delay with service time, so
+//! before shutdown loadgen also pulls the server-side view over the
+//! `STATS` opcode (works for in-process and `--addr` servers alike) and
+//! emits `srv_p50_ns`/`srv_p99_ns`/`srv_p999_ns`/`srv_requests` extras:
+//! server service time is measured decode-to-encode, so RTT minus
+//! service time is the queueing + socket share. `--obs off` measures
+//! the metrics-disabled fast path (the `STATS` reply then carries
+//! frozen counts).
 
 use hemlock_async::catalog::{self, AsyncCatalogEntry, AsyncLockVisitor};
 use hemlock_bench::ci::{self, RecordBuilder};
@@ -35,6 +44,7 @@ use hemlock_harness::executor::TaskPool;
 use hemlock_harness::{fmt_f64, Histogram, Mt19937, Reactor, Spec, Table, Zipf};
 use hemlock_minikv::{AsyncKv, Db, Options};
 use hemlock_net::{spawn_server_with, AsyncConn, Client, Op, ServerHandle, ServerOptions};
+use hemlock_obs::{Pcts, Snapshot};
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -199,30 +209,61 @@ fn or_exit<T>(r: Result<T, String>) -> T {
     })
 }
 
+/// The server's own view of the run, pulled over the `STATS` opcode:
+/// service time is measured decode-to-encode on the server, so the
+/// client RTT minus this is the queueing + socket share.
+struct SrvStats {
+    requests: f64,
+    p50_ns: f64,
+    p99_ns: f64,
+    p999_ns: f64,
+}
+
+/// Fetches [`SrvStats`] over one fresh connection; `None` if the server
+/// is gone or predates the `STATS` opcode (an external `--addr` server
+/// from an older build hands an error response back).
+fn fetch_srv_stats(addr: SocketAddr) -> Option<SrvStats> {
+    let mut c = Client::connect(addr).ok()?;
+    let kv = Snapshot::parse_text(&c.stats().ok()?);
+    let get = |key: &str| kv.iter().find(|(k, _)| k.as_str() == key).map(|&(_, v)| v);
+    Some(SrvStats {
+        requests: get("net.requests")?,
+        p50_ns: get("net.service_ns.p50")?,
+        p99_ns: get("net.service_ns.p99")?,
+        p999_ns: get("net.service_ns.p999")?,
+    })
+}
+
 struct Report {
     lock: String,
     workers: usize,
     combined: bool,
     w: Workload,
     ops_per_sec: f64,
-    p50_ns: u64,
-    p99_ns: u64,
-    p999_ns: u64,
+    pcts: Pcts,
+    srv: Option<SrvStats>,
 }
 
 /// One bench-trajectory record through the shared [`RecordBuilder`]:
 /// combined-mode runs get the `.combined` bench-key suffix, and the
-/// latency percentiles ride as schema-invisible extras.
+/// client RTT + server service-time percentiles ride as
+/// schema-invisible extras.
 fn to_json(r: &Report) -> String {
-    let record = RecordBuilder::new(format!("loadgen.c{}.p{}", r.w.conns, r.w.pipeline), &r.lock)
+    let mut b = RecordBuilder::new(format!("loadgen.c{}.p{}", r.w.conns, r.w.pipeline), &r.lock)
         .combined(r.combined)
         .threads(r.workers)
         .ops_per_sec(r.ops_per_sec)
-        .extra("p50_ns", r.p50_ns as f64)
-        .extra("p99_ns", r.p99_ns as f64)
-        .extra("p999_ns", r.p999_ns as f64)
-        .build();
-    ci::to_json(&[record])
+        .extra("p50_ns", r.pcts.p50 as f64)
+        .extra("p99_ns", r.pcts.p99 as f64)
+        .extra("p999_ns", r.pcts.p999 as f64);
+    if let Some(s) = &r.srv {
+        b = b
+            .extra("srv_requests", s.requests)
+            .extra("srv_p50_ns", s.p50_ns)
+            .extra("srv_p99_ns", s.p99_ns)
+            .extra("srv_p999_ns", s.p999_ns);
+    }
+    ci::to_json(&[b.build()])
 }
 
 fn main() {
@@ -262,6 +303,12 @@ fn main() {
          burst as one flat-combined batch; `on` adds a `.combined` \
          bench-key suffix (with --addr it only labels the record)",
     )
+    .value(
+        "obs",
+        "on|off (default on): observability collection in this process \
+         (client + in-process server); `off` measures the disabled fast \
+         path",
+    )
     .value("secs", "seconds per measured run (default 2)")
     .value("runs", "median-of-N runs (default 1)")
     .flag(
@@ -297,6 +344,14 @@ fn main() {
             std::process::exit(2);
         }
     };
+    match args.get_str("obs", "on").as_str() {
+        "on" => hemlock_obs::init(),
+        "off" => hemlock_obs::set_enabled(false),
+        other => {
+            eprintln!("error: --obs must be `on` or `off`, got {other:?}");
+            std::process::exit(2);
+        }
+    }
     let json = args.has("json");
 
     // External server, or an in-process one on its own pool.
@@ -357,6 +412,19 @@ fn main() {
     results.sort_by_key(|r| r.ops);
     let median = results.remove(results.len() / 2);
 
+    // Pull the server-side view before tearing the server down; a
+    // `STATS` round-trip works for in-process and external alike.
+    let srv = fetch_srv_stats(addr);
+    if let Some(s) = &srv {
+        eprintln!(
+            "# loadgen: server-side service time p50={}us p99={}us over {} request(s) \
+             (client RTT minus service time = queueing + socket)",
+            fmt_f64(s.p50_ns / 1e3, 1),
+            fmt_f64(s.p99_ns / 1e3, 1),
+            s.requests as u64,
+        );
+    }
+
     if let Some((server, _pool)) = server {
         let stats = server.shutdown();
         eprintln!(
@@ -371,9 +439,8 @@ fn main() {
         combined: combine,
         w,
         ops_per_sec: median.ops as f64 / median.elapsed.as_secs_f64(),
-        p50_ns: median.latency.quantile(0.50),
-        p99_ns: median.latency.quantile(0.99),
-        p999_ns: median.latency.quantile(0.999),
+        pcts: median.latency.pcts(),
+        srv,
     };
 
     if json {
@@ -388,9 +455,9 @@ fn main() {
         report.w.conns.to_string(),
         report.w.pipeline.to_string(),
         fmt_f64(report.ops_per_sec / 1e3, 1),
-        fmt_f64(report.p50_ns as f64 / 1e3, 1),
-        fmt_f64(report.p99_ns as f64 / 1e3, 1),
-        fmt_f64(report.p999_ns as f64 / 1e3, 1),
+        fmt_f64(report.pcts.p50 as f64 / 1e3, 1),
+        fmt_f64(report.pcts.p99 as f64 / 1e3, 1),
+        fmt_f64(report.pcts.p999 as f64 / 1e3, 1),
     ]);
     print!("{}", t.render());
 }

@@ -19,7 +19,6 @@
 //! variant.
 
 use hemlock_bench::locks_from_args;
-use hemlock_core::hemlock::HemlockInstrumented;
 use hemlock_core::raw::RawLock;
 use hemlock_harness::Spec;
 use hemlock_locks::catalog::{self, CatalogEntry, LockVisitor};
@@ -58,10 +57,13 @@ fn main() {
     let duration = args.duration("secs", if quick { 0.2 } else { 2.0 });
 
     eprintln!("# §5.4 reproduction: instrumented lock censuses under the KV workload");
+    // The censuses live in hemlock-obs now: plug its sink into the core
+    // event seam so HemlockInstrumented's emissions are counted.
+    hemlock_obs::census::install();
     for entry in &locks {
         let instrumented = entry.key == "hemlock.instr";
         let before_read: fn() = if instrumented {
-            HemlockInstrumented::reset_stats
+            hemlock_obs::census::reset
         } else {
             || {}
         };
@@ -89,7 +91,7 @@ fn main() {
             );
             continue;
         }
-        let report = HemlockInstrumented::report();
+        let report = hemlock_obs::census::report();
         println!("{report}");
         println!();
         if report.max_grant_waiters <= 1 {

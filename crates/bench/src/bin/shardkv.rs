@@ -478,8 +478,22 @@ fn main() {
              through the flat-combining layer; records gain a `.combined` \
              bench-key suffix (needs trylock-capable locks)",
         )
+        .value(
+            "obs",
+            "on|off (default on): observability collection; `off` measures \
+             the disabled fast path (the CI enabled-vs-disabled gate runs \
+             both)",
+        )
         .flag("json", "emit normalized bench-trajectory JSON records");
     let args = spec.parse_env();
+    match args.get_str("obs", "on").as_str() {
+        "on" => hemlock_obs::init(),
+        "off" => hemlock_obs::set_enabled(false),
+        other => {
+            eprintln!("error: --obs must be `on` or `off`, got {other:?}");
+            std::process::exit(2);
+        }
+    }
 
     let default_locks: String = catalog::shard_friendly()
         .iter()

@@ -29,6 +29,7 @@ use hemlock_core::meta::LockMeta;
 use hemlock_core::raw::RawTryLock;
 use hemlock_harness::{fmt_f64, Histogram, Spec, Table};
 use hemlock_locks::catalog::{self, CatalogEntry, TimedLockVisitor};
+use hemlock_obs::Pcts;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex as StdMutex;
 use std::time::{Duration, Instant};
@@ -104,7 +105,7 @@ struct Row {
     timeout_ms: f64,
     ops_per_sec: f64,
     abandon_rate: f64,
-    p99_acquire_ns: u64,
+    acquire: Pcts,
 }
 
 struct TimeoutSweep<'a> {
@@ -144,7 +145,10 @@ impl TimedLockVisitor for TimeoutSweep<'_> {
                     } else {
                         median.abandoned as f64 / attempts as f64
                     };
-                    let p99 = median.latency.quantile(0.99);
+                    // One pcts() call instead of per-bin quantile
+                    // picking: the shared summary struct every bench
+                    // reports.
+                    let acquire = median.latency.pcts();
                     eprintln!(
                         "# timeoutbench {} hold={}us timeout={}ms threads={}: {:.2} Mops/s, abandon {:.1}%, p99 {:.1}us",
                         entry.meta.name,
@@ -153,7 +157,7 @@ impl TimedLockVisitor for TimeoutSweep<'_> {
                         threads,
                         ops_per_sec / 1e6,
                         abandon_rate * 100.0,
-                        p99 as f64 / 1e3,
+                        acquire.p99 as f64 / 1e3,
                     );
                     rows.push(Row {
                         meta: entry.meta,
@@ -162,7 +166,7 @@ impl TimedLockVisitor for TimeoutSweep<'_> {
                         timeout_ms,
                         ops_per_sec,
                         abandon_rate,
-                        p99_acquire_ns: p99,
+                        acquire,
                     });
                 }
             }
@@ -192,7 +196,9 @@ fn to_json(rows: &[Row]) -> String {
             .threads(r.threads)
             .ops_per_sec(r.ops_per_sec)
             .extra("abandon_rate", r.abandon_rate)
-            .extra("p99_acquire_ns", r.p99_acquire_ns as f64)
+            .extra("p50_acquire_ns", r.acquire.p50 as f64)
+            .extra("p99_acquire_ns", r.acquire.p99 as f64)
+            .extra("p999_acquire_ns", r.acquire.p999 as f64)
             .build()
         })
         .collect();
@@ -327,7 +333,7 @@ fn main() {
             r.threads.to_string(),
             fmt_f64(r.ops_per_sec / 1e6, 3),
             fmt_f64(r.abandon_rate * 100.0, 2),
-            fmt_f64(r.p99_acquire_ns as f64 / 1e3, 1),
+            fmt_f64(r.acquire.p99 as f64 / 1e3, 1),
         ]);
     }
     print!("{}", if sweep.csv { t.to_csv() } else { t.render() });

@@ -573,6 +573,44 @@ pub fn gate(current: &[Record], baseline: &[Record], tolerance: f64) -> Vec<Stri
     failures
 }
 
+/// Gates observability overhead: for every record of a metrics-disabled
+/// (`--obs off`) run, the matching metrics-enabled record must be within
+/// `tolerance` (fraction, e.g. 0.10) of its throughput. Returns
+/// human-readable failure lines, empty on pass.
+///
+/// A disabled-run record with no enabled counterpart is a failure — the
+/// comparison silently evaporating should be loud, same as [`gate`].
+pub fn obs_gate(enabled: &[Record], disabled: &[Record], tolerance: f64) -> Vec<String> {
+    let index: BTreeMap<_, _> = enabled.iter().map(|r| (r.key(), r)).collect();
+    let mut failures = Vec::new();
+    for base in disabled {
+        let Some(cur) = index.get(&base.key()) else {
+            failures.push(format!(
+                "missing record: {}/{} @{} threads present in the disabled run but not the enabled one",
+                base.bench, base.lock, base.threads
+            ));
+            continue;
+        };
+        if base.ops_per_sec <= 0.0 {
+            continue;
+        }
+        let floor = base.ops_per_sec * (1.0 - tolerance);
+        if cur.ops_per_sec < floor {
+            failures.push(format!(
+                "{}/{} @{}t: metrics-enabled {:.0} ops/s is {:.0}% below disabled {:.0} (allowed {:.0}%)",
+                base.bench,
+                base.lock,
+                base.threads,
+                cur.ops_per_sec,
+                100.0 * (1.0 - cur.ops_per_sec / base.ops_per_sec),
+                base.ops_per_sec,
+                tolerance * 100.0,
+            ));
+        }
+    }
+    failures
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -742,5 +780,33 @@ mod tests {
             rec("shardkv.s64", "Hemlock", 4, 123.0),
         ];
         assert!(gate(&current, &baseline, 0.3).is_empty());
+    }
+
+    #[test]
+    fn obs_gate_bounds_enabled_vs_disabled_overhead() {
+        let disabled = vec![
+            rec("shardkv.s64", "Hemlock", 4, 100.0),
+            rec("loadgen.c8.p4", "Hemlock", 4, 50.0),
+        ];
+        // Within 10%: passes.
+        let enabled = vec![
+            rec("shardkv.s64", "Hemlock", 4, 91.0),
+            rec("loadgen.c8.p4", "Hemlock", 4, 49.0),
+        ];
+        assert!(obs_gate(&enabled, &disabled, 0.10).is_empty());
+
+        // 15% down on one bench: one failure naming it.
+        let slow = vec![
+            rec("shardkv.s64", "Hemlock", 4, 85.0),
+            rec("loadgen.c8.p4", "Hemlock", 4, 49.0),
+        ];
+        let failures = obs_gate(&slow, &disabled, 0.10);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("shardkv.s64"), "{failures:?}");
+
+        // Disabled record with no enabled counterpart is loud.
+        let failures = obs_gate(&enabled[..1], &disabled, 0.10);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("missing record"), "{failures:?}");
     }
 }

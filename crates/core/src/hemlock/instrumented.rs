@@ -7,20 +7,24 @@
 //! number of threads waiting simultaneously on any Grant field was 1, thus
 //! the application enjoyed purely local spinning."
 //!
-//! This variant reproduces exactly those censuses: lock-while-holding events,
-//! the peak number of locks held by one thread, and the peak number of
-//! threads simultaneously busy-waiting on one Grant word (the multi-waiting
-//! degree of §2.2). Counters share the Grant cache line and add RMWs on the
-//! contended path, so use this variant to *characterize*, not to benchmark.
+//! This variant observes exactly those censuses: lock-while-holding events,
+//! the number of locks held by one thread, and the number of threads
+//! simultaneously busy-waiting on one Grant word (the multi-waiting degree
+//! of §2.2). The counts themselves live in the `hemlock-obs` registry: this
+//! lock *emits* [`crate::events::LockEvent`]s through the [`crate::events`]
+//! seam, and `hemlock_obs::census` aggregates them (install its sink and
+//! read `hemlock_obs::census::report()`). Waiter censusing shares the Grant
+//! cache line and adds RMWs on the contended path, so use this variant to
+//! *characterize*, not to benchmark.
 
+use crate::events::{self, LockEvent};
 use crate::hemlock::lock_id;
 use crate::meta::LockMeta;
 use crate::raw::{RawLock, RawTryLock};
 use crate::registry::{slot_tls, Slot};
 use crate::spin::SpinWait;
 use core::cell::Cell;
-use core::fmt;
-use core::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use core::sync::atomic::{AtomicUsize, Ordering};
 
 /// Grant word plus a census of threads currently spinning on it.
 #[repr(align(128))]
@@ -59,45 +63,12 @@ std::thread_local! {
     static HELD: Cell<usize> = const { Cell::new(0) };
 }
 
-static ACQUIRES: AtomicU64 = AtomicU64::new(0);
-static CONTENDED_ACQUIRES: AtomicU64 = AtomicU64::new(0);
-static CONTENDED_HANDOVERS: AtomicU64 = AtomicU64::new(0);
-static LOCK_WHILE_HOLDING: AtomicU64 = AtomicU64::new(0);
-static MAX_LOCKS_HELD: AtomicUsize = AtomicUsize::new(0);
-static MAX_GRANT_WAITERS: AtomicUsize = AtomicUsize::new(0);
+/// The site name this lock reports under (its `META.name`).
+const SITE: &str = "Hemlock(instr)";
 
-/// Snapshot of the family-wide instrumentation counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct InstrumentationReport {
-    /// Total successful acquisitions (lock + try_lock).
-    pub acquires: u64,
-    /// Acquisitions that found a predecessor and had to wait.
-    pub contended_acquires: u64,
-    /// Releases that handed ownership to a waiting successor.
-    pub contended_handovers: u64,
-    /// `lock()` calls made while the calling thread already held ≥1 lock of
-    /// this family (the paper's "24 instances" census).
-    pub lock_while_holding: u64,
-    /// Peak number of locks held simultaneously by any one thread.
-    pub max_locks_held: usize,
-    /// Peak number of threads simultaneously busy-waiting on one Grant word
-    /// (1 ⇒ purely local spinning; the §2.2 multi-waiting degree).
-    pub max_grant_waiters: usize,
-}
-
-impl fmt::Display for InstrumentationReport {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "acquires:               {}", self.acquires)?;
-        writeln!(f, "contended acquires:     {}", self.contended_acquires)?;
-        writeln!(f, "contended handovers:    {}", self.contended_handovers)?;
-        writeln!(f, "lock-while-holding:     {}", self.lock_while_holding)?;
-        writeln!(f, "max locks held:         {}", self.max_locks_held)?;
-        write!(f, "max waiters on a Grant: {}", self.max_grant_waiters)
-    }
-}
-
-/// CTR Hemlock with the §5.4 censuses. Counters are global to the family
-/// (like the paper's process-wide interposition library).
+/// CTR Hemlock emitting the §5.4 census events. Events are global to the
+/// family (like the paper's process-wide interposition library); aggregate
+/// them with `hemlock_obs::census`.
 pub struct HemlockInstrumented {
     tail: AtomicUsize,
 }
@@ -116,44 +87,25 @@ impl HemlockInstrumented {
         self.tail.load(Ordering::Relaxed)
     }
 
-    /// Snapshot of the family-wide counters.
-    pub fn report() -> InstrumentationReport {
-        InstrumentationReport {
-            acquires: ACQUIRES.load(Ordering::Relaxed),
-            contended_acquires: CONTENDED_ACQUIRES.load(Ordering::Relaxed),
-            contended_handovers: CONTENDED_HANDOVERS.load(Ordering::Relaxed),
-            lock_while_holding: LOCK_WHILE_HOLDING.load(Ordering::Relaxed),
-            max_locks_held: MAX_LOCKS_HELD.load(Ordering::Relaxed),
-            max_grant_waiters: MAX_GRANT_WAITERS.load(Ordering::Relaxed),
-        }
-    }
-
-    /// Zeroes the family-wide counters (callers must ensure no lock of this
-    /// family is concurrently in use for a meaningful baseline).
-    pub fn reset_stats() {
-        ACQUIRES.store(0, Ordering::Relaxed);
-        CONTENDED_ACQUIRES.store(0, Ordering::Relaxed);
-        CONTENDED_HANDOVERS.store(0, Ordering::Relaxed);
-        LOCK_WHILE_HOLDING.store(0, Ordering::Relaxed);
-        MAX_LOCKS_HELD.store(0, Ordering::Relaxed);
-        MAX_GRANT_WAITERS.store(0, Ordering::Relaxed);
-    }
-
     fn note_acquired(contended: bool) {
-        ACQUIRES.fetch_add(1, Ordering::Relaxed);
-        if contended {
-            CONTENDED_ACQUIRES.fetch_add(1, Ordering::Relaxed);
-        }
         let held = HELD.with(|h| {
             let v = h.get() + 1;
             h.set(v);
             v
         });
-        MAX_LOCKS_HELD.fetch_max(held, Ordering::Relaxed);
+        if contended {
+            events::emit(SITE, LockEvent::ContendedAcquire, 0);
+        }
+        events::emit(SITE, LockEvent::Acquire, held as u64);
     }
 
     fn note_released() {
-        HELD.with(|h| h.set(h.get().saturating_sub(1)));
+        let held = HELD.with(|h| {
+            let v = h.get().saturating_sub(1);
+            h.set(v);
+            v
+        });
+        events::emit(SITE, LockEvent::Release, held as u64);
     }
 }
 
@@ -164,11 +116,11 @@ impl Default for HemlockInstrumented {
 }
 
 unsafe impl RawLock for HemlockInstrumented {
-    const META: LockMeta = LockMeta::hemlock_family("Hemlock(instr)", "§5.4");
+    const META: LockMeta = LockMeta::hemlock_family(SITE, "§5.4");
 
     fn lock(&self) {
         if HELD.with(|h| h.get()) >= 1 {
-            LOCK_WHILE_HOLDING.fetch_add(1, Ordering::Relaxed);
+            events::emit(SITE, LockEvent::LockWhileHolding, 0);
         }
         let contended = with_self(|me| {
             debug_assert_eq!(me.grant.load(Ordering::Relaxed), 0);
@@ -189,7 +141,7 @@ unsafe impl RawLock for HemlockInstrumented {
             // load-then-CAS poll rather than CTR's pure-CAS poll — this
             // variant exists to characterize, not to benchmark.)
             let concurrent = pred.waiters.fetch_add(1, Ordering::AcqRel) + 1;
-            MAX_GRANT_WAITERS.fetch_max(concurrent, Ordering::Relaxed);
+            events::emit(SITE, LockEvent::GrantWaiters, concurrent as u64);
             let mut spin = SpinWait::new();
             loop {
                 if pred.grant.load(Ordering::Acquire) == l {
@@ -215,7 +167,7 @@ unsafe impl RawLock for HemlockInstrumented {
                 .compare_exchange(me.addr(), 0, Ordering::AcqRel, Ordering::Relaxed)
                 .is_err()
             {
-                CONTENDED_HANDOVERS.fetch_add(1, Ordering::Relaxed);
+                events::emit(SITE, LockEvent::ContendedHandover, 0);
                 me.grant.store(lock_id(self), Ordering::Release);
                 let mut spin = SpinWait::new();
                 while me.grant.fetch_add(0, Ordering::AcqRel) != 0 {
@@ -244,6 +196,25 @@ unsafe impl RawTryLock for HemlockInstrumented {
         }
         ok
     }
+
+    fn try_lock_until(&self, deadline: std::time::Instant) -> bool {
+        // Conditional arrival, as in the provided implementation — but a
+        // deadline pass is an observable abort event.
+        if self.try_lock() {
+            return true;
+        }
+        let mut spin = SpinWait::new();
+        loop {
+            if std::time::Instant::now() >= deadline {
+                events::emit(SITE, LockEvent::TimeoutAbort, 0);
+                return false;
+            }
+            spin.wait();
+            if self.try_lock() {
+                return true;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -251,10 +222,10 @@ mod tests {
     use super::*;
     crate::hemlock::lock_family_tests!(super::HemlockInstrumented);
 
-    // Note: counter-value assertions live in the workspace integration test
-    // (tests/instrumentation.rs) where they run in a dedicated process; the
-    // family tests above run concurrently in this harness and would race the
-    // global counters.
+    // Note: census-value assertions live in the workspace integration test
+    // (tests/instrumentation.rs) where they run in a dedicated process with
+    // the obs sink installed; the family tests above run concurrently in
+    // this harness and would race the family-global event stream.
 
     #[test]
     fn held_census_is_per_thread() {
@@ -266,17 +237,5 @@ mod tests {
         unsafe { b.unlock() };
         unsafe { a.unlock() };
         assert_eq!(HELD.with(|h| h.get()), 0);
-    }
-
-    #[test]
-    fn report_is_monotonic_under_use() {
-        let before = HemlockInstrumented::report();
-        let l = HemlockInstrumented::new();
-        for _ in 0..10 {
-            l.lock();
-            unsafe { l.unlock() };
-        }
-        let after = HemlockInstrumented::report();
-        assert!(after.acquires >= before.acquires + 10);
     }
 }

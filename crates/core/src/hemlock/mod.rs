@@ -36,7 +36,7 @@ mod v2;
 pub use ah::HemlockAh;
 pub use chain::HemlockChain;
 pub use ctr::Hemlock;
-pub use instrumented::{HemlockInstrumented, InstrumentationReport};
+pub use instrumented::HemlockInstrumented;
 pub use naive::HemlockNaive;
 pub use overlap::HemlockOverlap;
 pub use parking::HemlockParking;

@@ -108,6 +108,8 @@
 //!   the paper's drain-before-reclaim rule).
 //! - [`spin`] — busy-wait policy (pure spin vs spin-then-yield).
 //! - [`pad`] — cache-line padding used for all contended words.
+//! - [`events`] — the lock-event emission seam `hemlock-obs` installs its
+//!   census sink into (a few relaxed loads when no sink is installed).
 //! - [`wakerset`] — [`wakerset::WakerSet`], the notify-on-release
 //!   eventcount that lets synchronous raw-lock releases wake asynchronous
 //!   waiters (the `hemlock-async` subsystem's sync↔async bridge; it lives
@@ -117,6 +119,7 @@
 
 pub mod dynlock;
 pub mod dynrw;
+pub mod events;
 pub mod hemlock;
 pub mod meta;
 pub mod mutex;

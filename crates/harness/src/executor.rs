@@ -19,6 +19,10 @@
 //! the async lock guards in `hemlock-async` must be (and are) `Send`, and
 //! why raw locks — whose `unlock` is thread-bound — can only ever be held
 //! *within* a single poll.
+//!
+//! When observability is enabled (`hemlock_obs::enabled()`, the default)
+//! the pool feeds the `pool.*` registry metrics: injector queue depth,
+//! spawn/wake/poll/completion counts.
 
 use std::collections::VecDeque;
 use std::future::Future;
@@ -101,6 +105,9 @@ impl Task {
                 .is_ok()
             {
                 if push {
+                    if hemlock_obs::enabled() {
+                        hemlock_obs::registry().pool_wakes.inc();
+                    }
                     self.pool.push(Arc::clone(self));
                 }
                 return;
@@ -123,6 +130,9 @@ struct PoolShared {
 
 impl PoolShared {
     fn push(&self, task: Arc<Task>) {
+        if hemlock_obs::enabled() {
+            hemlock_obs::registry().pool_queue_depth.inc();
+        }
         self.queue.lock().expect("pool queue").push_back(task);
         self.available.notify_one();
     }
@@ -262,6 +272,9 @@ impl TaskPool {
             future: Mutex::new(Some(wrapped)),
             pool: Arc::clone(&self.shared),
         });
+        if hemlock_obs::enabled() {
+            hemlock_obs::registry().pool_spawned.inc();
+        }
         self.shared.push(task);
         JoinHandle { shared }
     }
@@ -293,6 +306,9 @@ fn worker_loop(shared: &Arc<PoolShared>) {
                 q = shared.available.wait(q).expect("pool queue");
             }
         };
+        if hemlock_obs::enabled() {
+            hemlock_obs::registry().pool_queue_depth.dec();
+        }
         // QUEUED → RUNNING: we are the only poller from here on.
         task.state.store(RUNNING, Ordering::Release);
         let Some(mut fut) = task.future.lock().expect("task future").take() else {
@@ -303,8 +319,14 @@ fn worker_loop(shared: &Arc<PoolShared>) {
         };
         let waker = Waker::from(Arc::clone(&task));
         let mut cx = Context::from_waker(&waker);
+        if hemlock_obs::enabled() {
+            hemlock_obs::registry().pool_polls.inc();
+        }
         match fut.as_mut().poll(&mut cx) {
             Poll::Ready(()) => {
+                if hemlock_obs::enabled() {
+                    hemlock_obs::registry().pool_completed.inc();
+                }
                 task.state.store(DONE, Ordering::Release);
             }
             Poll::Pending => {

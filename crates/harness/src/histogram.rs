@@ -1,197 +1,17 @@
-//! Log-bucketed latency histogram (HdrHistogram-style, dependency-free).
+//! Log-bucketed latency histogram — now the workspace-shared
+//! [`hemlock_obs::Hist`], re-exported here under its historical name.
 //!
 //! Used for acquisition-latency distributions: FIFO locks trade a little
 //! throughput for bounded tail latency, while unfair locks (TAS/TTAS) show
 //! heavy tails and starvation — the §4 contrast ("may allow unfairness and
-//! even indefinite starvation").
+//! even indefinite starvation"). The implementation (and its tests) lives
+//! in `hemlock-obs`, where the metrics registry embeds the same buckets in
+//! atomic form; bench bins extract percentile sets through
+//! [`Hist::pcts`](hemlock_obs::Hist::pcts) instead of re-deriving
+//! p50/p99/p999 triples by hand.
 
-/// Power-of-two bucketed histogram with 8 sub-buckets per octave.
-/// Covers 1 ns .. ~1.1 hours with ≤ 12.5% relative error.
-#[derive(Clone, Debug)]
-pub struct Histogram {
-    /// buckets[octave][sub]: counts.
-    buckets: Vec<[u64; SUBS]>,
-    count: u64,
-    sum: u128,
-    max: u64,
-    min: u64,
-}
+pub use hemlock_obs::{Hist, Pcts};
 
-const SUBS: usize = 8;
-const OCTAVES: usize = 42;
-
-impl Histogram {
-    /// Creates an empty histogram.
-    pub fn new() -> Self {
-        Self {
-            buckets: vec![[0; SUBS]; OCTAVES],
-            count: 0,
-            sum: 0,
-            max: 0,
-            min: u64::MAX,
-        }
-    }
-
-    fn bucket_of(value: u64) -> (usize, usize) {
-        if value < SUBS as u64 {
-            return (0, value as usize);
-        }
-        let octave = (63 - value.leading_zeros()) as usize - 2; // value >= 8
-        let sub = ((value >> octave) & 0b111) as usize;
-        (octave.min(OCTAVES - 1), sub)
-    }
-
-    /// Records one observation.
-    pub fn record(&mut self, value: u64) {
-        let (o, s) = Self::bucket_of(value);
-        self.buckets[o][s] += 1;
-        self.count += 1;
-        self.sum += value as u128;
-        self.max = self.max.max(value);
-        self.min = self.min.min(value);
-    }
-
-    /// Merges another histogram into this one.
-    pub fn merge(&mut self, other: &Histogram) {
-        for (o, subs) in other.buckets.iter().enumerate() {
-            for (s, c) in subs.iter().enumerate() {
-                self.buckets[o][s] += c;
-            }
-        }
-        self.count += other.count;
-        self.sum += other.sum;
-        self.max = self.max.max(other.max);
-        self.min = self.min.min(other.min);
-    }
-
-    /// Number of recorded observations.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Arithmetic mean.
-    pub fn mean(&self) -> f64 {
-        if self.count == 0 {
-            return 0.0;
-        }
-        self.sum as f64 / self.count as f64
-    }
-
-    /// Largest observation.
-    pub fn max(&self) -> u64 {
-        self.max
-    }
-
-    /// Smallest observation (0 when empty).
-    pub fn min(&self) -> u64 {
-        if self.count == 0 {
-            0
-        } else {
-            self.min
-        }
-    }
-
-    /// Value at quantile `q` in [0, 1] (upper bucket bound — pessimistic).
-    pub fn quantile(&self, q: f64) -> u64 {
-        if self.count == 0 {
-            return 0;
-        }
-        let target = ((q.clamp(0.0, 1.0)) * self.count as f64).ceil() as u64;
-        let mut seen = 0u64;
-        for (o, subs) in self.buckets.iter().enumerate() {
-            for (s, c) in subs.iter().enumerate() {
-                seen += c;
-                if seen >= target.max(1) {
-                    return Self::bucket_upper(o, s).min(self.max);
-                }
-            }
-        }
-        self.max
-    }
-
-    fn bucket_upper(octave: usize, sub: usize) -> u64 {
-        if octave == 0 {
-            return sub as u64;
-        }
-        ((sub as u64 + 1) << octave) - 1
-    }
-}
-
-impl Default for Histogram {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn empty_histogram() {
-        let h = Histogram::new();
-        assert_eq!(h.count(), 0);
-        assert_eq!(h.quantile(0.5), 0);
-        assert_eq!(h.mean(), 0.0);
-        assert_eq!(h.min(), 0);
-    }
-
-    #[test]
-    fn exact_small_values() {
-        let mut h = Histogram::new();
-        for v in 0..8u64 {
-            h.record(v);
-        }
-        assert_eq!(h.count(), 8);
-        assert_eq!(h.min(), 0);
-        assert_eq!(h.max(), 7);
-        assert_eq!(h.quantile(1.0), 7);
-    }
-
-    #[test]
-    fn quantiles_are_monotone() {
-        let mut h = Histogram::new();
-        let mut x = 1u64;
-        for _ in 0..10_000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
-            h.record((x >> 40).max(1));
-        }
-        let q50 = h.quantile(0.50);
-        let q90 = h.quantile(0.90);
-        let q99 = h.quantile(0.99);
-        assert!(q50 <= q90 && q90 <= q99, "{q50} {q90} {q99}");
-        assert!(q99 <= h.max());
-    }
-
-    #[test]
-    fn relative_error_is_bounded() {
-        let mut h = Histogram::new();
-        h.record(1_000_000);
-        let q = h.quantile(0.5);
-        let err = (q as f64 - 1_000_000.0).abs() / 1_000_000.0;
-        assert!(err <= 0.13, "bucket error {err}");
-    }
-
-    #[test]
-    fn merge_combines_counts() {
-        let mut a = Histogram::new();
-        let mut b = Histogram::new();
-        for v in [5u64, 100, 10_000] {
-            a.record(v);
-            b.record(v * 2);
-        }
-        a.merge(&b);
-        assert_eq!(a.count(), 6);
-        assert_eq!(a.max(), 20_000);
-        assert_eq!(a.min(), 5);
-    }
-
-    #[test]
-    fn mean_is_exact() {
-        let mut h = Histogram::new();
-        for v in [10u64, 20, 30] {
-            h.record(v);
-        }
-        assert_eq!(h.mean(), 20.0);
-    }
-}
+/// The historical name of [`Hist`] (8 sub-buckets per octave, 1 ns ..
+/// ~1.1 h, ≤ 12.5% relative error, mergeable).
+pub type Histogram = Hist;

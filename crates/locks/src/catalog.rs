@@ -38,6 +38,7 @@ pub mod types {
         Hemlock, HemlockAh, HemlockChain, HemlockInstrumented, HemlockNaive, HemlockOverlap,
         HemlockParking, HemlockV1, HemlockV2,
     };
+    pub use hemlock_obs::ObservedHemlock;
 }
 
 /// Invokes a callback macro with the full catalog: a comma-separated list of
@@ -73,6 +74,7 @@ macro_rules! for_each_lock {
             ("hemlock.parking", ["hemlock.cv"], $crate::catalog::types::HemlockParking, try),
             ("hemlock.chain", [], $crate::catalog::types::HemlockChain, try),
             ("hemlock.instr", ["hemlock.instrumented"], $crate::catalog::types::HemlockInstrumented, try),
+            ("obs.hemlock", ["hemlock.obs"], $crate::catalog::types::ObservedHemlock, try),
             ("mcs", [], $crate::catalog::types::McsLock, try),
             ("clh", [], $crate::catalog::types::ClhLock, no_try),
             ("ticket", [], $crate::catalog::types::TicketLock, try),

@@ -59,6 +59,19 @@ impl core::fmt::Display for WouldBlock {
 
 impl std::error::Error for WouldBlock {}
 
+/// The workspace metrics registry, when collection is enabled — `None`
+/// reduces every `minikv.*` hook below to one untaken branch.
+#[inline]
+fn obs() -> Option<&'static hemlock_obs::Registry> {
+    hemlock_obs::enabled().then(hemlock_obs::registry)
+}
+
+/// Elapsed nanoseconds since `t0`, saturating into the histogram domain.
+#[inline]
+fn elapsed_ns(t0: Instant) -> u64 {
+    t0.elapsed().as_nanos().min(u64::MAX as u128) as u64
+}
+
 /// Tuning knobs.
 #[derive(Clone, Debug)]
 pub struct Options {
@@ -138,6 +151,9 @@ struct DbGuard<'a, L: RawLock> {
 impl<'a, L: RawLock> DbGuard<'a, L> {
     fn lock(db: &'a Db<L>) -> Self {
         db.mu.lock();
+        if let Some(reg) = obs() {
+            reg.minikv_acquires.inc();
+        }
         Self {
             db,
             _not_send: core::marker::PhantomData,
@@ -150,9 +166,14 @@ impl<'a, L: RawLock> DbGuard<'a, L> {
     where
         L: RawTryLock,
     {
-        db.mu.try_lock().then(|| Self {
-            db,
-            _not_send: core::marker::PhantomData,
+        db.mu.try_lock().then(|| {
+            if let Some(reg) = obs() {
+                reg.minikv_acquires.inc();
+            }
+            Self {
+                db,
+                _not_send: core::marker::PhantomData,
+            }
         })
     }
 
@@ -191,6 +212,9 @@ struct DbReadGuard<'a, L: RawLock> {
 impl<'a, L: RawLock> DbReadGuard<'a, L> {
     fn lock(db: &'a Db<L>) -> Self {
         db.mu.read_lock();
+        if let Some(reg) = obs() {
+            reg.minikv_acquires.inc();
+        }
         Self {
             db,
             _not_send: core::marker::PhantomData,
@@ -204,9 +228,14 @@ impl<'a, L: RawLock> DbReadGuard<'a, L> {
     where
         L: RawTryLock,
     {
-        db.mu.try_read_lock().then(|| Self {
-            db,
-            _not_send: core::marker::PhantomData,
+        db.mu.try_read_lock().then(|| {
+            if let Some(reg) = obs() {
+                reg.minikv_acquires.inc();
+            }
+            Self {
+                db,
+                _not_send: core::marker::PhantomData,
+            }
         })
     }
 
@@ -217,9 +246,14 @@ impl<'a, L: RawLock> DbReadGuard<'a, L> {
     where
         L: RawTryLock,
     {
-        db.mu.try_read_lock_until(deadline).then(|| Self {
-            db,
-            _not_send: core::marker::PhantomData,
+        db.mu.try_read_lock_until(deadline).then(|| {
+            if let Some(reg) = obs() {
+                reg.minikv_acquires.inc();
+            }
+            Self {
+                db,
+                _not_send: core::marker::PhantomData,
+            }
         })
     }
 
@@ -273,12 +307,22 @@ impl<L: RawLock> Db<L> {
     }
 
     fn write_slot(&self, key: &[u8], value: Slot) {
+        let t0 = obs().map(|_| Instant::now());
+        let deleting = value.is_none();
         // Fast path: one shard lock, no central mutex.
         self.mem.insert(key, value);
         if self.mem.approximate_bytes() >= self.opts.memtable_bytes {
             self.freeze_and_maybe_compact();
         }
         self.stats.puts.fetch_add(1, Ordering::Relaxed);
+        if let (Some(reg), Some(t0)) = (obs(), t0) {
+            if deleting {
+                reg.minikv_deletes.inc();
+            } else {
+                reg.minikv_puts.inc();
+            }
+            reg.minikv_put_ns.record(elapsed_ns(t0));
+        }
     }
 
     /// Structural transition under the central mutex: drain the memtable
@@ -302,6 +346,9 @@ impl<L: RawLock> Db<L> {
         let runs = g.runs();
         runs.insert(0, Arc::new(Run::from_sorted(drained)));
         self.stats.freezes.fetch_add(1, Ordering::Relaxed);
+        if let Some(reg) = obs() {
+            reg.minikv_freezes.inc();
+        }
         if runs.len() > self.opts.max_runs {
             // Fold the two oldest runs together (simplified foreground
             // compaction; LevelDB does this on a background thread).
@@ -309,6 +356,9 @@ impl<L: RawLock> Db<L> {
             let newer = runs.pop().expect("len > max_runs >= 1");
             runs.push(Arc::new(Run::merge(&newer, &older)));
             self.stats.compactions.fetch_add(1, Ordering::Relaxed);
+            if let Some(reg) = obs() {
+                reg.minikv_compactions.inc();
+            }
         }
     }
 
@@ -324,6 +374,7 @@ impl<L: RawLock> Db<L> {
 
     /// Point lookup.
     pub fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
+        let t0 = obs().map(|_| Instant::now());
         // Tier 1: the memtable, under the owning shard's lock only. The
         // probe order (memtable before run snapshot) matters: a key can
         // migrate memtable→runs during a freeze, but the freeze holds the
@@ -331,6 +382,10 @@ impl<L: RawLock> Db<L> {
         // always finds the key in the tier-2 snapshot taken afterwards.
         if let Some(value) = self.mem.get_vec(key) {
             self.stats.gets.fetch_add(1, Ordering::Relaxed);
+            if let (Some(reg), Some(t0)) = (obs(), t0) {
+                reg.minikv_gets.inc();
+                reg.minikv_get_ns.record(elapsed_ns(t0));
+            }
             return value;
         }
         // Tier 2: snapshot run handles under the central mutex in *read*
@@ -345,6 +400,10 @@ impl<L: RawLock> Db<L> {
             }
         }
         self.stats.gets.fetch_add(1, Ordering::Relaxed);
+        if let (Some(reg), Some(t0)) = (obs(), t0) {
+            reg.minikv_gets.inc();
+            reg.minikv_get_ns.record(elapsed_ns(t0));
+        }
         result
     }
 
@@ -360,10 +419,20 @@ impl<L: RawLock> Db<L> {
         L: RawTryLock,
     {
         let deadline = Instant::now() + timeout;
+        let t0 = obs().map(|_| Instant::now());
         // Tier 1 (same probe order as `get`, for the same visibility
         // argument): the memtable under a bounded shard acquisition.
-        if let Some(value) = self.mem.try_get_vec(key, timeout)? {
+        let tier1 = self.mem.try_get_vec(key, timeout).inspect_err(|_| {
+            if let Some(reg) = obs() {
+                reg.minikv_stalls.inc();
+            }
+        })?;
+        if let Some(value) = tier1 {
             self.stats.gets.fetch_add(1, Ordering::Relaxed);
+            if let (Some(reg), Some(t0)) = (obs(), t0) {
+                reg.minikv_gets.inc();
+                reg.minikv_get_ns.record(elapsed_ns(t0));
+            }
             return Ok(value);
         }
         // Tier 2: a bounded read-mode snapshot of the run handles. A
@@ -371,7 +440,12 @@ impl<L: RawLock> Db<L> {
         // WouldBlock instead of stalling the reader behind it.
         let snapshot: Vec<Arc<Run>> = match DbReadGuard::try_lock_until(self, deadline) {
             Some(g) => g.runs().clone(),
-            None => return Err(WouldBlock),
+            None => {
+                if let Some(reg) = obs() {
+                    reg.minikv_stalls.inc();
+                }
+                return Err(WouldBlock);
+            }
         };
         let mut result = None;
         for run in &snapshot {
@@ -381,6 +455,10 @@ impl<L: RawLock> Db<L> {
             }
         }
         self.stats.gets.fetch_add(1, Ordering::Relaxed);
+        if let (Some(reg), Some(t0)) = (obs(), t0) {
+            reg.minikv_gets.inc();
+            reg.minikv_get_ns.record(elapsed_ns(t0));
+        }
         Ok(result)
     }
 
@@ -411,7 +489,12 @@ impl<L: RawLock> Db<L> {
     where
         L: RawTryLock,
     {
+        let t0 = obs().map(|_| Instant::now());
+        let deleting = value.is_none();
         if !self.mem.try_insert(key, value, timeout) {
+            if let Some(reg) = obs() {
+                reg.minikv_stalls.inc();
+            }
             return Err(WouldBlock);
         }
         if self.mem.approximate_bytes() >= self.opts.memtable_bytes {
@@ -422,6 +505,14 @@ impl<L: RawLock> Db<L> {
             }
         }
         self.stats.puts.fetch_add(1, Ordering::Relaxed);
+        if let (Some(reg), Some(t0)) = (obs(), t0) {
+            if deleting {
+                reg.minikv_deletes.inc();
+            } else {
+                reg.minikv_puts.inc();
+            }
+            reg.minikv_put_ns.record(elapsed_ns(t0));
+        }
         Ok(())
     }
 
@@ -482,6 +573,9 @@ impl<L: RawLock> Db<L> {
         // always finds the key in the tier-2 snapshot awaited afterwards.
         if let Some(value) = self.mem.get_vec_async(key).await {
             self.stats.gets.fetch_add(1, Ordering::Relaxed);
+            if let Some(reg) = obs() {
+                reg.minikv_gets.inc();
+            }
             return value;
         }
         // Tier 2: await a read-mode snapshot of the run handles — this is
@@ -499,6 +593,9 @@ impl<L: RawLock> Db<L> {
             }
         }
         self.stats.gets.fetch_add(1, Ordering::Relaxed);
+        if let Some(reg) = obs() {
+            reg.minikv_gets.inc();
+        }
         result
     }
 
@@ -527,6 +624,13 @@ impl<L: RawLock> Db<L> {
     where
         L: RawTryLock,
     {
+        if let Some(reg) = obs() {
+            if value.is_none() {
+                reg.minikv_deletes.inc();
+            } else {
+                reg.minikv_puts.inc();
+            }
+        }
         self.mem.insert_async(key, value).await;
         if self.mem.approximate_bytes() >= self.opts.memtable_bytes {
             // Await the central mutex instead of skipping (try_put) or
@@ -579,6 +683,10 @@ impl<L: RawLock> Db<L> {
         if puts > 0 {
             self.stats.puts.fetch_add(puts, Ordering::Relaxed);
         }
+        if let Some(reg) = obs() {
+            reg.minikv_gets.add(gets);
+            reg.minikv_puts.add(puts);
+        }
         (out, misses)
     }
 
@@ -626,6 +734,9 @@ impl<L: RawLock> Db<L> {
     where
         L: RawTryLock,
     {
+        if let Some(reg) = obs() {
+            reg.minikv_batch_size.record(ops.len() as u64);
+        }
         let mem = self.mem.apply_batch(ops);
         let (mut out, misses) = self.batch_fold_memtable(ops, mem);
         if !misses.is_empty() {
@@ -652,6 +763,9 @@ impl<L: RawLock> Db<L> {
     where
         L: RawTryLock,
     {
+        if let Some(reg) = obs() {
+            reg.minikv_batch_size.record(ops.len() as u64);
+        }
         let mem = self.mem.apply_batch_async(ops).await;
         let (mut out, misses) = self.batch_fold_memtable(ops, mem);
         if !misses.is_empty() {

@@ -64,6 +64,16 @@ fn main() {
         "combine",
         "on|off (default on): dispatch each pipeline burst as one \
          flat-combined batch instead of per-op",
+    )
+    .value(
+        "obs",
+        "on|off (default on): observability collection; `off` measures \
+         the disabled fast path (STATS still answers, with frozen counts)",
+    )
+    .value(
+        "stats-interval",
+        "dump the metrics snapshot to stderr every this many ms (default \
+         0: never)",
     );
     let args = spec.parse_env();
 
@@ -79,6 +89,15 @@ fn main() {
             std::process::exit(2);
         }
     };
+    match args.get_str("obs", "on").as_str() {
+        "on" => hemlock_obs::init(),
+        "off" => hemlock_obs::set_enabled(false),
+        other => {
+            eprintln!("error: --obs must be `on` or `off`, got {other:?}");
+            std::process::exit(2);
+        }
+    }
+    let stats_interval_ms: u64 = args.get("stats-interval", 0);
 
     let entry = catalog::find(&lock_key).unwrap_or_else(|| {
         eprintln!(
@@ -108,6 +127,21 @@ fn main() {
             String::new()
         }
     );
+
+    if stats_interval_ms > 0 {
+        // Periodic stderr dump, one daemon thread: the registry is a
+        // static, so the snapshot needs no handle to the server.
+        std::thread::Builder::new()
+            .name("hemlock-statsdump".to_string())
+            .spawn(move || loop {
+                std::thread::sleep(Duration::from_millis(stats_interval_ms));
+                eprintln!(
+                    "# kvserver stats\n{}",
+                    hemlock_obs::registry().snapshot().render_text()
+                );
+            })
+            .expect("spawn stats thread");
+    }
 
     if secs > 0.0 {
         std::thread::sleep(Duration::from_secs_f64(secs));

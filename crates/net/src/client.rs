@@ -26,27 +26,33 @@ pub enum Op<'a> {
     Delete(&'a [u8]),
     /// Liveness probe.
     Ping,
+    /// Metrics snapshot request.
+    Stats,
 }
 
 impl Op<'_> {
     /// Materializes this borrowed view as the stack-wide owned batch op
-    /// ([`hemlock_minikv::KvOp`]); `None` for [`Op::Ping`], which is
-    /// connection liveness rather than a KV operation. `Op` is just the
-    /// zero-copy batch-building form of `KvOp` — the wire encoding, the
-    /// server dispatch, and the store all speak the shared vocabulary.
+    /// ([`hemlock_minikv::KvOp`]); `None` for [`Op::Ping`] and
+    /// [`Op::Stats`], which are connection-level messages rather than KV
+    /// operations. `Op` is just the zero-copy batch-building form of
+    /// `KvOp` — the wire encoding, the server dispatch, and the store all
+    /// speak the shared vocabulary.
     pub fn to_kv(self) -> Option<KvOp> {
         match self {
             Op::Get(key) => Some(KvOp::Get(key.to_vec())),
             Op::Put(key, value) => Some(KvOp::Put(key.to_vec(), value.to_vec())),
             Op::Delete(key) => Some(KvOp::Delete(key.to_vec())),
-            Op::Ping => None,
+            Op::Ping | Op::Stats => None,
         }
     }
 
     fn to_request(self, id: u64) -> Request {
         match self.to_kv() {
             Some(op) => Request::from((id, op)),
-            None => Request::Ping { id },
+            None => match self {
+                Op::Stats => Request::Stats { id },
+                _ => Request::Ping { id },
+            },
         }
     }
 }
@@ -177,6 +183,16 @@ impl Client {
     pub fn ping(&mut self) -> io::Result<()> {
         match self.one(Op::Ping)? {
             Response::Pong { .. } => Ok(()),
+            other => Err(mismatch(&other)),
+        }
+    }
+
+    /// Fetches the server's metrics snapshot (the `STATS` opcode) as the
+    /// line-oriented `"key value"` text `hemlock_obs::Snapshot` renders;
+    /// parse it back with `Snapshot::parse_text`.
+    pub fn stats(&mut self) -> io::Result<String> {
+        match self.one(Op::Stats)? {
+            Response::Stats { text, .. } => Ok(text),
             other => Err(mismatch(&other)),
         }
     }

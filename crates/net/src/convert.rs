@@ -4,11 +4,12 @@
 //! `hemlock-minikv` owns the shared batch shapes
 //! ([`KvOp`] / [`KvResult`]); this module maps them 1:1 onto the framed
 //! [`Request`] / [`Response`] pairs, carrying the protocol's request id
-//! alongside. Two of the wire variants have no KV meaning — a
-//! [`Request::Ping`] is connection liveness and a [`Response::Err`] is a
-//! transport-level failure — so the wire→KV direction is `TryFrom`,
-//! handing the non-KV message back unchanged as the error. The KV→wire
-//! direction is total (`From`).
+//! alongside. Some wire variants have no KV meaning — a
+//! [`Request::Ping`] is connection liveness, [`Request::Stats`] is a
+//! metrics snapshot, and a [`Response::Err`] is a transport-level
+//! failure — so the wire→KV direction is `TryFrom`, handing the non-KV
+//! message back unchanged as the error. The KV→wire direction is total
+//! (`From`).
 //!
 //! The server's burst dispatch is exactly these conversions in a loop:
 //! decode a pipeline burst, `try_from` each request (answering pings
@@ -31,8 +32,8 @@ impl From<(u64, KvOp)> for Request {
 }
 
 impl TryFrom<Request> for (u64, KvOp) {
-    /// The non-KV request ([`Request::Ping`]), returned unchanged so the
-    /// caller can answer it inline.
+    /// The non-KV requests ([`Request::Ping`], [`Request::Stats`]),
+    /// returned unchanged so the caller can answer them inline.
     type Error = Request;
 
     fn try_from(req: Request) -> Result<Self, Request> {
@@ -40,7 +41,7 @@ impl TryFrom<Request> for (u64, KvOp) {
             Request::Get { id, key } => Ok((id, KvOp::Get(key))),
             Request::Put { id, key, value } => Ok((id, KvOp::Put(key, value))),
             Request::Delete { id, key } => Ok((id, KvOp::Delete(key))),
-            ping @ Request::Ping { .. } => Err(ping),
+            other @ (Request::Ping { .. } | Request::Stats { .. }) => Err(other),
         }
     }
 }
@@ -89,9 +90,10 @@ mod tests {
     }
 
     #[test]
-    fn ping_is_handed_back_not_converted() {
-        let ping = Request::Ping { id: 3 };
-        assert_eq!(<(u64, KvOp)>::try_from(ping.clone()), Err(ping));
+    fn ping_and_stats_are_handed_back_not_converted() {
+        for req in [Request::Ping { id: 3 }, Request::Stats { id: 4 }] {
+            assert_eq!(<(u64, KvOp)>::try_from(req.clone()), Err(req));
+        }
     }
 
     #[test]
@@ -115,6 +117,10 @@ mod tests {
             Response::Err {
                 id: 5,
                 message: "boom".into(),
+            },
+            Response::Stats {
+                id: 6,
+                text: "net.requests 1\n".into(),
             },
         ] {
             assert_eq!(<(u64, KvResult)>::try_from(resp.clone()), Err(resp));

@@ -24,6 +24,7 @@
 //! PUT    = 0x02  klen:u32 key vlen:u32 value
 //! DELETE = 0x03  klen:u32 key
 //! PING   = 0x04  (empty)
+//! STATS  = 0x05  (empty)
 //! ```
 //!
 //! Response bodies, after the echoed id:
@@ -34,6 +35,8 @@
 //! OK        = 0x82                          (PUT / DELETE done)
 //! PONG      = 0x83                          (PING)
 //! ERR       = 0x84  mlen:u32 message        (server-side failure)
+//! STATS     = 0x85  tlen:u32 text           (metrics snapshot, UTF-8
+//!                                            "key value" lines)
 //! ```
 //!
 //! [`Decoder`] is incremental: [`Decoder::feed`] it whatever a socket
@@ -85,6 +88,12 @@ pub enum Request {
         /// Client-chosen id, echoed in the response.
         id: u64,
     },
+    /// Metrics snapshot request; the server answers [`Response::Stats`]
+    /// with the observability registry rendered as text.
+    Stats {
+        /// Client-chosen id, echoed in the response.
+        id: u64,
+    },
 }
 
 impl Request {
@@ -94,7 +103,8 @@ impl Request {
             Request::Get { id, .. }
             | Request::Put { id, .. }
             | Request::Delete { id, .. }
-            | Request::Ping { id } => id,
+            | Request::Ping { id }
+            | Request::Stats { id } => id,
         }
     }
 }
@@ -131,6 +141,14 @@ pub enum Response {
         /// Human-readable failure description.
         message: String,
     },
+    /// Answer to [`Request::Stats`]: the server's metrics snapshot,
+    /// line-oriented `"key value"` text (see `hemlock_obs::Snapshot`).
+    Stats {
+        /// Echo of the request id.
+        id: u64,
+        /// Rendered snapshot text.
+        text: String,
+    },
 }
 
 impl Response {
@@ -141,7 +159,8 @@ impl Response {
             | Response::NotFound { id }
             | Response::Ok { id }
             | Response::Pong { id }
-            | Response::Err { id, .. } => id,
+            | Response::Err { id, .. }
+            | Response::Stats { id, .. } => id,
         }
     }
 }
@@ -152,6 +171,7 @@ mod op {
     pub const PUT: u8 = 0x02;
     pub const DELETE: u8 = 0x03;
     pub const PING: u8 = 0x04;
+    pub const STATS: u8 = 0x05;
 }
 
 /// Status bytes for responses.
@@ -161,6 +181,7 @@ mod status {
     pub const OK: u8 = 0x82;
     pub const PONG: u8 = 0x83;
     pub const ERR: u8 = 0x84;
+    pub const STATS: u8 = 0x85;
 }
 
 /// A protocol violation (encode- or decode-side).
@@ -209,7 +230,7 @@ pub fn encode_request(req: &Request, out: &mut Vec<u8>) -> Result<(), FrameError
     let body_len = match req {
         Request::Get { key, .. } | Request::Delete { key, .. } => ID_SIZE + 1 + 4 + key.len(),
         Request::Put { key, value, .. } => ID_SIZE + 1 + 4 + key.len() + 4 + value.len(),
-        Request::Ping { .. } => ID_SIZE + 1,
+        Request::Ping { .. } | Request::Stats { .. } => ID_SIZE + 1,
     };
     check_frame(body_len)?;
     out.reserve(LEN_PREFIX + body_len);
@@ -230,6 +251,7 @@ pub fn encode_request(req: &Request, out: &mut Vec<u8>) -> Result<(), FrameError
             put_blob(out, key);
         }
         Request::Ping { .. } => out.push(op::PING),
+        Request::Stats { .. } => out.push(op::STATS),
     }
     Ok(())
 }
@@ -240,6 +262,7 @@ pub fn encode_response(resp: &Response, out: &mut Vec<u8>) -> Result<(), FrameEr
     let body_len = match resp {
         Response::Value { value, .. } => ID_SIZE + 1 + 4 + value.len(),
         Response::Err { message, .. } => ID_SIZE + 1 + 4 + message.len(),
+        Response::Stats { text, .. } => ID_SIZE + 1 + 4 + text.len(),
         Response::NotFound { .. } | Response::Ok { .. } | Response::Pong { .. } => ID_SIZE + 1,
     };
     check_frame(body_len)?;
@@ -257,6 +280,10 @@ pub fn encode_response(resp: &Response, out: &mut Vec<u8>) -> Result<(), FrameEr
         Response::Err { message, .. } => {
             out.push(status::ERR);
             put_blob(out, message.as_bytes());
+        }
+        Response::Stats { text, .. } => {
+            out.push(status::STATS);
+            put_blob(out, text.as_bytes());
         }
     }
     Ok(())
@@ -365,6 +392,7 @@ impl Decoder {
                 key: cur.blob()?,
             },
             op::PING => Request::Ping { id },
+            op::STATS => Request::Stats { id },
             other => return Err(FrameError::BadOpcode(other)),
         };
         cur.finish()?;
@@ -394,6 +422,12 @@ impl Decoder {
                 let message = String::from_utf8(raw)
                     .map_err(|_| FrameError::Malformed("error message is not UTF-8"))?;
                 Response::Err { id, message }
+            }
+            status::STATS => {
+                let raw = cur.blob()?;
+                let text = String::from_utf8(raw)
+                    .map_err(|_| FrameError::Malformed("stats text is not UTF-8"))?;
+                Response::Stats { id, text }
             }
             other => return Err(FrameError::BadStatus(other)),
         };
@@ -496,6 +530,7 @@ mod tests {
                 key: Vec::new(),
             },
             Request::Ping { id: 0 },
+            Request::Stats { id: 99 },
         ];
         for chunk in [1, 3, 7, 4096] {
             assert_eq!(roundtrip_requests(&reqs, chunk), reqs, "chunk={chunk}");
@@ -515,6 +550,10 @@ mod tests {
             Response::Err {
                 id: 13,
                 message: "shard on fire".to_string(),
+            },
+            Response::Stats {
+                id: 14,
+                text: "minikv.acquires 12\nnet.requests 3\n".to_string(),
             },
         ];
         let mut wire = Vec::new();

@@ -194,6 +194,9 @@ async fn serve_conn(
     stop: Arc<AtomicBool>,
     opts: ServerOptions,
 ) -> u64 {
+    if hemlock_obs::enabled() {
+        hemlock_obs::registry().net_connections.inc();
+    }
     let mut dec = Decoder::new();
     let mut inbuf = vec![0u8; 16 * 1024];
     let mut outbuf = Vec::new();
@@ -212,6 +215,13 @@ async fn serve_conn(
             }
         }
         let batched = reqs.len() as u64;
+        // Server-side *service* time: decoded-to-encoded, excluding the
+        // socket. The client's RTT minus this is queueing + transport —
+        // the split loadgen's `srv_*` extras make visible.
+        let t0 = (hemlock_obs::enabled() && batched > 0).then(|| {
+            hemlock_obs::registry().net_inflight.add(batched as i64);
+            std::time::Instant::now()
+        });
         if opts.combine {
             // The decoded burst IS the batch: one `apply_batch_async`
             // call amortizes the whole read's lock work (flat-combined
@@ -227,6 +237,13 @@ async fn serve_conn(
                     return served;
                 }
             }
+        }
+        if let Some(t0) = t0 {
+            let reg = hemlock_obs::registry();
+            let ns = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            reg.net_service_ns.record(ns);
+            reg.net_requests.add(batched);
+            reg.net_inflight.sub(batched as i64);
         }
         if !outbuf.is_empty() {
             if aio::write_all(&stream, &reactor, &outbuf).await.is_err() {
@@ -245,11 +262,17 @@ async fn serve_conn(
     }
 }
 
-/// What a burst slot is waiting for: a ping answered inline, or the
-/// next positional result of the batch.
+/// What a burst slot is waiting for: a ping or stats request answered
+/// inline, or the next positional result of the batch.
 enum Pending {
     Ping(u64),
+    Stats(u64),
     Op(u64),
+}
+
+/// The observability registry rendered for the `STATS` opcode.
+fn stats_text() -> String {
+    hemlock_obs::registry().snapshot().render_text()
 }
 
 /// Executes one decoded pipeline burst as a single batch: converts the
@@ -273,13 +296,18 @@ async fn dispatch_burst(
                 pending.push(Pending::Op(id));
                 ops.push(op);
             }
-            Err(ping) => pending.push(Pending::Ping(ping.id())),
+            Err(Request::Stats { id }) => pending.push(Pending::Stats(id)),
+            Err(other) => pending.push(Pending::Ping(other.id())),
         }
     }
     let mut results = kv.apply_batch_async(&ops).await.into_iter();
     for p in pending {
         let resp = match p {
             Pending::Ping(id) => Response::Pong { id },
+            Pending::Stats(id) => Response::Stats {
+                id,
+                text: stats_text(),
+            },
             Pending::Op(id) => {
                 let res = results.next().expect("batch results are positional");
                 Response::from((id, res))
@@ -310,5 +338,9 @@ async fn dispatch(kv: &dyn AsyncKv, req: Request) -> Response {
             Response::Ok { id }
         }
         Request::Ping { id } => Response::Pong { id },
+        Request::Stats { id } => Response::Stats {
+            id,
+            text: stats_text(),
+        },
     }
 }

@@ -1,0 +1,385 @@
+//! Log-bucketed histograms (HdrHistogram-style, dependency-free).
+//!
+//! [`Hist`] is the workspace's one histogram type, promoted here from the
+//! bench harness so the metrics registry, the bench bins, and the network
+//! stack all share a single mergeable implementation. It is used for
+//! acquisition-latency distributions (FIFO locks trade a little throughput
+//! for bounded tail latency, while unfair locks show heavy tails — the
+//! paper's §4 contrast), per-op KV latencies, combiner batch sizes, and
+//! server-side service times.
+//!
+//! [`AtomicHist`] is the shared-writer variant the registry embeds: any
+//! number of threads record concurrently with relaxed `fetch_add`s, and a
+//! [`AtomicHist::snapshot`] materializes an ordinary [`Hist`] for
+//! quantile extraction or merging.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const SUBS: usize = 8;
+const OCTAVES: usize = 42;
+
+/// Power-of-two bucketed histogram with 8 sub-buckets per octave.
+/// Covers 1 ns .. ~1.1 hours with ≤ 12.5% relative error.
+#[derive(Clone, Debug)]
+pub struct Hist {
+    /// buckets[octave][sub]: counts.
+    buckets: Vec<[u64; SUBS]>,
+    count: u64,
+    sum: u128,
+    max: u64,
+    min: u64,
+}
+
+impl Hist {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: vec![[0; SUBS]; OCTAVES],
+            count: 0,
+            sum: 0,
+            max: 0,
+            min: u64::MAX,
+        }
+    }
+
+    fn bucket_of(value: u64) -> (usize, usize) {
+        if value < SUBS as u64 {
+            return (0, value as usize);
+        }
+        let octave = (63 - value.leading_zeros()) as usize - 2; // value >= 8
+        let sub = ((value >> octave) & 0b111) as usize;
+        (octave.min(OCTAVES - 1), sub)
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        let (o, s) = Self::bucket_of(value);
+        self.buckets[o][s] += 1;
+        self.count += 1;
+        self.sum += value as u128;
+        self.max = self.max.max(value);
+        self.min = self.min.min(value);
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Hist) {
+        for (o, subs) in other.buckets.iter().enumerate() {
+            for (s, c) in subs.iter().enumerate() {
+                self.buckets[o][s] += c;
+            }
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        self.min = self.min.min(other.min);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.sum as f64 / self.count as f64
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Smallest observation (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Value at quantile `q` in [0, 1] (upper bucket bound — pessimistic).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0)) * self.count as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (o, subs) in self.buckets.iter().enumerate() {
+            for (s, c) in subs.iter().enumerate() {
+                seen += c;
+                if seen >= target.max(1) {
+                    return Self::bucket_upper(o, s).min(self.max);
+                }
+            }
+        }
+        self.max
+    }
+
+    /// The standard percentile set, extracted in one pass-shaped call so
+    /// bench bins stop re-deriving p50/p99/p999 triples by hand.
+    pub fn pcts(&self) -> Pcts {
+        Pcts {
+            count: self.count(),
+            mean: self.mean(),
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+            p999: self.quantile(0.999),
+            max: self.max(),
+        }
+    }
+
+    fn bucket_upper(octave: usize, sub: usize) -> u64 {
+        if octave == 0 {
+            return sub as u64;
+        }
+        ((sub as u64 + 1) << octave) - 1
+    }
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The percentile summary every latency-reporting bin emits.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Pcts {
+    /// Observation count.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median.
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// 99.9th percentile.
+    pub p999: u64,
+    /// Largest observation.
+    pub max: u64,
+}
+
+/// A [`Hist`] with atomic buckets, recordable from any thread without a
+/// lock. Bucket increments are relaxed and independent, so a concurrent
+/// [`AtomicHist::snapshot`] sees a merge-consistent *approximation* (some
+/// in-flight records may show in `count` but not yet in a bucket, or vice
+/// versa) — fine for monitoring, which is its only job.
+pub struct AtomicHist {
+    buckets: [AtomicU64; SUBS * OCTAVES],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+    min: AtomicU64,
+}
+
+impl AtomicHist {
+    /// An empty histogram (const, for `static` registries).
+    pub const fn new() -> Self {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Self {
+            buckets: [ZERO; SUBS * OCTAVES],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+        }
+    }
+
+    /// Records one observation (relaxed; any thread).
+    pub fn record(&self, value: u64) {
+        let (o, s) = Hist::bucket_of(value);
+        self.buckets[o * SUBS + s].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Materializes an ordinary [`Hist`] from the current bucket counts.
+    pub fn snapshot(&self) -> Hist {
+        let mut h = Hist::new();
+        let mut count = 0u64;
+        for o in 0..OCTAVES {
+            for s in 0..SUBS {
+                let c = self.buckets[o * SUBS + s].load(Ordering::Relaxed);
+                h.buckets[o][s] = c;
+                count += c;
+            }
+        }
+        // `count` is rebuilt from the buckets (not read from the counter
+        // cell) so quantile() stays self-consistent even when a racing
+        // record() has bumped one but not yet the other.
+        h.count = count;
+        h.sum = self.sum.load(Ordering::Relaxed) as u128;
+        h.max = self.max.load(Ordering::Relaxed);
+        h.min = self.min.load(Ordering::Relaxed);
+        h
+    }
+
+    /// Zeroes every cell (between benchmark configurations; racing
+    /// recorders may leave a few residual counts behind).
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+    }
+}
+
+impl Default for AtomicHist {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = Hist::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0);
+    }
+
+    #[test]
+    fn exact_small_values() {
+        let mut h = Hist::new();
+        for v in 0..8u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 7);
+        assert_eq!(h.quantile(1.0), 7);
+    }
+
+    #[test]
+    fn quantiles_are_monotone() {
+        let mut h = Hist::new();
+        let mut x = 1u64;
+        for _ in 0..10_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            h.record((x >> 40).max(1));
+        }
+        let q50 = h.quantile(0.50);
+        let q90 = h.quantile(0.90);
+        let q99 = h.quantile(0.99);
+        assert!(q50 <= q90 && q90 <= q99, "{q50} {q90} {q99}");
+        assert!(q99 <= h.max());
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        let mut h = Hist::new();
+        h.record(1_000_000);
+        let q = h.quantile(0.5);
+        let err = (q as f64 - 1_000_000.0).abs() / 1_000_000.0;
+        assert!(err <= 0.13, "bucket error {err}");
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = Hist::new();
+        let mut b = Hist::new();
+        for v in [5u64, 100, 10_000] {
+            a.record(v);
+            b.record(v * 2);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 6);
+        assert_eq!(a.max(), 20_000);
+        assert_eq!(a.min(), 5);
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let mut h = Hist::new();
+        for v in [10u64, 20, 30] {
+            h.record(v);
+        }
+        assert_eq!(h.mean(), 20.0);
+    }
+
+    #[test]
+    fn pcts_match_quantiles() {
+        let mut h = Hist::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p = h.pcts();
+        assert_eq!(p.count, 1000);
+        assert_eq!(p.p50, h.quantile(0.50));
+        assert_eq!(p.p99, h.quantile(0.99));
+        assert_eq!(p.p999, h.quantile(0.999));
+        assert_eq!(p.max, 1000);
+    }
+
+    #[test]
+    fn atomic_hist_matches_sequential() {
+        let ah = AtomicHist::new();
+        let mut h = Hist::new();
+        let mut x = 7u64;
+        for _ in 0..5_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let v = (x >> 45).max(1);
+            ah.record(v);
+            h.record(v);
+        }
+        let snap = ah.snapshot();
+        assert_eq!(snap.count(), h.count());
+        assert_eq!(snap.max(), h.max());
+        assert_eq!(snap.min(), h.min());
+        assert_eq!(snap.quantile(0.5), h.quantile(0.5));
+        assert_eq!(snap.quantile(0.999), h.quantile(0.999));
+        assert_eq!(snap.mean(), h.mean());
+    }
+
+    #[test]
+    fn atomic_hist_concurrent_records_all_land() {
+        let ah = AtomicHist::new();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let ah = &ah;
+                s.spawn(move || {
+                    for i in 0..1_000u64 {
+                        ah.record(t * 1_000 + i + 1);
+                    }
+                });
+            }
+        });
+        let snap = ah.snapshot();
+        assert_eq!(snap.count(), 4_000);
+        assert_eq!(snap.max(), 4_000);
+        assert_eq!(snap.min(), 1);
+    }
+
+    #[test]
+    fn atomic_hist_reset_clears() {
+        let ah = AtomicHist::new();
+        ah.record(42);
+        ah.reset();
+        let snap = ah.snapshot();
+        assert_eq!(snap.count(), 0);
+        assert_eq!(snap.max(), 0);
+    }
+}

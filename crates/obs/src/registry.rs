@@ -1,0 +1,264 @@
+//! The process-wide metrics registry and its [`Snapshot`].
+//!
+//! Every metric in the workspace is declared here, centrally, as one field
+//! of a single `static` [`Registry`] — the crates above (`hemlock-shard`,
+//! `hemlock-minikv`, `hemlock-net`, the harness `TaskPool`, …) call
+//! [`registry()`] and bump the field they own. Central declaration is what
+//! keeps this crate zero-dependency: there is no runtime registration, no
+//! map lookup on the hot path, and a [`Registry::snapshot`] is a plain
+//! struct walk.
+//!
+//! Naming follows `layer.metric`: `core.*` is the lock-event census fed by
+//! [`crate::census`], `async.*` the WakerQueue, `shard.*` the sharded
+//! table and its flat combiner, `minikv.*` the KV store, `net.*` the
+//! server, and `pool.*` the harness `TaskPool`.
+//!
+//! A snapshot renders to a line-oriented text form (`key value`, one per
+//! line — what the `STATS` wire opcode returns and `kvserver
+//! --stats-interval` dumps) and flattens to `(key, f64)` pairs that drop
+//! straight into `RecordBuilder` extras for the bench trajectory.
+
+use crate::hist::{AtomicHist, Hist};
+use crate::metrics::{Counter, Gauge};
+
+macro_rules! define_registry {
+    (
+        counters { $($cname:ident => $ckey:literal,)* }
+        gauges { $($gname:ident => $gkey:literal,)* }
+        hists { $($hname:ident => $hkey:literal,)* }
+    ) => {
+        /// The full metric set. One `static` instance exists per process;
+        /// reach it through [`registry()`].
+        pub struct Registry {
+            $(
+                #[doc = concat!("Counter `", $ckey, "`.")]
+                pub $cname: Counter,
+            )*
+            $(
+                #[doc = concat!("Gauge `", $gkey, "`.")]
+                pub $gname: Gauge,
+            )*
+            $(
+                #[doc = concat!("Histogram `", $hkey, "`.")]
+                pub $hname: AtomicHist,
+            )*
+        }
+
+        impl Registry {
+            const fn new() -> Self {
+                Self {
+                    $($cname: Counter::new(),)*
+                    $($gname: Gauge::new(),)*
+                    $($hname: AtomicHist::new(),)*
+                }
+            }
+
+            /// Reads every metric into an owned, serializable [`Snapshot`].
+            pub fn snapshot(&self) -> Snapshot {
+                Snapshot {
+                    counters: vec![$(($ckey, self.$cname.get()),)*],
+                    gauges: vec![$(GaugeSnap {
+                        key: $gkey,
+                        cur: self.$gname.get(),
+                        peak: self.$gname.peak(),
+                    },)*],
+                    hists: vec![$(($hkey, self.$hname.snapshot()),)*],
+                }
+            }
+
+            /// Zeroes every metric (between benchmark configurations).
+            pub fn reset(&self) {
+                $(self.$cname.reset();)*
+                $(self.$gname.reset();)*
+                $(self.$hname.reset();)*
+            }
+        }
+    };
+}
+
+define_registry! {
+    counters {
+        core_acquires => "core.acquires",
+        core_contended_acquires => "core.contended_acquires",
+        core_contended_handovers => "core.contended_handovers",
+        core_lock_while_holding => "core.lock_while_holding",
+        core_releases => "core.releases",
+        core_timeout_aborts => "core.timeout_aborts",
+        async_parks => "async.parks",
+        async_wakes => "async.wakes",
+        async_cancels => "async.cancels",
+        shard_acquisitions => "shard.acquisitions",
+        shard_contended => "shard.contended",
+        minikv_acquires => "minikv.acquires",
+        minikv_gets => "minikv.gets",
+        minikv_puts => "minikv.puts",
+        minikv_deletes => "minikv.deletes",
+        minikv_freezes => "minikv.freezes",
+        minikv_compactions => "minikv.compactions",
+        minikv_stalls => "minikv.stalls",
+        net_connections => "net.connections",
+        net_requests => "net.requests",
+        pool_spawned => "pool.spawned",
+        pool_wakes => "pool.wakes",
+        pool_polls => "pool.polls",
+        pool_completed => "pool.completed",
+    }
+    gauges {
+        core_locks_held => "core.locks_held",
+        core_grant_waiters => "core.grant_waiters",
+        async_queue_depth => "async.queue_depth",
+        net_inflight => "net.inflight",
+        pool_queue_depth => "pool.queue_depth",
+    }
+    hists {
+        shard_batch_size => "shard.batch_size",
+        minikv_batch_size => "minikv.batch_size",
+        minikv_get_ns => "minikv.get_ns",
+        minikv_put_ns => "minikv.put_ns",
+        net_service_ns => "net.service_ns",
+    }
+}
+
+static REGISTRY: Registry = Registry::new();
+
+/// The process-wide registry.
+#[inline]
+pub fn registry() -> &'static Registry {
+    &REGISTRY
+}
+
+/// One gauge, snapshotted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GaugeSnap {
+    /// Registry key.
+    pub key: &'static str,
+    /// Level at snapshot time.
+    pub cur: i64,
+    /// High-water mark since the last reset.
+    pub peak: i64,
+}
+
+/// An owned point-in-time copy of the whole registry.
+///
+/// Serializes two ways:
+/// - [`Snapshot::render_text`] — the line-oriented wire/stderr form;
+/// - [`Snapshot::flatten`] — `(key, f64)` pairs for `RecordBuilder`
+///   extras (gauges expand to `.cur`/`.peak`, histograms to
+///   `.count`/`.mean`/`.p50`/`.p99`/`.p999`/`.max`).
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    /// `(key, total)` per counter.
+    pub counters: Vec<(&'static str, u64)>,
+    /// One entry per gauge.
+    pub gauges: Vec<GaugeSnap>,
+    /// `(key, histogram)` per histogram.
+    pub hists: Vec<(&'static str, Hist)>,
+}
+
+impl Snapshot {
+    /// Flattens every metric to `(key, value)` pairs, in registry order.
+    pub fn flatten(&self) -> Vec<(String, f64)> {
+        let mut out = Vec::new();
+        for &(k, v) in &self.counters {
+            out.push((k.to_string(), v as f64));
+        }
+        for g in &self.gauges {
+            out.push((format!("{}.cur", g.key), g.cur as f64));
+            out.push((format!("{}.peak", g.key), g.peak as f64));
+        }
+        for (k, h) in &self.hists {
+            let p = h.pcts();
+            out.push((format!("{k}.count"), p.count as f64));
+            out.push((format!("{k}.mean"), p.mean));
+            out.push((format!("{k}.p50"), p.p50 as f64));
+            out.push((format!("{k}.p99"), p.p99 as f64));
+            out.push((format!("{k}.p999"), p.p999 as f64));
+            out.push((format!("{k}.max"), p.max as f64));
+        }
+        out
+    }
+
+    /// Looks one flattened key up (e.g. `"net.service_ns.p99"`).
+    pub fn get(&self, key: &str) -> Option<f64> {
+        self.flatten()
+            .into_iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Renders the line-oriented text form: one `key value` pair per
+    /// line, parseable by [`Snapshot::parse_text`]. This is the payload
+    /// of the `STATS` wire response and the `--stats-interval` dump.
+    pub fn render_text(&self) -> String {
+        let mut s = String::new();
+        for (k, v) in self.flatten() {
+            // Counters and quantiles are integral; only means carry a
+            // fraction worth printing.
+            if v.fract() == 0.0 && v.abs() < 9e15 {
+                s.push_str(&format!("{} {}\n", k, v as i64));
+            } else {
+                s.push_str(&format!("{k} {v:.3}\n"));
+            }
+        }
+        s
+    }
+
+    /// Parses [`Snapshot::render_text`] output back into `(key, value)`
+    /// pairs, skipping malformed lines (forward compatibility: a newer
+    /// server may emit keys an older client ignores).
+    pub fn parse_text(text: &str) -> Vec<(String, f64)> {
+        text.lines()
+            .filter_map(|line| {
+                let (k, v) = line.trim().rsplit_once(' ')?;
+                Some((k.to_string(), v.parse::<f64>().ok()?))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_roundtrips_through_text() {
+        let r = registry();
+        r.net_requests.add(41);
+        r.net_inflight.inc();
+        r.net_service_ns.record(1_000);
+        let snap = r.snapshot();
+        let text = snap.render_text();
+        let parsed = Snapshot::parse_text(&text);
+        assert_eq!(parsed.len(), snap.flatten().len());
+        let lookup = |k: &str| {
+            parsed
+                .iter()
+                .find(|(pk, _)| pk == k)
+                .map(|(_, v)| *v)
+                .unwrap()
+        };
+        assert!(lookup("net.requests") >= 41.0);
+        assert!(lookup("net.inflight.peak") >= 1.0);
+        assert!(lookup("net.service_ns.count") >= 1.0);
+        assert_eq!(
+            lookup("net.service_ns.p50"),
+            snap.get("net.service_ns.p50").unwrap()
+        );
+    }
+
+    #[test]
+    fn parse_skips_malformed_lines() {
+        let parsed = Snapshot::parse_text("a 1\ngarbage\nb not-a-number\nc 2.5\n");
+        assert_eq!(parsed, vec![("a".to_string(), 1.0), ("c".to_string(), 2.5)]);
+    }
+
+    #[test]
+    fn keys_are_unique() {
+        let snap = registry().snapshot();
+        let mut keys: Vec<String> = snap.flatten().into_iter().map(|(k, _)| k).collect();
+        let n = keys.len();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), n, "duplicate registry keys");
+    }
+}

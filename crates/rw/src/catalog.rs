@@ -42,6 +42,7 @@ pub mod types {
         Hemlock, HemlockAh, HemlockChain, HemlockInstrumented, HemlockNaive, HemlockOverlap,
         HemlockParking, HemlockV1, HemlockV2,
     };
+    pub use hemlock_locks::catalog::types::ObservedHemlock;
     pub use hemlock_locks::{AndersonLock, ClhLock, McsLock, TasLock, TicketLock, TtasLock};
 }
 
@@ -70,6 +71,7 @@ macro_rules! for_each_rw_lock {
             ("rw.hemlock.parking", "RW-Hemlock+CV", [], $crate::catalog::types::RwFromRaw<$crate::catalog::types::HemlockParking>, timed),
             ("rw.hemlock.chain", "RW-Hemlock+Chain", [], $crate::catalog::types::RwFromRaw<$crate::catalog::types::HemlockChain>, timed),
             ("rw.hemlock.instr", "RW-Hemlock(instr)", [], $crate::catalog::types::RwFromRaw<$crate::catalog::types::HemlockInstrumented>, timed),
+            ("rw.obs.hemlock", "RW-Hemlock(obs)", ["rw.hemlock.obs"], $crate::catalog::types::RwFromRaw<$crate::catalog::types::ObservedHemlock>, timed),
             ("rw.mcs", "RW-MCS", [], $crate::catalog::types::RwFromRaw<$crate::catalog::types::McsLock>, timed),
             ("rw.clh", "RW-CLH", [], $crate::catalog::types::RwFromRaw<$crate::catalog::types::ClhLock>, no_timed),
             ("rw.ticket", "RW-Ticket", [], $crate::catalog::types::RwFromRaw<$crate::catalog::types::TicketLock>, timed),

@@ -417,6 +417,11 @@ where
         }
         match self.try_lock_shard_idx(idx) {
             Some(mut g) => {
+                if hemlock_obs::enabled() {
+                    hemlock_obs::registry()
+                        .shard_batch_size
+                        .record(ixs.len() as u64);
+                }
                 let out = ixs.iter().map(|&i| apply_one(&mut g, &ops[i])).collect();
                 self.combine_locked(idx, &mut g);
                 Some(out)
@@ -454,6 +459,11 @@ where
                 .is_err()
             {
                 continue; // ABORTED: the poster withdrew before we claimed
+            }
+            if hemlock_obs::enabled() {
+                hemlock_obs::registry()
+                    .shard_batch_size
+                    .record(rec.ops.len() as u64);
             }
             let results = rec
                 .ops

@@ -33,6 +33,16 @@ impl ShardStats {
         if contended {
             self.inner.contended.fetch_add(1, Ordering::Relaxed);
         }
+        // Mirror into the workspace registry (the per-shard census above is
+        // unconditional — table tests and the shardkv contention column rely
+        // on exact counts with no obs setup).
+        if hemlock_obs::enabled() {
+            let reg = hemlock_obs::registry();
+            reg.shard_acquisitions.inc();
+            if contended {
+                reg.shard_contended.inc();
+            }
+        }
     }
 
     /// Snapshot of this shard's counters.

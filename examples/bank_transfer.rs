@@ -59,7 +59,10 @@ fn main() {
             .map(|_| UnsafeCell::new(START_BALANCE))
             .collect(),
     };
-    HemlockInstrumented::reset_stats();
+    // The censuses live in hemlock-obs: plug its sink into the core
+    // event seam, then zero the counters for a clean measured window.
+    hemlock_obs::census::install();
+    hemlock_obs::census::reset();
     let completed = AtomicU64::new(0);
 
     std::thread::scope(|s| {
@@ -82,7 +85,7 @@ fn main() {
     });
 
     let total: i64 = bank.balances.iter().map(|b| unsafe { *b.get() }).sum();
-    let report = HemlockInstrumented::report();
+    let report = hemlock_obs::census::report();
     println!(
         "{} transfers completed; total balance {total} (expected {})",
         completed.load(Ordering::Relaxed),

@@ -30,7 +30,10 @@ fn main() {
         locks: (0..STAGES).map(|_| HemlockInstrumented::new()).collect(),
         stages: (0..STAGES).map(|_| UnsafeCell::new(0)).collect(),
     };
-    HemlockInstrumented::reset_stats();
+    // The censuses live in hemlock-obs: plug its sink into the core
+    // event seam, then zero the counters for a clean measured window.
+    hemlock_obs::census::install();
+    hemlock_obs::census::reset();
 
     std::thread::scope(|s| {
         for _ in 0..WORKERS {
@@ -56,7 +59,7 @@ fn main() {
     });
 
     let total: u64 = pipeline.stages.iter().map(|s| unsafe { *s.get() }).sum();
-    let report = HemlockInstrumented::report();
+    let report = hemlock_obs::census::report();
     println!(
         "processed {total} stage-visits (expected {})",
         (STAGES * WORKERS * PASSES)

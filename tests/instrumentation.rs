@@ -3,13 +3,18 @@
 
 use hemlock_core::hemlock::HemlockInstrumented;
 use hemlock_core::raw::RawLock;
+use hemlock_obs::census;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 #[test]
 fn censuses_match_scenarios() {
+    // The censuses live in hemlock-obs now: plug its sink into the core
+    // event seam, then read the same report back through the registry.
+    census::install();
+
     // --- Scenario 1: single-lock workload => purely local spinning. ---
-    HemlockInstrumented::reset_stats();
+    census::reset();
     {
         let l = Arc::new(HemlockInstrumented::new());
         std::thread::scope(|s| {
@@ -25,7 +30,7 @@ fn censuses_match_scenarios() {
             }
         });
     }
-    let r = HemlockInstrumented::report();
+    let r = census::report();
     assert_eq!(r.acquires, 20_000);
     assert_eq!(r.lock_while_holding, 0, "one lock at a time");
     assert_eq!(r.max_locks_held, 1);
@@ -39,7 +44,7 @@ fn censuses_match_scenarios() {
     // --- Scenario 2: the Figure 1 junction, with real threads. ---
     // Thread E holds 3 locks; one waiter per lock; all three waiters spin
     // on E's single Grant word; releases must wake exactly the right one.
-    HemlockInstrumented::reset_stats();
+    census::reset();
     {
         let locks: Arc<Vec<HemlockInstrumented>> =
             Arc::new((0..3).map(|_| HemlockInstrumented::new()).collect());
@@ -63,7 +68,7 @@ fn censuses_match_scenarios() {
         }
         // Give the waiters time to all begin spinning on E's Grant word.
         std::thread::sleep(std::time::Duration::from_millis(30));
-        let mid = HemlockInstrumented::report();
+        let mid = census::report();
         assert_eq!(
             mid.max_grant_waiters, 3,
             "three waiters across three locks share E's Grant word"
@@ -80,12 +85,12 @@ fn censuses_match_scenarios() {
         }
         assert_eq!(woken.load(Ordering::Acquire), 0b111);
     }
-    let r = HemlockInstrumented::report();
+    let r = census::report();
     assert_eq!(r.max_locks_held, 3);
     assert!(r.lock_while_holding >= 2, "E locked while holding");
 
     // --- Scenario 3: try_lock counts as an acquire, never contends. ---
-    HemlockInstrumented::reset_stats();
+    census::reset();
     {
         use hemlock_core::raw::RawTryLock;
         let l = HemlockInstrumented::new();
@@ -94,7 +99,7 @@ fn censuses_match_scenarios() {
         // Safety: try_lock succeeded above on this thread.
         unsafe { l.unlock() };
     }
-    let r = HemlockInstrumented::report();
+    let r = census::report();
     assert_eq!(r.acquires, 1);
     assert_eq!(r.contended_acquires, 0);
 

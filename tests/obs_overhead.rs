@@ -1,0 +1,77 @@
+//! Enforces the observability cost contract: with collection disabled
+//! (`hemlock_obs::set_enabled(false)`), the `Observed` wrapper adds at
+//! most one relaxed load and an untaken branch per operation, which must
+//! keep uncontended lock/unlock within 5% of the raw lock.
+//!
+//! Measurement discipline for a ~20ns path: `black_box` the lock
+//! reference so both monomorphizations run the same loop shape,
+//! interleave raw/observed trials so frequency drift hits both sides,
+//! and compare min-of-trials (the run least disturbed by the scheduler).
+//!
+//! This file deliberately holds exactly one `#[test]`: the enabled flag
+//! is process-global, so the measurement needs a process where nothing
+//! else turns collection back on.
+
+use hemlock_core::hemlock::Hemlock;
+use hemlock_core::raw::RawLock;
+use hemlock_obs::ObservedHemlock;
+use std::hint::black_box;
+use std::time::Instant;
+
+const ITERS: u32 = 2_000_000;
+const TRIALS: usize = 9;
+
+fn lock_unlock_ns<L: RawLock>(l: &L) -> u128 {
+    let t0 = Instant::now();
+    for _ in 0..ITERS {
+        let l = black_box(l);
+        l.lock();
+        // Safety: acquired above on this thread.
+        unsafe { l.unlock() };
+    }
+    t0.elapsed().as_nanos()
+}
+
+#[test]
+fn disabled_observer_stays_within_five_percent() {
+    // The 5% contract is about the shipped code: it needs the observer's
+    // forwarding methods inlined, which debug builds don't do. Run the
+    // machinery as a smoke test there, but only enforce in release (CI's
+    // bench-trajectory job runs the release profile).
+    let budget = if cfg!(debug_assertions) {
+        f64::INFINITY
+    } else {
+        1.05
+    };
+    hemlock_obs::set_enabled(false);
+    let raw = Hemlock::default();
+    let obs = ObservedHemlock::default();
+    // Warm both paths (lazy statics, branch predictors, frequency).
+    lock_unlock_ns(&raw);
+    lock_unlock_ns(&obs);
+
+    // Whole-measurement retries absorb machine-level noise (CI boxes
+    // share cores); one clean pass under the bound is the claim.
+    let mut best_ratio = f64::INFINITY;
+    for _ in 0..4 {
+        let mut raw_min = u128::MAX;
+        let mut obs_min = u128::MAX;
+        for _ in 0..TRIALS {
+            raw_min = raw_min.min(lock_unlock_ns(&raw));
+            obs_min = obs_min.min(lock_unlock_ns(&obs));
+        }
+        best_ratio = best_ratio.min(obs_min as f64 / raw_min as f64);
+        if best_ratio <= budget {
+            break;
+        }
+    }
+    eprintln!(
+        "obs_overhead: disabled wrapper at {:+.1}% vs raw lock/unlock",
+        (best_ratio - 1.0) * 100.0
+    );
+    assert!(
+        best_ratio <= budget,
+        "disabled Observed wrapper costs {:.1}% on uncontended lock/unlock (budget 5%)",
+        (best_ratio - 1.0) * 100.0
+    );
+}
