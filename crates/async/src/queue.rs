@@ -46,6 +46,14 @@
 //!
 //! Removing a queued writer also re-runs the grant scan: readers that were
 //! batched behind it become admissible the moment it withdraws.
+//!
+//! Both invariants are model-checked: the **`proto.wakerqueue`** scenario
+//! (`hemlock_simlock::protocols::wakerqueue`, explored exhaustively by
+//! `hemlock-model` and the `model-check` CI job) proves
+//! `no-double-grant`, `no-acquire-after-cancel`, and `no-stranded-grant`
+//! over every interleaving at small scope; swallowing a racing grant
+//! instead of passing it on (`QueueBug::DropRacingGrant`) is caught as a
+//! stranded lock.
 
 use core::cell::UnsafeCell;
 use core::sync::atomic::{AtomicU8, Ordering};

@@ -31,6 +31,14 @@
 //! lock). The releaser's cost when no async waiter exists is one fence and
 //! one load — paid on every release of a bridged lock, the documented
 //! price of mixing sync and async users on one lock.
+//!
+//! This argument is model-checked: the **`proto.wakerset`** scenario
+//! (`hemlock_simlock::protocols::wakerset`, explored exhaustively by
+//! `hemlock-model` and the `model-check` CI job) encodes the fence pair
+//! as program order and proves `no-lost-wakeup` over every interleaving
+//! at small scope; dropping either half of the pair
+//! (`DekkerBug::SkipRecheck` / `DekkerBug::NotifyBeforeRelease`) is
+//! caught as a lost wakeup.
 
 use crate::hemlock::Hemlock;
 use crate::Mutex;

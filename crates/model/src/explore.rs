@@ -12,15 +12,15 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::HashSet;
 use std::hash::Hasher;
 
-/// Exploration limits and toggles.
+/// Exploration limits and toggles. The lock count for the mutex/FIFO
+/// oracles is derived from the world's algorithm
+/// ([`LockAlgorithm::locks`]), not configured here.
 #[derive(Clone, Copy, Debug)]
 pub struct ExploreConfig {
     /// Stop after visiting this many distinct states.
     pub max_states: usize,
     /// Also run the fere-local census at every state (costlier).
     pub check_fere_local: bool,
-    /// Number of locks (for the mutex/FIFO oracles).
-    pub locks: usize,
 }
 
 impl Default for ExploreConfig {
@@ -28,7 +28,6 @@ impl Default for ExploreConfig {
         Self {
             max_states: 500_000,
             check_fere_local: true,
-            locks: 1,
         }
     }
 }
@@ -68,6 +67,7 @@ pub fn explore<A>(world: World<A>, cfg: ExploreConfig) -> ExploreReport
 where
     A: LockAlgorithm + Clone,
 {
+    let locks = world.algo.locks();
     let mut visited: HashSet<u64> = HashSet::new();
     let mut stack: Vec<(World<A>, FifoTracker)> = Vec::new();
     let mut report = ExploreReport {
@@ -77,7 +77,7 @@ where
         terminal_states: 0,
     };
 
-    let fifo0 = FifoTracker::new(cfg.locks);
+    let fifo0 = FifoTracker::new(locks);
     visited.insert(node_key(&world, &fifo0));
     stack.push((world, fifo0));
 
@@ -88,7 +88,7 @@ where
             break;
         }
 
-        if let Some(v) = check_mutual_exclusion(&world, cfg.locks) {
+        if let Some(v) = check_mutual_exclusion(&world, locks) {
             report.violations.push(v);
             continue;
         }
@@ -226,96 +226,92 @@ mod tests {
         ));
     }
 
+    // Sanity fixture for the checker itself: a "lock" that admits everyone
+    // after a single probing load, so the mutual-exclusion oracle must trip.
+    #[derive(Clone, Debug)]
+    struct BrokenSim {
+        threads: usize,
+    }
+    #[derive(Clone, Debug, PartialEq, Eq, Hash)]
+    struct BrokenThread {
+        pc: u8,
+        lock: usize,
+    }
+    impl LockAlgorithm for BrokenSim {
+        type Thread = BrokenThread;
+        fn name(&self) -> &'static str {
+            "Broken"
+        }
+        fn words(&self) -> usize {
+            2 + 1 + self.threads // null, fake tail, data, privates
+        }
+        fn locks(&self) -> usize {
+            1
+        }
+        fn initial_memory(&self) -> Vec<hemlock_simlock::Val> {
+            vec![0; self.words()]
+        }
+        fn new_thread(&self, _tid: usize) -> BrokenThread {
+            BrokenThread { pc: 0, lock: 0 }
+        }
+        fn begin_acquire(&self, t: &mut BrokenThread, lock: usize) {
+            t.lock = lock;
+            t.pc = 1;
+        }
+        fn begin_release(&self, t: &mut BrokenThread, lock: usize) {
+            t.lock = lock;
+            t.pc = 3;
+        }
+        fn step(
+            &self,
+            t: &mut BrokenThread,
+            _last: hemlock_simlock::Val,
+        ) -> hemlock_simlock::AlgoStep {
+            use hemlock_simlock::{AlgoStep, Meta, Op};
+            match t.pc {
+                1 => {
+                    t.pc = 2;
+                    // Probe the "lock word" but ignore the answer.
+                    AlgoStep::Issue(Op::Load(1), Meta::Doorstep { lock: t.lock })
+                }
+                2 | 4 => {
+                    t.pc = 0;
+                    AlgoStep::Done
+                }
+                3 => {
+                    t.pc = 4;
+                    AlgoStep::Issue(Op::Store(1, 0), Meta::None)
+                }
+                _ => unreachable!(),
+            }
+        }
+        fn data_word(&self, _lock: usize) -> usize {
+            2
+        }
+        fn private_word(&self, tid: usize) -> usize {
+            3 + tid
+        }
+    }
+
+    fn broken_world(threads: usize, cs_steps: u32) -> World<BrokenSim> {
+        let program = Program::new(
+            vec![
+                hemlock_simlock::Action::Acquire(0),
+                hemlock_simlock::Action::CsWork {
+                    lock: 0,
+                    steps: cs_steps,
+                },
+                hemlock_simlock::Action::Release(0),
+            ],
+            1,
+        );
+        World::new(BrokenSim { threads }, vec![program; threads])
+    }
+
     #[test]
     fn broken_algorithm_is_caught() {
-        // Sanity for the checker itself: a "lock" that admits everyone
-        // after a single probing load must trip the mutual-exclusion oracle.
-        #[derive(Clone, Debug)]
-        struct BrokenSim {
-            threads: usize,
-        }
-        #[derive(Clone, Debug, PartialEq, Eq, Hash)]
-        struct BrokenThread {
-            pc: u8,
-            lock: usize,
-        }
-        impl LockAlgorithm for BrokenSim {
-            type Thread = BrokenThread;
-            fn name(&self) -> &'static str {
-                "Broken"
-            }
-            fn words(&self) -> usize {
-                2 + 1 + self.threads // null, fake tail, data, privates
-            }
-            fn initial_memory(&self) -> Vec<hemlock_simlock::Val> {
-                vec![0; self.words()]
-            }
-            fn new_thread(&self, _tid: usize) -> BrokenThread {
-                BrokenThread { pc: 0, lock: 0 }
-            }
-            fn begin_acquire(&self, t: &mut BrokenThread, lock: usize) {
-                t.lock = lock;
-                t.pc = 1;
-            }
-            fn begin_release(&self, t: &mut BrokenThread, lock: usize) {
-                t.lock = lock;
-                t.pc = 3;
-            }
-            fn step(
-                &self,
-                t: &mut BrokenThread,
-                _last: hemlock_simlock::Val,
-            ) -> hemlock_simlock::AlgoStep {
-                use hemlock_simlock::{AlgoStep, Meta, Op};
-                match t.pc {
-                    1 => {
-                        t.pc = 2;
-                        // Probe the "lock word" but ignore the answer.
-                        AlgoStep::Issue(Op::Load(1), Meta::Doorstep { lock: t.lock })
-                    }
-                    2 | 4 => {
-                        t.pc = 0;
-                        AlgoStep::Done
-                    }
-                    3 => {
-                        t.pc = 4;
-                        AlgoStep::Issue(Op::Store(1, 0), Meta::None)
-                    }
-                    _ => unreachable!(),
-                }
-            }
-            fn data_word(&self, _lock: usize) -> usize {
-                2
-            }
-            fn private_word(&self, tid: usize) -> usize {
-                3 + tid
-            }
-        }
-
-        let algo = BrokenSim { threads: 2 };
-        let world = World::new(
-            algo,
-            vec![
-                Program::new(
-                    vec![
-                        hemlock_simlock::Action::Acquire(0),
-                        hemlock_simlock::Action::CsWork { lock: 0, steps: 2 },
-                        hemlock_simlock::Action::Release(0),
-                    ],
-                    1,
-                ),
-                Program::new(
-                    vec![
-                        hemlock_simlock::Action::Acquire(0),
-                        hemlock_simlock::Action::CsWork { lock: 0, steps: 2 },
-                        hemlock_simlock::Action::Release(0),
-                    ],
-                    1,
-                ),
-            ],
-        );
         let report = explore(
-            world,
+            broken_world(2, 2),
             ExploreConfig {
                 check_fere_local: false,
                 ..Default::default()
@@ -329,5 +325,66 @@ mod tests {
             "broken lock must be caught; got {:?}",
             report.violations
         );
+    }
+
+    #[test]
+    fn state_budget_exhaustion_clears_exhaustive_flag() {
+        // A clean world cut off mid-exploration must not claim exhaustive
+        // coverage: `clean()` alone is a sample, not a proof.
+        let full = explore(
+            two_thread_world(HemlockSim::new(2, 1, HemlockFlavor::Ctr), 2),
+            ExploreConfig::default(),
+        );
+        assert!(full.exhaustive && full.states > 20);
+        let cut = explore(
+            two_thread_world(HemlockSim::new(2, 1, HemlockFlavor::Ctr), 2),
+            ExploreConfig {
+                max_states: 20,
+                ..Default::default()
+            },
+        );
+        assert!(
+            !cut.exhaustive,
+            "tiny budget cannot cover {} states",
+            full.states
+        );
+        assert!(cut.states <= 20);
+        assert!(cut.clean(), "cutoff alone is not a violation");
+    }
+
+    #[test]
+    fn violations_found_before_cutoff_survive_budget_exhaustion() {
+        // The broken lock trips mutual exclusion within the first few
+        // explored states; a budget too small for the full space must
+        // still report what it saw before the cutoff.
+        let full = explore(
+            broken_world(3, 3),
+            ExploreConfig {
+                check_fere_local: false,
+                ..Default::default()
+            },
+        );
+        assert!(full.exhaustive && !full.clean());
+        let budget = full.states / 2;
+        let cut = explore(
+            broken_world(3, 3),
+            ExploreConfig {
+                max_states: budget,
+                check_fere_local: false,
+            },
+        );
+        assert!(
+            !cut.exhaustive,
+            "budget {budget} must truncate {}",
+            full.states
+        );
+        assert!(
+            cut.violations
+                .iter()
+                .any(|v| matches!(v, Violation::MutualExclusion { .. })),
+            "violations found before the cutoff must be reported; got {:?}",
+            cut.violations
+        );
+        assert!(!cut.clean());
     }
 }

@@ -29,28 +29,34 @@
 //! assert!(report.clean() && report.exhaustive);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod checker;
 pub mod explore;
+pub mod protocols;
 pub mod scenario;
 
 pub use checker::{check_fere_local, check_mutual_exclusion, FifoTracker, Violation};
 pub use explore::{check_progress, explore, ExploreConfig, ExploreReport};
+pub use protocols::{
+    check_proto_random_run, explore_proto, post_seed_scenarios, ProtoReport, ProtoRunReport,
+    ProtoScenario,
+};
 pub use scenario::{build_junction, drain_junction, spin_census, Junction};
 
 /// Runs `world` to completion under a seeded random fair schedule, checking
-/// mutual exclusion, FIFO, and the fere-local bound after every step.
+/// mutual exclusion, FIFO, and the fere-local bound after every step. The
+/// lock count for the oracles is derived from the world's algorithm.
 /// Panics on budget exhaustion; returns violations found (empty = clean).
 pub fn check_random_run<A>(
     mut world: hemlock_simlock::World<A>,
-    locks: usize,
     seed: u64,
     max_steps: u64,
 ) -> Vec<Violation>
 where
     A: hemlock_simlock::LockAlgorithm,
 {
+    let locks = world.algo.locks();
     let mut rng = hemlock_simlock::SplitMix64::new(seed);
     let mut fifo = FifoTracker::new(locks);
     let mut violations = Vec::new();
@@ -103,7 +109,7 @@ mod proptests {
             let flavor = HemlockFlavor::ALL[flavor_ix];
             let programs = vec![Program::lock_unlock(0, 1, 1, rounds); threads];
             let world = World::new(HemlockSim::new(threads, 1, flavor), programs);
-            let violations = check_random_run(world, 1, seed, 10_000_000);
+            let violations = check_random_run(world, seed, 10_000_000);
             prop_assert!(violations.is_empty(), "{flavor:?}: {violations:?}");
         }
 
@@ -125,7 +131,7 @@ mod proptests {
                 HemlockSim::new(2, 2, flavor),
                 vec![nested.clone(), nested],
             );
-            let violations = check_random_run(world, 2, seed, 10_000_000);
+            let violations = check_random_run(world, seed, 10_000_000);
             prop_assert!(violations.is_empty(), "{flavor:?}: {violations:?}");
         }
     }

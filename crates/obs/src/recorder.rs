@@ -322,6 +322,44 @@ mod tests {
     }
 
     #[test]
+    fn dump_racing_wraparound_never_splices_records() {
+        // Directed schedule for the checksum discipline: a dumper hammers
+        // a tiny ring while a writer wraps it continuously, so most reads
+        // race an overwrite. Every surviving record must decode to a value
+        // the writer actually wrote — a spliced record (ts from one write,
+        // data from another) would break the arg pattern or the site, and
+        // must instead have been dropped by its checksum.
+        const CAP: usize = 4;
+        #[cfg(miri)]
+        const WRITES: u64 = 300;
+        #[cfg(not(miri))]
+        const WRITES: u64 = 200_000;
+        let r = Recorder::new(CAP);
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for seq in 0..WRITES {
+                    r.record("wrap", LockEvent::Acquire, seq * 3 + 1);
+                }
+                stop.store(true, Ordering::Release);
+            });
+            let mut dumps = 0u64;
+            while !stop.load(Ordering::Acquire) {
+                for e in r.dump() {
+                    assert_eq!(e.site, "wrap", "spliced site");
+                    assert_eq!(e.event, LockEvent::Acquire, "spliced event");
+                    assert_eq!(e.arg % 3, 1, "arg {} was never written", e.arg);
+                    assert!((e.arg - 1) / 3 < WRITES, "arg {} out of range", e.arg);
+                }
+                dumps += 1;
+            }
+            assert!(dumps > 0);
+        });
+        // Quiescent after the race: every slot holds a committed record.
+        assert_eq!(r.dump().len(), CAP);
+    }
+
+    #[test]
     fn concurrent_writers_never_produce_torn_records() {
         let r = Recorder::new(64);
         let threads = 4;

@@ -19,6 +19,14 @@
 //! Continuous writer traffic can therefore starve readers — the intended
 //! trade-off for a read-mostly workload where writers are rare and should
 //! not wait behind unbounded reader streams.
+//!
+//! The drain/withdrawal protocol is model-checked: the **`proto.rw`**
+//! scenario (`hemlock_simlock::protocols::rw`, explored exhaustively by
+//! `hemlock-model` and the `model-check` CI job) proves
+//! `readers-exclude-writer` and `indicator-consistency` over every
+//! interleaving at small scope; skipping the writer-flag check
+//! (`RwBug::SkipWflagCheck`) or leaking the indicator increment on a
+//! timed abort (`RwBug::LeakOnAbort`) is caught by a named invariant.
 
 use core::sync::atomic::{AtomicUsize, Ordering};
 use hemlock_core::hemlock::Hemlock;

@@ -38,7 +38,14 @@
 //! acquires the shard lock and does not find its record `DONE` knows no
 //! combiner can be mid-flight on it — it services the list (including
 //! its own record) itself. There is no state in which a waiter must
-//! block while holding the lock.
+//! block while holding the lock. This lifecycle is model-checked: the
+//! **`proto.flat-combining`** scenario
+//! (`hemlock_simlock::protocols::fc`, explored exhaustively by
+//! `hemlock-model` and the `model-check` CI job) proves
+//! `claimed-implies-locked` and `applied-at-most-once` over every
+//! interleaving at small scope; deferring the `DONE` store past the lock
+//! release (`FcBug::ReleaseBeforeDone`) is caught as a claim-discipline
+//! violation.
 //!
 //! Completion wakeups need no new machinery: `DONE` precedes the shard
 //! guard drop, and every guard drop already notifies the table's

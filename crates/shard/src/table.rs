@@ -472,7 +472,14 @@ impl<K: Hash + Eq, V, L: RawTryLock> ShardedTable<K, V, L> {
     /// two `with_two` calls with crossing key pairs can never hold-and-wait
     /// in opposite orders, and a blocking holder of the higher shard is
     /// never waited on while the lower is held longer than one trylock.
-    /// Same-shard pairs degrade to a single guard.
+    /// Same-shard pairs degrade to a single guard. This protocol is
+    /// model-checked: the **`proto.with-two`** scenario
+    /// (`hemlock_simlock::protocols::twoshard`, explored exhaustively by
+    /// `hemlock-model` and the `model-check` CI job) proves
+    /// deadlock-freedom and `no-torn-pair` over every interleaving at
+    /// small scope; an unordered blocking acquire
+    /// (`TwoShardBug::BlockingUnordered`) is caught as the classic ABBA
+    /// deadlock.
     ///
     /// Panics when `a == b` (two `&mut` views of one slot are
     /// ill-defined); route single-key updates through [`Self::update`].

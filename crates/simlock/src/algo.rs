@@ -34,6 +34,13 @@ pub trait LockAlgorithm {
     /// Number of simulated memory words.
     fn words(&self) -> usize;
 
+    /// Number of locks this configuration was laid out for. The property
+    /// checkers size their per-lock oracles (FIFO queues, mutual-exclusion
+    /// census) from this, so it is derived from the algorithm rather than
+    /// passed alongside the world — a mismatched count would silently skip
+    /// tracking for the extra locks.
+    fn locks(&self) -> usize;
+
     /// Initial memory contents (length == `words()`).
     fn initial_memory(&self) -> Vec<Val>;
 

@@ -101,6 +101,10 @@ impl LockAlgorithm for ClhSim {
         self.words
     }
 
+    fn locks(&self) -> usize {
+        self.locks
+    }
+
     fn initial_memory(&self) -> Vec<Val> {
         let mut mem = vec![0; self.words];
         for l in 0..self.locks {

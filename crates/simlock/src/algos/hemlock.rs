@@ -53,6 +53,7 @@ impl HemlockFlavor {
 #[derive(Clone, Debug)]
 pub struct HemlockSim {
     threads: usize,
+    locks: usize,
     flavor: HemlockFlavor,
     tail_base: Loc,  // 1 word per lock
     grant_base: Loc, // 1 word per thread
@@ -69,6 +70,7 @@ impl HemlockSim {
         let common = CommonWords::plan(&mut plan, threads, locks);
         Self {
             threads,
+            locks,
             flavor,
             tail_base,
             grant_base,
@@ -200,6 +202,10 @@ impl LockAlgorithm for HemlockSim {
 
     fn words(&self) -> usize {
         self.words
+    }
+
+    fn locks(&self) -> usize {
+        self.locks
     }
 
     fn initial_memory(&self) -> Vec<Val> {

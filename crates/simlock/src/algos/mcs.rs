@@ -109,6 +109,10 @@ impl LockAlgorithm for McsSim {
         self.words
     }
 
+    fn locks(&self) -> usize {
+        self.locks
+    }
+
     fn initial_memory(&self) -> Vec<Val> {
         vec![0; self.words]
     }

@@ -77,6 +77,10 @@ impl LockAlgorithm for TicketSim {
         self.words
     }
 
+    fn locks(&self) -> usize {
+        self.locks
+    }
+
     fn initial_memory(&self) -> Vec<Val> {
         vec![0; self.words]
     }

@@ -33,17 +33,20 @@
 //! # let _ = events;
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod algo;
 pub mod algos;
 pub mod op;
 pub mod program;
+pub mod proto;
+pub mod protocols;
 pub mod world;
 
 pub use algo::{AlgoStep, LockAlgorithm};
 pub use op::{AccessKind, Loc, Meta, Op, Until, Val};
 pub use program::{Action, Program};
+pub use proto::{ProtoThread, ProtoViolation, ProtoWorld, ProtocolSim};
 pub use world::{Event, Exec, SimThread, SplitMix64, StepOutcome, World};
 
 #[cfg(test)]

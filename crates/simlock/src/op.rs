@@ -58,6 +58,37 @@ impl Op {
         }
     }
 
+    /// Executes this operation against simulated memory, returning the value
+    /// read (the *old* value for RMWs, 0 for stores). Shared by the lock
+    /// [`World`](crate::World) and the protocol
+    /// [`ProtoWorld`](crate::ProtoWorld).
+    pub fn apply(self, mem: &mut [Val]) -> Val {
+        match self {
+            Op::Load(l) => mem[l],
+            Op::Store(l, v) => {
+                mem[l] = v;
+                0
+            }
+            Op::Cas { loc, expect, new } => {
+                let old = mem[loc];
+                if old == expect {
+                    mem[loc] = new;
+                }
+                old
+            }
+            Op::Swap { loc, val } => {
+                let old = mem[loc];
+                mem[loc] = val;
+                old
+            }
+            Op::Faa { loc, add } => {
+                let old = mem[loc];
+                mem[loc] = old.wrapping_add(add);
+                old
+            }
+        }
+    }
+
     /// How the cache model should treat this access.
     pub fn access_kind(&self) -> AccessKind {
         match self {

@@ -1,0 +1,500 @@
+//! Model of the flat-combining publication-record lifecycle
+//! (`hemlock-shard::batch`).
+//!
+//! The real layer: a thread that wants a batch op applied either takes the
+//! shard lock itself (fast path: apply own op, then scan and apply every
+//! `POSTED` record before releasing) or publishes a record and waits. A
+//! waiting thread that observes its record still `POSTED` retries the lock;
+//! if it wins, it must safely become the combiner — including claiming and
+//! applying its *own* still-posted record. A combiner claims records with a
+//! `POSTED → CLAIMED` CAS, applies them, and must store `DONE` **before**
+//! releasing the lock; a canceller revokes its record with a
+//! `POSTED → ABORTED` CAS, and if that loses (already `CLAIMED`/`DONE`)
+//! the op is committed and must be awaited.
+//!
+//! Words: the combiner lock, one record word per thread
+//! (`EMPTY/POSTED/CLAIMED/DONE/ABORTED`), and one apply-counter per thread
+//! (FAA'd by whoever executes that thread's op — the "shared structure").
+//! Invariants:
+//!
+//! - `fc-mutual-exclusion`: at most one combiner, lock word consistent;
+//! - `claimed-implies-locked`: a `CLAIMED` record while the lock is free
+//!   means `DONE` was deferred past the release — the next lock holder
+//!   would re-scan a record whose op is still being applied;
+//! - `applied-at-most-once`: no apply-counter ever exceeds one;
+//! - `fc-terminal-consistency` (terminal): lock free, all records consumed
+//!   back to `EMPTY`, and each counter is 1 iff the op committed (0 iff
+//!   cancelled).
+//!
+//! Bug knob: [`FcBug::ReleaseBeforeDone`] makes the combiner defer its
+//! `DONE` stores until after the lock release — the exact discipline the
+//! batch layer's safety comment forbids.
+
+use crate::algo::{AlgoStep, MemPlan};
+use crate::op::{Loc, Meta, Op, Val};
+use crate::proto::{ProtoThread, ProtoViolation, ProtocolSim};
+
+/// Record is unused / consumed.
+pub const EMPTY: Val = 0;
+/// Record published, op awaiting a combiner.
+pub const POSTED: Val = 1;
+/// A combiner owns the record and is applying its op.
+pub const CLAIMED: Val = 2;
+/// Op applied; owner may consume the record.
+pub const DONE: Val = 3;
+/// Owner revoked the record before any combiner claimed it.
+pub const ABORTED: Val = 4;
+
+/// Deliberately-injected protocol bugs (for negative tests).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum FcBug {
+    /// Correct protocol.
+    #[default]
+    None,
+    /// The combiner releases the lock before storing `DONE` to the records
+    /// it claimed this pass.
+    ReleaseBeforeDone,
+}
+
+/// One thread's script.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct FcRole {
+    /// After posting, try to cancel the record instead of waiting.
+    pub cancel: bool,
+}
+
+/// Configuration: one scripted poster per thread.
+#[derive(Clone, Debug)]
+pub struct FcSim {
+    roles: Vec<FcRole>,
+    bug: FcBug,
+    lock: Loc,
+    rec_base: Loc,
+    ap_base: Loc,
+    words: usize,
+}
+
+impl FcSim {
+    /// Correct-protocol configuration.
+    pub fn new(roles: Vec<FcRole>) -> Self {
+        Self::with_bug(roles, FcBug::None)
+    }
+
+    /// Configuration with an injected bug.
+    pub fn with_bug(roles: Vec<FcRole>, bug: FcBug) -> Self {
+        let n = roles.len();
+        let mut plan = MemPlan::new();
+        let lock = plan.alloc(1);
+        let rec_base = plan.alloc(n);
+        let ap_base = plan.alloc(n);
+        Self {
+            roles,
+            bug,
+            lock,
+            rec_base,
+            ap_base,
+            words: plan.words(),
+        }
+    }
+
+    fn rec(&self, t: usize) -> Loc {
+        self.rec_base + t
+    }
+
+    fn ap(&self, t: usize) -> Loc {
+        self.ap_base + t
+    }
+
+    fn try_lock(&self, t: &mut FcThread, next: Pc) -> AlgoStep {
+        t.pc = next;
+        AlgoStep::Issue(
+            Op::Cas {
+                loc: self.lock,
+                expect: 0,
+                new: t.tid as Val + 1,
+            },
+            Meta::None,
+        )
+    }
+
+    /// Next combine-scan step: examine record `t.u`, or release once every
+    /// record was examined. The fast-path combiner never posted, so its own
+    /// slot is skipped; a waiter-turned-combiner scans its own still-posted
+    /// record like any other.
+    fn scan_next(&self, t: &mut FcThread) -> AlgoStep {
+        if !t.posted && t.u == t.tid {
+            t.u += 1;
+        }
+        if t.u < self.roles.len() {
+            t.pc = Pc::ScanLoaded;
+            AlgoStep::Issue(Op::Load(self.rec(t.u)), Meta::None)
+        } else {
+            t.pc = Pc::Released;
+            AlgoStep::Issue(Op::Store(self.lock, 0), Meta::None)
+        }
+    }
+
+    /// After the combine pass (and, under the bug, the deferred `DONE`
+    /// stores): a poster goes back to await its record, the fast path is
+    /// finished outright.
+    fn after_combine(&self, t: &mut FcThread) -> AlgoStep {
+        if t.posted {
+            t.pc = Pc::WaitLoaded;
+            AlgoStep::Issue(Op::Load(self.rec(t.tid)), Meta::None)
+        } else {
+            AlgoStep::Done
+        }
+    }
+}
+
+/// Program counter of one thread.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum Pc {
+    /// Issue the opening lock attempt.
+    Start,
+    /// `last` = opening lock CAS result.
+    FastDecide,
+    /// `last` = FAA result of applying our own op on the fast path.
+    SelfApplied,
+    /// `last` = record `u`'s state.
+    ScanLoaded,
+    /// `last` = `POSTED→CLAIMED` CAS result on record `u`.
+    ClaimDecide,
+    /// `last` = FAA result of applying record `u`'s op.
+    AppliedPeer,
+    /// `last` = result of storing `DONE` to record `u`.
+    PeerDone,
+    /// `last` = result of the lock release.
+    Released,
+    /// Bug path: `last` = result of a deferred `DONE` store.
+    BugDoneStored,
+    /// `last` = result of publishing our record.
+    Posted,
+    /// `last` = our record's state while waiting.
+    WaitLoaded,
+    /// `last` = lock CAS result from the waiter retry.
+    SlowLockDecide,
+    /// `last` = `POSTED→ABORTED` CAS result on our record.
+    CancelDecide,
+    /// `last` = result of consuming our record back to `EMPTY`.
+    Consumed,
+}
+
+/// Per-thread machine state.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct FcThread {
+    tid: usize,
+    pc: Pc,
+    /// Holding the combiner lock.
+    holding: bool,
+    /// Our record is published (we took the slow path).
+    posted: bool,
+    /// Our record was successfully cancelled.
+    cancelled: bool,
+    /// Combine-scan cursor.
+    u: usize,
+    /// Bug path: records claimed+applied whose `DONE` store was deferred.
+    pending_done: Vec<usize>,
+}
+
+impl FcThread {
+    /// True while the thread holds the combiner lock.
+    pub fn holding(&self) -> bool {
+        self.holding
+    }
+}
+
+impl ProtocolSim for FcSim {
+    type Thread = FcThread;
+
+    fn name(&self) -> &'static str {
+        "flat-combining"
+    }
+
+    fn threads(&self) -> usize {
+        self.roles.len()
+    }
+
+    fn words(&self) -> usize {
+        self.words
+    }
+
+    fn new_thread(&self, tid: usize) -> FcThread {
+        FcThread {
+            tid,
+            pc: Pc::Start,
+            holding: false,
+            posted: false,
+            cancelled: false,
+            u: 0,
+            pending_done: Vec::new(),
+        }
+    }
+
+    fn step(&self, t: &mut FcThread, last: Val) -> AlgoStep {
+        let tid = t.tid;
+        match t.pc {
+            Pc::Start => self.try_lock(t, Pc::FastDecide),
+            Pc::FastDecide => {
+                if last == 0 {
+                    // Fast path: combiner applies its own op directly.
+                    t.holding = true;
+                    t.pc = Pc::SelfApplied;
+                    AlgoStep::Issue(
+                        Op::Faa {
+                            loc: self.ap(tid),
+                            add: 1,
+                        },
+                        Meta::None,
+                    )
+                } else {
+                    t.pc = Pc::Posted;
+                    AlgoStep::Issue(Op::Store(self.rec(tid), POSTED), Meta::None)
+                }
+            }
+            Pc::SelfApplied => {
+                t.u = 0;
+                self.scan_next(t)
+            }
+            Pc::ScanLoaded => {
+                if last == POSTED {
+                    t.pc = Pc::ClaimDecide;
+                    AlgoStep::Issue(
+                        Op::Cas {
+                            loc: self.rec(t.u),
+                            expect: POSTED,
+                            new: CLAIMED,
+                        },
+                        Meta::None,
+                    )
+                } else {
+                    // EMPTY, CLAIMED (stale), DONE or ABORTED: not ours to
+                    // take.
+                    t.u += 1;
+                    self.scan_next(t)
+                }
+            }
+            Pc::ClaimDecide => {
+                if last == POSTED {
+                    // Claim won: apply the owner's op.
+                    t.pc = Pc::AppliedPeer;
+                    AlgoStep::Issue(
+                        Op::Faa {
+                            loc: self.ap(t.u),
+                            add: 1,
+                        },
+                        Meta::None,
+                    )
+                } else {
+                    // Lost to a cancel (or a stale state): skip.
+                    t.u += 1;
+                    self.scan_next(t)
+                }
+            }
+            Pc::AppliedPeer => {
+                if self.bug == FcBug::ReleaseBeforeDone {
+                    // Bug: remember the store for after the release.
+                    t.pending_done.push(t.u);
+                    t.u += 1;
+                    self.scan_next(t)
+                } else {
+                    t.pc = Pc::PeerDone;
+                    AlgoStep::Issue(Op::Store(self.rec(t.u), DONE), Meta::None)
+                }
+            }
+            Pc::PeerDone => {
+                t.u += 1;
+                self.scan_next(t)
+            }
+            Pc::Released => {
+                t.holding = false;
+                if let Some(&d) = t.pending_done.first() {
+                    t.pending_done.remove(0);
+                    t.pc = Pc::BugDoneStored;
+                    AlgoStep::Issue(Op::Store(self.rec(d), DONE), Meta::None)
+                } else {
+                    self.after_combine(t)
+                }
+            }
+            Pc::BugDoneStored => {
+                if let Some(&d) = t.pending_done.first() {
+                    t.pending_done.remove(0);
+                    AlgoStep::Issue(Op::Store(self.rec(d), DONE), Meta::None)
+                } else {
+                    self.after_combine(t)
+                }
+            }
+            Pc::Posted => {
+                t.posted = true;
+                if self.roles[tid].cancel {
+                    t.pc = Pc::CancelDecide;
+                    AlgoStep::Issue(
+                        Op::Cas {
+                            loc: self.rec(tid),
+                            expect: POSTED,
+                            new: ABORTED,
+                        },
+                        Meta::None,
+                    )
+                } else {
+                    t.pc = Pc::WaitLoaded;
+                    AlgoStep::Issue(Op::Load(self.rec(tid)), Meta::None)
+                }
+            }
+            Pc::WaitLoaded => {
+                if last == DONE {
+                    t.pc = Pc::Consumed;
+                    AlgoStep::Issue(Op::Store(self.rec(tid), EMPTY), Meta::None)
+                } else if last == POSTED {
+                    // Still unclaimed: retry the lock so a parked combiner
+                    // can't strand us (the election step under test).
+                    self.try_lock(t, Pc::SlowLockDecide)
+                } else {
+                    // CLAIMED: a combiner is mid-apply; only DONE frees us.
+                    AlgoStep::Issue(Op::Load(self.rec(tid)), Meta::None)
+                }
+            }
+            Pc::SlowLockDecide => {
+                if last == 0 {
+                    // Waiter won the lock: it must now be a full combiner,
+                    // scanning its own still-posted record like any other.
+                    t.holding = true;
+                    t.u = 0;
+                    self.scan_next(t)
+                } else {
+                    t.pc = Pc::WaitLoaded;
+                    AlgoStep::Issue(Op::Load(self.rec(tid)), Meta::None)
+                }
+            }
+            Pc::CancelDecide => {
+                if last == POSTED {
+                    // Cancel won before any combiner claimed it.
+                    t.cancelled = true;
+                    t.pc = Pc::Consumed;
+                    AlgoStep::Issue(Op::Store(self.rec(tid), EMPTY), Meta::None)
+                } else if last == DONE {
+                    // Too late: the op is committed; consume the record.
+                    t.pc = Pc::Consumed;
+                    AlgoStep::Issue(Op::Store(self.rec(tid), EMPTY), Meta::None)
+                } else {
+                    // CLAIMED: committed but still being applied; await DONE.
+                    t.pc = Pc::WaitLoaded;
+                    AlgoStep::Issue(Op::Load(self.rec(tid)), Meta::None)
+                }
+            }
+            Pc::Consumed => AlgoStep::Done,
+        }
+    }
+
+    fn check(&self, mem: &[Val], threads: &[ProtoThread<FcThread>]) -> Result<(), ProtoViolation> {
+        let holders: Vec<usize> = threads
+            .iter()
+            .filter(|t| t.state.holding)
+            .map(|t| t.state.tid)
+            .collect();
+        if holders.len() > 1 {
+            return Err(ProtoViolation {
+                invariant: "fc-mutual-exclusion",
+                detail: format!("threads {holders:?} hold the combiner lock"),
+            });
+        }
+        let expect_lock = holders.first().map_or(0, |&t| t as Val + 1);
+        if mem[self.lock] != expect_lock {
+            return Err(ProtoViolation {
+                invariant: "fc-mutual-exclusion",
+                detail: format!(
+                    "lock word is {} but holders are {holders:?}",
+                    mem[self.lock]
+                ),
+            });
+        }
+        for u in 0..self.roles.len() {
+            if mem[self.rec(u)] == CLAIMED && mem[self.lock] == 0 {
+                return Err(ProtoViolation {
+                    invariant: "claimed-implies-locked",
+                    detail: format!(
+                        "record {u} is CLAIMED while the combiner lock is free \
+                         (DONE must be stored before release)"
+                    ),
+                });
+            }
+            if mem[self.ap(u)] > 1 {
+                return Err(ProtoViolation {
+                    invariant: "applied-at-most-once",
+                    detail: format!("thread {u}'s op applied {} times", mem[self.ap(u)]),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn check_terminal(
+        &self,
+        mem: &[Val],
+        threads: &[ProtoThread<FcThread>],
+    ) -> Result<(), ProtoViolation> {
+        if mem[self.lock] != 0 {
+            return Err(ProtoViolation {
+                invariant: "fc-terminal-consistency",
+                detail: format!("combiner lock is {} after all scripts", mem[self.lock]),
+            });
+        }
+        for t in threads {
+            let tid = t.state.tid;
+            if mem[self.rec(tid)] != EMPTY {
+                return Err(ProtoViolation {
+                    invariant: "fc-terminal-consistency",
+                    detail: format!(
+                        "record {tid} left in state {} (must be consumed)",
+                        mem[self.rec(tid)]
+                    ),
+                });
+            }
+            let want = if t.state.cancelled { 0 } else { 1 };
+            if mem[self.ap(tid)] != want {
+                return Err(ProtoViolation {
+                    invariant: "fc-terminal-consistency",
+                    detail: format!(
+                        "thread {tid} (cancelled={}) has apply count {}",
+                        t.state.cancelled,
+                        mem[self.ap(tid)]
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn invariants(&self) -> &'static [&'static str] {
+        &[
+            "fc-mutual-exclusion",
+            "claimed-implies-locked",
+            "applied-at-most-once",
+            "fc-terminal-consistency",
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::ProtoWorld;
+
+    fn roles() -> Vec<FcRole> {
+        vec![
+            FcRole { cancel: false },
+            FcRole { cancel: false },
+            FcRole { cancel: true },
+        ]
+    }
+
+    #[test]
+    fn posters_and_canceller_complete_clean() {
+        for seed in 0..20 {
+            let mut w = ProtoWorld::new(FcSim::new(roles()));
+            w.run_random(seed, 1_000_000).expect("terminates");
+            assert!(w.check_now().is_ok());
+            assert!(w.check_terminal_now().is_ok());
+        }
+    }
+}

@@ -1,0 +1,442 @@
+//! Model of `ShardedTable::with_two`'s ordered two-shard acquire
+//! (`hemlock-shard::table`).
+//!
+//! The real method sorts the two shard indices, takes the low shard's lock
+//! blocking, *try*-locks the high shard, and on failure drops the low guard
+//! and backs off before retrying — so no thread ever holds one shard lock
+//! while blocking on another, and overlapping `with_two` calls cannot
+//! deadlock. Both slots are then updated under both locks (a two-slot
+//! transfer must never be observable half-done).
+//!
+//! The model: `shards` lock words (CAS 0→tid+1) and slot words, each
+//! thread transferring one unit from slot `a` to slot `b` per round.
+//! Invariants:
+//!
+//! - `shard-mutual-exclusion`: per shard, at most one holder, consistent
+//!   with the lock word;
+//! - `no-torn-pair`: whenever every lock word is free, the slots sum to
+//!   the initial total (a torn transfer is never published);
+//! - deadlock-freedom (explorer-reported) for overlapping pairs.
+//!
+//! Note the scope choice: with ordered acquire every thread takes its low
+//! shard first, so on a 2-shard table the high-shard trylock can never
+//! fail. Scenarios use 3 shards with overlapping pairs (e.g. (0,1) vs
+//! (1,2)) so the trylock-failure/backoff path is genuinely explored.
+//!
+//! Bug knobs: [`TwoShardBug::BlockingUnordered`] acquires in argument
+//! order and blocks on the second lock (hold-and-wait — the crossing-pair
+//! deadlock `with_two` is designed against); [`TwoShardBug::ReleaseMidUpdate`]
+//! publishes the first slot store and releases both locks before writing
+//! the second slot (the torn update the both-locks discipline forbids).
+
+use crate::algo::{AlgoStep, MemPlan};
+use crate::op::{Loc, Meta, Op, Val};
+use crate::proto::{ProtoThread, ProtoViolation, ProtocolSim};
+
+/// Deliberately-injected protocol bugs (for negative tests).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum TwoShardBug {
+    /// Correct protocol.
+    #[default]
+    None,
+    /// Acquire in argument order and block on the second lock
+    /// (hold-and-wait): crossing pairs deadlock.
+    BlockingUnordered,
+    /// Release both locks between the two slot stores: the torn pair is
+    /// observable with every lock free.
+    ReleaseMidUpdate,
+}
+
+/// One thread's script: transfer one unit from shard-slot `a` to `b`,
+/// `rounds` times.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TwoShardOp {
+    /// Source slot.
+    pub a: usize,
+    /// Destination slot, must differ from `a`.
+    pub b: usize,
+    /// Transfers to perform.
+    pub rounds: u32,
+}
+
+/// Configuration: `shards` shards, one scripted transfer pair per thread.
+#[derive(Clone, Debug)]
+pub struct TwoShardSim {
+    shards: usize,
+    ops: Vec<TwoShardOp>,
+    bug: TwoShardBug,
+    init: Vec<Val>,
+    lock_base: Loc,
+    slot_base: Loc,
+    words: usize,
+}
+
+impl TwoShardSim {
+    /// Correct-protocol configuration with initial slot values `init`
+    /// (its length sets the shard count).
+    pub fn new(ops: Vec<TwoShardOp>, init: Vec<Val>) -> Self {
+        Self::with_bug(ops, init, TwoShardBug::None)
+    }
+
+    /// Configuration with an injected bug.
+    pub fn with_bug(ops: Vec<TwoShardOp>, init: Vec<Val>, bug: TwoShardBug) -> Self {
+        let shards = init.len();
+        let mut plan = MemPlan::new();
+        let lock_base = plan.alloc(shards);
+        let slot_base = plan.alloc(shards);
+        for op in &ops {
+            assert!(
+                op.a < shards && op.b < shards && op.a != op.b,
+                "bad shard pair"
+            );
+        }
+        Self {
+            shards,
+            ops,
+            bug,
+            init,
+            lock_base,
+            slot_base,
+            words: plan.words(),
+        }
+    }
+
+    fn lock(&self, s: usize) -> Loc {
+        self.lock_base + s
+    }
+
+    fn slot(&self, s: usize) -> Loc {
+        self.slot_base + s
+    }
+
+    fn lock_cas(&self, s: usize, tid: usize) -> Op {
+        Op::Cas {
+            loc: self.lock(s),
+            expect: 0,
+            new: tid as Val + 1,
+        }
+    }
+
+    /// Acquisition order for this thread: sorted unless the unordered bug
+    /// is injected.
+    fn order(&self, tid: usize) -> (usize, usize) {
+        let TwoShardOp { a, b, .. } = self.ops[tid];
+        if self.bug == TwoShardBug::BlockingUnordered {
+            (a, b)
+        } else {
+            (a.min(b), a.max(b))
+        }
+    }
+
+    fn init_sum(&self) -> Val {
+        self.init.iter().fold(0u64, |s, v| s.wrapping_add(*v))
+    }
+
+    fn round_done(&self, t: &mut ShardThread) -> AlgoStep {
+        t.round += 1;
+        if t.round >= self.ops[t.tid].rounds {
+            AlgoStep::Done
+        } else {
+            let (first, _) = self.order(t.tid);
+            t.pc = Pc::AcqFirstDecide;
+            AlgoStep::Issue(self.lock_cas(first, t.tid), Meta::None)
+        }
+    }
+}
+
+/// Program counter of one thread.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum Pc {
+    /// Issue the first lock CAS.
+    Start,
+    /// `last` = first lock CAS result (blocking: reissue on failure).
+    AcqFirstDecide,
+    /// `last` = second lock CAS result (trylock: back off on failure).
+    AcqSecondDecide,
+    /// `last` = result of dropping the first lock after a failed trylock.
+    Backoff,
+    /// `last` = source slot value.
+    ALoaded,
+    /// `last` = destination slot value.
+    BLoaded,
+    /// `last` = result of storing the decremented source slot.
+    AStored,
+    /// `last` = result of storing the incremented destination slot.
+    BStored,
+    /// `last` = result of releasing the second-acquired lock.
+    Rel2,
+    /// `last` = result of releasing the first-acquired lock.
+    Rel1,
+    /// Bug path: `last` = result of releasing the second lock mid-update.
+    BugRel2,
+    /// Bug path: `last` = result of releasing the first lock mid-update.
+    BugRel1,
+    /// Bug path: `last` = first lock CAS result on reacquisition.
+    BugReacq1,
+    /// Bug path: `last` = second lock CAS result on reacquisition.
+    BugReacq2,
+}
+
+/// Per-thread machine state.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct ShardThread {
+    tid: usize,
+    pc: Pc,
+    round: u32,
+    /// Which shard locks this thread currently holds.
+    holds: Vec<bool>,
+    va: Val,
+    vb: Val,
+}
+
+impl ShardThread {
+    /// Whether this thread holds shard `s`'s lock.
+    pub fn holds(&self, s: usize) -> bool {
+        self.holds[s]
+    }
+}
+
+impl ProtocolSim for TwoShardSim {
+    type Thread = ShardThread;
+
+    fn name(&self) -> &'static str {
+        "with-two-ordered"
+    }
+
+    fn threads(&self) -> usize {
+        self.ops.len()
+    }
+
+    fn words(&self) -> usize {
+        self.words
+    }
+
+    fn initial_memory(&self) -> Vec<Val> {
+        let mut mem = vec![0; self.words];
+        for (s, v) in self.init.iter().enumerate() {
+            mem[self.slot(s)] = *v;
+        }
+        mem
+    }
+
+    fn new_thread(&self, tid: usize) -> ShardThread {
+        ShardThread {
+            tid,
+            pc: Pc::Start,
+            round: 0,
+            holds: vec![false; self.shards],
+            va: 0,
+            vb: 0,
+        }
+    }
+
+    fn step(&self, t: &mut ShardThread, last: Val) -> AlgoStep {
+        let TwoShardOp { a, b, .. } = self.ops[t.tid];
+        let (first, second) = self.order(t.tid);
+        match t.pc {
+            Pc::Start => {
+                t.pc = Pc::AcqFirstDecide;
+                AlgoStep::Issue(self.lock_cas(first, t.tid), Meta::None)
+            }
+            Pc::AcqFirstDecide => {
+                if last == 0 {
+                    t.holds[first] = true;
+                    t.pc = Pc::AcqSecondDecide;
+                    AlgoStep::Issue(self.lock_cas(second, t.tid), Meta::None)
+                } else {
+                    // lock_shard(lo) blocks; a failed poll re-enters the
+                    // same state and collapses in the explorer.
+                    AlgoStep::Issue(self.lock_cas(first, t.tid), Meta::None)
+                }
+            }
+            Pc::AcqSecondDecide => {
+                if last == 0 {
+                    t.holds[second] = true;
+                    t.pc = Pc::ALoaded;
+                    AlgoStep::Issue(Op::Load(self.slot(a)), Meta::None)
+                } else if self.bug == TwoShardBug::BlockingUnordered {
+                    // Bug: hold-and-wait on the second lock.
+                    AlgoStep::Issue(self.lock_cas(second, t.tid), Meta::None)
+                } else {
+                    // try_lock failed: drop the low guard and retry — never
+                    // hold one shard while blocking on the other.
+                    t.pc = Pc::Backoff;
+                    AlgoStep::Issue(Op::Store(self.lock(first), 0), Meta::None)
+                }
+            }
+            Pc::Backoff => {
+                t.holds[first] = false;
+                t.pc = Pc::AcqFirstDecide;
+                AlgoStep::Issue(self.lock_cas(first, t.tid), Meta::None)
+            }
+            Pc::ALoaded => {
+                t.va = last;
+                t.pc = Pc::BLoaded;
+                AlgoStep::Issue(Op::Load(self.slot(b)), Meta::None)
+            }
+            Pc::BLoaded => {
+                t.vb = last;
+                t.pc = Pc::AStored;
+                AlgoStep::Issue(Op::Store(self.slot(a), t.va.wrapping_sub(1)), Meta::None)
+            }
+            Pc::AStored => {
+                if self.bug == TwoShardBug::ReleaseMidUpdate {
+                    t.pc = Pc::BugRel2;
+                    AlgoStep::Issue(Op::Store(self.lock(second), 0), Meta::None)
+                } else {
+                    t.pc = Pc::BStored;
+                    AlgoStep::Issue(Op::Store(self.slot(b), t.vb.wrapping_add(1)), Meta::None)
+                }
+            }
+            Pc::BStored => {
+                t.pc = Pc::Rel2;
+                AlgoStep::Issue(Op::Store(self.lock(second), 0), Meta::None)
+            }
+            Pc::Rel2 => {
+                t.holds[second] = false;
+                t.pc = Pc::Rel1;
+                AlgoStep::Issue(Op::Store(self.lock(first), 0), Meta::None)
+            }
+            Pc::Rel1 => {
+                t.holds[first] = false;
+                self.round_done(t)
+            }
+            Pc::BugRel2 => {
+                t.holds[second] = false;
+                t.pc = Pc::BugRel1;
+                AlgoStep::Issue(Op::Store(self.lock(first), 0), Meta::None)
+            }
+            Pc::BugRel1 => {
+                t.holds[first] = false;
+                t.pc = Pc::BugReacq1;
+                AlgoStep::Issue(self.lock_cas(first, t.tid), Meta::None)
+            }
+            Pc::BugReacq1 => {
+                if last == 0 {
+                    t.holds[first] = true;
+                    t.pc = Pc::BugReacq2;
+                    AlgoStep::Issue(self.lock_cas(second, t.tid), Meta::None)
+                } else {
+                    AlgoStep::Issue(self.lock_cas(first, t.tid), Meta::None)
+                }
+            }
+            Pc::BugReacq2 => {
+                if last == 0 {
+                    t.holds[second] = true;
+                    t.pc = Pc::BStored;
+                    AlgoStep::Issue(Op::Store(self.slot(b), t.vb.wrapping_add(1)), Meta::None)
+                } else {
+                    AlgoStep::Issue(self.lock_cas(second, t.tid), Meta::None)
+                }
+            }
+        }
+    }
+
+    fn check(
+        &self,
+        mem: &[Val],
+        threads: &[ProtoThread<ShardThread>],
+    ) -> Result<(), ProtoViolation> {
+        for s in 0..self.shards {
+            let holders: Vec<usize> = threads
+                .iter()
+                .filter(|t| t.state.holds[s])
+                .map(|t| t.state.tid)
+                .collect();
+            if holders.len() > 1 {
+                return Err(ProtoViolation {
+                    invariant: "shard-mutual-exclusion",
+                    detail: format!("threads {holders:?} hold shard {s} simultaneously"),
+                });
+            }
+            if let [h] = holders[..] {
+                if mem[self.lock(s)] != h as Val + 1 {
+                    return Err(ProtoViolation {
+                        invariant: "shard-mutual-exclusion",
+                        detail: format!(
+                            "thread {h} holds shard {s} but its lock word is {}",
+                            mem[self.lock(s)]
+                        ),
+                    });
+                }
+            }
+        }
+        if (0..self.shards).all(|s| mem[self.lock(s)] == 0) {
+            let sum = (0..self.shards).fold(0u64, |acc, s| acc.wrapping_add(mem[self.slot(s)]));
+            let expect = self.init_sum();
+            if sum != expect {
+                return Err(ProtoViolation {
+                    invariant: "no-torn-pair",
+                    detail: format!(
+                        "all locks free but slots sum to {sum} (expected {expect}): a \
+                         two-slot transfer was published half-done"
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn check_terminal(
+        &self,
+        mem: &[Val],
+        threads: &[ProtoThread<ShardThread>],
+    ) -> Result<(), ProtoViolation> {
+        for s in 0..self.shards {
+            if mem[self.lock(s)] != 0 {
+                return Err(ProtoViolation {
+                    invariant: "shard-mutual-exclusion",
+                    detail: format!("terminal state with shard {s} lock = {}", mem[self.lock(s)]),
+                });
+            }
+        }
+        for t in threads {
+            if t.state.round != self.ops[t.state.tid].rounds {
+                return Err(ProtoViolation {
+                    invariant: "no-torn-pair",
+                    detail: format!(
+                        "thread {} finished {}/{} transfers",
+                        t.state.tid, t.state.round, self.ops[t.state.tid].rounds
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn invariants(&self) -> &'static [&'static str] {
+        &["shard-mutual-exclusion", "no-torn-pair"]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::ProtoWorld;
+
+    fn overlapping() -> Vec<TwoShardOp> {
+        vec![
+            TwoShardOp {
+                a: 0,
+                b: 1,
+                rounds: 2,
+            },
+            TwoShardOp {
+                a: 2,
+                b: 1,
+                rounds: 2,
+            },
+        ]
+    }
+
+    #[test]
+    fn overlapping_pairs_complete_and_conserve() {
+        for seed in 0..20 {
+            let sim = TwoShardSim::new(overlapping(), vec![4, 0, 4]);
+            let mut w = ProtoWorld::new(sim);
+            w.run_random(seed, 1_000_000).expect("terminates");
+            assert!(w.check_now().is_ok());
+            assert!(w.check_terminal_now().is_ok());
+        }
+    }
+}

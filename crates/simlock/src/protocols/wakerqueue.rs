@@ -1,0 +1,690 @@
+//! Model of the `WakerQueue` direct hand-off FIFO (`hemlock-async::queue`).
+//!
+//! The real structure keeps `Inner { writer, queue }` under a compact guard
+//! lock; admission requires the holder flag clear **and** the queue empty
+//! (no barging), release pops the head and grants it directly (the holder
+//! flag never clears while the queue is non-empty), and cancellation must
+//! handle the race where a grant arrived before the cancel took the guard:
+//! a cancelled node found GRANTED acts as the owner — it releases and
+//! re-runs the grant scan, passing the lock on rather than stranding it.
+//!
+//! This model is the exclusive-mode (mutex) protocol: guard word, owner
+//! word, an explicit FIFO array, a per-thread node-state word
+//! (`NONE/PENDING/GRANTED`) and a per-thread wake flag (parking = spinning
+//! on the flag). The checked invariants:
+//!
+//! - `no-double-grant`: a GRANTED node's thread is the one named by the
+//!   owner word (two simultaneous grants cannot both satisfy this);
+//! - `wakerqueue-mutual-exclusion`: at most one thread between
+//!   grant-consumption and release;
+//! - `no-acquire-after-cancel`: a thread whose cancel completed never
+//!   holds the lock (and finishes with zero acquisitions);
+//! - `no-stranded-grant` (terminal): owner, guard, queue and node states
+//!   are all clear after every script completes.
+//!
+//! [`QueueBug::DropRacingGrant`] makes the cancel path consume a racing
+//! grant without passing it on — the owner word is stranded and a later
+//! waiter deadlocks (or the terminal check reports the stranded owner).
+
+use crate::algo::{AlgoStep, MemPlan};
+use crate::op::{Loc, Meta, Op, Until, Val};
+use crate::proto::{ProtoThread, ProtoViolation, ProtocolSim};
+
+/// Node states stored in each thread's node-state word.
+const PENDING: Val = 1;
+/// See [`PENDING`].
+const GRANTED: Val = 2;
+
+/// Deliberately-injected protocol bugs (for negative tests).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum QueueBug {
+    /// Correct protocol.
+    #[default]
+    None,
+    /// A cancel that finds its node GRANTED clears the state and walks away
+    /// instead of acting as the owner and passing the grant on.
+    DropRacingGrant,
+}
+
+/// What one thread's script does.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum QueueRole {
+    /// Acquire and release `rounds` times through the full
+    /// available-check/enqueue/park/grant protocol.
+    Lock {
+        /// Lock/unlock rounds to perform.
+        rounds: u32,
+    },
+    /// Attempt one acquire; if it enqueues, immediately cancel (racing the
+    /// holder's grant). A fast-path success is released normally.
+    Cancel,
+}
+
+/// Configuration: one scripted role per thread.
+#[derive(Clone, Debug)]
+pub struct WakerQueueSim {
+    roles: Vec<QueueRole>,
+    bug: QueueBug,
+    guard: Loc,
+    owner: Loc,
+    qlen: Loc,
+    qbase: Loc,
+    nstate_base: Loc,
+    wake_base: Loc,
+    words: usize,
+}
+
+impl WakerQueueSim {
+    /// Correct-protocol configuration.
+    pub fn new(roles: Vec<QueueRole>) -> Self {
+        Self::with_bug(roles, QueueBug::None)
+    }
+
+    /// Configuration with an injected bug.
+    pub fn with_bug(roles: Vec<QueueRole>, bug: QueueBug) -> Self {
+        let n = roles.len();
+        let mut plan = MemPlan::new();
+        let guard = plan.alloc(1);
+        let owner = plan.alloc(1);
+        let qlen = plan.alloc(1);
+        let qbase = plan.alloc(n);
+        let nstate_base = plan.alloc(n);
+        let wake_base = plan.alloc(n);
+        Self {
+            roles,
+            bug,
+            guard,
+            owner,
+            qlen,
+            qbase,
+            nstate_base,
+            wake_base,
+            words: plan.words(),
+        }
+    }
+
+    fn nstate(&self, tid: usize) -> Loc {
+        self.nstate_base + tid
+    }
+
+    fn wake(&self, tid: usize) -> Loc {
+        self.wake_base + tid
+    }
+
+    fn id(tid: usize) -> Val {
+        tid as Val + 1
+    }
+
+    fn guard_cas(&self, tid: usize) -> Op {
+        Op::Cas {
+            loc: self.guard,
+            expect: 0,
+            new: Self::id(tid),
+        }
+    }
+
+    /// Ends the current acquire/release (or cancel) and decides what's next.
+    fn script_done(&self, t: &mut QueueThread) -> AlgoStep {
+        if t.cancelling {
+            t.cancelled = true;
+            return AlgoStep::Done;
+        }
+        t.round += 1;
+        let rounds = match self.roles[t.tid] {
+            QueueRole::Lock { rounds } => rounds,
+            QueueRole::Cancel => 1,
+        };
+        if t.round >= rounds {
+            AlgoStep::Done
+        } else {
+            t.pc = Pc::AcqGuardDecide;
+            AlgoStep::Issue(self.guard_cas(t.tid), Meta::None)
+        }
+    }
+
+    /// First step of the grant scan, entered with the guard held and the
+    /// owner word already cleared.
+    fn begin_grant_scan(&self, t: &mut QueueThread) -> AlgoStep {
+        t.pc = Pc::RelQlenLoaded;
+        AlgoStep::Issue(Op::Load(self.qlen), Meta::None)
+    }
+}
+
+/// Program counter of one thread.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum Pc {
+    /// First step: issue the guard CAS.
+    AcqGuard,
+    /// `last` = guard CAS result (reissue until success).
+    AcqGuardDecide,
+    /// `last` = owner word (under guard).
+    AvailOwner,
+    /// `last` = queue length (owner was clear).
+    AvailQlen,
+    /// `last` = result of storing the owner word (fast-path admission).
+    OwnerStored,
+    /// `last` = result of releasing the guard; enter the critical section.
+    GuardReleasedToCs,
+    /// `last` = queue length (enqueue path).
+    EnqLenLoaded,
+    /// `last` = result of storing our id into the queue slot.
+    EnqSlotStored,
+    /// `last` = result of bumping the queue length.
+    EnqLenStored,
+    /// `last` = result of arming the wake flag.
+    EnqArmed,
+    /// `last` = result of storing PENDING.
+    EnqPending,
+    /// `last` = the wake-flag poll.
+    ParkDecide,
+    /// `last` = our node-state word after a wake.
+    NodeStateLoaded,
+    /// `last` = result of re-arming after a spurious wake.
+    SpuriousArmed,
+    /// `last` = result of consuming the grant (node state cleared).
+    GrantConsumed,
+    /// `last` = guard CAS result on the release path.
+    RelGuardDecide,
+    /// `last` = result of clearing the owner word.
+    RelOwnerCleared,
+    /// `last` = queue length on the release path.
+    RelQlenLoaded,
+    /// `last` = the queue head (grant target).
+    PopHeadLoaded,
+    /// `last` = queue slot `idx` during the shift-down.
+    ShiftLoaded,
+    /// `last` = result of storing slot `idx-1`.
+    ShiftStored,
+    /// `last` = result of shrinking the queue length.
+    ShrunkLen,
+    /// `last` = result of storing the grantee into the owner word.
+    GrantOwnerStored,
+    /// `last` = result of marking the grantee GRANTED.
+    GrantMarked,
+    /// `last` = result of releasing the guard after a grant.
+    GrantGuardReleased,
+    /// `last` = result of waking the grantee.
+    GrantWoken,
+    /// `last` = result of releasing the guard with an empty queue.
+    RelGuardReleasedIdle,
+    /// Issue the cancel path's guard CAS (entered from the publish
+    /// release, whose store result must not be mistaken for a CAS win).
+    CancelGuard,
+    /// `last` = guard CAS result on the cancel path.
+    CancelGuardDecide,
+    /// `last` = our node state under the cancel guard.
+    CancelStateLoaded,
+    /// `last` = result of clearing our node state (cancel, GRANTED case).
+    CancelOwnerClear,
+    /// `last` = queue length during the unlink scan.
+    UnlinkLenLoaded,
+    /// `last` = queue slot `idx` during the scan for our id.
+    UnlinkScanLoaded,
+    /// `last` = queue slot `idx+1` during the unlink shift.
+    UnlinkShiftLoaded,
+    /// `last` = result of storing slot `idx`.
+    UnlinkShiftStored,
+    /// `last` = result of shrinking the queue length after unlink.
+    UnlinkShrunk,
+    /// `last` = result of clearing our node state after unlink.
+    UnlinkStateCleared,
+    /// `last` = result of releasing the guard; cancel complete.
+    CancelFini,
+    /// Bug path: `last` = result of clearing the node state.
+    BugDropRelGuard,
+}
+
+/// Per-thread machine state.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct QueueThread {
+    tid: usize,
+    pc: Pc,
+    round: u32,
+    /// Completed acquisitions.
+    acquired: u32,
+    /// The cancel path has been entered (set before its first step).
+    cancelling: bool,
+    /// The cancel completed.
+    cancelled: bool,
+    /// Between grant consumption (or fast-path admission) and release.
+    holding: bool,
+    /// Queue length register.
+    qlen: Val,
+    /// Scan/shift index register.
+    idx: usize,
+    /// Popped grant target register.
+    reg: Val,
+}
+
+impl QueueThread {
+    /// True while the thread is in its critical section.
+    pub fn holding(&self) -> bool {
+        self.holding
+    }
+
+    /// True once the thread's cancel completed.
+    pub fn cancelled(&self) -> bool {
+        self.cancelled
+    }
+}
+
+impl ProtocolSim for WakerQueueSim {
+    type Thread = QueueThread;
+
+    fn name(&self) -> &'static str {
+        "wakerqueue"
+    }
+
+    fn threads(&self) -> usize {
+        self.roles.len()
+    }
+
+    fn words(&self) -> usize {
+        self.words
+    }
+
+    fn new_thread(&self, tid: usize) -> QueueThread {
+        QueueThread {
+            tid,
+            pc: Pc::AcqGuard,
+            round: 0,
+            acquired: 0,
+            cancelling: false,
+            cancelled: false,
+            holding: false,
+            qlen: 0,
+            idx: 0,
+            reg: 0,
+        }
+    }
+
+    fn step(&self, t: &mut QueueThread, last: Val) -> AlgoStep {
+        let id = Self::id(t.tid);
+        match t.pc {
+            Pc::AcqGuard => {
+                t.pc = Pc::AcqGuardDecide;
+                AlgoStep::Issue(self.guard_cas(t.tid), Meta::None)
+            }
+            Pc::AcqGuardDecide => {
+                if last == 0 {
+                    t.pc = Pc::AvailOwner;
+                    AlgoStep::Issue(Op::Load(self.owner), Meta::None)
+                } else {
+                    AlgoStep::Issue(self.guard_cas(t.tid), Meta::None)
+                }
+            }
+            Pc::AvailOwner => {
+                if last == 0 {
+                    t.pc = Pc::AvailQlen;
+                    AlgoStep::Issue(Op::Load(self.qlen), Meta::None)
+                } else {
+                    t.pc = Pc::EnqLenLoaded;
+                    AlgoStep::Issue(Op::Load(self.qlen), Meta::None)
+                }
+            }
+            Pc::AvailQlen => {
+                if last == 0 {
+                    // available(): owner clear AND queue empty — admit.
+                    t.pc = Pc::OwnerStored;
+                    AlgoStep::Issue(Op::Store(self.owner, id), Meta::None)
+                } else {
+                    // Queue non-empty: no barging past parked waiters.
+                    t.qlen = last;
+                    t.pc = Pc::EnqSlotStored;
+                    AlgoStep::Issue(Op::Store(self.qbase + last as usize, id), Meta::None)
+                }
+            }
+            Pc::OwnerStored => {
+                t.pc = Pc::GuardReleasedToCs;
+                AlgoStep::Issue(Op::Store(self.guard, 0), Meta::None)
+            }
+            Pc::GuardReleasedToCs => {
+                t.holding = true;
+                t.acquired += 1;
+                // Empty critical section: go straight to release.
+                t.pc = Pc::RelGuardDecide;
+                AlgoStep::Issue(self.guard_cas(t.tid), Meta::None)
+            }
+            Pc::EnqLenLoaded => {
+                t.qlen = last;
+                t.pc = Pc::EnqSlotStored;
+                AlgoStep::Issue(Op::Store(self.qbase + last as usize, id), Meta::None)
+            }
+            Pc::EnqSlotStored => {
+                t.pc = Pc::EnqLenStored;
+                AlgoStep::Issue(Op::Store(self.qlen, t.qlen + 1), Meta::None)
+            }
+            Pc::EnqLenStored => {
+                t.pc = Pc::EnqArmed;
+                AlgoStep::Issue(Op::Store(self.wake(t.tid), 0), Meta::None)
+            }
+            Pc::EnqArmed => {
+                t.pc = Pc::EnqPending;
+                AlgoStep::Issue(Op::Store(self.nstate(t.tid), PENDING), Meta::None)
+            }
+            Pc::EnqPending => {
+                // Node fully published; release the guard. Lockers park,
+                // cancellers race the grant with a cancel.
+                if matches!(self.roles[t.tid], QueueRole::Cancel) {
+                    t.cancelling = true;
+                    t.pc = Pc::CancelGuard;
+                } else {
+                    t.pc = Pc::ParkDecide;
+                }
+                AlgoStep::Issue(Op::Store(self.guard, 0), Meta::None)
+            }
+            Pc::ParkDecide => {
+                if last != 0 {
+                    t.pc = Pc::NodeStateLoaded;
+                    AlgoStep::Issue(Op::Load(self.nstate(t.tid)), Meta::None)
+                } else {
+                    AlgoStep::Issue(
+                        Op::Load(self.wake(t.tid)),
+                        Meta::SpinWait {
+                            loc: self.wake(t.tid),
+                            until: Until::Ne(0),
+                        },
+                    )
+                }
+            }
+            Pc::NodeStateLoaded => {
+                if last == GRANTED {
+                    t.pc = Pc::GrantConsumed;
+                    AlgoStep::Issue(Op::Store(self.nstate(t.tid), 0), Meta::None)
+                } else {
+                    // Spurious wake: re-arm and park again.
+                    t.pc = Pc::SpuriousArmed;
+                    AlgoStep::Issue(Op::Store(self.wake(t.tid), 0), Meta::None)
+                }
+            }
+            Pc::SpuriousArmed => {
+                t.pc = Pc::ParkDecide;
+                AlgoStep::Issue(
+                    Op::Load(self.wake(t.tid)),
+                    Meta::SpinWait {
+                        loc: self.wake(t.tid),
+                        until: Until::Ne(0),
+                    },
+                )
+            }
+            Pc::GrantConsumed => {
+                t.holding = true;
+                t.acquired += 1;
+                t.pc = Pc::RelGuardDecide;
+                AlgoStep::Issue(self.guard_cas(t.tid), Meta::None)
+            }
+            Pc::RelGuardDecide => {
+                if last == 0 {
+                    // Exit code begins: the CS ends here (§3 convention).
+                    t.holding = false;
+                    t.pc = Pc::RelOwnerCleared;
+                    AlgoStep::Issue(Op::Store(self.owner, 0), Meta::None)
+                } else {
+                    AlgoStep::Issue(self.guard_cas(t.tid), Meta::None)
+                }
+            }
+            Pc::RelOwnerCleared => self.begin_grant_scan(t),
+            Pc::RelQlenLoaded => {
+                if last == 0 {
+                    t.pc = Pc::RelGuardReleasedIdle;
+                    AlgoStep::Issue(Op::Store(self.guard, 0), Meta::None)
+                } else {
+                    t.qlen = last;
+                    t.pc = Pc::PopHeadLoaded;
+                    AlgoStep::Issue(Op::Load(self.qbase), Meta::None)
+                }
+            }
+            Pc::PopHeadLoaded => {
+                t.reg = last;
+                t.idx = 1;
+                if t.idx < t.qlen as usize {
+                    t.pc = Pc::ShiftLoaded;
+                    AlgoStep::Issue(Op::Load(self.qbase + t.idx), Meta::None)
+                } else {
+                    t.pc = Pc::ShrunkLen;
+                    AlgoStep::Issue(Op::Store(self.qlen, t.qlen - 1), Meta::None)
+                }
+            }
+            Pc::ShiftLoaded => {
+                t.pc = Pc::ShiftStored;
+                AlgoStep::Issue(Op::Store(self.qbase + t.idx - 1, last), Meta::None)
+            }
+            Pc::ShiftStored => {
+                t.idx += 1;
+                if t.idx < t.qlen as usize {
+                    t.pc = Pc::ShiftLoaded;
+                    AlgoStep::Issue(Op::Load(self.qbase + t.idx), Meta::None)
+                } else {
+                    t.pc = Pc::ShrunkLen;
+                    AlgoStep::Issue(Op::Store(self.qlen, t.qlen - 1), Meta::None)
+                }
+            }
+            Pc::ShrunkLen => {
+                // Direct hand-off: the owner word goes straight to the
+                // grantee; it was clear only transiently under the guard.
+                t.pc = Pc::GrantOwnerStored;
+                AlgoStep::Issue(Op::Store(self.owner, t.reg), Meta::None)
+            }
+            Pc::GrantOwnerStored => {
+                t.pc = Pc::GrantMarked;
+                AlgoStep::Issue(
+                    Op::Store(self.nstate(t.reg as usize - 1), GRANTED),
+                    Meta::None,
+                )
+            }
+            Pc::GrantMarked => {
+                t.pc = Pc::GrantGuardReleased;
+                AlgoStep::Issue(Op::Store(self.guard, 0), Meta::None)
+            }
+            Pc::GrantGuardReleased => {
+                // Wake outside the guard, like the real release path.
+                t.pc = Pc::GrantWoken;
+                AlgoStep::Issue(Op::Store(self.wake(t.reg as usize - 1), 1), Meta::None)
+            }
+            Pc::GrantWoken | Pc::RelGuardReleasedIdle => self.script_done(t),
+            Pc::CancelGuard => {
+                t.pc = Pc::CancelGuardDecide;
+                AlgoStep::Issue(self.guard_cas(t.tid), Meta::None)
+            }
+            Pc::CancelGuardDecide => {
+                if last == 0 {
+                    t.pc = Pc::CancelStateLoaded;
+                    AlgoStep::Issue(Op::Load(self.nstate(t.tid)), Meta::None)
+                } else {
+                    AlgoStep::Issue(self.guard_cas(t.tid), Meta::None)
+                }
+            }
+            Pc::CancelStateLoaded => {
+                if last == GRANTED {
+                    if self.bug == QueueBug::DropRacingGrant {
+                        // Bug: swallow the grant and walk away — the owner
+                        // word is left naming us forever.
+                        t.pc = Pc::BugDropRelGuard;
+                        AlgoStep::Issue(Op::Store(self.nstate(t.tid), 0), Meta::None)
+                    } else {
+                        // The grant raced ahead of the cancel: act as the
+                        // owner — release and re-run the grant scan.
+                        t.pc = Pc::CancelOwnerClear;
+                        AlgoStep::Issue(Op::Store(self.nstate(t.tid), 0), Meta::None)
+                    }
+                } else {
+                    // Still PENDING: unlink our node from the queue.
+                    t.pc = Pc::UnlinkLenLoaded;
+                    AlgoStep::Issue(Op::Load(self.qlen), Meta::None)
+                }
+            }
+            Pc::CancelOwnerClear => {
+                t.pc = Pc::RelOwnerCleared;
+                AlgoStep::Issue(Op::Store(self.owner, 0), Meta::None)
+            }
+            Pc::UnlinkLenLoaded => {
+                t.qlen = last;
+                t.idx = 0;
+                t.pc = Pc::UnlinkScanLoaded;
+                AlgoStep::Issue(Op::Load(self.qbase), Meta::None)
+            }
+            Pc::UnlinkScanLoaded => {
+                if last == id {
+                    if t.idx + 1 < t.qlen as usize {
+                        t.pc = Pc::UnlinkShiftLoaded;
+                        AlgoStep::Issue(Op::Load(self.qbase + t.idx + 1), Meta::None)
+                    } else {
+                        t.pc = Pc::UnlinkShrunk;
+                        AlgoStep::Issue(Op::Store(self.qlen, t.qlen - 1), Meta::None)
+                    }
+                } else {
+                    t.idx += 1;
+                    debug_assert!(t.idx < t.qlen as usize, "own node must be queued");
+                    t.pc = Pc::UnlinkScanLoaded;
+                    AlgoStep::Issue(Op::Load(self.qbase + t.idx), Meta::None)
+                }
+            }
+            Pc::UnlinkShiftLoaded => {
+                t.pc = Pc::UnlinkShiftStored;
+                AlgoStep::Issue(Op::Store(self.qbase + t.idx, last), Meta::None)
+            }
+            Pc::UnlinkShiftStored => {
+                t.idx += 1;
+                if t.idx + 1 < t.qlen as usize {
+                    t.pc = Pc::UnlinkShiftLoaded;
+                    AlgoStep::Issue(Op::Load(self.qbase + t.idx + 1), Meta::None)
+                } else {
+                    t.pc = Pc::UnlinkShrunk;
+                    AlgoStep::Issue(Op::Store(self.qlen, t.qlen - 1), Meta::None)
+                }
+            }
+            Pc::UnlinkShrunk => {
+                t.pc = Pc::UnlinkStateCleared;
+                AlgoStep::Issue(Op::Store(self.nstate(t.tid), 0), Meta::None)
+            }
+            Pc::UnlinkStateCleared | Pc::BugDropRelGuard => {
+                t.pc = Pc::CancelFini;
+                AlgoStep::Issue(Op::Store(self.guard, 0), Meta::None)
+            }
+            Pc::CancelFini => self.script_done(t),
+        }
+    }
+
+    fn check(
+        &self,
+        mem: &[Val],
+        threads: &[ProtoThread<QueueThread>],
+    ) -> Result<(), ProtoViolation> {
+        let holders: Vec<usize> = threads
+            .iter()
+            .filter(|t| t.state.holding)
+            .map(|t| t.state.tid)
+            .collect();
+        if holders.len() > 1 {
+            return Err(ProtoViolation {
+                invariant: "wakerqueue-mutual-exclusion",
+                detail: format!("threads {holders:?} hold the lock simultaneously"),
+            });
+        }
+        if let [h] = holders[..] {
+            if mem[self.owner] != Self::id(h) {
+                return Err(ProtoViolation {
+                    invariant: "wakerqueue-mutual-exclusion",
+                    detail: format!("thread {h} holds but the owner word is {}", mem[self.owner]),
+                });
+            }
+        }
+        for t in threads {
+            if mem[self.nstate(t.state.tid)] == GRANTED && mem[self.owner] != Self::id(t.state.tid)
+            {
+                return Err(ProtoViolation {
+                    invariant: "no-double-grant",
+                    detail: format!(
+                        "thread {} is GRANTED but the owner word is {}",
+                        t.state.tid, mem[self.owner]
+                    ),
+                });
+            }
+            if t.state.cancelled && t.state.holding {
+                return Err(ProtoViolation {
+                    invariant: "no-acquire-after-cancel",
+                    detail: format!("thread {} holds after its cancel completed", t.state.tid),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn check_terminal(
+        &self,
+        mem: &[Val],
+        threads: &[ProtoThread<QueueThread>],
+    ) -> Result<(), ProtoViolation> {
+        if mem[self.owner] != 0 || mem[self.guard] != 0 || mem[self.qlen] != 0 {
+            return Err(ProtoViolation {
+                invariant: "no-stranded-grant",
+                detail: format!(
+                    "terminal state not clean: owner={} guard={} qlen={}",
+                    mem[self.owner], mem[self.guard], mem[self.qlen]
+                ),
+            });
+        }
+        for t in threads {
+            if mem[self.nstate(t.state.tid)] != 0 {
+                return Err(ProtoViolation {
+                    invariant: "no-stranded-grant",
+                    detail: format!(
+                        "thread {} node state is {} at termination",
+                        t.state.tid,
+                        mem[self.nstate(t.state.tid)]
+                    ),
+                });
+            }
+            if t.state.cancelled && t.state.acquired != 0 {
+                return Err(ProtoViolation {
+                    invariant: "no-acquire-after-cancel",
+                    detail: format!(
+                        "thread {} cancelled yet acquired {} times",
+                        t.state.tid, t.state.acquired
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn invariants(&self) -> &'static [&'static str] {
+        &[
+            "wakerqueue-mutual-exclusion",
+            "no-double-grant",
+            "no-acquire-after-cancel",
+            "no-stranded-grant",
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::ProtoWorld;
+
+    fn roles() -> Vec<QueueRole> {
+        vec![
+            QueueRole::Lock { rounds: 2 },
+            QueueRole::Cancel,
+            QueueRole::Lock { rounds: 1 },
+        ]
+    }
+
+    #[test]
+    fn round_robin_completes_clean() {
+        let mut w = ProtoWorld::new(WakerQueueSim::new(roles()));
+        w.run_round_robin(100_000).expect("terminates");
+        assert!(w.check_now().is_ok());
+        assert!(w.check_terminal_now().is_ok());
+    }
+
+    #[test]
+    fn random_schedules_complete_clean() {
+        for seed in 0..20 {
+            let mut w = ProtoWorld::new(WakerQueueSim::new(roles()));
+            w.run_random(seed, 1_000_000).expect("terminates");
+            assert!(w.check_terminal_now().is_ok());
+        }
+    }
+}

@@ -1,0 +1,419 @@
+//! Model of the `WakerSet` Dekker pair (`hemlock-core::wakerset`).
+//!
+//! The real protocol: a task that fails to take the lock registers its
+//! waker (guarded push + `registered.fetch_add` + `SeqCst` fence), then
+//! **must re-try the lock once more** before parking; the unlocker stores
+//! the lock word, issues the matching fence, and wakes everyone iff the
+//! registered count is non-zero. The store→load ordering on each side is
+//! the Dekker pair: either the unlocker observes the registration, or the
+//! waiter's re-try observes the free lock — a lost wakeup requires both
+//! loads to miss, which the fences forbid.
+//!
+//! The simulated machine is sequentially consistent, so the fences
+//! themselves are no-ops here; what they enforce is the *program order*
+//! `store → load` on each side, and that is what this model encodes. The
+//! bug knobs produce exactly the executions the fences/re-check exist to
+//! forbid:
+//!
+//! - [`DekkerBug::SkipRecheck`] parks immediately after registering
+//!   (dropping the fence-protected re-try) — the lost wakeup shows up as a
+//!   deadlock with the lock word free;
+//! - [`DekkerBug::NotifyBeforeRelease`] reads the registered count *before*
+//!   publishing the unlock (the store→load reordering the unlocker's fence
+//!   forbids) — same observable deadlock.
+//!
+//! Parking is modeled as spinning on a per-thread wake-flag word, so a lost
+//! wakeup is a state where no enabled step changes the machine state.
+
+use crate::algo::{AlgoStep, MemPlan};
+use crate::op::{Loc, Meta, Op, Until, Val};
+use crate::proto::{ProtoThread, ProtoViolation, ProtocolSim};
+
+/// Deliberately-injected protocol bugs (for negative tests).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum DekkerBug {
+    /// Correct protocol.
+    #[default]
+    None,
+    /// The waiter parks right after registering, without re-trying the lock
+    /// (the re-check that the waiter-side fence orders).
+    SkipRecheck,
+    /// The unlocker samples the registered count before publishing the
+    /// unlock (the store→load reordering the unlocker-side fence forbids).
+    NotifyBeforeRelease,
+}
+
+/// Configuration: `threads` symmetric lockers, each acquiring the
+/// `WakerSet`-guarded lock `rounds` times through the full
+/// try/register/re-try/park protocol and notifying on release.
+#[derive(Clone, Debug)]
+pub struct DekkerSim {
+    threads: usize,
+    rounds: u32,
+    bug: DekkerBug,
+    lock: Loc,
+    reg: Loc,
+    wake_base: Loc,
+    words: usize,
+}
+
+impl DekkerSim {
+    /// Correct-protocol configuration.
+    pub fn new(threads: usize, rounds: u32) -> Self {
+        Self::with_bug(threads, rounds, DekkerBug::None)
+    }
+
+    /// Configuration with an injected bug.
+    pub fn with_bug(threads: usize, rounds: u32, bug: DekkerBug) -> Self {
+        let mut plan = MemPlan::new();
+        let lock = plan.alloc(1);
+        let reg = plan.alloc(1);
+        let wake_base = plan.alloc(threads);
+        Self {
+            threads,
+            rounds,
+            bug,
+            lock,
+            reg,
+            wake_base,
+            words: plan.words(),
+        }
+    }
+
+    fn wake(&self, tid: usize) -> Loc {
+        self.wake_base + tid
+    }
+
+    fn id(&self, tid: usize) -> Val {
+        tid as Val + 1
+    }
+
+    /// Transition on a successful lock CAS: enter the (empty) critical
+    /// section and immediately begin the release + notify sequence.
+    fn acquired(&self, t: &mut DekkerThread) -> AlgoStep {
+        t.holding = true;
+        t.acquired += 1;
+        if self.bug == DekkerBug::NotifyBeforeRelease {
+            // Buggy unlocker: sample the registered count while still
+            // holding the lock, before the unlock store.
+            t.pc = Pc::BugRegDecide;
+            AlgoStep::Issue(Op::Load(self.reg), Meta::None)
+        } else {
+            t.pc = Pc::Released;
+            AlgoStep::Issue(Op::Store(self.lock, 0), Meta::None)
+        }
+    }
+
+    /// Next step of the notify loop: wake every other thread, then finish
+    /// the round.
+    fn wake_next(&self, t: &mut DekkerThread) -> AlgoStep {
+        while t.wake_ix < self.threads {
+            if t.wake_ix == t.tid {
+                t.wake_ix += 1;
+                continue;
+            }
+            let target = t.wake_ix;
+            t.wake_ix += 1;
+            t.pc = Pc::Waking;
+            return AlgoStep::Issue(Op::Store(self.wake(target), 1), Meta::None);
+        }
+        self.round_done(t)
+    }
+
+    fn round_done(&self, t: &mut DekkerThread) -> AlgoStep {
+        t.round += 1;
+        if t.round >= self.rounds {
+            AlgoStep::Done
+        } else {
+            t.pc = Pc::TryDecide;
+            AlgoStep::Issue(
+                Op::Cas {
+                    loc: self.lock,
+                    expect: 0,
+                    new: self.id(t.tid),
+                },
+                Meta::None,
+            )
+        }
+    }
+}
+
+/// Program counter of one locker.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum Pc {
+    /// Issue the first lock CAS of a round.
+    TryLock,
+    /// `last` = result of the lock CAS.
+    TryDecide,
+    /// `last` = result of arming the wake flag; register next.
+    Armed,
+    /// `last` = result of the register FAA; re-try (or park, under the bug).
+    Registered,
+    /// `last` = result of the post-registration re-try CAS.
+    RecheckDecide,
+    /// `last` = the wake-flag poll.
+    Parked,
+    /// `last` = result of the unlock store; sample the registered count.
+    Released,
+    /// `last` = the registered count (after unlocking).
+    RegDecide,
+    /// `last` = result of clearing the registered count; start waking.
+    ClearedReg,
+    /// `last` = result of one wake store; continue the loop.
+    Waking,
+    /// Bug path: `last` = the registered count read *before* unlocking.
+    BugRegDecide,
+    /// Bug path: unlock executed, waiters were registered — still wake them.
+    BugReleasedWake,
+    /// Bug path: unlock executed, count looked zero — skip the wake.
+    BugReleasedSkip,
+}
+
+/// Per-thread machine state.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct DekkerThread {
+    tid: usize,
+    pc: Pc,
+    round: u32,
+    /// Completed acquisitions (checked against `rounds` at termination).
+    acquired: u32,
+    /// Between a successful lock CAS and the unlock store.
+    holding: bool,
+    wake_ix: usize,
+}
+
+impl DekkerThread {
+    /// True between a successful lock CAS and the unlock store.
+    pub fn holding(&self) -> bool {
+        self.holding
+    }
+}
+
+impl ProtocolSim for DekkerSim {
+    type Thread = DekkerThread;
+
+    fn name(&self) -> &'static str {
+        "wakerset-dekker"
+    }
+
+    fn threads(&self) -> usize {
+        self.threads
+    }
+
+    fn words(&self) -> usize {
+        self.words
+    }
+
+    fn new_thread(&self, tid: usize) -> DekkerThread {
+        DekkerThread {
+            tid,
+            pc: Pc::TryLock,
+            round: 0,
+            acquired: 0,
+            holding: false,
+            wake_ix: 0,
+        }
+    }
+
+    fn step(&self, t: &mut DekkerThread, last: Val) -> AlgoStep {
+        let id = self.id(t.tid);
+        let lock_cas = Op::Cas {
+            loc: self.lock,
+            expect: 0,
+            new: id,
+        };
+        match t.pc {
+            Pc::TryLock => {
+                t.pc = Pc::TryDecide;
+                AlgoStep::Issue(lock_cas, Meta::None)
+            }
+            Pc::TryDecide => {
+                if last == 0 {
+                    self.acquired(t)
+                } else {
+                    // Contended: arm the wake flag, then register.
+                    t.pc = Pc::Armed;
+                    AlgoStep::Issue(Op::Store(self.wake(t.tid), 0), Meta::None)
+                }
+            }
+            Pc::Armed => {
+                t.pc = Pc::Registered;
+                AlgoStep::Issue(
+                    Op::Faa {
+                        loc: self.reg,
+                        add: 1,
+                    },
+                    Meta::None,
+                )
+            }
+            Pc::Registered => {
+                if self.bug == DekkerBug::SkipRecheck {
+                    t.pc = Pc::Parked;
+                    AlgoStep::Issue(
+                        Op::Load(self.wake(t.tid)),
+                        Meta::SpinWait {
+                            loc: self.wake(t.tid),
+                            until: Until::Ne(0),
+                        },
+                    )
+                } else {
+                    // The fence-ordered re-try: registration is published,
+                    // now look at the lock once more before parking.
+                    t.pc = Pc::RecheckDecide;
+                    AlgoStep::Issue(lock_cas, Meta::None)
+                }
+            }
+            Pc::RecheckDecide => {
+                if last == 0 {
+                    self.acquired(t)
+                } else {
+                    t.pc = Pc::Parked;
+                    AlgoStep::Issue(
+                        Op::Load(self.wake(t.tid)),
+                        Meta::SpinWait {
+                            loc: self.wake(t.tid),
+                            until: Until::Ne(0),
+                        },
+                    )
+                }
+            }
+            Pc::Parked => {
+                if last != 0 {
+                    // Woken: retry the whole acquire round.
+                    t.pc = Pc::TryDecide;
+                    AlgoStep::Issue(lock_cas, Meta::None)
+                } else {
+                    AlgoStep::Issue(
+                        Op::Load(self.wake(t.tid)),
+                        Meta::SpinWait {
+                            loc: self.wake(t.tid),
+                            until: Until::Ne(0),
+                        },
+                    )
+                }
+            }
+            Pc::Released => {
+                t.holding = false;
+                t.pc = Pc::RegDecide;
+                AlgoStep::Issue(Op::Load(self.reg), Meta::None)
+            }
+            Pc::RegDecide => {
+                if last == 0 {
+                    self.round_done(t)
+                } else {
+                    t.pc = Pc::ClearedReg;
+                    AlgoStep::Issue(Op::Store(self.reg, 0), Meta::None)
+                }
+            }
+            Pc::ClearedReg => {
+                t.wake_ix = 0;
+                self.wake_next(t)
+            }
+            Pc::Waking => self.wake_next(t),
+            Pc::BugRegDecide => {
+                // Bug path: the count was sampled before the unlock store.
+                t.pc = if last == 0 {
+                    Pc::BugReleasedSkip
+                } else {
+                    Pc::BugReleasedWake
+                };
+                AlgoStep::Issue(Op::Store(self.lock, 0), Meta::None)
+            }
+            Pc::BugReleasedSkip => {
+                t.holding = false;
+                self.round_done(t)
+            }
+            Pc::BugReleasedWake => {
+                t.holding = false;
+                t.pc = Pc::ClearedReg;
+                AlgoStep::Issue(Op::Store(self.reg, 0), Meta::None)
+            }
+        }
+    }
+
+    fn check(
+        &self,
+        mem: &[Val],
+        threads: &[ProtoThread<DekkerThread>],
+    ) -> Result<(), ProtoViolation> {
+        let holders: Vec<usize> = threads
+            .iter()
+            .filter(|t| t.state.holding)
+            .map(|t| t.state.tid)
+            .collect();
+        if holders.len() > 1 {
+            return Err(ProtoViolation {
+                invariant: "wakerset-mutual-exclusion",
+                detail: format!("threads {holders:?} hold the lock simultaneously"),
+            });
+        }
+        if let [h] = holders[..] {
+            if mem[self.lock] != self.id(h) {
+                return Err(ProtoViolation {
+                    invariant: "wakerset-mutual-exclusion",
+                    detail: format!("thread {h} holds but the lock word is {}", mem[self.lock]),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn check_terminal(
+        &self,
+        mem: &[Val],
+        threads: &[ProtoThread<DekkerThread>],
+    ) -> Result<(), ProtoViolation> {
+        if mem[self.lock] != 0 {
+            return Err(ProtoViolation {
+                invariant: "wakerset-terminal-unlocked",
+                detail: format!(
+                    "all threads finished but the lock word is {}",
+                    mem[self.lock]
+                ),
+            });
+        }
+        for t in threads {
+            if t.state.acquired != self.rounds {
+                return Err(ProtoViolation {
+                    invariant: "no-lost-wakeup",
+                    detail: format!(
+                        "thread {} finished with {}/{} acquisitions",
+                        t.state.tid, t.state.acquired, self.rounds
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn invariants(&self) -> &'static [&'static str] {
+        &[
+            "wakerset-mutual-exclusion",
+            "wakerset-terminal-unlocked",
+            "no-lost-wakeup",
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::ProtoWorld;
+
+    #[test]
+    fn round_robin_completes() {
+        let mut w = ProtoWorld::new(DekkerSim::new(3, 2));
+        w.run_round_robin(100_000).expect("terminates");
+        assert!(w.check_terminal_now().is_ok());
+    }
+
+    #[test]
+    fn random_schedules_complete_clean() {
+        for seed in 0..20 {
+            let mut w = ProtoWorld::new(DekkerSim::new(3, 1));
+            w.run_random(seed, 1_000_000).expect("terminates");
+            assert!(w.check_now().is_ok());
+            assert!(w.check_terminal_now().is_ok());
+        }
+    }
+}

@@ -204,34 +204,6 @@ impl<A: LockAlgorithm> World<A> {
         self.threads.iter().all(|t| t.finished())
     }
 
-    /// Executes `op` against simulated memory, returning the value read.
-    fn exec_op(mem: &mut [Val], op: Op) -> Val {
-        match op {
-            Op::Load(l) => mem[l],
-            Op::Store(l, v) => {
-                mem[l] = v;
-                0
-            }
-            Op::Cas { loc, expect, new } => {
-                let old = mem[loc];
-                if old == expect {
-                    mem[loc] = new;
-                }
-                old
-            }
-            Op::Swap { loc, val } => {
-                let old = mem[loc];
-                mem[loc] = val;
-                old
-            }
-            Op::Faa { loc, add } => {
-                let old = mem[loc];
-                mem[loc] = old.wrapping_add(add);
-                old
-            }
-        }
-    }
-
     fn sorted_insert(v: &mut Vec<usize>, x: usize) {
         if let Err(i) = v.binary_search(&x) {
             v.insert(i, x);
@@ -362,7 +334,7 @@ impl<A: LockAlgorithm> World<A> {
         let mut events = Vec::new();
         self.refill(tid, &mut events);
         let exec = if let Some((op, meta)) = self.threads[tid].pending.take() {
-            let result = Self::exec_op(&mut self.mem, op);
+            let result = op.apply(&mut self.mem);
             if let Meta::Doorstep { lock } = meta {
                 Self::sorted_insert(&mut self.threads[tid].associated, lock);
                 events.push(Event::Doorstep { tid, lock });

@@ -7,15 +7,9 @@ use hemlock_model::{build_junction, drain_junction, explore, spin_census, Explor
 use hemlock_simlock::algos::{ClhSim, HemlockFlavor, HemlockSim, McsSim, TicketSim};
 use hemlock_simlock::{LockAlgorithm, Program, World};
 
-fn check<A: LockAlgorithm + Clone>(world: World<A>, locks: usize) {
+fn check<A: LockAlgorithm + Clone>(world: World<A>) {
     let name = world.algo.name();
-    let report = explore(
-        world,
-        ExploreConfig {
-            locks,
-            ..Default::default()
-        },
-    );
+    let report = explore(world, ExploreConfig::default());
     println!(
         "  {name:<10} {} states, {} terminal, exhaustive: {}, violations: {}",
         report.states,
@@ -36,17 +30,17 @@ fn main() {
             Program::lock_unlock(0, 1, 0, 2),
         ]
     };
-    check(
-        World::new(HemlockSim::new(2, 1, HemlockFlavor::Ctr), programs()),
-        1,
-    );
-    check(
-        World::new(HemlockSim::new(2, 1, HemlockFlavor::Naive), programs()),
-        1,
-    );
-    check(World::new(McsSim::new(2, 1), programs()), 1);
-    check(World::new(ClhSim::new(2, 1), programs()), 1);
-    check(World::new(TicketSim::new(2, 1), programs()), 1);
+    check(World::new(
+        HemlockSim::new(2, 1, HemlockFlavor::Ctr),
+        programs(),
+    ));
+    check(World::new(
+        HemlockSim::new(2, 1, HemlockFlavor::Naive),
+        programs(),
+    ));
+    check(World::new(McsSim::new(2, 1), programs()));
+    check(World::new(ClhSim::new(2, 1), programs()));
+    check(World::new(TicketSim::new(2, 1), programs()));
 
     println!("\nFigure 1 junction (thread E holding k locks, k waiters on its one Grant word):");
     for k in 1..=4 {

@@ -5,11 +5,10 @@ use hemlock_model::{check_progress, explore, ExploreConfig};
 use hemlock_simlock::algos::{ClhSim, HemlockFlavor, HemlockSim, McsSim, TicketSim};
 use hemlock_simlock::{Action, LockAlgorithm, Program, World};
 
-fn assert_clean<A: LockAlgorithm + Clone>(world: World<A>, locks: usize, label: &str) {
+fn assert_clean<A: LockAlgorithm + Clone>(world: World<A>, label: &str) {
     let report = explore(
         world,
         ExploreConfig {
-            locks,
             max_states: 2_000_000,
             check_fere_local: true,
         },
@@ -32,7 +31,6 @@ fn hemlock_two_threads_with_cs_work() {
         ];
         assert_clean(
             World::new(HemlockSim::new(2, 1, flavor), programs),
-            1,
             "hemlock 2t cs-work",
         );
     }
@@ -48,7 +46,6 @@ fn hemlock_three_threads_one_round() {
         ];
         assert_clean(
             World::new(HemlockSim::new(3, 1, flavor), programs),
-            1,
             "hemlock 3t",
         );
     }
@@ -73,7 +70,6 @@ fn hemlock_nested_two_locks_exhaustive() {
                 HemlockSim::new(2, 2, flavor),
                 vec![nested.clone(), nested.clone()],
             ),
-            2,
             "hemlock nested",
         );
     }
@@ -103,7 +99,6 @@ fn hemlock_opposite_order_independent_locks() {
     );
     assert_clean(
         World::new(HemlockSim::new(2, 2, HemlockFlavor::Ctr), vec![p0, p1]),
-        2,
         "hemlock opposite order",
     );
 }
@@ -116,9 +111,9 @@ fn baselines_with_cs_work() {
             Program::lock_unlock(0, 2, 0, 2),
         ]
     };
-    assert_clean(World::new(TicketSim::new(2, 1), programs()), 1, "ticket");
-    assert_clean(World::new(McsSim::new(2, 1), programs()), 1, "mcs");
-    assert_clean(World::new(ClhSim::new(2, 1), programs()), 1, "clh");
+    assert_clean(World::new(TicketSim::new(2, 1), programs()), "ticket");
+    assert_clean(World::new(McsSim::new(2, 1), programs()), "mcs");
+    assert_clean(World::new(ClhSim::new(2, 1), programs()), "clh");
 }
 
 #[test]
@@ -169,7 +164,6 @@ fn multiwait_leader_configuration_is_safe() {
     ];
     assert_clean(
         World::new(HemlockSim::new(3, 2, HemlockFlavor::Ctr), programs),
-        2,
         "multiwait leader",
     );
 }

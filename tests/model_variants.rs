@@ -10,11 +10,10 @@ use hemlock_model::{check_progress, explore, ExploreConfig};
 use hemlock_simlock::algos::{HemlockFlavor, HemlockSim};
 use hemlock_simlock::{Action, Program, World};
 
-fn assert_clean(world: World<HemlockSim>, locks: usize, label: &str) {
+fn assert_clean(world: World<HemlockSim>, label: &str) {
     let report = explore(
         world,
         ExploreConfig {
-            locks,
             max_states: 3_000_000,
             check_fere_local: true,
         },
@@ -37,7 +36,6 @@ fn all_flavors_two_threads_two_rounds() {
         ];
         assert_clean(
             World::new(HemlockSim::new(2, 1, flavor), programs),
-            1,
             &format!("{flavor:?} 2t x 2r"),
         );
     }
@@ -52,7 +50,6 @@ fn all_flavors_two_threads_with_cs_work() {
         ];
         assert_clean(
             World::new(HemlockSim::new(2, 1, flavor), programs),
-            1,
             &format!("{flavor:?} cs-work"),
         );
     }
@@ -68,7 +65,6 @@ fn all_flavors_three_threads_one_round() {
         ];
         assert_clean(
             World::new(HemlockSim::new(3, 1, flavor), programs),
-            1,
             &format!("{flavor:?} 3t"),
         );
     }
@@ -90,7 +86,6 @@ fn overlap_tight_reacquisition_of_same_lock() {
     ];
     assert_clean(
         World::new(HemlockSim::new(2, 1, HemlockFlavor::Overlap), programs),
-        1,
         "overlap tight reacquisition",
     );
 }
@@ -115,7 +110,6 @@ fn v1_tag_with_two_locks_nested() {
             HemlockSim::new(2, 2, HemlockFlavor::V1),
             vec![nested, single],
         ),
-        2,
         "v1 nested + single",
     );
 }
@@ -137,7 +131,6 @@ fn ah_and_v2_nested_two_locks() {
                 HemlockSim::new(2, 2, flavor),
                 vec![nested.clone(), nested.clone()],
             ),
-            2,
             &format!("{flavor:?} nested"),
         );
     }
@@ -170,7 +163,6 @@ fn all_flavors_multiwait_junction_config() {
         ];
         assert_clean(
             World::new(HemlockSim::new(3, 2, flavor), programs),
-            2,
             &format!("{flavor:?} junction"),
         );
     }
