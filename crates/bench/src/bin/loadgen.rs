@@ -31,11 +31,23 @@
 //! Client RTT alone conflates queueing delay with service time, so
 //! before shutdown loadgen also pulls the server-side view over the
 //! `STATS` opcode (works for in-process and `--addr` servers alike) and
-//! emits `srv_p50_ns`/`srv_p99_ns`/`srv_p999_ns`/`srv_requests` extras:
-//! server service time is measured decode-to-encode, so RTT minus
-//! service time is the queueing + socket share. `--obs off` measures
-//! the metrics-disabled fast path (the `STATS` reply then carries
-//! frozen counts).
+//! emits `srv_p50_ns`/`srv_p99_ns`/`srv_p999_ns`/`srv_requests` extras.
+//! The server-side numbers are **windowed**: a snapshot is taken before
+//! and after the measured runs and the extras come from their
+//! difference, so an external `--addr` server's history (or this run's
+//! own preload) does not dilute the percentiles. Server service time is
+//! measured decode-to-encode, so RTT minus service time is the
+//! queueing-plus-socket share. `--obs off` measures the metrics-disabled fast path
+//! (the `STATS` reply then carries frozen counts).
+//!
+//! `--trace N` turns on the server's sampled request tracing (1 in N
+//! request bursts) and, after the run, pulls the sampled spans over the
+//! `TRACE` opcode, writes them as a Chrome-trace-event JSON document
+//! (`--trace-out`, open in Perfetto or `chrome://tracing`), and emits an
+//! **RTT decomposition**: per-sampled-request decode / queue / lock-wait
+//! / hold / flush component percentiles as `trace_*` extras. With
+//! `--addr`, start the remote `kvserver` with its own `--trace N`; the
+//! fetch-and-decompose path works the same.
 
 use hemlock_async::catalog::{self, AsyncCatalogEntry, AsyncLockVisitor};
 use hemlock_bench::ci::{self, RecordBuilder};
@@ -44,7 +56,7 @@ use hemlock_harness::executor::TaskPool;
 use hemlock_harness::{fmt_f64, Histogram, Mt19937, Reactor, Spec, Table, Zipf};
 use hemlock_minikv::{AsyncKv, Db, Options};
 use hemlock_net::{spawn_server_with, AsyncConn, Client, Op, ServerHandle, ServerOptions};
-use hemlock_obs::{Pcts, Snapshot};
+use hemlock_obs::{trace, Pcts, Snapshot};
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -219,12 +231,20 @@ struct SrvStats {
     p999_ns: f64,
 }
 
-/// Fetches [`SrvStats`] over one fresh connection; `None` if the server
-/// is gone or predates the `STATS` opcode (an external `--addr` server
-/// from an older build hands an error response back).
-fn fetch_srv_stats(addr: SocketAddr) -> Option<SrvStats> {
+/// Fetches a full reconstructed server [`Snapshot`] (counters +
+/// histogram buckets) over one fresh connection; `None` if the server is
+/// gone or predates the `STATS` opcode (an external `--addr` server from
+/// an older build hands an error response back).
+fn fetch_srv_snapshot(addr: SocketAddr) -> Option<Snapshot> {
     let mut c = Client::connect(addr).ok()?;
-    let kv = Snapshot::parse_text(&c.stats().ok()?);
+    Some(Snapshot::parse_snapshot(&c.stats().ok()?))
+}
+
+/// Extracts [`SrvStats`] from the **windowed** delta of two snapshots:
+/// the percentiles come from the bucket-wise difference of the service
+/// histogram, so only requests served between the two fetches count.
+fn srv_stats_from(after: &Snapshot, before: &Snapshot) -> Option<SrvStats> {
+    let kv = after.delta(before).flatten();
     let get = |key: &str| kv.iter().find(|(k, _)| k.as_str() == key).map(|&(_, v)| v);
     Some(SrvStats {
         requests: get("net.requests")?,
@@ -232,6 +252,50 @@ fn fetch_srv_stats(addr: SocketAddr) -> Option<SrvStats> {
         p99_ns: get("net.service_ns.p99")?,
         p999_ns: get("net.service_ns.p999")?,
     })
+}
+
+/// Fetches the server's sampled spans as a Chrome-trace JSON document
+/// over the `TRACE` opcode.
+fn fetch_trace(addr: SocketAddr) -> Option<String> {
+    let mut c = Client::connect(addr).ok()?;
+    c.trace_json().ok()
+}
+
+/// (p50, p99) of a raw nanosecond sample set, by sorting — the sampled
+/// request population is small (ring-bounded), no histogram needed.
+fn p50_p99(mut v: Vec<u64>) -> (f64, f64) {
+    if v.is_empty() {
+        return (0.0, 0.0);
+    }
+    v.sort_unstable();
+    let at = |q: f64| v[((v.len() - 1) as f64 * q).round() as usize] as f64;
+    (at(0.50), at(0.99))
+}
+
+/// Component percentiles over every sampled request's RTT decomposition.
+struct TraceReport {
+    requests: usize,
+    total: (f64, f64),
+    decode: (f64, f64),
+    queue: (f64, f64),
+    lock_wait: (f64, f64),
+    hold: (f64, f64),
+    flush: (f64, f64),
+}
+
+impl TraceReport {
+    fn from_decomps(ds: &[trace::RttDecomp]) -> TraceReport {
+        let col = |f: fn(&trace::RttDecomp) -> u64| p50_p99(ds.iter().map(f).collect());
+        TraceReport {
+            requests: ds.len(),
+            total: col(|d| d.total_ns),
+            decode: col(|d| d.decode_ns),
+            queue: col(|d| d.queue_ns),
+            lock_wait: col(|d| d.lock_wait_ns),
+            hold: col(|d| d.hold_ns),
+            flush: col(|d| d.flush_ns),
+        }
+    }
 }
 
 struct Report {
@@ -242,6 +306,7 @@ struct Report {
     ops_per_sec: f64,
     pcts: Pcts,
     srv: Option<SrvStats>,
+    trace: Option<TraceReport>,
 }
 
 /// One bench-trajectory record through the shared [`RecordBuilder`]:
@@ -262,6 +327,21 @@ fn to_json(r: &Report) -> String {
             .extra("srv_p50_ns", s.p50_ns)
             .extra("srv_p99_ns", s.p99_ns)
             .extra("srv_p999_ns", s.p999_ns);
+    }
+    if let Some(t) = &r.trace {
+        b = b.extra("trace_requests", t.requests as f64);
+        for (name, (p50, p99)) in [
+            ("total", t.total),
+            ("decode", t.decode),
+            ("queue", t.queue),
+            ("lockwait", t.lock_wait),
+            ("hold", t.hold),
+            ("flush", t.flush),
+        ] {
+            b = b
+                .extra(format!("trace_{name}_p50_ns"), p50)
+                .extra(format!("trace_{name}_p99_ns"), p99);
+        }
     }
     ci::to_json(&[b.build()])
 }
@@ -309,6 +389,17 @@ fn main() {
          (client + in-process server); `off` measures the disabled fast \
          path",
     )
+    .value(
+        "trace",
+        "sample 1 in N request bursts for causal tracing (default 0 = \
+         off); pulls spans over the TRACE opcode after the run and emits \
+         an RTT decomposition (with --addr, start kvserver with --trace)",
+    )
+    .value(
+        "trace-out",
+        "path for the Chrome-trace JSON document (default \
+         loadgen_trace.json; only written when tracing is on)",
+    )
     .value("secs", "seconds per measured run (default 2)")
     .value("runs", "median-of-N runs (default 1)")
     .flag(
@@ -353,6 +444,13 @@ fn main() {
         }
     }
     let json = args.has("json");
+    let trace_every: u32 = args.get("trace", 0u32);
+    let trace_out = args.get_str("trace-out", "loadgen_trace.json");
+    if trace_every > 0 {
+        // Applies to the in-process server (same process); an external
+        // --addr server samples only if started with its own --trace.
+        trace::set_sampling(trace_every, 0x5EED);
+    }
 
     // External server, or an in-process one on its own pool.
     let lock_key = args.get_str("lock", "async.hemlock");
@@ -401,6 +499,11 @@ fn main() {
         w.read_pct,
     );
 
+    // Open the server-side measurement window: the delta of this
+    // snapshot against the post-run one isolates the measured runs from
+    // whatever the server served before (an external server's history).
+    let before = fetch_srv_snapshot(addr);
+
     let mut results: Vec<RunStats> = (0..runs)
         .map(|_| {
             run_once(addr, w).unwrap_or_else(|e| {
@@ -412,18 +515,62 @@ fn main() {
     results.sort_by_key(|r| r.ops);
     let median = results.remove(results.len() / 2);
 
-    // Pull the server-side view before tearing the server down; a
-    // `STATS` round-trip works for in-process and external alike.
-    let srv = fetch_srv_stats(addr);
+    // Close the window and pull the server-side view before tearing the
+    // server down; `STATS`/`TRACE` round-trips work for in-process and
+    // external alike.
+    let srv = match (&before, fetch_srv_snapshot(addr)) {
+        (Some(b), Some(a)) => srv_stats_from(&a, b),
+        _ => None,
+    };
     if let Some(s) = &srv {
         eprintln!(
             "# loadgen: server-side service time p50={}us p99={}us over {} request(s) \
-             (client RTT minus service time = queueing + socket)",
+             in the measured window (client RTT minus service time = queueing + socket)",
             fmt_f64(s.p50_ns / 1e3, 1),
             fmt_f64(s.p99_ns / 1e3, 1),
             s.requests as u64,
         );
     }
+
+    let trace_report = if trace_every > 0 {
+        match fetch_trace(addr) {
+            Some(doc) => {
+                if let Err(e) = std::fs::write(&trace_out, &doc) {
+                    eprintln!("# loadgen: cannot write {trace_out}: {e}");
+                } else {
+                    eprintln!(
+                        "# loadgen: wrote {trace_out} (open in Perfetto or chrome://tracing)"
+                    );
+                }
+                let events = trace::parse_chrome_json(&doc);
+                for err in trace::check_well_formed(&events) {
+                    eprintln!("# loadgen: trace integrity: {err}");
+                }
+                let decomps = trace::decompose_requests(&events);
+                let report = TraceReport::from_decomps(&decomps);
+                if report.requests > 0 {
+                    eprintln!(
+                        "# loadgen: traced {} request(s); p50 decomposition: total={}us \
+                         decode={}us queue={}us lockwait={}us hold={}us flush={}us",
+                        report.requests,
+                        fmt_f64(report.total.0 / 1e3, 1),
+                        fmt_f64(report.decode.0 / 1e3, 1),
+                        fmt_f64(report.queue.0 / 1e3, 1),
+                        fmt_f64(report.lock_wait.0 / 1e3, 1),
+                        fmt_f64(report.hold.0 / 1e3, 1),
+                        fmt_f64(report.flush.0 / 1e3, 1),
+                    );
+                }
+                Some(report)
+            }
+            None => {
+                eprintln!("# loadgen: --trace set but the server answered no TRACE opcode");
+                None
+            }
+        }
+    } else {
+        None
+    };
 
     if let Some((server, _pool)) = server {
         let stats = server.shutdown();
@@ -441,6 +588,7 @@ fn main() {
         ops_per_sec: median.ops as f64 / median.elapsed.as_secs_f64(),
         pcts: median.latency.pcts(),
         srv,
+        trace: trace_report,
     };
 
     if json {

@@ -37,6 +37,7 @@ use hemlock_core::raw::{RawLock, RawTryLock};
 use hemlock_harness::executor::TaskPool;
 use hemlock_harness::{fmt_f64, Mt19937, Spec, Table, Zipf};
 use hemlock_locks::catalog::{self, CatalogEntry, LockVisitor, TimedLockVisitor};
+use hemlock_obs::trace;
 use hemlock_shard::{ShardedTable, TableOp};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -121,10 +122,30 @@ fn run_once<L: RawLock>(w: Workload) -> (f64, f64) {
                 while !stop.load(Ordering::Relaxed) {
                     let r = splitmix64(&mut state);
                     let key = pick.pick(r, w.keys);
-                    if (r >> 32) % 100 < w.read_pct {
-                        std::hint::black_box(table.get(&key));
-                    } else {
-                        table.insert(key, r);
+                    let op = || {
+                        if (r >> 32) % 100 < w.read_pct {
+                            std::hint::black_box(table.get(&key));
+                        } else {
+                            table.insert(key, r);
+                        }
+                    };
+                    // One relaxed load when tracing is off; a sampled op
+                    // runs under its trace id so the guard-drop hold
+                    // spans attribute to it, with a root span for the
+                    // Perfetto view.
+                    match trace::sample_request() {
+                        0 => op(),
+                        tid => trace::scoped(tid, || {
+                            let t0 = trace::now_ns();
+                            op();
+                            trace::span_at(
+                                tid,
+                                "bench.op",
+                                t0,
+                                trace::now_ns(),
+                                trace::SpanKind::Sync,
+                            );
+                        }),
                     }
                     local += 1;
                 }
@@ -194,7 +215,22 @@ fn run_once_combined<L: RawTryLock + 'static>(w: Workload) -> (f64, f64) {
                 let mut local = 0u64;
                 while !stop.load(Ordering::Relaxed) {
                     fill_batch(&mut ops, &mut state, &mut pick, &w);
-                    std::hint::black_box(table.apply_batch(&ops));
+                    match trace::sample_request() {
+                        0 => {
+                            std::hint::black_box(table.apply_batch(&ops));
+                        }
+                        tid => trace::scoped(tid, || {
+                            let t0 = trace::now_ns();
+                            std::hint::black_box(table.apply_batch(&ops));
+                            trace::span_at(
+                                tid,
+                                "bench.batch",
+                                t0,
+                                trace::now_ns(),
+                                trace::SpanKind::Sync,
+                            );
+                        }),
+                    }
                     local += ops.len() as u64;
                 }
                 ops_count.store(local, Ordering::Relaxed);
@@ -247,17 +283,23 @@ fn run_once_async<L: RawTryLock + 'static>(w: Workload, tasks: usize) -> (f64, f
                     let mut ops: Vec<TableOp<u64, u64>> = Vec::with_capacity(BATCH);
                     while !stop.load(Ordering::Relaxed) {
                         fill_batch(&mut ops, &mut state, &mut pick, &w);
-                        std::hint::black_box(table.apply_batch_async(&ops).await);
+                        // `traced` is a plain passthrough for id 0.
+                        let tid = trace::sample_request();
+                        std::hint::black_box(
+                            trace::traced(tid, table.apply_batch_async(&ops)).await,
+                        );
                         local += ops.len() as u64;
                     }
                 } else {
                     while !stop.load(Ordering::Relaxed) {
                         let r = splitmix64(&mut state);
                         let key = pick.pick(r, w.keys);
+                        let tid = trace::sample_request();
                         if (r >> 32) % 100 < w.read_pct {
-                            std::hint::black_box(table.get_async(&key).await);
+                            std::hint::black_box(trace::traced(tid, table.get_async(&key)).await);
                         } else {
-                            table.update_async(key, |slot| *slot = Some(r)).await;
+                            trace::traced(tid, table.update_async(key, |slot| *slot = Some(r)))
+                                .await;
                         }
                         local += 1;
                     }
@@ -484,6 +526,17 @@ fn main() {
              the disabled fast path (the CI enabled-vs-disabled gate runs \
              both)",
         )
+        .value(
+            "trace",
+            "sample 1 in N ops/batches for causal tracing (default 0 = \
+             off); spans from the most recent sweep points are exported \
+             at exit",
+        )
+        .value(
+            "trace-out",
+            "path for the Chrome-trace JSON document (default \
+             shardkv_trace.json; only written when tracing is on)",
+        )
         .flag("json", "emit normalized bench-trajectory JSON records");
     let args = spec.parse_env();
     match args.get_str("obs", "on").as_str() {
@@ -493,6 +546,12 @@ fn main() {
             eprintln!("error: --obs must be `on` or `off`, got {other:?}");
             std::process::exit(2);
         }
+    }
+
+    let trace_every: u32 = args.get("trace", 0u32);
+    let trace_out = args.get_str("trace-out", "shardkv_trace.json");
+    if trace_every > 0 {
+        trace::set_sampling(trace_every, 0x5EED);
     }
 
     let default_locks: String = catalog::shard_friendly()
@@ -626,6 +685,16 @@ fn main() {
                     }
                 }
             }
+        }
+    }
+
+    if trace_every > 0 {
+        let doc = trace::export_chrome_json();
+        match std::fs::write(&trace_out, &doc) {
+            Ok(()) => {
+                eprintln!("# shardkv: wrote {trace_out} (open in Perfetto or chrome://tracing)")
+            }
+            Err(e) => eprintln!("# shardkv: cannot write {trace_out}: {e}"),
         }
     }
 

@@ -24,6 +24,7 @@
 //! the pool feeds the `pool.*` registry metrics: injector queue depth,
 //! spawn/wake/poll/completion counts.
 
+use hemlock_obs::trace;
 use std::collections::VecDeque;
 use std::future::Future;
 use std::pin::Pin;
@@ -322,7 +323,23 @@ fn worker_loop(shared: &Arc<PoolShared>) {
         if hemlock_obs::enabled() {
             hemlock_obs::registry().pool_polls.inc();
         }
-        match fut.as_mut().poll(&mut cx) {
+        // Poll-interval timestamp for the retro `pool.poll` span: only
+        // when tracing is sampled (one relaxed load otherwise), and only
+        // emitted if the poll actually ran a traced request (the wrapped
+        // future leaves its id behind via `take_polled_trace`).
+        let poll_t0 = if trace::active() { trace::now_ns() } else { 0 };
+        let polled = fut.as_mut().poll(&mut cx);
+        let traced_id = trace::take_polled_trace();
+        if traced_id != 0 {
+            trace::span_at(
+                traced_id,
+                "pool.poll",
+                poll_t0,
+                trace::now_ns(),
+                trace::SpanKind::Sync,
+            );
+        }
+        match polled {
             Poll::Ready(()) => {
                 if hemlock_obs::enabled() {
                     hemlock_obs::registry().pool_completed.inc();

@@ -41,6 +41,7 @@ pub mod zipf;
 pub use cli::{Args, Spec};
 pub use executor::{block_on, JoinHandle, TaskPool};
 pub use fairness::{fairness_bench, FairnessReport};
+pub use hemlock_obs::now_ns;
 pub use histogram::{Hist, Histogram, Pcts};
 pub use measure::{median_of, thread_sweep, Throughput};
 pub use mt19937::Mt19937;

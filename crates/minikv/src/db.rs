@@ -766,6 +766,8 @@ impl<L: RawLock> Db<L> {
         if let Some(reg) = obs() {
             reg.minikv_batch_size.record(ops.len() as u64);
         }
+        let span =
+            hemlock_obs::trace::AsyncSpan::start(hemlock_obs::trace::current(), "minikv.batch");
         let mem = self.mem.apply_batch_async(ops).await;
         let (mut out, misses) = self.batch_fold_memtable(ops, mem);
         if !misses.is_empty() {
@@ -781,6 +783,7 @@ impl<L: RawLock> Db<L> {
             let mut g = self.central_lock_async().await;
             self.freeze_locked(&mut g);
         }
+        drop(span);
         out
     }
 

@@ -74,6 +74,17 @@ fn main() {
         "stats-interval",
         "dump the metrics snapshot to stderr every this many ms (default \
          0: never)",
+    )
+    .value(
+        "trace",
+        "sample 1 in N request bursts for causal tracing (default 0 = \
+         off); clients pull the spans as Chrome-trace JSON over the \
+         TRACE opcode, the flight recorder over RECORDER",
+    )
+    .value(
+        "trace-seed",
+        "offsets which bursts the deterministic trace sampler picks \
+         (default 0)",
     );
     let args = spec.parse_env();
 
@@ -98,6 +109,10 @@ fn main() {
         }
     }
     let stats_interval_ms: u64 = args.get("stats-interval", 0);
+    let trace_every: u32 = args.get("trace", 0u32);
+    if trace_every > 0 {
+        hemlock_obs::trace::set_sampling(trace_every, args.get("trace-seed", 0u64));
+    }
 
     let entry = catalog::find(&lock_key).unwrap_or_else(|| {
         eprintln!(
@@ -127,6 +142,9 @@ fn main() {
             String::new()
         }
     );
+    if trace_every > 0 {
+        eprintln!("# kvserver: tracing 1 in {trace_every} request burst(s)");
+    }
 
     if stats_interval_ms > 0 {
         // Periodic stderr dump, one daemon thread: the registry is a

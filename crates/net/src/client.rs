@@ -28,6 +28,10 @@ pub enum Op<'a> {
     Ping,
     /// Metrics snapshot request.
     Stats,
+    /// Trace export request (sampled spans as Chrome-trace JSON).
+    Trace,
+    /// Flight-recorder dump request.
+    Recorder,
 }
 
 impl Op<'_> {
@@ -42,7 +46,7 @@ impl Op<'_> {
             Op::Get(key) => Some(KvOp::Get(key.to_vec())),
             Op::Put(key, value) => Some(KvOp::Put(key.to_vec(), value.to_vec())),
             Op::Delete(key) => Some(KvOp::Delete(key.to_vec())),
-            Op::Ping | Op::Stats => None,
+            Op::Ping | Op::Stats | Op::Trace | Op::Recorder => None,
         }
     }
 
@@ -51,6 +55,8 @@ impl Op<'_> {
             Some(op) => Request::from((id, op)),
             None => match self {
                 Op::Stats => Request::Stats { id },
+                Op::Trace => Request::Trace { id },
+                Op::Recorder => Request::Recorder { id },
                 _ => Request::Ping { id },
             },
         }
@@ -193,6 +199,27 @@ impl Client {
     pub fn stats(&mut self) -> io::Result<String> {
         match self.one(Op::Stats)? {
             Response::Stats { text, .. } => Ok(text),
+            other => Err(mismatch(&other)),
+        }
+    }
+
+    /// Fetches the server's sampled request spans (the `TRACE` opcode)
+    /// as a Chrome-trace-event JSON document; open it in Perfetto or
+    /// `chrome://tracing`, or parse it back with
+    /// `hemlock_obs::trace::parse_chrome_json`.
+    pub fn trace_json(&mut self) -> io::Result<String> {
+        match self.one(Op::Trace)? {
+            Response::Trace { json, .. } => Ok(json),
+            other => Err(mismatch(&other)),
+        }
+    }
+
+    /// Fetches the server's flight-recorder dump (the `RECORDER` opcode)
+    /// as rendered text, site names resolved — the debugger-free path to
+    /// the lock-event ring.
+    pub fn recorder_dump(&mut self) -> io::Result<String> {
+        match self.one(Op::Recorder)? {
+            Response::RecorderDump { text, .. } => Ok(text),
             other => Err(mismatch(&other)),
         }
     }

@@ -41,7 +41,10 @@ impl TryFrom<Request> for (u64, KvOp) {
             Request::Get { id, key } => Ok((id, KvOp::Get(key))),
             Request::Put { id, key, value } => Ok((id, KvOp::Put(key, value))),
             Request::Delete { id, key } => Ok((id, KvOp::Delete(key))),
-            other @ (Request::Ping { .. } | Request::Stats { .. }) => Err(other),
+            other @ (Request::Ping { .. }
+            | Request::Stats { .. }
+            | Request::Trace { .. }
+            | Request::Recorder { .. }) => Err(other),
         }
     }
 }
@@ -91,7 +94,12 @@ mod tests {
 
     #[test]
     fn ping_and_stats_are_handed_back_not_converted() {
-        for req in [Request::Ping { id: 3 }, Request::Stats { id: 4 }] {
+        for req in [
+            Request::Ping { id: 3 },
+            Request::Stats { id: 4 },
+            Request::Trace { id: 5 },
+            Request::Recorder { id: 6 },
+        ] {
             assert_eq!(<(u64, KvOp)>::try_from(req.clone()), Err(req));
         }
     }

@@ -25,6 +25,8 @@
 //! DELETE = 0x03  klen:u32 key
 //! PING   = 0x04  (empty)
 //! STATS  = 0x05  (empty)
+//! TRACE  = 0x06  (empty)
+//! RECORDER = 0x07  (empty)
 //! ```
 //!
 //! Response bodies, after the echoed id:
@@ -37,6 +39,8 @@
 //! ERR       = 0x84  mlen:u32 message        (server-side failure)
 //! STATS     = 0x85  tlen:u32 text           (metrics snapshot, UTF-8
 //!                                            "key value" lines)
+//! TRACE     = 0x86  tlen:u32 json           (Chrome-trace JSON export)
+//! RECORDER  = 0x87  tlen:u32 text           (flight-recorder dump)
 //! ```
 //!
 //! [`Decoder`] is incremental: [`Decoder::feed`] it whatever a socket
@@ -94,6 +98,19 @@ pub enum Request {
         /// Client-chosen id, echoed in the response.
         id: u64,
     },
+    /// Trace export request; the server answers [`Response::Trace`] with
+    /// its sampled request spans rendered as Chrome-trace JSON.
+    Trace {
+        /// Client-chosen id, echoed in the response.
+        id: u64,
+    },
+    /// Flight-recorder dump request; the server answers
+    /// [`Response::RecorderDump`] with the recorder rendered as text —
+    /// the debugger-free path to the lock-event ring.
+    Recorder {
+        /// Client-chosen id, echoed in the response.
+        id: u64,
+    },
 }
 
 impl Request {
@@ -104,7 +121,9 @@ impl Request {
             | Request::Put { id, .. }
             | Request::Delete { id, .. }
             | Request::Ping { id }
-            | Request::Stats { id } => id,
+            | Request::Stats { id }
+            | Request::Trace { id }
+            | Request::Recorder { id } => id,
         }
     }
 }
@@ -149,6 +168,22 @@ pub enum Response {
         /// Rendered snapshot text.
         text: String,
     },
+    /// Answer to [`Request::Trace`]: the server's sampled spans as
+    /// Chrome-trace JSON (see `hemlock_obs::trace`).
+    Trace {
+        /// Echo of the request id.
+        id: u64,
+        /// Chrome-trace-event JSON document.
+        json: String,
+    },
+    /// Answer to [`Request::Recorder`]: the flight recorder rendered as
+    /// text, newest-last, with site names resolved.
+    RecorderDump {
+        /// Echo of the request id.
+        id: u64,
+        /// Rendered recorder dump.
+        text: String,
+    },
 }
 
 impl Response {
@@ -160,7 +195,9 @@ impl Response {
             | Response::Ok { id }
             | Response::Pong { id }
             | Response::Err { id, .. }
-            | Response::Stats { id, .. } => id,
+            | Response::Stats { id, .. }
+            | Response::Trace { id, .. }
+            | Response::RecorderDump { id, .. } => id,
         }
     }
 }
@@ -172,6 +209,8 @@ mod op {
     pub const DELETE: u8 = 0x03;
     pub const PING: u8 = 0x04;
     pub const STATS: u8 = 0x05;
+    pub const TRACE: u8 = 0x06;
+    pub const RECORDER: u8 = 0x07;
 }
 
 /// Status bytes for responses.
@@ -182,6 +221,8 @@ mod status {
     pub const PONG: u8 = 0x83;
     pub const ERR: u8 = 0x84;
     pub const STATS: u8 = 0x85;
+    pub const TRACE: u8 = 0x86;
+    pub const RECORDER: u8 = 0x87;
 }
 
 /// A protocol violation (encode- or decode-side).
@@ -230,7 +271,10 @@ pub fn encode_request(req: &Request, out: &mut Vec<u8>) -> Result<(), FrameError
     let body_len = match req {
         Request::Get { key, .. } | Request::Delete { key, .. } => ID_SIZE + 1 + 4 + key.len(),
         Request::Put { key, value, .. } => ID_SIZE + 1 + 4 + key.len() + 4 + value.len(),
-        Request::Ping { .. } | Request::Stats { .. } => ID_SIZE + 1,
+        Request::Ping { .. }
+        | Request::Stats { .. }
+        | Request::Trace { .. }
+        | Request::Recorder { .. } => ID_SIZE + 1,
     };
     check_frame(body_len)?;
     out.reserve(LEN_PREFIX + body_len);
@@ -252,6 +296,8 @@ pub fn encode_request(req: &Request, out: &mut Vec<u8>) -> Result<(), FrameError
         }
         Request::Ping { .. } => out.push(op::PING),
         Request::Stats { .. } => out.push(op::STATS),
+        Request::Trace { .. } => out.push(op::TRACE),
+        Request::Recorder { .. } => out.push(op::RECORDER),
     }
     Ok(())
 }
@@ -262,7 +308,10 @@ pub fn encode_response(resp: &Response, out: &mut Vec<u8>) -> Result<(), FrameEr
     let body_len = match resp {
         Response::Value { value, .. } => ID_SIZE + 1 + 4 + value.len(),
         Response::Err { message, .. } => ID_SIZE + 1 + 4 + message.len(),
-        Response::Stats { text, .. } => ID_SIZE + 1 + 4 + text.len(),
+        Response::Stats { text, .. } | Response::RecorderDump { text, .. } => {
+            ID_SIZE + 1 + 4 + text.len()
+        }
+        Response::Trace { json, .. } => ID_SIZE + 1 + 4 + json.len(),
         Response::NotFound { .. } | Response::Ok { .. } | Response::Pong { .. } => ID_SIZE + 1,
     };
     check_frame(body_len)?;
@@ -283,6 +332,14 @@ pub fn encode_response(resp: &Response, out: &mut Vec<u8>) -> Result<(), FrameEr
         }
         Response::Stats { text, .. } => {
             out.push(status::STATS);
+            put_blob(out, text.as_bytes());
+        }
+        Response::Trace { json, .. } => {
+            out.push(status::TRACE);
+            put_blob(out, json.as_bytes());
+        }
+        Response::RecorderDump { text, .. } => {
+            out.push(status::RECORDER);
             put_blob(out, text.as_bytes());
         }
     }
@@ -393,6 +450,8 @@ impl Decoder {
             },
             op::PING => Request::Ping { id },
             op::STATS => Request::Stats { id },
+            op::TRACE => Request::Trace { id },
+            op::RECORDER => Request::Recorder { id },
             other => return Err(FrameError::BadOpcode(other)),
         };
         cur.finish()?;
@@ -428,6 +487,18 @@ impl Decoder {
                 let text = String::from_utf8(raw)
                     .map_err(|_| FrameError::Malformed("stats text is not UTF-8"))?;
                 Response::Stats { id, text }
+            }
+            status::TRACE => {
+                let raw = cur.blob()?;
+                let json = String::from_utf8(raw)
+                    .map_err(|_| FrameError::Malformed("trace json is not UTF-8"))?;
+                Response::Trace { id, json }
+            }
+            status::RECORDER => {
+                let raw = cur.blob()?;
+                let text = String::from_utf8(raw)
+                    .map_err(|_| FrameError::Malformed("recorder text is not UTF-8"))?;
+                Response::RecorderDump { id, text }
             }
             other => return Err(FrameError::BadStatus(other)),
         };
@@ -531,6 +602,8 @@ mod tests {
             },
             Request::Ping { id: 0 },
             Request::Stats { id: 99 },
+            Request::Trace { id: 100 },
+            Request::Recorder { id: 101 },
         ];
         for chunk in [1, 3, 7, 4096] {
             assert_eq!(roundtrip_requests(&reqs, chunk), reqs, "chunk={chunk}");
@@ -554,6 +627,14 @@ mod tests {
             Response::Stats {
                 id: 14,
                 text: "minikv.acquires 12\nnet.requests 3\n".to_string(),
+            },
+            Response::Trace {
+                id: 15,
+                json: "{\"traceEvents\":[\n]}\n".to_string(),
+            },
+            Response::RecorderDump {
+                id: 16,
+                text: "0001 shard.lock Acquire arg=3\n".to_string(),
             },
         ];
         let mut wire = Vec::new();

@@ -33,6 +33,7 @@ use crate::proto::{encode_response, Decoder, Request, Response};
 use hemlock_harness::executor::{block_on, JoinHandle, TaskPool};
 use hemlock_harness::Reactor;
 use hemlock_minikv::{AsyncKv, KvOp};
+use hemlock_obs::trace;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -205,6 +206,7 @@ async fn serve_conn(
     loop {
         // Drain everything fully received, in arrival order. Pipelined
         // peers get one flush per read batch rather than per request.
+        let dec_t0 = if trace::active() { trace::now_ns() } else { 0 };
         loop {
             match dec.next_request() {
                 Ok(Some(req)) => reqs.push(req),
@@ -215,6 +217,25 @@ async fn serve_conn(
             }
         }
         let batched = reqs.len() as u64;
+        // One sampling draw per burst: the burst is the unit the server
+        // dispatches, flushes, and attributes service time to, so it is
+        // also the unit a trace follows. The decode interval is emitted
+        // retroactively once the draw says this burst is sampled.
+        let trace_id = if batched > 0 {
+            trace::sample_request()
+        } else {
+            0
+        };
+        if trace_id != 0 {
+            trace::span_at(
+                trace_id,
+                "net.decode",
+                dec_t0,
+                trace::now_ns(),
+                trace::SpanKind::Sync,
+            );
+        }
+        let req_span = trace::AsyncSpan::start(trace_id, "net.request");
         // Server-side *service* time: decoded-to-encoded, excluding the
         // socket. The client's RTT minus this is queueing + transport —
         // the split loadgen's `srv_*` extras make visible.
@@ -226,16 +247,29 @@ async fn serve_conn(
             // The decoded burst IS the batch: one `apply_batch_async`
             // call amortizes the whole read's lock work (flat-combined
             // shard passes, one run snapshot, one freeze check) instead
-            // of paying it once per request.
-            if dispatch_burst(&*kv, &mut reqs, &mut outbuf).await.is_err() {
+            // of paying it once per request. `traced` re-arms the
+            // thread's trace context on every poll (the pool migrates
+            // tasks between workers) and attributes inter-poll gaps to
+            // `task.suspend`.
+            if trace::traced(trace_id, dispatch_burst(&*kv, &mut reqs, &mut outbuf))
+                .await
+                .is_err()
+            {
                 return served;
             }
         } else {
-            for req in reqs.drain(..) {
-                let resp = dispatch(&*kv, req).await;
-                if encode_response(&resp, &mut outbuf).is_err() {
-                    return served;
+            let dispatched = trace::traced(trace_id, async {
+                for req in reqs.drain(..) {
+                    let resp = dispatch(&*kv, req).await;
+                    if encode_response(&resp, &mut outbuf).is_err() {
+                        return Err(());
+                    }
                 }
+                Ok(())
+            })
+            .await;
+            if dispatched.is_err() {
+                return served;
             }
         }
         if let Some(t0) = t0 {
@@ -246,11 +280,15 @@ async fn serve_conn(
             reg.net_inflight.sub(batched as i64);
         }
         if !outbuf.is_empty() {
-            if aio::write_all(&stream, &reactor, &outbuf).await.is_err() {
+            let flush = trace::AsyncSpan::start(trace_id, "net.flush");
+            let wrote = aio::write_all(&stream, &reactor, &outbuf).await;
+            drop(flush);
+            if wrote.is_err() {
                 return served;
             }
             outbuf.clear();
         }
+        drop(req_span);
         // Responses above are flushed, so they count even if the next
         // read finds the peer gone.
         served += batched;
@@ -267,12 +305,40 @@ async fn serve_conn(
 enum Pending {
     Ping(u64),
     Stats(u64),
+    Trace(u64),
+    Recorder(u64),
     Op(u64),
 }
 
 /// The observability registry rendered for the `STATS` opcode.
 fn stats_text() -> String {
     hemlock_obs::registry().snapshot().render_text()
+}
+
+/// Every sampled span drained and rendered for the `TRACE` opcode.
+///
+/// The response must fit one protocol frame ([`crate::proto::MAX_FRAME`]);
+/// a full set of rings can render to several MiB, so when the document
+/// is oversized the oldest half of the events is dropped and the trace
+/// re-rendered until it fits — the rings already bound history in
+/// records, this bounds it on the wire. Recent spans always survive.
+fn trace_json() -> String {
+    let mut events = trace::export_events();
+    events.sort_by_key(|e| e.t0_ns);
+    loop {
+        let doc = trace::chrome_trace_json(&events);
+        if events.is_empty() || doc.len() + 64 <= crate::proto::MAX_FRAME {
+            return doc;
+        }
+        let drop_n = events.len().div_ceil(2);
+        events.drain(..drop_n);
+    }
+}
+
+/// The flight recorder rendered for the `RECORDER` opcode — the
+/// debugger-free path to the lock-event ring (site names resolved).
+fn recorder_text() -> String {
+    hemlock_obs::recorder::recorder().dump_text()
 }
 
 /// Executes one decoded pipeline burst as a single batch: converts the
@@ -297,16 +363,28 @@ async fn dispatch_burst(
                 ops.push(op);
             }
             Err(Request::Stats { id }) => pending.push(Pending::Stats(id)),
+            Err(Request::Trace { id }) => pending.push(Pending::Trace(id)),
+            Err(Request::Recorder { id }) => pending.push(Pending::Recorder(id)),
             Err(other) => pending.push(Pending::Ping(other.id())),
         }
     }
     let mut results = kv.apply_batch_async(&ops).await.into_iter();
+    // Encoding is sync within one poll, so it may carry a nested span.
+    let enc = trace::SyncSpan::start(trace::current(), "net.encode");
     for p in pending {
         let resp = match p {
             Pending::Ping(id) => Response::Pong { id },
             Pending::Stats(id) => Response::Stats {
                 id,
                 text: stats_text(),
+            },
+            Pending::Trace(id) => Response::Trace {
+                id,
+                json: trace_json(),
+            },
+            Pending::Recorder(id) => Response::RecorderDump {
+                id,
+                text: recorder_text(),
             },
             Pending::Op(id) => {
                 let res = results.next().expect("batch results are positional");
@@ -317,6 +395,7 @@ async fn dispatch_burst(
             return Err(());
         }
     }
+    drop(enc);
     Ok(())
 }
 
@@ -341,6 +420,14 @@ async fn dispatch(kv: &dyn AsyncKv, req: Request) -> Response {
         Request::Stats { id } => Response::Stats {
             id,
             text: stats_text(),
+        },
+        Request::Trace { id } => Response::Trace {
+            id,
+            json: trace_json(),
+        },
+        Request::Recorder { id } => Response::RecorderDump {
+            id,
+            text: recorder_text(),
         },
     }
 }

@@ -139,6 +139,74 @@ impl Hist {
         }
         ((sub as u64 + 1) << octave) - 1
     }
+
+    /// Every `(octave, sub, count)` with a nonzero count, low to high.
+    ///
+    /// This is the wire representation of the distribution: a client that
+    /// replays these through [`Hist::add_bucket`] reconstructs a histogram
+    /// with identical quantiles (buckets are the quantile ground truth).
+    pub fn nonzero_buckets(&self) -> Vec<(usize, usize, u64)> {
+        let mut out = Vec::new();
+        for (o, subs) in self.buckets.iter().enumerate() {
+            for (s, c) in subs.iter().enumerate() {
+                if *c != 0 {
+                    out.push((o, s, *c));
+                }
+            }
+        }
+        out
+    }
+
+    /// Adds `n` observations to one bucket (wire-reconstruction path;
+    /// out-of-range coordinates are ignored). Updates only buckets and
+    /// count — call [`Hist::set_summaries`] afterwards so quantiles are
+    /// not capped at a stale `max`.
+    pub fn add_bucket(&mut self, octave: usize, sub: usize, n: u64) {
+        if octave >= OCTAVES || sub >= SUBS {
+            return;
+        }
+        self.buckets[octave][sub] += n;
+        self.count += n;
+    }
+
+    /// Sets the summary stats a bucket replay cannot carry: `sum` is
+    /// derived from the rendered mean, `max` caps quantile extraction.
+    pub fn set_summaries(&mut self, mean: f64, max: u64) {
+        self.sum = (mean * self.count as f64) as u128;
+        self.max = max;
+        if self.count > 0 && self.min == u64::MAX {
+            self.min = 0;
+        }
+    }
+
+    /// The distribution recorded since `older` was snapshotted:
+    /// bucket-wise subtraction (saturating, so racing writers between the
+    /// two snapshots cannot underflow).
+    ///
+    /// Bucket counts — and therefore quantiles — are exact for the
+    /// window. `max` is inherited from `self` (an upper bound: the window
+    /// max is not recoverable from two cumulative snapshots), and the
+    /// mean is derived from the subtracted sums.
+    pub fn diff(&self, older: &Hist) -> Hist {
+        let mut out = Hist::new();
+        let mut count = 0u64;
+        for o in 0..OCTAVES {
+            for s in 0..SUBS {
+                let c = self.buckets[o][s].saturating_sub(older.buckets[o][s]);
+                out.buckets[o][s] = c;
+                count += c;
+            }
+        }
+        out.count = count;
+        out.sum = self.sum.saturating_sub(older.sum);
+        out.max = self.max;
+        out.min = if count == 0 {
+            u64::MAX
+        } else {
+            self.min.min(older.min)
+        };
+        out
+    }
 }
 
 impl Default for Hist {

@@ -26,6 +26,9 @@
 //!   aggregates instrumented-lock events into `core.*` metrics.
 //! - [`observed`] — the generic [`Observed<L>`](observed::Observed) lock
 //!   wrapper (catalog key `obs.hemlock`).
+//! - [`mod@trace`] — sampled request-scoped causal tracing: span API,
+//!   per-thread checksummed rings, and a Chrome-trace / Perfetto JSON
+//!   exporter, with the same one-relaxed-load disabled cost contract.
 //!
 //! ## Cost discipline
 //!
@@ -45,10 +48,12 @@ pub mod metrics;
 pub mod observed;
 pub mod recorder;
 pub mod registry;
+pub mod trace;
 
 pub use hist::{Hist, Pcts};
 pub use observed::{ObsTag, Observed, ObservedHemlock};
 pub use registry::{registry, Registry, Snapshot};
+pub use trace::now_ns;
 
 use std::sync::atomic::{AtomicBool, Ordering};
 

@@ -73,6 +73,13 @@ macro_rules! define_registry {
                 $(self.$hname.reset();)*
             }
         }
+
+        /// Every counter key, in declaration order.
+        pub const COUNTER_KEYS: &[&str] = &[$($ckey,)*];
+        /// Every gauge key, in declaration order.
+        pub const GAUGE_KEYS: &[&str] = &[$($gkey,)*];
+        /// Every histogram key, in declaration order.
+        pub const HIST_KEYS: &[&str] = &[$($hkey,)*];
     };
 }
 
@@ -187,11 +194,26 @@ impl Snapshot {
     }
 
     /// Renders the line-oriented text form: one `key value` pair per
-    /// line, parseable by [`Snapshot::parse_text`]. This is the payload
-    /// of the `STATS` wire response and the `--stats-interval` dump.
+    /// line, in sorted key order (deterministic across runs and
+    /// declaration shuffles), parseable by [`Snapshot::parse_text`]. This
+    /// is the payload of the `STATS` wire response and the
+    /// `--stats-interval` dump.
+    ///
+    /// Beyond the flattened summary keys, every nonzero histogram bucket
+    /// is emitted as `<hist>.bkt.<octave>.<sub> <count>` so a wire client
+    /// can reconstruct the full distribution (and therefore diff two
+    /// snapshots bucket-wise — percentiles cannot be subtracted, buckets
+    /// can). Older clients skip the unknown keys by design.
     pub fn render_text(&self) -> String {
+        let mut lines: Vec<(String, f64)> = self.flatten();
+        for (k, h) in &self.hists {
+            for (o, s, c) in h.nonzero_buckets() {
+                lines.push((format!("{k}.bkt.{o}.{s}"), c as f64));
+            }
+        }
+        lines.sort_by(|a, b| a.0.cmp(&b.0));
         let mut s = String::new();
-        for (k, v) in self.flatten() {
+        for (k, v) in lines {
             // Counters and quantiles are integral; only means carry a
             // fraction worth printing.
             if v.fract() == 0.0 && v.abs() < 9e15 {
@@ -214,6 +236,109 @@ impl Snapshot {
             })
             .collect()
     }
+
+    /// Reconstructs a full [`Snapshot`] from rendered text.
+    ///
+    /// Keys are matched against the compiled-in registry key set
+    /// ([`COUNTER_KEYS`] / [`GAUGE_KEYS`] / [`HIST_KEYS`]); unknown keys
+    /// are skipped. Histograms are rebuilt from their `.bkt.*` lines, so
+    /// quantiles of the result — and of a [`Snapshot::delta`] between two
+    /// results — are exact.
+    pub fn parse_snapshot(text: &str) -> Snapshot {
+        let kvs = Self::parse_text(text);
+        let mut snap = Snapshot {
+            counters: COUNTER_KEYS.iter().map(|&k| (k, 0)).collect(),
+            gauges: GAUGE_KEYS
+                .iter()
+                .map(|&k| GaugeSnap {
+                    key: k,
+                    cur: 0,
+                    peak: 0,
+                })
+                .collect(),
+            hists: HIST_KEYS.iter().map(|&k| (k, Hist::new())).collect(),
+        };
+        // Buckets first so the summary pass can rely on counts.
+        for (k, v) in &kvs {
+            if let Some((hk, rest)) = k.split_once(".bkt.") {
+                if let Some((o, s)) = rest.split_once('.') {
+                    if let (Ok(o), Ok(s)) = (o.parse(), s.parse()) {
+                        if let Some((_, h)) = snap.hists.iter_mut().find(|(name, _)| *name == hk) {
+                            h.add_bucket(o, s, *v as u64);
+                        }
+                    }
+                }
+                continue;
+            }
+        }
+        let mut hist_summaries: Vec<(&str, f64, u64)> =
+            snap.hists.iter().map(|(k, _)| (*k, 0.0f64, 0u64)).collect();
+        for (k, v) in &kvs {
+            if let Some((_, c)) = snap.counters.iter_mut().find(|(ck, _)| ck == k) {
+                *c = *v as u64;
+            } else if let Some(gk) = k.strip_suffix(".cur") {
+                if let Some(g) = snap.gauges.iter_mut().find(|g| g.key == gk) {
+                    g.cur = *v as i64;
+                }
+            } else if let Some(gk) = k.strip_suffix(".peak") {
+                if let Some(g) = snap.gauges.iter_mut().find(|g| g.key == gk) {
+                    g.peak = *v as i64;
+                }
+            } else if let Some(hk) = k.strip_suffix(".mean") {
+                if let Some(e) = hist_summaries.iter_mut().find(|(n, _, _)| *n == hk) {
+                    e.1 = *v;
+                }
+            } else if let Some(hk) = k.strip_suffix(".max") {
+                if let Some(e) = hist_summaries.iter_mut().find(|(n, _, _)| *n == hk) {
+                    e.2 = *v as u64;
+                }
+            }
+        }
+        for (hk, mean, max) in hist_summaries {
+            if let Some((_, h)) = snap.hists.iter_mut().find(|(name, _)| *name == hk) {
+                h.set_summaries(mean, max);
+            }
+        }
+        snap
+    }
+
+    /// The activity between `before` and `self` (two cumulative snapshots
+    /// of one server): counters subtract, histograms diff bucket-wise
+    /// (exact window quantiles), gauges keep `self`'s levels (a level has
+    /// no meaningful difference).
+    ///
+    /// This is what makes STATS-derived `srv_*` extras honest across
+    /// multi-phase or repeated runs against one long-lived server —
+    /// cumulative totals would fold the preload and every earlier run
+    /// into the measured window.
+    pub fn delta(&self, before: &Snapshot) -> Snapshot {
+        Snapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|&(k, v)| {
+                    let prev = before
+                        .counters
+                        .iter()
+                        .find(|(bk, _)| *bk == k)
+                        .map_or(0, |(_, bv)| *bv);
+                    (k, v.saturating_sub(prev))
+                })
+                .collect(),
+            gauges: self.gauges.clone(),
+            hists: self
+                .hists
+                .iter()
+                .map(|(k, h)| {
+                    let diffed = match before.hists.iter().find(|(bk, _)| bk == k) {
+                        Some((_, bh)) => h.diff(bh),
+                        None => h.clone(),
+                    };
+                    (*k, diffed)
+                })
+                .collect(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -229,7 +354,8 @@ mod tests {
         let snap = r.snapshot();
         let text = snap.render_text();
         let parsed = Snapshot::parse_text(&text);
-        assert_eq!(parsed.len(), snap.flatten().len());
+        // Every flattened key parses back; `.bkt.*` lines ride along.
+        assert!(parsed.len() >= snap.flatten().len());
         let lookup = |k: &str| {
             parsed
                 .iter()
@@ -250,6 +376,120 @@ mod tests {
     fn parse_skips_malformed_lines() {
         let parsed = Snapshot::parse_text("a 1\ngarbage\nb not-a-number\nc 2.5\n");
         assert_eq!(parsed, vec![("a".to_string(), 1.0), ("c".to_string(), 2.5)]);
+    }
+
+    #[test]
+    fn render_text_is_sorted_and_reproduces_every_key() {
+        let r = registry();
+        r.net_requests.add(1);
+        r.net_inflight.inc();
+        r.net_service_ns.record(12_345);
+        let snap = r.snapshot();
+        let text = snap.render_text();
+        let keys: Vec<&str> = text
+            .lines()
+            .filter_map(|l| l.rsplit_once(' ').map(|(k, _)| k))
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted, "render_text keys must be sorted");
+        // Every flattened registry key must round-trip through
+        // parse_text: counters, gauge .cur/.peak, every hist suffix.
+        let parsed = Snapshot::parse_text(&text);
+        for (k, _) in snap.flatten() {
+            assert!(
+                parsed.iter().any(|(pk, _)| *pk == k),
+                "key {k} missing from parse_text(render_text())"
+            );
+        }
+    }
+
+    #[test]
+    fn parse_snapshot_reconstructs_distributions() {
+        let r = registry();
+        for v in [100u64, 1_000, 10_000, 100_000] {
+            r.net_service_ns.record(v);
+        }
+        let snap = r.snapshot();
+        let rebuilt = Snapshot::parse_snapshot(&snap.render_text());
+        let orig = snap
+            .hists
+            .iter()
+            .find(|(k, _)| *k == "net.service_ns")
+            .unwrap();
+        let got = rebuilt
+            .hists
+            .iter()
+            .find(|(k, _)| *k == "net.service_ns")
+            .unwrap();
+        assert_eq!(got.1.count(), orig.1.count());
+        for q in [0.5, 0.99, 0.999] {
+            assert_eq!(got.1.quantile(q), orig.1.quantile(q), "q={q}");
+        }
+        let (_, req) = rebuilt
+            .counters
+            .iter()
+            .find(|(k, _)| *k == "net.requests")
+            .unwrap();
+        let (_, oreq) = snap
+            .counters
+            .iter()
+            .find(|(k, _)| *k == "net.requests")
+            .unwrap();
+        assert_eq!(req, oreq);
+    }
+
+    #[test]
+    fn delta_isolates_the_window() {
+        let mut before = Snapshot::parse_snapshot("");
+        let mut after = Snapshot::parse_snapshot("");
+        // Simulate a preload of 1000 slow ops, then a window of 4 fast ones.
+        if let Some((_, h)) = before
+            .hists
+            .iter_mut()
+            .find(|(k, _)| *k == "net.service_ns")
+        {
+            for _ in 0..1000 {
+                h.record(1_000_000);
+            }
+        }
+        if let Some((_, h)) = after.hists.iter_mut().find(|(k, _)| *k == "net.service_ns") {
+            for _ in 0..1000 {
+                h.record(1_000_000);
+            }
+            for _ in 0..4 {
+                h.record(500);
+            }
+        }
+        if let Some((_, c)) = before
+            .counters
+            .iter_mut()
+            .find(|(k, _)| *k == "net.requests")
+        {
+            *c = 1000;
+        }
+        if let Some((_, c)) = after
+            .counters
+            .iter_mut()
+            .find(|(k, _)| *k == "net.requests")
+        {
+            *c = 1004;
+        }
+        let d = after.delta(&before);
+        let (_, reqs) = d
+            .counters
+            .iter()
+            .find(|(k, _)| *k == "net.requests")
+            .unwrap();
+        assert_eq!(*reqs, 4);
+        let (_, h) = d
+            .hists
+            .iter()
+            .find(|(k, _)| *k == "net.service_ns")
+            .unwrap();
+        assert_eq!(h.count(), 4);
+        // The cumulative p50 would be 1ms; the window p50 must be ~500ns.
+        assert!(h.quantile(0.5) < 1_000, "window p50 {}", h.quantile(0.5));
     }
 
     #[test]

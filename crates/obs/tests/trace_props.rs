@@ -1,0 +1,146 @@
+//! Property tests for the request-tracing layer: exported traces must
+//! stay structurally well-formed — sync spans properly nested per
+//! thread, async begin/end pairs balanced, timestamps sane — under
+//! arbitrary concurrent request interleavings and under futures that
+//! are cancelled (dropped) mid-flight, and the Chrome-trace JSON
+//! document must round-trip through its own parser without loss.
+
+use hemlock_obs::trace;
+use proptest::prelude::*;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::Mutex;
+use std::task::{Context, Poll, RawWaker, RawWakerVTable, Waker};
+
+/// Sampling and the ring registry are process-global; the tests in this
+/// binary serialize on this lock and reset both around each case.
+static GLOBAL: Mutex<()> = Mutex::new(());
+
+fn noop_waker() -> Waker {
+    fn clone(_: *const ()) -> RawWaker {
+        RawWaker::new(core::ptr::null(), &VTABLE)
+    }
+    fn nop(_: *const ()) {}
+    static VTABLE: RawWakerVTable = RawWakerVTable::new(clone, nop, nop, nop);
+    unsafe { Waker::from_raw(RawWaker::new(core::ptr::null(), &VTABLE)) }
+}
+
+/// Nested sync spans, one per depth level, innermost closed first.
+fn nest(id: u64, depth: usize) {
+    const NAMES: [&str; 4] = ["prop.d0", "prop.d1", "prop.d2", "prop.d3"];
+    if depth == 0 {
+        std::hint::black_box(id);
+        return;
+    }
+    let span = trace::SyncSpan::start(id, NAMES[depth % NAMES.len()]);
+    nest(id, depth - 1);
+    drop(span);
+}
+
+/// Yields `Pending` exactly once, then `Ready` — every await point
+/// suspends the traced future once.
+struct YieldOnce(bool);
+impl Future for YieldOnce {
+    type Output = ();
+    fn poll(mut self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
+        if self.0 {
+            Poll::Ready(())
+        } else {
+            self.0 = true;
+            Poll::Pending
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any interleaving of sampled requests across threads — nested sync
+    /// spans, async wait spans, instants — exports to a Chrome-trace
+    /// document that parses back loss-free and passes every structural
+    /// check (per-thread sync nesting, balanced async pairs, no
+    /// timestamp overflow).
+    #[test]
+    fn concurrent_requests_export_well_formed(
+        threads in 1usize..4,
+        requests_per in 1usize..10,
+        depth in 1usize..4,
+    ) {
+        let _g = GLOBAL.lock().unwrap();
+        trace::set_sampling(1, 0);
+        trace::reset_rings();
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(move || {
+                    for _ in 0..requests_per {
+                        let id = trace::sample_request();
+                        trace::scoped(id, || {
+                            let req = trace::AsyncSpan::start(id, "prop.request");
+                            trace::instant(id, "prop.mark");
+                            nest(id, depth);
+                            let wait = trace::AsyncSpan::start(id, "prop.wait");
+                            drop(wait);
+                            drop(req);
+                        });
+                    }
+                });
+            }
+        });
+        let exported = trace::export_events();
+        let doc = trace::export_chrome_json();
+        let parsed = trace::parse_chrome_json(&doc);
+        let errs = trace::check_well_formed(&parsed);
+        prop_assert!(errs.is_empty(), "integrity errors: {errs:?}");
+        // Loss-free round-trip: every ring record survives the JSON.
+        prop_assert_eq!(parsed.len(), exported.len());
+        // Every request recorded its root span exactly once.
+        let roots = parsed.iter().filter(|e| e.name == "prop.request").count();
+        prop_assert_eq!(roots, threads * requests_per);
+        trace::set_sampling(0, 0);
+    }
+
+    /// A traced request future cancelled (dropped) between polls still
+    /// leaves a balanced, well-formed trace: the open async spans record
+    /// at drop time rather than dangling.
+    #[test]
+    fn cancelled_futures_still_emit_balanced_spans(
+        requests in 1usize..8,
+        polls in 1usize..5,
+    ) {
+        let _g = GLOBAL.lock().unwrap();
+        trace::set_sampling(1, 0);
+        trace::reset_rings();
+        let waker = noop_waker();
+        let mut cx = Context::from_waker(&waker);
+        for _ in 0..requests {
+            let id = trace::sample_request();
+            prop_assert!(id != 0);
+            let mut fut = Box::pin(trace::traced(id, async {
+                let _op = trace::AsyncSpan::start(trace::current(), "prop.op");
+                loop {
+                    // Suspend every iteration; the request never
+                    // completes on its own.
+                    YieldOnce(false).await;
+                    let inner = trace::SyncSpan::start(trace::current(), "prop.step");
+                    drop(inner);
+                }
+            }));
+            for _ in 0..polls {
+                prop_assert!(fut.as_mut().poll(&mut cx).is_pending());
+            }
+            drop(fut); // cancellation: Drop must close `prop.op`
+        }
+        let doc = trace::export_chrome_json();
+        let parsed = trace::parse_chrome_json(&doc);
+        let errs = trace::check_well_formed(&parsed);
+        prop_assert!(errs.is_empty(), "integrity errors: {errs:?}");
+        // Every cancelled request closed its op span exactly once.
+        let ops = parsed.iter().filter(|e| e.name == "prop.op").count();
+        prop_assert_eq!(ops, requests);
+        // All spans carry the ids the sampler handed out.
+        for e in &parsed {
+            prop_assert!(e.trace_id >= 1 && e.trace_id <= requests as u64);
+        }
+        trace::set_sampling(0, 0);
+    }
+}

@@ -71,6 +71,7 @@ use core::task::Poll;
 use hemlock_core::hemlock::Hemlock;
 use hemlock_core::raw::{RawLock, RawTryLock};
 use hemlock_core::Mutex;
+use hemlock_obs::trace;
 use std::collections::{BTreeMap, HashMap};
 use std::hash::Hash;
 use std::sync::Arc;
@@ -142,6 +143,10 @@ pub(crate) struct PubRecord<K, V> {
     /// (`Acquire`). No other access exists, which is the entire safety
     /// argument for the `UnsafeCell`.
     results: UnsafeCell<Vec<TableResult<V>>>,
+    /// The poster's trace id (0 = untraced), captured at post time so the
+    /// combiner can attribute its `shard.combine_serve` span to the
+    /// request it serviced — the "which combiner serviced whose op" edge.
+    trace: u64,
 }
 
 // Safety: `results` is accessed by exactly one side at a time, ordered
@@ -155,6 +160,7 @@ impl<K, V> PubRecord<K, V> {
             state: AtomicU8::new(POSTED),
             ops,
             results: UnsafeCell::new(Vec::new()),
+            trace: trace::current(),
         }
     }
 
@@ -383,13 +389,19 @@ where
             idx,
             rec: None,
         };
+        let mut waiter = trace::Waiter::new();
         std::future::poll_fn(move |cx| {
             if let Some(out) = self.batch_step(&mut slot, ops, ixs) {
+                waiter.finish("shard.lock_wait");
                 return Poll::Ready(out);
             }
+            waiter.arm(trace::current());
             self.wakerset().register_current(cx);
             match self.batch_step(&mut slot, ops, ixs) {
-                Some(out) => Poll::Ready(out),
+                Some(out) => {
+                    waiter.finish("shard.lock_wait");
+                    Poll::Ready(out)
+                }
                 None => Poll::Pending,
             }
         })
@@ -472,6 +484,11 @@ where
                     .shard_batch_size
                     .record(rec.ops.len() as u64);
             }
+            // Attributed to the POSTER's trace id, on the combiner's
+            // thread: in the rendered trace the poster's `lock_wait`
+            // overlaps this span on another track, which is exactly the
+            // handoff the combining layer exists to show.
+            let serve = trace::SyncSpan::start(rec.trace, "shard.combine_serve");
             let results = rec
                 .ops
                 .iter()
@@ -480,6 +497,7 @@ where
                     None => TableResult::Panicked, // clone panicked at post
                 })
                 .collect();
+            drop(serve);
             // Safety: we won the claim; the poster reads `results` only
             // after observing the `DONE` we store next (Release).
             unsafe { *rec.results.get() = results };

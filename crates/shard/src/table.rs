@@ -27,6 +27,7 @@ use hemlock_core::meta::LockMeta;
 use hemlock_core::raw::{RawLock, RawTryLock};
 use hemlock_core::wakerset::WakerSet;
 use hemlock_core::{Mutex, MutexGuard, ReadGuard};
+use hemlock_obs::trace;
 use std::borrow::Borrow;
 use std::collections::hash_map::RandomState;
 use std::collections::HashMap;
@@ -565,12 +566,20 @@ impl<K: Hash + Eq, V, L: RawTryLock> ShardedTable<K, V, L> {
         Q: Hash + ?Sized,
     {
         let idx = self.shard_index(key);
+        let mut waiter = trace::Waiter::new();
         std::future::poll_fn(|cx| match self.try_lock_shard_idx(idx) {
-            Some(g) => Poll::Ready(g),
+            Some(g) => {
+                waiter.finish("shard.lock_wait");
+                Poll::Ready(g)
+            }
             None => {
+                waiter.arm(trace::current());
                 self.wakers.register_current(cx);
                 match self.try_lock_shard_idx(idx) {
-                    Some(g) => Poll::Ready(g),
+                    Some(g) => {
+                        waiter.finish("shard.lock_wait");
+                        Poll::Ready(g)
+                    }
                     None => Poll::Pending,
                 }
             }
@@ -588,12 +597,20 @@ impl<K: Hash + Eq, V, L: RawTryLock> ShardedTable<K, V, L> {
         V: Sync,
     {
         let idx = self.shard_index(key);
+        let mut waiter = trace::Waiter::new();
         std::future::poll_fn(|cx| match self.try_read_shard_idx(idx) {
-            Some(g) => Poll::Ready(g),
+            Some(g) => {
+                waiter.finish("shard.lock_wait");
+                Poll::Ready(g)
+            }
             None => {
+                waiter.arm(trace::current());
                 self.wakers.register_current(cx);
                 match self.try_read_shard_idx(idx) {
-                    Some(g) => Poll::Ready(g),
+                    Some(g) => {
+                        waiter.finish("shard.lock_wait");
+                        Poll::Ready(g)
+                    }
                     None => Poll::Pending,
                 }
             }
@@ -645,6 +662,7 @@ impl<K: Hash + Eq, V, L: RawTryLock> ShardedTable<K, V, L> {
             return rmw_two_same_shard(&mut g, a, b, f);
         }
         let (lo, hi) = (ia.min(ib), ia.max(ib));
+        let mut waiter = trace::Waiter::new();
         let (g_lo, g_hi) = std::future::poll_fn(|cx| {
             // One ordered attempt per poll: lo by trylock (parking when
             // busy), then hi by trylock (dropping lo and parking when
@@ -653,6 +671,7 @@ impl<K: Hash + Eq, V, L: RawTryLock> ShardedTable<K, V, L> {
             let g_lo = match self.try_lock_shard_idx(lo) {
                 Some(g) => g,
                 None => {
+                    waiter.arm(trace::current());
                     self.wakers.register_current(cx);
                     match self.try_lock_shard_idx(lo) {
                         Some(g) => g,
@@ -661,11 +680,18 @@ impl<K: Hash + Eq, V, L: RawTryLock> ShardedTable<K, V, L> {
                 }
             };
             match self.try_lock_shard_idx(hi) {
-                Some(g_hi) => Poll::Ready((g_lo, g_hi)),
+                Some(g_hi) => {
+                    waiter.finish("shard.lock_wait");
+                    Poll::Ready((g_lo, g_hi))
+                }
                 None => {
+                    waiter.arm(trace::current());
                     self.wakers.register_current(cx);
                     match self.try_lock_shard_idx(hi) {
-                        Some(g_hi) => Poll::Ready((g_lo, g_hi)),
+                        Some(g_hi) => {
+                            waiter.finish("shard.lock_wait");
+                            Poll::Ready((g_lo, g_hi))
+                        }
                         None => {
                             drop(g_lo); // no hold-and-wait across the park
                             Poll::Pending
@@ -789,13 +815,22 @@ pub struct ShardGuard<'a, K, V, L: RawLock> {
     /// park-after-notify window).
     guard: ManuallyDrop<MutexGuard<'a, HashMap<K, V>, L>>,
     wakers: &'a WakerSet,
+    /// Trace id of the sampled request holding this guard (0 = untraced);
+    /// drop emits a `shard.lock_hold` span covering acquire-to-release.
+    trace: u64,
+    /// Acquire timestamp for the hold span (unset when untraced).
+    trace_t0: u64,
 }
 
 impl<'a, K, V, L: RawLock> ShardGuard<'a, K, V, L> {
     fn wrap(guard: MutexGuard<'a, HashMap<K, V>, L>, wakers: &'a WakerSet) -> Self {
+        // One relaxed load when tracing is off (`trace::current`'s gate).
+        let trace = trace::current();
         Self {
             guard: ManuallyDrop::new(guard),
             wakers,
+            trace,
+            trace_t0: if trace != 0 { trace::now_ns() } else { 0 },
         }
     }
 }
@@ -822,6 +857,18 @@ impl<K, V, L: RawLock> Drop for ShardGuard<'_, K, V, L> {
         // again. Release first, notify second (see the type docs).
         unsafe { ManuallyDrop::drop(&mut self.guard) };
         self.wakers.notify_all();
+        if self.trace != 0 {
+            // Async kind: `with_two` drops its two guards in declaration
+            // order, so hold intervals on one thread may overlap without
+            // nesting — b/e events tolerate that, "X" events do not.
+            trace::span_at(
+                self.trace,
+                "shard.lock_hold",
+                self.trace_t0,
+                trace::now_ns(),
+                trace::SpanKind::Async,
+            );
+        }
     }
 }
 
@@ -834,13 +881,19 @@ pub struct ShardReadGuard<'a, K, V, L: RawLock> {
     /// See [`ShardGuard::guard`] for the `ManuallyDrop` rationale.
     guard: ManuallyDrop<ReadGuard<'a, HashMap<K, V>, L>>,
     wakers: &'a WakerSet,
+    /// See [`ShardGuard`]: hold-span trace id (0 = untraced) and start.
+    trace: u64,
+    trace_t0: u64,
 }
 
 impl<'a, K, V, L: RawLock> ShardReadGuard<'a, K, V, L> {
     fn wrap(guard: ReadGuard<'a, HashMap<K, V>, L>, wakers: &'a WakerSet) -> Self {
+        let trace = trace::current();
         Self {
             guard: ManuallyDrop::new(guard),
             wakers,
+            trace,
+            trace_t0: if trace != 0 { trace::now_ns() } else { 0 },
         }
     }
 }
@@ -859,6 +912,15 @@ impl<K, V, L: RawLock> Drop for ShardReadGuard<'_, K, V, L> {
         // Safety: dropped exactly once, here. Release, then notify.
         unsafe { ManuallyDrop::drop(&mut self.guard) };
         self.wakers.notify_all();
+        if self.trace != 0 {
+            trace::span_at(
+                self.trace,
+                "shard.lock_hold",
+                self.trace_t0,
+                trace::now_ns(),
+                trace::SpanKind::Async,
+            );
+        }
     }
 }
 
